@@ -1,0 +1,239 @@
+// bench_collectives — the §5.1 collectives ablation, executed.
+//
+// (1) All-Gather and Reduce-Scatter algorithm variants: identical
+//     (bandwidth-optimal) word counts, different latency (message counts) —
+//     the "bidirectional exchange or recursive doubling/halving" remark.
+// (2) Reduce-Scatter vs All-to-All for Algorithm 1's output collective: the
+//     difference between Alg. 1 and Agarwal et al. 1995 — same bandwidth,
+//     but All-to-All wastes latency and defers the reduction flops.
+// (3) Naive compositions (reduce+bcast vs RS+AG allreduce) to show why the
+//     bandwidth-optimal forms matter.
+#include <iostream>
+#include <numeric>
+
+#include "collectives/allgather.hpp"
+#include "collectives/allreduce.hpp"
+#include "collectives/alltoall.hpp"
+#include "collectives/bcast.hpp"
+#include "collectives/coll_cost.hpp"
+#include "collectives/reduce.hpp"
+#include "collectives/reduce_scatter.hpp"
+#include "collectives/tuning.hpp"
+#include "collectives/registry.hpp"
+#include "machine/machine.hpp"
+#include "util/table.hpp"
+
+using namespace camb;
+
+namespace {
+
+std::vector<int> iota_group(int p) {
+  std::vector<int> group(static_cast<std::size_t>(p));
+  std::iota(group.begin(), group.end(), 0);
+  return group;
+}
+
+void variant_table(int p, i64 block) {
+  std::cout << "--- All-Gather variants: p = " << p << ", block = " << block
+            << " words ---\n";
+  Table table({"variant", "recv words/rank", "messages/rank", "optimal (1-1/p)w"});
+  const double optimal = (1.0 - 1.0 / p) * static_cast<double>(block * p);
+  for (const auto& variant : coll::allgather_variants()) {
+    if (!variant.supports(p)) continue;
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      (void)coll::allgather_equal(
+          ctx, iota_group(p),
+          std::vector<double>(static_cast<std::size_t>(block)), 0,
+          variant.algo);
+    });
+    const auto totals = machine.stats().rank_total(0);
+    table.add_row({variant.name, Table::fmt_int(totals.words_received),
+                   Table::fmt_int(totals.messages_sent),
+                   Table::fmt(optimal, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "--- Reduce-Scatter variants: p = " << p << ", segment = "
+            << block << " words ---\n";
+  Table rs({"variant", "recv words/rank", "messages/rank", "optimal (1-1/p)w"});
+  for (const auto& variant : coll::reduce_scatter_variants()) {
+    if (!variant.supports(p)) continue;
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      (void)coll::reduce_scatter_equal(
+          ctx, iota_group(p),
+          std::vector<double>(static_cast<std::size_t>(block * p), 1.0), 0,
+          variant.algo);
+    });
+    const auto totals = machine.stats().rank_total(0);
+    rs.add_row({variant.name, Table::fmt_int(totals.words_received),
+                Table::fmt_int(totals.messages_sent), Table::fmt(optimal, 1)});
+  }
+  rs.print(std::cout);
+  std::cout << "\n";
+}
+
+void rs_vs_alltoall(int p, i64 seg) {
+  std::cout << "--- Reduce-Scatter vs All-to-All (+local sum): p = " << p
+            << ", segment = " << seg << " words ---\n"
+            << "(the Alg. 1 vs Agarwal et al. 1995 difference, section 5.1)\n";
+  Table table({"approach", "recv words/rank", "messages/rank"});
+  {
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      (void)coll::reduce_scatter_equal(
+          ctx, iota_group(p),
+          std::vector<double>(static_cast<std::size_t>(seg * p), 1.0), 0);
+    });
+    const auto totals = machine.stats().rank_total(0);
+    table.add_row({"Reduce-Scatter (Alg. 1)",
+                   Table::fmt_int(totals.words_received),
+                   Table::fmt_int(totals.messages_sent)});
+  }
+  {
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      // Personalized exchange of the partial segments, then local sum.
+      std::vector<std::vector<double>> blocks(static_cast<std::size_t>(p));
+      for (auto& b : blocks) {
+        b.assign(static_cast<std::size_t>(seg), 1.0);
+      }
+      const auto received = coll::alltoall(ctx, iota_group(p), blocks, 0);
+      std::vector<double> sum(static_cast<std::size_t>(seg), 0.0);
+      for (const auto& b : received) {
+        for (std::size_t j = 0; j < sum.size(); ++j) sum[j] += b[j];
+      }
+    });
+    const auto totals = machine.stats().rank_total(0);
+    table.add_row({"All-to-All + local sum (Agarwal'95)",
+                   Table::fmt_int(totals.words_received),
+                   Table::fmt_int(totals.messages_sent)});
+  }
+  {
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      std::vector<std::vector<double>> blocks(
+          static_cast<std::size_t>(p),
+          std::vector<double>(static_cast<std::size_t>(seg), 1.0));
+      const auto received = coll::alltoall(ctx, iota_group(p), blocks, 0,
+                                           coll::AlltoallAlgo::kBruck);
+      std::vector<double> sum(static_cast<std::size_t>(seg), 0.0);
+      for (const auto& b : received) {
+        for (std::size_t j = 0; j < sum.size(); ++j) sum[j] += b[j];
+      }
+    });
+    const auto totals = machine.stats().rank_total(0);
+    table.add_row({"Bruck All-to-All + local sum (log-latency)",
+                   Table::fmt_int(totals.words_received),
+                   Table::fmt_int(totals.messages_sent)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void allreduce_compositions(int p, i64 w) {
+  std::cout << "--- All-Reduce compositions: p = " << p << ", w = " << w
+            << " words ---\n";
+  Table table({"approach", "recv words/rank (max)", "vs optimal 2(1-1/p)w"});
+  const double optimal = 2.0 * (1.0 - 1.0 / p) * static_cast<double>(w);
+  {
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      (void)coll::allreduce(ctx, iota_group(p),
+                            std::vector<double>(static_cast<std::size_t>(w), 1.0),
+                            0);
+    });
+    const i64 worst = machine.stats().critical_path_received_words();
+    table.add_row({"RS + AG (bandwidth-optimal)", Table::fmt_int(worst),
+                   Table::fmt(static_cast<double>(worst) / optimal, 3) + "x"});
+  }
+  {
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      std::vector<double> data(static_cast<std::size_t>(w), 1.0);
+      auto root_sum = coll::reduce(ctx, iota_group(p), 0, std::move(data), 0);
+      coll::bcast(ctx, iota_group(p), 0, root_sum, w, coll::kTagStride);
+    });
+    const i64 worst = machine.stats().critical_path_received_words();
+    table.add_row({"reduce + bcast (naive)", Table::fmt_int(worst),
+                   Table::fmt(static_cast<double>(worst) / optimal, 3) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+void tuning_crossover() {
+  std::cout << "--- model-driven All-to-All selection (tuning.hpp) ---\n";
+  const int p = 16;
+  const coll::TuningParams params{1e-5, 1e-9};
+  const double crossover = coll::alltoall_bruck_crossover_block(p, params);
+  std::cout << "machine alpha=1e-5 s, beta=1e-9 s/word, p = " << p
+            << ": predicted Bruck/pairwise crossover at block = "
+            << Table::fmt(crossover, 1) << " words\n";
+  Table table({"block words", "pairwise model s", "bruck model s", "choice"});
+  for (i64 block : {16, 256, 1024, 4096, 65536}) {
+    const double tp =
+        coll::alltoall_model_time(p, block, coll::AlltoallAlgo::kPairwise, params);
+    const double tb =
+        coll::alltoall_model_time(p, block, coll::AlltoallAlgo::kBruck, params);
+    table.add_row({Table::fmt_int(block), Table::fmt_sci(tp, 2),
+                   Table::fmt_sci(tb, 2),
+                   coll::choose_alltoall(p, block, params) ==
+                           coll::AlltoallAlgo::kBruck
+                       ? "bruck"
+                       : "pairwise"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void bcast_pipelining() {
+  std::cout << "--- broadcast: binomial vs pipelined ring (scheduled time, "
+               "p = 8) ---\n"
+            << "(alpha = 1e-5 s, beta = 1e-6 s/word; same words delivered "
+               "either way)\n";
+  const int p = 8;
+  Table table({"payload words", "binomial s", "pipelined ring (32 seg) s",
+               "winner"});
+  for (i64 w : {4, 64, 1024, 16384, 262144}) {
+    auto scheduled = [&](coll::BcastAlgo algo) {
+      Machine machine(p);
+      machine.set_time_params(AlphaBeta{1e-5, 1e-6});
+      machine.run([&](RankCtx& ctx) {
+        std::vector<double> data;
+        if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(w), 1.0);
+        coll::bcast(ctx, iota_group(p), 0, data, w, 0, algo, 32);
+      });
+      return machine.critical_path_time();
+    };
+    const double tb = scheduled(coll::BcastAlgo::kBinomial);
+    const double tr = scheduled(coll::BcastAlgo::kPipelinedRing);
+    table.add_row({Table::fmt_int(w), Table::fmt_sci(tb, 2),
+                   Table::fmt_sci(tr, 2),
+                   tb < tr ? "binomial" : "pipelined ring"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe classic small/large-message crossover — visible only "
+               "through the\nscheduled critical path, since both variants "
+               "deliver identical word counts.\n\n";
+}
+
+int main() {
+  std::cout << "=== Collectives ablation (section 5.1) ===\n\n";
+  bcast_pipelining();
+  variant_table(8, 1024);
+  variant_table(12, 1024);  // non-power-of-two group
+  rs_vs_alltoall(8, 1024);
+  allreduce_compositions(16, 4096);
+  tuning_crossover();
+  std::cout << "Take-away: every variant hits the bandwidth-optimal "
+               "(1 - 1/p) w words;\nrecursive variants need only ceil(log2 p) "
+               "messages where the ring needs p - 1.\nAll-to-All matches "
+               "Reduce-Scatter's bandwidth but not its latency profile, and\n"
+               "naive reduce+bcast pays ~2x the optimal All-Reduce "
+               "bandwidth at the root.\n";
+  return 0;
+}

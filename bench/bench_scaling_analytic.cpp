@@ -1,0 +1,86 @@
+// bench_scaling_analytic — supercomputer-scale comparison, analytically.
+//
+// Every algorithm in this library carries an exact per-rank communication
+// predictor that the integration tests validate word-for-word against
+// executed runs at feasible P.  This bench evaluates those predictors at
+// machine scales far beyond what can be executed (up to P = 2^20),
+// reproducing the shape of the paper's scaling story: who wins, by what
+// factor, and how the ratios to the Theorem 3 bound behave as P grows
+// through the three regimes.
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/cost_eq3.hpp"
+#include "core/grid.hpp"
+#include "matmul/carma.hpp"
+#include "util/table.hpp"
+
+using namespace camb;
+
+namespace {
+
+/// Max over ranks of CARMA's predicted received words (pure arithmetic).
+double carma_critical_words(const core::Shape& shape, int levels) {
+  const auto words = mm::carma_predicted_recv_words(
+      mm::CarmaConfig{shape, levels});
+  i64 worst = 0;
+  for (i64 w : words) worst = std::max(worst, w);
+  return static_cast<double>(worst);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Analytic scaling comparison (validated predictors, huge P) "
+               "===\n\n";
+  // Square problem scaled so divisibility holds through 2^20 ranks.
+  const core::Shape shape{1 << 13, 1 << 13, 1 << 13};  // 8192^3
+  std::cout << "square problem " << shape.n1 << "^3; Algorithm 1 uses the "
+               "best integer grid, CARMA uses 2^levels ranks\n\n";
+  Table table({"P", "bound words", "Alg.1 eq.3", "Alg.1/bound", "CARMA",
+               "CARMA/bound"});
+  for (int levels = 2; levels <= 20; levels += 3) {
+    const i64 P = i64{1} << levels;
+    const auto bound =
+        core::memory_independent_bound(shape, static_cast<double>(P));
+    const core::Grid3 grid = core::best_integer_grid(shape, P);
+    const double alg1 = core::alg1_cost_words(shape, grid);
+    double carma = -1;
+    if (mm::carma_supported(shape, levels)) {
+      carma = carma_critical_words(shape, levels);
+    }
+    table.add_row(
+        {Table::fmt_sci(static_cast<double>(P), 1),
+         Table::fmt_sci(bound.words, 3), Table::fmt_sci(alg1, 3),
+         Table::fmt(alg1 / bound.words, 3),
+         carma < 0 ? "-" : Table::fmt_sci(carma, 3),
+         carma < 0 ? "-" : Table::fmt(carma / bound.words, 3)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nThe Alg.1/bound ratio stays ~1 wherever an integral near-optimal "
+         "grid exists;\nCARMA tracks the same P^{-2/3} scaling with a "
+         "constant-factor gap — the paper's\nTable 1 story, extended to a "
+         "million ranks.\n\n";
+
+  // Rectangular problem: regime transitions at enormous P.
+  const core::Shape rect{1 << 16, 1 << 12, 1 << 8};  // aspect 256 : 16 : 1
+  std::cout << "rectangular problem " << rect.n1 << " x " << rect.n2 << " x "
+            << rect.n3 << " (m/n = " << (1 << 4)
+            << ", mn/k^2 = " << ((i64{1} << 28) / (1 << 16)) << ")\n\n";
+  Table rtable({"P", "regime", "bound words", "Alg.1 eq.3", "ratio"});
+  for (int levels = 0; levels <= 20; levels += 2) {
+    const i64 P = i64{1} << levels;
+    const auto bound =
+        core::memory_independent_bound(rect, static_cast<double>(P));
+    const core::Grid3 grid = core::best_integer_grid(rect, P);
+    const double alg1 = core::alg1_cost_words(rect, grid);
+    rtable.add_row({Table::fmt_sci(static_cast<double>(P), 1),
+                    std::to_string(static_cast<int>(bound.regime)) + "D",
+                    Table::fmt_sci(bound.words, 3), Table::fmt_sci(alg1, 3),
+                    bound.words > 0 ? Table::fmt(alg1 / bound.words, 4)
+                                    : "-"});
+  }
+  rtable.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// bench_topology — what §3.1's contention-free assumption hides.
+//
+// The lower bounds count words per processor on a fully connected network.
+// This bench maps executed traces onto physical topologies (ring, 2D torus,
+// hypercube) and reports mean hops and the hottest link — showing (1) that
+// collective variant choice interacts with topology even at equal word
+// counts, and (2) that Algorithm 1's fiber-aligned traffic maps gracefully
+// onto a torus whose dimensions match the processor grid.
+#include <iostream>
+#include <numeric>
+
+#include "collectives/allgather.hpp"
+#include "machine/hierarchy.hpp"
+#include "machine/topology.hpp"
+#include "core/bounds.hpp"
+#include "matmul/grid3d.hpp"
+#include "util/table.hpp"
+
+using namespace camb;
+
+namespace {
+
+std::vector<int> iota_group(int p) {
+  std::vector<int> group(static_cast<std::size_t>(p));
+  std::iota(group.begin(), group.end(), 0);
+  return group;
+}
+
+void allgather_variants_on_topologies() {
+  const int p = 16;
+  const i64 block = 256;
+  std::cout << "--- All-Gather variants mapped onto topologies (p = " << p
+            << ", block = " << block << " words) ---\n";
+  Table table({"variant", "topology", "mean hops", "hottest link words",
+               "vs fully connected"});
+  for (auto algo : {coll::AllgatherAlgo::kRing,
+                    coll::AllgatherAlgo::kRecursiveDoubling}) {
+    const char* algo_name =
+        algo == coll::AllgatherAlgo::kRing ? "ring" : "recursive_doubling";
+    Machine machine(p);
+    Trace& trace = machine.enable_trace();
+    machine.run([&](RankCtx& ctx) {
+      (void)coll::allgather_equal(
+          ctx, iota_group(p),
+          std::vector<double>(static_cast<std::size_t>(block)), 0, algo);
+    });
+    const auto flat = analyze_contention(trace, FullyConnected(p));
+    for (const Topology* topo :
+         std::initializer_list<const Topology*>{
+             new FullyConnected(p), new Ring(p), new Torus2D(4, 4),
+             new Hypercube(p)}) {
+      const auto report = analyze_contention(trace, *topo);
+      table.add_row({algo_name, topo->name(), Table::fmt(report.mean_hops, 2),
+                     Table::fmt_int(report.max_link_words),
+                     Table::fmt(static_cast<double>(report.max_link_words) /
+                                    static_cast<double>(flat.max_link_words),
+                                2) +
+                         "x"});
+      delete topo;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nEqual word counts, very different physical footprints: each "
+               "variant is one-hop\non its natural topology and congests the "
+               "other's.\n\n";
+}
+
+void alg1_on_matched_torus() {
+  std::cout << "--- Algorithm 1's traffic on matched vs mismatched tori ---\n";
+  const core::Shape shape{64, 32, 16};
+  const core::Grid3 grid{4, 4, 1};  // 16 ranks in a 4x4 logical grid
+  const mm::Grid3dConfig cfg{shape, grid};
+  Machine machine(16);
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) { (void)mm::grid3d_rank(ctx, cfg); });
+  Table table({"topology", "mean hops", "hottest link words"});
+  for (const Topology* topo : std::initializer_list<const Topology*>{
+           new FullyConnected(16), new Torus2D(4, 4), new Torus2D(2, 8),
+           new Ring(16), new Hypercube(16)}) {
+    const auto report = analyze_contention(trace, *topo);
+    table.add_row({topo->name(), Table::fmt(report.mean_hops, 2),
+                   Table::fmt_int(report.max_link_words)});
+    delete topo;
+  }
+  table.print(std::cout);
+  std::cout << "\nThe 4x4 logical grid's fibers align with the 4x4 torus "
+               "(fiber collectives stay\nwithin torus rows/columns); "
+               "mismatched shapes stretch the same words over more\nlinks.  "
+               "The bounds are topology-independent; attaining them on real "
+               "networks\nadds this mapping problem on top.\n";
+}
+
+void node_mapping_ablation() {
+  std::cout << "\n--- rank-to-node mapping: inter-node words of Algorithm 1 "
+               "---\n"
+            << "(16 ranks on 4 nodes; shape 64x32x16, grid 4x2x2 — the "
+               "node-level bound\n with P' = 4 nodes applies to the max "
+               "ingress)\n";
+  const core::Shape shape{64, 32, 16};
+  const core::Grid3 grid{4, 2, 2};
+  Machine machine(16);
+  Trace& trace = machine.enable_trace();
+  const mm::Grid3dConfig cfg{shape, grid};
+  machine.run([&](RankCtx& ctx) { (void)mm::grid3d_rank(ctx, cfg); });
+  const auto bound = core::memory_independent_bound(shape, 4.0);
+  Table table({"mapping", "inter-node words", "intra-node words",
+               "max node ingress", "node-level bound"});
+  struct Named {
+    const char* name;
+    NodeMapping mapping;
+  };
+  const Named mappings[] = {
+      {"blocked (q1-slabs per node)", NodeMapping::blocked(16, 4)},
+      {"round-robin", NodeMapping::round_robin(16, 4)},
+  };
+  for (const auto& m : mappings) {
+    const auto report = analyze_hierarchy(trace, m.mapping);
+    table.add_row({m.name, Table::fmt_int(report.inter_node_words),
+                   Table::fmt_int(report.intra_node_words),
+                   Table::fmt_int(report.max_node_ingress_words),
+                   Table::fmt(bound.words, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nSame execution, same total words: placement alone decides "
+               "how much crosses\nthe node boundary.  The fiber-aligned "
+               "(blocked) mapping keeps the A and C\ncollectives on-node; "
+               "its ingress approaches the node-level Theorem 3 bound.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Topology / contention analysis (beyond the section-3.1 "
+               "model) ===\n\n";
+  allgather_variants_on_topologies();
+  alg1_on_matched_torus();
+  node_mapping_ablation();
+  return 0;
+}

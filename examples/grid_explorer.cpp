@@ -1,0 +1,70 @@
+// grid_explorer — rank every processor grid for a problem.
+//
+// Enumerates all factor triples of P, evaluates eq. 3 for each, and prints
+// them ranked by communication cost next to the Theorem 3 bound.  Shows how
+// expensive a wrong grid choice is (the §5.2 ablation, interactively).
+//
+//   $ ./grid_explorer --n1 9600 --n2 2400 --n3 600 --p 36 --top 10
+#include <algorithm>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/cost_eq3.hpp"
+#include "core/grid.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camb;
+  Cli cli;
+  cli.add_flag("n1", "rows of A and C", "9600");
+  cli.add_flag("n2", "cols of A / rows of B", "2400");
+  cli.add_flag("n3", "cols of B and C", "600");
+  cli.add_flag("p", "number of processors", "36");
+  cli.add_flag("top", "how many grids to print (0 = all)", "10");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("grid_explorer");
+    return 0;
+  }
+
+  const core::Shape shape{cli.get_int("n1"), cli.get_int("n2"),
+                          cli.get_int("n3")};
+  const i64 P = cli.get_int("p");
+  const auto bound =
+      core::memory_independent_bound(shape, static_cast<double>(P));
+
+  struct Entry {
+    core::Grid3 grid;
+    double cost;
+  };
+  std::vector<Entry> entries;
+  for (const core::Grid3& g : core::all_grids(P)) {
+    entries.push_back({g, core::alg1_cost_words(shape, g)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.cost < b.cost; });
+
+  std::cout << "shape " << shape.n1 << " x " << shape.n2 << " x " << shape.n3
+            << ", P = " << P << ", Theorem 3 bound = " << bound.words
+            << " words\n\n";
+
+  Table table({"grid (p1 x p2 x p3)", "eq.3 words", "vs bound", "divides dims",
+               "memory words"});
+  i64 top = cli.get_int("top");
+  if (top <= 0) top = static_cast<i64>(entries.size());
+  for (i64 i = 0; i < std::min<i64>(top, static_cast<i64>(entries.size()));
+       ++i) {
+    const auto& e = entries[static_cast<std::size_t>(i)];
+    table.add_row({std::to_string(e.grid.p1) + " x " + std::to_string(e.grid.p2) +
+                       " x " + std::to_string(e.grid.p3),
+                   Table::fmt(e.cost, 1),
+                   Table::fmt(bound.words > 0 ? e.cost / bound.words : 1.0, 4),
+                   core::grid_divides(shape, e.grid) ? "yes" : "no",
+                   Table::fmt(core::alg1_memory_words(shape, e.grid), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nworst/best cost ratio: "
+            << entries.back().cost / entries.front().cost << "\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// lower_bound_audit — mechanical audit of the lower bound on tiny problems.
+//
+// Theorem 3's proof bounds the data any processor must access through the
+// Loomis–Whitney inequality and Lemma 1.  This example audits that chain
+// directly: for a tiny iteration space it enumerates (exactly, when feasible,
+// otherwise by sampling) work subsets of size >= mnk/P, computes their true
+// projections onto A, B, C, and confirms that no assignment of work beats
+// the Lemma 2 optimum.
+//
+//   $ ./lower_bound_audit --n1 3 --n2 2 --n3 3 --p 2 --trials 2000
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/loomis_whitney.hpp"
+#include "core/optimization.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camb;
+  Cli cli;
+  cli.add_flag("n1", "rows of A and C", "3");
+  cli.add_flag("n2", "cols of A / rows of B", "2");
+  cli.add_flag("n3", "cols of B and C", "3");
+  cli.add_flag("p", "number of processors", "2");
+  cli.add_flag("trials", "random subsets for the sampled audit", "2000");
+  cli.add_flag("seed", "sampling seed", "42");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("lower_bound_audit");
+    return 0;
+  }
+
+  const core::Shape shape{cli.get_int("n1"), cli.get_int("n2"),
+                          cli.get_int("n3")};
+  const i64 P = cli.get_int("p");
+  const i64 total = shape.flops();
+  const i64 subset = (total + P - 1) / P;  // at least 1/P of the work
+
+  const core::SortedDims d = core::sort_dims(shape);
+  const auto sol = core::solve_analytic({static_cast<double>(d.m),
+                                         static_cast<double>(d.n),
+                                         static_cast<double>(d.k),
+                                         static_cast<double>(P)});
+  std::cout << "iteration space " << shape.n1 << " x " << shape.n2 << " x "
+            << shape.n3 << " (" << total << " multiplications), P = " << P
+            << "\n"
+            << "a processor doing 1/P of the work touches >= "
+            << sol.objective
+            << " matrix elements (Lemma 2 optimum; case "
+            << static_cast<int>(sol.regime) << ")\n\n";
+
+  if (total <= 24) {
+    const i64 exact = core::min_projection_sum_exact(shape, subset);
+    std::cout << "EXACT audit over all " << total << "-choose-" << subset
+              << " subsets: min projection sum = " << exact << "\n"
+              << (static_cast<double>(exact) + 1e-9 >= sol.objective
+                      ? "  => no work assignment beats the bound. OK\n"
+                      : "  => BOUND VIOLATED (bug!)\n");
+  } else {
+    std::cout << "iteration space too large for exact enumeration; sampling\n";
+  }
+
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const i64 sampled = core::min_projection_sum_sampled(
+      shape, subset, trials,
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  std::cout << "SAMPLED audit (" << trials
+            << " random subsets): min projection sum = " << sampled << "\n"
+            << (static_cast<double>(sampled) + 1e-9 >= sol.objective
+                    ? "  => consistent with the bound. OK\n"
+                    : "  => BOUND VIOLATED (bug!)\n");
+
+  // The full-communication picture: subtract what a processor may own.
+  const auto bound = core::memory_independent_bound(shape,
+                                                    static_cast<double>(P));
+  std::cout << "\nTheorem 3: at least " << bound.words
+            << " words must be *communicated* per processor\n"
+            << "(accessed data " << bound.D << " minus owned data "
+            << bound.owned << ").\n";
+  return 0;
+}

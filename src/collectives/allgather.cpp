@@ -1,0 +1,178 @@
+#include "collectives/allgather.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace camb::coll {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Ring All-Gather: member i forwards blocks to (i+1) mod p, receiving from
+/// (i-1) mod p.  In round r, member i sends block (i - r) mod p and receives
+/// block (i - r - 1) mod p, so after p-1 rounds every member has every block.
+std::vector<double> allgather_ring(RankCtx& ctx, const std::vector<int>& group,
+                                   const std::vector<i64>& counts,
+                                   const std::vector<double>& local,
+                                   int tag_base) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  const i64 total = counts_total(counts);
+  std::vector<double> out(static_cast<std::size_t>(total));
+  std::copy(local.begin(), local.end(),
+            out.begin() + counts_offset(counts, me));
+  const int next = group[static_cast<std::size_t>((me + 1) % p)];
+  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  for (int r = 0; r < p - 1; ++r) {
+    const int send_block = (me - r + p) % p;
+    const int recv_block = (me - r - 1 + 2 * p) % p;
+    const i64 send_off = counts_offset(counts, send_block);
+    const i64 send_len = counts[static_cast<std::size_t>(send_block)];
+    std::vector<double> chunk(out.begin() + send_off,
+                              out.begin() + send_off + send_len);
+    ctx.send(next, tag_base + r, std::move(chunk));
+    std::vector<double> incoming = ctx.recv(prev, tag_base + r);
+    CAMB_CHECK(static_cast<i64>(incoming.size()) ==
+               counts[static_cast<std::size_t>(recv_block)]);
+    std::copy(incoming.begin(), incoming.end(),
+              out.begin() + counts_offset(counts, recv_block));
+  }
+  return out;
+}
+
+/// Recursive-doubling All-Gather (power-of-two group size).  Before round t
+/// (distance 2^t) member i holds the blocks of all members sharing its index
+/// bits above bit t; exchanging with partner i ^ 2^t doubles the held span.
+std::vector<double> allgather_recursive_doubling(
+    RankCtx& ctx, const std::vector<int>& group, const std::vector<i64>& counts,
+    const std::vector<double>& local, int tag_base) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  const i64 total = counts_total(counts);
+  std::vector<double> out(static_cast<std::size_t>(total));
+  std::copy(local.begin(), local.end(),
+            out.begin() + counts_offset(counts, me));
+  int round = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++round) {
+    const int partner_idx = me ^ dist;
+    const int partner = group[static_cast<std::size_t>(partner_idx)];
+    // Blocks currently held: indices with the same bits >= dist as me.
+    const int my_span_lo = (me / dist) * dist;
+    const int partner_span_lo = (partner_idx / dist) * dist;
+    const i64 send_off = counts_offset(counts, my_span_lo);
+    i64 send_len = 0;
+    for (int b = my_span_lo; b < my_span_lo + dist; ++b) {
+      send_len += counts[static_cast<std::size_t>(b)];
+    }
+    std::vector<double> chunk(out.begin() + send_off,
+                              out.begin() + send_off + send_len);
+    std::vector<double> incoming =
+        ctx.sendrecv(partner, tag_base + round, std::move(chunk));
+    i64 recv_len = 0;
+    for (int b = partner_span_lo; b < partner_span_lo + dist; ++b) {
+      recv_len += counts[static_cast<std::size_t>(b)];
+    }
+    CAMB_CHECK(static_cast<i64>(incoming.size()) == recv_len);
+    std::copy(incoming.begin(), incoming.end(),
+              out.begin() + counts_offset(counts, partner_span_lo));
+  }
+  return out;
+}
+
+/// Bruck All-Gather (any group size, ⌈log2 p⌉ rounds).  Works on a virtual
+/// rotation: member i accumulates the blocks of members i, i+1, … (mod p);
+/// in round t it receives 2^t more blocks from member (i + 2^t) mod p.
+std::vector<double> allgather_bruck(RankCtx& ctx, const std::vector<int>& group,
+                                    const std::vector<i64>& counts,
+                                    const std::vector<double>& local,
+                                    int tag_base) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  // held[j] is the block of member (me + j) mod p, for j < held_count.
+  std::vector<std::vector<double>> held;
+  held.reserve(static_cast<std::size_t>(p));
+  held.push_back(local);
+  int round = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++round) {
+    const int have = static_cast<int>(held.size());
+    const int want = std::min(dist, p - have);
+    if (want <= 0) break;
+    const int src = group[static_cast<std::size_t>((me + dist) % p)];
+    const int dst = group[static_cast<std::size_t>((me - dist % p + p) % p)];
+    // Send my first `want` held blocks to dst (they are the blocks dst is
+    // missing), receive the same count from src.  Flatten with length
+    // prefix-free framing: sizes are derivable from counts on both sides.
+    std::vector<double> outbuf;
+    for (int j = 0; j < want; ++j) {
+      outbuf.insert(outbuf.end(), held[static_cast<std::size_t>(j)].begin(),
+                    held[static_cast<std::size_t>(j)].end());
+    }
+    ctx.send(dst, tag_base + round, std::move(outbuf));
+    std::vector<double> inbuf = ctx.recv(src, tag_base + round);
+    // Unpack: incoming blocks are those of members (me + have + j) mod p.
+    i64 cursor = 0;
+    for (int j = 0; j < want; ++j) {
+      const int owner = (me + have + j) % p;
+      const i64 len = counts[static_cast<std::size_t>(owner)];
+      CAMB_CHECK(cursor + len <= static_cast<i64>(inbuf.size()));
+      held.emplace_back(inbuf.begin() + cursor, inbuf.begin() + cursor + len);
+      cursor += len;
+    }
+    CAMB_CHECK(cursor == static_cast<i64>(inbuf.size()));
+  }
+  CAMB_CHECK(static_cast<int>(held.size()) == p);
+  // Un-rotate: held[j] belongs to member (me + j) mod p.
+  const i64 total = counts_total(counts);
+  std::vector<double> out(static_cast<std::size_t>(total));
+  for (int j = 0; j < p; ++j) {
+    const int owner = (me + j) % p;
+    std::copy(held[static_cast<std::size_t>(j)].begin(),
+              held[static_cast<std::size_t>(j)].end(),
+              out.begin() + counts_offset(counts, owner));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> allgather(RankCtx& ctx, const std::vector<int>& group,
+                              const std::vector<i64>& counts,
+                              const std::vector<double>& local, int tag_base,
+                              AllgatherAlgo algo) {
+  validate_group(group, ctx.nprocs());
+  CAMB_CHECK_MSG(counts.size() == group.size(),
+                 "counts arity must match group size");
+  const int me = group_index(group, ctx.rank());
+  CAMB_CHECK_MSG(static_cast<i64>(local.size()) ==
+                     counts[static_cast<std::size_t>(me)],
+                 "local block size must match counts[my index]");
+  if (group.size() == 1) return local;
+
+  if (algo == AllgatherAlgo::kAuto) {
+    algo = is_pow2(group.size()) ? AllgatherAlgo::kRecursiveDoubling
+                                 : AllgatherAlgo::kBruck;
+  }
+  switch (algo) {
+    case AllgatherAlgo::kRing:
+      return allgather_ring(ctx, group, counts, local, tag_base);
+    case AllgatherAlgo::kRecursiveDoubling:
+      CAMB_CHECK_MSG(is_pow2(group.size()),
+                     "recursive doubling requires power-of-two group");
+      return allgather_recursive_doubling(ctx, group, counts, local, tag_base);
+    case AllgatherAlgo::kBruck:
+      return allgather_bruck(ctx, group, counts, local, tag_base);
+    case AllgatherAlgo::kAuto:
+      break;
+  }
+  throw Error("unreachable allgather algo");
+}
+
+std::vector<double> allgather_equal(RankCtx& ctx, const std::vector<int>& group,
+                                    const std::vector<double>& local,
+                                    int tag_base, AllgatherAlgo algo) {
+  std::vector<i64> counts(group.size(), static_cast<i64>(local.size()));
+  return allgather(ctx, group, counts, local, tag_base, algo);
+}
+
+}  // namespace camb::coll

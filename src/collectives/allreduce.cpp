@@ -1,0 +1,20 @@
+#include "collectives/allreduce.hpp"
+
+namespace camb::coll {
+
+std::vector<double> allreduce(RankCtx& ctx, const std::vector<int>& group,
+                              std::vector<double> data, int tag_base) {
+  validate_group(group, ctx.nprocs());
+  const int p = static_cast<int>(group.size());
+  if (p == 1) return data;
+  // Near-equal segmentation (first w mod p segments get one extra word) so
+  // the composition works for any payload size, including w < p.
+  const auto w = static_cast<i64>(data.size());
+  std::vector<i64> counts(static_cast<std::size_t>(p), w / p);
+  for (i64 j = 0; j < w % p; ++j) counts[static_cast<std::size_t>(j)] += 1;
+  std::vector<double> segment =
+      reduce_scatter(ctx, group, counts, data, tag_base);
+  return allgather(ctx, group, counts, segment, tag_base + kTagStride / 2);
+}
+
+}  // namespace camb::coll

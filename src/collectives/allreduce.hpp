@@ -1,0 +1,18 @@
+// allreduce.hpp — All-Reduce built as Reduce-Scatter + All-Gather.
+//
+// The bandwidth-optimal composition (Thakur et al. 2005): 2(1 − 1/p)·w words
+// per rank instead of the 2·w of naive reduce+bcast.
+#pragma once
+
+#include <vector>
+
+#include "collectives/allgather.hpp"
+#include "collectives/reduce_scatter.hpp"
+
+namespace camb::coll {
+
+/// Element-wise sum across the group; every member receives the full result.
+std::vector<double> allreduce(RankCtx& ctx, const std::vector<int>& group,
+                              std::vector<double> data, int tag_base);
+
+}  // namespace camb::coll

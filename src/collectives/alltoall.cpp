@@ -1,0 +1,110 @@
+#include "collectives/alltoall.hpp"
+
+namespace camb::coll {
+
+namespace {
+
+std::vector<std::vector<double>> alltoall_pairwise(
+    RankCtx& ctx, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& blocks, int tag_base) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  std::vector<std::vector<double>> received(static_cast<std::size_t>(p));
+  received[static_cast<std::size_t>(me)] = blocks[static_cast<std::size_t>(me)];
+  for (int r = 1; r < p; ++r) {
+    const int dst_idx = (me + r) % p;
+    const int src_idx = (me - r + p) % p;
+    ctx.send(group[static_cast<std::size_t>(dst_idx)], tag_base + r,
+             blocks[static_cast<std::size_t>(dst_idx)]);
+    received[static_cast<std::size_t>(src_idx)] =
+        ctx.recv(group[static_cast<std::size_t>(src_idx)], tag_base + r);
+  }
+  return received;
+}
+
+/// Bruck all-to-all (equal blocks).  Rotated index d holds the block for
+/// destination (me + d) mod p; in round t, positions with bit t set hop
+/// +2^t ranks, so every block accumulates exactly its required displacement.
+std::vector<std::vector<double>> alltoall_bruck(
+    RankCtx& ctx, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& blocks, int tag_base) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  const std::size_t block_words = blocks[0].size();
+  for (const auto& block : blocks) {
+    CAMB_CHECK_MSG(block.size() == block_words,
+                   "Bruck all-to-all requires equal block sizes");
+  }
+  // Phase 1: local rotation — buf[d] = block destined for (me + d) mod p.
+  std::vector<std::vector<double>> buf(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    buf[static_cast<std::size_t>(d)] =
+        blocks[static_cast<std::size_t>((me + d) % p)];
+  }
+  // Phase 2: log rounds of displaced hops.
+  int round = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++round) {
+    const int dst = group[static_cast<std::size_t>((me + dist) % p)];
+    const int src = group[static_cast<std::size_t>((me - dist + p) % p)];
+    std::vector<double> outbuf;
+    for (int d = 0; d < p; ++d) {
+      if (d & dist) {
+        outbuf.insert(outbuf.end(), buf[static_cast<std::size_t>(d)].begin(),
+                      buf[static_cast<std::size_t>(d)].end());
+      }
+    }
+    ctx.send(dst, tag_base + round, std::move(outbuf));
+    std::vector<double> inbuf = ctx.recv(src, tag_base + round);
+    std::size_t cursor = 0;
+    for (int d = 0; d < p; ++d) {
+      if (d & dist) {
+        CAMB_CHECK(cursor + block_words <= inbuf.size());
+        buf[static_cast<std::size_t>(d)].assign(
+            inbuf.begin() + static_cast<std::ptrdiff_t>(cursor),
+            inbuf.begin() + static_cast<std::ptrdiff_t>(cursor + block_words));
+        cursor += block_words;
+      }
+    }
+    CAMB_CHECK(cursor == inbuf.size());
+  }
+  // Phase 3: after the hops, buf[d] holds the block sent by (me - d) mod p.
+  std::vector<std::vector<double>> received(static_cast<std::size_t>(p));
+  for (int src_idx = 0; src_idx < p; ++src_idx) {
+    received[static_cast<std::size_t>(src_idx)] =
+        std::move(buf[static_cast<std::size_t>((me - src_idx + p) % p)]);
+  }
+  return received;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> alltoall(
+    RankCtx& ctx, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& blocks, int tag_base,
+    AlltoallAlgo algo) {
+  validate_group(group, ctx.nprocs());
+  const int p = static_cast<int>(group.size());
+  CAMB_CHECK_MSG(static_cast<int>(blocks.size()) == p,
+                 "alltoall needs one block per group member");
+  if (p == 1) return {blocks[0]};
+  switch (algo) {
+    case AlltoallAlgo::kPairwise:
+      return alltoall_pairwise(ctx, group, blocks, tag_base);
+    case AlltoallAlgo::kBruck:
+      return alltoall_bruck(ctx, group, blocks, tag_base);
+  }
+  throw Error("unreachable alltoall algo");
+}
+
+i64 alltoall_bruck_recv_words(int p, i64 block) {
+  CAMB_CHECK(p >= 1 && block >= 0);
+  i64 positions = 0;
+  for (int dist = 1; dist < p; dist <<= 1) {
+    for (int d = 0; d < p; ++d) {
+      if (d & dist) ++positions;
+    }
+  }
+  return positions * block;
+}
+
+}  // namespace camb::coll

@@ -1,0 +1,37 @@
+// alltoall.hpp — All-to-All (personalized exchange).
+//
+// Member i sends block (i, j) to member j.  Included because Agarwal et al.
+// (1995) used All-to-All where Algorithm 1 uses Reduce-Scatter; the
+// collectives ablation bench quantifies the difference.  Implemented as a
+// p − 1 round shifted pairwise exchange (any group size); bandwidth per rank
+// is (total − own block), same as Reduce-Scatter, but the reduction work then
+// has to happen after the exchange and the latency is p − 1 rounds always.
+#pragma once
+
+#include <vector>
+
+#include "collectives/group.hpp"
+
+namespace camb::coll {
+
+enum class AlltoallAlgo {
+  /// p − 1 rounds of paired exchange; bandwidth-optimal (total − own words).
+  kPairwise,
+  /// Bruck's ⌈log2 p⌉-round algorithm (equal block sizes required): blocks
+  /// hop along binary displacements, so each rank moves ~ (p/2)·log2(p)
+  /// blocks instead of p − 1 — less latency bought with more bandwidth.
+  kBruck,
+};
+
+/// blocks[j] is this member's block destined for group member j.  Returns
+/// received blocks: result[j] is the block member j sent to this member.
+std::vector<std::vector<double>> alltoall(
+    RankCtx& ctx, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& blocks, int tag_base,
+    AlltoallAlgo algo = AlltoallAlgo::kPairwise);
+
+/// Exact per-rank received words of the Bruck variant with equal blocks:
+/// block * sum over rounds t of |{d in [0, p) : bit t of d is set}|.
+i64 alltoall_bruck_recv_words(int p, i64 block);
+
+}  // namespace camb::coll

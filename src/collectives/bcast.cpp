@@ -1,0 +1,109 @@
+#include "collectives/bcast.hpp"
+
+#include <algorithm>
+
+namespace camb::coll {
+
+namespace {
+
+void bcast_binomial(RankCtx& ctx, const std::vector<int>& group, int root_idx,
+                    std::vector<double>& data, i64 payload_words,
+                    int tag_base) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  // Virtual index: root becomes 0, everything else rotates.
+  const int v = (me - root_idx + p) % p;
+  if (v == 0) {
+    CAMB_CHECK_MSG(static_cast<i64>(data.size()) == payload_words,
+                   "bcast root payload size mismatch");
+  }
+  bool have_data = (v == 0);
+  int round = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++round) {
+    if (have_data) {
+      const int dst_v = v + dist;
+      if (v < dist && dst_v < p) {
+        const int dst = group[static_cast<std::size_t>((dst_v + root_idx) % p)];
+        ctx.send(dst, tag_base + round, data);
+      }
+    } else if (v >= dist && v < 2 * dist) {
+      const int src_v = v - dist;
+      const int src = group[static_cast<std::size_t>((src_v + root_idx) % p)];
+      data = ctx.recv(src, tag_base + round);
+      CAMB_CHECK(static_cast<i64>(data.size()) == payload_words);
+      have_data = true;
+    }
+  }
+  CAMB_CHECK_MSG(have_data, "bcast finished without receiving payload");
+}
+
+/// Pipelined ring: the root cuts the payload into segments and streams them
+/// to its successor; every other member forwards each segment on as soon as
+/// it arrives.  Segment s travels with tag tag_base + s, so forwarding can
+/// proceed without per-hop synchronization.
+void bcast_pipelined_ring(RankCtx& ctx, const std::vector<int>& group,
+                          int root_idx, std::vector<double>& data,
+                          i64 payload_words, int tag_base, i64 segments) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  const int v = (me - root_idx + p) % p;  // position along the ring
+  segments = std::max<i64>(1, std::min(segments, std::max<i64>(payload_words, 1)));
+  CAMB_CHECK_MSG(segments < kTagStride, "too many segments for the tag range");
+  const i64 base = payload_words / segments;
+  const i64 extra = payload_words % segments;
+  const int next = group[static_cast<std::size_t>((me + 1) % p)];
+  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  const bool is_root = (v == 0);
+  const bool is_tail = (v == p - 1);
+  if (is_root) {
+    CAMB_CHECK_MSG(static_cast<i64>(data.size()) == payload_words,
+                   "bcast root payload size mismatch");
+    i64 offset = 0;
+    for (i64 s = 0; s < segments; ++s) {
+      const i64 len = base + (s < extra ? 1 : 0);
+      ctx.send(next, tag_base + static_cast<int>(s),
+               std::vector<double>(data.begin() + offset,
+                                   data.begin() + offset + len));
+      offset += len;
+    }
+    return;
+  }
+  data.assign(static_cast<std::size_t>(payload_words), 0.0);
+  i64 offset = 0;
+  for (i64 s = 0; s < segments; ++s) {
+    std::vector<double> segment = ctx.recv(prev, tag_base + static_cast<int>(s));
+    const i64 len = base + (s < extra ? 1 : 0);
+    CAMB_CHECK(static_cast<i64>(segment.size()) == len);
+    std::copy(segment.begin(), segment.end(), data.begin() + offset);
+    offset += len;
+    if (!is_tail) {
+      ctx.send(next, tag_base + static_cast<int>(s), std::move(segment));
+    }
+  }
+}
+
+}  // namespace
+
+void bcast(RankCtx& ctx, const std::vector<int>& group, int root_idx,
+           std::vector<double>& data, i64 payload_words, int tag_base,
+           BcastAlgo algo, i64 segments) {
+  validate_group(group, ctx.nprocs());
+  const int p = static_cast<int>(group.size());
+  CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "bcast root out of range");
+  if (p == 1) {
+    CAMB_CHECK(static_cast<i64>(data.size()) == payload_words);
+    return;
+  }
+  switch (algo) {
+    case BcastAlgo::kBinomial:
+      bcast_binomial(ctx, group, root_idx, data, payload_words, tag_base);
+      return;
+    case BcastAlgo::kPipelinedRing:
+      bcast_pipelined_ring(ctx, group, root_idx, data, payload_words, tag_base,
+                           segments);
+      return;
+  }
+  throw Error("unreachable bcast algo");
+}
+
+}  // namespace camb::coll

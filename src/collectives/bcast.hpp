@@ -1,0 +1,35 @@
+// bcast.hpp — Broadcast collective.
+//
+// Two variants with the classic small/large-message trade-off:
+//
+//   binomial tree     ⌈log2 p⌉ rounds; time ~ ⌈log2 p⌉ (α + βw).  Best for
+//                     small payloads (latency-bound).
+//   pipelined ring    the payload is cut into segments that stream down the
+//                     ring 0→1→…→p−1; time ~ (p − 1 + segments)(α + βw/s),
+//                     which approaches βw for large payloads — the
+//                     bandwidth-optimal broadcast (up to the 2x of
+//                     scatter+allgather schemes).  Only the logical-clock
+//                     simulation can see this win: both variants deliver
+//                     exactly w words to every non-root.
+#pragma once
+
+#include <vector>
+
+#include "collectives/group.hpp"
+
+namespace camb::coll {
+
+enum class BcastAlgo {
+  kBinomial,
+  kPipelinedRing,
+};
+
+/// Broadcast `data` from group member `root_idx` (an index into `group`, not
+/// a machine rank) to all members.  On non-roots, `data` is resized and
+/// overwritten; `payload_words` must be passed consistently by every member.
+/// `segments` applies to the pipelined ring only (clamped to [1, w]).
+void bcast(RankCtx& ctx, const std::vector<int>& group, int root_idx,
+           std::vector<double>& data, i64 payload_words, int tag_base,
+           BcastAlgo algo = BcastAlgo::kBinomial, i64 segments = 16);
+
+}  // namespace camb::coll

@@ -1,0 +1,178 @@
+#include "collectives/coll_cost.hpp"
+
+#include "util/error.hpp"
+
+namespace camb::coll {
+
+namespace {
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+int ceil_log2(int p) {
+  CAMB_CHECK(p >= 1);
+  int bits = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+int allgather_rounds(int p, AllgatherAlgo algo) {
+  CAMB_CHECK(p >= 1);
+  if (p == 1) return 0;
+  if (algo == AllgatherAlgo::kAuto) {
+    algo = is_pow2(p) ? AllgatherAlgo::kRecursiveDoubling : AllgatherAlgo::kBruck;
+  }
+  switch (algo) {
+    case AllgatherAlgo::kRing:
+      return p - 1;
+    case AllgatherAlgo::kRecursiveDoubling:
+      CAMB_CHECK(is_pow2(p));
+      return ceil_log2(p);
+    case AllgatherAlgo::kBruck:
+      return ceil_log2(p);
+    case AllgatherAlgo::kAuto:
+      break;
+  }
+  throw Error("unreachable");
+}
+
+int reduce_scatter_rounds(int p, ReduceScatterAlgo algo) {
+  CAMB_CHECK(p >= 1);
+  if (p == 1) return 0;
+  if (algo == ReduceScatterAlgo::kAuto) {
+    algo = is_pow2(p) ? ReduceScatterAlgo::kRecursiveHalving
+                      : ReduceScatterAlgo::kRing;
+  }
+  switch (algo) {
+    case ReduceScatterAlgo::kRing:
+      return p - 1;
+    case ReduceScatterAlgo::kRecursiveHalving:
+      CAMB_CHECK(is_pow2(p));
+      return ceil_log2(p);
+    case ReduceScatterAlgo::kAuto:
+      break;
+  }
+  throw Error("unreachable");
+}
+
+CollCost allgather_cost(int p, i64 total, AllgatherAlgo algo) {
+  CAMB_CHECK(p >= 1 && total >= 0);
+  CAMB_CHECK_MSG(total % p == 0, "allgather_cost assumes equal blocks");
+  CollCost cost;
+  if (p == 1) return cost;
+  const i64 moved = total - total / p;  // (1 - 1/p) * total
+  cost.recv_words = moved;
+  cost.sent_words = moved;
+  cost.messages = allgather_rounds(p, algo);
+  return cost;
+}
+
+CollCost reduce_scatter_cost(int p, i64 total, ReduceScatterAlgo algo) {
+  CAMB_CHECK(p >= 1 && total >= 0);
+  CAMB_CHECK_MSG(total % p == 0, "reduce_scatter_cost assumes equal segments");
+  CollCost cost;
+  if (p == 1) return cost;
+  const i64 moved = total - total / p;
+  cost.recv_words = moved;
+  cost.sent_words = moved;
+  cost.messages = reduce_scatter_rounds(p, algo);
+  cost.flops = moved;  // one addition per received word
+  return cost;
+}
+
+CollCost bcast_cost(int p, i64 w) {
+  CAMB_CHECK(p >= 1 && w >= 0);
+  CollCost cost;
+  if (p == 1) return cost;
+  const int rounds = ceil_log2(p);
+  cost.recv_words = w;               // every non-root receives once
+  cost.sent_words = w * rounds;      // the root's serialized sends
+  cost.messages = rounds;
+  return cost;
+}
+
+CollCost reduce_cost(int p, i64 w) {
+  CAMB_CHECK(p >= 1 && w >= 0);
+  CollCost cost;
+  if (p == 1) return cost;
+  const int rounds = ceil_log2(p);
+  cost.recv_words = w * rounds;  // the root's serialized receives
+  cost.sent_words = w;
+  cost.messages = rounds;
+  cost.flops = w * rounds;
+  return cost;
+}
+
+CollCost allreduce_cost(int p, i64 w) {
+  CAMB_CHECK(p >= 1 && w >= 0);
+  CollCost cost;
+  if (p == 1) return cost;
+  // Near-equal segmentation: the busiest rank moves at most
+  // 2 * (w - floor(w / p)) words; for divisible w this is 2 (1 - 1/p) w.
+  const i64 moved = w - w / p;
+  cost.recv_words = 2 * moved;
+  cost.sent_words = 2 * moved;
+  cost.messages = reduce_scatter_rounds(p, ReduceScatterAlgo::kAuto) +
+                  allgather_rounds(p, AllgatherAlgo::kAuto);
+  cost.flops = moved;
+  return cost;
+}
+
+i64 allgather_recv_words_exact(const std::vector<i64>& counts, int me,
+                               AllgatherAlgo algo) {
+  (void)algo;  // every variant delivers each foreign block exactly once
+  const int p = static_cast<int>(counts.size());
+  CAMB_CHECK(p >= 1 && me >= 0 && me < p);
+  i64 total = 0;
+  for (i64 c : counts) total += c;
+  return total - counts[static_cast<std::size_t>(me)];
+}
+
+i64 reduce_scatter_recv_words_exact(const std::vector<i64>& counts, int me,
+                                    ReduceScatterAlgo algo) {
+  const int p = static_cast<int>(counts.size());
+  CAMB_CHECK(p >= 1 && me >= 0 && me < p);
+  if (p == 1) return 0;
+  if (algo == ReduceScatterAlgo::kAuto) {
+    algo = is_pow2(p) ? ReduceScatterAlgo::kRecursiveHalving
+                      : ReduceScatterAlgo::kRing;
+  }
+  if (algo == ReduceScatterAlgo::kRing) {
+    // Rounds r = 0..p-2 deliver segments (me - r - 2) mod p: everything
+    // except segment (me - 1) mod p.
+    i64 total = 0;
+    for (i64 c : counts) total += c;
+    return total - counts[static_cast<std::size_t>((me - 1 + p) % p)];
+  }
+  CAMB_CHECK(is_pow2(p));
+  // Recursive halving: each round receives the half of the active range that
+  // this member keeps.
+  i64 received = 0;
+  int lo = 0, hi = p;
+  for (int dist = p / 2; dist >= 1; dist /= 2) {
+    const int mid = lo + dist;
+    const int keep_lo = me < mid ? lo : mid;
+    const int keep_hi = me < mid ? mid : hi;
+    for (int s = keep_lo; s < keep_hi; ++s) {
+      received += counts[static_cast<std::size_t>(s)];
+    }
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+  return received;
+}
+
+CollCost alltoall_cost(int p, i64 block) {
+  CAMB_CHECK(p >= 1 && block >= 0);
+  CollCost cost;
+  if (p == 1) return cost;
+  cost.recv_words = (p - 1) * block;
+  cost.sent_words = (p - 1) * block;
+  cost.messages = p - 1;
+  return cost;
+}
+
+}  // namespace camb::coll

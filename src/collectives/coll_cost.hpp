@@ -1,0 +1,77 @@
+// coll_cost.hpp — analytic α-β-γ costs of the implemented collectives.
+//
+// These closed forms are the per-rank critical-path costs of the concrete
+// implementations in this directory, and they are what the paper's §5.1 cost
+// analysis assumes ("bandwidth-optimal algorithms, such as bidirectional
+// exchange or recursive doubling/halving … cost (1 − 1/p)·w").  The
+// integration tests assert that the executed machine reproduces these counts
+// exactly, which is what licenses using the analytic engine at arbitrary P.
+#pragma once
+
+#include "collectives/allgather.hpp"
+#include "collectives/reduce_scatter.hpp"
+#include "util/math.hpp"
+
+namespace camb::coll {
+
+/// Per-rank critical-path cost of one collective invocation.
+struct CollCost {
+  i64 recv_words = 0;  ///< words received by the busiest rank
+  i64 sent_words = 0;  ///< words sent by the busiest rank
+  i64 messages = 0;    ///< messages sent by the busiest rank (latency term)
+  i64 flops = 0;       ///< reduction flops performed by the busiest rank
+
+  double alpha_beta_cost(double alpha, double beta) const {
+    return alpha * static_cast<double>(messages) +
+           beta * static_cast<double>(std::max(recv_words, sent_words));
+  }
+};
+
+/// Number of exchange rounds of each algorithm on a group of size p.
+int allgather_rounds(int p, AllgatherAlgo algo);
+int reduce_scatter_rounds(int p, ReduceScatterAlgo algo);
+
+/// All-Gather of `total` words split in equal blocks of total/p words
+/// (total divisible by p): every variant receives (1 - 1/p) * total words.
+CollCost allgather_cost(int p, i64 total, AllgatherAlgo algo = AllgatherAlgo::kAuto);
+
+/// Reduce-Scatter of `total` words into p equal segments: every variant
+/// receives (1 - 1/p) * total words and performs as many additions.
+CollCost reduce_scatter_cost(int p, i64 total,
+                             ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
+
+/// Binomial broadcast of w words to p ranks: the root sends w * ceil(log2 p).
+CollCost bcast_cost(int p, i64 w);
+
+/// Binomial reduce of w words from p ranks.
+CollCost reduce_cost(int p, i64 w);
+
+/// All-Reduce (RS + AG) of w words on p ranks: 2 (1 - 1/p) w.
+CollCost allreduce_cost(int p, i64 w);
+
+/// Pairwise All-to-All with equal blocks of `block` words: (p - 1) * block.
+CollCost alltoall_cost(int p, i64 block);
+
+/// ceil(log2 p) for p >= 1.
+int ceil_log2(int p);
+
+// ---------------------------------------------------------------------------
+// Exact per-rank predictions for arbitrary (possibly unequal) block counts.
+// These replicate the round structure of the concrete implementations and are
+// asserted against executed runs by the integration tests.
+// ---------------------------------------------------------------------------
+
+/// Words member `me` receives in an All-Gather with the given block counts.
+/// Every implemented variant delivers each foreign block exactly once:
+/// total − counts[me].
+i64 allgather_recv_words_exact(const std::vector<i64>& counts, int me,
+                               AllgatherAlgo algo = AllgatherAlgo::kAuto);
+
+/// Words member `me` receives in a Reduce-Scatter with the given segment
+/// counts.  Ring: every segment except (me − 1 mod p) passes through once.
+/// Recursive halving: the sum of the kept-half sizes over the rounds.
+i64 reduce_scatter_recv_words_exact(
+    const std::vector<i64>& counts, int me,
+    ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
+
+}  // namespace camb::coll

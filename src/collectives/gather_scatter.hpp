@@ -1,0 +1,28 @@
+// gather_scatter.hpp — Gather and Scatter collectives (linear).
+//
+// Used by distribution builders and verification plumbing, where the
+// root-centric data motion is inherent (collecting a distributed matrix for
+// comparison against the serial reference).  Linear implementations: the
+// root's bandwidth is (total − own) words either way, which is already
+// optimal; only latency would improve with a tree.
+#pragma once
+
+#include <vector>
+
+#include "collectives/group.hpp"
+
+namespace camb::coll {
+
+/// Gather: member i's `local` (counts[i] words) is concatenated on the root
+/// in group order.  Returns the concatenation on the root, empty elsewhere.
+std::vector<double> gather(RankCtx& ctx, const std::vector<int>& group,
+                           int root_idx, const std::vector<i64>& counts,
+                           const std::vector<double>& local, int tag_base);
+
+/// Scatter: the root's `full` buffer (counts_total words, group order) is
+/// split; member i receives counts[i] words.  `full` is ignored on non-roots.
+std::vector<double> scatter(RankCtx& ctx, const std::vector<int>& group,
+                            int root_idx, const std::vector<i64>& counts,
+                            const std::vector<double>& full, int tag_base);
+
+}  // namespace camb::coll

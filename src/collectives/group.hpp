@@ -1,0 +1,63 @@
+// group.hpp — process groups and shared conventions for collectives.
+//
+// A collective operates over a *group*: an ordered list of distinct machine
+// ranks.  Every member calls the collective with an identical group vector
+// (this mirrors a communicator).  Groups are typically fibers of the logical
+// processor grid (§5), and disjoint groups run their collectives
+// concurrently — exactly the "simultaneous All-Gathers" of Algorithm 1.
+//
+// Tag discipline: each collective *call site* passes a distinct `tag_base`;
+// a collective may use tags in [tag_base, tag_base + kTagStride).  Since a
+// rank participates in at most one collective per call site at a time and
+// message matching is exact on (src, tag), this rules out cross-talk.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace camb::coll {
+
+/// Tags available to a single collective invocation.
+inline constexpr int kTagStride = 1 << 12;
+
+/// Index of `rank` within `group`; throws if absent.
+inline int group_index(const std::vector<int>& group, int rank) {
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i] == rank) return static_cast<int>(i);
+  }
+  throw Error("rank " + std::to_string(rank) + " not in group");
+}
+
+/// Validates a group: non-empty, distinct members, all in range.
+inline void validate_group(const std::vector<int>& group, int nprocs) {
+  CAMB_CHECK_MSG(!group.empty(), "group must be non-empty");
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    CAMB_CHECK_MSG(group[i] >= 0 && group[i] < nprocs, "group rank out of range");
+    for (std::size_t j = i + 1; j < group.size(); ++j) {
+      CAMB_CHECK_MSG(group[i] != group[j], "group ranks must be distinct");
+    }
+  }
+}
+
+/// Sum of a count vector (payload sizes per member).
+inline i64 counts_total(const std::vector<i64>& counts) {
+  i64 total = 0;
+  for (i64 c : counts) {
+    CAMB_CHECK_MSG(c >= 0, "counts must be non-negative");
+    total += c;
+  }
+  return total;
+}
+
+/// Offset of member `idx`'s block within the concatenated buffer.
+inline i64 counts_offset(const std::vector<i64>& counts, int idx) {
+  CAMB_CHECK(idx >= 0 && static_cast<std::size_t>(idx) <= counts.size());
+  i64 offset = 0;
+  for (int i = 0; i < idx; ++i) offset += counts[static_cast<std::size_t>(i)];
+  return offset;
+}
+
+}  // namespace camb::coll

@@ -1,0 +1,37 @@
+#include "collectives/reduce.hpp"
+
+namespace camb::coll {
+
+std::vector<double> reduce(RankCtx& ctx, const std::vector<int>& group,
+                           int root_idx, std::vector<double> data,
+                           int tag_base) {
+  validate_group(group, ctx.nprocs());
+  const int p = static_cast<int>(group.size());
+  CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "reduce root out of range");
+  const int me = group_index(group, ctx.rank());
+  const int v = (me - root_idx + p) % p;
+  // Mirror image of binomial bcast: distances shrink from the top.
+  int top = 1;
+  while (top < p) top <<= 1;
+  for (int dist = top >> 1; dist >= 1; dist >>= 1) {
+    const int round = [&] {  // stable per-distance tag
+      int t = 0, d = top >> 1;
+      while (d != dist) { d >>= 1; ++t; }
+      return t;
+    }();
+    if (v >= dist && v < 2 * dist) {
+      const int dst = group[static_cast<std::size_t>(((v - dist) + root_idx) % p)];
+      ctx.send(dst, tag_base + round, std::move(data));
+      data.clear();
+    } else if (v < dist && v + dist < p) {
+      const int src = group[static_cast<std::size_t>(((v + dist) + root_idx) % p)];
+      std::vector<double> incoming = ctx.recv(src, tag_base + round);
+      CAMB_CHECK(incoming.size() == data.size());
+      for (std::size_t j = 0; j < data.size(); ++j) data[j] += incoming[j];
+    }
+  }
+  if (v != 0) data.clear();
+  return data;
+}
+
+}  // namespace camb::coll

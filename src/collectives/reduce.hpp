@@ -1,0 +1,19 @@
+// reduce.hpp — Reduce collective (binomial tree, sum).
+//
+// Element-wise sum of every member's contribution lands on the root.
+// ⌈log2 p⌉ rounds; each non-root sends its partial exactly once.
+#pragma once
+
+#include <vector>
+
+#include "collectives/group.hpp"
+
+namespace camb::coll {
+
+/// Reduces (element-wise sum) `data` across the group onto member `root_idx`.
+/// Returns the sum on the root; returns an empty vector on other members.
+std::vector<double> reduce(RankCtx& ctx, const std::vector<int>& group,
+                           int root_idx, std::vector<double> data,
+                           int tag_base);
+
+}  // namespace camb::coll

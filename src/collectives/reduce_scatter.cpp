@@ -1,0 +1,125 @@
+#include "collectives/reduce_scatter.hpp"
+
+namespace camb::coll {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void add_into(std::vector<double>& acc, i64 offset,
+              const std::vector<double>& values) {
+  CAMB_CHECK(offset + static_cast<i64>(values.size()) <=
+             static_cast<i64>(acc.size()));
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    acc[static_cast<std::size_t>(offset) + j] += values[j];
+  }
+}
+
+/// Ring Reduce-Scatter: partial sums travel around the ring, with member i
+/// sending segment (i - r - 1) mod p in round r and accumulating the incoming
+/// segment; after p - 1 rounds member i holds the complete sum of segment i.
+std::vector<double> reduce_scatter_ring(RankCtx& ctx,
+                                        const std::vector<int>& group,
+                                        const std::vector<i64>& counts,
+                                        std::vector<double> acc, int tag_base) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  const int next = group[static_cast<std::size_t>((me + 1) % p)];
+  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  for (int r = 0; r < p - 1; ++r) {
+    const int send_seg = (me - r - 1 + 2 * p) % p;
+    const int recv_seg = (me - r - 2 + 2 * p) % p;
+    const i64 send_off = counts_offset(counts, send_seg);
+    const i64 send_len = counts[static_cast<std::size_t>(send_seg)];
+    std::vector<double> chunk(acc.begin() + send_off,
+                              acc.begin() + send_off + send_len);
+    ctx.send(next, tag_base + r, std::move(chunk));
+    std::vector<double> incoming = ctx.recv(prev, tag_base + r);
+    CAMB_CHECK(static_cast<i64>(incoming.size()) ==
+               counts[static_cast<std::size_t>(recv_seg)]);
+    add_into(acc, counts_offset(counts, recv_seg), incoming);
+  }
+  const i64 my_off = counts_offset(counts, me);
+  const i64 my_len = counts[static_cast<std::size_t>(me)];
+  return std::vector<double>(acc.begin() + my_off, acc.begin() + my_off + my_len);
+}
+
+/// Recursive-halving Reduce-Scatter (power-of-two group size).  The active
+/// segment range halves each round: each member ships the half belonging to
+/// its partner's side of the group and accumulates the half it keeps.
+std::vector<double> reduce_scatter_recursive_halving(
+    RankCtx& ctx, const std::vector<int>& group, const std::vector<i64>& counts,
+    std::vector<double> acc, int tag_base) {
+  const int p = static_cast<int>(group.size());
+  const int me = group_index(group, ctx.rank());
+  int lo = 0, hi = p;  // active segment-index range, always contains `me`
+  int round = 0;
+  for (int dist = p / 2; dist >= 1; dist /= 2, ++round) {
+    const int mid = lo + dist;
+    const bool lower_half = me < mid;
+    const int partner_idx = lower_half ? me + dist : me - dist;
+    const int partner = group[static_cast<std::size_t>(partner_idx)];
+    const int send_lo = lower_half ? mid : lo;
+    const int send_hi = lower_half ? hi : mid;
+    const i64 send_off = counts_offset(counts, send_lo);
+    const i64 send_end = counts_offset(counts, send_hi);
+    std::vector<double> chunk(acc.begin() + send_off, acc.begin() + send_end);
+    std::vector<double> incoming =
+        ctx.sendrecv(partner, tag_base + round, std::move(chunk));
+    const int keep_lo = lower_half ? lo : mid;
+    const int keep_hi = lower_half ? mid : hi;
+    CAMB_CHECK(static_cast<i64>(incoming.size()) ==
+               counts_offset(counts, keep_hi) - counts_offset(counts, keep_lo));
+    add_into(acc, counts_offset(counts, keep_lo), incoming);
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+  CAMB_CHECK(lo == me && hi == me + 1);
+  const i64 my_off = counts_offset(counts, me);
+  const i64 my_len = counts[static_cast<std::size_t>(me)];
+  return std::vector<double>(acc.begin() + my_off, acc.begin() + my_off + my_len);
+}
+
+}  // namespace
+
+std::vector<double> reduce_scatter(RankCtx& ctx, const std::vector<int>& group,
+                                   const std::vector<i64>& counts,
+                                   const std::vector<double>& full,
+                                   int tag_base, ReduceScatterAlgo algo) {
+  validate_group(group, ctx.nprocs());
+  CAMB_CHECK_MSG(counts.size() == group.size(),
+                 "counts arity must match group size");
+  CAMB_CHECK_MSG(static_cast<i64>(full.size()) == counts_total(counts),
+                 "input size must equal counts total");
+  if (group.size() == 1) return full;
+
+  if (algo == ReduceScatterAlgo::kAuto) {
+    algo = is_pow2(group.size()) ? ReduceScatterAlgo::kRecursiveHalving
+                                 : ReduceScatterAlgo::kRing;
+  }
+  switch (algo) {
+    case ReduceScatterAlgo::kRing:
+      return reduce_scatter_ring(ctx, group, counts, full, tag_base);
+    case ReduceScatterAlgo::kRecursiveHalving:
+      CAMB_CHECK_MSG(is_pow2(group.size()),
+                     "recursive halving requires power-of-two group");
+      return reduce_scatter_recursive_halving(ctx, group, counts, full,
+                                              tag_base);
+    case ReduceScatterAlgo::kAuto:
+      break;
+  }
+  throw Error("unreachable reduce_scatter algo");
+}
+
+std::vector<double> reduce_scatter_equal(RankCtx& ctx,
+                                         const std::vector<int>& group,
+                                         const std::vector<double>& full,
+                                         int tag_base, ReduceScatterAlgo algo) {
+  const auto p = static_cast<i64>(group.size());
+  CAMB_CHECK_MSG(static_cast<i64>(full.size()) % p == 0,
+                 "reduce_scatter_equal requires |full| divisible by |group|");
+  std::vector<i64> counts(group.size(), static_cast<i64>(full.size()) / p);
+  return reduce_scatter(ctx, group, counts, full, tag_base, algo);
+}
+
+}  // namespace camb::coll

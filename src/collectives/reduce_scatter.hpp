@@ -1,0 +1,41 @@
+// reduce_scatter.hpp — Reduce-Scatter collective (used by Algorithm 1, line 8).
+//
+// Every member contributes a full-length vector; the element-wise sum is
+// computed and scattered so member i ends with segment i.  Both variants are
+// bandwidth optimal — each rank receives exactly (total − own segment) words,
+// i.e. (1 − 1/p)·w for equal segments, matching §5.1 — and each rank performs
+// (total − own) additions, the flop count noted in §5.1.
+//
+//   ring               p − 1 rounds     any group size, any segment sizes
+//   recursive halving  ⌈log2 p⌉ rounds  power-of-two group size
+#pragma once
+
+#include <vector>
+
+#include "collectives/group.hpp"
+
+namespace camb::coll {
+
+enum class ReduceScatterAlgo {
+  kRing,
+  kRecursiveHalving,
+  /// recursive halving when |group| is a power of two, otherwise ring.
+  kAuto,
+};
+
+/// Runs the Reduce-Scatter.  `full` is this rank's contribution (size
+/// counts_total(counts)); segment i (size counts[i]) of the element-wise sum
+/// is returned to group member i.
+std::vector<double> reduce_scatter(RankCtx& ctx, const std::vector<int>& group,
+                                   const std::vector<i64>& counts,
+                                   const std::vector<double>& full,
+                                   int tag_base,
+                                   ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
+
+/// Equal-segment convenience wrapper: splits full.size() into |group| equal
+/// segments (full.size() must be divisible by |group|).
+std::vector<double> reduce_scatter_equal(
+    RankCtx& ctx, const std::vector<int>& group, const std::vector<double>& full,
+    int tag_base, ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
+
+}  // namespace camb::coll

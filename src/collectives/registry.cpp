@@ -1,0 +1,36 @@
+#include "collectives/registry.hpp"
+
+namespace camb::coll {
+
+namespace {
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+bool AllgatherVariant::supports(int p) const {
+  if (algo == AllgatherAlgo::kRecursiveDoubling) return is_pow2(p);
+  return p >= 1;
+}
+
+bool ReduceScatterVariant::supports(int p) const {
+  if (algo == ReduceScatterAlgo::kRecursiveHalving) return is_pow2(p);
+  return p >= 1;
+}
+
+const std::vector<AllgatherVariant>& allgather_variants() {
+  static const std::vector<AllgatherVariant> variants = {
+      {"ring", AllgatherAlgo::kRing},
+      {"recursive_doubling", AllgatherAlgo::kRecursiveDoubling},
+      {"bruck", AllgatherAlgo::kBruck},
+  };
+  return variants;
+}
+
+const std::vector<ReduceScatterVariant>& reduce_scatter_variants() {
+  static const std::vector<ReduceScatterVariant> variants = {
+      {"ring", ReduceScatterAlgo::kRing},
+      {"recursive_halving", ReduceScatterAlgo::kRecursiveHalving},
+  };
+  return variants;
+}
+
+}  // namespace camb::coll

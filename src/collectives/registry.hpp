@@ -1,0 +1,32 @@
+// registry.hpp — named variants of All-Gather / Reduce-Scatter.
+//
+// Tests and the collectives ablation bench sweep every variant by name; this
+// registry is the single source of truth for which variants exist and which
+// group sizes each supports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collectives/allgather.hpp"
+#include "collectives/reduce_scatter.hpp"
+
+namespace camb::coll {
+
+struct AllgatherVariant {
+  std::string name;
+  AllgatherAlgo algo;
+  /// True if this variant supports a group of size p.
+  bool supports(int p) const;
+};
+
+struct ReduceScatterVariant {
+  std::string name;
+  ReduceScatterAlgo algo;
+  bool supports(int p) const;
+};
+
+const std::vector<AllgatherVariant>& allgather_variants();
+const std::vector<ReduceScatterVariant>& reduce_scatter_variants();
+
+}  // namespace camb::coll

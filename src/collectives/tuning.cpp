@@ -1,0 +1,142 @@
+#include "collectives/tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace camb::coll {
+
+namespace {
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+double allgather_model_time(int p, i64 total_words, AllgatherAlgo algo,
+                            const TuningParams& params) {
+  const CollCost cost = allgather_cost(p, total_words, algo);
+  return params.alpha * static_cast<double>(cost.messages) +
+         params.beta * static_cast<double>(cost.recv_words);
+}
+
+double reduce_scatter_model_time(int p, i64 total_words,
+                                 ReduceScatterAlgo algo,
+                                 const TuningParams& params) {
+  const CollCost cost = reduce_scatter_cost(p, total_words, algo);
+  return params.alpha * static_cast<double>(cost.messages) +
+         params.beta * static_cast<double>(cost.recv_words);
+}
+
+double alltoall_model_time(int p, i64 block_words, AlltoallAlgo algo,
+                           const TuningParams& params) {
+  CAMB_CHECK(p >= 1 && block_words >= 0);
+  if (p == 1) return 0.0;
+  switch (algo) {
+    case AlltoallAlgo::kPairwise:
+      return params.alpha * (p - 1) +
+             params.beta * static_cast<double>((p - 1) * block_words);
+    case AlltoallAlgo::kBruck:
+      return params.alpha * ceil_log2(p) +
+             params.beta *
+                 static_cast<double>(alltoall_bruck_recv_words(p, block_words));
+  }
+  throw Error("unreachable alltoall algo");
+}
+
+AllgatherAlgo choose_allgather(int p, i64 total_words,
+                               const TuningParams& params) {
+  CAMB_CHECK(p >= 1);
+  if (p == 1) return AllgatherAlgo::kRing;  // degenerate, free either way
+  // Same bandwidth everywhere; the log-round variants win or tie on rounds.
+  AllgatherAlgo best = AllgatherAlgo::kRing;
+  double best_time = allgather_model_time(p, total_words, best, params);
+  for (AllgatherAlgo algo : {AllgatherAlgo::kRecursiveDoubling,
+                             AllgatherAlgo::kBruck}) {
+    if (algo == AllgatherAlgo::kRecursiveDoubling && !is_pow2(p)) continue;
+    const double time = allgather_model_time(p, total_words, algo, params);
+    if (time < best_time) {
+      best_time = time;
+      best = algo;
+    }
+  }
+  return best;
+}
+
+ReduceScatterAlgo choose_reduce_scatter(int p, i64 total_words,
+                                        const TuningParams& params) {
+  CAMB_CHECK(p >= 1);
+  if (p == 1 || !is_pow2(p)) return ReduceScatterAlgo::kRing;
+  const double ring =
+      reduce_scatter_model_time(p, total_words, ReduceScatterAlgo::kRing, params);
+  const double halving = reduce_scatter_model_time(
+      p, total_words, ReduceScatterAlgo::kRecursiveHalving, params);
+  return halving <= ring ? ReduceScatterAlgo::kRecursiveHalving
+                         : ReduceScatterAlgo::kRing;
+}
+
+AlltoallAlgo choose_alltoall(int p, i64 block_words,
+                             const TuningParams& params) {
+  CAMB_CHECK(p >= 1);
+  if (p == 1) return AlltoallAlgo::kPairwise;
+  const double pairwise =
+      alltoall_model_time(p, block_words, AlltoallAlgo::kPairwise, params);
+  const double bruck =
+      alltoall_model_time(p, block_words, AlltoallAlgo::kBruck, params);
+  return bruck < pairwise ? AlltoallAlgo::kBruck : AlltoallAlgo::kPairwise;
+}
+
+double bcast_model_time(int p, i64 w, BcastAlgo algo, i64 segments,
+                        const TuningParams& params) {
+  CAMB_CHECK(p >= 1 && w >= 0);
+  if (p == 1) return 0.0;
+  switch (algo) {
+    case BcastAlgo::kBinomial:
+      return ceil_log2(p) *
+             (params.alpha + params.beta * static_cast<double>(w));
+    case BcastAlgo::kPipelinedRing: {
+      segments = std::max<i64>(1, std::min(segments, std::max<i64>(w, 1)));
+      const double seg_words = static_cast<double>(w) /
+                               static_cast<double>(segments);
+      // The last rank finishes after p - 2 fill hops plus `segments` drains.
+      return static_cast<double>(p - 2 + segments) *
+             (params.alpha + params.beta * seg_words);
+    }
+  }
+  throw Error("unreachable bcast algo");
+}
+
+i64 optimal_bcast_segments(int p, i64 w, const TuningParams& params) {
+  CAMB_CHECK(p >= 1 && w >= 0);
+  if (p <= 2 || w <= 1 || params.alpha <= 0) return std::max<i64>(1, w > 0);
+  const double s_star = std::sqrt(params.beta * static_cast<double>(w) *
+                                  static_cast<double>(p - 2) / params.alpha);
+  const auto clamped = static_cast<i64>(std::llround(std::max(1.0, s_star)));
+  return std::min<i64>(std::max<i64>(1, clamped), w);
+}
+
+BcastAlgo choose_bcast(int p, i64 w, const TuningParams& params) {
+  CAMB_CHECK(p >= 1);
+  if (p == 1) return BcastAlgo::kBinomial;
+  const i64 segments = optimal_bcast_segments(p, w, params);
+  const double ring =
+      bcast_model_time(p, w, BcastAlgo::kPipelinedRing, segments, params);
+  const double binomial =
+      bcast_model_time(p, w, BcastAlgo::kBinomial, 1, params);
+  return ring < binomial ? BcastAlgo::kPipelinedRing : BcastAlgo::kBinomial;
+}
+
+double alltoall_bruck_crossover_block(int p, const TuningParams& params) {
+  CAMB_CHECK(p >= 1);
+  const double saved_messages =
+      static_cast<double>(p - 1 - ceil_log2(p));
+  const double extra_words_per_block =
+      static_cast<double>(alltoall_bruck_recv_words(p, 1) - (p - 1));
+  if (extra_words_per_block <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (saved_messages <= 0) return 0.0;
+  return params.alpha * saved_messages /
+         (params.beta * extra_words_per_block);
+}
+
+}  // namespace camb::coll

@@ -1,0 +1,65 @@
+// tuning.hpp — model-driven collective algorithm selection.
+//
+// Given machine parameters (α per message, β per word), pick the variant
+// minimizing the modeled critical-path time α·rounds + β·words.  Within this
+// model the log-round All-Gather / Reduce-Scatter variants dominate the ring
+// outright (identical bandwidth-optimal words, fewer rounds); the ring
+// remains in the library because on real networks its single-neighbour,
+// equal-sized messages pipeline better — a consideration outside the α-β
+// model, documented here so nobody mistakes the model's verdict for a
+// general one.  The interesting in-model trade-off is All-to-All: Bruck's
+// ⌈log2 p⌉ rounds move strictly more words than pairwise exchange's p − 1
+// rounds, so the winner flips with the block size at a predictable
+// crossover.
+#pragma once
+
+#include "collectives/alltoall.hpp"
+#include "collectives/bcast.hpp"
+#include "collectives/coll_cost.hpp"
+
+namespace camb::coll {
+
+struct TuningParams {
+  double alpha = 1e-6;  ///< seconds per message
+  double beta = 1e-9;   ///< seconds per word
+};
+
+/// Modeled critical-path time of one collective invocation.
+double allgather_model_time(int p, i64 total_words, AllgatherAlgo algo,
+                            const TuningParams& params);
+double reduce_scatter_model_time(int p, i64 total_words, ReduceScatterAlgo algo,
+                                 const TuningParams& params);
+double alltoall_model_time(int p, i64 block_words, AlltoallAlgo algo,
+                           const TuningParams& params);
+
+/// Variant minimizing the modeled time (ties broken toward fewer messages).
+AllgatherAlgo choose_allgather(int p, i64 total_words,
+                               const TuningParams& params);
+ReduceScatterAlgo choose_reduce_scatter(int p, i64 total_words,
+                                        const TuningParams& params);
+AlltoallAlgo choose_alltoall(int p, i64 block_words,
+                             const TuningParams& params);
+
+/// The block size below which Bruck beats pairwise All-to-All on this
+/// machine: solves α(p−1−⌈log2 p⌉) = β·(bruck_words − pairwise_words).
+/// Returns +inf when Bruck always wins (p <= 2) and 0 when it never does.
+double alltoall_bruck_crossover_block(int p, const TuningParams& params);
+
+// ---------------------------------------------------------------------------
+// Broadcast: binomial vs pipelined ring.
+// ---------------------------------------------------------------------------
+
+/// Modeled time of a broadcast of w words on p ranks.
+///   binomial:        ⌈log2 p⌉ · (α + βw)
+///   pipelined ring:  (p − 2 + s) · (α + βw/s)   (s = segments)
+double bcast_model_time(int p, i64 w, BcastAlgo algo, i64 segments,
+                        const TuningParams& params);
+
+/// The segment count minimizing the pipelined ring's modeled time:
+/// s* = sqrt(βw(p − 2)/α), clamped to [1, w].
+i64 optimal_bcast_segments(int p, i64 w, const TuningParams& params);
+
+/// Variant minimizing the modeled time (ring evaluated at s*).
+BcastAlgo choose_bcast(int p, i64 w, const TuningParams& params);
+
+}  // namespace camb::coll

@@ -1,0 +1,92 @@
+#include "core/cost_eq3.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace camb::core {
+
+Eq3Terms alg1_positive_terms(const Shape& shape, const Grid3& grid) {
+  const auto n1 = static_cast<double>(shape.n1);
+  const auto n2 = static_cast<double>(shape.n2);
+  const auto n3 = static_cast<double>(shape.n3);
+  const auto p1 = static_cast<double>(grid.p1);
+  const auto p2 = static_cast<double>(grid.p2);
+  const auto p3 = static_cast<double>(grid.p3);
+  return Eq3Terms{n1 * n2 / (p1 * p2), n2 * n3 / (p2 * p3), n1 * n3 / (p1 * p3)};
+}
+
+double alg1_cost_words(const Shape& shape, const Grid3& grid) {
+  const Eq3Terms terms = alg1_positive_terms(shape, grid);
+  const auto P = static_cast<double>(grid.total());
+  const double owned = static_cast<double>(shape.total_matrix_words()) / P;
+  return terms.sum() - owned;
+}
+
+i64 alg1_cost_words_exact(const Shape& shape, const Grid3& grid) {
+  CAMB_CHECK_MSG(grid_divides(shape, grid),
+                 "exact eq. 3 requires the grid to divide the dimensions");
+  const i64 a = checked_mul(shape.n1, shape.n2);
+  const i64 b = checked_mul(shape.n2, shape.n3);
+  const i64 c = checked_mul(shape.n1, shape.n3);
+  // Each local block size is an exact integer under divisibility, and each
+  // (1 - 1/p) w term expands to w - w/p with integer w/p.
+  const i64 wa = a / (grid.p1 * grid.p2);
+  const i64 wb = b / (grid.p2 * grid.p3);
+  const i64 wc = c / (grid.p1 * grid.p3);
+  // Full divisibility: each fiber must also divide its block, so that the
+  // "distributed evenly across the fiber" layout has integral chunks.
+  CAMB_CHECK_MSG(wa % grid.p3 == 0 && wb % grid.p1 == 0 && wc % grid.p2 == 0,
+                 "exact eq. 3 requires fibers to divide their blocks evenly");
+  return (wa - wa / grid.p3) + (wb - wb / grid.p1) + (wc - wc / grid.p2);
+}
+
+Alg1CommBreakdown alg1_comm_breakdown(const Shape& shape, const Grid3& grid) {
+  const Eq3Terms terms = alg1_positive_terms(shape, grid);
+  const auto p1 = static_cast<double>(grid.p1);
+  const auto p2 = static_cast<double>(grid.p2);
+  const auto p3 = static_cast<double>(grid.p3);
+  return Alg1CommBreakdown{
+      (1.0 - 1.0 / p3) * terms.a_words,
+      (1.0 - 1.0 / p1) * terms.b_words,
+      (1.0 - 1.0 / p2) * terms.c_words,
+  };
+}
+
+double alg1_memory_words(const Shape& shape, const Grid3& grid) {
+  // Gathered A and B blocks plus the local product D (same size as the C
+  // term before reduction): exactly the positive terms of eq. 3.
+  return alg1_positive_terms(shape, grid).sum();
+}
+
+double alg1_flops(const Shape& shape, const Grid3& grid) {
+  return static_cast<double>(shape.flops()) /
+         static_cast<double>(grid.total());
+}
+
+double alg1_reduction_flops(const Shape& shape, const Grid3& grid) {
+  const Eq3Terms terms = alg1_positive_terms(shape, grid);
+  return (1.0 - 1.0 / static_cast<double>(grid.p2)) * terms.c_words;
+}
+
+std::vector<ScalingPoint> scaling_sweep(double m, double n, double k, double M,
+                                        const std::vector<double>& Ps) {
+  CAMB_CHECK_MSG(M > 0, "local memory must be positive");
+  std::vector<ScalingPoint> out;
+  out.reserve(Ps.size());
+  for (double P : Ps) {
+    ScalingPoint pt;
+    pt.P = P;
+    pt.regime = classify_regime(m, n, k, P);
+    pt.mem_independent = memory_independent_bound_sorted(m, n, k, P).words;
+    pt.mem_dependent = memory_dependent_leading(m, n, k, P, M);
+    pt.bound = std::max(pt.mem_independent, pt.mem_dependent);
+    // §6.2: in the 3D regime Alg. 1 needs ~3 (mnk/P)^{2/3} local words; flag
+    // when even the sufficient-memory threshold is violated.
+    pt.memory_limited = M < sufficient_memory_threshold(m, n, k, P);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace camb::core

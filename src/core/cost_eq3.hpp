@@ -1,0 +1,76 @@
+// cost_eq3.hpp — §5.1: the closed-form cost model of Algorithm 1 (eq. 3),
+// its memory footprint, and the §6.2 strong-scaling analysis.
+//
+// With bandwidth-optimal collectives, Algorithm 1 on a p1×p2×p3 grid
+// communicates, per processor,
+//
+//   n1n2/(p1p2) + n2n3/(p2p3) + n1n3/(p1p3) − (n1n2 + n2n3 + n1n3)/P   (eq. 3)
+//
+// words.  The first three ("positive") terms are also the local memory the
+// algorithm needs (§6.2).  The integration tests assert the executed machine
+// reproduces these numbers exactly under divisibility.
+#pragma once
+
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/grid.hpp"
+
+namespace camb::core {
+
+/// The three positive terms of eq. 3: the words of A, B, and C data each
+/// processor must hold after the All-Gathers / before the Reduce-Scatter.
+struct Eq3Terms {
+  double a_words = 0;  ///< n1n2/(p1p2)
+  double b_words = 0;  ///< n2n3/(p2p3)
+  double c_words = 0;  ///< n1n3/(p1p3)
+
+  double sum() const { return a_words + b_words + c_words; }
+};
+
+Eq3Terms alg1_positive_terms(const Shape& shape, const Grid3& grid);
+
+/// Full eq. 3 communication cost (words per processor, critical path).
+double alg1_cost_words(const Shape& shape, const Grid3& grid);
+
+/// Exact integer eq. 3 when the grid divides the dimensions; throws if not.
+i64 alg1_cost_words_exact(const Shape& shape, const Grid3& grid);
+
+/// Per-collective communication of Algorithm 1 on this grid — the
+/// (1 − 1/p_i)·w terms of §5.1, in words received per rank.
+struct Alg1CommBreakdown {
+  double allgather_a = 0;      ///< (1 − 1/p3) · n1n2/(p1p2)
+  double allgather_b = 0;      ///< (1 − 1/p1) · n2n3/(p2p3)
+  double reduce_scatter_c = 0; ///< (1 − 1/p2) · n1n3/(p1p3)
+
+  double total() const { return allgather_a + allgather_b + reduce_scatter_c; }
+};
+Alg1CommBreakdown alg1_comm_breakdown(const Shape& shape, const Grid3& grid);
+
+/// Local memory words Algorithm 1 needs per processor: gathered inputs plus
+/// the local product D (§6.2 identifies this with the positive terms of
+/// eq. 3; D is the same size as the C term's pre-reduction data).
+double alg1_memory_words(const Shape& shape, const Grid3& grid);
+
+/// Local multiplication flops per processor: n1 n2 n3 / P.
+double alg1_flops(const Shape& shape, const Grid3& grid);
+
+/// Reduction flops per processor: (1 − 1/p2) n1n3/(p1p3) (§5.1).
+double alg1_reduction_flops(const Shape& shape, const Grid3& grid);
+
+/// One point of the §6.2 strong-scaling sweep.
+struct ScalingPoint {
+  double P = 1;
+  RegimeCase regime = RegimeCase::kThreeD;
+  double mem_independent = 0;  ///< Theorem 3 words
+  double mem_dependent = 0;    ///< 2mnk/(P√M) words
+  double bound = 0;            ///< max of the two
+  bool memory_limited = false; ///< Alg. 1's 3D footprint would exceed M
+};
+
+/// Evaluate the combined bound across processor counts for fixed local
+/// memory M (the §6.2 analysis / strong-scaling picture of Ballard et al.).
+std::vector<ScalingPoint> scaling_sweep(double m, double n, double k, double M,
+                                        const std::vector<double>& Ps);
+
+}  // namespace camb::core

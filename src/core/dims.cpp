@@ -1,0 +1,68 @@
+#include "core/dims.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace camb::core {
+
+std::string to_string(MatrixId id) {
+  switch (id) {
+    case MatrixId::A: return "A";
+    case MatrixId::B: return "B";
+    case MatrixId::C: return "C";
+  }
+  throw Error("bad MatrixId");
+}
+
+i64 Shape::flops() const { return checked_mul3(n1, n2, n3); }
+
+MatrixId SortedDims::small_matrix() const {
+  // The face of size n*k spans the median and min axes, i.e. it omits the
+  // axis carrying m.
+  return matrix_without_axis(axis_of[0]);
+}
+
+MatrixId SortedDims::mid_matrix() const { return matrix_without_axis(axis_of[1]); }
+
+MatrixId SortedDims::large_matrix() const { return matrix_without_axis(axis_of[2]); }
+
+std::array<i64, 3> SortedDims::face_sizes() const {
+  return {checked_mul(n, k), checked_mul(m, k), checked_mul(m, n)};
+}
+
+SortedDims sort_dims(const Shape& shape) {
+  CAMB_CHECK_MSG(shape.n1 >= 1 && shape.n2 >= 1 && shape.n3 >= 1,
+                 "all dimensions must be >= 1");
+  const std::array<i64, 3> raw = {shape.n1, shape.n2, shape.n3};
+  std::array<int, 3> order = {0, 1, 2};
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return raw[static_cast<std::size_t>(a)] >
+                                              raw[static_cast<std::size_t>(b)]; });
+  SortedDims out;
+  out.m = raw[static_cast<std::size_t>(order[0])];
+  out.n = raw[static_cast<std::size_t>(order[1])];
+  out.k = raw[static_cast<std::size_t>(order[2])];
+  out.axis_of = order;
+  return out;
+}
+
+MatrixId matrix_without_axis(int axis) {
+  switch (axis) {
+    case 0: return MatrixId::B;  // n1 appears in A (n1×n2) and C (n1×n3)
+    case 1: return MatrixId::C;  // n2 appears in A and B
+    case 2: return MatrixId::A;  // n3 appears in B and C
+  }
+  throw Error("axis must be 0, 1, or 2");
+}
+
+i64 matrix_size(const Shape& shape, MatrixId id) {
+  switch (id) {
+    case MatrixId::A: return shape.size_a();
+    case MatrixId::B: return shape.size_b();
+    case MatrixId::C: return shape.size_c();
+  }
+  throw Error("bad MatrixId");
+}
+
+}  // namespace camb::core

@@ -1,0 +1,74 @@
+// dims.hpp — problem shapes and the (m, n, k) sorted view.
+//
+// The paper states everything in terms of the sorted dimensions
+// m = max{n1,n2,n3}, n = median, k = min (Theorem 3), while algorithms work
+// with the raw (n1, n2, n3): A is n1×n2, B is n2×n3, C = A·B is n1×n3.
+// This header owns the mapping between the two views, including which matrix
+// (A, B, or C) plays the role of the "smallest" (nk), "middle" (mk), and
+// "largest" (mn) face of the iteration cuboid.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace camb::core {
+
+/// Which matrix a face of the iteration space corresponds to.
+enum class MatrixId { A, B, C };
+
+std::string to_string(MatrixId id);
+
+/// The raw problem shape: multiply an n1×n2 matrix A by an n2×n3 matrix B.
+struct Shape {
+  i64 n1 = 1;  ///< rows of A and C
+  i64 n2 = 1;  ///< cols of A, rows of B (the contracted dimension)
+  i64 n3 = 1;  ///< cols of B and C
+
+  /// Total scalar multiplications n1*n2*n3 (overflow-checked).
+  i64 flops() const;
+
+  /// Element counts of the three matrices.
+  i64 size_a() const { return checked_mul(n1, n2); }
+  i64 size_b() const { return checked_mul(n2, n3); }
+  i64 size_c() const { return checked_mul(n1, n3); }
+  i64 total_matrix_words() const { return size_a() + size_b() + size_c(); }
+
+  bool operator==(const Shape&) const = default;
+};
+
+/// The sorted view used by Theorem 3: m >= n >= k, plus the permutation
+/// linking sorted dimensions back to (n1, n2, n3).
+struct SortedDims {
+  i64 m = 1;  ///< max dimension
+  i64 n = 1;  ///< median dimension
+  i64 k = 1;  ///< min dimension
+
+  /// axis_of[0] is which raw axis (0 for n1, 1 for n2, 2 for n3) carries m,
+  /// axis_of[1] carries n, axis_of[2] carries k.  Ties broken by axis order,
+  /// so the permutation is always well defined.
+  std::array<int, 3> axis_of = {0, 1, 2};
+
+  /// The matrix that does NOT involve dimension m: its size is n*k, and it is
+  /// the face corresponding to x1 in Lemma 2. Similarly mid (mk, x2) and
+  /// large (mn, x3).
+  MatrixId small_matrix() const;
+  MatrixId mid_matrix() const;
+  MatrixId large_matrix() const;
+
+  /// Face sizes in sorted order {nk, mk, mn}.
+  std::array<i64, 3> face_sizes() const;
+};
+
+/// Build the sorted view of a shape.
+SortedDims sort_dims(const Shape& shape);
+
+/// The matrix NOT involving raw axis `axis` (0->B, 1->C, 2->A): axis 0 (n1)
+/// appears in A and C, so the untouched matrix is B, and so on.
+MatrixId matrix_without_axis(int axis);
+
+/// Size of matrix `id` under `shape`.
+i64 matrix_size(const Shape& shape, MatrixId id);
+
+}  // namespace camb::core

@@ -1,0 +1,75 @@
+#include "core/general_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace camb::core {
+
+double BilinearComputation::volume() const {
+  return extents[0] * extents[1] * extents[2];
+}
+
+double BilinearComputation::array_size(int axis) const {
+  CAMB_CHECK(axis >= 0 && axis < 3);
+  return volume() / extents[static_cast<std::size_t>(axis)];
+}
+
+double BilinearComputation::reuse(int axis) const {
+  CAMB_CHECK(axis >= 0 && axis < 3);
+  return extents[static_cast<std::size_t>(axis)];
+}
+
+void BilinearComputation::validate() const {
+  for (double d : extents) {
+    CAMB_CHECK_MSG(d >= 1, "iteration extents must be >= 1");
+  }
+}
+
+GeneralBound general_memory_independent_bound(const BilinearComputation& comp,
+                                              double P) {
+  comp.validate();
+  CAMB_CHECK_MSG(P >= 1, "P must be >= 1");
+  const double V = comp.volume();
+  // Floors S_i / P, ordered smallest array (largest reuse) first so the
+  // solution aligns with the x1 <= x2 <= x3 convention of Lemma 2.
+  std::array<double, 3> sizes = {comp.array_size(0), comp.array_size(1),
+                                 comp.array_size(2)};
+  std::sort(sizes.begin(), sizes.end());
+  GeneralLemma2Problem prob;
+  prob.product_floor = (V / P) * (V / P);
+  prob.floors = {sizes[0] / P, sizes[1] / P, sizes[2] / P};
+  GeneralBound bound;
+  bound.x = solve_enumerate(prob);
+  bound.accessed = bound.x[0] + bound.x[1] + bound.x[2];
+  bound.owned = (sizes[0] + sizes[1] + sizes[2]) / P;
+  bound.words = std::max(0.0, bound.accessed - bound.owned);
+  bound.active_floors = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (approx_eq(bound.x[static_cast<std::size_t>(i)],
+                  prob.floors[static_cast<std::size_t>(i)], 1e-9)) {
+      ++bound.active_floors;
+    }
+  }
+  return bound;
+}
+
+BilinearComputation matmul_computation(double n1, double n2, double n3) {
+  // Axis a of the iteration space corresponds to dimension n_{a+1}; the
+  // array omitting axis 0 (n1) is B, axis 1 is C, axis 2 is A — sizes work
+  // out to n2n3, n1n3, n1n2 as required.
+  return BilinearComputation{{n1, n2, n3}};
+}
+
+std::string regime_label(const GeneralBound& bound) {
+  switch (bound.active_floors) {
+    case 0: return "3D-like (no per-array floor binds)";
+    case 1: return "2D-like (largest array's floor binds)";
+    case 2: return "1D-like (two floors bind)";
+    default: return "degenerate (all floors bind; P = 1)";
+  }
+}
+
+}  // namespace camb::core

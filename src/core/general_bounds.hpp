@@ -1,0 +1,70 @@
+// general_bounds.hpp — §6.3: the proof technique applied beyond matrix
+// multiplication.
+//
+// The paper closes by observing that its argument "depends only on the
+// number of operations a given word of data is involved in, so it can be
+// applied to many other computations that have iteration spaces with uneven
+// dimensions."  This module implements that generalization for the class of
+// computations the argument covers directly: *matmul-like bilinear maps* —
+// a 3D iteration space of extents (d1, d2, d3) in which every lattice point
+// reads/writes one element of each of three arrays, each array indexed by a
+// distinct pair of the three axes.  Examples beyond plain GEMM: element-wise
+// scaled products C(i,j) ⊕= f(A(i,k), B(k,j)) for any constant-cost f
+// (tropical/boolean semiring matmul, pairwise interaction kernels, certain
+// dense tensor contractions flattened to three index groups).
+//
+// The recipe, exactly as in the paper:
+//   * Lemma 1 analog — an element of the array omitting axis a is used in
+//     d_a operations, so a processor doing W ops accesses >= W / d_a of it;
+//   * Loomis–Whitney — the three pairwise projections of the processor's
+//     point set satisfy x1 x2 x3 >= (W)^2 ... >= (V/P)^2 for balanced work;
+//   * the general optimization problem (optimization.hpp) solved with
+//     arbitrary floors.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/optimization.hpp"
+
+namespace camb::core {
+
+/// A matmul-like bilinear computation: iteration extents and the cost model
+/// derived from them.  extents need not be sorted.
+struct BilinearComputation {
+  std::array<double, 3> extents = {1, 1, 1};  ///< d1, d2, d3
+
+  /// Total elementary operations V = d1 d2 d3.
+  double volume() const;
+  /// Size of the array indexed by the two axes other than `axis`.
+  double array_size(int axis) const;
+  /// Operations each element of that array participates in (= d_axis).
+  double reuse(int axis) const;
+
+  void validate() const;
+};
+
+/// The generalized memory-independent bound for one (computation, P).
+struct GeneralBound {
+  std::array<double, 3> x = {1, 1, 1};  ///< optimal per-array access volumes,
+                                        ///< ordered smallest array first
+  double accessed = 0;  ///< Σ x_i — data some processor must access
+  double owned = 0;     ///< (Σ array sizes)/P — data it may hold for free
+  double words = 0;     ///< max(0, accessed − owned)
+  int active_floors = 0;  ///< 0, 1, or 2 — how many Lemma-1 floors bind
+                          ///< (the analog of the 3D/2D/1D cases)
+};
+
+/// Computes the bound by solving the general optimization problem with
+/// floors S_i/P and product floor (V/P)^2.
+GeneralBound general_memory_independent_bound(const BilinearComputation& comp,
+                                              double P);
+
+/// Sanity bridge: plain matrix multiplication as a BilinearComputation.
+BilinearComputation matmul_computation(double n1, double n2, double n3);
+
+/// Human-readable regime label from the active floor count
+/// ("3D-like", "2D-like", "1D-like").
+std::string regime_label(const GeneralBound& bound);
+
+}  // namespace camb::core

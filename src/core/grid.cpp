@@ -1,0 +1,105 @@
+#include "core/grid.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/cost_eq3.hpp"
+#include "util/error.hpp"
+
+namespace camb::core {
+
+RealGrid optimal_grid_real(double m, double n, double k, double P) {
+  Lemma2Problem{m, n, k, P}.validate();
+  RealGrid grid;
+  grid.regime = classify_regime(m, n, k, P);
+  switch (grid.regime) {
+    case RegimeCase::kOneD:
+      grid.p = P;
+      grid.q = 1;
+      grid.r = 1;
+      break;
+    case RegimeCase::kTwoD:
+      // m/p = n/q with pq = P: p = m (P/mn)^{1/2}, q = n (P/mn)^{1/2}.
+      grid.p = m * std::sqrt(P / (m * n));
+      grid.q = n * std::sqrt(P / (m * n));
+      grid.r = 1;
+      break;
+    case RegimeCase::kThreeD: {
+      // m/p = n/q = k/r with pqr = P: scale factor (P/mnk)^{1/3}.
+      const double s = std::cbrt(P / (m * n * k));
+      grid.p = m * s;
+      grid.q = n * s;
+      grid.r = k * s;
+      break;
+    }
+  }
+  return grid;
+}
+
+Grid3 to_raw_grid(const Shape& shape, i64 p, i64 q, i64 r) {
+  const SortedDims sorted = sort_dims(shape);
+  std::array<i64, 3> raw{1, 1, 1};
+  raw[static_cast<std::size_t>(sorted.axis_of[0])] = p;
+  raw[static_cast<std::size_t>(sorted.axis_of[1])] = q;
+  raw[static_cast<std::size_t>(sorted.axis_of[2])] = r;
+  return Grid3{raw[0], raw[1], raw[2]};
+}
+
+namespace {
+
+/// Rounds a positive real to i64 iff it is within 1e-9 relative of an
+/// integer; returns -1 otherwise.
+i64 as_integer(double value) {
+  const double rounded = std::round(value);
+  if (rounded < 1) return -1;
+  if (std::abs(value - rounded) <= 1e-9 * std::max(1.0, value)) {
+    return static_cast<i64>(rounded);
+  }
+  return -1;
+}
+
+}  // namespace
+
+Grid3 exact_optimal_grid(const Shape& shape, i64 P) {
+  CAMB_CHECK_MSG(P >= 1, "P must be >= 1");
+  const SortedDims sorted = sort_dims(shape);
+  const RealGrid real = optimal_grid_real(static_cast<double>(sorted.m),
+                                          static_cast<double>(sorted.n),
+                                          static_cast<double>(sorted.k),
+                                          static_cast<double>(P));
+  const i64 p = as_integer(real.p);
+  const i64 q = as_integer(real.q);
+  const i64 r = as_integer(real.r);
+  CAMB_CHECK_MSG(p > 0 && q > 0 && r > 0 && p * q * r == P,
+                 "the section 5.2 optimal grid is not integral for this (shape, P)");
+  return to_raw_grid(shape, p, q, r);
+}
+
+Grid3 best_integer_grid(const Shape& shape, i64 P) {
+  CAMB_CHECK_MSG(P >= 1, "P must be >= 1");
+  Grid3 best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const FactorTriple& t : factor_triples(P)) {
+    const Grid3 grid{t.a, t.b, t.c};
+    const double cost = alg1_cost_words(shape, grid);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = grid;
+    }
+  }
+  return best;
+}
+
+std::vector<Grid3> all_grids(i64 P) {
+  std::vector<Grid3> out;
+  for (const FactorTriple& t : factor_triples(P)) out.push_back({t.a, t.b, t.c});
+  return out;
+}
+
+bool grid_divides(const Shape& shape, const Grid3& grid) {
+  CAMB_CHECK(grid.p1 >= 1 && grid.p2 >= 1 && grid.p3 >= 1);
+  return shape.n1 % grid.p1 == 0 && shape.n2 % grid.p2 == 0 &&
+         shape.n3 % grid.p3 == 0;
+}
+
+}  // namespace camb::core

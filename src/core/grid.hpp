@@ -1,0 +1,57 @@
+// grid.hpp — §5.2: optimal processor grid selection for Algorithm 1.
+//
+// The communication cost of Algorithm 1 (eq. 3) depends on the logical
+// p1×p2×p3 grid.  The paper derives the real-valued optimal grid in each of
+// the three regimes (1D, 2D, 3D grids respectively); with integrality and
+// divisibility assumptions Algorithm 1 then attains the Theorem 3 bound
+// exactly.  This module computes the exact real-valued grids, the best
+// integer grid (exhaustive search over factor triples of P, minimizing
+// eq. 3), and the axis mapping between sorted (p, q, r) and raw (p1, p2, p3).
+#pragma once
+
+#include <vector>
+
+#include "core/dims.hpp"
+#include "core/optimization.hpp"
+
+namespace camb::core {
+
+/// A logical processor grid aligned to the raw axes: p1 splits n1 (rows of
+/// A/C), p2 splits n2 (the contracted dimension), p3 splits n3 (cols of B/C).
+struct Grid3 {
+  i64 p1 = 1, p2 = 1, p3 = 1;
+
+  i64 total() const { return checked_mul3(p1, p2, p3); }
+  bool operator==(const Grid3&) const = default;
+};
+
+/// The §5.2 real-valued optimal grid in sorted coordinates: p splits the m
+/// axis, q splits n, r splits k (p >= q >= r).
+struct RealGrid {
+  double p = 1, q = 1, r = 1;
+  RegimeCase regime = RegimeCase::kThreeD;
+};
+
+/// Case 1 (P <= m/n): (P, 1, 1); Case 2: ((Pm/n)^{1/2}, (Pn/m)^{1/2}, 1);
+/// Case 3: scaled so m/p = n/q = k/r.
+RealGrid optimal_grid_real(double m, double n, double k, double P);
+
+/// Maps a sorted grid (p on the m axis, q on n, r on k) back to raw axes.
+Grid3 to_raw_grid(const Shape& shape, i64 p, i64 q, i64 r);
+
+/// The §5.2 grid when its real-valued dimensions are integers; throws
+/// camb::Error otherwise.  When this succeeds and the grid divides the
+/// dimensions, Algorithm 1 attains Theorem 3 exactly.
+Grid3 exact_optimal_grid(const Shape& shape, i64 P);
+
+/// Exhaustive search: the factor triple of P minimizing eq. 3 for `shape`.
+/// Always succeeds (P = anything), even when the exact grid is fractional.
+Grid3 best_integer_grid(const Shape& shape, i64 P);
+
+/// All factor triples of P as grids (the ablation bench ranks them).
+std::vector<Grid3> all_grids(i64 P);
+
+/// True iff every grid dimension divides its matrix dimension.
+bool grid_divides(const Shape& shape, const Grid3& grid);
+
+}  // namespace camb::core

@@ -1,0 +1,121 @@
+#include "core/kkt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camb::core {
+
+std::array<double, 4> constraint_values(const Lemma2Problem& prob,
+                                        const std::array<double, 3>& x) {
+  const auto floors = prob.variable_floors();
+  return {prob.product_floor() - x[0] * x[1] * x[2], floors[0] - x[0],
+          floors[1] - x[1], floors[2] - x[2]};
+}
+
+std::array<std::array<double, 3>, 4> constraint_jacobian(
+    const std::array<double, 3>& x) {
+  return {{
+      {-x[1] * x[2], -x[0] * x[2], -x[0] * x[1]},
+      {-1, 0, 0},
+      {0, -1, 0},
+      {0, 0, -1},
+  }};
+}
+
+KktReport verify_kkt(const Lemma2Problem& prob, const std::array<double, 3>& x,
+                     const std::array<double, 4>& mu, double tol) {
+  KktReport report;
+  const auto g = constraint_values(prob, x);
+  const auto jac = constraint_jacobian(x);
+
+  // Scales for relative comparisons.
+  const double x_scale = std::max({std::abs(x[0]), std::abs(x[1]),
+                                   std::abs(x[2]), 1.0});
+  const double prod_scale = std::max(prob.product_floor(), 1.0);
+
+  // Primal feasibility: g(x) <= 0 (g0 compared at product scale).
+  double worst = 0.0;
+  worst = std::max(worst, g[0] / prod_scale);
+  for (int i = 1; i < 4; ++i) {
+    worst = std::max(worst, g[static_cast<std::size_t>(i)] / x_scale);
+  }
+  report.primal_feasible = worst <= tol;
+  report.worst_violation = std::max(report.worst_violation, worst);
+
+  // Dual feasibility: mu >= 0.
+  double dual_worst = 0.0;
+  for (double mui : mu) dual_worst = std::max(dual_worst, -mui);
+  report.dual_feasible = dual_worst <= tol;
+  report.worst_violation = std::max(report.worst_violation, dual_worst);
+
+  // Stationarity: grad f + mu . J_g = 0, with grad f = (1, 1, 1).
+  double stat_worst = 0.0;
+  for (int j = 0; j < 3; ++j) {
+    double value = 1.0;
+    double scale = 1.0;
+    for (int i = 0; i < 4; ++i) {
+      const double term = mu[static_cast<std::size_t>(i)] *
+                          jac[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      value += term;
+      scale = std::max(scale, std::abs(term));
+    }
+    stat_worst = std::max(stat_worst, std::abs(value) / scale);
+  }
+  report.stationary = stat_worst <= tol;
+  report.worst_violation = std::max(report.worst_violation, stat_worst);
+
+  // Complementary slackness: mu_i * g_i = 0, scaled per constraint.
+  double comp_worst = 0.0;
+  comp_worst = std::max(comp_worst, std::abs(mu[0] * g[0]) /
+                                        std::max(1.0, mu[0] * prod_scale));
+  for (int i = 1; i < 4; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    comp_worst = std::max(comp_worst, std::abs(mu[iu] * g[iu]) /
+                                          std::max(1.0, mu[iu] * x_scale));
+  }
+  report.complementary = comp_worst <= tol;
+  report.worst_violation = std::max(report.worst_violation, comp_worst);
+  return report;
+}
+
+bool probe_quasiconvexity_g0(double L, int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    // Random points in the positive octant over several orders of magnitude.
+    std::array<double, 3> x, y;
+    for (int i = 0; i < 3; ++i) {
+      x[static_cast<std::size_t>(i)] = std::exp(rng.uniform(-3.0, 6.0));
+      y[static_cast<std::size_t>(i)] = std::exp(rng.uniform(-3.0, 6.0));
+    }
+    const double g0x = L - x[0] * x[1] * x[2];
+    const double g0y = L - y[0] * y[1] * y[2];
+    if (g0y > g0x) continue;  // premise of Def. 3 not met
+    // <grad g0(x), y - x> must be <= 0 (allow tiny numerical slack).
+    const double inner = -x[1] * x[2] * (y[0] - x[0]) +
+                         -x[0] * x[2] * (y[1] - x[1]) +
+                         -x[0] * x[1] * (y[2] - x[2]);
+    const double scale = x[0] * x[1] * x[2] + 1.0;
+    if (inner > 1e-9 * scale) return false;
+  }
+  return true;
+}
+
+bool probe_convexity_objective(int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    std::array<double, 3> x, y;
+    for (int i = 0; i < 3; ++i) {
+      x[static_cast<std::size_t>(i)] = rng.uniform(-100.0, 100.0);
+      y[static_cast<std::size_t>(i)] = rng.uniform(-100.0, 100.0);
+    }
+    // f(y) >= f(x) + <grad f(x), y - x> with grad f = (1,1,1): equality for
+    // affine f, so any violation is a numerics bug.
+    const double lhs = y[0] + y[1] + y[2];
+    const double rhs = x[0] + x[1] + x[2] + (y[0] - x[0]) + (y[1] - x[1]) +
+                       (y[2] - x[2]);
+    if (lhs < rhs - 1e-9 * (std::abs(lhs) + std::abs(rhs) + 1.0)) return false;
+  }
+  return true;
+}
+
+}  // namespace camb::core

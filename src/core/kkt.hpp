@@ -1,0 +1,57 @@
+// kkt.hpp — §3.2: KKT conditions (Def. 4) and the convexity facts
+// (Defs. 2–3, Lemmas 5–6) for the Lemma 2 problem family.
+//
+// The analytic solution of Lemma 2 is certified by exhibiting dual variables
+// satisfying the KKT conditions, which are *sufficient* for optimality here
+// because the objective is convex and each constraint quasiconvex (Lemma 6).
+// This module verifies the certificate numerically for any instance, and
+// provides sampling probes of the convexity/quasiconvexity definitions that
+// the property tests exercise (a mechanical check of Lemma 5's claim).
+#pragma once
+
+#include <array>
+
+#include "core/optimization.hpp"
+#include "util/rng.hpp"
+
+namespace camb::core {
+
+/// Constraint values g(x) of the Lemma 2 problem (feasible iff all <= 0):
+///   g0 = (mnk/P)^2 - x1 x2 x3
+///   g1 = nk/P - x1,  g2 = mk/P - x2,  g3 = mn/P - x3
+std::array<double, 4> constraint_values(const Lemma2Problem& prob,
+                                        const std::array<double, 3>& x);
+
+/// Jacobian of g at x (4 rows, 3 columns).
+std::array<std::array<double, 3>, 4> constraint_jacobian(
+    const std::array<double, 3>& x);
+
+/// Outcome of checking the four KKT conditions at (x, mu).
+struct KktReport {
+  bool primal_feasible = false;
+  bool dual_feasible = false;
+  bool stationary = false;
+  bool complementary = false;
+  double worst_violation = 0.0;
+
+  bool ok() const {
+    return primal_feasible && dual_feasible && stationary && complementary;
+  }
+};
+
+/// Verify Def. 4 at (x, mu) with relative tolerance `tol`.  Violations are
+/// measured relative to the scale of the quantities involved so the check is
+/// meaningful across many orders of magnitude of (m, n, k, P).
+KktReport verify_kkt(const Lemma2Problem& prob, const std::array<double, 3>& x,
+                     const std::array<double, 4>& mu, double tol = 1e-9);
+
+/// Sampling probe of Def. 3 for g0(x) = L - x1 x2 x3 on the positive octant
+/// (Lemma 5): draws `trials` random pairs (x, y) with g0(y) <= g0(x) and
+/// checks <∇g0(x), y - x> <= 0.  Returns true if no counterexample is found.
+bool probe_quasiconvexity_g0(double L, int trials, std::uint64_t seed);
+
+/// Sampling probe of Def. 2 for the objective f(x) = x1 + x2 + x3 (trivially
+/// convex; included so the test suite checks the definition machinery).
+bool probe_convexity_objective(int trials, std::uint64_t seed);
+
+}  // namespace camb::core

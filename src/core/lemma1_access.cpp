@@ -1,0 +1,33 @@
+#include "core/lemma1_access.hpp"
+
+#include "util/error.hpp"
+
+namespace camb::core {
+
+AccessBounds access_bounds_for_work(const Shape& shape, double work) {
+  CAMB_CHECK_MSG(work >= 0, "work must be non-negative");
+  CAMB_CHECK_MSG(work <= static_cast<double>(shape.flops()) * (1 + 1e-12),
+                 "work exceeds the total multiplication count");
+  return AccessBounds{
+      work / static_cast<double>(shape.n3),
+      work / static_cast<double>(shape.n1),
+      work / static_cast<double>(shape.n2),
+  };
+}
+
+AccessBounds access_bounds(const Shape& shape, double nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "P must be >= 1");
+  return access_bounds_for_work(shape,
+                                static_cast<double>(shape.flops()) / nprocs);
+}
+
+i64 multiplications_per_element(const Shape& shape, MatrixId id) {
+  switch (id) {
+    case MatrixId::A: return shape.n3;
+    case MatrixId::B: return shape.n1;
+    case MatrixId::C: return shape.n2;
+  }
+  throw Error("bad MatrixId");
+}
+
+}  // namespace camb::core

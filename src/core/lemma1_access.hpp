@@ -1,0 +1,35 @@
+// lemma1_access.hpp — §4.1, Lemma 1: lower bounds on individual array access.
+//
+// A processor performing at least 1/P of the n1·n2·n3 scalar multiplications
+// must access at least n1n2/P elements of A and n2n3/P elements of B, and
+// must contribute to at least n1n3/P elements of C, because each element of
+// A (resp. B, C) participates in only n3 (resp. n1, n2) multiplications.
+// These per-array bounds are the constraints that activate in the 1D and 2D
+// regimes of Lemma 2 and are what tightens the constants over prior work.
+#pragma once
+
+#include "core/dims.hpp"
+
+namespace camb::core {
+
+/// Per-array access lower bounds for a processor performing `work` scalar
+/// multiplications of a `shape` problem.
+struct AccessBounds {
+  double a;  ///< minimum elements of A accessed
+  double b;  ///< minimum elements of B accessed
+  double c;  ///< minimum elements of C contributed to
+};
+
+/// Lemma 1 with the general work volume: a processor performing `work`
+/// multiplications must access >= work/n3 of A, >= work/n1 of B, and
+/// contribute to >= work/n2 of C.
+AccessBounds access_bounds_for_work(const Shape& shape, double work);
+
+/// Lemma 1 as stated (work = n1 n2 n3 / P).
+AccessBounds access_bounds(const Shape& shape, double nprocs);
+
+/// The number of scalar multiplications a single element of the given matrix
+/// participates in (n3 for A, n1 for B, n2 for C).
+i64 multiplications_per_element(const Shape& shape, MatrixId id);
+
+}  // namespace camb::core

@@ -1,0 +1,105 @@
+#include "core/loomis_whitney.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace camb::core {
+
+i64 Projections::product() const {
+  return checked_mul3(onto_a, onto_b, onto_c);
+}
+
+Projections projections(const std::vector<Point3>& points) {
+  std::set<std::pair<i64, i64>> pa, pb, pc;
+  for (const auto& pt : points) {
+    pa.emplace(pt[0], pt[1]);
+    pb.emplace(pt[1], pt[2]);
+    pc.emplace(pt[0], pt[2]);
+  }
+  return Projections{static_cast<i64>(pa.size()), static_cast<i64>(pb.size()),
+                     static_cast<i64>(pc.size())};
+}
+
+i64 distinct_count(std::vector<Point3> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return static_cast<i64>(points.size());
+}
+
+bool loomis_whitney_holds(const std::vector<Point3>& points) {
+  return distinct_count(points) <= projections(points).product();
+}
+
+std::vector<Point3> full_iteration_space(const Shape& shape, i64 max_points) {
+  const i64 total = shape.flops();
+  CAMB_CHECK_MSG(total <= max_points,
+                 "iteration space too large for explicit enumeration");
+  std::vector<Point3> points;
+  points.reserve(static_cast<std::size_t>(total));
+  for (i64 i1 = 0; i1 < shape.n1; ++i1) {
+    for (i64 i2 = 0; i2 < shape.n2; ++i2) {
+      for (i64 i3 = 0; i3 < shape.n3; ++i3) points.push_back({i1, i2, i3});
+    }
+  }
+  return points;
+}
+
+namespace {
+
+/// Recursively choose `remaining` more points starting at candidate index
+/// `from`, tracking the best (minimum) projection sum seen.
+void choose_rec(const std::vector<Point3>& universe, std::size_t from,
+                i64 remaining, std::vector<Point3>& chosen, i64& best) {
+  if (remaining == 0) {
+    best = std::min(best, projections(chosen).sum());
+    return;
+  }
+  if (universe.size() - from < static_cast<std::size_t>(remaining)) return;
+  // Take universe[from] or skip it.
+  chosen.push_back(universe[from]);
+  choose_rec(universe, from + 1, remaining - 1, chosen, best);
+  chosen.pop_back();
+  choose_rec(universe, from + 1, remaining, chosen, best);
+}
+
+}  // namespace
+
+i64 min_projection_sum_exact(const Shape& shape, i64 subset_size) {
+  CAMB_CHECK_MSG(shape.flops() <= 24,
+                 "exact subset enumeration limited to <= 24 points");
+  CAMB_CHECK(subset_size >= 1 && subset_size <= shape.flops());
+  const auto universe = full_iteration_space(shape, 24);
+  std::vector<Point3> chosen;
+  i64 best = std::numeric_limits<i64>::max();
+  choose_rec(universe, 0, subset_size, chosen, best);
+  return best;
+}
+
+i64 min_projection_sum_sampled(const Shape& shape, i64 subset_size, int trials,
+                               std::uint64_t seed) {
+  const i64 total = shape.flops();
+  CAMB_CHECK_MSG(total <= (i64{1} << 22), "sampled audit shape too large");
+  CAMB_CHECK(subset_size >= 1 && subset_size <= total);
+  auto universe = full_iteration_space(shape, i64{1} << 22);
+  Rng rng(seed);
+  i64 best = std::numeric_limits<i64>::max();
+  std::vector<Point3> subset(static_cast<std::size_t>(subset_size));
+  for (int t = 0; t < trials; ++t) {
+    // Partial Fisher–Yates: choose subset_size distinct points.
+    for (i64 j = 0; j < subset_size; ++j) {
+      const i64 pick = j + rng.range(0, total - 1 - j);
+      std::swap(universe[static_cast<std::size_t>(j)],
+                universe[static_cast<std::size_t>(pick)]);
+      subset[static_cast<std::size_t>(j)] = universe[static_cast<std::size_t>(j)];
+    }
+    best = std::min(best, projections(subset).sum());
+  }
+  return best;
+}
+
+}  // namespace camb::core

@@ -1,0 +1,61 @@
+// loomis_whitney.hpp — Lemma 1 of §3.2: the Loomis–Whitney inequality for
+// lattice-point sets in Z^3, plus the matrix-multiplication projections of
+// Theorem 3's proof.
+//
+// A set F of scalar multiplications (i1, i2, i3) projects onto the three
+// matrices:  φ_A(F) = {(i1,i2)}, φ_B(F) = {(i2,i3)}, φ_C(F) = {(i1,i3)},
+// and Loomis–Whitney gives |F| <= |φ_A| · |φ_B| · |φ_C|.  This module
+// computes exact projection cardinalities for explicit sets, used by tests
+// to verify the inequality and by the brute-force lower-bound audit example.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/dims.hpp"
+
+namespace camb::core {
+
+/// One scalar multiplication: indices (i1, i2, i3) meaning
+/// A(i1, i2) * B(i2, i3) contributing to C(i1, i3).
+using Point3 = std::array<i64, 3>;
+
+/// Sizes of the three projections of a point set.
+struct Projections {
+  i64 onto_a = 0;  ///< |φ_A(F)| — distinct (i1, i2) pairs
+  i64 onto_b = 0;  ///< |φ_B(F)| — distinct (i2, i3) pairs
+  i64 onto_c = 0;  ///< |φ_C(F)| — distinct (i1, i3) pairs
+
+  i64 sum() const { return onto_a + onto_b + onto_c; }
+  /// The Loomis–Whitney product upper bound on |F|.
+  i64 product() const;
+};
+
+/// Exact projection cardinalities of an explicit point set (duplicates in
+/// `points` are ignored).
+Projections projections(const std::vector<Point3>& points);
+
+/// Number of distinct points in the set.
+i64 distinct_count(std::vector<Point3> points);
+
+/// True iff the Loomis–Whitney inequality |F| <= |φ_A||φ_B||φ_C| holds for
+/// the set (it always should; exists so property tests can say so).
+bool loomis_whitney_holds(const std::vector<Point3>& points);
+
+/// Enumerates all points of the n1×n2×n3 iteration cuboid (row-major order).
+/// Intended for tiny shapes (the audit example); checks the size is modest.
+std::vector<Point3> full_iteration_space(const Shape& shape, i64 max_points);
+
+/// Brute-force: the minimum projection sum over *all* subsets of the
+/// iteration cuboid with exactly `subset_size` points.  Exponential —
+/// callers must keep shape.flops() small (checked, <= 24).  Used by the
+/// audit example and tests to verify Lemma 2's optimum is a true lower bound.
+i64 min_projection_sum_exact(const Shape& shape, i64 subset_size);
+
+/// Sampled variant: the minimum projection sum over `trials` random subsets
+/// of the given size (upper bound on the true minimum — still must respect
+/// the Lemma 2 optimum from below, which is the property tests assert).
+i64 min_projection_sum_sampled(const Shape& shape, i64 subset_size,
+                               int trials, std::uint64_t seed);
+
+}  // namespace camb::core

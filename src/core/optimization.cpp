@@ -1,0 +1,207 @@
+#include "core/optimization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace camb::core {
+
+double Lemma2Problem::product_floor() const {
+  const double v = m * n * k / P;
+  return v * v;
+}
+
+std::array<double, 3> Lemma2Problem::variable_floors() const {
+  return {n * k / P, m * k / P, m * n / P};
+}
+
+void Lemma2Problem::validate() const {
+  CAMB_CHECK_MSG(k >= 1 && n >= k && m >= n, "need m >= n >= k >= 1");
+  CAMB_CHECK_MSG(P >= 1, "need P >= 1");
+}
+
+RegimeCase classify_regime(double m, double n, double k, double P) {
+  Lemma2Problem{m, n, k, P}.validate();
+  if (P <= m / n) return RegimeCase::kOneD;
+  if (P <= m * n / (k * k)) return RegimeCase::kTwoD;
+  return RegimeCase::kThreeD;
+}
+
+Lemma2Solution solve_analytic(const Lemma2Problem& prob) {
+  prob.validate();
+  const double m = prob.m, n = prob.n, k = prob.k, P = prob.P;
+  Lemma2Solution sol;
+  sol.regime = classify_regime(m, n, k, P);
+  switch (sol.regime) {
+    case RegimeCase::kOneD: {
+      // x* = (nk, mk/P, mn/P); constraints 1, 3, 4 active.
+      sol.x = {n * k, m * k / P, m * n / P};
+      sol.mu = {P * P / (m * m * n * k), 0.0, 1.0 - P * n / m,
+                1.0 - P * k / m};
+      break;
+    }
+    case RegimeCase::kTwoD: {
+      // x1* = x2* = sqrt(mnk^2/P), x3* = mn/P; constraints 1, 4 active.
+      const double x12 = std::sqrt(m * n * k * k / P);
+      sol.x = {x12, x12, m * n / P};
+      sol.mu = {std::pow(P / (m * n * std::cbrt(k * k)), 1.5), 0.0, 0.0,
+                1.0 - std::sqrt(P * k * k / (m * n))};
+      break;
+    }
+    case RegimeCase::kThreeD: {
+      // All variables equal (mnk/P)^{2/3}; only constraint 1 active.
+      const double x = std::pow(m * n * k / P, 2.0 / 3.0);
+      sol.x = {x, x, x};
+      sol.mu = {std::pow(P / (m * n * k), 4.0 / 3.0), 0.0, 0.0, 0.0};
+      break;
+    }
+  }
+  sol.objective = sol.x[0] + sol.x[1] + sol.x[2];
+  return sol;
+}
+
+void GeneralLemma2Problem::validate() const {
+  CAMB_CHECK_MSG(product_floor > 0, "product floor must be positive");
+  for (double f : floors) {
+    CAMB_CHECK_MSG(f > 0, "variable floors must be positive");
+  }
+}
+
+std::array<double, 3> solve_enumerate(const GeneralLemma2Problem& prob) {
+  prob.validate();
+  const double L2 = prob.product_floor;
+  const auto& floors = prob.floors;
+  double best_obj = std::numeric_limits<double>::infinity();
+  std::array<double, 3> best = floors;
+  // Candidate 0: all clamped at floors (the only candidate where the product
+  // constraint may be inactive).
+  {
+    const double prod = floors[0] * floors[1] * floors[2];
+    if (prod >= L2 * (1 - 1e-12)) {
+      best_obj = floors[0] + floors[1] + floors[2];
+      best = floors;
+    }
+  }
+  // Candidates with a non-empty free set: free variables equalize on the
+  // product surface (AM–GM), clamped variables sit at their floors.
+  for (int mask = 0; mask < 7; ++mask) {  // mask bit i set => variable i clamped
+    double clamped_prod = 1.0;
+    int free_count = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (mask & (1 << i)) {
+        clamped_prod *= floors[static_cast<std::size_t>(i)];
+      } else {
+        ++free_count;
+      }
+    }
+    if (free_count == 0) continue;  // handled above
+    const double t = std::pow(L2 / clamped_prod, 1.0 / free_count);
+    std::array<double, 3> x{};
+    bool feasible = true;
+    double obj = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      const double xi =
+          (mask & (1 << i)) ? floors[static_cast<std::size_t>(i)] : t;
+      if (xi < floors[static_cast<std::size_t>(i)] * (1 - 1e-12)) {
+        feasible = false;
+        break;
+      }
+      x[static_cast<std::size_t>(i)] = xi;
+      obj += xi;
+    }
+    if (feasible && obj < best_obj) {
+      best_obj = obj;
+      best = x;
+    }
+  }
+  CAMB_CHECK_MSG(std::isfinite(best_obj), "no feasible active-set candidate");
+  return best;
+}
+
+std::array<double, 3> solve_enumerate(const Lemma2Problem& prob) {
+  prob.validate();
+  return solve_enumerate(
+      GeneralLemma2Problem{prob.product_floor(), prob.variable_floors()});
+}
+
+namespace {
+
+/// Exact Euclidean projection of y onto {z : z >= b, sum(z) = c} when
+/// sum(max(b, y)) <= c would leave slack — i.e. we need sum(z) == c with
+/// z = max(b, y + lambda) for the unique lambda making the sum c.
+/// Monotone in lambda, solved by bisection.
+std::array<double, 3> project_affine_box(const std::array<double, 3>& y,
+                                         const std::array<double, 3>& b,
+                                         double c) {
+  auto sum_at = [&](double lambda) {
+    double s = 0;
+    for (int i = 0; i < 3; ++i) {
+      s += std::max(b[static_cast<std::size_t>(i)],
+                    y[static_cast<std::size_t>(i)] + lambda);
+    }
+    return s;
+  };
+  // Bracket lambda.
+  double lo = 0, hi = 0;
+  if (sum_at(0) < c) {
+    hi = 1;
+    while (sum_at(hi) < c) hi *= 2;
+  } else {
+    lo = -1;
+    while (sum_at(lo) > c) {
+      // sum_at is bounded below by sum(b); if even that exceeds c the
+      // constraint set is empty — callers guarantee c >= sum(b).
+      if (lo < -1e30) break;
+      lo *= 2;
+    }
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (sum_at(mid) < c) lo = mid;
+    else hi = mid;
+  }
+  const double lambda = 0.5 * (lo + hi);
+  return {std::max(b[0], y[0] + lambda), std::max(b[1], y[1] + lambda),
+          std::max(b[2], y[2] + lambda)};
+}
+
+}  // namespace
+
+std::array<double, 3> solve_numeric(const GeneralLemma2Problem& prob,
+                                    int iters) {
+  prob.validate();
+  const double L2 = prob.product_floor;
+  const auto& floors = prob.floors;
+  const std::array<double, 3> b = {std::log(floors[0]), std::log(floors[1]),
+                                   std::log(floors[2])};
+  const double c = std::log(L2);
+  const double sum_b = b[0] + b[1] + b[2];
+  if (sum_b >= c - 1e-9) {
+    // Floors alone satisfy the product constraint: they are optimal.
+    return floors;
+  }
+  // Optimum lies on the product surface sum(y) == c (reducing any variable
+  // below it is infeasible, and the objective is increasing in each y).
+  std::array<double, 3> y = project_affine_box({c / 3, c / 3, c / 3}, b, c);
+  for (int t = 0; t < iters; ++t) {
+    double max_exp = 0;
+    for (double yi : y) max_exp = std::max(max_exp, std::exp(yi));
+    const double step = 0.5 / max_exp;  // scale-free step
+    std::array<double, 3> g = {std::exp(y[0]), std::exp(y[1]), std::exp(y[2])};
+    std::array<double, 3> next = {y[0] - step * g[0], y[1] - step * g[1],
+                                  y[2] - step * g[2]};
+    y = project_affine_box(next, b, c);
+  }
+  return {std::exp(y[0]), std::exp(y[1]), std::exp(y[2])};
+}
+
+std::array<double, 3> solve_numeric(const Lemma2Problem& prob, int iters) {
+  prob.validate();
+  return solve_numeric(
+      GeneralLemma2Problem{prob.product_floor(), prob.variable_floors()},
+      iters);
+}
+
+}  // namespace camb::core

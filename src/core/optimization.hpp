@@ -1,0 +1,83 @@
+// optimization.hpp — §4.2, Lemma 2: the key constrained optimization problem.
+//
+//   minimize    x1 + x2 + x3
+//   subject to  (mnk/P)^2 <= x1 x2 x3          (Loomis–Whitney constraint)
+//               nk/P <= x1,  mk/P <= x2,  mn/P <= x3   (Lemma 1 constraints)
+//
+// with m >= n >= k >= 1 and P >= 1.  The variables are the projection sizes
+// of one processor's work onto the three matrices, ordered smallest (x1,
+// the nk face) to largest (x3, the mn face).
+//
+// Three independent solvers are provided:
+//   * solve_analytic   — the paper's closed-form three-case solution with the
+//                        KKT dual certificate (Cases 1–3 of Lemma 2);
+//   * solve_enumerate  — active-set enumeration: for each subset of clamped
+//                        variables, the free ones equalize on the product
+//                        surface; exact and independent of the case formulas;
+//   * solve_numeric    — projected gradient descent in log-space; a third,
+//                        structurally different cross-check.
+// Property tests assert all three agree.
+#pragma once
+
+#include <array>
+
+#include "util/math.hpp"
+
+namespace camb::core {
+
+/// The problem data of Lemma 2. Values are real (the lemma is stated over R).
+struct Lemma2Problem {
+  double m = 1, n = 1, k = 1, P = 1;
+
+  /// (mnk/P)^2 — the Loomis–Whitney lower bound on the product x1 x2 x3.
+  double product_floor() const;
+  /// The three per-variable lower bounds {nk/P, mk/P, mn/P}.
+  std::array<double, 3> variable_floors() const;
+  /// Validates m >= n >= k >= 1, P >= 1; throws otherwise.
+  void validate() const;
+};
+
+/// Which of the three cases of Lemma 2 applies (boundaries overlap; at a
+/// boundary the adjacent cases coincide and we report the smaller id).
+enum class RegimeCase : int {
+  kOneD = 1,    ///< P <= m/n        — 1D regime, x1 = nk clamps
+  kTwoD = 2,    ///< m/n <= P <= mn/k^2 — 2D regime, x3 = mn/P clamps
+  kThreeD = 3,  ///< mn/k^2 <= P     — 3D regime, all variables equal
+};
+
+RegimeCase classify_regime(double m, double n, double k, double P);
+
+/// Full solution: primal optimum, dual certificate, and metadata.
+struct Lemma2Solution {
+  RegimeCase regime = RegimeCase::kThreeD;
+  std::array<double, 3> x = {0, 0, 0};   ///< optimal (x1, x2, x3)
+  std::array<double, 4> mu = {0, 0, 0, 0};  ///< KKT multipliers (paper's μ*)
+  double objective = 0;                  ///< x1 + x2 + x3 at the optimum
+};
+
+/// The paper's closed-form solution (proof of Lemma 2).
+Lemma2Solution solve_analytic(const Lemma2Problem& prob);
+
+/// The §6.3 generalization of the optimization problem: minimize
+/// x1 + x2 + x3 subject to x1 x2 x3 >= product_floor and x_i >= floors[i],
+/// for ANY positive floors (not just the matmul-derived nk/P, mk/P, mn/P).
+/// This is the form that applies to other computations with uneven
+/// iteration spaces (general_bounds.hpp builds on it).
+struct GeneralLemma2Problem {
+  double product_floor = 1;
+  std::array<double, 3> floors = {1, 1, 1};
+
+  void validate() const;
+};
+
+/// Active-set enumeration solver (exact, independent of the case analysis).
+std::array<double, 3> solve_enumerate(const GeneralLemma2Problem& prob);
+std::array<double, 3> solve_enumerate(const Lemma2Problem& prob);
+
+/// Projected-gradient solver in log-space; `iters` gradient steps.
+/// Accuracy is ~1e-6 relative for well-scaled inputs.
+std::array<double, 3> solve_numeric(const GeneralLemma2Problem& prob,
+                                    int iters = 20000);
+std::array<double, 3> solve_numeric(const Lemma2Problem& prob, int iters = 20000);
+
+}  // namespace camb::core

@@ -1,0 +1,105 @@
+#include "core/partition_audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/optimization.hpp"
+#include "util/error.hpp"
+
+namespace camb::core {
+
+namespace {
+
+struct AuditState {
+  std::vector<Point3> points;
+  int nprocs = 1;
+  i64 part_size = 0;
+  std::vector<int> assignment;      // part of each point (filled prefix)
+  std::vector<i64> part_counts;     // points assigned per part
+  i64 best = 0;
+  std::vector<int> witness;
+  i64 examined = 0;
+};
+
+/// Projection sum of one part under a complete assignment.
+i64 part_projection_sum(const AuditState& state, int part) {
+  std::vector<Point3> members;
+  for (std::size_t idx = 0; idx < state.points.size(); ++idx) {
+    if (state.assignment[idx] == part) members.push_back(state.points[idx]);
+  }
+  return projections(members).sum();
+}
+
+void recurse(AuditState& state, std::size_t idx) {
+  if (idx == state.points.size()) {
+    ++state.examined;
+    i64 worst = 0;
+    for (int part = 0; part < state.nprocs; ++part) {
+      worst = std::max(worst, part_projection_sum(state, part));
+    }
+    if (worst < state.best) {
+      state.best = worst;
+      state.witness = state.assignment;
+    }
+    return;
+  }
+  // Symmetry reduction: a point may only open part k if parts 0..k-1 are
+  // already in use (canonical part numbering).
+  int max_used = -1;
+  for (std::size_t seen = 0; seen < idx; ++seen) {
+    max_used = std::max(max_used, state.assignment[seen]);
+  }
+  const int limit = std::min(state.nprocs - 1, max_used + 1);
+  for (int part = 0; part <= limit; ++part) {
+    if (state.part_counts[static_cast<std::size_t>(part)] == state.part_size) {
+      continue;  // balanced: parts are exactly |V|/P
+    }
+    state.assignment[idx] = part;
+    state.part_counts[static_cast<std::size_t>(part)]++;
+    recurse(state, idx + 1);
+    state.part_counts[static_cast<std::size_t>(part)]--;
+  }
+  state.assignment[idx] = -1;
+}
+
+}  // namespace
+
+PartitionAuditResult audit_balanced_partitions(const Shape& shape,
+                                               int nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "need at least one processor");
+  const i64 total = shape.flops();
+  CAMB_CHECK_MSG(total % nprocs == 0,
+                 "balanced audit requires P | n1*n2*n3");
+  // Guard the exponential blow-up: P^total <= ~20M states.
+  CAMB_CHECK_MSG(total * std::log(static_cast<double>(nprocs)) <=
+                     std::log(2e7),
+                 "iteration space too large for exhaustive partition audit");
+  AuditState state;
+  state.points = full_iteration_space(shape, 64);
+  state.nprocs = nprocs;
+  state.part_size = total / nprocs;
+  state.assignment.assign(state.points.size(), -1);
+  state.part_counts.assign(static_cast<std::size_t>(nprocs), 0);
+  state.best = std::numeric_limits<i64>::max();
+  recurse(state, 0);
+  CAMB_CHECK(state.examined > 0);
+  PartitionAuditResult result;
+  result.best_max_projection_sum = state.best;
+  result.partitions_examined = state.examined;
+  result.witness = state.witness;
+  return result;
+}
+
+bool partition_audit_confirms_bound(const Shape& shape, int nprocs) {
+  const PartitionAuditResult audit = audit_balanced_partitions(shape, nprocs);
+  const SortedDims d = sort_dims(shape);
+  const auto sol = solve_analytic({static_cast<double>(d.m),
+                                   static_cast<double>(d.n),
+                                   static_cast<double>(d.k),
+                                   static_cast<double>(nprocs)});
+  return static_cast<double>(audit.best_max_projection_sum) + 1e-9 >=
+         sol.objective;
+}
+
+}  // namespace camb::core

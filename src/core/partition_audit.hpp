@@ -1,0 +1,42 @@
+// partition_audit.hpp — exhaustive verification of Theorem 3 on tiny
+// problems, at the level the theorem is actually stated: over *parallel
+// executions*, i.e. partitions of the iteration space among P processors.
+//
+// For a tiny n1×n2×n3 iteration space, enumerate every computation-balanced
+// assignment of the multiplications to P processors, compute each
+// processor's exact projections (the data it must access), and take
+//
+//     min over partitions of  max over processors of  (projection sum).
+//
+// Theorem 3's proof says this minimum is at least the Lemma 2 optimum.  The
+// subset audit (loomis_whitney.hpp) checks one processor's subset; this one
+// checks whole executions, so it exercises the "some processor must…"
+// structure of the argument.  Exponential: P^flops / P! — keep flops small.
+#pragma once
+
+#include "core/dims.hpp"
+#include "core/loomis_whitney.hpp"
+
+namespace camb::core {
+
+/// Result of the exhaustive partition audit.
+struct PartitionAuditResult {
+  i64 best_max_projection_sum = 0;  ///< min over partitions of max over parts
+  i64 partitions_examined = 0;
+  /// A witness partition achieving the optimum: part index per lattice point
+  /// (row-major order of the iteration cuboid).
+  std::vector<int> witness;
+};
+
+/// Enumerates every partition of the iteration space into P parts of exactly
+/// |V|/P points each (requires P | flops; flops <= 16 enforced for P = 2,
+/// smaller for larger P: P^flops must stay <= ~20M).  Symmetry-reduced by
+/// fixing point 0 in part 0.
+PartitionAuditResult audit_balanced_partitions(const Shape& shape, int nprocs);
+
+/// Convenience predicate: the audit's communication-form statement — for
+/// every balanced partition some processor must access at least the Lemma 2
+/// optimum's worth of data.
+bool partition_audit_confirms_bound(const Shape& shape, int nprocs);
+
+}  // namespace camb::core

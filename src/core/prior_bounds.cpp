@@ -1,0 +1,56 @@
+#include "core/prior_bounds.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace camb::core {
+
+std::optional<double> PriorBoundRow::constant(RegimeCase regime) const {
+  switch (regime) {
+    case RegimeCase::kOneD: return case1;
+    case RegimeCase::kTwoD: return case2;
+    case RegimeCase::kThreeD: return case3;
+  }
+  throw Error("bad regime");
+}
+
+PriorBoundRow aggarwal_chandra_snir_1990() {
+  // LPRAM bound, Theorem 2.3 via Lemma 2.2: constant (1/2)^{2/3} on
+  // (mnk/P)^{2/3}; no bounds for the small-P regimes.
+  return {"Aggarwal et al. 1990", std::nullopt, std::nullopt,
+          std::pow(0.5, 2.0 / 3.0)};
+}
+
+PriorBoundRow irony_toledo_tiskin_2004() {
+  // Memory-independent corollary of their Thm 5.1, minimized over M:
+  // (1/2)(mnk/P)^{2/3}; nothing tighter for P < mn/k^2.
+  return {"Irony et al. 2004", std::nullopt, std::nullopt, 0.5};
+}
+
+PriorBoundRow demmel_et_al_2013() {
+  // First bounds covering all three regimes (their Table I / §II.B).
+  return {"Demmel et al. 2013", 16.0 / 25.0, std::sqrt(2.0 / 3.0), 1.0};
+}
+
+PriorBoundRow theorem3_2022() {
+  // This paper: tight constants in every regime.
+  return {"Theorem 3 (this paper)", 1.0, 2.0, 3.0};
+}
+
+std::vector<PriorBoundRow> table1_rows() {
+  return {aggarwal_chandra_snir_1990(), irony_toledo_tiskin_2004(),
+          demmel_et_al_2013(), theorem3_2022()};
+}
+
+double leading_term(RegimeCase regime, double m, double n, double k, double P) {
+  Lemma2Problem{m, n, k, P}.validate();
+  switch (regime) {
+    case RegimeCase::kOneD: return n * k;
+    case RegimeCase::kTwoD: return std::sqrt(m * n * k * k / P);
+    case RegimeCase::kThreeD: return std::pow(m * n * k / P, 2.0 / 3.0);
+  }
+  throw Error("bad regime");
+}
+
+}  // namespace camb::core

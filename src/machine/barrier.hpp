@@ -1,0 +1,46 @@
+// barrier.hpp — reusable sense-reversing barrier for the simulated machine.
+//
+// We implement our own rather than use std::barrier so the machine can keep
+// full control over synchronization semantics (no completion function, no
+// arrival tokens) and so the barrier can be reused an unbounded number of
+// times by exactly `count` participants.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace camb {
+
+class Barrier {
+ public:
+  explicit Barrier(int count) : count_(count), waiting_(0), sense_(false) {
+    CAMB_CHECK_MSG(count >= 1, "barrier needs at least one participant");
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all `count` participants have arrived.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool my_sense = sense_;
+    if (++waiting_ == count_) {
+      waiting_ = 0;
+      sense_ = !sense_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return sense_ != my_sense; });
+    }
+  }
+
+ private:
+  const int count_;
+  int waiting_;
+  bool sense_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace camb

@@ -1,0 +1,104 @@
+#include "machine/comm_stats.hpp"
+
+#include "util/error.hpp"
+
+namespace camb {
+
+CommStats::CommStats(int nprocs) : nprocs_(nprocs), slots_(nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "machine needs at least one processor");
+}
+
+void CommStats::set_phase(int rank, std::string phase) {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  note_phase_name(phase);
+  slots_[rank].active_phase = std::move(phase);
+}
+
+const std::string& CommStats::phase(int rank) const {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  return slots_[rank].active_phase;
+}
+
+void CommStats::record_send(int src, i64 words) {
+  CAMB_CHECK(src >= 0 && src < nprocs_);
+  auto& counters = slots_[src].by_phase[slots_[src].active_phase];
+  counters.words_sent += words;
+  counters.messages_sent += 1;
+}
+
+void CommStats::record_receive(int dst, i64 words) {
+  CAMB_CHECK(dst >= 0 && dst < nprocs_);
+  auto& counters = slots_[dst].by_phase[slots_[dst].active_phase];
+  counters.words_received += words;
+  counters.messages_received += 1;
+}
+
+PhaseCounters CommStats::rank_total(int rank) const {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  PhaseCounters total;
+  for (const auto& [name, counters] : slots_[rank].by_phase) total += counters;
+  return total;
+}
+
+PhaseCounters CommStats::rank_phase(int rank, const std::string& phase) const {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  auto it = slots_[rank].by_phase.find(phase);
+  return it == slots_[rank].by_phase.end() ? PhaseCounters{} : it->second;
+}
+
+i64 CommStats::critical_path_received_words() const {
+  i64 worst = 0;
+  for (int r = 0; r < nprocs_; ++r) {
+    worst = std::max(worst, rank_total(r).words_received);
+  }
+  return worst;
+}
+
+i64 CommStats::critical_path_sent_words() const {
+  i64 worst = 0;
+  for (int r = 0; r < nprocs_; ++r) {
+    worst = std::max(worst, rank_total(r).words_sent);
+  }
+  return worst;
+}
+
+double CommStats::critical_path_cost(const AlphaBeta& machine) const {
+  double worst = 0.0;
+  for (int r = 0; r < nprocs_; ++r) {
+    worst = std::max(worst, machine.cost(rank_total(r)));
+  }
+  return worst;
+}
+
+i64 CommStats::total_words_sent() const {
+  i64 total = 0;
+  for (int r = 0; r < nprocs_; ++r) total += rank_total(r).words_sent;
+  return total;
+}
+
+i64 CommStats::phase_critical_path_received_words(const std::string& phase) const {
+  i64 worst = 0;
+  for (int r = 0; r < nprocs_; ++r) {
+    worst = std::max(worst, rank_phase(r, phase).words_received);
+  }
+  return worst;
+}
+
+std::vector<std::string> CommStats::phases() const {
+  std::lock_guard<std::mutex> lock(phase_mutex_);
+  return phase_order_;
+}
+
+void CommStats::reset() {
+  for (auto& slot : slots_) slot.by_phase.clear();
+}
+
+void CommStats::note_phase_name(const std::string& phase) {
+  std::lock_guard<std::mutex> lock(phase_mutex_);
+  for (const auto& existing : phase_order_) {
+    if (existing == phase) return;
+  }
+  phase_order_.push_back(phase);
+}
+
+}  // namespace camb

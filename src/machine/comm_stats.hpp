@@ -1,0 +1,121 @@
+// comm_stats.hpp — exact communication accounting for the simulated machine.
+//
+// The paper's claims are statements about *words of data communicated per
+// processor along the critical path* in the α-β-γ model (§3.1).  Every send
+// through the network is recorded here, per rank and per named phase, so that
+// the benchmark harness can compare measured communication of an executed
+// algorithm against the analytic lower bound word-for-word.
+//
+// Conventions:
+//  * one "word" = one element of the payload (double);
+//  * per-rank counters are only ever written by that rank's thread, so they
+//    are plain (cache-line padded) fields, not atomics;
+//  * the bandwidth cost of an algorithm in the α-β model is reported as the
+//    maximum over ranks of received words (for the symmetric, bidirectional-
+//    exchange collectives used here, sent == received per rank, matching the
+//    (1 - 1/p)w accounting of §5.1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace camb {
+
+/// Counters for one rank within one phase.
+struct PhaseCounters {
+  i64 words_sent = 0;
+  i64 words_received = 0;
+  i64 messages_sent = 0;
+  i64 messages_received = 0;
+
+  PhaseCounters& operator+=(const PhaseCounters& other) {
+    words_sent += other.words_sent;
+    words_received += other.words_received;
+    messages_sent += other.messages_sent;
+    messages_received += other.messages_received;
+    return *this;
+  }
+};
+
+/// α-β cost of a set of counters: latency α per message plus bandwidth β per
+/// word, using the max(sent, received) convention for bidirectional links.
+struct AlphaBeta {
+  double alpha = 1.0;  ///< per-message latency cost
+  double beta = 1.0;   ///< per-word bandwidth cost
+
+  double cost(const PhaseCounters& c) const {
+    const double msgs =
+        static_cast<double>(std::max(c.messages_sent, c.messages_received));
+    const double words =
+        static_cast<double>(std::max(c.words_sent, c.words_received));
+    return alpha * msgs + beta * words;
+  }
+};
+
+/// Per-rank, per-phase communication statistics for one machine run.
+class CommStats {
+ public:
+  explicit CommStats(int nprocs);
+
+  int nprocs() const { return nprocs_; }
+
+  /// Set the active phase label for a rank (e.g. "allgather_A").  Subsequent
+  /// traffic by that rank is attributed to this phase.  Called by the rank's
+  /// own thread only.
+  void set_phase(int rank, std::string phase);
+  const std::string& phase(int rank) const;
+
+  /// Record a message. Called from the sender's thread; the receive half is
+  /// attributed to the receiver's currently active phase at receive time via
+  /// record_receive (mailbox bookkeeping keeps both ends exact).
+  void record_send(int src, i64 words);
+  void record_receive(int dst, i64 words);
+
+  /// Totals across all phases for one rank.
+  PhaseCounters rank_total(int rank) const;
+
+  /// Counters for one rank in one phase (zero if the phase never ran).
+  PhaseCounters rank_phase(int rank, const std::string& phase) const;
+
+  /// Max over ranks of received words — the bandwidth-cost word count used to
+  /// compare against the lower bounds.
+  i64 critical_path_received_words() const;
+
+  /// Max over ranks of sent words.
+  i64 critical_path_sent_words() const;
+
+  /// Max over ranks of α-β cost of the rank's total counters.
+  double critical_path_cost(const AlphaBeta& machine) const;
+
+  /// Sum over ranks of words sent (total traffic volume on the network).
+  i64 total_words_sent() const;
+
+  /// Max over ranks of received words within a single named phase.
+  i64 phase_critical_path_received_words(const std::string& phase) const;
+
+  /// All phase names that recorded any traffic, in first-use order.
+  std::vector<std::string> phases() const;
+
+  /// Reset all counters (phases keep their labels).
+  void reset();
+
+ private:
+  struct alignas(64) RankSlot {
+    std::string active_phase = "default";
+    std::map<std::string, PhaseCounters> by_phase;
+  };
+  int nprocs_;
+  std::vector<RankSlot> slots_;
+  std::vector<std::string> phase_order_;  // guarded by phase_mutex_
+  mutable std::mutex phase_mutex_;
+
+  void note_phase_name(const std::string& phase);
+};
+
+}  // namespace camb

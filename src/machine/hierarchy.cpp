@@ -1,0 +1,77 @@
+#include "machine/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace camb {
+
+NodeMapping::NodeMapping(std::vector<int> node_of, int nodes)
+    : node_of_(std::move(node_of)), nodes_(nodes) {
+  CAMB_CHECK_MSG(nodes >= 1, "need at least one node");
+  for (int node : node_of_) {
+    CAMB_CHECK_MSG(node >= 0 && node < nodes, "node index out of range");
+  }
+}
+
+NodeMapping NodeMapping::blocked(int nprocs, int nodes) {
+  CAMB_CHECK_MSG(nprocs >= 1 && nodes >= 1 && nprocs % nodes == 0,
+                 "blocked mapping requires nodes | nprocs");
+  const int per_node = nprocs / nodes;
+  std::vector<int> node_of(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    node_of[static_cast<std::size_t>(r)] = r / per_node;
+  }
+  return NodeMapping(std::move(node_of), nodes);
+}
+
+NodeMapping NodeMapping::round_robin(int nprocs, int nodes) {
+  CAMB_CHECK_MSG(nprocs >= 1 && nodes >= 1, "bad mapping sizes");
+  std::vector<int> node_of(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    node_of[static_cast<std::size_t>(r)] = r % nodes;
+  }
+  return NodeMapping(std::move(node_of), nodes);
+}
+
+NodeMapping NodeMapping::custom(std::vector<int> node_of, int nodes) {
+  CAMB_CHECK_MSG(!node_of.empty(), "mapping must cover at least one rank");
+  return NodeMapping(std::move(node_of), nodes);
+}
+
+int NodeMapping::node_of(int rank) const {
+  CAMB_CHECK(rank >= 0 && rank < nprocs());
+  return node_of_[static_cast<std::size_t>(rank)];
+}
+
+HierarchyReport analyze_hierarchy(const Trace& trace,
+                                  const NodeMapping& mapping) {
+  CAMB_CHECK_MSG(trace.nprocs() == mapping.nprocs(),
+                 "trace and mapping sizes must agree");
+  HierarchyReport report;
+  std::vector<i64> ingress(static_cast<std::size_t>(mapping.nodes()), 0);
+  std::vector<i64> egress(static_cast<std::size_t>(mapping.nodes()), 0);
+  for (const auto& event : trace.events()) {
+    report.total_words += event.words;
+    const int src_node = mapping.node_of(event.src);
+    const int dst_node = mapping.node_of(event.dst);
+    if (src_node == dst_node) {
+      report.intra_node_words += event.words;
+    } else {
+      report.inter_node_words += event.words;
+      egress[static_cast<std::size_t>(src_node)] += event.words;
+      ingress[static_cast<std::size_t>(dst_node)] += event.words;
+    }
+  }
+  for (i64 words : ingress) {
+    report.max_node_ingress_words =
+        std::max(report.max_node_ingress_words, words);
+  }
+  for (i64 words : egress) {
+    report.max_node_egress_words =
+        std::max(report.max_node_egress_words, words);
+  }
+  return report;
+}
+
+}  // namespace camb

@@ -1,0 +1,57 @@
+// hierarchy.hpp — two-level (node / core) analysis of message traces.
+//
+// Real machines group cores into nodes: intra-node words are cheap,
+// inter-node words are the scarce resource.  The §3.1 model is flat, but its
+// bounds still govern the node level — treat each node as one "processor"
+// with its cores' combined memory, and Theorem 3 applies to the inter-node
+// traffic with P' = node count.  This module classifies a trace's messages
+// by a rank→node mapping and reports the quantities that matter at that
+// level, so the benches can show how much the *mapping* of the logical grid
+// onto nodes changes inter-node communication (fiber-aligned placement keeps
+// whole collectives inside nodes).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "machine/trace.hpp"
+
+namespace camb {
+
+/// A rank→node assignment over `nprocs` ranks and `nodes` nodes.
+class NodeMapping {
+ public:
+  /// Blocked: ranks [k·c, (k+1)·c) on node k (c = nprocs/nodes).
+  static NodeMapping blocked(int nprocs, int nodes);
+  /// Round-robin: rank r on node r mod nodes.
+  static NodeMapping round_robin(int nprocs, int nodes);
+  /// Arbitrary assignment (size nprocs, values in [0, nodes)).
+  static NodeMapping custom(std::vector<int> node_of, int nodes);
+
+  int nprocs() const { return static_cast<int>(node_of_.size()); }
+  int nodes() const { return nodes_; }
+  int node_of(int rank) const;
+
+ private:
+  NodeMapping(std::vector<int> node_of, int nodes);
+  std::vector<int> node_of_;
+  int nodes_;
+};
+
+/// Inter-/intra-node traffic split of a trace under a mapping.
+struct HierarchyReport {
+  i64 total_words = 0;
+  i64 intra_node_words = 0;
+  i64 inter_node_words = 0;
+  /// Max over nodes of words entering the node from other nodes — the
+  /// node-level analog of the per-processor critical-path count that
+  /// Theorem 3 (with P' = nodes) lower-bounds.
+  i64 max_node_ingress_words = 0;
+  /// Max over nodes of words leaving the node.
+  i64 max_node_egress_words = 0;
+};
+
+HierarchyReport analyze_hierarchy(const Trace& trace,
+                                  const NodeMapping& mapping);
+
+}  // namespace camb

@@ -1,0 +1,127 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace camb {
+
+RankCtx::RankCtx(Machine& machine, int rank)
+    : machine_(machine), rank_(rank),
+      rng_(machine.seed(), static_cast<std::uint64_t>(rank)) {}
+
+int RankCtx::nprocs() const { return machine_.nprocs(); }
+
+void RankCtx::send(int dst, int tag, std::vector<double> payload) {
+  if (dst != rank_) {
+    const auto& params = machine_.time_params();
+    clock_ += params.alpha +
+              params.beta * static_cast<double>(payload.size());
+  }
+  machine_.network().send(rank_, dst, tag, std::move(payload), clock_);
+}
+
+std::vector<double> RankCtx::recv(int src, int tag) {
+  double arrival = 0.0;
+  std::vector<double> payload =
+      machine_.network().recv(rank_, src, tag, &arrival);
+  if (src != rank_) clock_ = std::max(clock_, arrival);
+  return payload;
+}
+
+std::vector<double> RankCtx::sendrecv(int peer, int tag,
+                                      std::vector<double> payload) {
+  send(peer, tag, std::move(payload));
+  return recv(peer, tag);
+}
+
+void RankCtx::barrier() {
+  clock_ = machine_.sync_clock_at_barrier(rank_, clock_);
+}
+
+void RankCtx::advance_clock(double seconds) {
+  CAMB_CHECK_MSG(seconds >= 0, "clocks only move forward");
+  clock_ += seconds;
+}
+
+void RankCtx::acquire_words(i64 words) {
+  CAMB_CHECK_MSG(words >= 0, "working-set sizes are non-negative");
+  current_words_ += words;
+  peak_words_ = std::max(peak_words_, current_words_);
+}
+
+void RankCtx::release_words(i64 words) {
+  CAMB_CHECK_MSG(words >= 0 && words <= current_words_,
+                 "unbalanced working-set release");
+  current_words_ -= words;
+}
+
+void RankCtx::set_phase(const std::string& phase) {
+  machine_.stats().set_phase(rank_, phase);
+}
+
+Network& RankCtx::network() { return machine_.network(); }
+
+Machine::Machine(int nprocs, std::uint64_t seed)
+    : network_(nprocs), barrier_(nprocs), seed_(seed) {}
+
+Trace& Machine::enable_trace() {
+  if (!trace_) {
+    trace_ = std::make_unique<Trace>(nprocs());
+    network_.set_trace(trace_.get());
+  }
+  return *trace_;
+}
+
+void Machine::run(const std::function<void(RankCtx&)>& program) {
+  const int p = nprocs();
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  final_clocks_.assign(static_cast<std::size_t>(p), 0.0);
+  barrier_clocks_.assign(static_cast<std::size_t>(p), 0.0);
+  peak_memory_.assign(static_cast<std::size_t>(p), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        RankCtx ctx(*this, r);
+        program(ctx);
+        final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
+        peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  CAMB_CHECK_MSG(network_.pending_messages() == 0,
+                 "program finished with undelivered messages");
+}
+
+double Machine::critical_path_time() const {
+  double worst = 0.0;
+  for (double clock : final_clocks_) worst = std::max(worst, clock);
+  return worst;
+}
+
+i64 Machine::max_peak_memory_words() const {
+  i64 worst = 0;
+  for (i64 peak : peak_memory_) worst = std::max(worst, peak);
+  return worst;
+}
+
+double Machine::sync_clock_at_barrier(int rank, double clock) {
+  barrier_clocks_[static_cast<std::size_t>(rank)] = clock;
+  barrier_.arrive_and_wait();
+  double worst = 0.0;
+  for (double c : barrier_clocks_) worst = std::max(worst, c);
+  barrier_.arrive_and_wait();  // keep slots stable until everyone has read
+  return worst;
+}
+
+}  // namespace camb

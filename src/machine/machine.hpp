@@ -1,0 +1,154 @@
+// machine.hpp — the simulated distributed-memory machine (§3.1).
+//
+// A Machine runs an SPMD program: P logical processors, each backed by an OS
+// thread with its own local data, communicating only through the counted
+// Network.  This is the substrate on which all parallel matrix multiplication
+// algorithms in this library execute, replacing the MPI cluster of the
+// paper's setting with an instrumented equivalent (see DESIGN.md §1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "machine/barrier.hpp"
+#include "machine/network.hpp"
+#include "util/rng.hpp"
+
+namespace camb {
+
+class Machine;
+
+/// Per-rank handle passed to the SPMD program. All communication and
+/// synchronization a rank performs goes through its RankCtx.
+///
+/// Logical clock model (a LogP-style schedule on top of the α-β costs):
+/// every counted send advances the sender's clock by α + β·w and stamps the
+/// message; every counted receive synchronizes the receiver's clock to at
+/// least the stamp.  The maximum final clock over ranks is the simulated
+/// critical-path *time* of the program — it captures pipelining and
+/// imbalance that the aggregate word/message counters cannot (e.g. a
+/// binomial broadcast's root serializing its log p sends).
+class RankCtx {
+ public:
+  RankCtx(Machine& machine, int rank);
+
+  int rank() const { return rank_; }
+  int nprocs() const;
+
+  /// Point-to-point primitives (buffered send, blocking receive).
+  void send(int dst, int tag, std::vector<double> payload);
+  std::vector<double> recv(int src, int tag);
+
+  /// Simultaneous exchange with a peer: send `payload`, receive the peer's.
+  /// Models one use of a bidirectional link; deadlock-free because sends are
+  /// buffered.
+  std::vector<double> sendrecv(int peer, int tag, std::vector<double> payload);
+
+  /// Whole-machine barrier (synchronizes all logical clocks to the max).
+  void barrier();
+
+  /// Label subsequent traffic of this rank for per-phase accounting.
+  void set_phase(const std::string& phase);
+
+  /// This rank's logical clock (seconds under the machine's α-β params).
+  double clock() const { return clock_; }
+  /// Advance the clock by local work (e.g. γ · flops), never backwards.
+  void advance_clock(double seconds);
+
+  /// Working-set accounting: algorithms report the buffers they hold so the
+  /// per-rank peak can be *measured* (the §6.2 memory claims).  Balanced
+  /// acquire/release is the caller's contract; WorkingSet below is the RAII
+  /// helper.
+  void acquire_words(i64 words);
+  void release_words(i64 words);
+  i64 current_words() const { return current_words_; }
+  i64 peak_words() const { return peak_words_; }
+
+  /// Deterministic per-rank RNG stream.
+  Rng& rng() { return rng_; }
+
+  Network& network();
+
+ private:
+  Machine& machine_;
+  int rank_;
+  double clock_ = 0.0;
+  i64 current_words_ = 0;
+  i64 peak_words_ = 0;
+  Rng rng_;
+};
+
+/// RAII working-set registration: holds `words` against the rank's memory
+/// accounting for the lifetime of the guard.
+class WorkingSet {
+ public:
+  WorkingSet(RankCtx& ctx, i64 words) : ctx_(ctx), words_(words) {
+    ctx_.acquire_words(words_);
+  }
+  ~WorkingSet() { ctx_.release_words(words_); }
+  WorkingSet(const WorkingSet&) = delete;
+  WorkingSet& operator=(const WorkingSet&) = delete;
+
+ private:
+  RankCtx& ctx_;
+  i64 words_;
+};
+
+/// The machine itself: owns the network and runs SPMD programs.
+class Machine {
+ public:
+  /// Creates a machine with `nprocs` logical processors.  `seed` drives the
+  /// per-rank RNG streams.
+  explicit Machine(int nprocs, std::uint64_t seed = 42);
+
+  int nprocs() const { return network_.nprocs(); }
+  std::uint64_t seed() const { return seed_; }
+
+  Network& network() { return network_; }
+  const CommStats& stats() const { return network_.stats(); }
+  CommStats& stats() { return network_.stats(); }
+
+  /// Run `program` as an SPMD computation: one thread per rank, all started
+  /// together, joined before returning.  Any exception thrown by a rank is
+  /// captured and rethrown here (the first one, by rank order).  After a
+  /// successful run, verifies no undelivered messages remain.
+  void run(const std::function<void(RankCtx&)>& program);
+
+  Barrier& barrier() { return barrier_; }
+
+  /// Turn on per-message event tracing; returns the trace (owned by the
+  /// machine, valid for its lifetime).  Idempotent.
+  Trace& enable_trace();
+  /// The active trace, or nullptr when tracing is off.
+  Trace* trace() { return trace_.get(); }
+
+  /// α-β parameters driving the logical clocks (default α = β = 1, i.e. the
+  /// clock counts messages + words directly).
+  void set_time_params(const AlphaBeta& params) { time_params_ = params; }
+  const AlphaBeta& time_params() const { return time_params_; }
+
+  /// After run(): each rank's final logical clock, and the max over ranks —
+  /// the simulated critical-path execution time.
+  const std::vector<double>& final_clocks() const { return final_clocks_; }
+  double critical_path_time() const;
+
+  /// After run(): each rank's peak registered working set, and the max —
+  /// meaningful only for programs that register buffers (WorkingSet).
+  const std::vector<i64>& peak_memory_words() const { return peak_memory_; }
+  i64 max_peak_memory_words() const;
+
+  /// Barrier clock synchronization support (used by RankCtx::barrier).
+  double sync_clock_at_barrier(int rank, double clock);
+
+ private:
+  Network network_;
+  Barrier barrier_;
+  std::uint64_t seed_;
+  std::unique_ptr<Trace> trace_;
+  AlphaBeta time_params_{1.0, 1.0};
+  std::vector<double> final_clocks_;
+  std::vector<double> barrier_clocks_;
+  std::vector<i64> peak_memory_;
+};
+
+}  // namespace camb

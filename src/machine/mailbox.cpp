@@ -1,0 +1,40 @@
+#include "machine/mailbox.hpp"
+
+namespace camb {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop_matching(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        Message out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+Message Mailbox::pop_any() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !queue_.empty(); });
+  Message out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace camb

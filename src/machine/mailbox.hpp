@@ -1,0 +1,52 @@
+// mailbox.hpp — per-processor message queue with (source, tag) matching.
+//
+// Sends are buffered (never block), so any schedule of matching sends and
+// receives is deadlock-free; receives block until a matching message arrives.
+// This mirrors the eager-protocol semantics message-passing programs rely on
+// for small and medium messages, and keeps collective implementations simple.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace camb {
+
+/// A message in flight: the payload plus its envelope and the logical time
+/// at which it left the sender (see machine.hpp's clock model).
+struct Message {
+  int src = -1;
+  int tag = 0;
+  double depart_time = 0.0;
+  std::vector<double> payload;
+};
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposit a message (called by the sender's thread). Never blocks.
+  void push(Message msg);
+
+  /// Block until a message with envelope (src, tag) is available and return
+  /// it.  Matching is exact on both fields; use wildcards via recv_any.
+  Message pop_matching(int src, int tag);
+
+  /// Block until any message is available and return the oldest one.
+  Message pop_any();
+
+  /// Number of queued messages (for tests / leak detection).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace camb

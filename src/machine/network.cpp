@@ -1,0 +1,46 @@
+#include "machine/network.hpp"
+
+#include "util/error.hpp"
+
+namespace camb {
+
+Network::Network(int nprocs) : nprocs_(nprocs), stats_(nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "network needs at least one processor");
+  mailboxes_.reserve(nprocs);
+  for (int r = 0; r < nprocs; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Network::send(int src, int dst, int tag, std::vector<double> payload,
+                   double depart_time) {
+  CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  const bool counted = (src != dst);
+  if (counted) {
+    stats_.record_send(src, static_cast<i64>(payload.size()));
+    if (trace_ != nullptr) {
+      trace_->record(src, dst, tag, static_cast<i64>(payload.size()),
+                     stats_.phase(src));
+    }
+  }
+  mailboxes_[dst]->push(Message{src, tag, depart_time, std::move(payload)});
+}
+
+std::vector<double> Network::recv(int dst, int src, int tag,
+                                  double* arrival_time) {
+  CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  Message msg = mailboxes_[dst]->pop_matching(src, tag);
+  if (src != dst) {
+    stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));
+  }
+  if (arrival_time != nullptr) *arrival_time = msg.depart_time;
+  return std::move(msg.payload);
+}
+
+std::size_t Network::pending_messages() const {
+  std::size_t total = 0;
+  for (const auto& mailbox : mailboxes_) total += mailbox->pending();
+  return total;
+}
+
+}  // namespace camb

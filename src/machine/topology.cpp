@@ -1,0 +1,140 @@
+#include "machine/topology.hpp"
+
+#include "util/error.hpp"
+
+namespace camb {
+
+i64 Topology::hops(int src, int dst) const {
+  return static_cast<i64>(route(src, dst).size());
+}
+
+// ---------------------------------------------------------------------------
+// FullyConnected
+// ---------------------------------------------------------------------------
+
+FullyConnected::FullyConnected(int nprocs) : nprocs_(nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "topology needs at least one node");
+}
+
+std::vector<Link> FullyConnected::route(int src, int dst) const {
+  CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  if (src == dst) return {};
+  return {Link{src, dst}};
+}
+
+// ---------------------------------------------------------------------------
+// Ring
+// ---------------------------------------------------------------------------
+
+Ring::Ring(int nprocs) : nprocs_(nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "topology needs at least one node");
+}
+
+std::vector<Link> Ring::route(int src, int dst) const {
+  CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  std::vector<Link> links;
+  if (src == dst) return links;
+  const int forward = (dst - src + nprocs_) % nprocs_;
+  const int backward = nprocs_ - forward;
+  const int step = forward <= backward ? 1 : nprocs_ - 1;  // +1 or -1 mod p
+  int node = src;
+  while (node != dst) {
+    const int next = (node + step) % nprocs_;
+    links.push_back({node, next});
+    node = next;
+  }
+  return links;
+}
+
+// ---------------------------------------------------------------------------
+// Torus2D
+// ---------------------------------------------------------------------------
+
+Torus2D::Torus2D(int rows, int cols) : rows_(rows), cols_(cols) {
+  CAMB_CHECK_MSG(rows >= 1 && cols >= 1, "torus dims must be >= 1");
+}
+
+std::string Torus2D::name() const {
+  return "torus_" + std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+std::vector<Link> Torus2D::route(int src, int dst) const {
+  CAMB_CHECK(src >= 0 && src < nprocs() && dst >= 0 && dst < nprocs());
+  std::vector<Link> links;
+  int row = src / cols_, col = src % cols_;
+  const int drow = dst / cols_, dcol = dst % cols_;
+  auto step_toward = [&](int from, int to, int extent) {
+    const int forward = (to - from + extent) % extent;
+    const int backward = extent - forward;
+    return forward <= backward ? 1 : extent - 1;
+  };
+  // X (column) dimension first, then Y (rows): dimension-ordered routing.
+  while (col != dcol) {
+    const int next_col = (col + step_toward(col, dcol, cols_)) % cols_;
+    links.push_back({row * cols_ + col, row * cols_ + next_col});
+    col = next_col;
+  }
+  while (row != drow) {
+    const int next_row = (row + step_toward(row, drow, rows_)) % rows_;
+    links.push_back({row * cols_ + col, next_row * cols_ + col});
+    row = next_row;
+  }
+  return links;
+}
+
+// ---------------------------------------------------------------------------
+// Hypercube
+// ---------------------------------------------------------------------------
+
+Hypercube::Hypercube(int nprocs) : nprocs_(nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1 && (nprocs & (nprocs - 1)) == 0,
+                 "hypercube size must be a power of two");
+}
+
+std::vector<Link> Hypercube::route(int src, int dst) const {
+  CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  std::vector<Link> links;
+  int node = src;
+  for (int bit = 1; bit < nprocs_; bit <<= 1) {
+    if ((node & bit) != (dst & bit)) {
+      const int next = node ^ bit;
+      links.push_back({node, next});
+      node = next;
+    }
+  }
+  return links;
+}
+
+// ---------------------------------------------------------------------------
+// Contention analysis
+// ---------------------------------------------------------------------------
+
+ContentionReport analyze_contention(const Trace& trace, const Topology& topo) {
+  CAMB_CHECK_MSG(trace.nprocs() == topo.nprocs(),
+                 "trace and topology sizes must agree");
+  ContentionReport report;
+  for (const auto& event : trace.events()) {
+    report.total_words += event.words;
+    const auto links = trace.nprocs() == 1
+                           ? std::vector<Link>{}
+                           : topo.route(event.src, event.dst);
+    report.hop_words += static_cast<i64>(links.size()) * event.words;
+    for (const Link& link : links) {
+      report.link_words[link] += event.words;
+    }
+  }
+  for (const auto& [link, words] : report.link_words) {
+    if (words > report.max_link_words) {
+      report.max_link_words = words;
+      report.max_link = link;
+    }
+  }
+  report.mean_hops =
+      report.total_words > 0
+          ? static_cast<double>(report.hop_words) /
+                static_cast<double>(report.total_words)
+          : 0.0;
+  return report;
+}
+
+}  // namespace camb

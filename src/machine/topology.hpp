@@ -1,0 +1,105 @@
+// topology.hpp — physical network topologies and contention analysis.
+//
+// The §3.1 machine model assumes a fully connected, contention-free network;
+// real machines have rings, tori, and fat-trees.  This module maps a
+// recorded message trace (trace.hpp) onto a physical topology with
+// deterministic shortest-path / dimension-ordered routing and reports what
+// the model abstracts away: per-link loads, the most congested link, and
+// hop-weighted traffic.  The topology bench uses it to show how the choice
+// of collective variant and processor grid interacts with the physical
+// network — e.g. a ring All-Gather maps perfectly onto a physical ring while
+// recursive doubling's long-range partners pile onto the same links.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/trace.hpp"
+
+namespace camb {
+
+/// A directed physical link between neighbouring nodes.
+using Link = std::pair<int, int>;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::string name() const = 0;
+  virtual int nprocs() const = 0;
+
+  /// Deterministic route from a to b as a sequence of directed links
+  /// (empty for a == b).  Routes are shortest paths under the topology's
+  /// canonical routing (minimal-direction for rings, dimension-ordered for
+  /// tori and hypercubes).
+  virtual std::vector<Link> route(int src, int dst) const = 0;
+
+  /// Number of hops from src to dst (== route(src, dst).size()).
+  i64 hops(int src, int dst) const;
+};
+
+/// Every pair one hop apart — the paper's model.
+class FullyConnected final : public Topology {
+ public:
+  explicit FullyConnected(int nprocs);
+  std::string name() const override { return "fully_connected"; }
+  int nprocs() const override { return nprocs_; }
+  std::vector<Link> route(int src, int dst) const override;
+
+ private:
+  int nprocs_;
+};
+
+/// Bidirectional ring; routes take the shorter direction (ties go up).
+class Ring final : public Topology {
+ public:
+  explicit Ring(int nprocs);
+  std::string name() const override { return "ring"; }
+  int nprocs() const override { return nprocs_; }
+  std::vector<Link> route(int src, int dst) const override;
+
+ private:
+  int nprocs_;
+};
+
+/// rows × cols torus with X-then-Y dimension-ordered routing, each dimension
+/// taking its shorter direction.
+class Torus2D final : public Topology {
+ public:
+  Torus2D(int rows, int cols);
+  std::string name() const override;
+  int nprocs() const override { return rows_ * cols_; }
+  std::vector<Link> route(int src, int dst) const override;
+
+ private:
+  int rows_, cols_;
+};
+
+/// Hypercube on 2^d nodes with ascending bit-fixing routes.
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(int nprocs);  // nprocs must be a power of two
+  std::string name() const override { return "hypercube"; }
+  int nprocs() const override { return nprocs_; }
+  std::vector<Link> route(int src, int dst) const override;
+
+ private:
+  int nprocs_;
+};
+
+/// What the fully-connected abstraction hides on a given topology.
+struct ContentionReport {
+  i64 total_words = 0;      ///< words in the trace (topology-independent)
+  i64 hop_words = 0;        ///< sum over messages of words × hops
+  double mean_hops = 0;     ///< hop_words / total_words (0 if no traffic)
+  i64 max_link_words = 0;   ///< load on the most congested directed link
+  Link max_link = {-1, -1};
+  std::map<Link, i64> link_words;  ///< full per-link load map
+};
+
+/// Route every traced message over the topology and aggregate link loads.
+ContentionReport analyze_contention(const Trace& trace, const Topology& topo);
+
+}  // namespace camb

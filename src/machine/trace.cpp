@@ -1,0 +1,101 @@
+#include "machine/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace camb {
+
+Trace::Trace(int nprocs) : nprocs_(nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "trace needs at least one processor");
+}
+
+void Trace::record(int src, int dst, int tag, i64 words,
+                   const std::string& phase) {
+  MessageEvent event;
+  event.seq = next_seq_.fetch_add(1);
+  event.src = src;
+  event.dst = dst;
+  event.tag = tag;
+  event.words = words;
+  event.phase = phase;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<MessageEvent> Trace::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MessageEvent> snapshot = events_;
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const MessageEvent& a, const MessageEvent& b) {
+              return a.seq < b.seq;
+            });
+  return snapshot;
+}
+
+std::size_t Trace::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<std::vector<i64>> Trace::traffic_matrix() const {
+  std::vector<std::vector<i64>> matrix(
+      static_cast<std::size_t>(nprocs_),
+      std::vector<i64>(static_cast<std::size_t>(nprocs_), 0));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& event : events_) {
+    matrix[static_cast<std::size_t>(event.src)]
+          [static_cast<std::size_t>(event.dst)] += event.words;
+  }
+  return matrix;
+}
+
+i64 Trace::words_between(int src, int dst) const {
+  CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  i64 total = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& event : events_) {
+    if (event.src == src && event.dst == dst) total += event.words;
+  }
+  return total;
+}
+
+std::vector<MessageEvent> Trace::events_in_phase(
+    const std::string& phase) const {
+  std::vector<MessageEvent> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& event : events_) {
+    if (event.phase == phase) out.push_back(event);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MessageEvent& a, const MessageEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::vector<int> Trace::partners_of(int rank) const {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  std::set<int> partners;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& event : events_) {
+    if (event.src == rank) partners.insert(event.dst);
+    if (event.dst == rank) partners.insert(event.src);
+  }
+  return std::vector<int>(partners.begin(), partners.end());
+}
+
+void Trace::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  CAMB_CHECK_MSG(file.good(), "cannot open trace CSV: " + path);
+  file << "seq,src,dst,tag,words,phase\n";
+  for (const auto& event : events()) {
+    file << event.seq << ',' << event.src << ',' << event.dst << ','
+         << event.tag << ',' << event.words << ',' << event.phase << '\n';
+  }
+  CAMB_CHECK_MSG(file.good(), "error writing trace CSV: " + path);
+}
+
+}  // namespace camb

@@ -1,0 +1,187 @@
+#include "matmul/alg25d.hpp"
+
+#include "collectives/bcast.hpp"
+#include "collectives/coll_cost.hpp"
+#include "collectives/reduce.hpp"
+#include "matmul/local_gemm.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+namespace {
+
+/// Layer-major rank layout: rank = (l * g + i) * g + j.
+struct Coords25d {
+  i64 i, j, l;
+};
+
+int rank_of(i64 i, i64 j, i64 l, i64 g) {
+  return static_cast<int>((l * g + i) * g + j);
+}
+
+Coords25d coords_of(int rank, i64 g) {
+  const i64 r = rank;
+  return {(r / g) % g, r % g, r / (g * g)};
+}
+
+std::vector<int> depth_fiber(i64 i, i64 j, i64 g, i64 c) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(c));
+  for (i64 l = 0; l < c; ++l) out.push_back(rank_of(i, j, l, g));
+  return out;
+}
+
+BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
+                      i64 ci) {
+  BlockChunk chunk;
+  chunk.row0 = rows.start(ri);
+  chunk.col0 = cols.start(ci);
+  chunk.rows = rows.size(ri);
+  chunk.cols = cols.size(ci);
+  chunk.flat_start = 0;
+  chunk.flat_size = chunk.rows * chunk.cols;
+  return chunk;
+}
+
+void validate(const Alg25dConfig& cfg, int nprocs) {
+  CAMB_CHECK_MSG(cfg.g >= 1 && cfg.c >= 1, "grid dimensions must be >= 1");
+  CAMB_CHECK_MSG(cfg.g % cfg.c == 0, "2.5D requires c | g");
+  CAMB_CHECK_MSG(cfg.g * cfg.g * cfg.c == nprocs,
+                 "machine size must equal g*g*c");
+}
+
+}  // namespace
+
+Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
+  validate(cfg, ctx.nprocs());
+  const i64 g = cfg.g, c = cfg.c;
+  const i64 w = g / c;  // Cannon steps per layer
+  const auto [i, j, l] = coords_of(ctx.rank(), g);
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+
+  // Layer 0 materializes the single input copy.
+  std::vector<double> a_held, b_held;
+  if (l == 0) {
+    a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
+    b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
+  }
+
+  // 1. Replicate both inputs along the depth fiber.
+  ctx.set_phase(kPhase25dReplicate);
+  const std::vector<int> depth = depth_fiber(i, j, g, c);
+  coll::bcast(ctx, depth, 0, a_held, d1.size(i) * d2.size(j), 0);
+  coll::bcast(ctx, depth, 0, b_held, d2.size(i) * d3.size(j),
+              coll::kTagStride);
+
+  // 2. Initial skew: layer l starts at k-offset l*w, so rank (i, j, l) must
+  // hold A_{i, s0} and B_{s0, j} with s0 = (i + j + l*w) mod g.
+  ctx.set_phase(kPhase25dSkew);
+  const i64 s0 = (i + j + l * w) % g;
+  if (g > 1) {
+    const i64 a_dst_col = (j - i - l * w % g + 2 * g) % g;
+    ctx.send(rank_of(i, a_dst_col, l, g), 2 * coll::kTagStride,
+             std::move(a_held));
+    a_held = ctx.recv(rank_of(i, s0, l, g), 2 * coll::kTagStride);
+    const i64 b_dst_row = (i - j - l * w % g + 2 * g) % g;
+    ctx.send(rank_of(b_dst_row, j, l, g), 2 * coll::kTagStride + 1,
+             std::move(b_held));
+    b_held = ctx.recv(rank_of(s0, j, l, g), 2 * coll::kTagStride + 1);
+  }
+
+  // 3. w Cannon steps within the layer, covering k-blocks s0 .. s0 + w - 1.
+  MatrixD c_partial(d1.size(i), d3.size(j));
+  for (i64 t = 0; t < w; ++t) {
+    const i64 s = (s0 + t) % g;
+    ctx.set_phase(kPhase25dGemm);
+    MatrixD a_mat(d1.size(i), d2.size(s));
+    CAMB_CHECK(static_cast<i64>(a_held.size()) == a_mat.size());
+    std::copy(a_held.begin(), a_held.end(), a_mat.data());
+    MatrixD b_mat(d2.size(s), d3.size(j));
+    CAMB_CHECK(static_cast<i64>(b_held.size()) == b_mat.size());
+    std::copy(b_held.begin(), b_held.end(), b_mat.data());
+    gemm_accumulate(a_mat, b_mat, c_partial);
+
+    if (t + 1 < w && g > 1) {
+      ctx.set_phase(kPhase25dShift);
+      const int tag = 3 * coll::kTagStride + static_cast<int>(2 * (t + 1));
+      ctx.send(rank_of(i, (j - 1 + g) % g, l, g), tag, std::move(a_held));
+      a_held = ctx.recv(rank_of(i, (j + 1) % g, l, g), tag);
+      ctx.send(rank_of((i - 1 + g) % g, j, l, g), tag + 1, std::move(b_held));
+      b_held = ctx.recv(rank_of((i + 1) % g, j, l, g), tag + 1);
+    }
+  }
+
+  // 4. Sum the layers' partials onto layer 0.
+  ctx.set_phase(kPhase25dReduce);
+  std::vector<double> c_flat(c_partial.data(),
+                             c_partial.data() + c_partial.size());
+  std::vector<double> c_sum =
+      coll::reduce(ctx, depth, 0, std::move(c_flat), 4 * coll::kTagStride);
+
+  Block2DOutput out;
+  out.row0 = d1.start(i);
+  out.col0 = d3.start(j);
+  if (l == 0) {
+    out.block = MatrixD(d1.size(i), d3.size(j));
+    CAMB_CHECK(static_cast<i64>(c_sum.size()) == out.block.size());
+    std::copy(c_sum.begin(), c_sum.end(), out.block.data());
+  }
+  return out;
+}
+
+i64 alg25d_predicted_recv_words(const Alg25dConfig& cfg, int rank) {
+  const i64 g = cfg.g, c = cfg.c;
+  const i64 w = g / c;
+  const auto [i, j, l] = coords_of(rank, g);
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+  i64 words = 0;
+  // 1. Depth broadcasts: every non-layer-0 rank receives both blocks once.
+  if (l != 0) words += d1.size(i) * d2.size(j) + d2.size(i) * d3.size(j);
+  // 2. Skew (self-moves are free): A arrives from column s0, B from row s0.
+  const i64 s0 = (i + j + l * w) % g;
+  if (g > 1) {
+    if (s0 != j) words += d1.size(i) * d2.size(s0);
+    if (s0 != i) words += d2.size(s0) * d3.size(j);
+  }
+  // 3. Shifts t = 1 .. w-1 (neighbours, never self for g > 1).
+  if (g > 1) {
+    for (i64 t = 1; t < w; ++t) {
+      const i64 s = (s0 + t) % g;
+      words += d1.size(i) * d2.size(s);
+      words += d2.size(s) * d3.size(j);
+    }
+  }
+  // 4. Depth reduce (binomial): replicate the reduce() round structure.
+  const i64 wc = d1.size(i) * d3.size(j);
+  if (c > 1) {
+    int top = 1;
+    while (top < c) top <<= 1;
+    for (int dist = top >> 1; dist >= 1; dist >>= 1) {
+      if (l < dist && l + dist < c) words += wc;
+    }
+  }
+  return words;
+}
+
+double alg25d_cost_words(const Alg25dConfig& cfg) {
+  i64 worst = 0;
+  const i64 P = cfg.g * cfg.g * cfg.c;
+  for (i64 r = 0; r < P; ++r) {
+    worst = std::max(worst,
+                     alg25d_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  return static_cast<double>(worst);
+}
+
+double alg25d_memory_words(const Alg25dConfig& cfg) {
+  const auto g = static_cast<double>(cfg.g);
+  const auto n1 = static_cast<double>(cfg.shape.n1);
+  const auto n2 = static_cast<double>(cfg.shape.n2);
+  const auto n3 = static_cast<double>(cfg.shape.n3);
+  // One replicated block of each input plus the C partial, per rank.
+  return n1 * n2 / (g * g) + n2 * n3 / (g * g) + n1 * n3 / (g * g);
+}
+
+}  // namespace camb::mm

@@ -1,0 +1,51 @@
+// alg25d.hpp — the 2.5D algorithm of Solomonik & Demmel (2011), the
+// classical memory-for-communication trade-off baseline (§2.4, §6.2).
+//
+// P = g*g*c processors form a g×g×c grid (c "replication layers", c | g).
+// One copy of A and B starts on layer 0 (so the lower bound's one-copy
+// assumption holds); the algorithm explicitly replicates them c-fold:
+//
+//   1. depth-broadcast A_{ij}, B_{ij} from layer 0 to all layers,
+//   2. per-layer initial skew so layer l starts at k-offset l*(g/c),
+//   3. g/c Cannon-style multiply+shift steps within each layer,
+//   4. depth-reduce the partial C blocks back onto layer 0.
+//
+// Per-rank communication is ~ 2 n^2 / sqrt(cP) for square problems: more
+// memory (c copies) buys less communication, interpolating between Cannon
+// (c = 1) and the 3D algorithm (c = g).  Algorithm 1 on a matched grid
+// achieves the same bandwidth with one collective per matrix, which is the
+// §2.4 point that 3D-style algorithms subsume 2.5D.
+#pragma once
+
+#include "matmul/distribution.hpp"
+#include "matmul/summa.hpp"
+
+namespace camb::mm {
+
+struct Alg25dConfig {
+  Shape shape;
+  i64 g = 1;  ///< layer grid edge
+  i64 c = 1;  ///< replication depth; requires c | g, machine size g*g*c
+};
+
+/// A rank's output: layer-0 ranks return their full C block; other layers
+/// return an empty block (the output lives in one copy, on layer 0).
+Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg);
+
+/// Exact predicted received words for `rank`.
+i64 alg25d_predicted_recv_words(const Alg25dConfig& cfg, int rank);
+
+/// Analytic per-rank communication (critical path, equal blocks): the
+/// classical 2.5D cost expression, for the comparison benches.
+double alg25d_cost_words(const Alg25dConfig& cfg);
+
+/// Memory words per rank: the c-fold replicated inputs plus the C partial.
+double alg25d_memory_words(const Alg25dConfig& cfg);
+
+inline constexpr const char* kPhase25dReplicate = "alg25d_replicate";
+inline constexpr const char* kPhase25dSkew = "alg25d_skew";
+inline constexpr const char* kPhase25dShift = "alg25d_shift";
+inline constexpr const char* kPhase25dGemm = "alg25d_gemm";
+inline constexpr const char* kPhase25dReduce = "alg25d_reduce";
+
+}  // namespace camb::mm

@@ -1,0 +1,122 @@
+#include "matmul/algorithm_registry.hpp"
+
+#include "core/grid.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace camb::mm {
+
+namespace {
+
+bool is_square_p(i64 nprocs) {
+  const i64 g = isqrt(nprocs);
+  return g * g == nprocs;
+}
+
+/// Largest replication depth c with c | g, g*g*c = P, c > 1; 0 if none.
+i64 best_25d_depth(i64 nprocs) {
+  for (i64 c = 8; c >= 2; --c) {
+    if (nprocs % c != 0) continue;
+    const i64 gsq = nprocs / c;
+    const i64 g = isqrt(gsq);
+    if (g * g == gsq && g % c == 0) return c;
+  }
+  return 0;
+}
+
+std::vector<AlgorithmInfo> build_registry() {
+  std::vector<AlgorithmInfo> algorithms;
+
+  algorithms.push_back(AlgorithmInfo{
+      "grid3d_optimal",
+      [](const Shape&, i64) { return true; },
+      [](const Shape& shape, i64 nprocs, bool verify) {
+        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        return run_grid3d(Grid3dConfig{shape, grid}, verify);
+      },
+      /*bandwidth_optimal=*/true});
+
+  algorithms.push_back(AlgorithmInfo{
+      "grid3d_agarwal95",
+      [](const Shape&, i64) { return true; },
+      [](const Shape& shape, i64 nprocs, bool verify) {
+        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        return run_grid3d_agarwal(Grid3dAgarwalConfig{shape, grid}, verify);
+      },
+      /*bandwidth_optimal=*/true});
+
+  algorithms.push_back(AlgorithmInfo{
+      "grid3d_staged4",
+      [](const Shape&, i64) { return true; },
+      [](const Shape& shape, i64 nprocs, bool verify) {
+        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        return run_grid3d_staged(Grid3dStagedConfig{shape, grid, 4}, verify);
+      },
+      /*bandwidth_optimal=*/true});
+
+  algorithms.push_back(AlgorithmInfo{
+      "carma",
+      [](const Shape& shape, i64 nprocs) {
+        int levels = 0;
+        while ((i64{1} << levels) < nprocs) ++levels;
+        return (i64{1} << levels) == nprocs &&
+               carma_supported(shape, levels);
+      },
+      [](const Shape& shape, i64 nprocs, bool verify) {
+        int levels = 0;
+        while ((i64{1} << levels) < nprocs) ++levels;
+        return run_carma(CarmaConfig{shape, levels}, verify);
+      },
+      /*bandwidth_optimal=*/false});
+
+  algorithms.push_back(AlgorithmInfo{
+      "summa",
+      [](const Shape&, i64 nprocs) { return is_square_p(nprocs); },
+      [](const Shape& shape, i64 nprocs, bool verify) {
+        return run_summa(SummaConfig{shape, isqrt(nprocs)}, verify);
+      },
+      /*bandwidth_optimal=*/false});
+
+  algorithms.push_back(AlgorithmInfo{
+      "cannon",
+      [](const Shape&, i64 nprocs) { return is_square_p(nprocs); },
+      [](const Shape& shape, i64 nprocs, bool verify) {
+        return run_cannon(CannonConfig{shape, isqrt(nprocs)}, verify);
+      },
+      /*bandwidth_optimal=*/false});
+
+  algorithms.push_back(AlgorithmInfo{
+      "alg25d",
+      [](const Shape&, i64 nprocs) { return best_25d_depth(nprocs) > 0; },
+      [](const Shape& shape, i64 nprocs, bool verify) {
+        const i64 c = best_25d_depth(nprocs);
+        return run_alg25d(Alg25dConfig{shape, isqrt(nprocs / c), c}, verify);
+      },
+      /*bandwidth_optimal=*/false});
+
+  algorithms.push_back(AlgorithmInfo{
+      "naive_bcast",
+      [](const Shape&, i64) { return true; },
+      [](const Shape& shape, i64 nprocs, bool verify) {
+        return run_naive_bcast(NaiveBcastConfig{shape}, nprocs, verify);
+      },
+      /*bandwidth_optimal=*/false});
+
+  return algorithms;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& algorithm_registry() {
+  static const std::vector<AlgorithmInfo> registry = build_registry();
+  return registry;
+}
+
+const AlgorithmInfo& algorithm_by_name(const std::string& name) {
+  for (const auto& algorithm : algorithm_registry()) {
+    if (algorithm.name == name) return algorithm;
+  }
+  throw Error("unknown algorithm: " + name);
+}
+
+}  // namespace camb::mm

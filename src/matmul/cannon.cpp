@@ -1,0 +1,101 @@
+#include "matmul/cannon.hpp"
+
+#include "matmul/local_gemm.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+namespace {
+
+int rank_of(i64 i, i64 j, i64 g) { return static_cast<int>(i * g + j); }
+
+BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
+                      i64 ci) {
+  BlockChunk chunk;
+  chunk.row0 = rows.start(ri);
+  chunk.col0 = cols.start(ci);
+  chunk.rows = rows.size(ri);
+  chunk.cols = cols.size(ci);
+  chunk.flat_start = 0;
+  chunk.flat_size = chunk.rows * chunk.cols;
+  return chunk;
+}
+
+}  // namespace
+
+Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
+  const i64 g = cfg.g;
+  CAMB_CHECK_MSG(g * g == ctx.nprocs(), "Cannon machine size must be g*g");
+  const i64 i = ctx.rank() / g;
+  const i64 j = ctx.rank() % g;
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+
+  // Owned blocks.
+  std::vector<double> a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
+  std::vector<double> b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
+
+  // Initial skew: A_{ij} moves to (i, j - i); afterwards rank (i, j) holds
+  // A_{i, (i + j) mod g}.  Likewise B_{ij} moves to (i - j, j).
+  ctx.set_phase(kPhaseCannonSkew);
+  if (g > 1) {
+    const int a_dst = rank_of(i, (j - i % g + g) % g, g);
+    ctx.send(a_dst, 0, std::move(a_held));
+    a_held = ctx.recv(rank_of(i, (j + i) % g, g), 0);
+    const int b_dst = rank_of((i - j % g + g) % g, j, g);
+    ctx.send(b_dst, 1, std::move(b_held));
+    b_held = ctx.recv(rank_of((i + j) % g, j, g), 1);
+  }
+
+  Block2DOutput out;
+  out.row0 = d1.start(i);
+  out.col0 = d3.start(j);
+  out.block = MatrixD(d1.size(i), d3.size(j));
+
+  for (i64 t = 0; t < g; ++t) {
+    // After the skew and t shifts, the held k-block index is (i + j + t).
+    const i64 s = (i + j + t) % g;
+    ctx.set_phase(kPhaseCannonGemm);
+    MatrixD a_mat(d1.size(i), d2.size(s));
+    CAMB_CHECK(static_cast<i64>(a_held.size()) == a_mat.size());
+    std::copy(a_held.begin(), a_held.end(), a_mat.data());
+    MatrixD b_mat(d2.size(s), d3.size(j));
+    CAMB_CHECK(static_cast<i64>(b_held.size()) == b_mat.size());
+    std::copy(b_held.begin(), b_held.end(), b_mat.data());
+    gemm_accumulate(a_mat, b_mat, out.block);
+
+    if (t + 1 < g && g > 1) {
+      ctx.set_phase(kPhaseCannonShift);
+      const int tag = static_cast<int>(2 * (t + 1));
+      // Shift A left by one (to column j-1), B up by one (to row i-1).
+      ctx.send(rank_of(i, (j - 1 + g) % g, g), tag, std::move(a_held));
+      a_held = ctx.recv(rank_of(i, (j + 1) % g, g), tag);
+      ctx.send(rank_of((i - 1 + g) % g, j, g), tag + 1, std::move(b_held));
+      b_held = ctx.recv(rank_of((i + 1) % g, j, g), tag + 1);
+    }
+  }
+  return out;
+}
+
+i64 cannon_predicted_recv_words(const CannonConfig& cfg, int rank) {
+  const i64 g = cfg.g;
+  const i64 i = rank / g;
+  const i64 j = rank % g;
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+  if (g == 1) return 0;
+  i64 words = 0;
+  // Skew: receive A_{i,(i+j) mod g} from (i, (j+i) mod g) unless that is
+  // self (i.e. i == 0 for A, j == 0 for B; self-moves are free).
+  if (i % g != 0) words += d1.size(i) * d2.size((i + j) % g);
+  if (j % g != 0) words += d2.size((i + j) % g) * d3.size(j);
+  // Shifts t = 1..g-1: after shift t the held A block is A_{i,(i+j+t) mod g},
+  // received from the right neighbour (never self for g > 1).
+  for (i64 t = 1; t < g; ++t) {
+    words += d1.size(i) * d2.size((i + j + t) % g);   // A from (i, j+1)
+    words += d2.size((i + j + t) % g) * d3.size(j);   // B from (i+1, j)
+  }
+  return words;
+}
+
+}  // namespace camb::mm

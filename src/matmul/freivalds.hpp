@@ -1,0 +1,30 @@
+// freivalds.hpp — probabilistic verification of matrix products.
+//
+// Freivalds' check: for random x, compare A(Bx) with Cx in O(n^2) time.  A
+// wrong product escapes one trial with probability <= 1/2 (for {0,1} x), so
+// `trials` independent draws bound the false-accept probability by 2^-trials.
+// The runner uses this for shapes too large to verify against the cubic-time
+// serial reference, so even the biggest benchmark runs stay checked.
+#pragma once
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace camb::mm {
+
+using camb::i64;
+using camb::MatrixD;
+using camb::Rng;
+
+/// True iff C == A*B passes `trials` Freivalds checks with random {0,1}
+/// vectors.  `tol` bounds the per-entry residual |A(Bx) - Cx| relative to
+/// the accumulated magnitude (floating-point slack).
+bool freivalds_check(const MatrixD& a, const MatrixD& b, const MatrixD& c,
+                     int trials, Rng& rng, double tol = 1e-9);
+
+/// Convenience: the largest residual seen over `trials` checks, normalized
+/// by the magnitude scale — handy for reporting rather than pass/fail.
+double freivalds_residual(const MatrixD& a, const MatrixD& b, const MatrixD& c,
+                          int trials, Rng& rng);
+
+}  // namespace camb::mm

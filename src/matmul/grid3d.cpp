@@ -1,0 +1,126 @@
+#include "matmul/grid3d.hpp"
+
+#include "collectives/coll_cost.hpp"
+#include "matmul/local_gemm.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+namespace {
+
+/// Tag bases for the three collectives (disjoint ranges).
+constexpr int kTagAllgatherA = 0;
+constexpr int kTagAllgatherB = coll::kTagStride;
+constexpr int kTagReduceScatterC = 2 * coll::kTagStride;
+
+struct Dists {
+  BlockDist1D d1, d2, d3;
+  explicit Dists(const Grid3dConfig& cfg)
+      : d1(cfg.shape.n1, cfg.grid.p1),
+        d2(cfg.shape.n2, cfg.grid.p2),
+        d3(cfg.shape.n3, cfg.grid.p3) {}
+};
+
+BlockChunk make_chunk(const BlockDist1D& row_dist, i64 row_idx,
+                      const BlockDist1D& col_dist, i64 col_idx,
+                      i64 fiber_size, i64 fiber_idx) {
+  BlockChunk chunk;
+  chunk.row0 = row_dist.start(row_idx);
+  chunk.col0 = col_dist.start(col_idx);
+  chunk.rows = row_dist.size(row_idx);
+  chunk.cols = col_dist.size(col_idx);
+  const BlockDist1D flat(chunk.rows * chunk.cols, fiber_size);
+  chunk.flat_start = flat.start(fiber_idx);
+  chunk.flat_size = flat.size(fiber_idx);
+  return chunk;
+}
+
+}  // namespace
+
+Grid3dLayout grid3d_layout(const Grid3dConfig& cfg, int rank) {
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(rank);
+  const Dists dists(cfg);
+  Grid3dLayout layout;
+  // A_{q1 q2} spread across the p3 fiber; B_{q2 q3} across p1; C_{q1 q3}
+  // across p2 (§5's initial/final distributions).
+  layout.a = make_chunk(dists.d1, q1, dists.d2, q2, cfg.grid.p3, q3);
+  layout.b = make_chunk(dists.d2, q2, dists.d3, q3, cfg.grid.p1, q1);
+  layout.c = make_chunk(dists.d1, q1, dists.d3, q3, cfg.grid.p2, q2);
+  layout.a_counts = BlockDist1D(layout.a.block_size(), cfg.grid.p3).counts();
+  layout.b_counts = BlockDist1D(layout.b.block_size(), cfg.grid.p1).counts();
+  layout.c_counts = BlockDist1D(layout.c.block_size(), cfg.grid.p2).counts();
+  return layout;
+}
+
+Grid3dRankOutput grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
+  CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
+                 "grid size must equal the machine size");
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(ctx.rank());
+  const Grid3dLayout layout = grid3d_layout(cfg, ctx.rank());
+
+  // Line 3: All-Gather A across the fiber (q1, q2, :).
+  ctx.set_phase(kPhaseAllgatherA);
+  const camb::WorkingSet a_ws(ctx, layout.a.block_size());
+  const std::vector<int> fiber_a = map.fiber(2, q1, q2, q3);
+  std::vector<double> a_flat =
+      coll::allgather(ctx, fiber_a, layout.a_counts,
+                      fill_chunk_indexed(layout.a), kTagAllgatherA,
+                      cfg.allgather);
+
+  // Line 4: All-Gather B across the fiber (:, q2, q3).
+  ctx.set_phase(kPhaseAllgatherB);
+  const camb::WorkingSet b_ws(ctx, layout.b.block_size());
+  const std::vector<int> fiber_b = map.fiber(0, q1, q2, q3);
+  std::vector<double> b_flat =
+      coll::allgather(ctx, fiber_b, layout.b_counts,
+                      fill_chunk_indexed(layout.b), kTagAllgatherB,
+                      cfg.allgather);
+
+  // Line 6: local multiply D = A_{q1 q2} * B_{q2 q3}.
+  ctx.set_phase(kPhaseLocalGemm);
+  const camb::WorkingSet d_ws(ctx, layout.c.block_size());
+  MatrixD a_block(layout.a.rows, layout.a.cols);
+  std::copy(a_flat.begin(), a_flat.end(), a_block.data());
+  MatrixD b_block(layout.b.rows, layout.b.cols);
+  std::copy(b_flat.begin(), b_flat.end(), b_block.data());
+  const MatrixD d_block = gemm(a_block, b_block);
+
+  // Line 8: Reduce-Scatter D across the fiber (q1, :, q3).
+  ctx.set_phase(kPhaseReduceScatterC);
+  const std::vector<int> fiber_c = map.fiber(1, q1, q2, q3);
+  std::vector<double> d_flat(d_block.data(), d_block.data() + d_block.size());
+  Grid3dRankOutput out;
+  out.c_chunk = layout.c;
+  out.c_data = coll::reduce_scatter(ctx, fiber_c, layout.c_counts, d_flat,
+                                    kTagReduceScatterC, cfg.reduce_scatter);
+  CAMB_CHECK(static_cast<i64>(out.c_data.size()) == layout.c.flat_size);
+  return out;
+}
+
+i64 grid3d_predicted_recv_words(const Grid3dConfig& cfg, int rank) {
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(rank);
+  const Grid3dLayout layout = grid3d_layout(cfg, rank);
+  i64 words = 0;
+  words += coll::allgather_recv_words_exact(layout.a_counts,
+                                            static_cast<int>(q3), cfg.allgather);
+  words += coll::allgather_recv_words_exact(layout.b_counts,
+                                            static_cast<int>(q1), cfg.allgather);
+  words += coll::reduce_scatter_recv_words_exact(
+      layout.c_counts, static_cast<int>(q2), cfg.reduce_scatter);
+  return words;
+}
+
+i64 grid3d_predicted_critical_recv_words(const Grid3dConfig& cfg) {
+  i64 worst = 0;
+  const i64 P = cfg.grid.total();
+  for (i64 r = 0; r < P; ++r) {
+    worst = std::max(worst,
+                     grid3d_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  return worst;
+}
+
+}  // namespace camb::mm

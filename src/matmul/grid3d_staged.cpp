@@ -1,0 +1,156 @@
+#include "matmul/grid3d_staged.hpp"
+
+#include "collectives/coll_cost.hpp"
+#include "core/cost_eq3.hpp"
+#include "matmul/local_gemm.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+namespace {
+
+constexpr int kTagAllgatherB = 0;
+// Per-stage tag bases follow, strided so stages never collide.
+int stage_tag(i64 stage, int which) {
+  return coll::kTagStride *
+         (1 + static_cast<int>(2 * stage) + which);  // which: 0 = AG A, 1 = RS
+}
+
+/// Per-fiber-member counts for gathering the flat sub-range [lo, hi) of a
+/// block whose full flat extent is split near-equally across the fiber.
+std::vector<i64> overlap_counts(const BlockDist1D& fiber_split, i64 lo, i64 hi) {
+  std::vector<i64> counts(static_cast<std::size_t>(fiber_split.parts()));
+  for (i64 t = 0; t < fiber_split.parts(); ++t) {
+    const i64 a = std::max(lo, fiber_split.start(t));
+    const i64 b = std::min(hi, fiber_split.end(t));
+    counts[static_cast<std::size_t>(t)] = std::max<i64>(0, b - a);
+  }
+  return counts;
+}
+
+}  // namespace
+
+Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
+                                          const Grid3dStagedConfig& cfg) {
+  CAMB_CHECK_MSG(cfg.stages >= 1, "stages must be >= 1");
+  CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
+                 "grid size must equal the machine size");
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(ctx.rank());
+  const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
+                          cfg.reduce_scatter};
+  const Grid3dLayout layout = grid3d_layout(base, ctx.rank());
+
+  // B is gathered once, up front, exactly as in the unstaged algorithm.
+  ctx.set_phase(kPhaseAllgatherB);
+  const camb::WorkingSet b_ws(ctx, layout.b.block_size());
+  const std::vector<int> fiber_b = map.fiber(0, q1, q2, q3);
+  std::vector<double> b_flat =
+      coll::allgather(ctx, fiber_b, layout.b_counts,
+                      fill_chunk_indexed(layout.b), kTagAllgatherB,
+                      cfg.allgather);
+  MatrixD b_block(layout.b.rows, layout.b.cols);
+  std::copy(b_flat.begin(), b_flat.end(), b_block.data());
+
+  const std::vector<int> fiber_a = map.fiber(2, q1, q2, q3);
+  const std::vector<int> fiber_c = map.fiber(1, q1, q2, q3);
+  const BlockDist1D a_fiber_split(layout.a.block_size(), cfg.grid.p3);
+  const BlockDist1D strips(layout.a.rows, cfg.stages);
+
+  Grid3dStagedRankOutput out;
+  out.c_chunks.reserve(static_cast<std::size_t>(cfg.stages));
+  out.c_data.reserve(static_cast<std::size_t>(cfg.stages));
+
+  for (i64 stage = 0; stage < cfg.stages; ++stage) {
+    // Stage strip: rows [r0, r1) of the local A block (and of D).
+    const i64 r0 = strips.start(stage);
+    const i64 r1 = strips.end(stage);
+    const i64 lo = r0 * layout.a.cols;
+    const i64 hi = r1 * layout.a.cols;
+
+    // All-Gather only this strip of A (+ its strip of D below): the staged
+    // working set this variant exists to shrink.
+    ctx.set_phase(kPhaseAllgatherA);
+    const camb::WorkingSet strip_ws(
+        ctx, (hi - lo) + (r1 - r0) * layout.c.cols);
+    const std::vector<i64> counts = overlap_counts(a_fiber_split, lo, hi);
+    BlockChunk my_piece = layout.a;
+    my_piece.flat_start = std::max(lo, a_fiber_split.start(q3));
+    my_piece.flat_size = counts[static_cast<std::size_t>(q3)];
+    std::vector<double> strip_flat =
+        coll::allgather(ctx, fiber_a, counts, fill_chunk_indexed(my_piece),
+                        stage_tag(stage, 0), cfg.allgather);
+    CAMB_CHECK(static_cast<i64>(strip_flat.size()) == hi - lo);
+
+    // Multiply the strip against the full B block.
+    ctx.set_phase(kPhaseLocalGemm);
+    MatrixD a_strip(r1 - r0, layout.a.cols);
+    std::copy(strip_flat.begin(), strip_flat.end(), a_strip.data());
+    const MatrixD d_strip = gemm(a_strip, b_block);
+
+    // Reduce-Scatter this strip of D across the p2 fiber immediately.
+    ctx.set_phase(kPhaseReduceScatterC);
+    const BlockDist1D seg(d_strip.size(), cfg.grid.p2);
+    std::vector<double> d_flat(d_strip.data(),
+                               d_strip.data() + d_strip.size());
+    std::vector<double> owned = coll::reduce_scatter(
+        ctx, fiber_c, seg.counts(), d_flat, stage_tag(stage, 1),
+        cfg.reduce_scatter);
+
+    BlockChunk c_chunk;
+    c_chunk.row0 = layout.c.row0;
+    c_chunk.col0 = layout.c.col0;
+    c_chunk.rows = layout.c.rows;
+    c_chunk.cols = layout.c.cols;
+    c_chunk.flat_start = r0 * layout.c.cols + seg.start(q2);
+    c_chunk.flat_size = seg.size(q2);
+    out.c_chunks.push_back(c_chunk);
+    out.c_data.push_back(std::move(owned));
+  }
+  return out;
+}
+
+i64 grid3d_staged_predicted_recv_words(const Grid3dStagedConfig& cfg,
+                                       int rank) {
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(rank);
+  const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
+                          cfg.reduce_scatter};
+  const Grid3dLayout layout = grid3d_layout(base, rank);
+  i64 words = coll::allgather_recv_words_exact(layout.b_counts,
+                                               static_cast<int>(q1),
+                                               cfg.allgather);
+  const BlockDist1D a_fiber_split(layout.a.block_size(), cfg.grid.p3);
+  const BlockDist1D strips(layout.a.rows, cfg.stages);
+  for (i64 stage = 0; stage < cfg.stages; ++stage) {
+    const i64 lo = strips.start(stage) * layout.a.cols;
+    const i64 hi = strips.end(stage) * layout.a.cols;
+    const std::vector<i64> counts = overlap_counts(a_fiber_split, lo, hi);
+    words += coll::allgather_recv_words_exact(counts, static_cast<int>(q3),
+                                              cfg.allgather);
+    const i64 strip_words = (hi - lo) / layout.a.cols * layout.c.cols;
+    const BlockDist1D seg(strip_words, cfg.grid.p2);
+    words += coll::reduce_scatter_recv_words_exact(
+        seg.counts(), static_cast<int>(q2), cfg.reduce_scatter);
+  }
+  return words;
+}
+
+double grid3d_staged_peak_memory_words(const Grid3dStagedConfig& cfg) {
+  const auto terms = camb::core::alg1_positive_terms(cfg.shape, cfg.grid);
+  const auto s = static_cast<double>(cfg.stages);
+  // Full B, one A strip, one D strip.
+  return terms.b_words + terms.a_words / s + terms.c_words / s;
+}
+
+i64 grid3d_staged_messages(const Grid3dStagedConfig& cfg, int rank) {
+  (void)rank;  // every rank sends the same round counts
+  const int p1 = static_cast<int>(cfg.grid.p1);
+  const int p2 = static_cast<int>(cfg.grid.p2);
+  const int p3 = static_cast<int>(cfg.grid.p3);
+  return coll::allgather_rounds(p1, cfg.allgather) +
+         cfg.stages * (coll::allgather_rounds(p3, cfg.allgather) +
+                       coll::reduce_scatter_rounds(p2, cfg.reduce_scatter));
+}
+
+}  // namespace camb::mm

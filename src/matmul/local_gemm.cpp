@@ -1,0 +1,39 @@
+#include "matmul/local_gemm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+void gemm_accumulate(const MatrixD& a, const MatrixD& b, MatrixD& c) {
+  CAMB_CHECK_MSG(a.cols() == b.rows(), "inner dimensions must agree");
+  CAMB_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(),
+                 "output shape mismatch");
+  const i64 rows = a.rows(), inner = a.cols(), cols = b.cols();
+  for (i64 i0 = 0; i0 < rows; i0 += kGemmTile) {
+    const i64 imax = std::min(i0 + kGemmTile, rows);
+    for (i64 k0 = 0; k0 < inner; k0 += kGemmTile) {
+      const i64 kmax = std::min(k0 + kGemmTile, inner);
+      for (i64 j0 = 0; j0 < cols; j0 += kGemmTile) {
+        const i64 jmax = std::min(j0 + kGemmTile, cols);
+        for (i64 i = i0; i < imax; ++i) {
+          for (i64 k = k0; k < kmax; ++k) {
+            const double aik = a(i, k);
+            const double* brow = b.data() + k * cols;
+            double* crow = c.data() + i * cols;
+            for (i64 j = j0; j < jmax; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+MatrixD gemm(const MatrixD& a, const MatrixD& b) {
+  MatrixD c(a.rows(), b.cols());
+  gemm_accumulate(a, b, c);
+  return c;
+}
+
+}  // namespace camb::mm

@@ -1,0 +1,29 @@
+// local_gemm.hpp — the local (per-processor) dense multiplication kernel,
+// i.e. the γ part of the α-β-γ model.
+//
+// A register/cache-blocked triple loop: not a vendor BLAS, but an honest
+// kernel with the right loop order (i-k-j, unit-stride inner loop) and cache
+// tiling, so the kernel microbenchmarks in bench_kernels measure something
+// meaningful.  Numerically it computes the same sums as the reference
+// implementation (floating-point addition order per output element is
+// identical: ascending k), which keeps distributed results bit-comparable
+// paths short in tests.
+#pragma once
+
+#include "util/matrix.hpp"
+
+namespace camb::mm {
+
+using camb::i64;
+using camb::MatrixD;
+
+/// C += A * B with cache tiling.  Shapes: A is r×c, B is c×s, C is r×s.
+void gemm_accumulate(const MatrixD& a, const MatrixD& b, MatrixD& c);
+
+/// C = A * B (allocates C).
+MatrixD gemm(const MatrixD& a, const MatrixD& b);
+
+/// Tile edge used by the blocked kernel (exposed for the kernel bench).
+inline constexpr i64 kGemmTile = 64;
+
+}  // namespace camb::mm

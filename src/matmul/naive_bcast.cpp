@@ -1,0 +1,68 @@
+#include "matmul/naive_bcast.hpp"
+
+#include "collectives/bcast.hpp"
+#include "collectives/coll_cost.hpp"
+#include "collectives/gather_scatter.hpp"
+#include "matmul/local_gemm.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
+  const int p = ctx.nprocs();
+  const int me = ctx.rank();
+  std::vector<int> everyone(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) everyone[static_cast<std::size_t>(r)] = r;
+  const Shape& s = cfg.shape;
+
+  // Rank 0 materializes both inputs; everyone receives full copies.
+  ctx.set_phase(kPhaseNaiveBcast);
+  std::vector<double> a_flat, b_flat;
+  if (me == 0) {
+    BlockChunk a_all{0, 0, s.n1, s.n2, 0, s.size_a()};
+    BlockChunk b_all{0, 0, s.n2, s.n3, 0, s.size_b()};
+    a_flat = fill_chunk_indexed(a_all);
+    b_flat = fill_chunk_indexed(b_all);
+  }
+  coll::bcast(ctx, everyone, 0, a_flat, s.size_a(), 0);
+  coll::bcast(ctx, everyone, 0, b_flat, s.size_b(), coll::kTagStride);
+
+  // Each rank computes its row slice of C.
+  ctx.set_phase(kPhaseNaiveGemm);
+  const BlockDist1D rows(s.n1, p);
+  MatrixD a_mine(rows.size(me), s.n2);
+  std::copy(a_flat.begin() + rows.start(me) * s.n2,
+            a_flat.begin() + rows.end(me) * s.n2, a_mine.data());
+  MatrixD b_full(s.n2, s.n3);
+  std::copy(b_flat.begin(), b_flat.end(), b_full.data());
+  MatrixD c_slice = gemm(a_mine, b_full);
+
+  // Gather the slices onto rank 0 (the "one copy of the output" finale).
+  ctx.set_phase(kPhaseNaiveGather);
+  std::vector<i64> counts(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    counts[static_cast<std::size_t>(r)] = rows.size(r) * s.n3;
+  }
+  std::vector<double> c_flat(c_slice.data(), c_slice.data() + c_slice.size());
+  coll::gather(ctx, everyone, 0, counts, c_flat, 2 * coll::kTagStride);
+
+  Block2DOutput out;
+  out.row0 = rows.start(me);
+  out.col0 = 0;
+  out.block = std::move(c_slice);
+  return out;
+}
+
+i64 naive_bcast_predicted_recv_words(const NaiveBcastConfig& cfg, int rank,
+                                     int nprocs) {
+  const Shape& s = cfg.shape;
+  if (nprocs == 1) return 0;
+  const BlockDist1D rows(s.n1, nprocs);
+  if (rank == 0) {
+    // Root receives every other rank's C slice.
+    return (s.n1 - rows.size(0)) * s.n3;
+  }
+  return s.size_a() + s.size_b();
+}
+
+}  // namespace camb::mm

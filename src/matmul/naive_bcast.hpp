@@ -1,0 +1,32 @@
+// naive_bcast.hpp — deliberately communication-naive baseline.
+//
+// Rank 0 owns both inputs, broadcasts all of A and B to every rank, each
+// rank computes a row-slice of C, and the slices are gathered back to rank 0.
+// It satisfies the lower bound's assumptions (one copy of inputs at start,
+// one copy of the output at the end, computation load balanced), so Theorem 3
+// applies — and the baselines bench shows how far from optimal it is
+// (every rank receives the full inputs, independent of P).
+#pragma once
+
+#include "matmul/distribution.hpp"
+#include "matmul/summa.hpp"
+
+namespace camb::mm {
+
+struct NaiveBcastConfig {
+  Shape shape;
+};
+
+/// SPMD body; returns rank's C row-slice (all ranks return their slice; the
+/// runner reassembles, mirroring the final gather onto rank 0).
+Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg);
+
+/// Exact predicted received words for `rank`.
+i64 naive_bcast_predicted_recv_words(const NaiveBcastConfig& cfg, int rank,
+                                     int nprocs);
+
+inline constexpr const char* kPhaseNaiveBcast = "naive_bcast";
+inline constexpr const char* kPhaseNaiveGemm = "naive_gemm";
+inline constexpr const char* kPhaseNaiveGather = "naive_gather";
+
+}  // namespace camb::mm

@@ -1,0 +1,289 @@
+#include "matmul/runner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "matmul/freivalds.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+namespace {
+
+/// Shapes above this flop count use Freivalds under VerifyMode::kAuto.
+constexpr i64 kReferenceFlopLimit = 1 << 26;  // ~67M multiply-adds
+
+RunReport report_from_stats(const camb::CommStats& stats) {
+  RunReport report;
+  report.measured_critical_recv = stats.critical_path_received_words();
+  report.measured_critical_sent = stats.critical_path_sent_words();
+  report.total_network_words = stats.total_words_sent();
+  for (int r = 0; r < stats.nprocs(); ++r) {
+    report.measured_critical_messages =
+        std::max(report.measured_critical_messages,
+                 stats.rank_total(r).messages_sent);
+  }
+  for (const auto& phase : stats.phases()) {
+    report.phase_recv[phase] = stats.phase_critical_path_received_words(phase);
+  }
+  return report;
+}
+
+/// Place a flat chunk of a row-major block into the global matrix.
+void place_chunk(MatrixD& global, const BlockChunk& chunk,
+                 const std::vector<double>& data) {
+  CAMB_CHECK(static_cast<i64>(data.size()) == chunk.flat_size);
+  for (i64 f = 0; f < chunk.flat_size; ++f) {
+    const i64 flat = chunk.flat_start + f;
+    global(chunk.row0 + flat / chunk.cols, chunk.col0 + flat % chunk.cols) =
+        data[static_cast<std::size_t>(f)];
+  }
+}
+
+}  // namespace
+
+MatrixD reference_result(const Shape& shape) {
+  MatrixD a(shape.n1, shape.n2), b(shape.n2, shape.n3);
+  a.fill_indexed(0, 0);
+  b.fill_indexed(0, 0);
+  return camb::matmul_reference(a, b);
+}
+
+double check_result(const Shape& shape, const MatrixD& assembled,
+                    VerifyMode mode) {
+  if (mode == VerifyMode::kAuto) {
+    mode = shape.flops() <= kReferenceFlopLimit ? VerifyMode::kReference
+                                                : VerifyMode::kFreivalds;
+  }
+  switch (mode) {
+    case VerifyMode::kNone:
+      return std::numeric_limits<double>::quiet_NaN();
+    case VerifyMode::kReference:
+      return assembled.max_abs_diff(reference_result(shape));
+    case VerifyMode::kFreivalds: {
+      MatrixD a(shape.n1, shape.n2), b(shape.n2, shape.n3);
+      a.fill_indexed(0, 0);
+      b.fill_indexed(0, 0);
+      Rng rng(0xF4E1);
+      return freivalds_residual(a, b, assembled, /*trials=*/24, rng);
+    }
+    case VerifyMode::kAuto:
+      break;
+  }
+  throw Error("unreachable verify mode");
+}
+
+RunReport run_grid3d(const Grid3dConfig& cfg, VerifyMode mode) {
+  const i64 P = cfg.grid.total();
+  camb::Machine machine(static_cast<int>(P));
+  std::vector<Grid3dRankOutput> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = grid3d_rank(ctx, cfg);
+  });
+  RunReport report = report_from_stats(machine.stats());
+  report.simulated_time = machine.critical_path_time();
+  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  report.predicted_critical_recv = grid3d_predicted_critical_recv_words(cfg);
+  report.lower_bound_words =
+      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+          .words;
+  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
+  if (mode != VerifyMode::kNone) {
+    MatrixD c(cfg.shape.n1, cfg.shape.n3);
+    for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
+    report.max_abs_error = check_result(cfg.shape, c, mode);
+    report.verified = true;
+  }
+  return report;
+}
+
+RunReport run_grid3d(const Grid3dConfig& cfg, bool verify) {
+  return run_grid3d(cfg, verify ? VerifyMode::kReference : VerifyMode::kNone);
+}
+
+RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
+  const i64 P = cfg.grid.total();
+  camb::Machine machine(static_cast<int>(P));
+  std::vector<Grid3dStagedRankOutput> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] =
+        grid3d_staged_rank(ctx, cfg);
+  });
+  RunReport report = report_from_stats(machine.stats());
+  report.simulated_time = machine.critical_path_time();
+  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(predicted, grid3d_staged_predicted_recv_words(
+                                        cfg, static_cast<int>(r)));
+  }
+  report.predicted_critical_recv = predicted;
+  report.lower_bound_words =
+      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+          .words;
+  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
+  if (verify) {
+    MatrixD c(cfg.shape.n1, cfg.shape.n3);
+    for (const auto& out : outputs) {
+      for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
+        place_chunk(c, out.c_chunks[s], out.c_data[s]);
+      }
+    }
+    report.max_abs_error = check_result(cfg.shape, c, VerifyMode::kReference);
+    report.verified = true;
+  }
+  return report;
+}
+
+RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
+  const i64 P = cfg.grid.total();
+  camb::Machine machine(static_cast<int>(P));
+  std::vector<Grid3dRankOutput> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] =
+        grid3d_agarwal_rank(ctx, cfg);
+  });
+  RunReport report = report_from_stats(machine.stats());
+  report.simulated_time = machine.critical_path_time();
+  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(predicted, grid3d_agarwal_predicted_recv_words(
+                                        cfg, static_cast<int>(r)));
+  }
+  report.predicted_critical_recv = predicted;
+  report.lower_bound_words =
+      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+          .words;
+  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
+  if (verify) {
+    MatrixD c(cfg.shape.n1, cfg.shape.n3);
+    for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
+    report.max_abs_error = check_result(cfg.shape, c, VerifyMode::kReference);
+    report.verified = true;
+  }
+  return report;
+}
+
+RunReport run_carma(const CarmaConfig& cfg, bool verify) {
+  const i64 P = i64{1} << cfg.levels;
+  camb::Machine machine(static_cast<int>(P));
+  std::vector<CarmaRankOutput> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = carma_rank(ctx, cfg);
+  });
+  RunReport report = report_from_stats(machine.stats());
+  report.simulated_time = machine.critical_path_time();
+  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  const std::vector<i64> predicted = carma_predicted_recv_words(cfg);
+  report.predicted_critical_recv = 0;
+  for (i64 w : predicted) {
+    report.predicted_critical_recv = std::max(report.predicted_critical_recv, w);
+  }
+  report.lower_bound_words =
+      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+          .words;
+  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
+  if (verify) {
+    MatrixD c(cfg.shape.n1, cfg.shape.n3);
+    for (const auto& out : outputs) place_chunk(c, out.holding, out.data);
+    report.max_abs_error = check_result(cfg.shape, c, VerifyMode::kReference);
+    report.verified = true;
+  }
+  return report;
+}
+
+namespace {
+
+RunReport run_block2d(
+    const Shape& shape, i64 nprocs, bool verify, double lower_bound,
+    i64 predicted,
+    const std::function<Block2DOutput(camb::RankCtx&)>& body) {
+  camb::Machine machine(static_cast<int>(nprocs));
+  std::vector<Block2DOutput> outputs(static_cast<std::size_t>(nprocs));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = body(ctx);
+  });
+  RunReport report = report_from_stats(machine.stats());
+  report.simulated_time = machine.critical_path_time();
+  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  report.predicted_critical_recv = predicted;
+  report.lower_bound_words = lower_bound;
+  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
+  if (verify) {
+    MatrixD c(shape.n1, shape.n3);
+    for (const auto& out : outputs) {
+      for (i64 i = 0; i < out.block.rows(); ++i) {
+        for (i64 j = 0; j < out.block.cols(); ++j) {
+          c(out.row0 + i, out.col0 + j) = out.block(i, j);
+        }
+      }
+    }
+    report.max_abs_error = check_result(shape, c, VerifyMode::kReference);
+    report.verified = true;
+  }
+  return report;
+}
+
+}  // namespace
+
+RunReport run_alg25d(const Alg25dConfig& cfg, bool verify) {
+  const i64 P = cfg.g * cfg.g * cfg.c;
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, alg25d_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  const double bound =
+      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+          .words;
+  return run_block2d(cfg.shape, P, verify, bound, predicted,
+                     [&](camb::RankCtx& ctx) { return alg25d_rank(ctx, cfg); });
+}
+
+RunReport run_summa(const SummaConfig& cfg, bool verify) {
+  const i64 P = cfg.g * cfg.g;
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, summa_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  const double bound =
+      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+          .words;
+  return run_block2d(cfg.shape, P, verify, bound, predicted,
+                     [&](camb::RankCtx& ctx) { return summa_rank(ctx, cfg); });
+}
+
+RunReport run_cannon(const CannonConfig& cfg, bool verify) {
+  const i64 P = cfg.g * cfg.g;
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, cannon_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  const double bound =
+      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+          .words;
+  return run_block2d(cfg.shape, P, verify, bound, predicted,
+                     [&](camb::RankCtx& ctx) { return cannon_rank(ctx, cfg); });
+}
+
+RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
+                          bool verify) {
+  i64 predicted = 0;
+  for (i64 r = 0; r < nprocs; ++r) {
+    predicted = std::max(predicted,
+                         naive_bcast_predicted_recv_words(
+                             cfg, static_cast<int>(r), static_cast<int>(nprocs)));
+  }
+  const double bound = camb::core::memory_independent_bound(
+                           cfg.shape, static_cast<double>(nprocs))
+                           .words;
+  return run_block2d(cfg.shape, nprocs, verify, bound, predicted,
+                     [&](camb::RankCtx& ctx) {
+                       return naive_bcast_rank(ctx, cfg);
+                     });
+}
+
+}  // namespace camb::mm

@@ -1,0 +1,98 @@
+// runner.hpp — drives a parallel algorithm on the simulated machine:
+// builds the machine, runs the SPMD body, reassembles the distributed
+// output, verifies it against the serial reference, and packages the
+// measured communication next to the exact analytic prediction.
+//
+// This is the harness every integration test and benchmark goes through, so
+// "measured == predicted" is checked at one well-tested choke point.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/bounds.hpp"
+#include "matmul/alg25d.hpp"
+#include "matmul/cannon.hpp"
+#include "matmul/carma.hpp"
+#include "matmul/grid3d.hpp"
+#include "matmul/grid3d_agarwal.hpp"
+#include "matmul/grid3d_staged.hpp"
+#include "matmul/naive_bcast.hpp"
+#include "matmul/summa.hpp"
+
+namespace camb::mm {
+
+/// How a run's result is checked.
+enum class VerifyMode {
+  kNone,       ///< no verification (pure communication measurement)
+  kReference,  ///< assemble C, compare to the cubic-time serial reference
+  kFreivalds,  ///< assemble C, probabilistic O(n^2) Freivalds check
+  kAuto,       ///< reference for small shapes, Freivalds for large ones
+};
+
+/// Everything a caller needs to compare an executed run against the theory.
+struct RunReport {
+  /// Max over ranks of words received during algorithm phases.
+  i64 measured_critical_recv = 0;
+  /// Max over ranks of words sent.
+  i64 measured_critical_sent = 0;
+  /// Max over ranks of messages sent (the latency term).
+  i64 measured_critical_messages = 0;
+  /// Scheduled critical-path time under the machine's logical clocks
+  /// (default params alpha = beta = 1, i.e. messages + words along the
+  /// actual dependency structure — see RankCtx's clock model).
+  double simulated_time = 0;
+  /// Max over ranks of the registered peak working set (words); nonzero only
+  /// for algorithms instrumented with WorkingSet (Algorithm 1 and its staged
+  /// variant).
+  i64 measured_peak_memory_words = 0;
+  /// Exact analytic prediction of measured_critical_recv (−1 if the
+  /// algorithm has no exact predictor).
+  i64 predicted_critical_recv = -1;
+  /// Critical-path received words per named phase.
+  std::map<std::string, i64> phase_recv;
+  /// Total words that crossed the network (sum over ranks of sent words).
+  i64 total_network_words = 0;
+  /// Theorem 3 lower bound for (shape, P) in words.
+  double lower_bound_words = 0;
+  /// Max |C − C_ref| over all entries; NaN if verification was skipped.
+  double max_abs_error = 0;
+  bool verified = false;
+};
+
+/// Algorithm 1 on its grid.  `verify` assembles C and checks it (mode
+/// kReference for `true`; use the VerifyMode overloads for Freivalds).
+RunReport run_grid3d(const Grid3dConfig& cfg, bool verify);
+RunReport run_grid3d(const Grid3dConfig& cfg, VerifyMode mode);
+
+/// The §6.2 staged (limited-memory) variant of Algorithm 1.
+RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify);
+
+/// The Agarwal et al. 1995 variant (All-to-All instead of Reduce-Scatter).
+RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify);
+
+/// The Demmel et al. 2013 recursive algorithm (BFS CARMA, P = 2^levels).
+RunReport run_carma(const CarmaConfig& cfg, bool verify);
+
+/// The 2.5D replication algorithm on a g×g×c grid.
+RunReport run_alg25d(const Alg25dConfig& cfg, bool verify);
+
+/// SUMMA on a g×g grid.
+RunReport run_summa(const SummaConfig& cfg, bool verify);
+
+/// Cannon on a g×g grid.
+RunReport run_cannon(const CannonConfig& cfg, bool verify);
+
+/// The naive broadcast-everything baseline on P ranks.
+RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs, bool verify);
+
+/// The serial reference result for a shape, built from the same indexed
+/// input pattern the distributed algorithms use.
+MatrixD reference_result(const Shape& shape);
+
+/// Check an assembled result under the given mode; returns the max residual
+/// (abs error for kReference, normalized Freivalds residual otherwise).
+double check_result(const Shape& shape, const MatrixD& assembled,
+                    VerifyMode mode);
+
+}  // namespace camb::mm

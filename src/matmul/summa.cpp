@@ -1,0 +1,102 @@
+#include "matmul/summa.hpp"
+
+#include "collectives/bcast.hpp"
+#include "collectives/group.hpp"
+#include "matmul/local_gemm.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+namespace {
+
+int rank_of(i64 i, i64 j, i64 g) { return static_cast<int>(i * g + j); }
+
+std::vector<int> row_group(i64 i, i64 g) {
+  std::vector<int> out;
+  for (i64 j = 0; j < g; ++j) out.push_back(rank_of(i, j, g));
+  return out;
+}
+
+std::vector<int> col_group(i64 j, i64 g) {
+  std::vector<int> out;
+  for (i64 i = 0; i < g; ++i) out.push_back(rank_of(i, j, g));
+  return out;
+}
+
+BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
+                      i64 ci) {
+  BlockChunk chunk;
+  chunk.row0 = rows.start(ri);
+  chunk.col0 = cols.start(ci);
+  chunk.rows = rows.size(ri);
+  chunk.cols = cols.size(ci);
+  chunk.flat_start = 0;
+  chunk.flat_size = chunk.rows * chunk.cols;
+  return chunk;
+}
+
+}  // namespace
+
+Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg) {
+  const i64 g = cfg.g;
+  CAMB_CHECK_MSG(g * g == ctx.nprocs(), "SUMMA machine size must be g*g");
+  const i64 i = ctx.rank() / g;
+  const i64 j = ctx.rank() % g;
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+
+  // Owned blocks, generated in place.
+  const BlockChunk a_chunk = full_block(d1, i, d2, j);
+  const BlockChunk b_chunk = full_block(d2, i, d3, j);
+  std::vector<double> a_own = fill_chunk_indexed(a_chunk);
+  std::vector<double> b_own = fill_chunk_indexed(b_chunk);
+
+  Block2DOutput out;
+  out.row0 = d1.start(i);
+  out.col0 = d3.start(j);
+  out.block = MatrixD(d1.size(i), d3.size(j));
+
+  const std::vector<int> my_row = row_group(i, g);
+  const std::vector<int> my_col = col_group(j, g);
+
+  for (i64 t = 0; t < g; ++t) {
+    // A block-column t travels along each row; B block-row t along columns.
+    ctx.set_phase(kPhaseSummaBcastA);
+    std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
+    const i64 a_words = d1.size(i) * d2.size(t);
+    coll::bcast(ctx, my_row, static_cast<int>(t), a_panel, a_words,
+                static_cast<int>(2 * t) * coll::kTagStride, cfg.bcast,
+                cfg.bcast_segments);
+
+    ctx.set_phase(kPhaseSummaBcastB);
+    std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
+    const i64 b_words = d2.size(t) * d3.size(j);
+    coll::bcast(ctx, my_col, static_cast<int>(t), b_panel, b_words,
+                static_cast<int>(2 * t + 1) * coll::kTagStride, cfg.bcast,
+                cfg.bcast_segments);
+
+    ctx.set_phase(kPhaseSummaGemm);
+    MatrixD a_mat(d1.size(i), d2.size(t));
+    std::copy(a_panel.begin(), a_panel.end(), a_mat.data());
+    MatrixD b_mat(d2.size(t), d3.size(j));
+    std::copy(b_panel.begin(), b_panel.end(), b_mat.data());
+    gemm_accumulate(a_mat, b_mat, out.block);
+  }
+  return out;
+}
+
+i64 summa_predicted_recv_words(const SummaConfig& cfg, int rank) {
+  const i64 g = cfg.g;
+  const i64 i = rank / g;
+  const i64 j = rank % g;
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+  i64 words = 0;
+  for (i64 t = 0; t < g; ++t) {
+    if (t != j && g > 1) words += d1.size(i) * d2.size(t);  // A panel
+    if (t != i && g > 1) words += d2.size(t) * d3.size(j);  // B panel
+  }
+  return words;
+}
+
+}  // namespace camb::mm

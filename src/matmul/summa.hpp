@@ -1,0 +1,45 @@
+// summa.hpp — SUMMA baseline: the classical 2D broadcast-based algorithm
+// (van de Geijn & Watts).  Included as a distinct-implementation baseline
+// for the comparison benches (§2.4 context): on a g×g grid it moves
+// ~(1 − 1/g)(n1n2 + n2n3)/g words per rank, which is optimal only in the 2D
+// regime and only for nearly-square problems.
+//
+// Grid: g×g over (n1, n3); rank (i, j) owns blocks A_{ij}, B_{ij}, C_{ij}
+// under near-equal splits.  Stage t broadcasts A block-column t along rows
+// and B block-row t along columns, accumulating C += A_t · B_t.
+#pragma once
+
+#include "collectives/bcast.hpp"
+#include "machine/machine.hpp"
+#include "matmul/distribution.hpp"
+#include "util/matrix.hpp"
+
+namespace camb::mm {
+
+struct SummaConfig {
+  Shape shape;
+  i64 g = 1;  ///< grid edge; machine size must be g*g
+  /// Panel broadcast algorithm: binomial for small panels, pipelined ring
+  /// for bandwidth-bound panels (word counts are identical either way).
+  coll::BcastAlgo bcast = coll::BcastAlgo::kBinomial;
+  i64 bcast_segments = 16;  ///< pipelined ring segmentation
+};
+
+/// A rank's full C block with its global origin.
+struct Block2DOutput {
+  i64 row0 = 0, col0 = 0;
+  MatrixD block;
+};
+
+/// SPMD body for one rank; inputs generated with the indexed pattern.
+Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg);
+
+/// Exact predicted received words for `rank` (binomial broadcasts: every
+/// non-root of a stage receives the panel once).
+i64 summa_predicted_recv_words(const SummaConfig& cfg, int rank);
+
+inline constexpr const char* kPhaseSummaBcastA = "summa_bcast_A";
+inline constexpr const char* kPhaseSummaBcastB = "summa_bcast_B";
+inline constexpr const char* kPhaseSummaGemm = "summa_gemm";
+
+}  // namespace camb::mm

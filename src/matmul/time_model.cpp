@@ -1,0 +1,77 @@
+#include "matmul/time_model.hpp"
+
+namespace camb::mm {
+
+using camb::core::alg1_comm_breakdown;
+using camb::core::alg1_flops;
+using camb::core::alg1_reduction_flops;
+
+TimeBreakdown alg1_time(const Shape& shape, const Grid3& grid,
+                        const MachineParams& params, coll::AllgatherAlgo ag,
+                        coll::ReduceScatterAlgo rs) {
+  TimeBreakdown t;
+  const auto comm = alg1_comm_breakdown(shape, grid);
+  t.bandwidth = params.beta * comm.total();
+  const i64 messages =
+      coll::allgather_rounds(static_cast<int>(grid.p3), ag) +
+      coll::allgather_rounds(static_cast<int>(grid.p1), ag) +
+      coll::reduce_scatter_rounds(static_cast<int>(grid.p2), rs);
+  t.latency = params.alpha * static_cast<double>(messages);
+  t.compute = params.gamma *
+              (alg1_flops(shape, grid) + alg1_reduction_flops(shape, grid));
+  return t;
+}
+
+TimeBreakdown alg1_staged_time(const Shape& shape, const Grid3& grid,
+                               i64 stages, const MachineParams& params,
+                               coll::AllgatherAlgo ag,
+                               coll::ReduceScatterAlgo rs) {
+  TimeBreakdown t = alg1_time(shape, grid, params, ag, rs);
+  const i64 staged_messages =
+      coll::allgather_rounds(static_cast<int>(grid.p1), ag) +
+      stages * (coll::allgather_rounds(static_cast<int>(grid.p3), ag) +
+                coll::reduce_scatter_rounds(static_cast<int>(grid.p2), rs));
+  t.latency = params.alpha * static_cast<double>(staged_messages);
+  return t;
+}
+
+TimeBreakdown summa_time(const Shape& shape, i64 g,
+                         const MachineParams& params) {
+  TimeBreakdown t;
+  const auto n1 = static_cast<double>(shape.n1);
+  const auto n2 = static_cast<double>(shape.n2);
+  const auto n3 = static_cast<double>(shape.n3);
+  const auto gd = static_cast<double>(g);
+  // Each rank receives g-1 A panels and g-1 B panels, and each stage's
+  // broadcast root serializes ceil(log2 g) sends.
+  t.bandwidth = params.beta * (1.0 - 1.0 / gd) * (n1 * n2 + n2 * n3) / gd;
+  t.latency = params.alpha * 2.0 * static_cast<double>(g) *
+              coll::ceil_log2(static_cast<int>(g));
+  t.compute = params.gamma * n1 * n2 * n3 / (gd * gd);
+  return t;
+}
+
+TimeBreakdown cannon_time(const Shape& shape, i64 g,
+                          const MachineParams& params) {
+  TimeBreakdown t;
+  const auto n1 = static_cast<double>(shape.n1);
+  const auto n2 = static_cast<double>(shape.n2);
+  const auto n3 = static_cast<double>(shape.n3);
+  const auto gd = static_cast<double>(g);
+  // Skew (one block each of A and B) plus g-1 shifts of both.
+  const double blocks_moved = g > 1 ? static_cast<double>(g) : 0.0;
+  t.bandwidth =
+      params.beta * blocks_moved * (n1 * n2 + n2 * n3) / (gd * gd);
+  t.latency = params.alpha * (g > 1 ? 2.0 * static_cast<double>(g) : 0.0);
+  t.compute = params.gamma * n1 * n2 * n3 / (gd * gd);
+  return t;
+}
+
+double measured_time(const RunReport& report, double flops_per_rank,
+                     const MachineParams& params) {
+  return params.alpha * static_cast<double>(report.measured_critical_messages) +
+         params.beta * static_cast<double>(report.measured_critical_recv) +
+         params.gamma * flops_per_rank;
+}
+
+}  // namespace camb::mm

@@ -1,0 +1,59 @@
+// time_model.hpp — the full α-β-γ running-time model (§3.1).
+//
+// The paper's bounds govern the bandwidth (β) term; this module adds the
+// latency (α) and compute (γ) terms so the benches can show *when* the
+// bandwidth-optimal choices matter: per-algorithm closed-form estimates,
+// per-collective round counts, and time estimates from measured runs.
+//
+//   time = α · (messages on the critical path)
+//        + β · (words on the critical path)
+//        + γ · (flops per processor)
+#pragma once
+
+#include "collectives/coll_cost.hpp"
+#include "core/cost_eq3.hpp"
+#include "matmul/runner.hpp"
+
+namespace camb::mm {
+
+/// Machine parameters: seconds per message, per word, per flop.
+struct MachineParams {
+  double alpha = 1e-6;
+  double beta = 1e-9;
+  double gamma = 1e-11;
+};
+
+/// A time estimate split by term.
+struct TimeBreakdown {
+  double latency = 0;    ///< α · messages
+  double bandwidth = 0;  ///< β · words
+  double compute = 0;    ///< γ · flops
+
+  double total() const { return latency + bandwidth + compute; }
+};
+
+/// Closed-form estimate for Algorithm 1 on a grid.
+TimeBreakdown alg1_time(const Shape& shape, const Grid3& grid,
+                        const MachineParams& params,
+                        coll::AllgatherAlgo ag = coll::AllgatherAlgo::kAuto,
+                        coll::ReduceScatterAlgo rs = coll::ReduceScatterAlgo::kAuto);
+
+/// Closed-form estimate for the §6.2 staged variant: identical bandwidth and
+/// compute, latency multiplied by the stage count on the A/D collectives.
+TimeBreakdown alg1_staged_time(const Shape& shape, const Grid3& grid,
+                               i64 stages, const MachineParams& params,
+                               coll::AllgatherAlgo ag = coll::AllgatherAlgo::kAuto,
+                               coll::ReduceScatterAlgo rs = coll::ReduceScatterAlgo::kAuto);
+
+/// Closed-form estimate for square-grid SUMMA (binomial broadcasts).
+TimeBreakdown summa_time(const Shape& shape, i64 g, const MachineParams& params);
+
+/// Closed-form estimate for Cannon (skew + 2(g-1) shifts).
+TimeBreakdown cannon_time(const Shape& shape, i64 g, const MachineParams& params);
+
+/// Time estimate from a measured run (bandwidth and latency terms only; the
+/// simulated machine measures communication, compute is added analytically).
+double measured_time(const RunReport& report, double flops_per_rank,
+                     const MachineParams& params);
+
+}  // namespace camb::mm

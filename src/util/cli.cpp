@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace camb {
+
+void Cli::add_flag(const std::string& name, const std::string& doc,
+                   const std::string& default_value) {
+  CAMB_CHECK_MSG(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{doc, default_value};
+  order_.push_back(name);
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    CAMB_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    std::string name, value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      CAMB_CHECK_MSG(i + 1 < argc, "flag --" + name + " missing value");
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    CAMB_CHECK_MSG(it != flags_.end(), "unknown flag: --" + name);
+    it->second.value = value;
+  }
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  CAMB_CHECK_MSG(it != flags_.end(), "flag not registered: " + name);
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  std::int64_t out = std::stoll(v, &pos);
+  CAMB_CHECK_MSG(pos == v.size(), "flag --" + name + " is not an integer: " + v);
+  return out;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  double out = std::stod(v, &pos);
+  CAMB_CHECK_MSG(pos == v.size(), "flag --" + name + " is not a number: " + v);
+  return out;
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw Error("flag --" + name + " is not a boolean: " + v);
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " <value>   " << f.doc << " (default: " << f.value
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace camb

@@ -1,0 +1,44 @@
+// cli.hpp — minimal command-line flag parser for examples and benches.
+//
+// Supports `--name value` and `--name=value` forms, typed lookups with
+// defaults, and a generated usage string.  Unknown flags are an error so that
+// typos in experiment scripts fail loudly instead of silently using defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace camb {
+
+class Cli {
+ public:
+  /// Register a flag before parsing.  `doc` appears in usage().
+  void add_flag(const std::string& name, const std::string& doc,
+                const std::string& default_value);
+
+  /// Parse argv; throws camb::Error on unknown or malformed flags.
+  /// Recognizes --help by setting help_requested().
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_; }
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string doc;
+    std::string value;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  bool help_ = false;
+};
+
+}  // namespace camb

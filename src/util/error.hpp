@@ -1,0 +1,43 @@
+// error.hpp — error handling and contract-checking primitives.
+//
+// The library is used both as a research harness (where a violated invariant
+// should stop the experiment loudly) and inside gtest (where we want a
+// catchable exception type).  All internal contract violations throw
+// camb::Error carrying file/line context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace camb {
+
+/// Exception thrown on any violated precondition or internal invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace camb
+
+/// Contract check: always evaluated (also in release builds).  The cost model
+/// and bound code is arithmetic-heavy and cheap; silent UB from a bad grid or
+/// a zero dimension would poison every downstream number, so we always check.
+#define CAMB_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::camb::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+    }                                                                        \
+  } while (0)
+
+/// Contract check with a contextual message (anything streamable to string).
+#define CAMB_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::camb::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (0)

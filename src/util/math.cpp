@@ -1,0 +1,93 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace camb {
+
+i64 ceil_div(i64 a, i64 b) {
+  CAMB_CHECK_MSG(a >= 0 && b > 0, "ceil_div requires a >= 0, b > 0");
+  return (a + b - 1) / b;
+}
+
+i64 checked_mul(i64 a, i64 b) {
+  CAMB_CHECK_MSG(a >= 0 && b >= 0, "checked_mul requires non-negative inputs");
+  if (a == 0 || b == 0) return 0;
+  CAMB_CHECK_MSG(a <= std::numeric_limits<i64>::max() / b,
+                 "integer overflow in checked_mul");
+  return a * b;
+}
+
+i64 checked_mul3(i64 a, i64 b, i64 c) { return checked_mul(checked_mul(a, b), c); }
+
+bool divides(i64 d, i64 n) {
+  CAMB_CHECK(d > 0 && n >= 0);
+  return n % d == 0;
+}
+
+std::vector<i64> divisors(i64 n) {
+  CAMB_CHECK_MSG(n >= 1, "divisors requires n >= 1");
+  std::vector<i64> small, large;
+  for (i64 d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      small.push_back(d);
+      if (d != n / d) large.push_back(n / d);
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
+std::vector<FactorTriple> factor_triples(i64 p) {
+  CAMB_CHECK_MSG(p >= 1, "factor_triples requires p >= 1");
+  std::vector<FactorTriple> out;
+  for (i64 a : divisors(p)) {
+    const i64 rest = p / a;
+    for (i64 b : divisors(rest)) {
+      out.push_back({a, b, rest / b});
+    }
+  }
+  return out;
+}
+
+i64 isqrt(i64 n) {
+  CAMB_CHECK(n >= 0);
+  auto r = static_cast<i64>(std::sqrt(static_cast<double>(n)));
+  while (r > 0 && r * r > n) --r;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+i64 icbrt(i64 n) {
+  CAMB_CHECK(n >= 0);
+  auto r = static_cast<i64>(std::cbrt(static_cast<double>(n)));
+  while (r > 0 && r * r * r > n) --r;
+  while ((r + 1) * (r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+i64 ipow(i64 base, int exp) {
+  CAMB_CHECK(exp >= 0);
+  i64 r = 1;
+  for (int i = 0; i < exp; ++i) r = checked_mul(r, base);
+  return r;
+}
+
+bool approx_eq(double x, double y, double rel, double abs_tol) {
+  const double diff = std::abs(x - y);
+  if (diff <= abs_tol) return true;
+  return diff <= rel * std::max(std::abs(x), std::abs(y));
+}
+
+double median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+i64 median3(i64 a, i64 b, i64 c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+}  // namespace camb

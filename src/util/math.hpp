@@ -1,0 +1,57 @@
+// math.hpp — integer and floating utilities used throughout the library.
+//
+// The bound formulas (Theorem 3, eq. 3) mix exact integer quantities
+// (dimensions, processor counts, word counts) with real-valued optima
+// (fractional grids, 2/3 powers).  Integer quantities use std::int64_t and
+// overflow-checked products; real quantities use double.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace camb {
+
+using i64 = std::int64_t;
+
+/// ceil(a / b) for positive integers.
+i64 ceil_div(i64 a, i64 b);
+
+/// Overflow-checked product of two non-negative i64; throws camb::Error on
+/// overflow.  Dimensions up to ~1e6 cubed fit comfortably in i64; this guards
+/// against misuse at larger scales.
+i64 checked_mul(i64 a, i64 b);
+
+/// Overflow-checked triple product a*b*c.
+i64 checked_mul3(i64 a, i64 b, i64 c);
+
+/// True if `d` divides `n` exactly (n >= 0, d > 0).
+bool divides(i64 d, i64 n);
+
+/// All positive divisors of n (n >= 1), ascending.
+std::vector<i64> divisors(i64 n);
+
+/// All ordered factor triples (a, b, c) with a*b*c == p (p >= 1).
+/// Size grows as d(p)^2-ish; fine for p up to millions.
+struct FactorTriple {
+  i64 a, b, c;
+};
+std::vector<FactorTriple> factor_triples(i64 p);
+
+/// Largest integer r with r*r <= n.
+i64 isqrt(i64 n);
+
+/// Largest integer r with r*r*r <= n.
+i64 icbrt(i64 n);
+
+/// Integer power base^exp with overflow check (exp >= 0).
+i64 ipow(i64 base, int exp);
+
+/// True if x is within `rel` relative tolerance (or `abs_tol` absolute, for
+/// values near zero) of y.
+bool approx_eq(double x, double y, double rel = 1e-9, double abs_tol = 1e-12);
+
+/// Median of three values.
+double median3(double a, double b, double c);
+i64 median3(i64 a, i64 b, i64 c);
+
+}  // namespace camb

@@ -1,0 +1,131 @@
+// matrix.hpp — dense row-major matrix container used by the distributed
+// matrix multiplication algorithms and the reference kernels.
+//
+// This is deliberately simple: owning storage, row-major layout, submatrix
+// copy-in/copy-out (the distributed algorithms move rectangular blocks), and
+// comparison helpers for verification.  BLAS-style kernels live in
+// matmul/local_gemm.hpp.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace camb {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(i64 rows, i64 cols, T init = T{})
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(checked_mul(rows, cols)), init) {
+    CAMB_CHECK_MSG(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+  }
+
+  i64 rows() const { return rows_; }
+  i64 cols() const { return cols_; }
+  i64 size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(i64 i, i64 j) {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  const T& operator()(i64 i, i64 j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Copy the rows x cols block at (r0, c0) of this matrix into a new matrix.
+  Matrix block(i64 r0, i64 c0, i64 rows, i64 cols) const {
+    CAMB_CHECK_MSG(r0 >= 0 && c0 >= 0 && r0 + rows <= rows_ && c0 + cols <= cols_,
+                   "block out of range");
+    Matrix out(rows, cols);
+    for (i64 i = 0; i < rows; ++i) {
+      for (i64 j = 0; j < cols; ++j) out(i, j) = (*this)(r0 + i, c0 + j);
+    }
+    return out;
+  }
+
+  /// Copy `src` into this matrix with its top-left corner at (r0, c0).
+  void set_block(i64 r0, i64 c0, const Matrix& src) {
+    CAMB_CHECK_MSG(r0 >= 0 && c0 >= 0 && r0 + src.rows() <= rows_ &&
+                       c0 + src.cols() <= cols_,
+                   "set_block out of range");
+    for (i64 i = 0; i < src.rows(); ++i) {
+      for (i64 j = 0; j < src.cols(); ++j) (*this)(r0 + i, c0 + j) = src(i, j);
+    }
+  }
+
+  /// Add `src` into this matrix at (r0, c0).
+  void add_block(i64 r0, i64 c0, const Matrix& src) {
+    CAMB_CHECK_MSG(r0 >= 0 && c0 >= 0 && r0 + src.rows() <= rows_ &&
+                       c0 + src.cols() <= cols_,
+                   "add_block out of range");
+    for (i64 i = 0; i < src.rows(); ++i) {
+      for (i64 j = 0; j < src.cols(); ++j) (*this)(r0 + i, c0 + j) += src(i, j);
+    }
+  }
+
+  /// Fill with deterministic pseudo-random values in [-1, 1).
+  void fill_random(Rng& rng) {
+    for (auto& value : data_) value = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+
+  /// Fill element (i, j) with a deterministic function of the *global* index
+  /// (gr0 + i, gc0 + j).  Used to build a distributed matrix whose contents
+  /// are identical to a reference matrix built serially.
+  void fill_indexed(i64 gr0, i64 gc0) {
+    for (i64 i = 0; i < rows_; ++i) {
+      for (i64 j = 0; j < cols_; ++j) {
+        std::uint64_t s =
+            static_cast<std::uint64_t>((gr0 + i) * 0x1000003 + (gc0 + j));
+        (*this)(i, j) = static_cast<T>(
+            static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53 - 0.5);
+      }
+    }
+  }
+
+  /// Max absolute element-wise difference with another matrix of equal shape.
+  double max_abs_diff(const Matrix& other) const {
+    CAMB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    double worst = 0.0;
+    for (std::size_t idx = 0; idx < data_.size(); ++idx) {
+      worst = std::max(worst, std::abs(static_cast<double>(data_[idx]) -
+                                       static_cast<double>(other.data_[idx])));
+    }
+    return worst;
+  }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  i64 rows_, cols_;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+
+/// Serial reference multiplication C = A * B (triple loop, ikj order).
+template <typename T>
+Matrix<T> matmul_reference(const Matrix<T>& a, const Matrix<T>& b) {
+  CAMB_CHECK_MSG(a.cols() == b.rows(), "inner dimensions must agree");
+  Matrix<T> c(a.rows(), b.cols());
+  for (i64 i = 0; i < a.rows(); ++i) {
+    for (i64 k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      for (i64 j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+}  // namespace camb

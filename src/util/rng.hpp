@@ -1,0 +1,71 @@
+// rng.hpp — deterministic, splittable random number generation.
+//
+// Every simulated rank gets its own stream derived from (seed, rank) so that
+// results are reproducible regardless of thread scheduling.  We use
+// splitmix64 for stream derivation and xoshiro256** for generation — both
+// public-domain algorithms implemented here from the reference descriptions.
+#pragma once
+
+#include <cstdint>
+
+namespace camb {
+
+/// splitmix64 step; used to seed streams and as a cheap standalone generator.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with a splitmix64-derived state.
+/// Satisfies UniformRandomBitGenerator, so it plugs into <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u, std::uint64_t stream = 0) {
+    std::uint64_t sm = seed + 0x632be59bd9b4e019ULL * (stream + 1);
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) for n >= 1, via rejection-free Lemire trick
+  /// simplified to modulo (bias negligible for our n << 2^64 use).
+  std::uint64_t below(std::uint64_t n) { return operator()() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace camb

@@ -1,0 +1,46 @@
+// table.hpp — console table and CSV writer used by every benchmark binary.
+//
+// Benches print paper-shaped rows (aligned, human-readable) and optionally a
+// CSV copy so experiments can be recorded mechanically in EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace camb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render an aligned console table.
+  void print(std::ostream& os) const;
+
+  /// Render CSV (RFC-4180-ish quoting: cells containing comma/quote/newline
+  /// are quoted, embedded quotes doubled).
+  void print_csv(std::ostream& os) const;
+
+  /// Write CSV to a file path; throws camb::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  /// Format helpers used pervasively by benches.
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt_int(long long value);
+  /// Human-scaled word count: "1.23e+09" style scientific for big numbers.
+  static std::string fmt_sci(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace camb

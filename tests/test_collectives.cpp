@@ -1,0 +1,501 @@
+// Unit tests for the collectives library: correctness of every variant on
+// every small group size, and exactness of the analytic cost model against
+// the executed machine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/allgather.hpp"
+#include "collectives/allreduce.hpp"
+#include "collectives/alltoall.hpp"
+#include "collectives/bcast.hpp"
+#include "collectives/coll_cost.hpp"
+#include "collectives/gather_scatter.hpp"
+#include "collectives/reduce.hpp"
+#include "collectives/reduce_scatter.hpp"
+#include "collectives/registry.hpp"
+#include "machine/machine.hpp"
+
+namespace camb {
+namespace {
+
+using coll::AllgatherAlgo;
+using coll::ReduceScatterAlgo;
+
+std::vector<int> iota_group(int p) {
+  std::vector<int> group(static_cast<std::size_t>(p));
+  std::iota(group.begin(), group.end(), 0);
+  return group;
+}
+
+// ---------------------------------------------------------------------------
+// All-Gather
+// ---------------------------------------------------------------------------
+
+void check_allgather(int p, AllgatherAlgo algo, const std::vector<i64>& counts) {
+  Machine machine(p);
+  const auto group = iota_group(p);
+  machine.run([&](RankCtx& ctx) {
+    const int me = ctx.rank();
+    const i64 my_count = counts[static_cast<std::size_t>(me)];
+    std::vector<double> local(static_cast<std::size_t>(my_count));
+    const i64 offset = coll::counts_offset(counts, me);
+    for (i64 j = 0; j < my_count; ++j) {
+      local[static_cast<std::size_t>(j)] = static_cast<double>(offset + j);
+    }
+    const auto result = coll::allgather(ctx, group, counts, local, 0, algo);
+    const i64 total = coll::counts_total(counts);
+    ASSERT_EQ(static_cast<i64>(result.size()), total);
+    for (i64 j = 0; j < total; ++j) {
+      EXPECT_DOUBLE_EQ(result[static_cast<std::size_t>(j)],
+                       static_cast<double>(j))
+          << "p=" << p << " me=" << me << " j=" << j;
+    }
+  });
+  // Exact per-rank received-word prediction.
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(machine.stats().rank_total(r).words_received,
+              coll::allgather_recv_words_exact(counts, r, algo))
+        << "p=" << p << " rank=" << r;
+  }
+}
+
+TEST(Allgather, RingAllGroupSizesEqualCounts) {
+  for (int p = 1; p <= 12; ++p) {
+    check_allgather(p, AllgatherAlgo::kRing, std::vector<i64>(p, 3));
+  }
+}
+
+TEST(Allgather, RecursiveDoublingPowerOfTwo) {
+  for (int p : {1, 2, 4, 8, 16}) {
+    check_allgather(p, AllgatherAlgo::kRecursiveDoubling,
+                    std::vector<i64>(p, 5));
+  }
+}
+
+TEST(Allgather, BruckAllGroupSizes) {
+  for (int p = 1; p <= 12; ++p) {
+    check_allgather(p, AllgatherAlgo::kBruck, std::vector<i64>(p, 4));
+  }
+}
+
+TEST(Allgather, UnequalCounts) {
+  for (int p : {2, 3, 5, 8}) {
+    std::vector<i64> counts;
+    for (int i = 0; i < p; ++i) counts.push_back(1 + (i * 7) % 5);
+    check_allgather(p, AllgatherAlgo::kRing, counts);
+    check_allgather(p, AllgatherAlgo::kBruck, counts);
+    if ((p & (p - 1)) == 0) {
+      check_allgather(p, AllgatherAlgo::kRecursiveDoubling, counts);
+    }
+  }
+}
+
+TEST(Allgather, ZeroSizedBlocksSupported) {
+  check_allgather(4, AllgatherAlgo::kRing, {0, 3, 0, 2});
+  check_allgather(4, AllgatherAlgo::kBruck, {2, 0, 0, 1});
+}
+
+TEST(Allgather, RecursiveDoublingRejectsNonPowerOfTwo) {
+  Machine machine(3);
+  EXPECT_THROW(
+      machine.run([&](RankCtx& ctx) {
+        (void)coll::allgather_equal(ctx, iota_group(3), {1.0}, 0,
+                                    AllgatherAlgo::kRecursiveDoubling);
+      }),
+      Error);
+}
+
+TEST(Allgather, BandwidthOptimalWordCount) {
+  // (1 - 1/p) * total received per rank, for equal blocks.
+  const int p = 8;
+  const i64 block = 10;
+  Machine machine(p);
+  machine.run([&](RankCtx& ctx) {
+    (void)coll::allgather_equal(
+        ctx, iota_group(p),
+        std::vector<double>(static_cast<std::size_t>(block)), 0);
+  });
+  const auto cost = coll::allgather_cost(p, block * p);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(machine.stats().rank_total(r).words_received, cost.recv_words);
+    EXPECT_EQ(machine.stats().rank_total(r).words_sent, cost.sent_words);
+    EXPECT_EQ(machine.stats().rank_total(r).messages_sent, cost.messages);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce-Scatter
+// ---------------------------------------------------------------------------
+
+void check_reduce_scatter(int p, ReduceScatterAlgo algo,
+                          const std::vector<i64>& counts) {
+  Machine machine(p);
+  const auto group = iota_group(p);
+  const i64 total = coll::counts_total(counts);
+  machine.run([&](RankCtx& ctx) {
+    const int me = ctx.rank();
+    // Contribution of rank r at position j: (r + 1) * j; the sum over r at
+    // position j is j * p (p + 1) / 2.
+    std::vector<double> full(static_cast<std::size_t>(total));
+    for (i64 j = 0; j < total; ++j) {
+      full[static_cast<std::size_t>(j)] = static_cast<double>((me + 1) * j);
+    }
+    const auto segment = coll::reduce_scatter(ctx, group, counts, full, 0, algo);
+    const i64 my_off = coll::counts_offset(counts, me);
+    ASSERT_EQ(static_cast<i64>(segment.size()),
+              counts[static_cast<std::size_t>(me)]);
+    for (i64 j = 0; j < static_cast<i64>(segment.size()); ++j) {
+      const double expected =
+          static_cast<double>((my_off + j) * p * (p + 1) / 2);
+      EXPECT_DOUBLE_EQ(segment[static_cast<std::size_t>(j)], expected)
+          << "p=" << p << " me=" << me;
+    }
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(machine.stats().rank_total(r).words_received,
+              coll::reduce_scatter_recv_words_exact(counts, r, algo))
+        << "p=" << p << " rank=" << r;
+  }
+}
+
+TEST(ReduceScatter, RingAllGroupSizes) {
+  for (int p = 1; p <= 12; ++p) {
+    check_reduce_scatter(p, ReduceScatterAlgo::kRing, std::vector<i64>(p, 3));
+  }
+}
+
+TEST(ReduceScatter, RecursiveHalvingPowerOfTwo) {
+  for (int p : {1, 2, 4, 8, 16}) {
+    check_reduce_scatter(p, ReduceScatterAlgo::kRecursiveHalving,
+                         std::vector<i64>(p, 4));
+  }
+}
+
+TEST(ReduceScatter, UnequalCounts) {
+  for (int p : {2, 3, 5, 8}) {
+    std::vector<i64> counts;
+    for (int i = 0; i < p; ++i) counts.push_back(1 + (i * 3) % 4);
+    check_reduce_scatter(p, ReduceScatterAlgo::kRing, counts);
+    if ((p & (p - 1)) == 0) {
+      check_reduce_scatter(p, ReduceScatterAlgo::kRecursiveHalving, counts);
+    }
+  }
+}
+
+TEST(ReduceScatter, BandwidthOptimalWordCount) {
+  const int p = 8;
+  const i64 seg = 6;
+  const auto cost = coll::reduce_scatter_cost(p, seg * p);
+  EXPECT_EQ(cost.recv_words, seg * (p - 1));
+  EXPECT_EQ(cost.flops, seg * (p - 1));
+  check_reduce_scatter(p, ReduceScatterAlgo::kRecursiveHalving,
+                       std::vector<i64>(p, seg));
+}
+
+// ---------------------------------------------------------------------------
+// Bcast / Reduce / All-Reduce / All-to-All / Gather / Scatter
+// ---------------------------------------------------------------------------
+
+TEST(Bcast, AllGroupSizesAndRoots) {
+  for (int p = 1; p <= 9; ++p) {
+    for (int root = 0; root < p; ++root) {
+      Machine machine(p);
+      machine.run([&](RankCtx& ctx) {
+        std::vector<double> data;
+        if (coll::group_index(iota_group(p), ctx.rank()) == root) {
+          data = {1.0, 2.0, 3.0};
+        }
+        coll::bcast(ctx, iota_group(p), root, data, 3, 0);
+        ASSERT_EQ(data.size(), 3u);
+        EXPECT_DOUBLE_EQ(data[1], 2.0);
+      });
+      // Every non-root receives the payload exactly once.
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(machine.stats().rank_total(r).words_received,
+                  r == root ? 0 : 3);
+      }
+    }
+  }
+}
+
+TEST(Bcast, PipelinedRingDeliversCorrectly) {
+  for (int p : {1, 2, 3, 5, 8}) {
+    for (int root = 0; root < p; ++root) {
+      for (i64 segments : {1, 3, 7, 100}) {
+        Machine machine(p);
+        machine.run([&](RankCtx& ctx) {
+          std::vector<double> data;
+          if (coll::group_index(iota_group(p), ctx.rank()) == root) {
+            for (int j = 0; j < 23; ++j) data.push_back(j * 1.5);
+          }
+          coll::bcast(ctx, iota_group(p), root, data, 23, 0,
+                      coll::BcastAlgo::kPipelinedRing, segments);
+          ASSERT_EQ(data.size(), 23u);
+          for (int j = 0; j < 23; ++j) {
+            ASSERT_DOUBLE_EQ(data[static_cast<std::size_t>(j)], j * 1.5)
+                << "p=" << p << " root=" << root << " segments=" << segments;
+          }
+        });
+        // Every non-root still receives exactly w words (the variants are
+        // indistinguishable by word count).
+        for (int r = 0; r < p; ++r) {
+          const int v = (r - root + p) % p;
+          EXPECT_EQ(machine.stats().rank_total(r).words_received,
+                    v == 0 ? 0 : 23);
+        }
+      }
+    }
+  }
+}
+
+TEST(Bcast, PipeliningWinsOnLargePayloadsInScheduledTime) {
+  // The trade-off only the logical clock can see: same words everywhere,
+  // but the ring streams segments while the binomial tree serializes whole
+  // payloads through the root.
+  const int p = 8;
+  const i64 w = 1 << 14;
+  auto scheduled = [&](coll::BcastAlgo algo) {
+    Machine machine(p);
+    machine.set_time_params(AlphaBeta{1e-5, 1e-6});
+    machine.run([&](RankCtx& ctx) {
+      std::vector<double> data;
+      if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(w), 1.0);
+      coll::bcast(ctx, iota_group(p), 0, data, w, 0, algo, 32);
+    });
+    return machine.critical_path_time();
+  };
+  EXPECT_LT(scheduled(coll::BcastAlgo::kPipelinedRing),
+            scheduled(coll::BcastAlgo::kBinomial));
+  // And the binomial tree wins for tiny payloads (latency-bound).
+  const i64 tiny = 4;
+  auto scheduled_tiny = [&](coll::BcastAlgo algo) {
+    Machine machine(p);
+    machine.set_time_params(AlphaBeta{1e-5, 1e-6});
+    machine.run([&](RankCtx& ctx) {
+      std::vector<double> data;
+      if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(tiny), 1.0);
+      coll::bcast(ctx, iota_group(p), 0, data, tiny, 0, algo, 32);
+    });
+    return machine.critical_path_time();
+  };
+  EXPECT_LT(scheduled_tiny(coll::BcastAlgo::kBinomial),
+            scheduled_tiny(coll::BcastAlgo::kPipelinedRing));
+}
+
+TEST(Reduce, SumsOntoRoot) {
+  for (int p = 1; p <= 9; ++p) {
+    for (int root : {0, p - 1}) {
+      Machine machine(p);
+      machine.run([&](RankCtx& ctx) {
+        std::vector<double> data = {static_cast<double>(ctx.rank() + 1), 1.0};
+        const auto result = coll::reduce(ctx, iota_group(p), root,
+                                         std::move(data), 0);
+        if (ctx.rank() == root) {
+          ASSERT_EQ(result.size(), 2u);
+          EXPECT_DOUBLE_EQ(result[0], p * (p + 1) / 2.0);
+          EXPECT_DOUBLE_EQ(result[1], static_cast<double>(p));
+        } else {
+          EXPECT_TRUE(result.empty());
+        }
+      });
+    }
+  }
+}
+
+TEST(Allreduce, EveryRankGetsTheSum) {
+  for (int p : {1, 2, 3, 5, 8, 13}) {
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      std::vector<double> data(17);
+      for (std::size_t j = 0; j < data.size(); ++j) {
+        data[j] = static_cast<double>(ctx.rank()) + static_cast<double>(j);
+      }
+      const auto result = coll::allreduce(ctx, iota_group(p), std::move(data), 0);
+      ASSERT_EQ(result.size(), 17u);
+      for (std::size_t j = 0; j < result.size(); ++j) {
+        const double expected = p * (p - 1) / 2.0 + static_cast<double>(p * j);
+        EXPECT_DOUBLE_EQ(result[j], expected) << "p=" << p << " j=" << j;
+      }
+    });
+  }
+}
+
+TEST(Allreduce, PayloadSmallerThanGroup) {
+  const int p = 8;
+  Machine machine(p);
+  machine.run([&](RankCtx& ctx) {
+    std::vector<double> data = {1.0, 2.0, 3.0};  // 3 words, 8 ranks
+    const auto result = coll::allreduce(ctx, iota_group(p), std::move(data), 0);
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_DOUBLE_EQ(result[0], 8.0);
+    EXPECT_DOUBLE_EQ(result[2], 24.0);
+  });
+}
+
+TEST(Alltoall, PersonalizedExchange) {
+  for (int p : {1, 2, 3, 5, 8}) {
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      std::vector<std::vector<double>> blocks(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) {
+        blocks[static_cast<std::size_t>(d)] = {
+            static_cast<double>(ctx.rank() * 100 + d)};
+      }
+      const auto received = coll::alltoall(ctx, iota_group(p), blocks, 0);
+      ASSERT_EQ(received.size(), static_cast<std::size_t>(p));
+      for (int s = 0; s < p; ++s) {
+        ASSERT_EQ(received[static_cast<std::size_t>(s)].size(), 1u);
+        EXPECT_DOUBLE_EQ(received[static_cast<std::size_t>(s)][0],
+                         static_cast<double>(s * 100 + ctx.rank()));
+      }
+    });
+    const auto cost = coll::alltoall_cost(p, 1);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(machine.stats().rank_total(r).words_received, cost.recv_words);
+    }
+  }
+}
+
+TEST(Alltoall, BruckMatchesPairwise) {
+  for (int p : {1, 2, 3, 5, 8, 13}) {
+    for (auto algo : {coll::AlltoallAlgo::kPairwise, coll::AlltoallAlgo::kBruck}) {
+      Machine machine(p);
+      machine.run([&](RankCtx& ctx) {
+        std::vector<std::vector<double>> blocks(static_cast<std::size_t>(p));
+        for (int d = 0; d < p; ++d) {
+          blocks[static_cast<std::size_t>(d)] = {
+              static_cast<double>(ctx.rank() * 1000 + d),
+              static_cast<double>(d * 1000 + ctx.rank())};
+        }
+        const auto received = coll::alltoall(ctx, iota_group(p), blocks, 0, algo);
+        ASSERT_EQ(received.size(), static_cast<std::size_t>(p));
+        for (int s = 0; s < p; ++s) {
+          ASSERT_EQ(received[static_cast<std::size_t>(s)].size(), 2u);
+          EXPECT_DOUBLE_EQ(received[static_cast<std::size_t>(s)][0],
+                           static_cast<double>(s * 1000 + ctx.rank()))
+              << "p=" << p << " algo=" << static_cast<int>(algo);
+        }
+      });
+    }
+  }
+}
+
+TEST(Alltoall, BruckLatencyBandwidthTradeoff) {
+  // Bruck: ceil(log2 p) messages but more words; pairwise: p - 1 messages,
+  // bandwidth-optimal words.
+  const int p = 8;
+  const i64 block = 16;
+  auto run_with = [&](coll::AlltoallAlgo algo) {
+    Machine machine(p);
+    machine.run([&](RankCtx& ctx) {
+      std::vector<std::vector<double>> blocks(
+          static_cast<std::size_t>(p),
+          std::vector<double>(static_cast<std::size_t>(block), 1.0));
+      (void)coll::alltoall(ctx, iota_group(p), blocks, 0, algo);
+    });
+    return machine.stats().rank_total(0);
+  };
+  const auto pairwise = run_with(coll::AlltoallAlgo::kPairwise);
+  const auto bruck = run_with(coll::AlltoallAlgo::kBruck);
+  EXPECT_EQ(pairwise.messages_sent, p - 1);
+  EXPECT_EQ(bruck.messages_sent, coll::ceil_log2(p));
+  EXPECT_EQ(pairwise.words_received, (p - 1) * block);
+  EXPECT_EQ(bruck.words_received, coll::alltoall_bruck_recv_words(p, block));
+  EXPECT_GT(bruck.words_received, pairwise.words_received);
+}
+
+TEST(Alltoall, BruckRejectsUnequalBlocks) {
+  Machine machine(4);
+  EXPECT_THROW(
+      machine.run([&](RankCtx& ctx) {
+        std::vector<std::vector<double>> blocks = {
+            {1.0}, {1.0, 2.0}, {1.0}, {1.0}};
+        (void)coll::alltoall(ctx, iota_group(4), blocks, 0,
+                             coll::AlltoallAlgo::kBruck);
+      }),
+      Error);
+}
+
+TEST(GatherScatter, RoundTrip) {
+  for (int p : {1, 2, 4, 7}) {
+    Machine machine(p);
+    std::vector<i64> counts;
+    for (int i = 0; i < p; ++i) counts.push_back(i + 1);
+    machine.run([&](RankCtx& ctx) {
+      const int me = ctx.rank();
+      std::vector<double> full;
+      if (me == 0) {
+        for (i64 j = 0; j < coll::counts_total(counts); ++j) {
+          full.push_back(static_cast<double>(j));
+        }
+      }
+      const auto mine =
+          coll::scatter(ctx, iota_group(p), 0, counts, full, 0);
+      ASSERT_EQ(static_cast<i64>(mine.size()),
+                counts[static_cast<std::size_t>(me)]);
+      const auto gathered = coll::gather(ctx, iota_group(p), 0, counts, mine,
+                                         coll::kTagStride);
+      if (me == 0) {
+        ASSERT_EQ(static_cast<i64>(gathered.size()),
+                  coll::counts_total(counts));
+        for (std::size_t j = 0; j < gathered.size(); ++j) {
+          EXPECT_DOUBLE_EQ(gathered[j], static_cast<double>(j));
+        }
+      } else {
+        EXPECT_TRUE(gathered.empty());
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost model details
+// ---------------------------------------------------------------------------
+
+TEST(CollCost, CeilLog2) {
+  EXPECT_EQ(coll::ceil_log2(1), 0);
+  EXPECT_EQ(coll::ceil_log2(2), 1);
+  EXPECT_EQ(coll::ceil_log2(3), 2);
+  EXPECT_EQ(coll::ceil_log2(8), 3);
+  EXPECT_EQ(coll::ceil_log2(9), 4);
+}
+
+TEST(CollCost, RoundCounts) {
+  EXPECT_EQ(coll::allgather_rounds(8, AllgatherAlgo::kRing), 7);
+  EXPECT_EQ(coll::allgather_rounds(8, AllgatherAlgo::kRecursiveDoubling), 3);
+  EXPECT_EQ(coll::allgather_rounds(7, AllgatherAlgo::kBruck), 3);
+  EXPECT_EQ(coll::reduce_scatter_rounds(8, ReduceScatterAlgo::kRecursiveHalving), 3);
+  EXPECT_EQ(coll::reduce_scatter_rounds(7, ReduceScatterAlgo::kRing), 6);
+}
+
+TEST(CollCost, GroupOfOneIsFree) {
+  EXPECT_EQ(coll::allgather_cost(1, 100).recv_words, 0);
+  EXPECT_EQ(coll::reduce_scatter_cost(1, 100).recv_words, 0);
+  EXPECT_EQ(coll::bcast_cost(1, 100).recv_words, 0);
+  EXPECT_EQ(coll::allreduce_cost(1, 100).recv_words, 0);
+}
+
+TEST(Registry, VariantsKnowTheirSupport) {
+  for (const auto& variant : coll::allgather_variants()) {
+    EXPECT_TRUE(variant.supports(8));
+    if (variant.name == "recursive_doubling") {
+      EXPECT_FALSE(variant.supports(6));
+    } else {
+      EXPECT_TRUE(variant.supports(6));
+    }
+  }
+  EXPECT_EQ(coll::reduce_scatter_variants().size(), 2u);
+}
+
+TEST(Group, HelpersValidate) {
+  EXPECT_EQ(coll::group_index({4, 2, 7}, 7), 2);
+  EXPECT_THROW(coll::group_index({4, 2}, 9), Error);
+  EXPECT_THROW(coll::validate_group({1, 1}, 4), Error);
+  EXPECT_THROW(coll::validate_group({5}, 4), Error);
+  EXPECT_EQ(coll::counts_total({1, 2, 3}), 6);
+  EXPECT_EQ(coll::counts_offset({1, 2, 3}, 2), 3);
+}
+
+}  // namespace
+}  // namespace camb

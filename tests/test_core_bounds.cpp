@@ -1,0 +1,153 @@
+// Unit tests for core/bounds.hpp: Theorem 3, Corollary 4, and the §6.2
+// memory-dependent comparison.
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace camb::core {
+namespace {
+
+TEST(Theorem3, Case1Expression) {
+  // D = (mn + mk)/P + nk; bound = D - (mn + mk + nk)/P = (1 - 1/P) nk.
+  const auto r = memory_independent_bound_sorted(9600, 2400, 600, 3);
+  EXPECT_EQ(r.regime, RegimeCase::kOneD);
+  EXPECT_DOUBLE_EQ(r.leading_term, 2400.0 * 600);
+  EXPECT_DOUBLE_EQ(r.constant, 1.0);
+  EXPECT_DOUBLE_EQ(r.words, (1.0 - 1.0 / 3.0) * 2400 * 600);
+}
+
+TEST(Theorem3, Case2Expression) {
+  const double m = 9600, n = 2400, k = 600, P = 36;
+  const auto r = memory_independent_bound_sorted(m, n, k, P);
+  EXPECT_EQ(r.regime, RegimeCase::kTwoD);
+  const double lead = std::sqrt(m * n * k * k / P);
+  EXPECT_NEAR(r.leading_term, lead, 1e-6);
+  EXPECT_DOUBLE_EQ(r.constant, 2.0);
+  EXPECT_NEAR(r.D, 2 * lead + m * n / P, 1e-6);
+  EXPECT_NEAR(r.words, 2 * lead - (m * k + n * k) / P, 1e-6);
+}
+
+TEST(Theorem3, Case3Expression) {
+  const double m = 9600, n = 2400, k = 600, P = 512;
+  const auto r = memory_independent_bound_sorted(m, n, k, P);
+  EXPECT_EQ(r.regime, RegimeCase::kThreeD);
+  const double lead = std::pow(m * n * k / P, 2.0 / 3.0);
+  EXPECT_NEAR(r.D, 3 * lead, 1e-6);
+  EXPECT_DOUBLE_EQ(r.constant, 3.0);
+}
+
+TEST(Theorem3, DEqualsLemma2Objective) {
+  // By construction of the proof, D is exactly the Lemma 2 optimum.
+  for (double P : {1.0, 2.0, 4.0, 10.0, 36.0, 64.0, 512.0, 1e5}) {
+    const auto r = memory_independent_bound_sorted(9600, 2400, 600, P);
+    EXPECT_NEAR(r.D, lemma2_objective(9600, 2400, 600, P), 1e-9 * r.D)
+        << "P=" << P;
+  }
+}
+
+TEST(Theorem3, SortsRawShapes) {
+  // The bound must be invariant under permutations of (n1, n2, n3).
+  const auto a = memory_independent_bound(Shape{9600, 2400, 600}, 36);
+  const auto b = memory_independent_bound(Shape{600, 2400, 9600}, 36);
+  const auto c = memory_independent_bound(Shape{2400, 9600, 600}, 36);
+  EXPECT_DOUBLE_EQ(a.words, b.words);
+  EXPECT_DOUBLE_EQ(a.words, c.words);
+}
+
+TEST(Theorem3, PEqualsOneIsZero) {
+  // One processor communicates nothing: D = mn + mk + nk = owned.
+  const auto r = memory_independent_bound_sorted(100, 50, 20, 1);
+  EXPECT_DOUBLE_EQ(r.words, 0.0);
+}
+
+TEST(Theorem3, MonotoneNonincreasingInP) {
+  // Per-processor data requirement D decreases (weakly) with P.
+  double prev = std::numeric_limits<double>::infinity();
+  for (double P = 1; P <= 4096; P *= 2) {
+    const auto r = memory_independent_bound_sorted(4000, 1000, 250, P);
+    EXPECT_LE(r.D, prev * (1 + 1e-12)) << "P=" << P;
+    prev = r.D;
+  }
+}
+
+TEST(Corollary4, SquareCase) {
+  // 3 n^2 / P^{2/3} - 3 n^2 / P, and it matches Theorem 3 with m = n = k.
+  const double n = 300, P = 27;
+  EXPECT_NEAR(square_bound(n, P), 3 * n * n / 9.0 - 3 * n * n / 27.0, 1e-9);
+  const auto r = memory_independent_bound_sorted(n, n, n, P);
+  EXPECT_NEAR(square_bound(n, P), r.words, 1e-6);
+}
+
+TEST(Corollary4, OneProcessorIsZero) {
+  EXPECT_DOUBLE_EQ(square_bound(500, 1), 0.0);
+}
+
+TEST(MemoryDependent, LeadingTerm) {
+  EXPECT_DOUBLE_EQ(memory_dependent_leading(100, 100, 100, 4, 2500),
+                   2.0 * 1e6 / (4 * 50));
+  EXPECT_THROW(memory_dependent_leading(10, 10, 10, 1, 0), Error);
+}
+
+TEST(TightestBound, CrossoverBehaviour) {
+  // §6.2: for P slightly above mn/k^2 with tiny memory, the memory-dependent
+  // bound dominates; with plentiful memory it never does.
+  const double m = 4096, n = 4096, k = 4096;
+  const double small_M = 1000;
+  const double big_M = 1e9;
+  const double P = 4096;
+  EXPECT_TRUE(tightest_bound(m, n, k, P, small_M).mem_dependent_dominates);
+  EXPECT_FALSE(tightest_bound(m, n, k, P, big_M).mem_dependent_dominates);
+}
+
+TEST(TightestBound, ThresholdFormula) {
+  const double m = 4096, n = 4096, k = 4096, M = 65536;
+  const double thresh = memory_dependent_dominance_threshold(m, n, k, M);
+  EXPECT_NEAR(thresh, (8.0 / 27.0) * m * n * k / std::pow(M, 1.5), 1e-3);
+  // Just above mn/k^2 and below the threshold: memory-dependent dominates.
+  const double P_mid = std::min(thresh * 0.5, 1e7);
+  if (P_mid > m * n / (k * k) + 1) {
+    EXPECT_TRUE(tightest_bound(m, n, k, P_mid, M).mem_dependent_dominates);
+  }
+  // Beyond the threshold the memory-independent bound takes over again.
+  EXPECT_FALSE(
+      tightest_bound(m, n, k, thresh * 2, M).mem_dependent_dominates);
+}
+
+TEST(MemoryIndependent, DominatesLeadingTermsInCases1And2) {
+  // §6.2's chain of dominations: because the local memory must hold the
+  // largest matrix, M > mn/P, the memory-dependent leading term
+  // 2mnk/(P sqrt(M)) is below the case-2 leading term 2(mnk^2/P)^{1/2};
+  // and for P <= m/n the case-1 expression dominates the case-2 one
+  // (by AM-GM: 2(mnk^2/P)^{1/2} <= mk/P + nk).
+  const double m = 9600, n = 2400, k = 600;
+  for (double P : {2.0, 4.0, 16.0, 36.0, 64.0}) {
+    const double case2_term = 2.0 * std::sqrt(m * n * k * k / P);
+    const double M_min = m * n / P;
+    for (double M : {M_min * 1.01, M_min * 4, M_min * 100}) {
+      EXPECT_LT(memory_dependent_leading(m, n, k, P, M), case2_term)
+          << "P=" << P << " M=" << M;
+    }
+    if (P <= m / n) {
+      EXPECT_LE(case2_term, m * k / P + n * k + 1e-9) << "P=" << P;
+    }
+  }
+}
+
+TEST(SufficientMemory, ThresholdFormula) {
+  EXPECT_NEAR(sufficient_memory_threshold(100, 100, 100, 8),
+              (4.0 / 9.0) * std::pow(1e6 / 8, 2.0 / 3.0), 1e-6);
+}
+
+TEST(Theorem3, WordsClampedAtZero) {
+  // Degenerate: huge owned data relative to D can not go negative.
+  const auto r = memory_independent_bound_sorted(10, 10, 10, 1);
+  EXPECT_GE(r.words, 0.0);
+}
+
+}  // namespace
+}  // namespace camb::core

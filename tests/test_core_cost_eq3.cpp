@@ -1,0 +1,131 @@
+// Unit tests for core/cost_eq3.hpp: the Algorithm 1 cost model and the
+// §6.2 strong-scaling analysis.
+#include "core/cost_eq3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace camb::core {
+namespace {
+
+const Shape kPaperShape{9600, 2400, 600};
+
+TEST(Eq3, PositiveTerms) {
+  const auto t = alg1_positive_terms(kPaperShape, Grid3{12, 3, 1});
+  EXPECT_DOUBLE_EQ(t.a_words, 9600.0 * 2400 / 36);
+  EXPECT_DOUBLE_EQ(t.b_words, 2400.0 * 600 / 3);
+  EXPECT_DOUBLE_EQ(t.c_words, 9600.0 * 600 / 12);
+  EXPECT_DOUBLE_EQ(t.sum(), t.a_words + t.b_words + t.c_words);
+}
+
+TEST(Eq3, MatchesTheorem3InCase1) {
+  // With the 1D grid the cost is (1 - 1/P) nk, the case-1 bound.
+  const i64 P = 3;
+  const double cost = alg1_cost_words(kPaperShape, Grid3{P, 1, 1});
+  EXPECT_NEAR(cost, (1.0 - 1.0 / P) * 2400 * 600, 1e-6);
+  const auto bound = memory_independent_bound(kPaperShape, P);
+  EXPECT_NEAR(cost, bound.words, 1e-6);
+}
+
+TEST(Eq3, MatchesTheorem3InCase2) {
+  const double cost = alg1_cost_words(kPaperShape, Grid3{12, 3, 1});
+  const auto bound = memory_independent_bound(kPaperShape, 36);
+  EXPECT_NEAR(cost, bound.words, 1e-6);
+}
+
+TEST(Eq3, MatchesTheorem3InCase3) {
+  const double cost = alg1_cost_words(kPaperShape, Grid3{32, 8, 2});
+  const auto bound = memory_independent_bound(kPaperShape, 512);
+  EXPECT_NEAR(cost, bound.words, 1e-6);
+}
+
+TEST(Eq3, NeverBelowTheorem3ForAnyGrid) {
+  // Every factor triple's cost is at least the lower bound (Theorem 3 is a
+  // true lower bound on this algorithm family too).
+  for (i64 P : {6, 24, 36, 64, 512}) {
+    const auto bound = memory_independent_bound(kPaperShape,
+                                                static_cast<double>(P));
+    for (const Grid3& g : all_grids(P)) {
+      EXPECT_GE(alg1_cost_words(kPaperShape, g) + 1e-6, bound.words)
+          << "P=" << P << " grid=" << g.p1 << "x" << g.p2 << "x" << g.p3;
+    }
+  }
+}
+
+TEST(Eq3, ExactIntegerFormAgreesWithDouble) {
+  for (const Grid3& g : {Grid3{3, 1, 1}, Grid3{12, 3, 1}, Grid3{4, 4, 4}}) {
+    const i64 exact = alg1_cost_words_exact(kPaperShape, g);
+    const double approx = alg1_cost_words(kPaperShape, g);
+    EXPECT_NEAR(static_cast<double>(exact), approx, 1e-6)
+        << g.p1 << "x" << g.p2 << "x" << g.p3;
+  }
+}
+
+TEST(Eq3, ExactRequiresDivisibility) {
+  EXPECT_THROW(alg1_cost_words_exact(kPaperShape, Grid3{7, 1, 1}), Error);
+  // Dims divide, but the p1 = 32 fiber does not divide the 90000-word B
+  // block chunkwise-evenly... it does (90000/32 is fractional): rejected.
+  EXPECT_THROW(alg1_cost_words_exact(kPaperShape, Grid3{32, 8, 2}), Error);
+  // Scaling the shape 4x restores full divisibility.
+  const Shape big{4 * 9600, 4 * 2400, 4 * 600};
+  EXPECT_NEAR(static_cast<double>(alg1_cost_words_exact(big, Grid3{32, 8, 2})),
+              alg1_cost_words(big, Grid3{32, 8, 2}), 1e-6);
+}
+
+TEST(Eq3, BreakdownSumsToTotal) {
+  for (const Grid3& g : {Grid3{3, 1, 1}, Grid3{12, 3, 1}, Grid3{32, 8, 2}}) {
+    const auto breakdown = alg1_comm_breakdown(kPaperShape, g);
+    EXPECT_NEAR(breakdown.total(), alg1_cost_words(kPaperShape, g), 1e-6);
+  }
+}
+
+TEST(Eq3, DegenerateAxesAreFree) {
+  // p3 = 1 means the A All-Gather moves nothing; p2 = 1 silences the
+  // Reduce-Scatter.
+  const auto b1 = alg1_comm_breakdown(kPaperShape, Grid3{36, 1, 1});
+  EXPECT_DOUBLE_EQ(b1.allgather_a, 0.0);
+  EXPECT_DOUBLE_EQ(b1.reduce_scatter_c, 0.0);
+  EXPECT_GT(b1.allgather_b, 0.0);
+}
+
+TEST(Eq3, MemoryFootprintIsPositiveTerms) {
+  const Grid3 g{32, 8, 2};
+  EXPECT_DOUBLE_EQ(alg1_memory_words(kPaperShape, g),
+                   alg1_positive_terms(kPaperShape, g).sum());
+}
+
+TEST(Eq3, FlopCounts) {
+  const Grid3 g{32, 8, 2};
+  EXPECT_DOUBLE_EQ(alg1_flops(kPaperShape, g),
+                   9600.0 * 2400 * 600 / 512);
+  // Reduction flops are dominated by the multiplication flops (§5.1).
+  EXPECT_LT(alg1_reduction_flops(kPaperShape, g), alg1_flops(kPaperShape, g));
+}
+
+TEST(ScalingSweep, RegimesAndCrossover) {
+  const double m = 9600, n = 2400, k = 600;
+  const double M = 1e5;
+  const auto points = scaling_sweep(m, n, k, M, {2, 36, 512, 1e5});
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].regime, RegimeCase::kOneD);
+  EXPECT_EQ(points[1].regime, RegimeCase::kTwoD);
+  EXPECT_EQ(points[2].regime, RegimeCase::kThreeD);
+  for (const auto& pt : points) {
+    EXPECT_DOUBLE_EQ(pt.bound, std::max(pt.mem_independent, pt.mem_dependent));
+  }
+}
+
+TEST(ScalingSweep, MemoryLimitedFlagTracksThreshold) {
+  const double m = 4096, n = 4096, k = 4096;
+  const double M = 1e4;
+  // Small P: the per-processor working set is huge, memory limited.
+  const auto pts = scaling_sweep(m, n, k, M, {8, 1e9});
+  EXPECT_TRUE(pts[0].memory_limited);
+  EXPECT_FALSE(pts[1].memory_limited);
+}
+
+}  // namespace
+}  // namespace camb::core

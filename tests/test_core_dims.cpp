@@ -1,0 +1,111 @@
+// Unit tests for core/dims.hpp: shape sorting and face/matrix mapping.
+#include "core/dims.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace camb::core {
+namespace {
+
+TEST(Shape, SizesAndFlops) {
+  Shape s{4, 5, 6};
+  EXPECT_EQ(s.flops(), 120);
+  EXPECT_EQ(s.size_a(), 20);
+  EXPECT_EQ(s.size_b(), 30);
+  EXPECT_EQ(s.size_c(), 24);
+  EXPECT_EQ(s.total_matrix_words(), 74);
+}
+
+TEST(SortDims, AllPermutations) {
+  const i64 vals[3] = {10, 20, 30};
+  int perm[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                    {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (auto& p : perm) {
+    Shape s{vals[p[0]], vals[p[1]], vals[p[2]]};
+    const SortedDims d = sort_dims(s);
+    EXPECT_EQ(d.m, 30);
+    EXPECT_EQ(d.n, 20);
+    EXPECT_EQ(d.k, 10);
+    // axis_of must invert correctly.
+    const std::array<i64, 3> raw = {s.n1, s.n2, s.n3};
+    EXPECT_EQ(raw[static_cast<std::size_t>(d.axis_of[0])], 30);
+    EXPECT_EQ(raw[static_cast<std::size_t>(d.axis_of[1])], 20);
+    EXPECT_EQ(raw[static_cast<std::size_t>(d.axis_of[2])], 10);
+  }
+}
+
+TEST(SortDims, TiesAreStable) {
+  const SortedDims d = sort_dims(Shape{5, 5, 5});
+  EXPECT_EQ(d.axis_of, (std::array<int, 3>{0, 1, 2}));
+}
+
+TEST(SortDims, FaceSizes) {
+  // Paper's Figure 2 shape: A is 9600x2400, B is 2400x600.
+  const SortedDims d = sort_dims(Shape{9600, 2400, 600});
+  EXPECT_EQ(d.m, 9600);
+  EXPECT_EQ(d.n, 2400);
+  EXPECT_EQ(d.k, 600);
+  const auto faces = d.face_sizes();
+  EXPECT_EQ(faces[0], 2400 * 600);    // nk — the smallest face (matrix B)
+  EXPECT_EQ(faces[1], 9600 * 600);    // mk — matrix C
+  EXPECT_EQ(faces[2], 9600 * 2400);   // mn — matrix A
+}
+
+TEST(SortDims, MatrixRoles) {
+  // n1 = 9600 is m; the matrix not involving n1 is B, so B is the nk face.
+  const SortedDims d = sort_dims(Shape{9600, 2400, 600});
+  EXPECT_EQ(d.small_matrix(), MatrixId::B);
+  EXPECT_EQ(d.mid_matrix(), MatrixId::C);   // n2=2400 median; C omits n2
+  EXPECT_EQ(d.large_matrix(), MatrixId::A); // n3=600 min; A omits n3
+}
+
+TEST(SortDims, MatrixRolesOtherOrientation) {
+  // n2 largest: A = n1×n2 involves it, C = n1×n3 does not involve n2.
+  const SortedDims d = sort_dims(Shape{10, 100, 50});
+  EXPECT_EQ(d.m, 100);
+  EXPECT_EQ(d.small_matrix(), MatrixId::C);
+}
+
+TEST(MatrixWithoutAxis, Mapping) {
+  EXPECT_EQ(matrix_without_axis(0), MatrixId::B);
+  EXPECT_EQ(matrix_without_axis(1), MatrixId::C);
+  EXPECT_EQ(matrix_without_axis(2), MatrixId::A);
+  EXPECT_THROW(matrix_without_axis(3), Error);
+}
+
+TEST(MatrixSize, ByRole) {
+  Shape s{4, 5, 6};
+  EXPECT_EQ(matrix_size(s, MatrixId::A), 20);
+  EXPECT_EQ(matrix_size(s, MatrixId::B), 30);
+  EXPECT_EQ(matrix_size(s, MatrixId::C), 24);
+}
+
+TEST(MatrixFaceConsistency, RolesPartitionFaces) {
+  // For any shape, the three roles cover {A, B, C} exactly once, and their
+  // sizes are {nk, mk, mn}.
+  for (const Shape& s : {Shape{3, 7, 5}, Shape{8, 2, 4}, Shape{6, 6, 2}}) {
+    const SortedDims d = sort_dims(s);
+    const MatrixId small = d.small_matrix(), mid = d.mid_matrix(),
+                   large = d.large_matrix();
+    EXPECT_NE(small, mid);
+    EXPECT_NE(mid, large);
+    EXPECT_NE(small, large);
+    EXPECT_EQ(matrix_size(s, small), d.n * d.k);
+    EXPECT_EQ(matrix_size(s, mid), d.m * d.k);
+    EXPECT_EQ(matrix_size(s, large), d.m * d.n);
+  }
+}
+
+TEST(SortDims, RejectsDegenerate) {
+  EXPECT_THROW(sort_dims(Shape{0, 1, 1}), Error);
+}
+
+TEST(ToString, MatrixNames) {
+  EXPECT_EQ(to_string(MatrixId::A), "A");
+  EXPECT_EQ(to_string(MatrixId::B), "B");
+  EXPECT_EQ(to_string(MatrixId::C), "C");
+}
+
+}  // namespace
+}  // namespace camb::core

@@ -1,0 +1,145 @@
+// Unit tests for core/general_bounds.hpp — the §6.3 generalization — and
+// the general form of the optimization solvers it builds on.
+#include "core/general_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace camb::core {
+namespace {
+
+TEST(GeneralBounds, SpecializesToMatmulInAllRegimes) {
+  // The generalized bound on the matmul computation must equal Theorem 3.
+  const double m = 9600, n = 2400, k = 600;
+  for (double P : {1.0, 2.0, 3.0, 4.0, 16.0, 36.0, 64.0, 512.0, 1e5}) {
+    const auto general =
+        general_memory_independent_bound(matmul_computation(m, n, k), P);
+    const auto matmul = memory_independent_bound_sorted(m, n, k, P);
+    EXPECT_NEAR(general.accessed, matmul.D, 1e-9 * matmul.D) << "P=" << P;
+    EXPECT_NEAR(general.words, matmul.words,
+                1e-9 * std::max(1.0, matmul.words))
+        << "P=" << P;
+  }
+}
+
+TEST(GeneralBounds, ExtentOrderInvariance) {
+  for (double P : {2.0, 36.0, 512.0}) {
+    const auto a = general_memory_independent_bound(
+        BilinearComputation{{9600, 2400, 600}}, P);
+    const auto b = general_memory_independent_bound(
+        BilinearComputation{{600, 9600, 2400}}, P);
+    EXPECT_NEAR(a.words, b.words, 1e-9 * std::max(1.0, a.words)) << "P=" << P;
+  }
+}
+
+TEST(GeneralBounds, ActiveFloorsTrackTheRegimes) {
+  const BilinearComputation comp{{9600, 2400, 600}};
+  EXPECT_EQ(general_memory_independent_bound(comp, 2).active_floors, 2);   // 1D
+  EXPECT_EQ(general_memory_independent_bound(comp, 36).active_floors, 1);  // 2D
+  EXPECT_EQ(general_memory_independent_bound(comp, 512).active_floors, 0); // 3D
+}
+
+TEST(GeneralBounds, RegimeLabels) {
+  const BilinearComputation comp{{9600, 2400, 600}};
+  EXPECT_NE(regime_label(general_memory_independent_bound(comp, 512))
+                .find("3D-like"),
+            std::string::npos);
+  EXPECT_NE(regime_label(general_memory_independent_bound(comp, 2))
+                .find("1D-like"),
+            std::string::npos);
+}
+
+TEST(GeneralBounds, ComputationAccessors) {
+  const BilinearComputation comp{{4, 6, 8}};
+  EXPECT_DOUBLE_EQ(comp.volume(), 192);
+  EXPECT_DOUBLE_EQ(comp.array_size(0), 48);  // omits axis 0
+  EXPECT_DOUBLE_EQ(comp.array_size(2), 24);
+  EXPECT_DOUBLE_EQ(comp.reuse(1), 6);
+  const BilinearComputation degenerate{{0.5, 2, 2}};
+  EXPECT_THROW(degenerate.validate(), Error);
+}
+
+TEST(GeneralBounds, UnevenNonMatmulInstance) {
+  // A long-thin "interaction kernel" iteration space 100000 x 100 x 100:
+  // for small P the bound is the smallest array (the 100x100 one), i.e.
+  // communication ~ 1e4 words independent of P — the 1D-regime phenomenon
+  // on a non-GEMM computation.
+  const BilinearComputation comp{{100000, 100, 100}};
+  const auto bound = general_memory_independent_bound(comp, 8);
+  EXPECT_EQ(bound.active_floors, 2);
+  // accessed = nk + (mk + mn)/P with m=1e5, n=k=100.
+  EXPECT_NEAR(bound.accessed, 100.0 * 100 + 2 * 1e7 / 8, 1e-3);
+}
+
+TEST(GeneralBounds, MonotoneInP) {
+  const BilinearComputation comp{{5000, 700, 60}};
+  double prev = 1e300;
+  for (double P = 1; P <= 1 << 20; P *= 4) {
+    const auto bound = general_memory_independent_bound(comp, P);
+    EXPECT_LE(bound.accessed, prev * (1 + 1e-12)) << "P=" << P;
+    prev = bound.accessed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The general solvers themselves, on floors not derivable from any matmul.
+// ---------------------------------------------------------------------------
+
+TEST(GeneralSolvers, AgreeOnArbitraryFloors) {
+  camb::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    GeneralLemma2Problem prob;
+    prob.floors = {std::exp(rng.uniform(0.0, 8.0)),
+                   std::exp(rng.uniform(0.0, 8.0)),
+                   std::exp(rng.uniform(0.0, 8.0))};
+    prob.product_floor = std::exp(rng.uniform(1.0, 20.0));
+    const auto enumerated = solve_enumerate(prob);
+    const auto numeric = solve_numeric(prob, 6000);
+    const double obj_e = enumerated[0] + enumerated[1] + enumerated[2];
+    const double obj_n = numeric[0] + numeric[1] + numeric[2];
+    EXPECT_NEAR(obj_n, obj_e, 2e-3 * obj_e) << "trial " << trial;
+    // Both feasible.
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(enumerated[static_cast<std::size_t>(i)] * (1 + 1e-12),
+                prob.floors[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_GE(enumerated[0] * enumerated[1] * enumerated[2] * (1 + 1e-9),
+              prob.product_floor);
+  }
+}
+
+TEST(GeneralSolvers, FloorsOnlyWhenProductSlack) {
+  GeneralLemma2Problem prob;
+  prob.floors = {10, 20, 30};
+  prob.product_floor = 100;  // 10*20*30 = 6000 >> 100: floors optimal
+  const auto x = solve_enumerate(prob);
+  EXPECT_DOUBLE_EQ(x[0], 10);
+  EXPECT_DOUBLE_EQ(x[1], 20);
+  EXPECT_DOUBLE_EQ(x[2], 30);
+}
+
+TEST(GeneralSolvers, SymmetricWhenFloorsTiny) {
+  GeneralLemma2Problem prob;
+  prob.floors = {1e-3, 1e-3, 1e-3};
+  prob.product_floor = 1e6;
+  const auto x = solve_enumerate(prob);
+  for (double xi : x) EXPECT_NEAR(xi, 100.0, 1e-6);  // (1e6)^{1/3}
+}
+
+TEST(GeneralSolvers, RejectsBadInput) {
+  GeneralLemma2Problem prob;
+  prob.floors = {1, -1, 1};
+  EXPECT_THROW(solve_enumerate(prob), Error);
+  prob.floors = {1, 1, 1};
+  prob.product_floor = 0;
+  EXPECT_THROW(solve_numeric(prob), Error);
+}
+
+}  // namespace
+}  // namespace camb::core

@@ -1,0 +1,120 @@
+// Unit tests for core/grid.hpp: §5.2 optimal grid selection.
+#include "core/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_eq3.hpp"
+#include "util/error.hpp"
+
+namespace camb::core {
+namespace {
+
+const Shape kPaperShape{9600, 2400, 600};  // Figure 2's running example
+
+TEST(RealGrid, Case1Is1D) {
+  const auto g = optimal_grid_real(9600, 2400, 600, 3);
+  EXPECT_EQ(g.regime, RegimeCase::kOneD);
+  EXPECT_DOUBLE_EQ(g.p, 3);
+  EXPECT_DOUBLE_EQ(g.q, 1);
+  EXPECT_DOUBLE_EQ(g.r, 1);
+}
+
+TEST(RealGrid, Case2Is2DWithMatchedAspect) {
+  const auto g = optimal_grid_real(9600, 2400, 600, 36);
+  EXPECT_EQ(g.regime, RegimeCase::kTwoD);
+  EXPECT_NEAR(g.p, 12, 1e-9);
+  EXPECT_NEAR(g.q, 3, 1e-9);
+  EXPECT_DOUBLE_EQ(g.r, 1);
+  // m/p == n/q.
+  EXPECT_NEAR(9600 / g.p, 2400 / g.q, 1e-9);
+}
+
+TEST(RealGrid, Case3Is3DCubic) {
+  const auto g = optimal_grid_real(9600, 2400, 600, 512);
+  EXPECT_EQ(g.regime, RegimeCase::kThreeD);
+  EXPECT_NEAR(g.p, 32, 1e-9);
+  EXPECT_NEAR(g.q, 8, 1e-9);
+  EXPECT_NEAR(g.r, 2, 1e-9);
+  // Cubic local volumes: m/p == n/q == k/r.
+  EXPECT_NEAR(9600 / g.p, 600 / g.r, 1e-9);
+}
+
+TEST(RealGrid, ProductIsAlwaysP) {
+  for (double P : {1.0, 2.0, 7.0, 36.0, 100.0, 512.0, 9999.0}) {
+    const auto g = optimal_grid_real(9600, 2400, 600, P);
+    EXPECT_NEAR(g.p * g.q * g.r, P, 1e-6 * P);
+  }
+}
+
+TEST(ExactGrid, PaperFigure2Grids) {
+  // Figure 2: P = 3 -> 3x1x1, P = 36 -> 12x3x1, P = 512 -> 32x8x2, where the
+  // grid axes align with (n1, n2, n3) = (m, n, k) for this shape.
+  EXPECT_EQ(exact_optimal_grid(kPaperShape, 3), (Grid3{3, 1, 1}));
+  EXPECT_EQ(exact_optimal_grid(kPaperShape, 36), (Grid3{12, 3, 1}));
+  EXPECT_EQ(exact_optimal_grid(kPaperShape, 512), (Grid3{32, 8, 2}));
+}
+
+TEST(ExactGrid, AxisMappingFollowsShapeOrientation) {
+  // Same dimensions, permuted: B-heavy orientation. m = 9600 now sits on
+  // axis 3, so the P-way 1D grid must split axis 3.
+  const Shape permuted{600, 2400, 9600};
+  EXPECT_EQ(exact_optimal_grid(permuted, 3), (Grid3{1, 1, 3}));
+  EXPECT_EQ(exact_optimal_grid(permuted, 512), (Grid3{2, 8, 32}));
+}
+
+TEST(ExactGrid, ThrowsWhenFractional) {
+  // P = 7 in the 2D regime of the paper shape: p = sqrt(7*4) not integral.
+  EXPECT_THROW(exact_optimal_grid(kPaperShape, 7), Error);
+}
+
+TEST(BestIntegerGrid, MatchesExactWhenItExists) {
+  for (i64 P : {3, 36, 512}) {
+    EXPECT_EQ(best_integer_grid(kPaperShape, P), exact_optimal_grid(kPaperShape, P))
+        << "P=" << P;
+  }
+}
+
+TEST(BestIntegerGrid, AlwaysProducesAGridOfSizeP) {
+  for (i64 P : {1, 2, 5, 7, 11, 24, 60, 97, 100}) {
+    const Grid3 g = best_integer_grid(kPaperShape, P);
+    EXPECT_EQ(g.total(), P);
+  }
+}
+
+TEST(BestIntegerGrid, NeverWorseThanAnyOtherFactorTriple) {
+  for (i64 P : {12, 30, 64}) {
+    const Grid3 best = best_integer_grid(kPaperShape, P);
+    const double best_cost = alg1_cost_words(kPaperShape, best);
+    for (const Grid3& g : all_grids(P)) {
+      EXPECT_LE(best_cost, alg1_cost_words(kPaperShape, g) + 1e-9)
+          << "P=" << P << " grid=" << g.p1 << "x" << g.p2 << "x" << g.p3;
+    }
+  }
+}
+
+TEST(ToRawGrid, RoundTripsThroughSorting) {
+  const Shape s{10, 30, 20};  // m on axis 2, n on axis 3, k on axis 1
+  const Grid3 g = to_raw_grid(s, 6, 3, 2);
+  EXPECT_EQ(g.p2, 6);  // p follows m (axis 2 is n2)
+  EXPECT_EQ(g.p3, 3);  // q follows n
+  EXPECT_EQ(g.p1, 2);  // r follows k
+}
+
+TEST(GridDivides, Checks) {
+  EXPECT_TRUE(grid_divides(kPaperShape, Grid3{32, 8, 2}));
+  EXPECT_TRUE(grid_divides(kPaperShape, Grid3{12, 3, 1}));
+  EXPECT_FALSE(grid_divides(kPaperShape, Grid3{7, 1, 1}));
+}
+
+TEST(AllGrids, EnumeratesFactorTriples) {
+  const auto grids = all_grids(12);
+  bool found = false;
+  for (const auto& g : grids) {
+    EXPECT_EQ(g.total(), 12);
+    if (g == Grid3{2, 3, 2}) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace camb::core

@@ -1,0 +1,105 @@
+// Unit tests for core/kkt.hpp: the KKT certificate of Lemma 2's solution and
+// the convexity probes of §3.2.
+#include "core/kkt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camb::core {
+namespace {
+
+TEST(ConstraintValues, FeasibleAndInfeasiblePoints) {
+  const Lemma2Problem prob{6, 4, 2, 2};
+  // Floors: (4, 6, 12); product floor: (24)^2 = 576.
+  const auto at_floors = constraint_values(prob, {4, 6, 12});
+  // 4*6*12 = 288 < 576: product constraint violated at the floors.
+  EXPECT_GT(at_floors[0], 0);
+  EXPECT_DOUBLE_EQ(at_floors[1], 0);
+  EXPECT_DOUBLE_EQ(at_floors[2], 0);
+  EXPECT_DOUBLE_EQ(at_floors[3], 0);
+  const auto feasible = constraint_values(prob, {8, 9, 12});
+  for (double g : feasible) EXPECT_LE(g, 0);
+}
+
+TEST(ConstraintJacobian, MatchesPaperForm) {
+  const auto jac = constraint_jacobian({2, 3, 5});
+  EXPECT_DOUBLE_EQ(jac[0][0], -15);
+  EXPECT_DOUBLE_EQ(jac[0][1], -10);
+  EXPECT_DOUBLE_EQ(jac[0][2], -6);
+  EXPECT_DOUBLE_EQ(jac[1][0], -1);
+  EXPECT_DOUBLE_EQ(jac[2][1], -1);
+  EXPECT_DOUBLE_EQ(jac[3][2], -1);
+  EXPECT_DOUBLE_EQ(jac[1][1], 0);
+}
+
+TEST(VerifyKkt, AnalyticSolutionCertifiedInAllCases) {
+  // The dual variables published in the paper's proof must satisfy all four
+  // KKT conditions in each regime.
+  for (double P : {1.0, 2.0, 3.9, 4.0, 5.0, 36.0, 63.9, 64.0, 100.0, 512.0,
+                   1e6}) {
+    const Lemma2Problem prob{9600, 2400, 600, P};
+    const auto sol = solve_analytic(prob);
+    const auto report = verify_kkt(prob, sol.x, sol.mu, 1e-8);
+    EXPECT_TRUE(report.ok())
+        << "P=" << P << " primal=" << report.primal_feasible
+        << " dual=" << report.dual_feasible << " stat=" << report.stationary
+        << " comp=" << report.complementary
+        << " worst=" << report.worst_violation;
+  }
+}
+
+TEST(VerifyKkt, RejectsWrongPrimal) {
+  const Lemma2Problem prob{9600, 2400, 600, 36};
+  const auto sol = solve_analytic(prob);
+  auto x = sol.x;
+  x[0] *= 0.5;  // violates the product constraint or a floor
+  const auto report = verify_kkt(prob, x, sol.mu);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyKkt, RejectsWrongDual) {
+  const Lemma2Problem prob{9600, 2400, 600, 36};
+  const auto sol = solve_analytic(prob);
+  auto mu = sol.mu;
+  mu[0] = 0;  // stationarity can no longer hold
+  EXPECT_FALSE(verify_kkt(prob, sol.x, mu).stationary);
+  mu = sol.mu;
+  mu[1] = -1;  // dual infeasible
+  EXPECT_FALSE(verify_kkt(prob, sol.x, mu).dual_feasible);
+}
+
+TEST(VerifyKkt, RejectsSlackConstraintWithPositiveMultiplier) {
+  const Lemma2Problem prob{9600, 2400, 600, 512};  // case 3: floors slack
+  const auto sol = solve_analytic(prob);
+  auto mu = sol.mu;
+  mu[1] = 0.5;  // floor 1 is slack in case 3, so complementary slackness fails
+  EXPECT_FALSE(verify_kkt(prob, sol.x, mu).complementary);
+}
+
+TEST(ProbeQuasiconvexity, G0PassesOnPositiveOctant) {
+  // Lemma 5: g0 = L - x1 x2 x3 is quasiconvex on the positive octant.
+  EXPECT_TRUE(probe_quasiconvexity_g0(10.0, 20000, 1));
+  EXPECT_TRUE(probe_quasiconvexity_g0(1e6, 20000, 2));
+  EXPECT_TRUE(probe_quasiconvexity_g0(0.0, 20000, 3));
+}
+
+TEST(ProbeConvexity, ObjectivePasses) {
+  EXPECT_TRUE(probe_convexity_objective(20000, 4));
+}
+
+TEST(VerifyKkt, EnumeratedSolutionAlsoAtAnalyticObjective) {
+  // Cross-solver consistency stated through the dual certificate: the
+  // enumerated primal point must satisfy primal feasibility and achieve the
+  // certified objective.
+  for (double P : {2.0, 36.0, 512.0}) {
+    const Lemma2Problem prob{9600, 2400, 600, P};
+    const auto sol = solve_analytic(prob);
+    const auto enumerated = solve_enumerate(prob);
+    const auto g = constraint_values(prob, enumerated);
+    for (double gi : g) EXPECT_LE(gi, 1e-6 * prob.product_floor());
+    const double obj = enumerated[0] + enumerated[1] + enumerated[2];
+    EXPECT_NEAR(obj, sol.objective, 1e-9 * sol.objective);
+  }
+}
+
+}  // namespace
+}  // namespace camb::core

@@ -1,0 +1,93 @@
+// Unit tests for core/lemma1_access.hpp: the per-array access lower bounds.
+#include "core/lemma1_access.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/loomis_whitney.hpp"
+#include "util/error.hpp"
+
+namespace camb::core {
+namespace {
+
+TEST(Lemma1, StatementValues) {
+  // A processor doing 1/P of the work must touch n1n2/P of A, n2n3/P of B,
+  // n1n3/P of C.
+  const Shape s{8, 6, 4};
+  const auto b = access_bounds(s, 2.0);
+  EXPECT_DOUBLE_EQ(b.a, 8 * 6 / 2.0);
+  EXPECT_DOUBLE_EQ(b.b, 6 * 4 / 2.0);
+  EXPECT_DOUBLE_EQ(b.c, 8 * 4 / 2.0);
+}
+
+TEST(Lemma1, GeneralWorkVolume) {
+  const Shape s{8, 6, 4};
+  const auto b = access_bounds_for_work(s, 48.0);
+  EXPECT_DOUBLE_EQ(b.a, 48.0 / 4);  // work / n3
+  EXPECT_DOUBLE_EQ(b.b, 48.0 / 8);  // work / n1
+  EXPECT_DOUBLE_EQ(b.c, 48.0 / 6);  // work / n2
+}
+
+TEST(Lemma1, MultiplicationsPerElement) {
+  const Shape s{8, 6, 4};
+  EXPECT_EQ(multiplications_per_element(s, MatrixId::A), 4);
+  EXPECT_EQ(multiplications_per_element(s, MatrixId::B), 8);
+  EXPECT_EQ(multiplications_per_element(s, MatrixId::C), 6);
+}
+
+TEST(Lemma1, RejectsBadInput) {
+  const Shape s{8, 6, 4};
+  EXPECT_THROW(access_bounds(s, 0.5), Error);
+  EXPECT_THROW(access_bounds_for_work(s, -1), Error);
+  EXPECT_THROW(access_bounds_for_work(s, 1e9), Error);
+}
+
+TEST(Lemma1, HoldsForEveryExplicitWorkSet) {
+  // Mechanical verification of the proof's counting argument: for any set F
+  // of multiplications with |F| >= work, the projections onto A, B, C are at
+  // least the Lemma 1 bounds for that work volume.
+  const Shape s{3, 2, 2};  // 12 points
+  const auto universe = full_iteration_space(s, 100);
+  // All subsets of size 6 (|universe| choose 6 = 924 subsets).
+  std::vector<Point3> subset;
+  // Simple bitmask enumeration over 12 points.
+  for (unsigned mask = 0; mask < (1u << 12); ++mask) {
+    if (__builtin_popcount(mask) != 6) continue;
+    subset.clear();
+    for (int bit = 0; bit < 12; ++bit) {
+      if (mask & (1u << bit)) {
+        subset.push_back(universe[static_cast<std::size_t>(bit)]);
+      }
+    }
+    const auto proj = projections(subset);
+    const auto bound = access_bounds_for_work(s, 6.0);
+    EXPECT_GE(static_cast<double>(proj.onto_a) + 1e-12, bound.a);
+    EXPECT_GE(static_cast<double>(proj.onto_b) + 1e-12, bound.b);
+    EXPECT_GE(static_cast<double>(proj.onto_c) + 1e-12, bound.c);
+  }
+}
+
+TEST(Lemma1, TightForPerfectSlabs) {
+  // A slab of the iteration space achieves the A bound with equality:
+  // the set {(i1,i2,i3) : i3 < t} projects onto exactly n1*n2 elements of A
+  // when it contains n1*n2*t points.
+  const Shape s{4, 3, 6};
+  std::vector<Point3> slab;
+  for (i64 i1 = 0; i1 < 4; ++i1) {
+    for (i64 i2 = 0; i2 < 3; ++i2) {
+      for (i64 i3 = 0; i3 < 2; ++i3) slab.push_back({i1, i2, i3});
+    }
+  }
+  const auto proj = projections(slab);
+  // work = 24 = n1 n2 n3 / 3; Lemma 1's A bound = 24/6 = 4 <= 12 (loose),
+  // the B and C bounds are work/n1 = 6 and work/n2 = 8, both achieved by
+  // |φB| = 3*2 = 6 and |φC| = 4*2 = 8 exactly.
+  EXPECT_EQ(proj.onto_a, 12);
+  EXPECT_EQ(proj.onto_b, 6);
+  EXPECT_EQ(proj.onto_c, 8);
+  const auto bound = access_bounds_for_work(s, 24.0);
+  EXPECT_DOUBLE_EQ(bound.b, 6.0);
+  EXPECT_DOUBLE_EQ(bound.c, 8.0);
+}
+
+}  // namespace
+}  // namespace camb::core

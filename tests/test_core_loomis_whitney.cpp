@@ -1,0 +1,132 @@
+// Unit tests for core/loomis_whitney.hpp: projections and the inequality.
+#include "core/loomis_whitney.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimization.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace camb::core {
+namespace {
+
+TEST(Projections, SimpleSets) {
+  // A single point projects to one element on each face.
+  const auto p1 = projections({{0, 0, 0}});
+  EXPECT_EQ(p1.onto_a, 1);
+  EXPECT_EQ(p1.onto_b, 1);
+  EXPECT_EQ(p1.onto_c, 1);
+  EXPECT_EQ(p1.sum(), 3);
+  EXPECT_EQ(p1.product(), 1);
+
+  // A full 2x2x2 cube: each projection is a 2x2 face.
+  std::vector<Point3> cube;
+  for (i64 a = 0; a < 2; ++a)
+    for (i64 b = 0; b < 2; ++b)
+      for (i64 c = 0; c < 2; ++c) cube.push_back({a, b, c});
+  const auto pc = projections(cube);
+  EXPECT_EQ(pc.onto_a, 4);
+  EXPECT_EQ(pc.onto_b, 4);
+  EXPECT_EQ(pc.onto_c, 4);
+}
+
+TEST(Projections, DuplicatesIgnored) {
+  const auto p = projections({{1, 2, 3}, {1, 2, 3}, {1, 2, 4}});
+  EXPECT_EQ(p.onto_a, 1);  // (1,2) once
+  EXPECT_EQ(p.onto_b, 2);  // (2,3), (2,4)
+  EXPECT_EQ(p.onto_c, 2);  // (1,3), (1,4)
+}
+
+TEST(Projections, DiagonalIsWorstCase) {
+  // The diagonal {(t,t,t)} has |F| = n and all projections of size n:
+  // LW bound n^3 is maximally loose.
+  std::vector<Point3> diag;
+  for (i64 t = 0; t < 5; ++t) diag.push_back({t, t, t});
+  const auto p = projections(diag);
+  EXPECT_EQ(p.product(), 125);
+  EXPECT_EQ(distinct_count(diag), 5);
+  EXPECT_TRUE(loomis_whitney_holds(diag));
+}
+
+TEST(LoomisWhitney, HoldsOnRandomSets) {
+  camb::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Point3> pts;
+    const int count = 1 + static_cast<int>(rng.below(60));
+    for (int i = 0; i < count; ++i) {
+      pts.push_back({rng.range(0, 5), rng.range(0, 5), rng.range(0, 5)});
+    }
+    EXPECT_TRUE(loomis_whitney_holds(pts));
+  }
+}
+
+TEST(LoomisWhitney, TightForBricks) {
+  // For an a×b×c brick, |F| = abc and the projection product is exactly
+  // (ab)(bc)(ac) = (abc)^2 >= abc, with equality of |F| and sqrt(product).
+  std::vector<Point3> brick;
+  for (i64 a = 0; a < 3; ++a)
+    for (i64 b = 0; b < 4; ++b)
+      for (i64 c = 0; c < 2; ++c) brick.push_back({a, b, c});
+  const auto p = projections(brick);
+  EXPECT_EQ(p.product(), (3 * 4) * (4 * 2) * (3 * 2));
+  EXPECT_EQ(distinct_count(brick), 24);
+  EXPECT_EQ(p.product(), 24 * 24);
+}
+
+TEST(FullIterationSpace, EnumeratesRowMajor) {
+  const auto pts = full_iteration_space(Shape{2, 1, 2}, 10);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0], (Point3{0, 0, 0}));
+  EXPECT_EQ(pts[1], (Point3{0, 0, 1}));
+  EXPECT_EQ(pts[2], (Point3{1, 0, 0}));
+  EXPECT_EQ(pts[3], (Point3{1, 0, 1}));
+  EXPECT_THROW(full_iteration_space(Shape{100, 100, 100}, 1000), Error);
+}
+
+TEST(MinProjectionSum, ExactTinyCases) {
+  // 2x2x2 cube, subsets of size 8 (the whole cube): projections 4+4+4 = 12.
+  EXPECT_EQ(min_projection_sum_exact(Shape{2, 2, 2}, 8), 12);
+  // Single point: 3.
+  EXPECT_EQ(min_projection_sum_exact(Shape{2, 2, 2}, 1), 3);
+  // Two points: best is two points sharing two coordinates: 1+2+2 = 5.
+  EXPECT_EQ(min_projection_sum_exact(Shape{2, 2, 2}, 2), 5);
+  // Four points: a 2x2x1 brick gives 4+2+2 = 8.
+  EXPECT_EQ(min_projection_sum_exact(Shape{2, 2, 2}, 4), 8);
+}
+
+TEST(MinProjectionSum, ExactRespectsLemma2Optimum) {
+  // The brute-force minimum over all subsets of size mnk/P must be at least
+  // the Lemma 2 optimum (the continuous relaxation's value).
+  for (const Shape& s : {Shape{2, 2, 2}, Shape{4, 2, 2}, Shape{3, 2, 3}}) {
+    for (i64 P : {1, 2, 4}) {
+      if (s.flops() % P != 0) continue;
+      const i64 subset = s.flops() / P;
+      const i64 brute = min_projection_sum_exact(s, subset);
+      const SortedDims d = sort_dims(s);
+      const auto sol = solve_analytic({static_cast<double>(d.m),
+                                       static_cast<double>(d.n),
+                                       static_cast<double>(d.k),
+                                       static_cast<double>(P)});
+      EXPECT_GE(static_cast<double>(brute) + 1e-9, sol.objective)
+          << "shape=(" << s.n1 << "," << s.n2 << "," << s.n3 << ") P=" << P;
+    }
+  }
+}
+
+TEST(MinProjectionSum, SampledNeverBeatsLemma2) {
+  camb::Rng rng(7);
+  const Shape s{6, 5, 4};
+  for (i64 P : {2, 4, 8}) {
+    const i64 subset = s.flops() / P;
+    const i64 sampled = min_projection_sum_sampled(s, subset, 300, 11 * P);
+    const SortedDims d = sort_dims(s);
+    const auto sol = solve_analytic({static_cast<double>(d.m),
+                                     static_cast<double>(d.n),
+                                     static_cast<double>(d.k),
+                                     static_cast<double>(P)});
+    EXPECT_GE(static_cast<double>(sampled) + 1e-9, sol.objective) << "P=" << P;
+  }
+}
+
+}  // namespace
+}  // namespace camb::core

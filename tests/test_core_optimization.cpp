@@ -1,0 +1,153 @@
+// Unit tests for core/optimization.hpp: the three solvers for Lemma 2 and
+// the case classification.
+#include "core/optimization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace camb::core {
+namespace {
+
+TEST(Classify, PaperFigure2Cases) {
+  // m = 9600, n = 2400, k = 600: m/n = 4, mn/k^2 = 64.
+  EXPECT_EQ(classify_regime(9600, 2400, 600, 3), RegimeCase::kOneD);
+  EXPECT_EQ(classify_regime(9600, 2400, 600, 36), RegimeCase::kTwoD);
+  EXPECT_EQ(classify_regime(9600, 2400, 600, 512), RegimeCase::kThreeD);
+}
+
+TEST(Classify, BoundariesBelongToSmallerCase) {
+  EXPECT_EQ(classify_regime(9600, 2400, 600, 4), RegimeCase::kOneD);
+  EXPECT_EQ(classify_regime(9600, 2400, 600, 64), RegimeCase::kTwoD);
+}
+
+TEST(Classify, SquareAlwaysThreeD) {
+  // m = n = k: m/n = 1 and mn/k^2 = 1, so any P >= 1 is in case 3.
+  EXPECT_EQ(classify_regime(100, 100, 100, 1), RegimeCase::kOneD);  // P = 1 boundary
+  EXPECT_EQ(classify_regime(100, 100, 100, 2), RegimeCase::kThreeD);
+  EXPECT_EQ(classify_regime(100, 100, 100, 1000), RegimeCase::kThreeD);
+}
+
+TEST(Classify, RejectsBadInput) {
+  EXPECT_THROW(classify_regime(1, 2, 3, 4), Error);   // not sorted
+  EXPECT_THROW(classify_regime(3, 2, 0.5, 4), Error); // k < 1
+  EXPECT_THROW(classify_regime(3, 2, 1, 0.5), Error); // P < 1
+}
+
+TEST(SolveAnalytic, Case1Values) {
+  // P <= m/n: x* = (nk, mk/P, mn/P).
+  const auto sol = solve_analytic({9600, 2400, 600, 3});
+  EXPECT_EQ(sol.regime, RegimeCase::kOneD);
+  EXPECT_DOUBLE_EQ(sol.x[0], 2400.0 * 600);
+  EXPECT_DOUBLE_EQ(sol.x[1], 9600.0 * 600 / 3);
+  EXPECT_DOUBLE_EQ(sol.x[2], 9600.0 * 2400 / 3);
+}
+
+TEST(SolveAnalytic, Case2Values) {
+  const auto sol = solve_analytic({9600, 2400, 600, 36});
+  EXPECT_EQ(sol.regime, RegimeCase::kTwoD);
+  const double expected12 = std::sqrt(9600.0 * 2400 * 600 * 600 / 36);
+  EXPECT_NEAR(sol.x[0], expected12, 1e-6);
+  EXPECT_NEAR(sol.x[1], expected12, 1e-6);
+  EXPECT_DOUBLE_EQ(sol.x[2], 9600.0 * 2400 / 36);
+}
+
+TEST(SolveAnalytic, Case3Values) {
+  const auto sol = solve_analytic({9600, 2400, 600, 512});
+  EXPECT_EQ(sol.regime, RegimeCase::kThreeD);
+  const double expected = std::pow(9600.0 * 2400 * 600 / 512, 2.0 / 3.0);
+  for (double xi : sol.x) EXPECT_NEAR(xi, expected, 1e-5);
+}
+
+TEST(SolveAnalytic, ContinuousAtCaseBoundaries) {
+  // At P = m/n and P = mn/k^2 the adjacent case formulas coincide.
+  const double m = 9600, n = 2400, k = 600;
+  {
+    const double P = m / n;  // = 4
+    const auto c1 = solve_analytic({m, n, k, P});
+    // Case 2 formula evaluated at the boundary:
+    const double x12 = std::sqrt(m * n * k * k / P);
+    EXPECT_NEAR(c1.x[0], x12, 1e-6);  // nk == sqrt(mnk^2/(m/n)) at boundary
+    EXPECT_NEAR(c1.x[1], x12, 1e-6);
+  }
+  {
+    const double P = m * n / (k * k);  // = 64
+    const auto c2 = solve_analytic({m, n, k, P});
+    const double x3d = std::pow(m * n * k / P, 2.0 / 3.0);
+    for (double xi : c2.x) EXPECT_NEAR(xi, x3d, 1e-6);
+  }
+}
+
+TEST(SolveAnalytic, SolutionIsPrimalFeasible) {
+  for (double P : {1.0, 2.0, 4.0, 16.0, 64.0, 100.0, 4096.0}) {
+    const Lemma2Problem prob{9600, 2400, 600, P};
+    const auto sol = solve_analytic(prob);
+    const auto floors = prob.variable_floors();
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(sol.x[static_cast<std::size_t>(i)] * (1 + 1e-12),
+                floors[static_cast<std::size_t>(i)])
+          << "P=" << P;
+    }
+    EXPECT_GE(sol.x[0] * sol.x[1] * sol.x[2] * (1 + 1e-9), prob.product_floor())
+        << "P=" << P;
+  }
+}
+
+TEST(SolveAnalytic, PEqualsOneIsOwnedData) {
+  // With one processor the optimum is exactly the matrix sizes.
+  const auto sol = solve_analytic({30, 20, 10, 1});
+  EXPECT_DOUBLE_EQ(sol.x[0], 200);   // nk
+  EXPECT_DOUBLE_EQ(sol.x[1], 300);   // mk
+  EXPECT_DOUBLE_EQ(sol.x[2], 600);   // mn
+}
+
+TEST(SolveEnumerate, MatchesAnalyticAcrossRegimes) {
+  for (double P : {1.0, 2.0, 3.0, 4.0, 5.0, 10.0, 36.0, 64.0, 65.0, 512.0,
+                   10000.0}) {
+    const Lemma2Problem prob{9600, 2400, 600, P};
+    const auto analytic = solve_analytic(prob);
+    const auto enumerated = solve_enumerate(prob);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(camb::approx_eq(analytic.x[static_cast<std::size_t>(i)],
+                                  enumerated[static_cast<std::size_t>(i)], 1e-9))
+          << "P=" << P << " i=" << i << " analytic="
+          << analytic.x[static_cast<std::size_t>(i)]
+          << " enum=" << enumerated[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+TEST(SolveNumeric, MatchesAnalyticObjective) {
+  for (double P : {2.0, 8.0, 36.0, 512.0}) {
+    const Lemma2Problem prob{9600, 2400, 600, P};
+    const auto analytic = solve_analytic(prob);
+    const auto numeric = solve_numeric(prob);
+    const double obj_numeric = numeric[0] + numeric[1] + numeric[2];
+    EXPECT_TRUE(camb::approx_eq(analytic.objective, obj_numeric, 1e-4))
+        << "P=" << P << " analytic=" << analytic.objective
+        << " numeric=" << obj_numeric;
+  }
+}
+
+TEST(SolveNumeric, FloorsOptimalWhenPIsOne) {
+  const Lemma2Problem prob{30, 20, 10, 1};
+  const auto numeric = solve_numeric(prob);
+  EXPECT_DOUBLE_EQ(numeric[0], 200);
+  EXPECT_DOUBLE_EQ(numeric[1], 300);
+  EXPECT_DOUBLE_EQ(numeric[2], 600);
+}
+
+TEST(Lemma2Problem, Accessors) {
+  const Lemma2Problem prob{6, 4, 2, 2};
+  EXPECT_DOUBLE_EQ(prob.product_floor(), 576);  // (6*4*2/2)^2
+  const auto floors = prob.variable_floors();
+  EXPECT_DOUBLE_EQ(floors[0], 4);   // nk/P
+  EXPECT_DOUBLE_EQ(floors[1], 6);   // mk/P
+  EXPECT_DOUBLE_EQ(floors[2], 12);  // mn/P
+}
+
+}  // namespace
+}  // namespace camb::core

@@ -1,0 +1,73 @@
+// Unit tests for core/prior_bounds.hpp: the Table 1 constants and the strict
+// improvement of Theorem 3 in every regime.
+#include "core/prior_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace camb::core {
+namespace {
+
+TEST(Table1, ConstantsMatchThePaper) {
+  const auto aggarwal = aggarwal_chandra_snir_1990();
+  EXPECT_FALSE(aggarwal.case1.has_value());
+  EXPECT_FALSE(aggarwal.case2.has_value());
+  EXPECT_NEAR(aggarwal.case3.value(), 0.63, 0.01);  // (1/2)^{2/3} ≈ .63
+
+  const auto irony = irony_toledo_tiskin_2004();
+  EXPECT_DOUBLE_EQ(irony.case3.value(), 0.5);
+
+  const auto demmel = demmel_et_al_2013();
+  EXPECT_DOUBLE_EQ(demmel.case1.value(), 0.64);           // 16/25
+  EXPECT_NEAR(demmel.case2.value(), 0.82, 0.01);          // (2/3)^{1/2}
+  EXPECT_DOUBLE_EQ(demmel.case3.value(), 1.0);
+
+  const auto ours = theorem3_2022();
+  EXPECT_DOUBLE_EQ(ours.case1.value(), 1.0);
+  EXPECT_DOUBLE_EQ(ours.case2.value(), 2.0);
+  EXPECT_DOUBLE_EQ(ours.case3.value(), 3.0);
+}
+
+TEST(Table1, Theorem3StrictlyImprovesEveryPriorInEveryRegime) {
+  const auto ours = theorem3_2022();
+  for (const auto& row : table1_rows()) {
+    if (row.name == ours.name) continue;
+    for (RegimeCase regime :
+         {RegimeCase::kOneD, RegimeCase::kTwoD, RegimeCase::kThreeD}) {
+      const auto prior = row.constant(regime);
+      if (!prior.has_value()) continue;
+      EXPECT_GT(ours.constant(regime).value(), prior.value())
+          << row.name << " regime " << static_cast<int>(regime);
+    }
+  }
+}
+
+TEST(Table1, RowOrder) {
+  const auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front().name, "Aggarwal et al. 1990");
+  EXPECT_EQ(rows.back().name, "Theorem 3 (this paper)");
+}
+
+TEST(LeadingTerm, MatchesTableHeader) {
+  const double m = 9600, n = 2400, k = 600;
+  EXPECT_DOUBLE_EQ(leading_term(RegimeCase::kOneD, m, n, k, 3), n * k);
+  EXPECT_NEAR(leading_term(RegimeCase::kTwoD, m, n, k, 36),
+              std::sqrt(m * n * k * k / 36), 1e-6);
+  EXPECT_NEAR(leading_term(RegimeCase::kThreeD, m, n, k, 512),
+              std::pow(m * n * k / 512, 2.0 / 3.0), 1e-6);
+}
+
+TEST(LeadingTerm, ContinuousAcrossCaseBoundaries) {
+  const double m = 9600, n = 2400, k = 600;
+  // At P = m/n, case 1 and case 2 leading terms coincide.
+  EXPECT_NEAR(leading_term(RegimeCase::kOneD, m, n, k, 4),
+              leading_term(RegimeCase::kTwoD, m, n, k, 4), 1e-6);
+  // At P = mn/k^2, case 2 and case 3 leading terms coincide.
+  EXPECT_NEAR(leading_term(RegimeCase::kTwoD, m, n, k, 64),
+              leading_term(RegimeCase::kThreeD, m, n, k, 64), 1e-6);
+}
+
+}  // namespace
+}  // namespace camb::core

@@ -1,0 +1,182 @@
+// Unit tests for the simulated α-β-γ machine: mailboxes, network accounting,
+// barriers, and SPMD execution semantics.
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace camb {
+namespace {
+
+TEST(Machine, RunsAllRanks) {
+  Machine machine(8);
+  std::atomic<int> count{0};
+  machine.run([&](RankCtx& ctx) {
+    (void)ctx;
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Machine, PointToPointDeliversPayload) {
+  Machine machine(2);
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 42, {1.0, 2.0, 3.0});
+    } else {
+      const auto msg = ctx.recv(0, 42);
+      ASSERT_EQ(msg.size(), 3u);
+      EXPECT_DOUBLE_EQ(msg[2], 3.0);
+    }
+  });
+}
+
+TEST(Machine, TagMatchingIsExact) {
+  // Two messages with different tags arrive out of order; receives by tag
+  // must pick the right ones regardless.
+  Machine machine(2);
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, {7.0});
+      ctx.send(1, 8, {8.0});
+    } else {
+      const auto m8 = ctx.recv(0, 8);
+      const auto m7 = ctx.recv(0, 7);
+      EXPECT_DOUBLE_EQ(m8[0], 8.0);
+      EXPECT_DOUBLE_EQ(m7[0], 7.0);
+    }
+  });
+}
+
+TEST(Machine, CountsWordsOnBothEnds) {
+  Machine machine(3);
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, std::vector<double>(10));
+      ctx.send(2, 0, std::vector<double>(5));
+    } else {
+      (void)ctx.recv(0, 0);
+    }
+  });
+  const CommStats& stats = machine.stats();
+  EXPECT_EQ(stats.rank_total(0).words_sent, 15);
+  EXPECT_EQ(stats.rank_total(0).messages_sent, 2);
+  EXPECT_EQ(stats.rank_total(1).words_received, 10);
+  EXPECT_EQ(stats.rank_total(2).words_received, 5);
+  EXPECT_EQ(stats.total_words_sent(), 15);
+  EXPECT_EQ(stats.critical_path_received_words(), 10);
+  EXPECT_EQ(stats.critical_path_sent_words(), 15);
+}
+
+TEST(Machine, SelfSendsAreFree) {
+  Machine machine(1);
+  machine.run([&](RankCtx& ctx) {
+    ctx.send(0, 3, {1.0, 2.0});
+    const auto msg = ctx.recv(0, 3);
+    EXPECT_EQ(msg.size(), 2u);
+  });
+  EXPECT_EQ(machine.stats().total_words_sent(), 0);
+  EXPECT_EQ(machine.stats().rank_total(0).messages_sent, 0);
+}
+
+TEST(Machine, PhaseAccounting) {
+  Machine machine(2);
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.set_phase("first");
+      ctx.send(1, 0, std::vector<double>(4));
+      ctx.set_phase("second");
+      ctx.send(1, 1, std::vector<double>(6));
+    } else {
+      ctx.set_phase("first");
+      (void)ctx.recv(0, 0);
+      ctx.set_phase("second");
+      (void)ctx.recv(0, 1);
+    }
+  });
+  const CommStats& stats = machine.stats();
+  EXPECT_EQ(stats.phase_critical_path_received_words("first"), 4);
+  EXPECT_EQ(stats.phase_critical_path_received_words("second"), 6);
+  const auto phases = stats.phases();
+  ASSERT_GE(phases.size(), 2u);
+}
+
+TEST(Machine, SendRecvExchanges) {
+  Machine machine(2);
+  machine.run([&](RankCtx& ctx) {
+    const int peer = 1 - ctx.rank();
+    const double mine = static_cast<double>(ctx.rank());
+    const auto theirs = ctx.sendrecv(peer, 5, {mine});
+    EXPECT_DOUBLE_EQ(theirs[0], static_cast<double>(peer));
+  });
+}
+
+TEST(Machine, BarrierSynchronizes) {
+  // Every rank increments before the barrier; after the barrier all ranks
+  // must observe the full count.
+  Machine machine(16);
+  std::atomic<int> before{0};
+  machine.run([&](RankCtx& ctx) {
+    before.fetch_add(1);
+    ctx.barrier();
+    EXPECT_EQ(before.load(), 16);
+  });
+}
+
+TEST(Machine, ExceptionsPropagate) {
+  Machine machine(4);
+  EXPECT_THROW(machine.run([&](RankCtx& ctx) {
+                 if (ctx.rank() == 2) throw Error("rank 2 failed");
+                 // Other ranks exit cleanly.
+               }),
+               Error);
+}
+
+TEST(Machine, UndeliveredMessagesDetected) {
+  Machine machine(2);
+  EXPECT_THROW(machine.run([&](RankCtx& ctx) {
+                 if (ctx.rank() == 0) ctx.send(1, 0, {1.0});
+                 // Rank 1 never receives.
+               }),
+               Error);
+}
+
+TEST(Machine, RankRngStreamsDiffer) {
+  Machine machine(2);
+  std::vector<double> first(2);
+  machine.run([&](RankCtx& ctx) {
+    first[static_cast<std::size_t>(ctx.rank())] = ctx.rng().uniform();
+  });
+  EXPECT_NE(first[0], first[1]);
+}
+
+TEST(AlphaBeta, CostFormula) {
+  AlphaBeta machine{2.0, 0.5};
+  PhaseCounters counters;
+  counters.messages_sent = 3;
+  counters.words_sent = 100;
+  counters.messages_received = 1;
+  counters.words_received = 40;
+  // max(sent, recv) on both terms: 3 messages, 100 words.
+  EXPECT_DOUBLE_EQ(machine.cost(counters), 2.0 * 3 + 0.5 * 100);
+}
+
+TEST(Machine, ManyRanksStress) {
+  // 128 threads exchanging in a ring — exercises mailbox contention.
+  Machine machine(128);
+  machine.run([&](RankCtx& ctx) {
+    const int p = ctx.nprocs();
+    const int next = (ctx.rank() + 1) % p;
+    const int prev = (ctx.rank() + p - 1) % p;
+    ctx.send(next, 9, {static_cast<double>(ctx.rank())});
+    const auto msg = ctx.recv(prev, 9);
+    EXPECT_DOUBLE_EQ(msg[0], static_cast<double>(prev));
+  });
+  EXPECT_EQ(machine.stats().total_words_sent(), 128);
+}
+
+}  // namespace
+}  // namespace camb

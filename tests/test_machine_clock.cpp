@@ -1,0 +1,184 @@
+// Unit tests for the logical-clock time simulation: per-rank α-β clocks
+// advanced by sends, synchronized by receives — the simulated critical-path
+// execution time of a program.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/allgather.hpp"
+#include "collectives/bcast.hpp"
+#include "collectives/coll_cost.hpp"
+#include "machine/machine.hpp"
+#include "matmul/grid3d.hpp"
+#include "matmul/time_model.hpp"
+
+namespace camb {
+namespace {
+
+std::vector<int> iota_group(int p) {
+  std::vector<int> group(static_cast<std::size_t>(p));
+  std::iota(group.begin(), group.end(), 0);
+  return group;
+}
+
+TEST(Clock, PingPongIsTwoTransfers) {
+  Machine machine(2);
+  machine.set_time_params(AlphaBeta{2.0, 0.5});
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, std::vector<double>(10));
+      (void)ctx.recv(1, 1);
+    } else {
+      (void)ctx.recv(0, 0);
+      ctx.send(0, 1, std::vector<double>(10));
+    }
+  });
+  const double one_transfer = 2.0 + 0.5 * 10;
+  EXPECT_DOUBLE_EQ(machine.final_clocks()[0], 2 * one_transfer);
+  EXPECT_DOUBLE_EQ(machine.final_clocks()[1], 2 * one_transfer);
+  EXPECT_DOUBLE_EQ(machine.critical_path_time(), 2 * one_transfer);
+}
+
+TEST(Clock, SelfTrafficIsFree) {
+  Machine machine(1);
+  machine.set_time_params(AlphaBeta{1.0, 1.0});
+  machine.run([&](RankCtx& ctx) {
+    ctx.send(0, 0, std::vector<double>(100));
+    (void)ctx.recv(0, 0);
+  });
+  EXPECT_DOUBLE_EQ(machine.critical_path_time(), 0.0);
+}
+
+TEST(Clock, RingAllgatherMatchesTextbookTime) {
+  // (p - 1) rounds of one block each: T = (p-1)(alpha + beta * b).
+  const int p = 8;
+  const i64 block = 32;
+  Machine machine(p);
+  machine.set_time_params(AlphaBeta{1e-3, 1e-6});
+  machine.run([&](RankCtx& ctx) {
+    (void)coll::allgather_equal(
+        ctx, iota_group(p),
+        std::vector<double>(static_cast<std::size_t>(block)), 0,
+        coll::AllgatherAlgo::kRing);
+  });
+  const double expected = (p - 1) * (1e-3 + 1e-6 * block);
+  EXPECT_NEAR(machine.critical_path_time(), expected, 1e-12);
+}
+
+TEST(Clock, RecursiveDoublingMatchesTextbookTime) {
+  // T = log2(p) * alpha + (p - 1) * b * beta (doubling message sizes).
+  const int p = 8;
+  const i64 block = 32;
+  Machine machine(p);
+  machine.set_time_params(AlphaBeta{1e-3, 1e-6});
+  machine.run([&](RankCtx& ctx) {
+    (void)coll::allgather_equal(
+        ctx, iota_group(p),
+        std::vector<double>(static_cast<std::size_t>(block)), 0,
+        coll::AllgatherAlgo::kRecursiveDoubling);
+  });
+  const double expected = 3 * 1e-3 + (p - 1) * block * 1e-6;
+  EXPECT_NEAR(machine.critical_path_time(), expected, 1e-12);
+}
+
+TEST(Clock, BinomialBcastIsLogDepth) {
+  // Every rank finishes by ceil(log2 p) serialized transfers of w words.
+  const int p = 8;
+  const i64 w = 64;
+  Machine machine(p);
+  machine.set_time_params(AlphaBeta{1.0, 0.0});  // count transfers
+  machine.run([&](RankCtx& ctx) {
+    std::vector<double> data;
+    if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(w), 1.0);
+    coll::bcast(ctx, iota_group(p), 0, data, w, 0);
+  });
+  EXPECT_DOUBLE_EQ(machine.critical_path_time(), 3.0);  // log2(8)
+}
+
+TEST(Clock, BarrierSynchronizesClocks) {
+  Machine machine(4);
+  machine.set_time_params(AlphaBeta{1.0, 0.0});
+  machine.run([&](RankCtx& ctx) {
+    // Rank 3 does some sends to rank 2 first; after the barrier everyone's
+    // clock is at least rank 3's.
+    if (ctx.rank() == 3) {
+      for (int k = 0; k < 5; ++k) ctx.send(2, k, {1.0});
+    } else if (ctx.rank() == 2) {
+      for (int k = 0; k < 5; ++k) (void)ctx.recv(3, k);
+    }
+    ctx.barrier();
+    EXPECT_GE(ctx.clock(), 5.0);
+  });
+  for (double clock : machine.final_clocks()) EXPECT_DOUBLE_EQ(clock, 5.0);
+}
+
+TEST(Clock, AdvanceClockModelsLocalWork) {
+  Machine machine(2);
+  machine.set_time_params(AlphaBeta{0.0, 0.0});
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.advance_clock(7.5);
+      ctx.send(1, 0, {1.0});
+    } else {
+      (void)ctx.recv(0, 0);
+      // The receiver inherits the sender's compute delay.
+      EXPECT_DOUBLE_EQ(ctx.clock(), 7.5);
+    }
+  });
+  EXPECT_DOUBLE_EQ(machine.critical_path_time(), 7.5);
+}
+
+TEST(Clock, Alg1SimulatedTimeMatchesClosedForm) {
+  // On a divisible grid with symmetric recursive collectives, the scheduled
+  // critical path equals the closed-form latency + bandwidth terms exactly.
+  const core::Shape shape{32, 16, 8};
+  const core::Grid3 grid{2, 2, 2};
+  mm::MachineParams params{1e-4, 1e-7, 0.0};
+  Machine machine(8);
+  machine.set_time_params(AlphaBeta{params.alpha, params.beta});
+  mm::Grid3dConfig cfg{shape, grid};
+  machine.run([&](RankCtx& ctx) { (void)mm::grid3d_rank(ctx, cfg); });
+  const auto closed = mm::alg1_time(shape, grid, params);
+  EXPECT_NEAR(machine.critical_path_time(),
+              closed.latency + closed.bandwidth, 1e-12);
+}
+
+TEST(Clock, DependencyDepthInvisibleToCountersShowsUpInTime) {
+  // Two programs with IDENTICAL per-rank counter profiles (every active rank
+  // sends at most one w-word message and receives at most one): a dependency
+  // chain 0 -> 1 -> 2 -> 3 versus three independent pairs.  The counters
+  // cannot tell them apart; the clock shows the 3x critical-path difference.
+  const i64 w = 100;
+  const AlphaBeta params{1.0, 1.0};
+  const double transfer = 1.0 + 1.0 * w;
+  double chain_time, pairs_time;
+  i64 chain_max_sent, pairs_max_sent;
+  {
+    Machine machine(6);
+    machine.set_time_params(params);
+    machine.run([&](RankCtx& ctx) {
+      const int r = ctx.rank();
+      if (r >= 1 && r <= 3) (void)ctx.recv(r - 1, 0);
+      if (r <= 2) ctx.send(r + 1, 0, std::vector<double>(w));
+    });
+    chain_time = machine.critical_path_time();
+    chain_max_sent = machine.stats().critical_path_sent_words();
+  }
+  {
+    Machine machine(6);
+    machine.set_time_params(params);
+    machine.run([&](RankCtx& ctx) {
+      const int r = ctx.rank();
+      if (r % 2 == 0) ctx.send(r + 1, 0, std::vector<double>(w));
+      else (void)ctx.recv(r - 1, 0);
+    });
+    pairs_time = machine.critical_path_time();
+    pairs_max_sent = machine.stats().critical_path_sent_words();
+  }
+  EXPECT_EQ(chain_max_sent, pairs_max_sent);  // counters: identical
+  EXPECT_DOUBLE_EQ(chain_time, 3 * transfer);  // clock: 3x apart
+  EXPECT_DOUBLE_EQ(pairs_time, transfer);
+}
+
+}  // namespace
+}  // namespace camb

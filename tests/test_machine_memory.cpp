@@ -1,0 +1,94 @@
+// Unit tests for the working-set accounting: §6.2's memory statements,
+// *measured* on the executing machine rather than modeled.
+#include <gtest/gtest.h>
+
+#include "core/cost_eq3.hpp"
+#include "machine/machine.hpp"
+#include "matmul/grid3d.hpp"
+#include "matmul/grid3d_staged.hpp"
+
+namespace camb {
+namespace {
+
+using core::Grid3;
+using core::Shape;
+
+TEST(WorkingSet, RaiiTracksPeak) {
+  Machine machine(1);
+  machine.run([&](RankCtx& ctx) {
+    EXPECT_EQ(ctx.current_words(), 0);
+    {
+      WorkingSet a(ctx, 100);
+      EXPECT_EQ(ctx.current_words(), 100);
+      {
+        WorkingSet b(ctx, 50);
+        EXPECT_EQ(ctx.current_words(), 150);
+      }
+      EXPECT_EQ(ctx.current_words(), 100);
+      EXPECT_EQ(ctx.peak_words(), 150);
+    }
+    EXPECT_EQ(ctx.current_words(), 0);
+    EXPECT_EQ(ctx.peak_words(), 150);
+  });
+  EXPECT_EQ(machine.max_peak_memory_words(), 150);
+}
+
+TEST(WorkingSet, UnbalancedReleaseThrows) {
+  Machine machine(1);
+  EXPECT_THROW(machine.run([&](RankCtx& ctx) { ctx.release_words(1); }),
+               Error);
+}
+
+TEST(WorkingSet, Alg1PeakEqualsPositiveTermsOfEq3) {
+  // §6.2: "The local memory required by Alg. 1 matches the amount of
+  // communication performed plus the data already owned" — the positive
+  // terms of eq. 3.  Measured per rank on a divisible configuration.
+  const Shape shape{24, 12, 8};
+  const Grid3 grid{2, 3, 2};
+  Machine machine(12);
+  mm::Grid3dConfig cfg{shape, grid};
+  machine.run([&](RankCtx& ctx) { (void)mm::grid3d_rank(ctx, cfg); });
+  const auto terms = core::alg1_positive_terms(shape, grid);
+  EXPECT_DOUBLE_EQ(static_cast<double>(machine.max_peak_memory_words()),
+                   terms.sum());
+}
+
+TEST(WorkingSet, StagedPeakMatchesModelAndShrinks) {
+  const Shape shape{96, 96, 96};
+  const Grid3 grid{2, 2, 2};
+  auto measured_peak = [&](i64 stages) {
+    Machine machine(8);
+    mm::Grid3dStagedConfig cfg{shape, grid, stages};
+    machine.run([&](RankCtx& ctx) { (void)mm::grid3d_staged_rank(ctx, cfg); });
+    return machine.max_peak_memory_words();
+  };
+  i64 previous = measured_peak(1);
+  // One stage measures the full unstaged working set.
+  EXPECT_DOUBLE_EQ(static_cast<double>(previous),
+                   core::alg1_positive_terms(shape, grid).sum());
+  for (i64 stages : {2, 4, 8}) {
+    const i64 peak = measured_peak(stages);
+    EXPECT_LT(peak, previous) << "stages=" << stages;
+    // Exactly the analytic model under divisibility.
+    EXPECT_DOUBLE_EQ(static_cast<double>(peak),
+                     mm::grid3d_staged_peak_memory_words(
+                         mm::Grid3dStagedConfig{shape, grid, stages}))
+        << "stages=" << stages;
+    previous = peak;
+  }
+  // And the floor is the gathered-B block (§6.2's irreducible term).
+  const auto terms = core::alg1_positive_terms(shape, grid);
+  EXPECT_GE(static_cast<double>(measured_peak(48)), terms.b_words);
+}
+
+TEST(WorkingSet, UninstrumentedProgramsReportZero) {
+  Machine machine(4);
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) ctx.send(1, 0, {1.0});
+    if (ctx.rank() == 1) (void)ctx.recv(0, 0);
+  });
+  EXPECT_EQ(machine.max_peak_memory_words(), 0);
+}
+
+}  // namespace
+}  // namespace camb

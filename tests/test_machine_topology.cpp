@@ -1,0 +1,166 @@
+// Unit tests for machine/topology.hpp — routing properties and contention
+// analysis over traces.
+#include "machine/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/allgather.hpp"
+#include "machine/machine.hpp"
+#include "util/error.hpp"
+
+namespace camb {
+namespace {
+
+void check_route_invariants(const Topology& topo) {
+  const int p = topo.nprocs();
+  for (int a = 0; a < p; ++a) {
+    for (int b = 0; b < p; ++b) {
+      const auto links = topo.route(a, b);
+      if (a == b) {
+        EXPECT_TRUE(links.empty());
+        continue;
+      }
+      // Route is a connected walk from a to b.
+      ASSERT_FALSE(links.empty());
+      EXPECT_EQ(links.front().first, a);
+      EXPECT_EQ(links.back().second, b);
+      for (std::size_t l = 1; l < links.size(); ++l) {
+        EXPECT_EQ(links[l - 1].second, links[l].first);
+      }
+      // Symmetric hop counts (all implemented topologies are undirected).
+      EXPECT_EQ(topo.hops(a, b), topo.hops(b, a)) << topo.name();
+    }
+  }
+}
+
+TEST(Topology, FullyConnectedIsOneHop) {
+  FullyConnected topo(7);
+  check_route_invariants(topo);
+  for (int a = 0; a < 7; ++a) {
+    for (int b = 0; b < 7; ++b) {
+      EXPECT_EQ(topo.hops(a, b), a == b ? 0 : 1);
+    }
+  }
+}
+
+TEST(Topology, RingTakesTheShortWay) {
+  Ring topo(8);
+  check_route_invariants(topo);
+  EXPECT_EQ(topo.hops(0, 1), 1);
+  EXPECT_EQ(topo.hops(0, 4), 4);   // antipodal
+  EXPECT_EQ(topo.hops(0, 5), 3);   // backwards is shorter
+  EXPECT_EQ(topo.hops(7, 0), 1);
+  // Odd ring.
+  Ring odd(5);
+  check_route_invariants(odd);
+  EXPECT_EQ(odd.hops(0, 3), 2);
+}
+
+TEST(Topology, TorusUsesDimensionOrderedShortestPaths) {
+  Torus2D topo(3, 4);
+  check_route_invariants(topo);
+  // (0,0) -> (2,3): Y distance min(2,1) = 1, X distance min(3,1) = 1.
+  EXPECT_EQ(topo.hops(0, 2 * 4 + 3), 2);
+  // Same row: pure X routing.
+  EXPECT_EQ(topo.hops(0, 2), 2);
+  EXPECT_EQ(topo.name(), "torus_3x4");
+}
+
+TEST(Topology, HypercubeHopsArePopcount) {
+  Hypercube topo(16);
+  check_route_invariants(topo);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(topo.hops(a, b), __builtin_popcount(a ^ b));
+    }
+  }
+  EXPECT_THROW(Hypercube(12), Error);
+}
+
+std::vector<int> iota_group(int p) {
+  std::vector<int> group(static_cast<std::size_t>(p));
+  std::iota(group.begin(), group.end(), 0);
+  return group;
+}
+
+Trace& run_allgather_traced(Machine& machine, coll::AllgatherAlgo algo,
+                            i64 block) {
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) {
+    (void)coll::allgather_equal(
+        ctx, iota_group(machine.nprocs()),
+        std::vector<double>(static_cast<std::size_t>(block)), 0, algo);
+  });
+  return trace;
+}
+
+TEST(Contention, RingAllgatherMapsPerfectlyOntoARing) {
+  // The ring algorithm's messages all go to the +1 neighbour: on a physical
+  // ring every message is one hop and every link carries the same load.
+  const int p = 8;
+  const i64 block = 16;
+  Machine machine(p);
+  Trace& trace = run_allgather_traced(machine, coll::AllgatherAlgo::kRing, block);
+  const auto report = analyze_contention(trace, Ring(p));
+  EXPECT_DOUBLE_EQ(report.mean_hops, 1.0);
+  EXPECT_EQ(report.max_link_words, (p - 1) * block);  // p-1 rounds, one block each
+  EXPECT_EQ(report.total_words, p * (p - 1) * block);
+}
+
+TEST(Contention, RecursiveDoublingCongestsARing) {
+  // Recursive doubling's distance-4 partners must cross shared ring links:
+  // strictly more hop-words and a hotter hottest link than the ring variant.
+  const int p = 8;
+  const i64 block = 16;
+  Machine ring_machine(p), recdbl_machine(p);
+  const auto ring_report = analyze_contention(
+      run_allgather_traced(ring_machine, coll::AllgatherAlgo::kRing, block),
+      Ring(p));
+  const auto recdbl_report = analyze_contention(
+      run_allgather_traced(recdbl_machine,
+                           coll::AllgatherAlgo::kRecursiveDoubling, block),
+      Ring(p));
+  EXPECT_EQ(ring_report.total_words, recdbl_report.total_words);
+  EXPECT_GT(recdbl_report.hop_words, ring_report.hop_words);
+  EXPECT_GT(recdbl_report.max_link_words, ring_report.max_link_words);
+}
+
+TEST(Contention, RecursiveDoublingIsOneHopOnAHypercube) {
+  // The same algorithm maps perfectly onto its natural topology.
+  const int p = 8;
+  Machine machine(p);
+  const auto report = analyze_contention(
+      run_allgather_traced(machine, coll::AllgatherAlgo::kRecursiveDoubling, 16),
+      Hypercube(p));
+  EXPECT_DOUBLE_EQ(report.mean_hops, 1.0);
+}
+
+TEST(Contention, FullyConnectedMatchesTheModel) {
+  // On the paper's topology, hop-words == total words, no congestion beyond
+  // the per-pair traffic itself.
+  const int p = 6;
+  Machine machine(p);
+  const auto report = analyze_contention(
+      run_allgather_traced(machine, coll::AllgatherAlgo::kRing, 4),
+      FullyConnected(p));
+  EXPECT_EQ(report.hop_words, report.total_words);
+  EXPECT_DOUBLE_EQ(report.mean_hops, 1.0);
+}
+
+TEST(Contention, EmptyTraceIsZero) {
+  Trace trace(4);
+  const auto report = analyze_contention(trace, Ring(4));
+  EXPECT_EQ(report.total_words, 0);
+  EXPECT_DOUBLE_EQ(report.mean_hops, 0.0);
+  EXPECT_EQ(report.max_link, (Link{-1, -1}));
+}
+
+TEST(Contention, SizeMismatchThrows) {
+  Trace trace(4);
+  EXPECT_THROW(analyze_contention(trace, Ring(5)), Error);
+}
+
+}  // namespace
+}  // namespace camb

@@ -1,0 +1,156 @@
+// Unit tests for machine/trace.hpp — per-message event tracing and the
+// structural properties it reveals (Algorithm 1's fiber-only communication).
+#include "machine/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "machine/machine.hpp"
+#include "matmul/grid3d.hpp"
+
+namespace camb {
+namespace {
+
+TEST(Trace, RecordsEnvelopeAndPhase) {
+  Machine machine(2);
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.set_phase("hello");
+      ctx.send(1, 42, {1.0, 2.0, 3.0});
+    } else {
+      (void)ctx.recv(0, 42);
+    }
+  });
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].src, 0);
+  EXPECT_EQ(events[0].dst, 1);
+  EXPECT_EQ(events[0].tag, 42);
+  EXPECT_EQ(events[0].words, 3);
+  EXPECT_EQ(events[0].phase, "hello");
+}
+
+TEST(Trace, SelfSendsNotRecorded) {
+  Machine machine(1);
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) {
+    ctx.send(0, 0, {1.0});
+    (void)ctx.recv(0, 0);
+  });
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+TEST(Trace, TrafficMatrixMatchesStats) {
+  Machine machine(4);
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) {
+    const int next = (ctx.rank() + 1) % 4;
+    ctx.send(next, 7, std::vector<double>(
+                          static_cast<std::size_t>(ctx.rank() + 1)));
+    (void)ctx.recv((ctx.rank() + 3) % 4, 7);
+  });
+  const auto matrix = trace.traffic_matrix();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(matrix[static_cast<std::size_t>(r)]
+                    [static_cast<std::size_t>((r + 1) % 4)],
+              r + 1);
+    // Row sums equal the stats counters.
+    i64 row = 0;
+    for (i64 v : matrix[static_cast<std::size_t>(r)]) row += v;
+    EXPECT_EQ(row, machine.stats().rank_total(r).words_sent);
+  }
+  EXPECT_EQ(trace.words_between(0, 1), 1);
+  EXPECT_EQ(trace.words_between(1, 0), 0);
+}
+
+TEST(Trace, SequenceNumbersAreUniqueAndOrdered) {
+  Machine machine(8);
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) {
+    for (int k = 0; k < 10; ++k) {
+      ctx.send((ctx.rank() + 1) % 8, k, {0.0});
+      (void)ctx.recv((ctx.rank() + 7) % 8, k);
+    }
+  });
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 80u);
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    EXPECT_EQ(events[e].seq, e);  // dense, sorted, unique
+  }
+}
+
+TEST(Trace, Alg1CommunicationStaysWithinFibers) {
+  // The structural fact behind §5: every message of Algorithm 1 travels
+  // along a grid fiber — the two endpoints agree in two of their three
+  // coordinates.  The trace proves it for every message of a real run.
+  const mm::Grid3dConfig cfg{core::Shape{12, 8, 6}, core::Grid3{3, 2, 2}};
+  Machine machine(12);
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) { (void)mm::grid3d_rank(ctx, cfg); });
+  const mm::GridMap map(cfg.grid);
+  ASSERT_GT(trace.event_count(), 0u);
+  for (const auto& event : trace.events()) {
+    const auto a = map.coords_of(event.src);
+    const auto b = map.coords_of(event.dst);
+    int equal_coords = 0;
+    for (int axis = 0; axis < 3; ++axis) {
+      if (a[static_cast<std::size_t>(axis)] ==
+          b[static_cast<std::size_t>(axis)]) {
+        ++equal_coords;
+      }
+    }
+    EXPECT_EQ(equal_coords, 2)
+        << "message " << event.seq << " (" << event.src << "->" << event.dst
+        << ", phase " << event.phase << ") crossed fibers";
+  }
+}
+
+TEST(Trace, PhaseFilterAndPartners) {
+  const mm::Grid3dConfig cfg{core::Shape{8, 8, 8}, core::Grid3{2, 2, 2}};
+  Machine machine(8);
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) { (void)mm::grid3d_rank(ctx, cfg); });
+  // Three communication phases, each non-empty on a 2x2x2 grid.
+  for (const char* phase :
+       {mm::kPhaseAllgatherA, mm::kPhaseAllgatherB, mm::kPhaseReduceScatterC}) {
+    EXPECT_FALSE(trace.events_in_phase(phase).empty()) << phase;
+  }
+  EXPECT_TRUE(trace.events_in_phase("no_such_phase").empty());
+  // On a 2x2x2 grid each rank talks to exactly its 3 fiber neighbours.
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(trace.partners_of(r).size(), 3u) << "rank " << r;
+  }
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Machine machine(2);
+  Trace& trace = machine.enable_trace();
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) ctx.send(1, 5, {1.0, 2.0});
+    else (void)ctx.recv(0, 5);
+  });
+  const std::string path = "/tmp/camb_trace_test.csv";
+  trace.write_csv(path);
+  std::ifstream file(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(file, header));
+  EXPECT_EQ(header, "seq,src,dst,tag,words,phase");
+  ASSERT_TRUE(std::getline(file, row));
+  EXPECT_EQ(row.substr(0, 8), "0,0,1,5,");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, DisabledByDefaultCostsNothing) {
+  Machine machine(2);
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) ctx.send(1, 1, {1.0});
+    else (void)ctx.recv(0, 1);
+  });
+  EXPECT_EQ(machine.trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace camb

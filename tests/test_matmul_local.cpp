@@ -1,0 +1,139 @@
+// Unit tests for matmul/local_gemm.hpp and matmul/distribution.hpp.
+#include <gtest/gtest.h>
+
+#include "matmul/distribution.hpp"
+#include "matmul/local_gemm.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+namespace {
+
+TEST(LocalGemm, MatchesReferenceAcrossShapes) {
+  for (const auto& [r, inner, c] :
+       {std::array<i64, 3>{1, 1, 1}, {3, 4, 5}, {17, 9, 23}, {64, 64, 64},
+        {65, 130, 3}, {128, 1, 128}}) {
+    MatrixD a(r, inner), b(inner, c);
+    a.fill_indexed(0, 0);
+    b.fill_indexed(100, 7);
+    const MatrixD expected = camb::matmul_reference(a, b);
+    const MatrixD actual = gemm(a, b);
+    EXPECT_LE(actual.max_abs_diff(expected), 1e-12)
+        << r << "x" << inner << "x" << c;
+  }
+}
+
+TEST(LocalGemm, AccumulatesIntoC) {
+  MatrixD a(2, 2, 1.0), b(2, 2, 1.0), c(2, 2, 5.0);
+  gemm_accumulate(a, b, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);  // 5 + 2
+}
+
+TEST(LocalGemm, ShapeMismatchThrows) {
+  MatrixD a(2, 3), b(2, 3), c(2, 3);
+  EXPECT_THROW(gemm_accumulate(a, b, c), Error);
+}
+
+TEST(BlockDist1D, EvenSplit) {
+  BlockDist1D d(12, 4);
+  for (i64 i = 0; i < 4; ++i) {
+    EXPECT_EQ(d.size(i), 3);
+    EXPECT_EQ(d.start(i), 3 * i);
+  }
+}
+
+TEST(BlockDist1D, RemainderSpreadFirst) {
+  BlockDist1D d(10, 4);  // sizes 3,3,2,2
+  EXPECT_EQ(d.size(0), 3);
+  EXPECT_EQ(d.size(1), 3);
+  EXPECT_EQ(d.size(2), 2);
+  EXPECT_EQ(d.size(3), 2);
+  EXPECT_EQ(d.start(2), 6);
+  EXPECT_EQ(d.end(3), 10);
+}
+
+TEST(BlockDist1D, CoversWithoutGaps) {
+  for (i64 total : {0, 1, 7, 100}) {
+    for (i64 parts : {1, 2, 3, 8}) {
+      BlockDist1D d(total, parts);
+      i64 cursor = 0;
+      for (i64 i = 0; i < parts; ++i) {
+        EXPECT_EQ(d.start(i), cursor);
+        cursor += d.size(i);
+      }
+      EXPECT_EQ(cursor, total);
+    }
+  }
+}
+
+TEST(BlockDist1D, OwnerInvertsStart) {
+  BlockDist1D d(23, 5);
+  for (i64 g = 0; g < 23; ++g) {
+    const i64 o = d.owner(g);
+    EXPECT_GE(g, d.start(o));
+    EXPECT_LT(g, d.end(o));
+  }
+}
+
+TEST(BlockDist1D, CountsVector) {
+  BlockDist1D d(7, 3);
+  EXPECT_EQ(d.counts(), (std::vector<i64>{3, 2, 2}));
+}
+
+TEST(GridMap, RankCoordinateRoundTrip) {
+  GridMap map(Grid3{3, 4, 5});
+  EXPECT_EQ(map.nprocs(), 60);
+  for (int r = 0; r < 60; ++r) {
+    const auto [q1, q2, q3] = map.coords_of(r);
+    EXPECT_EQ(map.rank_of(q1, q2, q3), r);
+  }
+}
+
+TEST(GridMap, FibersAreAxisAligned) {
+  GridMap map(Grid3{2, 3, 4});
+  const auto f2 = map.fiber(2, 1, 2, 0);  // (1, 2, *): 4 ranks
+  ASSERT_EQ(f2.size(), 4u);
+  for (i64 t = 0; t < 4; ++t) {
+    EXPECT_EQ(f2[static_cast<std::size_t>(t)], map.rank_of(1, 2, t));
+  }
+  const auto f0 = map.fiber(0, 0, 1, 3);  // (*, 1, 3): 2 ranks
+  ASSERT_EQ(f0.size(), 2u);
+  EXPECT_EQ(f0[0], map.rank_of(0, 1, 3));
+  EXPECT_EQ(f0[1], map.rank_of(1, 1, 3));
+}
+
+TEST(GridMap, FibersPartitionTheMachine) {
+  // The axis-1 fibers partition all ranks into p1*p3 disjoint groups.
+  GridMap map(Grid3{2, 3, 2});
+  std::vector<int> seen(12, 0);
+  for (i64 q1 = 0; q1 < 2; ++q1) {
+    for (i64 q3 = 0; q3 < 2; ++q3) {
+      for (int r : map.fiber(1, q1, 0, q3)) seen[static_cast<std::size_t>(r)]++;
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(FillChunkIndexed, MatchesFullMatrixFill) {
+  // A chunk of a block must reproduce the corresponding entries of the
+  // reference matrix exactly.
+  MatrixD full(10, 8);
+  full.fill_indexed(0, 0);
+  BlockChunk chunk;
+  chunk.row0 = 2;
+  chunk.col0 = 3;
+  chunk.rows = 4;
+  chunk.cols = 5;
+  chunk.flat_start = 7;
+  chunk.flat_size = 9;
+  const auto data = fill_chunk_indexed(chunk);
+  for (i64 f = 0; f < chunk.flat_size; ++f) {
+    const i64 flat = chunk.flat_start + f;
+    const i64 i = flat / chunk.cols, j = flat % chunk.cols;
+    EXPECT_DOUBLE_EQ(data[static_cast<std::size_t>(f)],
+                     full(chunk.row0 + i, chunk.col0 + j))
+        << "f=" << f;
+  }
+}
+
+}  // namespace
+}  // namespace camb::mm

@@ -1,0 +1,180 @@
+// Property-based tests of the theory layer: parameterized sweeps over many
+// (m, n, k, P) instances asserting the invariants DESIGN.md §3 lists.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/bounds.hpp"
+#include "core/cost_eq3.hpp"
+#include "core/grid.hpp"
+#include "core/kkt.hpp"
+#include "core/optimization.hpp"
+#include "core/prior_bounds.hpp"
+#include "util/rng.hpp"
+
+namespace camb::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep over a deterministic family of problem instances.
+// ---------------------------------------------------------------------------
+
+struct Instance {
+  double m, n, k, P;
+};
+
+class BoundsSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Instance instance() const {
+    // Deterministic pseudo-random instance per index: dimensions spanning
+    // 4 orders of magnitude, P spanning all three regimes.
+    camb::Rng rng(0xB0CADE, static_cast<std::uint64_t>(GetParam()));
+    double dims[3];
+    for (double& d : dims) d = std::floor(std::exp(rng.uniform(0.5, 9.0)));
+    std::sort(dims, dims + 3);
+    const double P = std::floor(std::exp(rng.uniform(0.0, 12.0)));
+    return {dims[2], dims[1], dims[0], std::max(1.0, P)};
+  }
+};
+
+TEST_P(BoundsSweep, ThreeSolversAgree) {
+  const auto [m, n, k, P] = instance();
+  const Lemma2Problem prob{m, n, k, P};
+  const auto analytic = solve_analytic(prob);
+  const auto enumerated = solve_enumerate(prob);
+  const double obj_enum = enumerated[0] + enumerated[1] + enumerated[2];
+  EXPECT_NEAR(obj_enum, analytic.objective, 1e-9 * analytic.objective)
+      << "m=" << m << " n=" << n << " k=" << k << " P=" << P;
+  const auto numeric = solve_numeric(prob, 4000);
+  const double obj_num = numeric[0] + numeric[1] + numeric[2];
+  EXPECT_NEAR(obj_num, analytic.objective, 2e-3 * analytic.objective)
+      << "m=" << m << " n=" << n << " k=" << k << " P=" << P;
+}
+
+TEST_P(BoundsSweep, KktCertificateHolds) {
+  const auto [m, n, k, P] = instance();
+  const Lemma2Problem prob{m, n, k, P};
+  const auto sol = solve_analytic(prob);
+  EXPECT_TRUE(verify_kkt(prob, sol.x, sol.mu, 1e-7).ok())
+      << "m=" << m << " n=" << n << " k=" << k << " P=" << P;
+}
+
+TEST_P(BoundsSweep, BoundBelowEveryGridCost) {
+  const auto [m, n, k, P] = instance();
+  // Integer shape and a handful of integer grids around P.
+  const Shape shape{static_cast<i64>(m), static_cast<i64>(n),
+                    static_cast<i64>(k)};
+  const i64 Pi = std::min<i64>(static_cast<i64>(P), 4096);
+  const auto bound = memory_independent_bound(shape, static_cast<double>(Pi));
+  for (const Grid3& g : all_grids(Pi)) {
+    EXPECT_GE(alg1_cost_words(shape, g) * (1 + 1e-9) + 1e-6, bound.words)
+        << "m=" << m << " n=" << n << " k=" << k << " P=" << Pi << " grid="
+        << g.p1 << "x" << g.p2 << "x" << g.p3;
+  }
+}
+
+TEST_P(BoundsSweep, BestIntegerGridNearOptimalWhenDivisible) {
+  const auto [m, n, k, P] = instance();
+  (void)P;
+  // Scale dims up to multiples so divisibility holds for the searched grid.
+  const Shape shape{static_cast<i64>(m), static_cast<i64>(n),
+                    static_cast<i64>(k)};
+  const i64 Pi = 1 + static_cast<i64>(GetParam()) % 64;
+  const Grid3 g = best_integer_grid(shape, Pi);
+  EXPECT_EQ(g.total(), Pi);
+}
+
+TEST_P(BoundsSweep, TheoremDMatchesLemma2) {
+  const auto [m, n, k, P] = instance();
+  const auto bound = memory_independent_bound_sorted(m, n, k, P);
+  EXPECT_NEAR(bound.D, lemma2_objective(m, n, k, P), 1e-9 * bound.D);
+}
+
+TEST_P(BoundsSweep, PriorConstantsNeverExceedOurs) {
+  const auto [m, n, k, P] = instance();
+  const auto regime = classify_regime(m, n, k, P);
+  const double lead = leading_term(regime, m, n, k, P);
+  const double ours = theorem3_2022().constant(regime).value() * lead;
+  for (const auto& row : table1_rows()) {
+    const auto c = row.constant(regime);
+    if (c.has_value()) {
+      EXPECT_LE(c.value() * lead, ours * (1 + 1e-12));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyInstances, BoundsSweep, ::testing::Range(0, 100));
+
+// ---------------------------------------------------------------------------
+// Continuity of the bound across P at the regime boundaries.
+// ---------------------------------------------------------------------------
+
+class BoundaryContinuity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BoundaryContinuity, DContinuousAtThresholds) {
+  const auto [mi, ki] = GetParam();
+  const double m = 100.0 * (mi + 1) * (mi + 1);
+  const double k = 5.0 * (ki + 1);
+  const double n = std::max(k, m / 16);
+  if (!(m >= n && n >= k)) GTEST_SKIP();
+  for (double boundary : {m / n, m * n / (k * k)}) {
+    const double below = memory_independent_bound_sorted(m, n, k,
+                                                         boundary * (1 - 1e-9))
+                             .D;
+    const double above = memory_independent_bound_sorted(m, n, k,
+                                                         boundary * (1 + 1e-9))
+                             .D;
+    EXPECT_NEAR(below, above, 1e-6 * below)
+        << "m=" << m << " n=" << n << " k=" << k << " boundary=" << boundary;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BoundaryContinuity,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 6)));
+
+// ---------------------------------------------------------------------------
+// Tightness: Alg. 1's eq. 3 cost equals the bound on §5.2 grids.
+// ---------------------------------------------------------------------------
+
+struct TightCase {
+  Shape shape;
+  i64 P;
+};
+
+class TightnessSweep : public ::testing::TestWithParam<TightCase> {};
+
+TEST_P(TightnessSweep, Eq3EqualsTheorem3OnOptimalGrid) {
+  const auto& tc = GetParam();
+  const Grid3 grid = exact_optimal_grid(tc.shape, tc.P);
+  ASSERT_TRUE(grid_divides(tc.shape, grid));
+  const double cost = alg1_cost_words(tc.shape, grid);
+  const auto bound =
+      memory_independent_bound(tc.shape, static_cast<double>(tc.P));
+  EXPECT_NEAR(cost, bound.words, 1e-9 * std::max(1.0, bound.words))
+      << "P=" << tc.P;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperShapes, TightnessSweep,
+    ::testing::Values(
+        // Paper Figure 2 shape across all three regimes.
+        TightCase{Shape{9600, 2400, 600}, 1}, TightCase{Shape{9600, 2400, 600}, 2},
+        TightCase{Shape{9600, 2400, 600}, 3}, TightCase{Shape{9600, 2400, 600}, 4},
+        TightCase{Shape{9600, 2400, 600}, 16},
+        TightCase{Shape{9600, 2400, 600}, 36},
+        TightCase{Shape{9600, 2400, 600}, 64},
+        TightCase{Shape{9600, 2400, 600}, 32768},
+        TightCase{Shape{9600, 2400, 600}, 512},
+        TightCase{Shape{9600, 2400, 600}, 4096},
+        // Square shapes (always 3D regime for P > 1).
+        TightCase{Shape{512, 512, 512}, 8}, TightCase{Shape{512, 512, 512}, 64},
+        TightCase{Shape{512, 512, 512}, 512},
+        // Other orientations of a rectangular shape.
+        TightCase{Shape{600, 2400, 9600}, 36},
+        TightCase{Shape{2400, 9600, 600}, 512}));
+
+}  // namespace
+}  // namespace camb::core

@@ -1,0 +1,116 @@
+// Unit tests for util/math.hpp: integer helpers used by grids and bounds.
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace camb {
+namespace {
+
+TEST(CeilDiv, BasicValues) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+}
+
+TEST(CeilDiv, RejectsBadInput) {
+  EXPECT_THROW(ceil_div(-1, 3), Error);
+  EXPECT_THROW(ceil_div(1, 0), Error);
+}
+
+TEST(CheckedMul, ComputesAndGuards) {
+  EXPECT_EQ(checked_mul(6, 7), 42);
+  EXPECT_EQ(checked_mul(0, 1000000000), 0);
+  EXPECT_EQ(checked_mul3(100, 200, 300), 6000000);
+  EXPECT_THROW(checked_mul(i64{1} << 40, i64{1} << 40), Error);
+  EXPECT_THROW(checked_mul(-1, 2), Error);
+}
+
+TEST(Divides, Basics) {
+  EXPECT_TRUE(divides(3, 9));
+  EXPECT_FALSE(divides(4, 9));
+  EXPECT_TRUE(divides(1, 0));
+}
+
+TEST(Divisors, SmallNumbers) {
+  EXPECT_EQ(divisors(1), (std::vector<i64>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<i64>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(36), (std::vector<i64>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+  EXPECT_EQ(divisors(7), (std::vector<i64>{1, 7}));
+}
+
+TEST(Divisors, PerfectSquareNotDuplicated) {
+  const auto divs = divisors(16);
+  EXPECT_EQ(divs, (std::vector<i64>{1, 2, 4, 8, 16}));
+}
+
+TEST(FactorTriples, CountMatchesDivisorStructure) {
+  // Number of ordered triples (a,b,c) with abc = p equals
+  // sum over divisors a of d(p/a).
+  for (i64 p : {1, 2, 6, 12, 36, 64, 100}) {
+    std::size_t expected = 0;
+    for (i64 a : divisors(p)) expected += divisors(p / a).size();
+    EXPECT_EQ(factor_triples(p).size(), expected) << "p=" << p;
+  }
+}
+
+TEST(FactorTriples, AllTriplesMultiplyToP) {
+  for (const auto& t : factor_triples(360)) {
+    EXPECT_EQ(t.a * t.b * t.c, 360);
+  }
+}
+
+TEST(FactorTriples, ContainsCanonicalGrids) {
+  const auto triples = factor_triples(512);
+  bool found_paper_grid = false;
+  for (const auto& t : triples) {
+    if (t.a == 32 && t.b == 8 && t.c == 2) found_paper_grid = true;
+  }
+  EXPECT_TRUE(found_paper_grid) << "Figure 2(c)'s 32x8x2 grid must appear";
+}
+
+TEST(Isqrt, ExactAndFloor) {
+  EXPECT_EQ(isqrt(0), 0);
+  EXPECT_EQ(isqrt(1), 1);
+  EXPECT_EQ(isqrt(15), 3);
+  EXPECT_EQ(isqrt(16), 4);
+  EXPECT_EQ(isqrt(17), 4);
+  EXPECT_EQ(isqrt(i64{1} << 40), i64{1} << 20);
+}
+
+TEST(Icbrt, ExactAndFloor) {
+  EXPECT_EQ(icbrt(0), 0);
+  EXPECT_EQ(icbrt(7), 1);
+  EXPECT_EQ(icbrt(8), 2);
+  EXPECT_EQ(icbrt(26), 2);
+  EXPECT_EQ(icbrt(27), 3);
+  EXPECT_EQ(icbrt(i64{1} << 30), i64{1} << 10);
+}
+
+TEST(Ipow, SmallPowers) {
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 0), 1);
+  EXPECT_EQ(ipow(10, 6), 1000000);
+  EXPECT_THROW(ipow(10, 30), Error);
+}
+
+TEST(ApproxEq, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_eq(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_eq(1.0, 1.001));
+  EXPECT_TRUE(approx_eq(0.0, 1e-15));
+  EXPECT_TRUE(approx_eq(1e18, 1e18 * (1 + 1e-10)));
+}
+
+TEST(Median3, AllOrders) {
+  EXPECT_EQ(median3(i64{1}, i64{2}, i64{3}), 2);
+  EXPECT_EQ(median3(i64{3}, i64{2}, i64{1}), 2);
+  EXPECT_EQ(median3(i64{2}, i64{3}, i64{1}), 2);
+  EXPECT_EQ(median3(i64{5}, i64{5}, i64{1}), 5);
+  EXPECT_DOUBLE_EQ(median3(1.5, 0.5, 2.5), 1.5);
+}
+
+}  // namespace
+}  // namespace camb

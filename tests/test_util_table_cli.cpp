@@ -1,0 +1,107 @@
+// Unit tests for util/table.hpp and util/cli.hpp.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace camb {
+namespace {
+
+TEST(Table, PrintAligned) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"longer_name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("| value"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"x"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowValuesFormatting) {
+  Table t({"a", "b"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("1.23,2.00"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+  EXPECT_EQ(Table::fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Cli, ParsesBothFlagForms) {
+  Cli cli;
+  cli.add_flag("n", "dimension", "100");
+  cli.add_flag("p", "processors", "8");
+  const char* argv[] = {"prog", "--n", "64", "--p=16"};
+  cli.parse(4, argv);
+  EXPECT_EQ(cli.get_int("n"), 64);
+  EXPECT_EQ(cli.get_int("p"), 16);
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli;
+  cli.add_flag("m", "memory", "1024");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int("m"), 1024);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli;
+  cli.add_flag("n", "dimension", "100");
+  const char* argv[] = {"prog", "--typo", "3"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, TypedParsing) {
+  Cli cli;
+  cli.add_flag("ratio", "a ratio", "0.5");
+  cli.add_flag("flag", "a bool", "false");
+  const char* argv[] = {"prog", "--ratio=2.25", "--flag", "true"};
+  cli.parse(4, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.25);
+  EXPECT_TRUE(cli.get_bool("flag"));
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+  Cli cli;
+  cli.add_flag("n", "dimension", "100");
+  const char* argv[] = {"prog", "--n", "12x"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.get_int("n"), std::exception);
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli;
+  cli.add_flag("n", "dimension", "100");
+  const char* argv[] = {"prog", "--help"};
+  cli.parse(2, argv);
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage("prog").find("--n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace camb
