@@ -1,0 +1,168 @@
+#include "machine/faults.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace camb {
+
+namespace {
+
+/// Uniform double in [0, 1) from one splitmix64 output.
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Decision stream for (seed, domain, index): a splitmix64 chain keyed so
+/// that neighbouring ranks and neighbouring send indices are uncorrelated.
+std::uint64_t stream_state(std::uint64_t seed, std::uint64_t domain,
+                           std::uint64_t index) {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (domain + 1));
+  s ^= splitmix64(s);
+  s += 0xBF58476D1CE4E5B9ULL * (index + 1);
+  return s;
+}
+
+}  // namespace
+
+FaultProfile fault_profile_by_name(const std::string& name) {
+  if (name == "none") return FaultProfile{};
+  if (name == "delays") {
+    FaultProfile p;
+    p.delay_prob = 0.35;
+    p.max_delay = 8.0;
+    p.max_reorder_skip = 4;
+    return p;
+  }
+  if (name == "drops") {
+    FaultProfile p;
+    p.fail_prob = 0.25;
+    p.max_retries = 3;
+    return p;
+  }
+  if (name == "stragglers") {
+    FaultProfile p;
+    p.straggler_prob = 0.3;
+    p.max_slowdown = 3.0;
+    return p;
+  }
+  if (name == "light") {
+    FaultProfile p;
+    p.delay_prob = 0.1;
+    p.max_delay = 2.0;
+    p.max_reorder_skip = 2;
+    p.fail_prob = 0.05;
+    p.max_retries = 1;
+    p.straggler_prob = 0.1;
+    p.max_slowdown = 0.5;
+    return p;
+  }
+  if (name == "heavy") {
+    FaultProfile p;
+    p.delay_prob = 0.5;
+    p.max_delay = 16.0;
+    p.max_reorder_skip = 8;
+    p.fail_prob = 0.3;
+    p.max_retries = 4;
+    p.straggler_prob = 0.4;
+    p.max_slowdown = 4.0;
+    return p;
+  }
+  throw Error("unknown fault profile: " + name);
+}
+
+std::vector<std::string> fault_profile_names() {
+  return {"none", "delays", "drops", "stragglers", "light", "heavy"};
+}
+
+FaultPlan::FaultPlan(const FaultProfile& profile, std::uint64_t seed,
+                     int nprocs)
+    : profile_(profile), seed_(seed), nprocs_(nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "fault plan needs at least one processor");
+  CAMB_CHECK_MSG(profile.delay_prob >= 0 && profile.delay_prob <= 1 &&
+                     profile.fail_prob >= 0 && profile.fail_prob <= 1 &&
+                     profile.straggler_prob >= 0 &&
+                     profile.straggler_prob <= 1,
+                 "fault probabilities must lie in [0, 1]");
+  CAMB_CHECK_MSG(profile.max_delay >= 0 && profile.max_retries >= 0 &&
+                     profile.max_reorder_skip >= 0 &&
+                     profile.max_slowdown >= 0,
+                 "fault magnitudes must be non-negative");
+  slots_.resize(static_cast<std::size_t>(nprocs));
+  straggler_.assign(static_cast<std::size_t>(nprocs), 1.0);
+  // Straggler factors are fixed per run: domain 0 of the decision space,
+  // one draw pair per rank.
+  for (int r = 0; r < nprocs; ++r) {
+    std::uint64_t s = stream_state(seed_, 0, static_cast<std::uint64_t>(r));
+    const double coin = to_unit(splitmix64(s));
+    const double magnitude = to_unit(splitmix64(s));
+    if (profile_.straggler_prob > 0 && coin < profile_.straggler_prob) {
+      straggler_[static_cast<std::size_t>(r)] =
+          1.0 + magnitude * profile_.max_slowdown;
+    }
+  }
+}
+
+SendFaults FaultPlan::decide_send(int src) {
+  CAMB_CHECK(src >= 0 && src < nprocs_);
+  RankSlot& slot = slots_[static_cast<std::size_t>(src)];
+  const std::uint64_t index = slot.send_index++;
+  SendFaults out;
+  if (!profile_.any_faults()) return out;
+  // Domain 1 + src separates each sender's send-indexed decision stream
+  // from every other sender's and from the straggler draws.
+  std::uint64_t s = stream_state(
+      seed_, 1 + static_cast<std::uint64_t>(src), index);
+  const double delay_coin = to_unit(splitmix64(s));
+  const double delay_mag = to_unit(splitmix64(s));
+  const double skip_draw = to_unit(splitmix64(s));
+  const double fail_coin = to_unit(splitmix64(s));
+  const double fail_mag = to_unit(splitmix64(s));
+  if (profile_.delay_prob > 0 && delay_coin < profile_.delay_prob) {
+    out.delay = (1.0 - delay_mag) * profile_.max_delay;  // in (0, max_delay]
+    out.reorder_skip = static_cast<int>(
+        skip_draw * (profile_.max_reorder_skip + 1));
+    ++slot.delayed;
+    if (out.reorder_skip > 0) ++slot.reordered;
+  }
+  if (profile_.fail_prob > 0 && profile_.max_retries > 0 &&
+      fail_coin < profile_.fail_prob) {
+    // fail_mag in [0, 1) maps onto 1..max_retries failed attempts.
+    out.failed_attempts =
+        1 + static_cast<int>(fail_mag * profile_.max_retries);
+    if (out.failed_attempts > profile_.max_retries) {
+      out.failed_attempts = profile_.max_retries;
+    }
+    slot.retries += out.failed_attempts;
+    ++slot.failed_sends;
+  }
+  return out;
+}
+
+double FaultPlan::straggler_factor(int rank) const {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  return straggler_[static_cast<std::size_t>(rank)];
+}
+
+double FaultPlan::retry_alpha_units(int attempts) {
+  CAMB_CHECK_MSG(attempts >= 1, "a successful send has at least one attempt");
+  return std::ldexp(1.0, attempts) - 1.0;  // 2^attempts - 1
+}
+
+FaultCounts FaultPlan::counts() const {
+  FaultCounts total;
+  for (const RankSlot& slot : slots_) {
+    total.decisions += static_cast<i64>(slot.send_index);
+    total.delayed_messages += slot.delayed;
+    total.total_retries += slot.retries;
+    total.failed_sends += slot.failed_sends;
+    total.reordered_messages += slot.reordered;
+  }
+  for (double f : straggler_) {
+    if (f > 1.0) ++total.stragglers;
+  }
+  return total;
+}
+
+}  // namespace camb

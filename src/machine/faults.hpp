@@ -1,0 +1,127 @@
+// faults.hpp — deterministic fault injection & schedule perturbation.
+//
+// The paper's claims are schedule-independent: the words an algorithm moves
+// per processor (Theorem 3, eq. 3) do not depend on message timing.  This
+// layer makes that a *tested* property instead of an assumed one.  A seeded
+// FaultPlan is consulted by the Network on every counted send and injects
+//
+//   * bounded delivery delays (the message's logical arrival stamp is pushed
+//     into the future, so the receiver's clock synchronizes later),
+//   * legal reorderings within tag-match semantics (a message may jump ahead
+//     of queued messages with a *different* (src, tag) envelope; per-envelope
+//     FIFO order — the order receives can actually observe — is preserved),
+//   * transient send failures, absorbed by a retry-with-exponential-backoff
+//     path in Network::send_timed (each attempt is charged latency, the
+//     payload words are counted exactly once),
+//   * per-rank straggler slowdowns (a factor >= 1 multiplying every clock
+//     charge of that rank — sends, receives of local work via advance_clock).
+//
+// Determinism: every decision is a pure function of (fault seed, sender
+// rank, per-sender send index).  Send indices are maintained per rank and
+// each rank's sends are issued in program order by its own thread, so the
+// injected event sequence is identical across runs regardless of OS thread
+// scheduling — any stress failure is reproducible from its seed alone.
+//
+// Cost-accounting rules (what the invariants rely on):
+//   * delivery delays and reorderings never touch CommStats — word and
+//     message counts are schedule facts, not timing facts;
+//   * a send that fails n times before succeeding still records its words
+//     and its one message exactly once; the sender's clock is charged
+//     alpha * (2^(n+1) - 1) + beta * w in total (attempt k costs alpha *
+//     2^(k-1): the attempt itself plus the backoff wait before it doubles
+//     each round), so retries show up in simulated time only;
+//   * straggler factors scale clock charges, never counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace camb {
+
+/// Knobs for one perturbation regime.  All probabilities are per counted
+/// send; delays are in the machine's logical-clock units.
+struct FaultProfile {
+  double delay_prob = 0.0;      ///< chance a send's arrival stamp is delayed
+  double max_delay = 0.0;       ///< delay drawn uniformly from (0, max_delay]
+  int max_reorder_skip = 0;     ///< queue positions a delayed message may jump
+  double fail_prob = 0.0;       ///< chance a send needs at least one retry
+  int max_retries = 0;          ///< bound on failed attempts per send
+  double straggler_prob = 0.0;  ///< chance a rank is a straggler
+  double max_slowdown = 0.0;    ///< extra slowdown factor drawn from (0, max]
+
+  bool any_faults() const {
+    return delay_prob > 0 || fail_prob > 0 || straggler_prob > 0;
+  }
+};
+
+/// Named profiles for CLI / test use: "none", "delays", "drops",
+/// "stragglers", "light", "heavy".  Throws camb::Error on unknown names.
+FaultProfile fault_profile_by_name(const std::string& name);
+/// All names accepted by fault_profile_by_name, stable order.
+std::vector<std::string> fault_profile_names();
+
+/// What the plan injects into one counted send.
+struct SendFaults {
+  int failed_attempts = 0;  ///< transient failures before the send succeeds
+  double delay = 0.0;       ///< added to the message's arrival stamp
+  int reorder_skip = 0;     ///< legal queue-jump distance for the mailbox
+};
+
+/// Aggregated injection counts (exact, summed over ranks after a run).
+struct FaultCounts {
+  i64 decisions = 0;         ///< counted sends the plan ruled on
+  i64 delayed_messages = 0;  ///< sends with delay > 0
+  i64 total_retries = 0;     ///< failed attempts summed over sends
+  i64 failed_sends = 0;      ///< sends with >= 1 failed attempt
+  i64 reordered_messages = 0;
+  int stragglers = 0;        ///< ranks with slowdown factor > 1
+};
+
+/// The seeded, deterministic fault oracle for one machine run.
+///
+/// Thread contract: decide_send(src) must be called only from rank src's
+/// thread (per-rank slots are plain cache-line-padded fields, the same
+/// discipline CommStats uses); straggler_factor and the profile are
+/// immutable after construction; counts() is for after Machine::run.
+class FaultPlan {
+ public:
+  FaultPlan(const FaultProfile& profile, std::uint64_t seed, int nprocs);
+
+  const FaultProfile& profile() const { return profile_; }
+  std::uint64_t seed() const { return seed_; }
+  int nprocs() const { return nprocs_; }
+
+  /// Rule on rank src's next counted send (advances src's send index).
+  SendFaults decide_send(int src);
+
+  /// Clock multiplier for a rank, >= 1 (1 for non-stragglers).  Fixed at
+  /// construction, derived from (seed, rank) only.
+  double straggler_factor(int rank) const;
+
+  /// Latency units charged for a send that took `attempts` tries under the
+  /// exponential-backoff schedule: sum of 2^(k-1) for k = 1..attempts,
+  /// i.e. 2^attempts - 1.  Equals `attempts` (= 1) on the fault-free path.
+  static double retry_alpha_units(int attempts);
+
+  FaultCounts counts() const;
+
+ private:
+  struct alignas(64) RankSlot {
+    std::uint64_t send_index = 0;
+    i64 delayed = 0;
+    i64 retries = 0;
+    i64 failed_sends = 0;
+    i64 reordered = 0;
+  };
+
+  FaultProfile profile_;
+  std::uint64_t seed_;
+  int nprocs_;
+  std::vector<RankSlot> slots_;
+  std::vector<double> straggler_;
+};
+
+}  // namespace camb

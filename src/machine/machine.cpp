@@ -10,17 +10,17 @@ namespace camb {
 
 RankCtx::RankCtx(Machine& machine, int rank)
     : machine_(machine), rank_(rank),
-      rng_(machine.seed(), static_cast<std::uint64_t>(rank)) {}
+      rng_(machine.seed(), static_cast<std::uint64_t>(rank)) {
+  if (FaultPlan* plan = machine.fault_plan()) {
+    straggler_ = plan->straggler_factor(rank);
+  }
+}
 
 int RankCtx::nprocs() const { return machine_.nprocs(); }
 
 void RankCtx::send(int dst, int tag, std::vector<double> payload) {
-  if (dst != rank_) {
-    const auto& params = machine_.time_params();
-    clock_ += params.alpha +
-              params.beta * static_cast<double>(payload.size());
-  }
-  machine_.network().send(rank_, dst, tag, std::move(payload), clock_);
+  clock_ = machine_.network().send_timed(rank_, dst, tag, std::move(payload),
+                                         clock_, machine_.time_params());
 }
 
 std::vector<double> RankCtx::recv(int src, int tag) {
@@ -43,7 +43,7 @@ void RankCtx::barrier() {
 
 void RankCtx::advance_clock(double seconds) {
   CAMB_CHECK_MSG(seconds >= 0, "clocks only move forward");
-  clock_ += seconds;
+  clock_ += straggler_ * seconds;
 }
 
 void RankCtx::acquire_words(i64 words) {
@@ -73,6 +73,13 @@ Trace& Machine::enable_trace() {
     network_.set_trace(trace_.get());
   }
   return *trace_;
+}
+
+FaultPlan& Machine::enable_faults(const FaultProfile& profile,
+                                  std::uint64_t fault_seed) {
+  fault_plan_ = std::make_unique<FaultPlan>(profile, fault_seed, nprocs());
+  network_.set_fault_plan(fault_plan_.get());
+  return *fault_plan_;
 }
 
 void Machine::run(const std::function<void(RankCtx&)>& program) {

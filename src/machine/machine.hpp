@@ -53,7 +53,11 @@ class RankCtx {
   /// This rank's logical clock (seconds under the machine's α-β params).
   double clock() const { return clock_; }
   /// Advance the clock by local work (e.g. γ · flops), never backwards.
+  /// Scaled by this rank's straggler factor when a fault plan is active.
   void advance_clock(double seconds);
+
+  /// This rank's straggler slowdown (1 unless a fault plan marks it).
+  double straggler_factor() const { return straggler_; }
 
   /// Working-set accounting: algorithms report the buffers they hold so the
   /// per-rank peak can be *measured* (the §6.2 memory claims).  Balanced
@@ -73,6 +77,7 @@ class RankCtx {
   Machine& machine_;
   int rank_;
   double clock_ = 0.0;
+  double straggler_ = 1.0;
   i64 current_words_ = 0;
   i64 peak_words_ = 0;
   Rng rng_;
@@ -122,6 +127,15 @@ class Machine {
   /// The active trace, or nullptr when tracing is off.
   Trace* trace() { return trace_.get(); }
 
+  /// Turn on deterministic fault injection: every subsequent counted send
+  /// consults the plan (see faults.hpp for the model and cost-accounting
+  /// rules).  `fault_seed` alone determines the injected event sequence.
+  /// Must be called before run(); replaces any previously attached plan.
+  FaultPlan& enable_faults(const FaultProfile& profile,
+                           std::uint64_t fault_seed);
+  /// The active fault plan, or nullptr when fault injection is off.
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
+
   /// α-β parameters driving the logical clocks (default α = β = 1, i.e. the
   /// clock counts messages + words directly).
   void set_time_params(const AlphaBeta& params) { time_params_ = params; }
@@ -145,6 +159,7 @@ class Machine {
   Barrier barrier_;
   std::uint64_t seed_;
   std::unique_ptr<Trace> trace_;
+  std::unique_ptr<FaultPlan> fault_plan_;
   AlphaBeta time_params_{1.0, 1.0};
   std::vector<double> final_clocks_;
   std::vector<double> barrier_clocks_;

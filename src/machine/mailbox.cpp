@@ -1,11 +1,22 @@
 #include "machine/mailbox.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 namespace camb {
 
-void Mailbox::push(Message msg) {
+void Mailbox::push(Message msg, int reorder_skip) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(msg));
+    auto pos = std::prev(queue_.end());
+    while (reorder_skip > 0 && pos != queue_.begin()) {
+      auto prev = std::prev(pos);
+      if (prev->src == pos->src && prev->tag == pos->tag) break;
+      std::iter_swap(prev, pos);
+      pos = prev;
+      --reorder_skip;
+    }
   }
   cv_.notify_all();
 }

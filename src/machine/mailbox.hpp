@@ -31,7 +31,12 @@ class Mailbox {
   Mailbox& operator=(const Mailbox&) = delete;
 
   /// Deposit a message (called by the sender's thread). Never blocks.
-  void push(Message msg);
+  /// `reorder_skip` > 0 lets the message jump ahead of up to that many
+  /// already-queued messages bearing a *different* (src, tag) envelope —
+  /// the legal reorderings of the fault-injection layer.  Messages with the
+  /// same envelope are never passed, so per-envelope FIFO order (the only
+  /// order tag-matched receives can observe) is preserved.
+  void push(Message msg, int reorder_skip = 0);
 
   /// Block until a message with envelope (src, tag) is available and return
   /// it.  Matching is exact on both fields; use wildcards via recv_any.

@@ -26,6 +26,41 @@ void Network::send(int src, int dst, int tag, std::vector<double> payload,
   mailboxes_[dst]->push(Message{src, tag, depart_time, std::move(payload)});
 }
 
+double Network::send_timed(int src, int dst, int tag,
+                           std::vector<double> payload, double clock,
+                           const AlphaBeta& params) {
+  CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  if (src == dst) {
+    // Self-sends are free and fault-exempt: the data never leaves local
+    // memory, so there is nothing for the network to perturb.
+    mailboxes_[dst]->push(Message{src, tag, clock, std::move(payload)});
+    return clock;
+  }
+  SendFaults faults;
+  double slowdown = 1.0;
+  if (fault_plan_ != nullptr) {
+    faults = fault_plan_->decide_send(src);
+    slowdown = fault_plan_->straggler_factor(src);
+  }
+  const int attempts = 1 + faults.failed_attempts;
+  const auto words = static_cast<i64>(payload.size());
+  // Latency charged per attempt (with backoff), payload words exactly once.
+  clock += slowdown * (params.alpha * FaultPlan::retry_alpha_units(attempts) +
+                       params.beta * static_cast<double>(words));
+  stats_.record_send(src, words);
+  if (trace_ != nullptr) {
+    trace_->record(src, dst, tag, words, stats_.phase(src));
+    if (attempts > 1 || faults.delay > 0) {
+      trace_->record_fault(src, dst, tag, faults.failed_attempts, faults.delay,
+                           faults.reorder_skip);
+    }
+  }
+  mailboxes_[dst]->push(
+      Message{src, tag, clock + faults.delay, std::move(payload)},
+      faults.reorder_skip);
+  return clock;
+}
+
 std::vector<double> Network::recv(int dst, int src, int tag,
                                   double* arrival_time) {
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "machine/comm_stats.hpp"
+#include "machine/faults.hpp"
 #include "machine/mailbox.hpp"
 #include "machine/trace.hpp"
 
@@ -26,6 +27,11 @@ class Network {
   /// counted send is recorded there.  Not owned.
   void set_trace(Trace* trace) { trace_ = trace; }
 
+  /// Attach (or detach with nullptr) a fault plan; every subsequent counted
+  /// send through send_timed consults it.  Not owned.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() { return fault_plan_; }
+
   /// Send `payload` from rank `src` to rank `dst` with tag `tag`.
   /// Buffered: returns as soon as the message is deposited. Self-sends are
   /// permitted and delivered but are NOT counted as communication (data that
@@ -33,6 +39,17 @@ class Network {
   /// `depart_time` stamps the sender's logical clock onto the message.
   void send(int src, int dst, int tag, std::vector<double> payload,
             double depart_time = 0.0);
+
+  /// The clocked (and fault-injecting) send used by RankCtx: charges the
+  /// sender's logical clock for the send under `params`, consults the
+  /// attached fault plan (transient failures retried with exponential
+  /// backoff — words and the message counted once, latency charged per
+  /// attempt; delivery delays inflate the arrival stamp only; stragglers
+  /// scale the sender's charge), and returns the sender's new clock.
+  /// With no fault plan attached this is exactly the historical behaviour:
+  /// clock + alpha + beta * words for counted sends, clock for self-sends.
+  double send_timed(int src, int dst, int tag, std::vector<double> payload,
+                    double clock, const AlphaBeta& params);
 
   /// Blocking receive at rank `dst` of the message (src, tag).
   /// `arrival_time`, when non-null, receives the message's departure stamp.
@@ -47,6 +64,7 @@ class Network {
   int nprocs_;
   CommStats stats_;
   Trace* trace_ = nullptr;
+  FaultPlan* fault_plan_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 

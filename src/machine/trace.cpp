@@ -25,6 +25,35 @@ void Trace::record(int src, int dst, int tag, i64 words,
   events_.push_back(std::move(event));
 }
 
+void Trace::record_fault(int src, int dst, int tag, int failed_attempts,
+                         double delay, int reorder_skip) {
+  FaultEvent event;
+  event.seq = next_seq_.fetch_add(1);
+  event.src = src;
+  event.dst = dst;
+  event.tag = tag;
+  event.failed_attempts = failed_attempts;
+  event.delay = delay;
+  event.reorder_skip = reorder_skip;
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_events_.push_back(event);
+}
+
+std::vector<FaultEvent> Trace::fault_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultEvent> snapshot = fault_events_;
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.seq < b.seq;
+            });
+  return snapshot;
+}
+
+std::size_t Trace::fault_event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_events_.size();
+}
+
 std::vector<MessageEvent> Trace::events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<MessageEvent> snapshot = events_;

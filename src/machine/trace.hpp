@@ -27,6 +27,19 @@ struct MessageEvent {
   std::string phase;  ///< sender's active phase at send time
 };
 
+/// One recorded fault injection (delay, retry burst, or reordering applied
+/// to a send by the fault layer).  Shares the sequence counter with
+/// MessageEvent, so fault events interleave with the message log.
+struct FaultEvent {
+  std::uint64_t seq = 0;
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  int failed_attempts = 0;  ///< transient failures absorbed by retries
+  double delay = 0.0;       ///< injected delivery delay (clock units)
+  int reorder_skip = 0;     ///< queue positions the message jumped
+};
+
 class Trace {
  public:
   explicit Trace(int nprocs);
@@ -35,6 +48,16 @@ class Trace {
 
   /// Record one send (thread-safe; called by the network).
   void record(int src, int dst, int tag, i64 words, const std::string& phase);
+
+  /// Record one fault injection (thread-safe; called by the network when a
+  /// fault plan perturbed the matching send).
+  void record_fault(int src, int dst, int tag, int failed_attempts,
+                    double delay, int reorder_skip);
+
+  /// Snapshot of all fault events in sequence order.
+  std::vector<FaultEvent> fault_events() const;
+
+  std::size_t fault_event_count() const;
 
   /// Snapshot of all events in sequence order.
   std::vector<MessageEvent> events() const;
@@ -61,6 +84,7 @@ class Trace {
   mutable std::mutex mutex_;
   std::atomic<std::uint64_t> next_seq_{0};
   std::vector<MessageEvent> events_;
+  std::vector<FaultEvent> fault_events_;
 };
 
 }  // namespace camb

@@ -24,37 +24,58 @@ i64 best_25d_depth(i64 nprocs) {
   return 0;
 }
 
+/// Assemble an entry from its options-taking runner: the legacy bool-verify
+/// `run` is derived from `run_opts` so the two can never diverge.
+AlgorithmInfo make_algorithm(
+    std::string name,
+    std::function<bool(const Shape&, i64)> supports,
+    std::function<RunReport(const Shape&, i64, const RunOptions&)> run_opts,
+    bool bandwidth_optimal) {
+  AlgorithmInfo info;
+  info.name = std::move(name);
+  info.supports = std::move(supports);
+  info.run_opts = std::move(run_opts);
+  info.run = [run = info.run_opts](const Shape& shape, i64 nprocs,
+                                   bool verify) {
+    return run(shape, nprocs,
+               RunOptions::verified(verify ? VerifyMode::kReference
+                                           : VerifyMode::kNone));
+  };
+  info.bandwidth_optimal = bandwidth_optimal;
+  return info;
+}
+
 std::vector<AlgorithmInfo> build_registry() {
   std::vector<AlgorithmInfo> algorithms;
 
-  algorithms.push_back(AlgorithmInfo{
+  algorithms.push_back(make_algorithm(
       "grid3d_optimal",
       [](const Shape&, i64) { return true; },
-      [](const Shape& shape, i64 nprocs, bool verify) {
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
         const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
-        return run_grid3d(Grid3dConfig{shape, grid}, verify);
+        return run_grid3d(Grid3dConfig{shape, grid}, opts);
       },
-      /*bandwidth_optimal=*/true});
+      /*bandwidth_optimal=*/true));
 
-  algorithms.push_back(AlgorithmInfo{
+  algorithms.push_back(make_algorithm(
       "grid3d_agarwal95",
       [](const Shape&, i64) { return true; },
-      [](const Shape& shape, i64 nprocs, bool verify) {
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
         const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
-        return run_grid3d_agarwal(Grid3dAgarwalConfig{shape, grid}, verify);
+        return run_grid3d_agarwal(Grid3dAgarwalConfig{shape, grid}, opts);
       },
-      /*bandwidth_optimal=*/true});
+      /*bandwidth_optimal=*/true));
 
-  algorithms.push_back(AlgorithmInfo{
+  algorithms.push_back(make_algorithm(
       "grid3d_staged4",
       [](const Shape&, i64) { return true; },
-      [](const Shape& shape, i64 nprocs, bool verify) {
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
         const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
-        return run_grid3d_staged(Grid3dStagedConfig{shape, grid, 4}, verify);
+        return run_grid3d_staged(Grid3dStagedConfig{shape, grid, 4}, opts);
       },
-      /*bandwidth_optimal=*/true});
+      /*bandwidth_optimal=*/true));
 
-  algorithms.push_back(AlgorithmInfo{
+  algorithms.push_back(make_algorithm(
       "carma",
       [](const Shape& shape, i64 nprocs) {
         int levels = 0;
@@ -62,45 +83,45 @@ std::vector<AlgorithmInfo> build_registry() {
         return (i64{1} << levels) == nprocs &&
                carma_supported(shape, levels);
       },
-      [](const Shape& shape, i64 nprocs, bool verify) {
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
         int levels = 0;
         while ((i64{1} << levels) < nprocs) ++levels;
-        return run_carma(CarmaConfig{shape, levels}, verify);
+        return run_carma(CarmaConfig{shape, levels}, opts);
       },
-      /*bandwidth_optimal=*/false});
+      /*bandwidth_optimal=*/false));
 
-  algorithms.push_back(AlgorithmInfo{
+  algorithms.push_back(make_algorithm(
       "summa",
       [](const Shape&, i64 nprocs) { return is_square_p(nprocs); },
-      [](const Shape& shape, i64 nprocs, bool verify) {
-        return run_summa(SummaConfig{shape, isqrt(nprocs)}, verify);
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
+        return run_summa(SummaConfig{shape, isqrt(nprocs)}, opts);
       },
-      /*bandwidth_optimal=*/false});
+      /*bandwidth_optimal=*/false));
 
-  algorithms.push_back(AlgorithmInfo{
+  algorithms.push_back(make_algorithm(
       "cannon",
       [](const Shape&, i64 nprocs) { return is_square_p(nprocs); },
-      [](const Shape& shape, i64 nprocs, bool verify) {
-        return run_cannon(CannonConfig{shape, isqrt(nprocs)}, verify);
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
+        return run_cannon(CannonConfig{shape, isqrt(nprocs)}, opts);
       },
-      /*bandwidth_optimal=*/false});
+      /*bandwidth_optimal=*/false));
 
-  algorithms.push_back(AlgorithmInfo{
+  algorithms.push_back(make_algorithm(
       "alg25d",
       [](const Shape&, i64 nprocs) { return best_25d_depth(nprocs) > 0; },
-      [](const Shape& shape, i64 nprocs, bool verify) {
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
         const i64 c = best_25d_depth(nprocs);
-        return run_alg25d(Alg25dConfig{shape, isqrt(nprocs / c), c}, verify);
+        return run_alg25d(Alg25dConfig{shape, isqrt(nprocs / c), c}, opts);
       },
-      /*bandwidth_optimal=*/false});
+      /*bandwidth_optimal=*/false));
 
-  algorithms.push_back(AlgorithmInfo{
+  algorithms.push_back(make_algorithm(
       "naive_bcast",
       [](const Shape&, i64) { return true; },
-      [](const Shape& shape, i64 nprocs, bool verify) {
-        return run_naive_bcast(NaiveBcastConfig{shape}, nprocs, verify);
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
+        return run_naive_bcast(NaiveBcastConfig{shape}, nprocs, opts);
       },
-      /*bandwidth_optimal=*/false});
+      /*bandwidth_optimal=*/false));
 
   return algorithms;
 }

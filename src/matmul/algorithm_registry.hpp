@@ -22,6 +22,11 @@ struct AlgorithmInfo {
   std::function<bool(const Shape& shape, i64 nprocs)> supports;
   /// Execute on the simulated machine (picks its own grid/config details).
   std::function<RunReport(const Shape& shape, i64 nprocs, bool verify)> run;
+  /// Execute with full run options (verification mode, fault injection /
+  /// schedule perturbation, master seed) — the stress-sweep entry point.
+  std::function<RunReport(const Shape& shape, i64 nprocs,
+                          const RunOptions& opts)>
+      run_opts;
   /// True for algorithms expected to attain the lower bound on divisible
   /// optimal-grid configurations (Algorithm 1 and its variants).
   bool bandwidth_optimal = false;

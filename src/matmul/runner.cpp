@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "matmul/freivalds.hpp"
 #include "util/error.hpp"
@@ -13,7 +14,20 @@ namespace {
 /// Shapes above this flop count use Freivalds under VerifyMode::kAuto.
 constexpr i64 kReferenceFlopLimit = 1 << 26;  // ~67M multiply-adds
 
-RunReport report_from_stats(const camb::CommStats& stats) {
+/// Machine construction + fault wiring for one run: the rank RNG seed and
+/// the fault seed both derive from the options' master seed (independent
+/// domains), so a run is replayable from that one logged value.
+void configure_machine(camb::Machine& machine, const RunOptions& opts) {
+  if (opts.perturb.enabled()) {
+    machine.enable_faults(fault_profile_by_name(opts.perturb.profile),
+                          opts.perturb.fault_seed());
+  }
+}
+
+/// Measurement half shared by every run_*: critical-path counters, phase
+/// breakdown, simulated time, peak memory, and the fault record.
+RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
+  const camb::CommStats& stats = machine.stats();
   RunReport report;
   report.measured_critical_recv = stats.critical_path_received_words();
   report.measured_critical_sent = stats.critical_path_sent_words();
@@ -25,6 +39,21 @@ RunReport report_from_stats(const camb::CommStats& stats) {
   }
   for (const auto& phase : stats.phases()) {
     report.phase_recv[phase] = stats.phase_critical_path_received_words(phase);
+  }
+  report.simulated_time = machine.critical_path_time();
+  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
+  report.faults.master_seed = opts.perturb.master_seed;
+  report.faults.profile = opts.perturb.profile;
+  if (camb::FaultPlan* plan = machine.fault_plan()) {
+    const camb::FaultCounts counts = plan->counts();
+    report.faults.enabled = true;
+    report.faults.fault_seed = plan->seed();
+    report.faults.injected_delays = counts.delayed_messages;
+    report.faults.injected_failures = counts.failed_sends;
+    report.faults.total_retries = counts.total_retries;
+    report.faults.reordered_messages = counts.reordered_messages;
+    report.faults.stragglers = counts.stragglers;
   }
   return report;
 }
@@ -40,7 +69,22 @@ void place_chunk(MatrixD& global, const BlockChunk& chunk,
   }
 }
 
+RunOptions options_from(bool verify) {
+  return RunOptions::verified(verify ? VerifyMode::kReference
+                                     : VerifyMode::kNone);
+}
+
 }  // namespace
+
+std::string FaultReport::summary() const {
+  std::ostringstream out;
+  out << "perturb{profile=" << profile << " master_seed=" << master_seed
+      << " fault_seed=" << fault_seed << " delays=" << injected_delays
+      << " failed_sends=" << injected_failures << " retries=" << total_retries
+      << " reordered=" << reordered_messages << " stragglers=" << stragglers
+      << "}";
+  return out.str();
+}
 
 MatrixD reference_result(const Shape& shape) {
   MatrixD a(shape.n1, shape.n2), b(shape.n2, shape.n3);
@@ -73,45 +117,47 @@ double check_result(const Shape& shape, const MatrixD& assembled,
   throw Error("unreachable verify mode");
 }
 
-RunReport run_grid3d(const Grid3dConfig& cfg, VerifyMode mode) {
+RunReport run_grid3d(const Grid3dConfig& cfg, const RunOptions& opts) {
   const i64 P = cfg.grid.total();
-  camb::Machine machine(static_cast<int>(P));
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
   std::vector<Grid3dRankOutput> outputs(static_cast<std::size_t>(P));
   machine.run([&](camb::RankCtx& ctx) {
     outputs[static_cast<std::size_t>(ctx.rank())] = grid3d_rank(ctx, cfg);
   });
-  RunReport report = report_from_stats(machine.stats());
-  report.simulated_time = machine.critical_path_time();
-  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  RunReport report = report_from_machine(machine, opts);
   report.predicted_critical_recv = grid3d_predicted_critical_recv_words(cfg);
   report.lower_bound_words =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
-  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
-  if (mode != VerifyMode::kNone) {
+  if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.shape.n1, cfg.shape.n3);
     for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
-    report.max_abs_error = check_result(cfg.shape, c, mode);
+    report.max_abs_error = check_result(cfg.shape, c, opts.verify);
     report.verified = true;
   }
   return report;
 }
 
-RunReport run_grid3d(const Grid3dConfig& cfg, bool verify) {
-  return run_grid3d(cfg, verify ? VerifyMode::kReference : VerifyMode::kNone);
+RunReport run_grid3d(const Grid3dConfig& cfg, VerifyMode mode) {
+  return run_grid3d(cfg, RunOptions::verified(mode));
 }
 
-RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
+RunReport run_grid3d(const Grid3dConfig& cfg, bool verify) {
+  return run_grid3d(cfg, options_from(verify));
+}
+
+RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg,
+                            const RunOptions& opts) {
   const i64 P = cfg.grid.total();
-  camb::Machine machine(static_cast<int>(P));
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
   std::vector<Grid3dStagedRankOutput> outputs(static_cast<std::size_t>(P));
   machine.run([&](camb::RankCtx& ctx) {
     outputs[static_cast<std::size_t>(ctx.rank())] =
         grid3d_staged_rank(ctx, cfg);
   });
-  RunReport report = report_from_stats(machine.stats());
-  report.simulated_time = machine.critical_path_time();
-  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  RunReport report = report_from_machine(machine, opts);
   i64 predicted = 0;
   for (i64 r = 0; r < P; ++r) {
     predicted = std::max(predicted, grid3d_staged_predicted_recv_words(
@@ -121,31 +167,34 @@ RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
   report.lower_bound_words =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
-  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
-  if (verify) {
+  if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.shape.n1, cfg.shape.n3);
     for (const auto& out : outputs) {
       for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
         place_chunk(c, out.c_chunks[s], out.c_data[s]);
       }
     }
-    report.max_abs_error = check_result(cfg.shape, c, VerifyMode::kReference);
+    report.max_abs_error = check_result(cfg.shape, c, opts.verify);
     report.verified = true;
   }
   return report;
 }
 
-RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
+RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
+  return run_grid3d_staged(cfg, options_from(verify));
+}
+
+RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg,
+                             const RunOptions& opts) {
   const i64 P = cfg.grid.total();
-  camb::Machine machine(static_cast<int>(P));
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
   std::vector<Grid3dRankOutput> outputs(static_cast<std::size_t>(P));
   machine.run([&](camb::RankCtx& ctx) {
     outputs[static_cast<std::size_t>(ctx.rank())] =
         grid3d_agarwal_rank(ctx, cfg);
   });
-  RunReport report = report_from_stats(machine.stats());
-  report.simulated_time = machine.critical_path_time();
-  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  RunReport report = report_from_machine(machine, opts);
   i64 predicted = 0;
   for (i64 r = 0; r < P; ++r) {
     predicted = std::max(predicted, grid3d_agarwal_predicted_recv_words(
@@ -155,26 +204,28 @@ RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
   report.lower_bound_words =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
-  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
-  if (verify) {
+  if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.shape.n1, cfg.shape.n3);
     for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
-    report.max_abs_error = check_result(cfg.shape, c, VerifyMode::kReference);
+    report.max_abs_error = check_result(cfg.shape, c, opts.verify);
     report.verified = true;
   }
   return report;
 }
 
-RunReport run_carma(const CarmaConfig& cfg, bool verify) {
+RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
+  return run_grid3d_agarwal(cfg, options_from(verify));
+}
+
+RunReport run_carma(const CarmaConfig& cfg, const RunOptions& opts) {
   const i64 P = i64{1} << cfg.levels;
-  camb::Machine machine(static_cast<int>(P));
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
   std::vector<CarmaRankOutput> outputs(static_cast<std::size_t>(P));
   machine.run([&](camb::RankCtx& ctx) {
     outputs[static_cast<std::size_t>(ctx.rank())] = carma_rank(ctx, cfg);
   });
-  RunReport report = report_from_stats(machine.stats());
-  report.simulated_time = machine.critical_path_time();
-  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  RunReport report = report_from_machine(machine, opts);
   const std::vector<i64> predicted = carma_predicted_recv_words(cfg);
   report.predicted_critical_recv = 0;
   for (i64 w : predicted) {
@@ -183,34 +234,35 @@ RunReport run_carma(const CarmaConfig& cfg, bool verify) {
   report.lower_bound_words =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
-  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
-  if (verify) {
+  if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.shape.n1, cfg.shape.n3);
     for (const auto& out : outputs) place_chunk(c, out.holding, out.data);
-    report.max_abs_error = check_result(cfg.shape, c, VerifyMode::kReference);
+    report.max_abs_error = check_result(cfg.shape, c, opts.verify);
     report.verified = true;
   }
   return report;
 }
 
+RunReport run_carma(const CarmaConfig& cfg, bool verify) {
+  return run_carma(cfg, options_from(verify));
+}
+
 namespace {
 
 RunReport run_block2d(
-    const Shape& shape, i64 nprocs, bool verify, double lower_bound,
+    const Shape& shape, i64 nprocs, const RunOptions& opts, double lower_bound,
     i64 predicted,
     const std::function<Block2DOutput(camb::RankCtx&)>& body) {
-  camb::Machine machine(static_cast<int>(nprocs));
+  camb::Machine machine(static_cast<int>(nprocs), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
   std::vector<Block2DOutput> outputs(static_cast<std::size_t>(nprocs));
   machine.run([&](camb::RankCtx& ctx) {
     outputs[static_cast<std::size_t>(ctx.rank())] = body(ctx);
   });
-  RunReport report = report_from_stats(machine.stats());
-  report.simulated_time = machine.critical_path_time();
-  report.measured_peak_memory_words = machine.max_peak_memory_words();
+  RunReport report = report_from_machine(machine, opts);
   report.predicted_critical_recv = predicted;
   report.lower_bound_words = lower_bound;
-  report.max_abs_error = std::numeric_limits<double>::quiet_NaN();
-  if (verify) {
+  if (opts.verify != VerifyMode::kNone) {
     MatrixD c(shape.n1, shape.n3);
     for (const auto& out : outputs) {
       for (i64 i = 0; i < out.block.rows(); ++i) {
@@ -219,7 +271,7 @@ RunReport run_block2d(
         }
       }
     }
-    report.max_abs_error = check_result(shape, c, VerifyMode::kReference);
+    report.max_abs_error = check_result(shape, c, opts.verify);
     report.verified = true;
   }
   return report;
@@ -227,7 +279,7 @@ RunReport run_block2d(
 
 }  // namespace
 
-RunReport run_alg25d(const Alg25dConfig& cfg, bool verify) {
+RunReport run_alg25d(const Alg25dConfig& cfg, const RunOptions& opts) {
   const i64 P = cfg.g * cfg.g * cfg.c;
   i64 predicted = 0;
   for (i64 r = 0; r < P; ++r) {
@@ -237,11 +289,15 @@ RunReport run_alg25d(const Alg25dConfig& cfg, bool verify) {
   const double bound =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
-  return run_block2d(cfg.shape, P, verify, bound, predicted,
+  return run_block2d(cfg.shape, P, opts, bound, predicted,
                      [&](camb::RankCtx& ctx) { return alg25d_rank(ctx, cfg); });
 }
 
-RunReport run_summa(const SummaConfig& cfg, bool verify) {
+RunReport run_alg25d(const Alg25dConfig& cfg, bool verify) {
+  return run_alg25d(cfg, options_from(verify));
+}
+
+RunReport run_summa(const SummaConfig& cfg, const RunOptions& opts) {
   const i64 P = cfg.g * cfg.g;
   i64 predicted = 0;
   for (i64 r = 0; r < P; ++r) {
@@ -251,11 +307,15 @@ RunReport run_summa(const SummaConfig& cfg, bool verify) {
   const double bound =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
-  return run_block2d(cfg.shape, P, verify, bound, predicted,
+  return run_block2d(cfg.shape, P, opts, bound, predicted,
                      [&](camb::RankCtx& ctx) { return summa_rank(ctx, cfg); });
 }
 
-RunReport run_cannon(const CannonConfig& cfg, bool verify) {
+RunReport run_summa(const SummaConfig& cfg, bool verify) {
+  return run_summa(cfg, options_from(verify));
+}
+
+RunReport run_cannon(const CannonConfig& cfg, const RunOptions& opts) {
   const i64 P = cfg.g * cfg.g;
   i64 predicted = 0;
   for (i64 r = 0; r < P; ++r) {
@@ -265,12 +325,16 @@ RunReport run_cannon(const CannonConfig& cfg, bool verify) {
   const double bound =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
-  return run_block2d(cfg.shape, P, verify, bound, predicted,
+  return run_block2d(cfg.shape, P, opts, bound, predicted,
                      [&](camb::RankCtx& ctx) { return cannon_rank(ctx, cfg); });
 }
 
+RunReport run_cannon(const CannonConfig& cfg, bool verify) {
+  return run_cannon(cfg, options_from(verify));
+}
+
 RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
-                          bool verify) {
+                          const RunOptions& opts) {
   i64 predicted = 0;
   for (i64 r = 0; r < nprocs; ++r) {
     predicted = std::max(predicted,
@@ -280,10 +344,15 @@ RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
   const double bound = camb::core::memory_independent_bound(
                            cfg.shape, static_cast<double>(nprocs))
                            .words;
-  return run_block2d(cfg.shape, nprocs, verify, bound, predicted,
+  return run_block2d(cfg.shape, nprocs, opts, bound, predicted,
                      [&](camb::RankCtx& ctx) {
                        return naive_bcast_rank(ctx, cfg);
                      });
+}
+
+RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
+                          bool verify) {
+  return run_naive_bcast(cfg, nprocs, options_from(verify));
 }
 
 }  // namespace camb::mm

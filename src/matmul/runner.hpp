@@ -7,10 +7,13 @@
 // "measured == predicted" is checked at one well-tested choke point.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
 #include "core/bounds.hpp"
+#include "machine/faults.hpp"
+#include "util/rng.hpp"
 #include "matmul/alg25d.hpp"
 #include "matmul/cannon.hpp"
 #include "matmul/carma.hpp"
@@ -28,6 +31,56 @@ enum class VerifyMode {
   kReference,  ///< assemble C, compare to the cubic-time serial reference
   kFreivalds,  ///< assemble C, probabilistic O(n^2) Freivalds check
   kAuto,       ///< reference for small shapes, Freivalds for large ones
+};
+
+/// Schedule-perturbation request for a run (model in machine/faults.hpp).
+/// One CLI-level master seed reproduces everything: the machine's rank RNG
+/// streams and the fault plan's decisions derive from it through independent
+/// domains (util/rng.hpp derive_seed), so logging `master_seed` alone makes
+/// any stress failure replayable.
+struct PerturbConfig {
+  std::string profile = "none";    ///< fault_profile_by_name key
+  std::uint64_t master_seed = 42;  ///< drives every derived seed below
+  /// Nonzero: use this fault seed directly instead of deriving it (the CLI's
+  /// --fault-seed override); rank RNG streams still derive from master_seed.
+  std::uint64_t fault_seed_override = 0;
+
+  bool enabled() const { return profile != "none"; }
+  std::uint64_t machine_seed() const {
+    return derive_seed(master_seed, kSeedDomainRankRng);
+  }
+  std::uint64_t fault_seed() const {
+    return fault_seed_override != 0 ? fault_seed_override
+                                    : derive_seed(master_seed, kSeedDomainFaults);
+  }
+};
+
+/// What the fault layer injected into one run, plus the seeds to replay it.
+struct FaultReport {
+  bool enabled = false;
+  std::string profile = "none";
+  std::uint64_t master_seed = 42;
+  std::uint64_t fault_seed = 0;
+  i64 injected_delays = 0;
+  i64 injected_failures = 0;  ///< sends that needed at least one retry
+  i64 total_retries = 0;      ///< failed attempts summed over sends
+  i64 reordered_messages = 0;
+  int stragglers = 0;
+  /// One-line reproducibility record (profile, seeds, injected counts) for
+  /// logs and test failure messages.
+  std::string summary() const;
+};
+
+/// Everything configurable about how the harness executes an algorithm.
+struct RunOptions {
+  VerifyMode verify = VerifyMode::kNone;
+  PerturbConfig perturb;
+
+  static RunOptions verified(VerifyMode mode) {
+    RunOptions opts;
+    opts.verify = mode;
+    return opts;
+  }
 };
 
 /// Everything a caller needs to compare an executed run against the theory.
@@ -58,33 +111,48 @@ struct RunReport {
   /// Max |C − C_ref| over all entries; NaN if verification was skipped.
   double max_abs_error = 0;
   bool verified = false;
+  /// Perturbation record: seeds and injected-fault counts (enabled=false and
+  /// all-zero counts for unperturbed runs).
+  FaultReport faults;
 };
 
 /// Algorithm 1 on its grid.  `verify` assembles C and checks it (mode
-/// kReference for `true`; use the VerifyMode overloads for Freivalds).
+/// kReference for `true`; use the VerifyMode / RunOptions overloads for
+/// Freivalds or perturbed runs).
 RunReport run_grid3d(const Grid3dConfig& cfg, bool verify);
 RunReport run_grid3d(const Grid3dConfig& cfg, VerifyMode mode);
+RunReport run_grid3d(const Grid3dConfig& cfg, const RunOptions& opts);
 
 /// The §6.2 staged (limited-memory) variant of Algorithm 1.
 RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify);
+RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg,
+                            const RunOptions& opts);
 
 /// The Agarwal et al. 1995 variant (All-to-All instead of Reduce-Scatter).
 RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify);
+RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg,
+                             const RunOptions& opts);
 
 /// The Demmel et al. 2013 recursive algorithm (BFS CARMA, P = 2^levels).
 RunReport run_carma(const CarmaConfig& cfg, bool verify);
+RunReport run_carma(const CarmaConfig& cfg, const RunOptions& opts);
 
 /// The 2.5D replication algorithm on a g×g×c grid.
 RunReport run_alg25d(const Alg25dConfig& cfg, bool verify);
+RunReport run_alg25d(const Alg25dConfig& cfg, const RunOptions& opts);
 
 /// SUMMA on a g×g grid.
 RunReport run_summa(const SummaConfig& cfg, bool verify);
+RunReport run_summa(const SummaConfig& cfg, const RunOptions& opts);
 
 /// Cannon on a g×g grid.
 RunReport run_cannon(const CannonConfig& cfg, bool verify);
+RunReport run_cannon(const CannonConfig& cfg, const RunOptions& opts);
 
 /// The naive broadcast-everything baseline on P ranks.
 RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs, bool verify);
+RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
+                          const RunOptions& opts);
 
 /// The serial reference result for a shape, built from the same indexed
 /// input pattern the distributed algorithms use.

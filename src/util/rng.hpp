@@ -18,6 +18,20 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Domain-separated sub-seed derivation: one CLI-level master seed fans out
+/// into independent seeds for each consumer (rank RNG streams, the fault
+/// plan, …) so that a single logged value reproduces an entire run, and
+/// changing one consumer's draws never perturbs another's.
+/// Stable across platforms (pure integer arithmetic).
+inline std::uint64_t derive_seed(std::uint64_t master, std::uint64_t domain) {
+  std::uint64_t s = master ^ (0xA0761D6478BD642FULL * (domain + 1));
+  return splitmix64(s);
+}
+
+/// Fixed domains for derive_seed used by the run harness.
+inline constexpr std::uint64_t kSeedDomainRankRng = 0;  ///< Machine rank streams
+inline constexpr std::uint64_t kSeedDomainFaults = 1;   ///< FaultPlan decisions
+
 /// xoshiro256** generator with a splitmix64-derived state.
 /// Satisfies UniformRandomBitGenerator, so it plugs into <random>.
 class Rng {

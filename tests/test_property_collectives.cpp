@@ -12,6 +12,7 @@
 #include "collectives/coll_cost.hpp"
 #include "collectives/reduce_scatter.hpp"
 #include "collectives/registry.hpp"
+#include "machine/faults.hpp"
 #include "machine/machine.hpp"
 #include "util/rng.hpp"
 
@@ -118,6 +119,97 @@ INSTANTIATE_TEST_SUITE_P(
     SizesByPayload, GroupSweep,
     ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17),
                        ::testing::Values(1, 4, 9)));
+
+// ---------------------------------------------------------------------------
+// The same collective properties under heavy fault injection: delays,
+// reorderings, retried sends, and stragglers must not change what arrives
+// or what is counted — only simulated time (coll_cost prices words and
+// messages, both schedule facts).
+// ---------------------------------------------------------------------------
+
+class FaultedGroupSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  int group_size() const { return std::get<0>(GetParam()); }
+  std::uint64_t fault_seed() const {
+    return 0x5EED0000 + static_cast<std::uint64_t>(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(FaultedGroupSweep, AllgatherVariantsCorrectUnderFaults) {
+  const int p = group_size();
+  const i64 block = 5;
+  for (const auto& variant : coll::allgather_variants()) {
+    if (!variant.supports(p)) continue;
+    Machine machine(p);
+    machine.enable_faults(fault_profile_by_name("heavy"), fault_seed());
+    machine.run([&](RankCtx& ctx) {
+      std::vector<double> local(static_cast<std::size_t>(block));
+      for (i64 j = 0; j < block; ++j) {
+        local[static_cast<std::size_t>(j)] =
+            static_cast<double>(ctx.rank() * block + j);
+      }
+      const auto out =
+          coll::allgather_equal(ctx, iota_group(p), local, 0, variant.algo);
+      ASSERT_EQ(static_cast<i64>(out.size()), block * p);
+      for (i64 j = 0; j < block * p; ++j) {
+        ASSERT_DOUBLE_EQ(out[static_cast<std::size_t>(j)],
+                         static_cast<double>(j))
+            << variant.name << " p=" << p << " seed=" << fault_seed();
+      }
+    });
+    const auto cost = coll::allgather_cost(p, block * p, variant.algo);
+    for (int r = 0; r < p; ++r) {
+      const auto totals = machine.stats().rank_total(r);
+      EXPECT_EQ(totals.words_received, cost.recv_words)
+          << variant.name << " seed=" << fault_seed();
+      EXPECT_EQ(totals.words_sent, cost.sent_words)
+          << variant.name << " seed=" << fault_seed();
+      EXPECT_EQ(totals.messages_sent, cost.messages)
+          << variant.name << " seed=" << fault_seed();
+    }
+  }
+}
+
+TEST_P(FaultedGroupSweep, ReduceScatterVariantsCorrectUnderFaults) {
+  const int p = group_size();
+  const i64 seg = 3;
+  for (const auto& variant : coll::reduce_scatter_variants()) {
+    if (!variant.supports(p)) continue;
+    Machine machine(p);
+    machine.enable_faults(fault_profile_by_name("heavy"), fault_seed());
+    machine.run([&](RankCtx& ctx) {
+      std::vector<double> full(static_cast<std::size_t>(seg * p));
+      for (i64 j = 0; j < seg * p; ++j) {
+        full[static_cast<std::size_t>(j)] =
+            static_cast<double>(j % (ctx.rank() + 2));
+      }
+      const auto out = coll::reduce_scatter_equal(ctx, iota_group(p), full, 0,
+                                                  variant.algo);
+      for (i64 j = 0; j < seg; ++j) {
+        double expected = 0;
+        const i64 pos = ctx.rank() * seg + j;
+        for (int r = 0; r < p; ++r) {
+          expected += static_cast<double>(pos % (r + 2));
+        }
+        ASSERT_DOUBLE_EQ(out[static_cast<std::size_t>(j)], expected)
+            << variant.name << " p=" << p << " seed=" << fault_seed();
+      }
+    });
+    const auto cost = coll::reduce_scatter_cost(p, seg * p, variant.algo);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(machine.stats().rank_total(r).words_received, cost.recv_words)
+          << variant.name << " seed=" << fault_seed();
+      EXPECT_EQ(machine.stats().rank_total(r).messages_sent, cost.messages)
+          << variant.name << " seed=" << fault_seed();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesBySeed, FaultedGroupSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17),
+                       ::testing::Range(0, 8)));
 
 // ---------------------------------------------------------------------------
 // Randomized payload correctness: allreduce as the composite oracle.

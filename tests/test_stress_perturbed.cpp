@@ -1,0 +1,197 @@
+// Perturbed stress sweep: every registered algorithm under deterministic
+// fault injection (delays, reorderings, retried sends, stragglers) across
+// many fault seeds.  The paper's accounting is schedule-independent, so the
+// invariants must be *exactly* preserved under perturbation:
+//
+//   * results stay bit-identical to the unperturbed run (data movement and
+//     reduction order are program-order facts, not timing facts),
+//   * measured critical-path received words EQUAL the analytic predictor,
+//   * word/message counters match the clean run exactly,
+//   * only simulated time may grow — and it grows monotonically in the
+//     injected delay magnitude.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "matmul/algorithm_registry.hpp"
+
+namespace camb::mm {
+namespace {
+
+using camb::core::Shape;
+
+struct SweepCase {
+  Shape shape;
+  i64 nprocs;
+};
+
+// Representative shapes: cubes, flat/skinny aspect ratios, indivisible
+// dimensions; machine sizes covering every algorithm's applicability
+// predicate (powers of two for CARMA, squares for SUMMA/Cannon, g*g*c for
+// 2.5D, arbitrary for the grid3d family).
+const SweepCase kCases[] = {
+    {{12, 8, 6}, 4}, {{12, 8, 6}, 8},  {{16, 16, 16}, 8},
+    {{13, 7, 5}, 4}, {{9, 14, 3}, 6},  {{24, 6, 10}, 9},
+};
+
+std::string case_label(const SweepCase& c, const std::string& algorithm) {
+  return algorithm + " shape=(" + std::to_string(c.shape.n1) + "," +
+         std::to_string(c.shape.n2) + "," + std::to_string(c.shape.n3) +
+         ") P=" + std::to_string(c.nprocs);
+}
+
+/// Clean (fault-free) baseline for a (case, algorithm) pair, computed once
+/// per process — the sweep compares every seed against the same baseline.
+const RunReport& clean_baseline(std::size_t case_idx,
+                                const AlgorithmInfo& algorithm) {
+  static std::map<std::pair<std::size_t, std::string>, RunReport> cache;
+  const auto key = std::make_pair(case_idx, algorithm.name);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const SweepCase& c = kCases[case_idx];
+    it = cache
+             .emplace(key, algorithm.run_opts(
+                               c.shape, c.nprocs,
+                               RunOptions::verified(VerifyMode::kReference)))
+             .first;
+  }
+  return it->second;
+}
+
+class PerturbedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerturbedSweep, InvariantsSurviveHeavyFaults) {
+  RunOptions perturbed = RunOptions::verified(VerifyMode::kReference);
+  perturbed.perturb.profile = "heavy";
+  perturbed.perturb.master_seed = 0xC0FFEE;
+  perturbed.perturb.fault_seed_override =
+      1000 + static_cast<std::uint64_t>(GetParam());
+
+  for (std::size_t ci = 0; ci < std::size(kCases); ++ci) {
+    const SweepCase& c = kCases[ci];
+    for (const auto& algorithm : algorithm_registry()) {
+      if (!algorithm.supports(c.shape, c.nprocs)) continue;
+      const RunReport& clean = clean_baseline(ci, algorithm);
+      const RunReport faulty =
+          algorithm.run_opts(c.shape, c.nprocs, perturbed);
+      const std::string label =
+          case_label(c, algorithm.name) + " " + faulty.faults.summary();
+
+      // Bit-correct result: identical residual, not merely a small one.
+      EXPECT_EQ(faulty.max_abs_error, clean.max_abs_error) << label;
+      EXPECT_LE(faulty.max_abs_error, 1e-9) << label;
+
+      // Measured communication equals the analytic predictor exactly —
+      // the same equality the clean harness enforces.
+      EXPECT_EQ(faulty.measured_critical_recv, faulty.predicted_critical_recv)
+          << label;
+
+      // Counters are schedule facts: perturbation must not move them.
+      EXPECT_EQ(faulty.measured_critical_recv, clean.measured_critical_recv)
+          << label;
+      EXPECT_EQ(faulty.measured_critical_sent, clean.measured_critical_sent)
+          << label;
+      EXPECT_EQ(faulty.measured_critical_messages,
+                clean.measured_critical_messages)
+          << label;
+      EXPECT_EQ(faulty.total_network_words, clean.total_network_words)
+          << label;
+      EXPECT_EQ(faulty.phase_recv, clean.phase_recv) << label;
+      EXPECT_EQ(faulty.measured_peak_memory_words,
+                clean.measured_peak_memory_words)
+          << label;
+
+      // Faults only ever cost time.
+      EXPECT_GE(faulty.simulated_time, clean.simulated_time) << label;
+
+      // The report carries the replay record.
+      EXPECT_TRUE(faulty.faults.enabled) << label;
+      EXPECT_EQ(faulty.faults.profile, "heavy") << label;
+      EXPECT_EQ(faulty.faults.fault_seed,
+                perturbed.perturb.fault_seed_override)
+          << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSeeds, PerturbedSweep, ::testing::Range(0, 32));
+
+TEST(PerturbedDeterminism, SameSeedSameRun) {
+  // The whole point of seeded injection: a stress failure is replayable.
+  RunOptions opts = RunOptions::verified(VerifyMode::kReference);
+  opts.perturb.profile = "heavy";
+  opts.perturb.master_seed = 7;
+  const Shape shape{16, 16, 16};
+  for (const auto& algorithm : algorithm_registry()) {
+    if (!algorithm.supports(shape, 8)) continue;
+    const RunReport a = algorithm.run_opts(shape, 8, opts);
+    const RunReport b = algorithm.run_opts(shape, 8, opts);
+    EXPECT_EQ(a.simulated_time, b.simulated_time) << algorithm.name;
+    EXPECT_EQ(a.faults.injected_delays, b.faults.injected_delays)
+        << algorithm.name;
+    EXPECT_EQ(a.faults.total_retries, b.faults.total_retries)
+        << algorithm.name;
+    EXPECT_EQ(a.faults.reordered_messages, b.faults.reordered_messages)
+        << algorithm.name;
+    EXPECT_EQ(a.faults.stragglers, b.faults.stragglers) << algorithm.name;
+  }
+}
+
+TEST(PerturbedMonotonicity, CriticalPathNondecreasingInDelayMagnitude) {
+  // With a fixed seed, each send's delay is (1 - u)·max_delay for the same
+  // uniform draw u, so delays scale pointwise with max_delay; logical clocks
+  // are monotone (max, +) functions of the delays, hence the critical path
+  // is nondecreasing in max_delay.  Verify on an all-pairs exchange, which
+  // exercises cross-rank clock synchronization heavily.
+  const auto run_with_max_delay = [](double max_delay) {
+    FaultProfile profile;
+    profile.delay_prob = 0.6;
+    profile.max_delay = max_delay;
+    profile.max_reorder_skip = 4;
+    Machine machine(6);
+    if (profile.any_faults()) machine.enable_faults(profile, 99);
+    machine.run([](RankCtx& ctx) {
+      const int p = ctx.nprocs();
+      for (int round = 1; round < p; ++round) {
+        const int dst = (ctx.rank() + round) % p;
+        const int src = (ctx.rank() + p - round) % p;
+        ctx.send(dst, round, {1.0, 2.0, 3.0, 4.0});
+        (void)ctx.recv(src, round);
+      }
+      ctx.barrier();
+    });
+    return machine.critical_path_time();
+  };
+  const double delays[] = {0.0, 2.0, 8.0, 32.0};
+  double previous = -1.0;
+  for (const double d : delays) {
+    const double t = run_with_max_delay(d);
+    EXPECT_GE(t, previous) << "max_delay=" << d;
+    previous = t;
+  }
+}
+
+TEST(PerturbedSeedPlumbing, MasterSeedDerivesBothStreams) {
+  // One logged master seed reproduces the run: the fault seed in the report
+  // is the derived one unless explicitly overridden.
+  RunOptions opts = RunOptions::verified(VerifyMode::kNone);
+  opts.perturb.profile = "light";
+  opts.perturb.master_seed = 12345;
+  const RunReport derived = algorithm_by_name("grid3d_optimal")
+                                .run_opts(Shape{8, 8, 8}, 4, opts);
+  EXPECT_EQ(derived.faults.master_seed, 12345u);
+  EXPECT_EQ(derived.faults.fault_seed, opts.perturb.fault_seed());
+  EXPECT_NE(derived.faults.fault_seed, 12345u);  // domain-separated
+
+  opts.perturb.fault_seed_override = 777;
+  const RunReport overridden = algorithm_by_name("grid3d_optimal")
+                                   .run_opts(Shape{8, 8, 8}, 4, opts);
+  EXPECT_EQ(overridden.faults.fault_seed, 777u);
+}
+
+}  // namespace
+}  // namespace camb::mm

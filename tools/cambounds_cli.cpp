@@ -122,6 +122,15 @@ int cmd_run(int argc, char** argv) {
   cli.add_flag("algorithm", "algorithm name (see `cambounds list`)",
                "grid3d_optimal");
   cli.add_flag("verify", "check the result", "true");
+  cli.add_flag("master-seed",
+               "master seed; rank RNG and fault seeds derive from it", "42");
+  cli.add_flag("fault-profile",
+               "fault injection profile: none | delays | drops | stragglers "
+               "| light | heavy",
+               "none");
+  cli.add_flag("fault-seed",
+               "override the derived fault seed (0 = derive from master-seed)",
+               "0");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("cambounds run");
@@ -135,8 +144,16 @@ int cmd_run(int argc, char** argv) {
               << "' does not support this (shape, P)\n";
     return 1;
   }
-  const mm::RunReport report =
-      algorithm.run(shape, P, cli.get_bool("verify"));
+  mm::RunOptions opts;
+  opts.verify = cli.get_bool("verify") ? mm::VerifyMode::kReference
+                                       : mm::VerifyMode::kNone;
+  opts.perturb.profile = cli.get("fault-profile");
+  opts.perturb.master_seed =
+      static_cast<std::uint64_t>(cli.get_int("master-seed"));
+  opts.perturb.fault_seed_override =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+  (void)fault_profile_by_name(opts.perturb.profile);  // validate early
+  const mm::RunReport report = algorithm.run_opts(shape, P, opts);
   std::cout << "algorithm: " << algorithm.name << "\n"
             << "measured communication: " << report.measured_critical_recv
             << " words/processor (critical path)\n"
@@ -151,6 +168,11 @@ int cmd_run(int argc, char** argv) {
             << ")\n";
   if (report.verified) {
     std::cout << "max residual:           " << report.max_abs_error << "\n";
+  }
+  std::cout << "master seed:            " << report.faults.master_seed << "\n";
+  if (report.faults.enabled) {
+    std::cout << "simulated time:         " << report.simulated_time << "\n"
+              << "faults:                 " << report.faults.summary() << "\n";
   }
   return 0;
 }
