@@ -175,4 +175,24 @@ CollCost alltoall_cost(int p, i64 block) {
   return cost;
 }
 
+i64 reduce_recv_words_exact(int p, int v, i64 w) {
+  CAMB_CHECK(p >= 1 && v >= 0 && v < p && w >= 0);
+  int top = 1;
+  while (top < p) top <<= 1;
+  i64 recvs = 0;
+  for (int dist = top >> 1; dist >= 1; dist >>= 1) {
+    if (v < dist && v + dist < p) ++recvs;
+  }
+  return recvs * w;
+}
+
+i64 allreduce_recv_words_exact(int p, int me, i64 w) {
+  CAMB_CHECK(p >= 1 && me >= 0 && me < p && w >= 0);
+  if (p == 1) return 0;
+  std::vector<i64> counts(static_cast<std::size_t>(p), w / p);
+  for (i64 j = 0; j < w % p; ++j) counts[static_cast<std::size_t>(j)] += 1;
+  return reduce_scatter_recv_words_exact(counts, me) +
+         allgather_recv_words_exact(counts, me);
+}
+
 }  // namespace camb::coll

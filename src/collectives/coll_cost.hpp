@@ -74,4 +74,13 @@ i64 reduce_scatter_recv_words_exact(
     const std::vector<i64>& counts, int me,
     ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
 
+/// Words the member at root-relative index `v` receives in the binomial
+/// reduce (reduce.cpp) of `w` words on `p` members: one full payload per
+/// distance d = 2^k < 2^ceil(log2 p) with v < d and v + d < p.
+i64 reduce_recv_words_exact(int p, int v, i64 w);
+
+/// Words member `me` receives in the RS+AG All-Reduce (allreduce.cpp) of `w`
+/// words on `p` members, replicating its near-equal segmentation.
+i64 allreduce_recv_words_exact(int p, int me, i64 w);
+
 }  // namespace camb::coll

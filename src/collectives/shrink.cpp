@@ -1,0 +1,91 @@
+#include "collectives/shrink.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include "machine/faults.hpp"
+
+namespace camb::coll {
+
+namespace {
+
+bool test_bit(const std::vector<std::uint32_t>& mask, int i) {
+  return (mask[static_cast<std::size_t>(i / 32)] >>
+          static_cast<unsigned>(i % 32)) & 1u;
+}
+
+void set_bit(std::vector<std::uint32_t>& mask, int i) {
+  mask[static_cast<std::size_t>(i / 32)] |= 1u << static_cast<unsigned>(i % 32);
+}
+
+}  // namespace
+
+ShrinkResult shrink(RankCtx& ctx, const std::vector<int>& group,
+                    int max_failures, int tag_base, bool i_abandoned) {
+  validate_group(group, ctx.nprocs());
+  CAMB_CHECK_MSG(tag_base >= kRecoveryTagBase,
+                 "shrink must run on recovery tags");
+  CAMB_CHECK_MSG(max_failures >= 0, "max_failures must be non-negative");
+  const int p = static_cast<int>(group.size());
+  const int rounds = max_failures + 1;
+  CAMB_CHECK_MSG(rounds < kTagStride, "too many shrink rounds for tag range");
+  const int me = group_index(group, ctx.rank());
+  const int words = (p + 31) / 32;
+
+  std::vector<std::uint32_t> failed_mask(static_cast<std::size_t>(words), 0);
+  std::vector<std::uint32_t> abandoned_mask(static_cast<std::size_t>(words), 0);
+  if (i_abandoned) set_bit(abandoned_mask, me);
+
+  for (int round = 0; round < rounds; ++round) {
+    // Snapshot who I believe alive: the send and receive sets of one round
+    // must match, even though the receive loop may add new suspicions.
+    std::vector<char> alive(static_cast<std::size_t>(p), 0);
+    for (int j = 0; j < p; ++j) {
+      alive[static_cast<std::size_t>(j)] = !test_bit(failed_mask, j);
+    }
+    // Flood my full view (both masks, 32 flags per word — exact in doubles).
+    std::vector<double> view(static_cast<std::size_t>(2 * words));
+    for (int w = 0; w < words; ++w) {
+      view[static_cast<std::size_t>(w)] =
+          static_cast<double>(failed_mask[static_cast<std::size_t>(w)]);
+      view[static_cast<std::size_t>(words + w)] =
+          static_cast<double>(abandoned_mask[static_cast<std::size_t>(w)]);
+    }
+    for (int j = 0; j < p; ++j) {
+      if (j == me || !alive[static_cast<std::size_t>(j)]) continue;
+      ctx.send(group[static_cast<std::size_t>(j)], tag_base + round, view);
+    }
+    for (int j = 0; j < p; ++j) {
+      if (j == me || !alive[static_cast<std::size_t>(j)]) continue;
+      auto peer_view = ctx.recv_timed(
+          group[static_cast<std::size_t>(j)], tag_base + round,
+          std::numeric_limits<double>::infinity());
+      if (!peer_view) {
+        // Perfect detection: nullopt on a recovery tag means j is dead.
+        set_bit(failed_mask, j);
+        continue;
+      }
+      CAMB_CHECK(static_cast<int>(peer_view->size()) == 2 * words);
+      for (int w = 0; w < words; ++w) {
+        failed_mask[static_cast<std::size_t>(w)] |= static_cast<std::uint32_t>(
+            (*peer_view)[static_cast<std::size_t>(w)]);
+        abandoned_mask[static_cast<std::size_t>(w)] |=
+            static_cast<std::uint32_t>(
+                (*peer_view)[static_cast<std::size_t>(words + w)]);
+      }
+    }
+  }
+
+  ShrinkResult result;
+  for (int j = 0; j < p; ++j) {
+    if (test_bit(failed_mask, j)) {
+      result.failed.push_back(group[static_cast<std::size_t>(j)]);
+    } else {
+      result.survivors.push_back(group[static_cast<std::size_t>(j)]);
+    }
+    if (test_bit(abandoned_mask, j)) result.any_abandoned = true;
+  }
+  return result;
+}
+
+}  // namespace camb::coll

@@ -1,0 +1,60 @@
+// shrink.hpp — survivor-group agreement after crash faults.
+//
+// After a rank failure, the survivors of a group must agree on (a) exactly
+// which members are gone and (b) whether any survivor abandoned the
+// algorithm mid-flight (which decides between cheap checksum recovery and
+// degraded re-execution in the ABFT layer).  This is the classic synchronous
+// crash-consensus problem; with the machine's *perfect* failure detection
+// (a rank is suspected only when it is genuinely dead — see mailbox.hpp),
+// `max_failures + 1` rounds of view flooding guarantee agreement: at least
+// one round sees no new failure, and in that round every alive member's
+// view reaches every other alive member.
+//
+// Views are bitmasks packed 32 flags per payload word, so one round costs
+// each member (alive − 1) messages of 2·⌈|group|/32⌉ words — accounted in
+// α-β through the normal network path, like every other collective.
+//
+// Contract: every *surviving* member of `group` must call shrink (ranks
+// that completed the algorithm cleanly included — the ABFT wrappers funnel
+// everyone here), with identical group / tag_base / max_failures.  Tags
+// must lie in the recovery range (>= kRecoveryTagBase) so that abandoned
+// members can still participate.
+#pragma once
+
+#include <vector>
+
+#include "collectives/group.hpp"
+
+namespace camb::coll {
+
+/// Agreement outcome, identical across all surviving callers.
+struct ShrinkResult {
+  std::vector<int> survivors;  ///< machine ranks, in group order
+  std::vector<int> failed;     ///< machine ranks found crashed, group order
+  bool any_abandoned = false;  ///< did any member flag i_abandoned?
+
+  /// Index of `rank` within survivors; -1 if absent.
+  int survivor_index(int rank) const {
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      if (survivors[i] == rank) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Flood-based crash agreement over `group`, tolerating up to `max_failures`
+/// crashed members (including crashes that strike during the protocol
+/// itself).  `i_abandoned` is this caller's own flag; the result's
+/// any_abandoned is the OR over every view that reached the survivors.
+ShrinkResult shrink(RankCtx& ctx, const std::vector<int>& group,
+                    int max_failures, int tag_base, bool i_abandoned);
+
+/// Fault-free per-member received words of shrink on a p-member group:
+/// (max_failures + 1) rounds × (p − 1) peers × 2·⌈p/32⌉ mask words.
+inline camb::i64 shrink_recv_words_exact(int p, int max_failures) {
+  if (p <= 1) return 0;
+  return static_cast<camb::i64>(max_failures + 1) * (p - 1) * 2 *
+         ((p + 31) / 32);
+}
+
+}  // namespace camb::coll

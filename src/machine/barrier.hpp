@@ -22,11 +22,11 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
-  /// Block until all `count` participants have arrived.
+  /// Block until all current participants have arrived.
   void arrive_and_wait() {
     std::unique_lock<std::mutex> lock(mutex_);
     const bool my_sense = sense_;
-    if (++waiting_ == count_) {
+    if (++waiting_ >= count_) {
       waiting_ = 0;
       sense_ = !sense_;
       cv_.notify_all();
@@ -35,8 +35,22 @@ class Barrier {
     }
   }
 
+  /// Permanently remove one participant (a crashed or errored rank).  If the
+  /// remaining waiters now satisfy the reduced count, the barrier releases
+  /// them — this is what keeps survivors from hanging on a dead peer.
+  void drop_participant() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --count_;
+    CAMB_CHECK_MSG(count_ >= 0, "barrier lost more participants than it had");
+    if (waiting_ >= count_ && count_ > 0) {
+      waiting_ = 0;
+      sense_ = !sense_;
+    }
+    cv_.notify_all();
+  }
+
  private:
-  const int count_;
+  int count_;
   int waiting_;
   bool sense_;
   std::mutex mutex_;

@@ -1,5 +1,6 @@
 #include "machine/faults.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -74,6 +75,137 @@ FaultProfile fault_profile_by_name(const std::string& name) {
 
 std::vector<std::string> fault_profile_names() {
   return {"none", "delays", "drops", "stragglers", "light", "heavy"};
+}
+
+namespace {
+
+double parse_spec_number(const std::string& key, const std::string& text) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || used != text.size()) {
+    throw Error("fault profile spec: value for '" + key +
+                "' is not a number: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultProfile fault_profile_from_spec(const std::string& spec) {
+  if (spec.find('=') == std::string::npos) return fault_profile_by_name(spec);
+  FaultProfile p;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      throw Error("fault profile spec: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const double value = parse_spec_number(key, item.substr(eq + 1));
+    const bool is_prob = key == "delay_prob" || key == "fail_prob" ||
+                         key == "straggler_prob";
+    if (is_prob && (value < 0.0 || value > 1.0)) {
+      throw Error("fault profile spec: " + key + " must lie in [0, 1], got " +
+                  item.substr(eq + 1));
+    }
+    if (!is_prob && value < 0.0) {
+      throw Error("fault profile spec: " + key + " must be non-negative, got " +
+                  item.substr(eq + 1));
+    }
+    if (key == "delay_prob") {
+      p.delay_prob = value;
+    } else if (key == "max_delay") {
+      p.max_delay = value;
+    } else if (key == "max_reorder_skip") {
+      p.max_reorder_skip = static_cast<int>(value);
+    } else if (key == "fail_prob") {
+      p.fail_prob = value;
+    } else if (key == "max_retries") {
+      p.max_retries = static_cast<int>(value);
+    } else if (key == "straggler_prob") {
+      p.straggler_prob = value;
+    } else if (key == "max_slowdown") {
+      p.max_slowdown = value;
+    } else {
+      throw Error("fault profile spec: unknown key '" + key + "'");
+    }
+  }
+  return p;
+}
+
+CrashPlan::CrashPlan(std::vector<CrashEvent> events, int nprocs)
+    : events_(std::move(events)), nprocs_(nprocs) {
+  CAMB_CHECK_MSG(nprocs >= 1, "crash plan needs at least one processor");
+  position_.assign(static_cast<std::size_t>(nprocs), -1);
+  slots_.resize(static_cast<std::size_t>(nprocs));
+  for (const CrashEvent& ev : events_) {
+    if (ev.rank < 0 || ev.rank >= nprocs) {
+      throw Error("crash plan: rank " + std::to_string(ev.rank) +
+                  " out of range for P = " + std::to_string(nprocs));
+    }
+    if (ev.at_send < 0) {
+      throw Error("crash plan: crash position must be non-negative, got " +
+                  std::to_string(ev.at_send));
+    }
+    if (position_[static_cast<std::size_t>(ev.rank)] >= 0) {
+      throw Error("crash plan: rank " + std::to_string(ev.rank) +
+                  " listed more than once");
+    }
+    position_[static_cast<std::size_t>(ev.rank)] = ev.at_send;
+  }
+}
+
+CrashPlan CrashPlan::derived(const std::vector<int>& ranks, std::uint64_t seed,
+                             int nprocs, i64 max_send_position) {
+  CAMB_CHECK_MSG(max_send_position >= 0,
+                 "crash plan: max send position must be non-negative");
+  std::vector<CrashEvent> events;
+  events.reserve(ranks.size());
+  // Domain layout mirrors FaultPlan: one draw per rank, keyed by the rank
+  // itself so the crash position is a pure function of (seed, rank).
+  for (int r : ranks) {
+    std::uint64_t s = stream_state(seed, 0, static_cast<std::uint64_t>(r));
+    const double draw = to_unit(splitmix64(s));
+    const i64 at = static_cast<i64>(
+        draw * static_cast<double>(max_send_position + 1));
+    events.push_back({r, std::min(at, max_send_position)});
+  }
+  return CrashPlan(std::move(events), nprocs);
+}
+
+bool CrashPlan::should_crash(int src) {
+  CAMB_CHECK(src >= 0 && src < nprocs_);
+  RankSlot& slot = slots_[static_cast<std::size_t>(src)];
+  const i64 planned = position_[static_cast<std::size_t>(src)];
+  const i64 index = slot.send_index++;
+  if (planned < 0 || slot.fired) return false;
+  if (index == planned) {
+    slot.fired = true;
+    return true;
+  }
+  return false;
+}
+
+i64 CrashPlan::planned_position(int rank) const {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  return position_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<int> CrashPlan::triggered() const {
+  std::vector<int> out;
+  for (int r = 0; r < nprocs_; ++r) {
+    if (slots_[static_cast<std::size_t>(r)].fired) out.push_back(r);
+  }
+  return out;
 }
 
 FaultPlan::FaultPlan(const FaultProfile& profile, std::uint64_t seed,

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/math.hpp"
 
 namespace camb {
@@ -62,6 +63,14 @@ struct FaultProfile {
 FaultProfile fault_profile_by_name(const std::string& name);
 /// All names accepted by fault_profile_by_name, stable order.
 std::vector<std::string> fault_profile_names();
+
+/// CLI-facing profile parser: accepts either a named profile or a custom
+/// "key=value,key=value" spec (keys: delay_prob, max_delay, max_reorder_skip,
+/// fail_prob, max_retries, straggler_prob, max_slowdown).  Every value is
+/// range-checked — probabilities in [0, 1], magnitudes non-negative — and a
+/// malformed spec throws camb::Error with a one-line message, so bad knobs
+/// never flow silently into a FaultPlan.
+FaultProfile fault_profile_from_spec(const std::string& spec);
 
 /// What the plan injects into one counted send.
 struct SendFaults {
@@ -122,6 +131,107 @@ class FaultPlan {
   int nprocs_;
   std::vector<RankSlot> slots_;
   std::vector<double> straggler_;
+};
+
+// ---------------------------------------------------------------------------
+// Crash faults (permanent, fail-stop).
+// ---------------------------------------------------------------------------
+
+/// Tag-space split for failure handling: tags at or above this base belong to
+/// the recovery protocol (shrink agreement, ABFT reconstruction).  A rank that
+/// *abandons* the algorithm mid-flight (RankCtx::abandon) stops consuming
+/// algorithm-phase tags but keeps participating below-the-line in recovery, so
+/// receives from it fail over only for tags below this base.  Crashed ranks
+/// fail over for every tag.
+inline constexpr int kRecoveryTagBase = 1 << 24;
+
+/// Thrown inside a rank's thread when its planned crash triggers.  Not a
+/// camb::Error: a crash is an injected event, not a contract violation —
+/// Machine::run absorbs it (the thread exits cleanly) instead of rethrowing.
+class RankCrashed {
+ public:
+  RankCrashed(int rank, double clock) : rank_(rank), clock_(clock) {}
+  int rank() const { return rank_; }
+  /// The rank's logical clock at the moment of death.
+  double clock() const { return clock_; }
+
+ private:
+  int rank_;
+  double clock_;
+};
+
+/// Thrown by a blocking receive when the awaited peer can no longer deliver:
+/// it crashed, or it abandoned the algorithm phase the tag belongs to.  This
+/// is the *structured* failure-detection error: it names the failed rank, so
+/// survivors (or the harness) can act on it instead of deadlocking.
+class PeerFailedError : public Error {
+ public:
+  PeerFailedError(int failed_rank, int receiver, int tag, bool crashed)
+      : Error("rank " + std::to_string(receiver) + " detected failure of rank " +
+              std::to_string(failed_rank) + " while receiving tag " +
+              std::to_string(tag) +
+              (crashed ? " (peer crashed)" : " (peer abandoned the phase)")),
+        failed_rank_(failed_rank), receiver_(receiver), tag_(tag),
+        crashed_(crashed) {}
+
+  int failed_rank() const { return failed_rank_; }
+  int receiver() const { return receiver_; }
+  int tag() const { return tag_; }
+  bool peer_crashed() const { return crashed_; }
+
+ private:
+  int failed_rank_;
+  int receiver_;
+  int tag_;
+  bool crashed_;
+};
+
+/// One planned permanent failure: `rank` dies immediately before issuing its
+/// `at_send`-th counted send (0-indexed).  A rank whose program performs fewer
+/// counted sends than `at_send` never crashes.
+struct CrashEvent {
+  int rank = -1;
+  i64 at_send = 0;
+};
+
+/// The deterministic crash oracle: which ranks die, and when.  Like FaultPlan,
+/// should_crash(src) is called only from rank src's thread (per-rank slots),
+/// so the injected deaths are a pure function of the plan regardless of OS
+/// scheduling.
+class CrashPlan {
+ public:
+  /// Explicit positions.  Ranks must be distinct and in [0, nprocs);
+  /// positions must be non-negative.  Throws camb::Error otherwise.
+  CrashPlan(std::vector<CrashEvent> events, int nprocs);
+
+  /// Seed-derived positions: each listed rank dies at a send index drawn
+  /// deterministically from (seed, rank) in [0, max_send_position].
+  static CrashPlan derived(const std::vector<int>& ranks, std::uint64_t seed,
+                           int nprocs, i64 max_send_position);
+
+  int nprocs() const { return nprocs_; }
+  const std::vector<CrashEvent>& events() const { return events_; }
+
+  /// Rule on rank src's next counted send (advances src's send counter);
+  /// true means src dies *instead of* performing this send.
+  bool should_crash(int src);
+
+  /// Whether / when the plan schedules a death for `rank` (-1 if never).
+  i64 planned_position(int rank) const;
+
+  /// Ranks whose planned crash actually fired during the run, ascending.
+  std::vector<int> triggered() const;
+
+ private:
+  struct alignas(64) RankSlot {
+    i64 send_index = 0;
+    bool fired = false;
+  };
+
+  std::vector<CrashEvent> events_;
+  int nprocs_ = 0;
+  std::vector<i64> position_;  ///< per rank, -1 = never dies
+  std::vector<RankSlot> slots_;
 };
 
 }  // namespace camb

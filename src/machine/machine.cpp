@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
+#include <sstream>
 #include <thread>
 
 #include "util/error.hpp"
@@ -25,10 +27,49 @@ void RankCtx::send(int dst, int tag, std::vector<double> payload) {
 
 std::vector<double> RankCtx::recv(int src, int tag) {
   double arrival = 0.0;
-  std::vector<double> payload =
-      machine_.network().recv(rank_, src, tag, &arrival);
-  if (src != rank_) clock_ = std::max(clock_, arrival);
-  return payload;
+  std::vector<double> payload;
+  const RecvStatus status = machine_.network().recv_or_failed(
+      rank_, src, tag, std::numeric_limits<double>::infinity(), &payload,
+      &arrival);
+  if (status == RecvStatus::kDelivered) {
+    if (src != rank_) clock_ = std::max(clock_, arrival);
+    return payload;
+  }
+  const bool crashed = (status == RecvStatus::kSrcDead);
+  machine_.note_detection(DetectionEvent{rank_, src, tag, clock_, crashed});
+  throw PeerFailedError(src, rank_, tag, crashed);
+}
+
+std::optional<std::vector<double>> RankCtx::recv_timed(int src, int tag,
+                                                       double deadline,
+                                                       RecvStatus* status) {
+  double arrival = 0.0;
+  std::vector<double> payload;
+  const RecvStatus st =
+      machine_.network().recv_or_failed(rank_, src, tag, deadline, &payload,
+                                        &arrival);
+  if (status != nullptr) *status = st;
+  switch (st) {
+    case RecvStatus::kDelivered:
+      if (src != rank_) clock_ = std::max(clock_, arrival);
+      return payload;
+    case RecvStatus::kTimedOut:
+      // The receiver waited out its deadline; the matching message is still
+      // "in flight" past it.
+      clock_ = std::max(clock_, deadline);
+      return std::nullopt;
+    case RecvStatus::kSrcDead:
+    case RecvStatus::kSrcDeviated:
+      machine_.note_detection(DetectionEvent{
+          rank_, src, tag, clock_, st == RecvStatus::kSrcDead});
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void RankCtx::abandon() {
+  machine_.network().mark_rank_deviated(rank_);
+  machine_.note_abandon(rank_);
 }
 
 std::vector<double> RankCtx::sendrecv(int peer, int tag,
@@ -82,32 +123,138 @@ FaultPlan& Machine::enable_faults(const FaultProfile& profile,
   return *fault_plan_;
 }
 
+CrashPlan& Machine::enable_crashes(const std::vector<int>& ranks,
+                                   std::uint64_t crash_seed,
+                                   i64 max_send_position) {
+  crash_plan_ = std::make_unique<CrashPlan>(
+      CrashPlan::derived(ranks, crash_seed, nprocs(), max_send_position));
+  network_.set_crash_plan(crash_plan_.get());
+  return *crash_plan_;
+}
+
+CrashPlan& Machine::enable_crashes(std::vector<CrashEvent> events) {
+  crash_plan_ = std::make_unique<CrashPlan>(std::move(events), nprocs());
+  network_.set_crash_plan(crash_plan_.get());
+  return *crash_plan_;
+}
+
+void Machine::note_detection(DetectionEvent event) {
+  std::lock_guard<std::mutex> lock(outcome_mutex_);
+  outcome_.detections.push_back(event);
+}
+
+void Machine::note_abandon(int rank) {
+  std::lock_guard<std::mutex> lock(outcome_mutex_);
+  outcome_.abandoned.push_back(rank);
+}
+
+void Machine::handle_rank_failure(int r) {
+  network_.mark_rank_dead(r);
+  barrier_.drop_participant();
+}
+
 void Machine::run(const std::function<void(RankCtx&)>& program) {
   const int p = nprocs();
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  std::vector<char> crashed(static_cast<std::size_t>(p), 0);
+  std::vector<double> crash_clock(static_cast<std::size_t>(p), 0.0);
   final_clocks_.assign(static_cast<std::size_t>(p), 0.0);
   barrier_clocks_.assign(static_cast<std::size_t>(p), 0.0);
   peak_memory_.assign(static_cast<std::size_t>(p), 0);
+  outcome_ = CrashOutcome{};
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
+      RankCtx ctx(*this, r);
       try {
-        RankCtx ctx(*this, r);
         program(ctx);
         final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
         peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
+      } catch (const RankCrashed& rc) {
+        // The planned crash: the rank dies cleanly, drains nothing, and its
+        // thread exits.  Survivors learn of it through the dead-marking.
+        crashed[static_cast<std::size_t>(r)] = 1;
+        crash_clock[static_cast<std::size_t>(r)] = rc.clock();
+        final_clocks_[static_cast<std::size_t>(r)] = rc.clock();
+        peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
+        handle_rank_failure(r);
       } catch (...) {
+        // Any other failure gets the same liveness treatment so peers
+        // blocked on this rank fail over instead of deadlocking the join.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
+        handle_rank_failure(r);
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
+
+  for (int r = 0; r < p; ++r) {
+    if (crashed[static_cast<std::size_t>(r)]) {
+      outcome_.crashed.push_back(r);
+      outcome_.crash_clocks.push_back(crash_clock[static_cast<std::size_t>(r)]);
+    }
   }
-  CAMB_CHECK_MSG(network_.pending_messages() == 0,
-                 "program finished with undelivered messages");
+  std::sort(outcome_.abandoned.begin(), outcome_.abandoned.end());
+  std::sort(outcome_.detections.begin(), outcome_.detections.end(),
+            [](const DetectionEvent& a, const DetectionEvent& b) {
+              if (a.detector != b.detector) return a.detector < b.detector;
+              if (a.failed != b.failed) return a.failed < b.failed;
+              return a.tag < b.tag;
+            });
+
+  // Rethrow priority: a substantive error beats the detection errors it
+  // caused; among detections, one naming an actually-crashed rank beats the
+  // cascade variants.  Within a class, lowest rank wins (deterministic).
+  std::exception_ptr first_other;
+  std::exception_ptr first_peer_crashed;
+  std::exception_ptr first_peer;
+  for (int r = 0; r < p; ++r) {
+    const auto& err = errors[static_cast<std::size_t>(r)];
+    if (!err) continue;
+    outcome_.errored.push_back(r);
+    try {
+      std::rethrow_exception(err);
+    } catch (const PeerFailedError& e) {
+      if (!first_peer) first_peer = err;
+      if (!first_peer_crashed && e.failed_rank() >= 0 && e.failed_rank() < p &&
+          crashed[static_cast<std::size_t>(e.failed_rank())]) {
+        first_peer_crashed = err;
+      }
+    } catch (...) {
+      if (!first_other) first_other = err;
+    }
+  }
+
+  const bool any_failures =
+      !outcome_.crashed.empty() || !outcome_.errored.empty();
+  if (any_failures) {
+    // Undelivered mail after a failure is crash debris, not a program leak:
+    // record it for forensics and clear the mailboxes.
+    outcome_.debris = network_.undelivered();
+  }
+  if (first_other) std::rethrow_exception(first_other);
+  if (first_peer_crashed) std::rethrow_exception(first_peer_crashed);
+  if (first_peer) std::rethrow_exception(first_peer);
+  if (!any_failures) {
+    const std::vector<UndeliveredMessage> leaked = network_.undelivered();
+    if (!leaked.empty()) {
+      std::ostringstream msg;
+      msg << "program finished with " << leaked.size()
+          << " undelivered message" << (leaked.size() == 1 ? "" : "s") << ":";
+      constexpr std::size_t kMaxListed = 20;
+      for (std::size_t i = 0; i < leaked.size() && i < kMaxListed; ++i) {
+        const UndeliveredMessage& m = leaked[i];
+        msg << "\n  src " << m.src << " -> dst " << m.dst << " tag " << m.tag
+            << " words " << m.words << " phase \"" << m.phase << "\"";
+      }
+      if (leaked.size() > kMaxListed) {
+        msg << "\n  ... and " << (leaked.size() - kMaxListed) << " more";
+      }
+      throw Error(msg.str());
+    }
+  }
 }
 
 double Machine::critical_path_time() const {

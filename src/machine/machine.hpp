@@ -8,6 +8,8 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "machine/barrier.hpp"
@@ -17,6 +19,31 @@
 namespace camb {
 
 class Machine;
+
+/// One failure-detection event: `detector` concluded `failed` cannot deliver
+/// tag `tag` (because it crashed, or abandoned the algorithm phase), at the
+/// detector's logical clock.  The matching zero-word suspicion probe is
+/// accounted in the "heartbeat" phase by the network.
+struct DetectionEvent {
+  int detector = -1;
+  int failed = -1;
+  int tag = 0;
+  double clock = 0.0;
+  bool peer_crashed = false;
+};
+
+/// What the crash-fault machinery observed during one run.  Populated by
+/// Machine::run; empty when no rank failed.
+struct CrashOutcome {
+  std::vector<int> crashed;          ///< ranks whose planned crash fired
+  std::vector<double> crash_clocks;  ///< their clocks at death (parallel)
+  std::vector<int> errored;          ///< ranks that threw (not crashes)
+  std::vector<int> abandoned;        ///< ranks that called abandon()
+  std::vector<DetectionEvent> detections;  ///< sorted for determinism
+  std::vector<UndeliveredMessage> debris;  ///< undelivered mail after failures
+
+  bool any_crashed() const { return !crashed.empty(); }
+};
 
 /// Per-rank handle passed to the SPMD program. All communication and
 /// synchronization a rank performs goes through its RankCtx.
@@ -36,8 +63,31 @@ class RankCtx {
   int nprocs() const;
 
   /// Point-to-point primitives (buffered send, blocking receive).
+  /// `recv` throws PeerFailedError (naming the failed rank) when `src` has
+  /// been marked crashed — or marked abandoned, for tags below
+  /// kRecoveryTagBase — and nothing matching remains buffered.
   void send(int dst, int tag, std::vector<double> payload);
   std::vector<double> recv(int src, int tag);
+
+  /// Receive with a logical-clock deadline: returns the payload if a
+  /// matching message with arrival stamp <= `deadline` is (or becomes)
+  /// available; returns nullopt if the source failed (kSrcDead /
+  /// kSrcDeviated, reported via `status` when non-null) or a matching
+  /// message exists whose stamp exceeds the deadline (kTimedOut; the
+  /// message stays queued and the caller's clock advances to the deadline).
+  /// Pass an infinite deadline to wait out everything except failure —
+  /// the shape the shrink collective is built on.
+  std::optional<std::vector<double>> recv_timed(int src, int tag,
+                                                double deadline,
+                                                RecvStatus* status = nullptr);
+
+  /// Declare that this rank abandons the algorithm phase (typically after
+  /// catching PeerFailedError mid-collective): peers blocked on its
+  /// algorithm-tag messages (< kRecoveryTagBase) fail over with
+  /// PeerFailedError instead of hanging, while recovery-tag traffic from
+  /// this rank still flows.  The cascade this triggers is what funnels
+  /// every survivor into the recovery protocol.
+  void abandon();
 
   /// Simultaneous exchange with a peer: send `payload`, receive the peer's.
   /// Models one use of a bidirectional link; deadlock-free because sends are
@@ -45,6 +95,7 @@ class RankCtx {
   std::vector<double> sendrecv(int peer, int tag, std::vector<double> payload);
 
   /// Whole-machine barrier (synchronizes all logical clocks to the max).
+  /// Crashed and errored ranks are dropped from the barrier automatically.
   void barrier();
 
   /// Label subsequent traffic of this rank for per-phase accounting.
@@ -114,9 +165,18 @@ class Machine {
   CommStats& stats() { return network_.stats(); }
 
   /// Run `program` as an SPMD computation: one thread per rank, all started
-  /// together, joined before returning.  Any exception thrown by a rank is
-  /// captured and rethrown here (the first one, by rank order).  After a
-  /// successful run, verifies no undelivered messages remain.
+  /// together, joined before returning.
+  ///
+  /// Failure semantics: a rank whose planned crash fires (RankCrashed) exits
+  /// cleanly — it is marked dead in every mailbox and dropped from the
+  /// barrier, so blocked peers detect the failure (PeerFailedError) instead
+  /// of hanging.  A rank that throws any other exception is treated the same
+  /// way for liveness, and its exception is rethrown here after the join —
+  /// non-detection errors first (by rank order), then a PeerFailedError
+  /// naming an actually-crashed rank, then any remaining error.  A run where
+  /// ranks crashed but every survivor completed returns normally; consult
+  /// crash_outcome().  After a fully clean run, verifies no undelivered
+  /// messages remain, listing the leaked envelopes in the failure message.
   void run(const std::function<void(RankCtx&)>& program);
 
   Barrier& barrier() { return barrier_; }
@@ -136,13 +196,34 @@ class Machine {
   /// The active fault plan, or nullptr when fault injection is off.
   FaultPlan* fault_plan() { return fault_plan_.get(); }
 
+  /// Turn on deterministic crash injection: each listed rank dies at a send
+  /// position drawn from (crash_seed, rank) in [0, max_send_position].
+  /// Must be called before run(); replaces any previously attached plan.
+  CrashPlan& enable_crashes(const std::vector<int>& ranks,
+                            std::uint64_t crash_seed, i64 max_send_position);
+  /// Crash injection at explicit send positions.
+  CrashPlan& enable_crashes(std::vector<CrashEvent> events);
+  /// The active crash plan, or nullptr when crash injection is off.
+  CrashPlan* crash_plan() { return crash_plan_.get(); }
+
+  /// After run(): what the crash machinery observed (empty on a clean run).
+  const CrashOutcome& crash_outcome() const { return outcome_; }
+
+  /// Record a failure-detection event (called by RankCtx from the detecting
+  /// rank's thread; the zero-word heartbeat probe is accounted separately by
+  /// the network).
+  void note_detection(DetectionEvent event);
+  /// Record that `rank` abandoned the algorithm phase.
+  void note_abandon(int rank);
+
   /// α-β parameters driving the logical clocks (default α = β = 1, i.e. the
   /// clock counts messages + words directly).
   void set_time_params(const AlphaBeta& params) { time_params_ = params; }
   const AlphaBeta& time_params() const { return time_params_; }
 
   /// After run(): each rank's final logical clock, and the max over ranks —
-  /// the simulated critical-path execution time.
+  /// the simulated critical-path execution time.  A crashed rank's entry is
+  /// its clock at death.
   const std::vector<double>& final_clocks() const { return final_clocks_; }
   double critical_path_time() const;
 
@@ -155,15 +236,22 @@ class Machine {
   double sync_clock_at_barrier(int rank, double clock);
 
  private:
+  /// Liveness bookkeeping when rank `r` stops participating: mark it dead in
+  /// every mailbox and shrink the barrier so survivors cannot hang on it.
+  void handle_rank_failure(int r);
+
   Network network_;
   Barrier barrier_;
   std::uint64_t seed_;
   std::unique_ptr<Trace> trace_;
   std::unique_ptr<FaultPlan> fault_plan_;
+  std::unique_ptr<CrashPlan> crash_plan_;
   AlphaBeta time_params_{1.0, 1.0};
   std::vector<double> final_clocks_;
   std::vector<double> barrier_clocks_;
   std::vector<i64> peak_memory_;
+  CrashOutcome outcome_;
+  std::mutex outcome_mutex_;
 };
 
 }  // namespace camb

@@ -35,6 +35,31 @@ Message Mailbox::pop_matching(int src, int tag) {
   }
 }
 
+RecvStatus Mailbox::pop_matching_or_failed(int src, int tag, double max_stamp,
+                                           Message* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        if (it->depart_time > max_stamp) return RecvStatus::kTimedOut;
+        *out = std::move(*it);
+        queue_.erase(it);
+        return RecvStatus::kDelivered;
+      }
+    }
+    // Nothing buffered: only now may the failure marking decide the outcome.
+    // A message buffered before the source died is a program-order fact of
+    // the sender and is always delivered first (loop above).
+    if (std::find(dead_.begin(), dead_.end(), src) != dead_.end()) {
+      return RecvStatus::kSrcDead;
+    }
+    for (const auto& [r, base] : deviated_) {
+      if (r == src && tag < base) return RecvStatus::kSrcDeviated;
+    }
+    cv_.wait(lock);
+  }
+}
+
 Message Mailbox::pop_any() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return !queue_.empty(); });
@@ -43,9 +68,35 @@ Message Mailbox::pop_any() {
   return out;
 }
 
+void Mailbox::mark_dead(int src) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::find(dead_.begin(), dead_.end(), src) == dead_.end()) {
+      dead_.push_back(src);
+    }
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::mark_deviated(int src, int tag_base) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deviated_.emplace_back(src, tag_base);
+  }
+  cv_.notify_all();
+}
+
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::vector<Message> Mailbox::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out(std::make_move_iterator(queue_.begin()),
+                           std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return out;
 }
 
 }  // namespace camb

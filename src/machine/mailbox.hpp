@@ -4,24 +4,48 @@
 // receives is deadlock-free; receives block until a matching message arrives.
 // This mirrors the eager-protocol semantics message-passing programs rely on
 // for small and medium messages, and keeps collective implementations simple.
+//
+// Failure awareness (crash-fault support): a source rank may be marked *dead*
+// (it crashed — no further message from it will ever arrive) or *deviated*
+// (it abandoned the algorithm but still participates in the recovery
+// protocol, i.e. in tags >= kRecoveryTagBase).  Receives targeting such a
+// source deliver any message the source buffered *before* failing — those are
+// real, the eager protocol already holds them — and only fail over once the
+// queue holds nothing matching.  Because message presence is a fact of the
+// sender's program order (it either reached that send before dying or it did
+// not, deterministically under CrashPlan), the deliver-then-fail outcome is
+// identical across OS schedules.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "util/math.hpp"
 
 namespace camb {
 
-/// A message in flight: the payload plus its envelope and the logical time
-/// at which it left the sender (see machine.hpp's clock model).
+/// A message in flight: the payload plus its envelope, the logical time at
+/// which it left the sender (see machine.hpp's clock model), and the sender's
+/// phase label at send time (for leak-report forensics).
 struct Message {
   int src = -1;
   int tag = 0;
   double depart_time = 0.0;
   std::vector<double> payload;
+  std::string phase;
+};
+
+/// How a blocking receive concluded under failure marking.
+enum class RecvStatus {
+  kDelivered,     ///< a matching message was returned
+  kSrcDead,       ///< source crashed and nothing matching is buffered
+  kSrcDeviated,   ///< source abandoned this tag range, nothing buffered
+  kTimedOut,      ///< a match exists but its arrival stamp exceeds the
+                  ///< deadline; the message stays queued
 };
 
 class Mailbox {
@@ -42,16 +66,37 @@ class Mailbox {
   /// it.  Matching is exact on both fields; use wildcards via recv_any.
   Message pop_matching(int src, int tag);
 
+  /// Failure-aware, deadline-aware variant: blocks until a matching message
+  /// arrives OR the source can no longer produce one (dead for any tag;
+  /// deviated for tags below the recovery base).  Buffered matches always
+  /// win over failure marking.  A match whose arrival stamp exceeds
+  /// `max_stamp` yields kTimedOut and is left queued (the logical-clock
+  /// receive timeout: the message is still "in flight" at the deadline).
+  RecvStatus pop_matching_or_failed(int src, int tag, double max_stamp,
+                                    Message* out);
+
   /// Block until any message is available and return the oldest one.
   Message pop_any();
 
+  /// Mark `src` as crashed: receives from it fail over once drained.
+  void mark_dead(int src);
+
+  /// Mark `src` as having abandoned the algorithm: receives of tags below
+  /// `tag_base` fail over once drained; recovery tags still block normally.
+  void mark_deviated(int src, int tag_base);
+
   /// Number of queued messages (for tests / leak detection).
   std::size_t pending() const;
+
+  /// Remove and return every queued message (leak forensics / crash debris).
+  std::vector<Message> drain();
 
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::vector<int> dead_;
+  std::vector<std::pair<int, int>> deviated_;  ///< (src, tag_base)
 };
 
 }  // namespace camb

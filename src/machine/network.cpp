@@ -23,7 +23,8 @@ void Network::send(int src, int dst, int tag, std::vector<double> payload,
                      stats_.phase(src));
     }
   }
-  mailboxes_[dst]->push(Message{src, tag, depart_time, std::move(payload)});
+  mailboxes_[dst]->push(Message{src, tag, depart_time, std::move(payload),
+                                stats_.phase(src)});
 }
 
 double Network::send_timed(int src, int dst, int tag,
@@ -32,9 +33,18 @@ double Network::send_timed(int src, int dst, int tag,
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
   if (src == dst) {
     // Self-sends are free and fault-exempt: the data never leaves local
-    // memory, so there is nothing for the network to perturb.
-    mailboxes_[dst]->push(Message{src, tag, clock, std::move(payload)});
+    // memory, so there is nothing for the network to perturb — and nothing
+    // for a crash to interrupt.
+    mailboxes_[dst]->push(Message{src, tag, clock, std::move(payload),
+                                  stats_.phase(src)});
     return clock;
+  }
+  // The crash plan rules first: a rank that dies at this send performs no
+  // part of it (no fault decision is consumed, nothing is counted, nothing
+  // is delivered).  The per-sender send index advances either way, so the
+  // death position is a pure program-order fact of the sender.
+  if (crash_plan_ != nullptr && crash_plan_->should_crash(src)) {
+    throw RankCrashed(src, clock);
   }
   SendFaults faults;
   double slowdown = 1.0;
@@ -56,7 +66,8 @@ double Network::send_timed(int src, int dst, int tag,
     }
   }
   mailboxes_[dst]->push(
-      Message{src, tag, clock + faults.delay, std::move(payload)},
+      Message{src, tag, clock + faults.delay, std::move(payload),
+              stats_.phase(src)},
       faults.reorder_skip);
   return clock;
 }
@@ -72,10 +83,58 @@ std::vector<double> Network::recv(int dst, int src, int tag,
   return std::move(msg.payload);
 }
 
+RecvStatus Network::recv_or_failed(int dst, int src, int tag, double deadline,
+                                   std::vector<double>* payload,
+                                   double* arrival_time) {
+  CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
+  Message msg;
+  const RecvStatus status =
+      mailboxes_[dst]->pop_matching_or_failed(src, tag, deadline, &msg);
+  if (status == RecvStatus::kDelivered) {
+    if (src != dst) {
+      stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));
+    }
+    if (arrival_time != nullptr) *arrival_time = msg.depart_time;
+    *payload = std::move(msg.payload);
+    return status;
+  }
+  // Failure / timeout: account the suspicion probe that "detected" it — one
+  // zero-word message in the dedicated heartbeat phase.  Words stay zero and
+  // the rank's active algorithm phase is untouched, so detection can never
+  // perturb the paper's word counts.
+  const std::string active = stats_.phase(dst);
+  stats_.set_phase(dst, "heartbeat");
+  stats_.record_send(dst, 0);
+  stats_.set_phase(dst, active);
+  return status;
+}
+
+void Network::mark_rank_dead(int rank) {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  for (auto& mailbox : mailboxes_) mailbox->mark_dead(rank);
+}
+
+void Network::mark_rank_deviated(int rank) {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  for (auto& mailbox : mailboxes_) mailbox->mark_deviated(rank, kRecoveryTagBase);
+}
+
 std::size_t Network::pending_messages() const {
   std::size_t total = 0;
   for (const auto& mailbox : mailboxes_) total += mailbox->pending();
   return total;
+}
+
+std::vector<UndeliveredMessage> Network::undelivered() {
+  std::vector<UndeliveredMessage> out;
+  for (int dst = 0; dst < nprocs_; ++dst) {
+    for (Message& msg : mailboxes_[static_cast<std::size_t>(dst)]->drain()) {
+      out.push_back(UndeliveredMessage{msg.src, dst, msg.tag,
+                                       static_cast<i64>(msg.payload.size()),
+                                       std::move(msg.phase)});
+    }
+  }
+  return out;
 }
 
 }  // namespace camb

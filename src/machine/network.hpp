@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "machine/comm_stats.hpp"
@@ -14,6 +15,17 @@
 #include "machine/trace.hpp"
 
 namespace camb {
+
+/// One message left in a mailbox after a run — the leak / crash-debris
+/// report entry (satellite of the crash subsystem: name the envelope, not
+/// just the count).
+struct UndeliveredMessage {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  i64 words = 0;
+  std::string phase;
+};
 
 class Network {
  public:
@@ -32,6 +44,12 @@ class Network {
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
   FaultPlan* fault_plan() { return fault_plan_; }
 
+  /// Attach (or detach with nullptr) a crash plan; every subsequent counted
+  /// send through send_timed consults it *before* the fault plan — a rank
+  /// whose planned crash triggers throws RankCrashed instead of sending.
+  void set_crash_plan(CrashPlan* plan) { crash_plan_ = plan; }
+  CrashPlan* crash_plan() { return crash_plan_; }
+
   /// Send `payload` from rank `src` to rank `dst` with tag `tag`.
   /// Buffered: returns as soon as the message is deposited. Self-sends are
   /// permitted and delivered but are NOT counted as communication (data that
@@ -42,29 +60,58 @@ class Network {
 
   /// The clocked (and fault-injecting) send used by RankCtx: charges the
   /// sender's logical clock for the send under `params`, consults the
-  /// attached fault plan (transient failures retried with exponential
-  /// backoff — words and the message counted once, latency charged per
-  /// attempt; delivery delays inflate the arrival stamp only; stragglers
-  /// scale the sender's charge), and returns the sender's new clock.
-  /// With no fault plan attached this is exactly the historical behaviour:
-  /// clock + alpha + beta * words for counted sends, clock for self-sends.
+  /// attached crash plan (throwing RankCrashed when the sender's planned
+  /// death triggers) and fault plan (transient failures retried with
+  /// exponential backoff — words and the message counted once, latency
+  /// charged per attempt; delivery delays inflate the arrival stamp only;
+  /// stragglers scale the sender's charge), and returns the sender's new
+  /// clock.  With no plans attached this is exactly the historical
+  /// behaviour: clock + alpha + beta * words for counted sends, clock for
+  /// self-sends.
   double send_timed(int src, int dst, int tag, std::vector<double> payload,
                     double clock, const AlphaBeta& params);
 
   /// Blocking receive at rank `dst` of the message (src, tag).
   /// `arrival_time`, when non-null, receives the message's departure stamp.
+  /// Oblivious to failure marking — callers that must survive crashed peers
+  /// use recv_or_failed.
   std::vector<double> recv(int dst, int src, int tag,
                            double* arrival_time = nullptr);
+
+  /// Failure-aware receive: blocks until a matching message with arrival
+  /// stamp <= `deadline` is delivered, a matching message past the deadline
+  /// is observed (kTimedOut — the message stays queued), or the source is
+  /// marked failed with nothing matching buffered (kSrcDead / kSrcDeviated;
+  /// the latter only for tags below kRecoveryTagBase).  On a failure
+  /// outcome a zero-word suspicion probe is accounted to `dst` in the
+  /// dedicated "heartbeat" phase — detection costs latency/messages, never
+  /// words, and never pollutes algorithm phases.
+  RecvStatus recv_or_failed(int dst, int src, int tag, double deadline,
+                            std::vector<double>* payload,
+                            double* arrival_time = nullptr);
+
+  /// Mark `rank` as crashed in every mailbox: pending receives targeting it
+  /// fail over (after draining anything it buffered before dying).
+  void mark_rank_dead(int rank);
+
+  /// Mark `rank` as having abandoned the algorithm phase: receives of tags
+  /// below kRecoveryTagBase fail over; recovery-protocol tags still work.
+  void mark_rank_deviated(int rank);
 
   /// Count of undelivered messages across all mailboxes; a correct algorithm
   /// leaves zero behind.
   std::size_t pending_messages() const;
+
+  /// Drain every mailbox and return the envelopes left behind (leak
+  /// forensics after a clean run, crash debris after a faulted one).
+  std::vector<UndeliveredMessage> undelivered();
 
  private:
   int nprocs_;
   CommStats stats_;
   Trace* trace_ = nullptr;
   FaultPlan* fault_plan_ = nullptr;
+  CrashPlan* crash_plan_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 

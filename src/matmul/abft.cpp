@@ -1,0 +1,483 @@
+#include "matmul/abft.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "collectives/allreduce.hpp"
+#include "collectives/bcast.hpp"
+#include "collectives/coll_cost.hpp"
+#include "collectives/group.hpp"
+#include "collectives/reduce.hpp"
+#include "collectives/shrink.hpp"
+#include "machine/faults.hpp"
+#include "matmul/local_gemm.hpp"
+#include "util/error.hpp"
+
+namespace camb::mm {
+
+namespace {
+
+int rank_of(i64 i, i64 j, i64 g) { return static_cast<int>(i * g + j); }
+
+std::vector<int> row_group(i64 i, i64 g) {
+  std::vector<int> out;
+  for (i64 j = 0; j < g; ++j) out.push_back(rank_of(i, j, g));
+  return out;
+}
+
+std::vector<int> col_group(i64 j, i64 g) {
+  std::vector<int> out;
+  for (i64 i = 0; i < g; ++i) out.push_back(rank_of(i, j, g));
+  return out;
+}
+
+BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
+                      i64 ci) {
+  BlockChunk chunk;
+  chunk.row0 = rows.start(ri);
+  chunk.col0 = cols.start(ci);
+  chunk.rows = rows.size(ri);
+  chunk.cols = cols.size(ci);
+  chunk.flat_start = 0;
+  chunk.flat_size = chunk.rows * chunk.cols;
+  return chunk;
+}
+
+/// Regenerate a full block with the integer-valued indexed pattern.
+MatrixD regen_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
+                    i64 ci) {
+  const BlockChunk chunk = full_block(rows, ri, cols, ci);
+  const std::vector<double> flat = fill_chunk_indexed_int(chunk);
+  MatrixD out(chunk.rows, chunk.cols);
+  std::copy(flat.begin(), flat.end(), out.data());
+  return out;
+}
+
+MatrixD to_matrix(const std::vector<double>& flat, i64 rows, i64 cols) {
+  CAMB_CHECK(static_cast<i64>(flat.size()) == rows * cols);
+  MatrixD out(rows, cols);
+  std::copy(flat.begin(), flat.end(), out.data());
+  return out;
+}
+
+/// Pad an r×c row-major block to rmax rows (zeros below).
+std::vector<double> pad_rows(const std::vector<double>& flat, i64 r, i64 c,
+                             i64 rmax) {
+  CAMB_CHECK(static_cast<i64>(flat.size()) == r * c && rmax >= r);
+  std::vector<double> out = flat;
+  out.resize(static_cast<std::size_t>(rmax * c), 0.0);
+  return out;
+}
+
+/// Pad an r×c row-major block to cmax columns (zeros to the right).
+std::vector<double> pad_cols(const std::vector<double>& flat, i64 r, i64 c,
+                             i64 cmax) {
+  CAMB_CHECK(static_cast<i64>(flat.size()) == r * c && cmax >= c);
+  std::vector<double> out(static_cast<std::size_t>(r * cmax), 0.0);
+  for (i64 ri = 0; ri < r; ++ri) {
+    std::copy(flat.begin() + ri * c, flat.begin() + (ri + 1) * c,
+              out.begin() + ri * cmax);
+  }
+  return out;
+}
+
+std::vector<double> pad_matrix(const MatrixD& m, i64 rmax, i64 cmax) {
+  std::vector<double> out(static_cast<std::size_t>(rmax * cmax), 0.0);
+  for (i64 ri = 0; ri < m.rows(); ++ri) {
+    std::copy(m.data() + ri * m.cols(), m.data() + (ri + 1) * m.cols(),
+              out.begin() + ri * cmax);
+  }
+  return out;
+}
+
+std::vector<int> world_group(int nprocs) {
+  std::vector<int> world(static_cast<std::size_t>(nprocs));
+  std::iota(world.begin(), world.end(), 0);
+  return world;
+}
+
+}  // namespace
+
+SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
+  const i64 g = cfg.base.g;
+  CAMB_CHECK_MSG(g * g == ctx.nprocs(), "SUMMA machine size must be g*g");
+  CAMB_CHECK_MSG(g >= 2, "checksum-augmented SUMMA needs grid edge g >= 2");
+  CAMB_CHECK_MSG(6 * g * coll::kTagStride <= kRecoveryTagBase,
+                 "grid edge too large for the algorithm tag range");
+  CAMB_CHECK_MSG(cfg.max_failures >= 0, "max_failures must be non-negative");
+  const i64 i = ctx.rank() / g;
+  const i64 j = ctx.rank() % g;
+  const BlockDist1D d1(cfg.base.shape.n1, g), d2(cfg.base.shape.n2, g),
+      d3(cfg.base.shape.n3, g);
+  const i64 d1max = d1.size(0);  // near-equal split: piece 0 is largest
+  const i64 d3max = d3.size(0);
+
+  // Owned blocks (integer-valued pattern: see abft.hpp on exactness).
+  std::vector<double> a_own = fill_chunk_indexed_int(full_block(d1, i, d2, j));
+  std::vector<double> b_own = fill_chunk_indexed_int(full_block(d2, i, d3, j));
+
+  SummaAbftOutput out;
+  out.own.row0 = d1.start(i);
+  out.own.col0 = d3.start(j);
+  out.own.block = MatrixD(d1.size(i), d3.size(j));
+
+  // Checksum holders: S_j on row 0, R_i on column 0, T on the corner.
+  const bool hold_s = (i == 0);
+  const bool hold_r = (j == 0);
+  const bool is_corner = (i == g - 1 && j == g - 1);
+  const int corner = rank_of(g - 1, g - 1, g);
+  MatrixD s_sum, r_sum, t_sum;
+  if (hold_s) s_sum = MatrixD(d1max, d3.size(j));
+  if (hold_r) r_sum = MatrixD(d1.size(i), d3max);
+  if (is_corner) t_sum = MatrixD(d1max, d3max);
+
+  const std::vector<int> my_row = row_group(i, g);
+  const std::vector<int> my_col = col_group(j, g);
+
+  bool abandoned = false;
+  try {
+    for (i64 t = 0; t < g; ++t) {
+      // Base SUMMA stage: A block-column t along rows, B block-row t along
+      // columns, local accumulate (identical to summa_rank).
+      ctx.set_phase(kPhaseSummaBcastA);
+      std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
+      const i64 a_rows = d1.size(i), a_cols = d2.size(t);
+      coll::bcast(ctx, my_row, static_cast<int>(t), a_panel, a_rows * a_cols,
+                  static_cast<int>(2 * t) * coll::kTagStride, cfg.base.bcast,
+                  cfg.base.bcast_segments);
+
+      ctx.set_phase(kPhaseSummaBcastB);
+      std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
+      const i64 b_rows = d2.size(t), b_cols = d3.size(j);
+      coll::bcast(ctx, my_col, static_cast<int>(t), b_panel, b_rows * b_cols,
+                  static_cast<int>(2 * t + 1) * coll::kTagStride,
+                  cfg.base.bcast, cfg.base.bcast_segments);
+
+      ctx.set_phase(kPhaseSummaGemm);
+      const MatrixD a_mat = to_matrix(a_panel, a_rows, a_cols);
+      const MatrixD b_mat = to_matrix(b_panel, b_rows, b_cols);
+      gemm_accumulate(a_mat, b_mat, out.own.block);
+
+      // Encode: column groups reduce row-padded A panels to row 0, row
+      // groups reduce column-padded B panels to column 0, and the extreme
+      // roots forward the sums to the corner.
+      ctx.set_phase(kPhaseAbftEncode);
+      const int enc = static_cast<int>(2 * g + 4 * t) * coll::kTagStride;
+      std::vector<double> asum = coll::reduce(
+          ctx, my_col, 0, pad_rows(a_panel, a_rows, a_cols, d1max), enc);
+      std::vector<double> bsum =
+          coll::reduce(ctx, my_row, 0, pad_cols(b_panel, b_rows, b_cols, d3max),
+                       enc + coll::kTagStride);
+      if (i == 0 && j == g - 1) {
+        ctx.send(corner, enc + 2 * coll::kTagStride, asum);
+      }
+      if (i == g - 1 && j == 0) {
+        ctx.send(corner, enc + 3 * coll::kTagStride, bsum);
+      }
+      if (hold_s) {
+        // S_j += (sum_i pad(A_it)) * B_tj  ==  sum_i pad_rows(A_it B_tj).
+        gemm_accumulate(to_matrix(asum, d1max, a_cols), b_mat, s_sum);
+      }
+      if (hold_r) {
+        gemm_accumulate(a_mat, to_matrix(bsum, b_rows, d3max), r_sum);
+      }
+      if (is_corner) {
+        const std::vector<double> asum_c =
+            ctx.recv(rank_of(0, g - 1, g), enc + 2 * coll::kTagStride);
+        const std::vector<double> bsum_c =
+            ctx.recv(rank_of(g - 1, 0, g), enc + 3 * coll::kTagStride);
+        gemm_accumulate(to_matrix(asum_c, d1max, d2.size(t)),
+                        to_matrix(bsum_c, d2.size(t), d3max), t_sum);
+      }
+    }
+  } catch (const PeerFailedError&) {
+    // A peer died or deviated: abandon the communication schedule (the
+    // deviation cascades through every rank still expecting our messages)
+    // and finish this rank's responsibilities locally — every input block
+    // is a pure function of its global position, so nothing is lost.
+    ctx.abandon();
+    abandoned = true;
+  }
+
+  if (abandoned) {
+    out.own.block = MatrixD(d1.size(i), d3.size(j));
+    if (hold_s) s_sum = MatrixD(d1max, d3.size(j));
+    if (hold_r) r_sum = MatrixD(d1.size(i), d3max);
+    if (is_corner) t_sum = MatrixD(d1max, d3max);
+    for (i64 t = 0; t < g; ++t) {
+      const MatrixD a_t = regen_block(d1, i, d2, t);
+      const MatrixD b_t = regen_block(d2, t, d3, j);
+      gemm_accumulate(a_t, b_t, out.own.block);
+      if (hold_s || is_corner) {
+        MatrixD asum_t(d1max, d2.size(t));
+        for (i64 i2 = 0; i2 < g; ++i2) {
+          const MatrixD a_i2 = regen_block(d1, i2, d2, t);
+          for (i64 r = 0; r < a_i2.rows(); ++r) {
+            for (i64 c = 0; c < a_i2.cols(); ++c) asum_t(r, c) += a_i2(r, c);
+          }
+        }
+        if (hold_s) gemm_accumulate(asum_t, b_t, s_sum);
+        if (is_corner) {
+          MatrixD bsum_t(d2.size(t), d3max);
+          for (i64 j2 = 0; j2 < g; ++j2) {
+            const MatrixD b_j2 = regen_block(d2, t, d3, j2);
+            for (i64 r = 0; r < b_j2.rows(); ++r) {
+              for (i64 c = 0; c < b_j2.cols(); ++c) bsum_t(r, c) += b_j2(r, c);
+            }
+          }
+          gemm_accumulate(asum_t, bsum_t, t_sum);
+        }
+      }
+      if (hold_r) {
+        MatrixD bsum_t(d2.size(t), d3max);
+        for (i64 j2 = 0; j2 < g; ++j2) {
+          const MatrixD b_j2 = regen_block(d2, t, d3, j2);
+          for (i64 r = 0; r < b_j2.rows(); ++r) {
+            for (i64 c = 0; c < b_j2.cols(); ++c) bsum_t(r, c) += b_j2(r, c);
+          }
+        }
+        gemm_accumulate(a_t, bsum_t, r_sum);
+      }
+    }
+  }
+
+  // Agreement: every survivor learns the same failed set.
+  ctx.set_phase(kPhaseAbftShrink);
+  const coll::ShrinkResult agreed =
+      coll::shrink(ctx, world_group(ctx.nprocs()), cfg.max_failures,
+                   kRecoveryTagBase, abandoned);
+  out.abandoned = abandoned;
+  out.failed = agreed.failed;
+  if (agreed.failed.empty()) return out;
+  if (agreed.failed.size() > 1) {
+    std::ostringstream msg;
+    msg << "checksum SUMMA can reconstruct at most one failed rank; lost "
+        << agreed.failed.size() << " ranks";
+    throw Error(msg.str());
+  }
+
+  // Reconstruction: subtract the survivors' tiles from the checksum that
+  // covers the dead tile.  Which checksum depends on where the dead rank
+  // sat: S_dj unless the dead rank was its host (row 0), then R_0 unless
+  // the dead rank was (0, 0) itself, then the corner total T.
+  ctx.set_phase(kPhaseAbftRecover);
+  const int dead = agreed.failed.front();
+  const i64 di = dead / g, dj = dead % g;
+  enum class Pad { kRows, kCols, kBoth } pad_mode;
+  int host = -1;
+  std::vector<int> contributors;
+  const MatrixD* checksum = nullptr;
+  if (di != 0) {
+    pad_mode = Pad::kRows;
+    host = rank_of(0, dj, g);
+    for (i64 i2 = 0; i2 < g; ++i2) {
+      if (const int r = rank_of(i2, dj, g); r != dead) contributors.push_back(r);
+    }
+    checksum = &s_sum;
+  } else if (dj != 0) {
+    pad_mode = Pad::kCols;
+    host = rank_of(0, 0, g);
+    for (i64 j2 = 0; j2 < g; ++j2) {
+      if (const int r = rank_of(0, j2, g); r != dead) contributors.push_back(r);
+    }
+    checksum = &r_sum;
+  } else {
+    pad_mode = Pad::kBoth;
+    host = corner;
+    for (int r = 0; r < ctx.nprocs(); ++r) {
+      if (r != dead) contributors.push_back(r);
+    }
+    checksum = &t_sum;
+  }
+  if (std::find(contributors.begin(), contributors.end(), ctx.rank()) ==
+      contributors.end()) {
+    return out;  // this survivor holds no piece of the covering checksum
+  }
+  const i64 pad_r = (pad_mode == Pad::kCols) ? d1.size(0) : d1max;
+  const i64 pad_c = (pad_mode == Pad::kRows) ? d3.size(dj) : d3max;
+  const std::vector<double> survivor_sum =
+      coll::reduce(ctx, contributors, coll::group_index(contributors, host),
+                   pad_matrix(out.own.block, pad_r, pad_c),
+                   kRecoveryTagBase + coll::kTagStride);
+  if (ctx.rank() == host) {
+    RecoveredBlock2D rec;
+    rec.rank = dead;
+    rec.out.row0 = d1.start(di);
+    rec.out.col0 = d3.start(dj);
+    rec.out.block = MatrixD(d1.size(di), d3.size(dj));
+    for (i64 r = 0; r < rec.out.block.rows(); ++r) {
+      for (i64 c = 0; c < rec.out.block.cols(); ++c) {
+        rec.out.block(r, c) = (*checksum)(r, c) -
+                              survivor_sum[static_cast<std::size_t>(
+                                  r * pad_c + c)];
+      }
+    }
+    out.recovered.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
+  Grid3dConfig base = cfg.base;
+  base.integer_inputs = true;
+  CAMB_CHECK_MSG(base.grid.total() == ctx.nprocs(),
+                 "grid size must equal the machine size");
+  CAMB_CHECK_MSG(cfg.max_failures >= 0, "max_failures must be non-negative");
+  CAMB_CHECK_MSG(
+      (4 + static_cast<i64>(cfg.max_failures)) * coll::kTagStride <=
+          kRecoveryTagBase,
+      "max_failures too large for the tag range");
+  const GridMap map(base.grid);
+  const auto [q1, q2, q3] = map.coords_of(ctx.rank());
+  const Grid3dLayout layout = grid3d_layout(base, ctx.rank());
+  const std::vector<int> fiber_c = map.fiber(1, q1, q2, q3);
+  i64 lmax = 0;
+  for (i64 c : layout.c_counts) lmax = std::max(lmax, c);
+
+  Grid3dAbftOutput out;
+  std::vector<double> parity;
+  bool abandoned = false;
+  try {
+    out.own = grid3d_rank(ctx, base);
+    // Encode: every C fiber All-Reduces the parity of its members' padded
+    // chunks, so each member holds X = sum_q2 pad(chunk) (f = 1 redundancy).
+    ctx.set_phase(kPhaseAbftEncode);
+    std::vector<double> padded = out.own.c_data;
+    padded.resize(static_cast<std::size_t>(lmax), 0.0);
+    parity = coll::allreduce(ctx, fiber_c, std::move(padded),
+                             3 * coll::kTagStride);
+  } catch (const PeerFailedError&) {
+    ctx.abandon();
+    abandoned = true;
+  }
+
+  if (abandoned) {
+    // Degraded local completion: recompute this rank's full C block (sum
+    // over the q2 axis of regenerated inputs) and derive both the owned
+    // chunk and the fiber parity from it.  Exact because the inputs are
+    // integer-valued.
+    const BlockDist1D d1(base.shape.n1, base.grid.p1),
+        d2(base.shape.n2, base.grid.p2), d3(base.shape.n3, base.grid.p3);
+    MatrixD c_full(layout.c.rows, layout.c.cols);
+    for (i64 t = 0; t < base.grid.p2; ++t) {
+      const MatrixD a_t = regen_block(d1, q1, d2, t);
+      const MatrixD b_t = regen_block(d2, t, d3, q3);
+      gemm_accumulate(a_t, b_t, c_full);
+    }
+    out.own.c_chunk = layout.c;
+    out.own.c_data.assign(
+        c_full.data() + layout.c.flat_start,
+        c_full.data() + layout.c.flat_start + layout.c.flat_size);
+    parity.assign(static_cast<std::size_t>(lmax), 0.0);
+    const BlockDist1D flat(layout.c.block_size(), base.grid.p2);
+    for (i64 m = 0; m < base.grid.p2; ++m) {
+      for (i64 k = 0; k < flat.size(m); ++k) {
+        parity[static_cast<std::size_t>(k)] += c_full.data()[flat.start(m) + k];
+      }
+    }
+  }
+
+  ctx.set_phase(kPhaseAbftShrink);
+  const coll::ShrinkResult agreed =
+      coll::shrink(ctx, world_group(ctx.nprocs()), cfg.max_failures,
+                   kRecoveryTagBase, abandoned);
+  out.abandoned = abandoned;
+  out.failed = agreed.failed;
+  if (agreed.failed.empty()) return out;
+
+  // Reconstruction: for each dead rank, the survivors of its C fiber
+  // subtract their chunks from the parity.  Dead ranks on distinct fibers
+  // are independent (disjoint contributor groups, distinct tags).
+  ctx.set_phase(kPhaseAbftRecover);
+  if (base.grid.p2 < 2) {
+    throw Error(
+        "grid3d ABFT cannot recover any rank on a p2 = 1 grid: the parity "
+        "fiber has a single member, so a crash erases the parity too");
+  }
+  for (std::size_t idx = 0; idx < out.failed.size(); ++idx) {
+    const int dead = out.failed[idx];
+    const auto [f1, f2, f3] = map.coords_of(dead);
+    const std::vector<int> fiber = map.fiber(1, f1, f2, f3);
+    std::vector<int> contributors;
+    for (int r : fiber) {
+      if (std::find(out.failed.begin(), out.failed.end(), r) ==
+          out.failed.end()) {
+        contributors.push_back(r);
+      }
+    }
+    if (static_cast<i64>(contributors.size()) != base.grid.p2 - 1) {
+      std::ostringstream msg;
+      msg << "grid3d ABFT cannot recover rank " << dead << ": its C fiber has "
+          << contributors.size() << " survivor(s) of " << base.grid.p2
+          << " (parity tolerates exactly one loss per fiber)";
+      throw Error(msg.str());
+    }
+    if (std::find(contributors.begin(), contributors.end(), ctx.rank()) ==
+        contributors.end()) {
+      continue;
+    }
+    std::vector<double> padded = out.own.c_data;
+    padded.resize(static_cast<std::size_t>(lmax), 0.0);
+    const int host = contributors.front();
+    const std::vector<double> survivor_sum = coll::reduce(
+        ctx, contributors, 0, std::move(padded),
+        kRecoveryTagBase + static_cast<int>(1 + idx) * coll::kTagStride);
+    if (ctx.rank() == host) {
+      const Grid3dLayout dead_layout = grid3d_layout(base, dead);
+      RecoveredChunk3D rec;
+      rec.rank = dead;
+      rec.c_chunk = dead_layout.c;
+      rec.c_data.resize(static_cast<std::size_t>(dead_layout.c.flat_size));
+      for (i64 k = 0; k < dead_layout.c.flat_size; ++k) {
+        rec.c_data[static_cast<std::size_t>(k)] =
+            parity[static_cast<std::size_t>(k)] -
+            survivor_sum[static_cast<std::size_t>(k)];
+      }
+      out.recovered.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+i64 summa_abft_predicted_recv_words(const SummaAbftConfig& cfg, int rank) {
+  const i64 g = cfg.base.g;
+  const i64 i = rank / g, j = rank % g;
+  const BlockDist1D d1(cfg.base.shape.n1, g), d2(cfg.base.shape.n2, g),
+      d3(cfg.base.shape.n3, g);
+  const i64 d1max = d1.size(0), d3max = d3.size(0);
+  i64 words = summa_predicted_recv_words(cfg.base, rank);
+  for (i64 t = 0; t < g; ++t) {
+    // Encode reduces (member index == root-relative index: root_idx is 0).
+    words += coll::reduce_recv_words_exact(static_cast<int>(g),
+                                           static_cast<int>(i),
+                                           d1max * d2.size(t));
+    words += coll::reduce_recv_words_exact(static_cast<int>(g),
+                                           static_cast<int>(j),
+                                           d2.size(t) * d3max);
+    if (i == g - 1 && j == g - 1) {  // forwarded panel sums to the corner
+      words += d1max * d2.size(t) + d2.size(t) * d3max;
+    }
+  }
+  words += coll::shrink_recv_words_exact(static_cast<int>(g * g),
+                                         cfg.max_failures);
+  return words;
+}
+
+i64 grid3d_abft_predicted_recv_words(const Grid3dAbftConfig& cfg, int rank) {
+  const GridMap map(cfg.base.grid);
+  const auto [q1, q2, q3] = map.coords_of(rank);
+  (void)q1;
+  (void)q3;
+  const Grid3dLayout layout = grid3d_layout(cfg.base, rank);
+  i64 lmax = 0;
+  for (i64 c : layout.c_counts) lmax = std::max(lmax, c);
+  i64 words = grid3d_predicted_recv_words(cfg.base, rank);
+  words += coll::allreduce_recv_words_exact(static_cast<int>(cfg.base.grid.p2),
+                                            static_cast<int>(q2), lmax);
+  words += coll::shrink_recv_words_exact(
+      static_cast<int>(cfg.base.grid.total()), cfg.max_failures);
+  return words;
+}
+
+}  // namespace camb::mm

@@ -1,0 +1,107 @@
+// abft.hpp — algorithm-based fault tolerance for the matmul algorithms.
+//
+// Huang–Abraham checksum encoding (ACM TC'84) generalized to the processor
+// grid: alongside the normal algorithm, the ranks maintain redundant
+// checksums of the output blocks, so that when a rank crash-fails
+// (faults.hpp) the survivors can *reconstruct* the dead rank's output tile
+// instead of recomputing the whole product.  The protocol has four parts:
+//
+//   1. Encode — extra cost-accounted collectives interleaved with the
+//      algorithm accumulate block-sum checksums on designated ranks.
+//   2. Degraded completion — a survivor that detects a failure mid-flight
+//      (PeerFailedError) abandons the communication schedule (the deviation
+//      cascades, so *every* survivor lands here or completes cleanly) and
+//      finishes its own tile locally: all inputs are pure functions of their
+//      global position (fill_chunk_indexed_int), so nothing is lost.
+//   3. Shrink — one crash-agreement collective over the whole machine
+//      (collectives/shrink.hpp) gives every survivor the same failed set.
+//   4. Reconstruct — the survivors subtract their own tiles from a checksum
+//      (one cost-accounted reduce) to recover each dead rank's tile.
+//
+// Exactness: the ABFT variants force the integer-valued input pattern, so
+// every distributed sum is exact in double arithmetic and independent of
+// summation order.  The reconstructed tile is therefore *bit-identical* to
+// what the dead rank would have produced in a fault-free run — which the
+// tests assert.
+#pragma once
+
+#include "matmul/grid3d.hpp"
+#include "matmul/summa.hpp"
+
+namespace camb::mm {
+
+/// Checksum-augmented SUMMA (2D grid).  Tolerates one crashed rank.
+struct SummaAbftConfig {
+  SummaConfig base;
+  int max_failures = 1;  ///< shrink rounds = max_failures + 1
+};
+
+/// Checksum-augmented Algorithm 1 (3D grid).  Tolerates one crashed rank
+/// per C fiber (needs p2 >= 2 on any fiber that loses a member).
+struct Grid3dAbftConfig {
+  Grid3dConfig base;
+  int max_failures = 1;
+};
+
+/// A dead rank's output tile, reconstructed on a surviving host rank.
+struct RecoveredBlock2D {
+  int rank = -1;  ///< the crashed rank whose tile this is
+  Block2DOutput out;
+};
+
+struct SummaAbftOutput {
+  Block2DOutput own;                        ///< this rank's (completed) tile
+  std::vector<RecoveredBlock2D> recovered;  ///< tiles this rank reconstructed
+  bool abandoned = false;  ///< did this rank take the degraded-local path?
+  std::vector<int> failed;  ///< agreed failed ranks (same on all survivors)
+};
+
+struct RecoveredChunk3D {
+  int rank = -1;
+  BlockChunk c_chunk;
+  std::vector<double> c_data;
+};
+
+struct Grid3dAbftOutput {
+  Grid3dRankOutput own;
+  std::vector<RecoveredChunk3D> recovered;
+  bool abandoned = false;
+  std::vector<int> failed;
+};
+
+/// SPMD body of checksum-augmented SUMMA for one rank.  Requires g >= 2.
+///
+/// Encoding (per stage t): the column groups reduce row-padded A panels to
+/// row 0 and the row groups reduce column-padded B panels to column 0;
+/// ranks (0, j) accumulate S_j = sum_i pad(C_ij), ranks (i, 0) accumulate
+/// R_i = sum_j pad(C_ij), and the corner (g-1, g-1) accumulates the total
+/// T = sum_ij pad(C_ij) from forwarded panel sums.  A single dead rank
+/// (di, dj) is then reconstructed from S_dj (di != 0), from R_0 (di == 0,
+/// dj != 0), or from T (the (0,0) corner itself), by subtracting the
+/// survivors' tiles.
+SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg);
+
+/// SPMD body of checksum-augmented Algorithm 1 for one rank.
+///
+/// Encoding: after the Reduce-Scatter, each C fiber (q1, :, q3) All-Reduces
+/// the parity X = sum_q2 pad(c_chunk) of its members' chunks, so every
+/// member holds X (f = 1 redundancy per fiber).  A dead rank's chunk is
+/// X minus the surviving members' chunks; dead ranks on distinct fibers are
+/// recovered independently.
+Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg);
+
+/// Exact fault-free received words for `rank` (base algorithm + encode +
+/// shrink).  Asserted equal to the executed machine when no crash fires;
+/// the measured excess over the base algorithm is the fault-tolerance tax
+/// tabled by bench_abft_overhead.
+i64 summa_abft_predicted_recv_words(const SummaAbftConfig& cfg, int rank);
+i64 grid3d_abft_predicted_recv_words(const Grid3dAbftConfig& cfg, int rank);
+
+/// Phase labels (encode/shrink/recover traffic is accounted separately from
+/// the base algorithm's phases; failure-detection probes land in the
+/// network's "heartbeat" phase).
+inline constexpr const char* kPhaseAbftEncode = "abft_encode";
+inline constexpr const char* kPhaseAbftShrink = "abft_shrink";
+inline constexpr const char* kPhaseAbftRecover = "abft_recover";
+
+}  // namespace camb::mm

@@ -99,6 +99,30 @@ std::vector<AlgorithmInfo> build_registry() {
       /*bandwidth_optimal=*/false));
 
   algorithms.push_back(make_algorithm(
+      "summa_abft",
+      [](const Shape&, i64 nprocs) {
+        return is_square_p(nprocs) && isqrt(nprocs) >= 2;
+      },
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
+        return run_summa_abft(SummaAbftConfig{SummaConfig{shape, isqrt(nprocs)}},
+                              opts);
+      },
+      /*bandwidth_optimal=*/false));
+
+  algorithms.push_back(make_algorithm(
+      "grid3d_abft",
+      [](const Shape& shape, i64 nprocs) {
+        // The parity fiber needs at least two members to tolerate a loss.
+        return core::best_integer_grid(shape, nprocs).p2 >= 2;
+      },
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
+        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        return run_grid3d_abft(Grid3dAbftConfig{Grid3dConfig{shape, grid}},
+                               opts);
+      },
+      /*bandwidth_optimal=*/false));
+
+  algorithms.push_back(make_algorithm(
       "cannon",
       [](const Shape&, i64 nprocs) { return is_square_p(nprocs); },
       [](const Shape& shape, i64 nprocs, const RunOptions& opts) {

@@ -81,4 +81,18 @@ std::vector<double> fill_chunk_indexed(const BlockChunk& chunk) {
   return out;
 }
 
+std::vector<double> fill_chunk_indexed_int(const BlockChunk& chunk) {
+  std::vector<double> out(static_cast<std::size_t>(chunk.flat_size));
+  for (i64 f = 0; f < chunk.flat_size; ++f) {
+    const i64 flat = chunk.flat_start + f;
+    const i64 i = flat / chunk.cols;
+    const i64 j = flat % chunk.cols;
+    std::uint64_t s = static_cast<std::uint64_t>(
+        (chunk.row0 + i) * 0x1000003 + (chunk.col0 + j));
+    out[static_cast<std::size_t>(f)] =
+        static_cast<double>(camb::splitmix64(s) >> 60) - 8.0;
+  }
+  return out;
+}
+
 }  // namespace camb::mm

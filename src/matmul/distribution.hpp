@@ -82,4 +82,10 @@ struct BlockChunk {
 /// for verification (matches Matrix::fill_indexed on the full matrix).
 std::vector<double> fill_chunk_indexed(const BlockChunk& chunk);
 
+/// Integer-valued variant (matches Matrix::fill_indexed_int): entries are
+/// small integers, so distributed sums are exact and order-independent.
+/// The ABFT algorithms generate their inputs with this pattern, which is
+/// what licenses bit-identical checksum reconstruction after a crash.
+std::vector<double> fill_chunk_indexed_int(const BlockChunk& chunk);
+
 }  // namespace camb::mm

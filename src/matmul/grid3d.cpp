@@ -60,23 +60,24 @@ Grid3dRankOutput grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
   const auto [q1, q2, q3] = map.coords_of(ctx.rank());
   const Grid3dLayout layout = grid3d_layout(cfg, ctx.rank());
 
+  auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
+                                        : fill_chunk_indexed;
+
   // Line 3: All-Gather A across the fiber (q1, q2, :).
   ctx.set_phase(kPhaseAllgatherA);
   const camb::WorkingSet a_ws(ctx, layout.a.block_size());
   const std::vector<int> fiber_a = map.fiber(2, q1, q2, q3);
   std::vector<double> a_flat =
-      coll::allgather(ctx, fiber_a, layout.a_counts,
-                      fill_chunk_indexed(layout.a), kTagAllgatherA,
-                      cfg.allgather);
+      coll::allgather(ctx, fiber_a, layout.a_counts, fill(layout.a),
+                      kTagAllgatherA, cfg.allgather);
 
   // Line 4: All-Gather B across the fiber (:, q2, q3).
   ctx.set_phase(kPhaseAllgatherB);
   const camb::WorkingSet b_ws(ctx, layout.b.block_size());
   const std::vector<int> fiber_b = map.fiber(0, q1, q2, q3);
   std::vector<double> b_flat =
-      coll::allgather(ctx, fiber_b, layout.b_counts,
-                      fill_chunk_indexed(layout.b), kTagAllgatherB,
-                      cfg.allgather);
+      coll::allgather(ctx, fiber_b, layout.b_counts, fill(layout.b),
+                      kTagAllgatherB, cfg.allgather);
 
   // Line 6: local multiply D = A_{q1 q2} * B_{q2 q3}.
   ctx.set_phase(kPhaseLocalGemm);

@@ -24,6 +24,9 @@ struct Grid3dConfig {
   Grid3 grid;
   coll::AllgatherAlgo allgather = coll::AllgatherAlgo::kAuto;
   coll::ReduceScatterAlgo reduce_scatter = coll::ReduceScatterAlgo::kAuto;
+  /// Generate inputs with the integer-valued indexed pattern (exact,
+  /// order-independent sums).  The ABFT wrapper forces this on.
+  bool integer_inputs = false;
 };
 
 /// A rank's piece of the output: a flat chunk of its C block.

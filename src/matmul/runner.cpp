@@ -1,5 +1,6 @@
 #include "matmul/runner.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -14,13 +15,18 @@ namespace {
 /// Shapes above this flop count use Freivalds under VerifyMode::kAuto.
 constexpr i64 kReferenceFlopLimit = 1 << 26;  // ~67M multiply-adds
 
-/// Machine construction + fault wiring for one run: the rank RNG seed and
-/// the fault seed both derive from the options' master seed (independent
-/// domains), so a run is replayable from that one logged value.
+/// Machine construction + fault wiring for one run: the rank RNG seed, the
+/// fault seed, and the crash seed all derive from the options' master seed
+/// (independent domains), so a run is replayable from that one logged value.
 void configure_machine(camb::Machine& machine, const RunOptions& opts) {
   if (opts.perturb.enabled()) {
-    machine.enable_faults(fault_profile_by_name(opts.perturb.profile),
+    machine.enable_faults(fault_profile_from_spec(opts.perturb.profile),
                           opts.perturb.fault_seed());
+  }
+  if (opts.crash.enabled()) {
+    machine.enable_crashes(opts.crash.ranks,
+                           opts.crash.crash_seed(opts.perturb.master_seed),
+                           opts.crash.max_send_position);
   }
 }
 
@@ -55,6 +61,37 @@ RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
     report.faults.reordered_messages = counts.reordered_messages;
     report.faults.stragglers = counts.stragglers;
   }
+  if (machine.crash_plan() != nullptr) {
+    report.recovery.enabled = true;
+    report.recovery.crash_seed =
+        opts.crash.crash_seed(opts.perturb.master_seed);
+    report.recovery.planned = opts.crash.ranks;
+  }
+  const camb::CrashOutcome& outcome = machine.crash_outcome();
+  report.recovery.crashed = outcome.crashed;
+  report.recovery.abandoned = outcome.abandoned;
+  report.recovery.detection_events =
+      static_cast<i64>(outcome.detections.size());
+  for (const camb::DetectionEvent& d : outcome.detections) {
+    if (report.recovery.first_detection_clock == 0 ||
+        d.clock < report.recovery.first_detection_clock) {
+      report.recovery.first_detection_clock = d.clock;
+    }
+    report.recovery.last_detection_clock =
+        std::max(report.recovery.last_detection_clock, d.clock);
+  }
+  for (int r = 0; r < stats.nprocs(); ++r) {
+    report.recovery.heartbeat_probes +=
+        stats.rank_phase(r, "heartbeat").messages_sent;
+    const i64 rec = stats.rank_phase(r, "abft_shrink").words_received +
+                    stats.rank_phase(r, "abft_recover").words_received +
+                    stats.rank_phase(r, "heartbeat").words_received;
+    report.recovery.recovery_recv_words =
+        std::max(report.recovery.recovery_recv_words, rec);
+    report.recovery.encode_recv_words =
+        std::max(report.recovery.encode_recv_words,
+                 stats.rank_phase(r, "abft_encode").words_received);
+  }
   return report;
 }
 
@@ -76,6 +113,37 @@ RunOptions options_from(bool verify) {
 
 }  // namespace
 
+namespace {
+
+void list_ranks(std::ostringstream& out, const std::vector<int>& ranks) {
+  out << "[";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) out << ",";
+    out << ranks[i];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string RecoveryReport::summary() const {
+  std::ostringstream out;
+  out << "recovery{abft=" << (abft ? 1 : 0) << " crash_seed=" << crash_seed
+      << " planned=";
+  list_ranks(out, planned);
+  out << " crashed=";
+  list_ranks(out, crashed);
+  out << " abandoned=";
+  list_ranks(out, abandoned);
+  out << " detections=" << detection_events << " detect_clock=["
+      << first_detection_clock << "," << last_detection_clock
+      << "] heartbeats=" << heartbeat_probes
+      << " recovery_recv=" << recovery_recv_words
+      << " encode_recv=" << encode_recv_words
+      << " overhead_ratio=" << overhead_ratio << "}";
+  return out.str();
+}
+
 std::string FaultReport::summary() const {
   std::ostringstream out;
   out << "perturb{profile=" << profile << " master_seed=" << master_seed
@@ -86,15 +154,23 @@ std::string FaultReport::summary() const {
   return out.str();
 }
 
-MatrixD reference_result(const Shape& shape) {
-  MatrixD a(shape.n1, shape.n2), b(shape.n2, shape.n3);
-  a.fill_indexed(0, 0);
-  b.fill_indexed(0, 0);
-  return camb::matmul_reference(a, b);
+namespace {
+
+void fill_inputs(const Shape& shape, bool integer_inputs, MatrixD& a,
+                 MatrixD& b) {
+  a = MatrixD(shape.n1, shape.n2);
+  b = MatrixD(shape.n2, shape.n3);
+  if (integer_inputs) {
+    a.fill_indexed_int(0, 0);
+    b.fill_indexed_int(0, 0);
+  } else {
+    a.fill_indexed(0, 0);
+    b.fill_indexed(0, 0);
+  }
 }
 
-double check_result(const Shape& shape, const MatrixD& assembled,
-                    VerifyMode mode) {
+double check_result_pattern(const Shape& shape, const MatrixD& assembled,
+                            VerifyMode mode, bool integer_inputs) {
   if (mode == VerifyMode::kAuto) {
     mode = shape.flops() <= kReferenceFlopLimit ? VerifyMode::kReference
                                                 : VerifyMode::kFreivalds;
@@ -102,12 +178,14 @@ double check_result(const Shape& shape, const MatrixD& assembled,
   switch (mode) {
     case VerifyMode::kNone:
       return std::numeric_limits<double>::quiet_NaN();
-    case VerifyMode::kReference:
-      return assembled.max_abs_diff(reference_result(shape));
+    case VerifyMode::kReference: {
+      MatrixD a, b;
+      fill_inputs(shape, integer_inputs, a, b);
+      return assembled.max_abs_diff(camb::matmul_reference(a, b));
+    }
     case VerifyMode::kFreivalds: {
-      MatrixD a(shape.n1, shape.n2), b(shape.n2, shape.n3);
-      a.fill_indexed(0, 0);
-      b.fill_indexed(0, 0);
+      MatrixD a, b;
+      fill_inputs(shape, integer_inputs, a, b);
       Rng rng(0xF4E1);
       return freivalds_residual(a, b, assembled, /*trials=*/24, rng);
     }
@@ -115,6 +193,27 @@ double check_result(const Shape& shape, const MatrixD& assembled,
       break;
   }
   throw Error("unreachable verify mode");
+}
+
+}  // namespace
+
+MatrixD reference_result(const Shape& shape) {
+  MatrixD a(shape.n1, shape.n2), b(shape.n2, shape.n3);
+  a.fill_indexed(0, 0);
+  b.fill_indexed(0, 0);
+  return camb::matmul_reference(a, b);
+}
+
+MatrixD reference_result_int(const Shape& shape) {
+  MatrixD a(shape.n1, shape.n2), b(shape.n2, shape.n3);
+  a.fill_indexed_int(0, 0);
+  b.fill_indexed_int(0, 0);
+  return camb::matmul_reference(a, b);
+}
+
+double check_result(const Shape& shape, const MatrixD& assembled,
+                    VerifyMode mode) {
+  return check_result_pattern(shape, assembled, mode, /*integer_inputs=*/false);
 }
 
 RunReport run_grid3d(const Grid3dConfig& cfg, const RunOptions& opts) {
@@ -313,6 +412,119 @@ RunReport run_summa(const SummaConfig& cfg, const RunOptions& opts) {
 
 RunReport run_summa(const SummaConfig& cfg, bool verify) {
   return run_summa(cfg, options_from(verify));
+}
+
+namespace {
+
+void place_block(MatrixD& global, const Block2DOutput& out) {
+  for (i64 i = 0; i < out.block.rows(); ++i) {
+    for (i64 j = 0; j < out.block.cols(); ++j) {
+      global(out.row0 + i, out.col0 + j) = out.block(i, j);
+    }
+  }
+}
+
+bool contains(const std::vector<int>& ranks, int r) {
+  return std::find(ranks.begin(), ranks.end(), r) != ranks.end();
+}
+
+}  // namespace
+
+RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts) {
+  const i64 P = cfg.base.g * cfg.base.g;
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<SummaAbftOutput> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = summa_abft_rank(ctx, cfg);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  report.recovery.abft = true;
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, summa_abft_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  report.predicted_critical_recv = predicted;  // fault-free prediction
+  report.lower_bound_words =
+      camb::core::memory_independent_bound(cfg.base.shape,
+                                           static_cast<double>(P))
+          .words;
+  if (report.lower_bound_words > 0) {
+    report.recovery.overhead_ratio =
+        static_cast<double>(report.measured_critical_recv) /
+        report.lower_bound_words;
+  }
+  if (opts.verify != VerifyMode::kNone) {
+    MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
+    const std::vector<int>& crashed = machine.crash_outcome().crashed;
+    for (i64 r = 0; r < P; ++r) {
+      const SummaAbftOutput& out = outputs[static_cast<std::size_t>(r)];
+      if (contains(crashed, static_cast<int>(r))) continue;
+      place_block(c, out.own);
+      for (const RecoveredBlock2D& rec : out.recovered) {
+        place_block(c, rec.out);
+      }
+    }
+    report.max_abs_error =
+        check_result_pattern(cfg.base.shape, c, opts.verify,
+                             /*integer_inputs=*/true);
+    report.verified = true;
+  }
+  return report;
+}
+
+RunReport run_summa_abft(const SummaAbftConfig& cfg, bool verify) {
+  return run_summa_abft(cfg, options_from(verify));
+}
+
+RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg,
+                          const RunOptions& opts) {
+  const i64 P = cfg.base.grid.total();
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<Grid3dAbftOutput> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = grid3d_abft_rank(ctx, cfg);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  report.recovery.abft = true;
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, grid3d_abft_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  report.predicted_critical_recv = predicted;  // fault-free prediction
+  report.lower_bound_words =
+      camb::core::memory_independent_bound(cfg.base.shape,
+                                           static_cast<double>(P))
+          .words;
+  if (report.lower_bound_words > 0) {
+    report.recovery.overhead_ratio =
+        static_cast<double>(report.measured_critical_recv) /
+        report.lower_bound_words;
+  }
+  if (opts.verify != VerifyMode::kNone) {
+    MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
+    const std::vector<int>& crashed = machine.crash_outcome().crashed;
+    for (i64 r = 0; r < P; ++r) {
+      const Grid3dAbftOutput& out = outputs[static_cast<std::size_t>(r)];
+      if (contains(crashed, static_cast<int>(r))) continue;
+      place_chunk(c, out.own.c_chunk, out.own.c_data);
+      for (const RecoveredChunk3D& rec : out.recovered) {
+        place_chunk(c, rec.c_chunk, rec.c_data);
+      }
+    }
+    report.max_abs_error =
+        check_result_pattern(cfg.base.shape, c, opts.verify,
+                             /*integer_inputs=*/true);
+    report.verified = true;
+  }
+  return report;
+}
+
+RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, bool verify) {
+  return run_grid3d_abft(cfg, options_from(verify));
 }
 
 RunReport run_cannon(const CannonConfig& cfg, const RunOptions& opts) {

@@ -14,6 +14,7 @@
 #include "core/bounds.hpp"
 #include "machine/faults.hpp"
 #include "util/rng.hpp"
+#include "matmul/abft.hpp"
 #include "matmul/alg25d.hpp"
 #include "matmul/cannon.hpp"
 #include "matmul/carma.hpp"
@@ -71,10 +72,58 @@ struct FaultReport {
   std::string summary() const;
 };
 
+/// Crash-injection request for a run: each listed rank dies at a send
+/// position drawn deterministically from the crash seed (machine/faults.hpp).
+/// Like the fault seed, the crash seed derives from the one master seed, so
+/// a crash scenario replays from `--master-seed` alone.
+struct CrashConfig {
+  std::vector<int> ranks;        ///< ranks armed to crash
+  i64 max_send_position = 64;    ///< positions drawn from [0, this]
+  /// Nonzero: use this crash seed directly instead of deriving it.
+  std::uint64_t crash_seed_override = 0;
+
+  bool enabled() const { return !ranks.empty(); }
+  std::uint64_t crash_seed(std::uint64_t master_seed) const {
+    return crash_seed_override != 0
+               ? crash_seed_override
+               : derive_seed(master_seed, kSeedDomainCrashes);
+  }
+};
+
+/// What the crash-fault machinery observed in one run, and what the
+/// fault tolerance cost: populated whenever crash injection is armed or an
+/// ABFT algorithm ran (enabled=false otherwise).
+struct RecoveryReport {
+  bool enabled = false;  ///< crash injection was armed
+  bool abft = false;     ///< the run used a checksum-augmented algorithm
+  std::uint64_t crash_seed = 0;
+  std::vector<int> planned;    ///< ranks armed to crash
+  std::vector<int> crashed;    ///< ranks whose crash actually fired
+  std::vector<int> abandoned;  ///< survivors that took the degraded path
+  i64 detection_events = 0;    ///< failure detections recorded by survivors
+  double first_detection_clock = 0;  ///< earliest detection (logical clock)
+  double last_detection_clock = 0;
+  /// Zero-word suspicion probes (messages in the "heartbeat" phase: failure
+  /// detection adds messages but zero words to the algorithm phases).
+  i64 heartbeat_probes = 0;
+  /// Max over ranks of words received in the shrink + recover + heartbeat
+  /// phases — what the recovery protocol itself moved.
+  i64 recovery_recv_words = 0;
+  /// Max over ranks of words received in the ABFT encode phase — the
+  /// fault-tolerance tax paid even on fault-free runs.
+  i64 encode_recv_words = 0;
+  /// measured_critical_recv ÷ the Theorem 3 bound (0 when the bound is 0):
+  /// the fault-tolerance overhead ratio tabled by bench_abft_overhead.
+  double overhead_ratio = 0;
+  /// One-line reproducibility record for logs and failure messages.
+  std::string summary() const;
+};
+
 /// Everything configurable about how the harness executes an algorithm.
 struct RunOptions {
   VerifyMode verify = VerifyMode::kNone;
   PerturbConfig perturb;
+  CrashConfig crash;
 
   static RunOptions verified(VerifyMode mode) {
     RunOptions opts;
@@ -114,6 +163,8 @@ struct RunReport {
   /// Perturbation record: seeds and injected-fault counts (enabled=false and
   /// all-zero counts for unperturbed runs).
   FaultReport faults;
+  /// Crash/recovery record (enabled=false for runs without crash injection).
+  RecoveryReport recovery;
 };
 
 /// Algorithm 1 on its grid.  `verify` assembles C and checks it (mode
@@ -145,6 +196,16 @@ RunReport run_alg25d(const Alg25dConfig& cfg, const RunOptions& opts);
 RunReport run_summa(const SummaConfig& cfg, bool verify);
 RunReport run_summa(const SummaConfig& cfg, const RunOptions& opts);
 
+/// Checksum-augmented SUMMA (matmul/abft.hpp): survives a single crashed
+/// rank, whose tile is reconstructed by the survivors and assembled into C.
+/// predicted_critical_recv is the exact *fault-free* prediction.
+RunReport run_summa_abft(const SummaAbftConfig& cfg, bool verify);
+RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts);
+
+/// Checksum-augmented Algorithm 1 (one crash per C fiber tolerated).
+RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, bool verify);
+RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, const RunOptions& opts);
+
 /// Cannon on a g×g grid.
 RunReport run_cannon(const CannonConfig& cfg, bool verify);
 RunReport run_cannon(const CannonConfig& cfg, const RunOptions& opts);
@@ -157,6 +218,9 @@ RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
 /// The serial reference result for a shape, built from the same indexed
 /// input pattern the distributed algorithms use.
 MatrixD reference_result(const Shape& shape);
+
+/// Reference for the integer-valued pattern (what the ABFT algorithms use).
+MatrixD reference_result_int(const Shape& shape);
 
 /// Check an assembled result under the given mode; returns the max residual
 /// (abs error for kReference, normalized Freivalds residual otherwise).

@@ -48,8 +48,10 @@ Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg) {
   // Owned blocks, generated in place.
   const BlockChunk a_chunk = full_block(d1, i, d2, j);
   const BlockChunk b_chunk = full_block(d2, i, d3, j);
-  std::vector<double> a_own = fill_chunk_indexed(a_chunk);
-  std::vector<double> b_own = fill_chunk_indexed(b_chunk);
+  auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
+                                        : fill_chunk_indexed;
+  std::vector<double> a_own = fill(a_chunk);
+  std::vector<double> b_own = fill(b_chunk);
 
   Block2DOutput out;
   out.row0 = d1.start(i);

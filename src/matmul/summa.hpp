@@ -23,6 +23,9 @@ struct SummaConfig {
   /// for bandwidth-bound panels (word counts are identical either way).
   coll::BcastAlgo bcast = coll::BcastAlgo::kBinomial;
   i64 bcast_segments = 16;  ///< pipelined ring segmentation
+  /// Generate inputs with the integer-valued indexed pattern (exact,
+  /// order-independent sums).  The ABFT wrapper forces this on.
+  bool integer_inputs = false;
 };
 
 /// A rank's full C block with its global origin.

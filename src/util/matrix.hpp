@@ -92,6 +92,21 @@ class Matrix {
     }
   }
 
+  /// Integer-valued variant of fill_indexed: small integers in [-8, 7].
+  /// Every sum-of-products over such entries is exact in double arithmetic
+  /// (far below 2^53), hence independent of summation order — the property
+  /// the ABFT checksum reconstruction relies on for bit-identical recovery.
+  void fill_indexed_int(i64 gr0, i64 gc0) {
+    for (i64 i = 0; i < rows_; ++i) {
+      for (i64 j = 0; j < cols_; ++j) {
+        std::uint64_t s =
+            static_cast<std::uint64_t>((gr0 + i) * 0x1000003 + (gc0 + j));
+        (*this)(i, j) =
+            static_cast<T>(static_cast<double>(splitmix64(s) >> 60) - 8.0);
+      }
+    }
+  }
+
   /// Max absolute element-wise difference with another matrix of equal shape.
   double max_abs_diff(const Matrix& other) const {
     CAMB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);

@@ -31,6 +31,7 @@ inline std::uint64_t derive_seed(std::uint64_t master, std::uint64_t domain) {
 /// Fixed domains for derive_seed used by the run harness.
 inline constexpr std::uint64_t kSeedDomainRankRng = 0;  ///< Machine rank streams
 inline constexpr std::uint64_t kSeedDomainFaults = 1;   ///< FaultPlan decisions
+inline constexpr std::uint64_t kSeedDomainCrashes = 2;  ///< CrashPlan positions
 
 /// xoshiro256** generator with a splitmix64-derived state.
 /// Satisfies UniformRandomBitGenerator, so it plugs into <random>.

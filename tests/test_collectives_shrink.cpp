@@ -1,0 +1,121 @@
+// Unit tests for the shrink agreement collective: identical survivor views
+// on fault-free and one-crash runs, abandoned-flag propagation, crash
+// tolerance during the protocol itself, and exact α-β accounting against
+// shrink_recv_words_exact.
+#include "collectives/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "machine/faults.hpp"
+#include "machine/machine.hpp"
+
+namespace camb {
+namespace {
+
+std::vector<int> world(int n) {
+  std::vector<int> group(static_cast<std::size_t>(n));
+  std::iota(group.begin(), group.end(), 0);
+  return group;
+}
+
+/// Collect every caller's ShrinkResult, keyed by rank, under a lock.
+struct Results {
+  std::mutex mutex;
+  std::vector<coll::ShrinkResult> by_rank;
+  explicit Results(int n) : by_rank(static_cast<std::size_t>(n)) {}
+  void put(int rank, coll::ShrinkResult result) {
+    std::lock_guard<std::mutex> lock(mutex);
+    by_rank[static_cast<std::size_t>(rank)] = std::move(result);
+  }
+};
+
+TEST(Shrink, FaultFreeAgreementIsTheFullGroup) {
+  const int P = 8;
+  Machine machine(P);
+  Results results(P);
+  machine.run([&](RankCtx& ctx) {
+    results.put(ctx.rank(), coll::shrink(ctx, world(P), /*max_failures=*/1,
+                                         kRecoveryTagBase, false));
+  });
+  for (int r = 0; r < P; ++r) {
+    const auto& result = results.by_rank[static_cast<std::size_t>(r)];
+    EXPECT_EQ(result.survivors, world(P));
+    EXPECT_TRUE(result.failed.empty());
+    EXPECT_FALSE(result.any_abandoned);
+    EXPECT_EQ(result.survivor_index(r), r);
+  }
+}
+
+TEST(Shrink, FaultFreeCostMatchesTheClosedForm) {
+  for (int P : {2, 5, 8, 33}) {
+    for (int max_failures : {0, 1, 2}) {
+      Machine machine(P);
+      machine.run([&](RankCtx& ctx) {
+        ctx.set_phase("shrink");
+        coll::shrink(ctx, world(P), max_failures, kRecoveryTagBase, false);
+      });
+      for (int r = 0; r < P; ++r) {
+        EXPECT_EQ(machine.stats().rank_phase(r, "shrink").words_received,
+                  coll::shrink_recv_words_exact(P, max_failures))
+            << "P=" << P << " f=" << max_failures << " rank=" << r;
+      }
+    }
+  }
+}
+
+TEST(Shrink, SurvivorsAgreeOnACrashedMember) {
+  const int P = 6;
+  Machine machine(P);
+  // Rank 3 dies at its very first send — which is inside shrink itself, so
+  // this also exercises crash-during-protocol tolerance.
+  machine.enable_crashes({{3, 0}});
+  Results results(P);
+  machine.run([&](RankCtx& ctx) {
+    results.put(ctx.rank(), coll::shrink(ctx, world(P), /*max_failures=*/1,
+                                         kRecoveryTagBase, false));
+  });
+  ASSERT_EQ(machine.crash_outcome().crashed, std::vector<int>{3});
+  const std::vector<int> expect_survivors = {0, 1, 2, 4, 5};
+  for (int r : expect_survivors) {
+    const auto& result = results.by_rank[static_cast<std::size_t>(r)];
+    EXPECT_EQ(result.survivors, expect_survivors) << "rank " << r;
+    EXPECT_EQ(result.failed, std::vector<int>{3}) << "rank " << r;
+    EXPECT_EQ(result.survivor_index(3), -1);
+  }
+}
+
+TEST(Shrink, AbandonedFlagReachesEverySurvivor) {
+  const int P = 4;
+  Machine machine(P);
+  Results results(P);
+  machine.run([&](RankCtx& ctx) {
+    // Rank 2 reports that it abandoned the algorithm phase; everyone must
+    // learn this (it forces the expensive recovery path in the ABFT layer).
+    const bool i_abandoned = ctx.rank() == 2;
+    results.put(ctx.rank(), coll::shrink(ctx, world(P), /*max_failures=*/1,
+                                         kRecoveryTagBase, i_abandoned));
+  });
+  for (int r = 0; r < P; ++r) {
+    EXPECT_TRUE(results.by_rank[static_cast<std::size_t>(r)].any_abandoned)
+        << "rank " << r;
+  }
+}
+
+TEST(Shrink, SingletonGroupIsFree) {
+  Machine machine(2);
+  machine.run([&](RankCtx& ctx) {
+    ctx.set_phase("shrink");
+    const auto result = coll::shrink(ctx, {ctx.rank()}, /*max_failures=*/1,
+                                     kRecoveryTagBase, false);
+    EXPECT_EQ(result.survivors, std::vector<int>{ctx.rank()});
+  });
+  EXPECT_EQ(machine.stats().rank_phase(0, "shrink").words_received, 0);
+  EXPECT_EQ(coll::shrink_recv_words_exact(1, 3), 0);
+}
+
+}  // namespace
+}  // namespace camb

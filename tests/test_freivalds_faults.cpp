@@ -1,0 +1,65 @@
+// Freivalds verification under schedule perturbation: across a sweep of
+// master seeds with fault injection active, the probabilistic check accepts
+// every correctly-computed product — faults perturb schedules, never data —
+// and rejects a product with a single corrupted tile.
+#include <gtest/gtest.h>
+
+#include "matmul/freivalds.hpp"
+#include "matmul/runner.hpp"
+#include "util/rng.hpp"
+
+namespace camb {
+namespace {
+
+constexpr core::Shape kShape{24, 16, 12};
+constexpr double kAcceptTol = 1e-9;
+
+TEST(FreivaldsFaults, AcceptsCorrectProductAcrossEightSeedFaultSweep) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    mm::RunOptions opts;
+    opts.verify = mm::VerifyMode::kFreivalds;
+    opts.perturb.profile = "heavy";
+    opts.perturb.master_seed = seed;
+    const mm::RunReport summa =
+        mm::run_summa(mm::SummaConfig{kShape, 2}, opts);
+    ASSERT_TRUE(summa.verified);
+    EXPECT_LE(summa.max_abs_error, kAcceptTol)
+        << "summa seed " << seed << ": " << summa.faults.summary();
+    const mm::RunReport grid = mm::run_grid3d(
+        mm::Grid3dConfig{kShape, core::Grid3{2, 2, 2}}, opts);
+    ASSERT_TRUE(grid.verified);
+    EXPECT_LE(grid.max_abs_error, kAcceptTol)
+        << "grid3d seed " << seed << ": " << grid.faults.summary();
+  }
+}
+
+TEST(FreivaldsFaults, RejectsACorruptedTile) {
+  // Take the true product and flip one entry — as if a rank's recovered
+  // tile came back wrong.  Freivalds must flag it.
+  MatrixD corrupted = mm::reference_result(kShape);
+  corrupted(kShape.n1 / 2, kShape.n3 / 2) += 1.0;
+  const double residual =
+      mm::check_result(kShape, corrupted, mm::VerifyMode::kFreivalds);
+  EXPECT_GT(residual, 1e-3) << "corruption slipped past Freivalds";
+  // Sanity: the untouched product passes the same check.
+  EXPECT_LE(mm::check_result(kShape, mm::reference_result(kShape),
+                             mm::VerifyMode::kFreivalds),
+            kAcceptTol);
+}
+
+TEST(FreivaldsFaults, RejectsACorruptedIntegerTileToo) {
+  // Same property on the integer-valued ABFT pattern.
+  MatrixD corrupted = mm::reference_result_int(kShape);
+  corrupted(0, 0) += 1.0;
+  MatrixD a(kShape.n1, kShape.n2), b(kShape.n2, kShape.n3);
+  a.fill_indexed_int(0, 0);
+  b.fill_indexed_int(0, 0);
+  Rng rng(0xF4E1);
+  EXPECT_FALSE(mm::freivalds_check(a, b, corrupted, /*trials=*/24, rng));
+  Rng rng2(0xF4E1);
+  EXPECT_TRUE(mm::freivalds_check(a, b, mm::reference_result_int(kShape),
+                              /*trials=*/24, rng2));
+}
+
+}  // namespace
+}  // namespace camb

@@ -1,0 +1,303 @@
+// Unit tests for the crash-fault layer: CrashPlan determinism and
+// validation, clean fail-stop exits, structured failure detection
+// (PeerFailedError naming the dead rank instead of a deadlock), the
+// logical-clock receive timeout, heartbeat accounting (detection adds
+// messages but zero words to algorithm phases), and the debris-vs-leak
+// distinction in Machine::run's post-run check.
+#include "machine/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace camb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// CrashPlan: determinism and validation.
+// ---------------------------------------------------------------------------
+
+TEST(CrashPlan, DerivedPositionsAreAPureFunctionOfSeedAndRank) {
+  const std::vector<int> ranks = {0, 2, 5};
+  const CrashPlan a = CrashPlan::derived(ranks, 0xC0FFEE, 8, 64);
+  const CrashPlan b = CrashPlan::derived(ranks, 0xC0FFEE, 8, 64);
+  for (int r : ranks) {
+    EXPECT_EQ(a.planned_position(r), b.planned_position(r));
+    EXPECT_GE(a.planned_position(r), 0);
+    EXPECT_LE(a.planned_position(r), 64);
+  }
+  EXPECT_EQ(a.planned_position(1), -1);  // unlisted ranks never die
+  // A different seed domain moves at least one position (vanishingly
+  // unlikely to collide on all three).
+  const CrashPlan c = CrashPlan::derived(ranks, 0xDEAD, 8, 64);
+  bool any_differs = false;
+  for (int r : ranks) any_differs |= a.planned_position(r) != c.planned_position(r);
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(CrashPlan, MasterSeedDerivationSeparatesDomains) {
+  // The crash domain must not alias the fault or rank-RNG domains.
+  const std::uint64_t master = 42;
+  EXPECT_NE(derive_seed(master, kSeedDomainCrashes),
+            derive_seed(master, kSeedDomainFaults));
+  EXPECT_NE(derive_seed(master, kSeedDomainCrashes),
+            derive_seed(master, kSeedDomainRankRng));
+}
+
+TEST(CrashPlan, RejectsInvalidEvents) {
+  EXPECT_THROW(CrashPlan({{8, 0}}, 8), Error);        // rank out of range
+  EXPECT_THROW(CrashPlan({{-1, 0}}, 8), Error);       // negative rank
+  EXPECT_THROW(CrashPlan({{1, -3}}, 8), Error);       // negative position
+  EXPECT_THROW(CrashPlan({{1, 0}, {1, 2}}, 8), Error);  // duplicate rank
+}
+
+TEST(CrashPlan, ShouldCrashFiresExactlyAtThePlannedSend) {
+  CrashPlan plan({{1, 2}}, 4);
+  EXPECT_FALSE(plan.should_crash(1));  // send 0
+  EXPECT_FALSE(plan.should_crash(1));  // send 1
+  EXPECT_TRUE(plan.should_crash(1));   // send 2: dies here
+  for (int k = 0; k < 10; ++k) EXPECT_FALSE(plan.should_crash(0));
+  EXPECT_EQ(plan.triggered(), std::vector<int>{1});
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop execution: clean exits, detection, no deadlock.
+// ---------------------------------------------------------------------------
+
+TEST(MachineCrash, CrashedRankExitsCleanlyAndIsRecorded) {
+  Machine machine(3);
+  machine.enable_crashes({{1, 0}});  // rank 1 dies at its first send
+  std::atomic<int> survivors{0};
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 1) {
+      ctx.send(0, 7, {1.0});  // never completes: the crash fires instead
+      ADD_FAILURE() << "rank 1 should have crashed before sending";
+    }
+    ++survivors;
+  });
+  EXPECT_EQ(survivors.load(), 2);
+  const CrashOutcome& outcome = machine.crash_outcome();
+  ASSERT_EQ(outcome.crashed, std::vector<int>{1});
+  ASSERT_EQ(outcome.crash_clocks.size(), 1u);
+  EXPECT_TRUE(outcome.errored.empty());
+}
+
+TEST(MachineCrash, BlockedReceiverGetsStructuredErrorNamingTheDeadRank) {
+  Machine machine(2);
+  machine.enable_crashes({{1, 0}});
+  try {
+    machine.run([](RankCtx& ctx) {
+      if (ctx.rank() == 1) ctx.send(0, 7, {1.0});
+      if (ctx.rank() == 0) ctx.recv(1, 7);  // peer is dead: must not hang
+    });
+    FAIL() << "expected PeerFailedError";
+  } catch (const PeerFailedError& err) {
+    EXPECT_EQ(err.failed_rank(), 1);
+    EXPECT_EQ(err.receiver(), 0);
+    EXPECT_EQ(err.tag(), 7);
+    EXPECT_TRUE(err.peer_crashed());
+  }
+  EXPECT_EQ(machine.crash_outcome().crashed, std::vector<int>{1});
+}
+
+TEST(MachineCrash, BufferedMailFromTheDeadRankIsDeliveredBeforeFailover) {
+  // Fail-stop semantics: everything the rank sent before dying is good data.
+  Machine machine(2);
+  machine.enable_crashes({{1, 1}});  // dies at its *second* send
+  machine.run([](RankCtx& ctx) {
+    if (ctx.rank() == 1) {
+      ctx.send(0, 7, {4.0, 2.0});
+      ctx.send(0, 7, {9.0});  // crash fires here
+    }
+    if (ctx.rank() == 0) {
+      const std::vector<double> first = ctx.recv(1, 7);
+      ASSERT_EQ(first.size(), 2u);
+      EXPECT_DOUBLE_EQ(first[0], 4.0);
+      EXPECT_THROW(ctx.recv(1, 7), PeerFailedError);
+    }
+  });
+  EXPECT_EQ(machine.crash_outcome().crashed, std::vector<int>{1});
+}
+
+TEST(MachineCrash, DetectionEventsAreRecordedWithClocks) {
+  Machine machine(2);
+  machine.enable_crashes({{1, 0}});
+  machine.run([](RankCtx& ctx) {
+    if (ctx.rank() == 1) ctx.send(0, 7, {1.0});
+    if (ctx.rank() == 0) {
+      try {
+        ctx.recv(1, 7);
+      } catch (const PeerFailedError&) {
+      }
+    }
+  });
+  const CrashOutcome& outcome = machine.crash_outcome();
+  ASSERT_GE(outcome.detections.size(), 1u);
+  EXPECT_EQ(outcome.detections[0].detector, 0);
+  EXPECT_EQ(outcome.detections[0].failed, 1);
+  EXPECT_TRUE(outcome.detections[0].peer_crashed);
+}
+
+// ---------------------------------------------------------------------------
+// recv_timed: logical-clock deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(MachineCrash, RecvTimedTimesOutOnLateStampAndDeliversLater) {
+  Machine machine(2);
+  machine.run([](RankCtx& ctx) {
+    if (ctx.rank() == 1) ctx.send(0, 7, {1.0, 2.0});  // stamp alpha+2*beta = 3
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      RecvStatus status = RecvStatus::kDelivered;
+      const auto early = ctx.recv_timed(1, 7, /*deadline=*/0.5, &status);
+      EXPECT_FALSE(early.has_value());
+      EXPECT_EQ(status, RecvStatus::kTimedOut);
+      // The message stays queued: an infinite deadline drains it.
+      const auto late = ctx.recv_timed(1, 7, kInf, &status);
+      ASSERT_TRUE(late.has_value());
+      EXPECT_EQ(status, RecvStatus::kDelivered);
+      ASSERT_EQ(late->size(), 2u);
+      EXPECT_DOUBLE_EQ((*late)[1], 2.0);
+    }
+  });
+}
+
+TEST(MachineCrash, RecvTimedReportsDeadSourceInsteadOfHanging) {
+  Machine machine(2);
+  machine.enable_crashes({{1, 0}});
+  machine.run([](RankCtx& ctx) {
+    if (ctx.rank() == 1) ctx.send(0, 7, {1.0});
+    if (ctx.rank() == 0) {
+      RecvStatus status = RecvStatus::kDelivered;
+      const auto result = ctx.recv_timed(1, 7, kInf, &status);
+      EXPECT_FALSE(result.has_value());
+      EXPECT_EQ(status, RecvStatus::kSrcDead);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat accounting: detection never pollutes algorithm word counts.
+// ---------------------------------------------------------------------------
+
+TEST(MachineCrash, DetectionChargesHeartbeatPhaseAndZeroWords) {
+  Machine machine(2);
+  machine.enable_crashes({{1, 0}});
+  machine.run([](RankCtx& ctx) {
+    ctx.set_phase("algorithm");
+    if (ctx.rank() == 1) ctx.send(0, 7, {1.0});
+    if (ctx.rank() == 0) {
+      try {
+        ctx.recv(1, 7);
+      } catch (const PeerFailedError&) {
+      }
+    }
+  });
+  const auto heartbeat = machine.stats().rank_phase(0, "heartbeat");
+  EXPECT_GE(heartbeat.messages_sent, 1);  // the suspicion probe
+  EXPECT_EQ(heartbeat.words_sent, 0);     // ...carries zero words
+  const auto algorithm = machine.stats().rank_phase(0, "algorithm");
+  EXPECT_EQ(algorithm.words_received, 0);  // detection added nothing here
+  EXPECT_EQ(algorithm.words_sent, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Debris vs leak: the post-run undelivered-mail check.
+// ---------------------------------------------------------------------------
+
+TEST(MachineCrash, UndeliveredMailAfterACrashIsDebrisNotALeak) {
+  Machine machine(2);
+  machine.enable_crashes({{1, 1}});
+  machine.run([](RankCtx& ctx) {
+    // Rank 1's first send is never received before rank 1 dies; the run
+    // must still finish cleanly, reporting the mail as crash debris.
+    if (ctx.rank() == 1) {
+      ctx.send(0, 7, {1.0, 2.0, 3.0});
+      ctx.send(0, 8, {4.0});  // crash fires here
+    }
+  });
+  const CrashOutcome& outcome = machine.crash_outcome();
+  ASSERT_EQ(outcome.debris.size(), 1u);
+  EXPECT_EQ(outcome.debris[0].src, 1);
+  EXPECT_EQ(outcome.debris[0].dst, 0);
+  EXPECT_EQ(outcome.debris[0].tag, 7);
+  EXPECT_EQ(outcome.debris[0].words, 3);
+}
+
+TEST(MachineCrash, CleanRunLeakFailureListsTheEnvelopes) {
+  Machine machine(2);
+  try {
+    machine.run([](RankCtx& ctx) {
+      ctx.set_phase("stage0");
+      if (ctx.rank() == 1) ctx.send(0, 42, {1.0, 2.0});
+    });
+    FAIL() << "expected the leak check to fire";
+  } catch (const Error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("undelivered message"), std::string::npos) << what;
+    EXPECT_NE(what.find("src 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("dst 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("words 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("stage0"), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// abandon(): deviation is scoped to algorithm tags.
+// ---------------------------------------------------------------------------
+
+TEST(MachineCrash, AbandonFailsAlgorithmTagsButKeepsRecoveryTagsFlowing) {
+  Machine machine(2);
+  machine.run([](RankCtx& ctx) {
+    if (ctx.rank() == 1) {
+      ctx.abandon();
+      ctx.send(0, kRecoveryTagBase + 3, {5.0});
+    }
+    if (ctx.rank() == 0) {
+      RecvStatus status = RecvStatus::kDelivered;
+      const auto algorithm_msg = ctx.recv_timed(1, /*tag=*/3, kInf, &status);
+      EXPECT_FALSE(algorithm_msg.has_value());
+      EXPECT_EQ(status, RecvStatus::kSrcDeviated);
+      const std::vector<double> recovery_msg =
+          ctx.recv(1, kRecoveryTagBase + 3);
+      ASSERT_EQ(recovery_msg.size(), 1u);
+      EXPECT_DOUBLE_EQ(recovery_msg[0], 5.0);
+    }
+  });
+  EXPECT_EQ(machine.crash_outcome().abandoned, std::vector<int>{1});
+}
+
+// ---------------------------------------------------------------------------
+// fault_profile_from_spec: CLI-facing range validation.
+// ---------------------------------------------------------------------------
+
+TEST(FaultProfileSpec, AcceptsNamedProfilesAndKeyValueSpecs) {
+  EXPECT_NO_THROW(fault_profile_from_spec("heavy"));
+  const FaultProfile p =
+      fault_profile_from_spec("fail_prob=0.25,max_retries=3,max_delay=2.5");
+  EXPECT_DOUBLE_EQ(p.fail_prob, 0.25);
+  EXPECT_EQ(p.max_retries, 3);
+  EXPECT_DOUBLE_EQ(p.max_delay, 2.5);
+}
+
+TEST(FaultProfileSpec, RejectsOutOfRangeAndMalformedKnobs) {
+  EXPECT_THROW(fault_profile_from_spec("fail_prob=1.5"), Error);
+  EXPECT_THROW(fault_profile_from_spec("delay_prob=-0.1"), Error);
+  EXPECT_THROW(fault_profile_from_spec("straggler_prob=2"), Error);
+  EXPECT_THROW(fault_profile_from_spec("max_delay=-1"), Error);
+  EXPECT_THROW(fault_profile_from_spec("no_such_knob=1"), Error);
+  EXPECT_THROW(fault_profile_from_spec("fail_prob="), Error);
+  EXPECT_THROW(fault_profile_from_spec("not_a_profile_name"), Error);
+}
+
+}  // namespace
+}  // namespace camb

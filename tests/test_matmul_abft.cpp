@@ -1,0 +1,201 @@
+// Acceptance tests for the ABFT (checksum-augmented) algorithms: the
+// crash-recovery sweep — every single-rank crash position across many fault
+// seeds completes and reconstructs C *bit-identically* (integer-valued
+// inputs make every sum exact, so recovery is equality, not tolerance) —
+// plus replay-from-master-seed determinism, the exact fault-free cost
+// closed form, structured failure (not deadlock) for the unprotected
+// algorithms, and heartbeat/algorithm phase separation.
+#include "matmul/abft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/faults.hpp"
+#include "matmul/runner.hpp"
+
+namespace camb {
+namespace {
+
+constexpr core::Shape kSummaShape{18, 12, 9};
+constexpr int kSummaGrid = 3;  // P = 9
+constexpr core::Shape kGridShape{8, 6, 4};
+constexpr core::Grid3 kGrid{2, 2, 2};  // P = 8
+
+mm::RunOptions crash_opts(int rank, std::uint64_t master_seed,
+                          i64 max_send_position = 8) {
+  mm::RunOptions opts;
+  opts.verify = mm::VerifyMode::kReference;
+  opts.perturb.master_seed = master_seed;
+  opts.crash.ranks = {rank};
+  opts.crash.max_send_position = max_send_position;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// The crash-recovery sweep (the PR's acceptance bar): every crash rank,
+// >= 16 fault seeds, both protected algorithms.
+// ---------------------------------------------------------------------------
+
+TEST(AbftSweep, SummaSurvivesEverySingleRankCrashAcrossSeeds) {
+  int fired = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    for (int rank = 0; rank < kSummaGrid * kSummaGrid; ++rank) {
+      const mm::RunReport report = mm::run_summa_abft(
+          mm::SummaAbftConfig{mm::SummaConfig{kSummaShape, kSummaGrid}},
+          crash_opts(rank, seed));
+      ASSERT_TRUE(report.verified) << report.recovery.summary();
+      // Integer inputs: reconstruction is exact, not approximately right.
+      ASSERT_EQ(report.max_abs_error, 0.0) << report.recovery.summary();
+      ASSERT_EQ(report.recovery.planned, std::vector<int>{rank});
+      if (!report.recovery.crashed.empty()) {
+        ASSERT_EQ(report.recovery.crashed, std::vector<int>{rank});
+        ++fired;
+      }
+    }
+  }
+  // The sweep must actually exercise recovery, not dodge every crash.
+  EXPECT_GT(fired, 16);
+}
+
+TEST(AbftSweep, Grid3dSurvivesEverySingleRankCrashAcrossSeeds) {
+  int fired = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    for (int rank = 0; rank < 8; ++rank) {
+      const mm::RunReport report = mm::run_grid3d_abft(
+          mm::Grid3dAbftConfig{mm::Grid3dConfig{kGridShape, kGrid}},
+          crash_opts(rank, seed));
+      ASSERT_TRUE(report.verified) << report.recovery.summary();
+      ASSERT_EQ(report.max_abs_error, 0.0) << report.recovery.summary();
+      if (!report.recovery.crashed.empty()) {
+        ASSERT_EQ(report.recovery.crashed, std::vector<int>{rank});
+        ++fired;
+      }
+    }
+  }
+  EXPECT_GT(fired, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Replay: the master seed alone reproduces the whole scenario.
+// ---------------------------------------------------------------------------
+
+TEST(AbftReplay, MasterSeedAloneReproducesCrashAndRecovery) {
+  const auto run = [] {
+    return mm::run_summa_abft(
+        mm::SummaAbftConfig{mm::SummaConfig{kSummaShape, kSummaGrid}},
+        crash_opts(/*rank=*/4, /*master_seed=*/7, /*max_send_position=*/3));
+  };
+  const mm::RunReport a = run();
+  const mm::RunReport b = run();
+  ASSERT_EQ(a.recovery.crashed, std::vector<int>{4});  // the crash fired
+  EXPECT_EQ(a.recovery.crashed, b.recovery.crashed);
+  EXPECT_EQ(a.recovery.abandoned, b.recovery.abandoned);
+  EXPECT_EQ(a.recovery.crash_seed, b.recovery.crash_seed);
+  EXPECT_EQ(a.recovery.detection_events, b.recovery.detection_events);
+  EXPECT_DOUBLE_EQ(a.recovery.first_detection_clock,
+                   b.recovery.first_detection_clock);
+  EXPECT_DOUBLE_EQ(a.recovery.last_detection_clock,
+                   b.recovery.last_detection_clock);
+  EXPECT_EQ(a.recovery.heartbeat_probes, b.recovery.heartbeat_probes);
+  EXPECT_EQ(a.recovery.recovery_recv_words, b.recovery.recovery_recv_words);
+  EXPECT_EQ(a.measured_critical_recv, b.measured_critical_recv);
+  EXPECT_EQ(a.measured_critical_messages, b.measured_critical_messages);
+  EXPECT_EQ(a.phase_recv, b.phase_recv);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-free cost: measured == the exact closed-form prediction.
+// ---------------------------------------------------------------------------
+
+TEST(AbftCost, FaultFreeSummaMatchesExactPrediction) {
+  mm::RunOptions opts;
+  opts.verify = mm::VerifyMode::kReference;
+  const mm::RunReport report = mm::run_summa_abft(
+      mm::SummaAbftConfig{mm::SummaConfig{kSummaShape, kSummaGrid}}, opts);
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+  EXPECT_EQ(report.max_abs_error, 0.0);
+  EXPECT_TRUE(report.recovery.abft);
+  EXPECT_GT(report.recovery.encode_recv_words, 0);
+  EXPECT_TRUE(report.recovery.crashed.empty());
+}
+
+TEST(AbftCost, FaultFreeGrid3dMatchesExactPrediction) {
+  mm::RunOptions opts;
+  opts.verify = mm::VerifyMode::kReference;
+  const mm::RunReport report = mm::run_grid3d_abft(
+      mm::Grid3dAbftConfig{mm::Grid3dConfig{kGridShape, kGrid}}, opts);
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+  EXPECT_EQ(report.max_abs_error, 0.0);
+  EXPECT_TRUE(report.recovery.abft);
+}
+
+// ---------------------------------------------------------------------------
+// Unprotected algorithms: a crash is a structured error, never a deadlock.
+// ---------------------------------------------------------------------------
+
+TEST(AbftContrast, UnprotectedSummaFailsNamingTheCrashedRank) {
+  try {
+    mm::run_summa(mm::SummaConfig{kSummaShape, kSummaGrid},
+                  crash_opts(/*rank=*/1, /*master_seed=*/3,
+                             /*max_send_position=*/0));
+    FAIL() << "expected PeerFailedError";
+  } catch (const PeerFailedError& err) {
+    EXPECT_EQ(err.failed_rank(), 1);
+    EXPECT_TRUE(err.peer_crashed());
+  }
+}
+
+TEST(AbftContrast, UnprotectedGrid3dFailsNamingTheCrashedRank) {
+  try {
+    mm::run_grid3d(mm::Grid3dConfig{kGridShape, kGrid},
+                   crash_opts(/*rank=*/5, /*master_seed=*/3,
+                              /*max_send_position=*/0));
+    FAIL() << "expected PeerFailedError";
+  } catch (const PeerFailedError& err) {
+    EXPECT_EQ(err.failed_rank(), 5);
+    EXPECT_TRUE(err.peer_crashed());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Detection cost separation: heartbeats live in their own phase.
+// ---------------------------------------------------------------------------
+
+TEST(AbftDetection, HeartbeatPhaseCarriesZeroWords) {
+  const mm::RunReport report = mm::run_summa_abft(
+      mm::SummaAbftConfig{mm::SummaConfig{kSummaShape, kSummaGrid}},
+      crash_opts(/*rank=*/4, /*master_seed=*/7, /*max_send_position=*/3));
+  ASSERT_FALSE(report.recovery.crashed.empty());
+  EXPECT_GT(report.recovery.heartbeat_probes, 0);
+  const auto heartbeat = report.phase_recv.find("heartbeat");
+  if (heartbeat != report.phase_recv.end()) {
+    EXPECT_EQ(heartbeat->second, 0);  // probes carry zero words
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration guards.
+// ---------------------------------------------------------------------------
+
+TEST(AbftGuards, SummaRejectsDegenerateGrids) {
+  mm::RunOptions opts;
+  EXPECT_THROW(mm::run_summa_abft(
+                   mm::SummaAbftConfig{mm::SummaConfig{kSummaShape, 1}}, opts),
+               Error);
+}
+
+TEST(AbftGuards, Grid3dRejectsSingletonParityFibers) {
+  mm::RunOptions opts;
+  opts.crash.ranks = {1};
+  opts.crash.max_send_position = 0;
+  // p2 = 1: no surviving fiber member can hold the parity — must refuse
+  // (with a structured error), not silently return a wrong C.
+  EXPECT_THROW(mm::run_grid3d_abft(
+                   mm::Grid3dAbftConfig{mm::Grid3dConfig{kGridShape, {2, 1, 2}}},
+                   opts),
+               Error);
+}
+
+}  // namespace
+}  // namespace camb

@@ -17,6 +17,7 @@
 #include "core/cost_eq3.hpp"
 #include "core/grid.hpp"
 #include "core/partition_audit.hpp"
+#include "machine/faults.hpp"
 #include "machine/topology.hpp"
 #include "matmul/algorithm_registry.hpp"
 #include "util/cli.hpp"
@@ -34,6 +35,45 @@ void add_shape_flags(Cli& cli) {
 
 core::Shape shape_from(const Cli& cli) {
   return core::Shape{cli.get_int("n1"), cli.get_int("n2"), cli.get_int("n3")};
+}
+
+/// Parse "--crash-ranks 3,7" into a validated rank list.  Anything that is
+/// not a comma-separated list of ranks in [0, nprocs) is a camb::Error, which
+/// main() turns into a one-line `error: ...` and a nonzero exit.
+std::vector<int> parse_crash_ranks(const std::string& spec, i64 nprocs) {
+  std::vector<int> ranks;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (item.empty()) throw Error("--crash-ranks: empty entry in '" + spec + "'");
+    std::size_t used = 0;
+    long value = 0;
+    try {
+      value = std::stol(item, &used);
+    } catch (const std::exception&) {
+      throw Error("--crash-ranks: '" + item + "' is not an integer");
+    }
+    if (used != item.size())
+      throw Error("--crash-ranks: '" + item + "' is not an integer");
+    if (value < 0)
+      throw Error("--crash-ranks: rank " + item + " is negative");
+    if (value >= nprocs)
+      throw Error("--crash-ranks: rank " + item + " is out of range for p = " +
+                  std::to_string(nprocs));
+    ranks.push_back(static_cast<int>(value));
+  }
+  return ranks;
+}
+
+/// Map an algorithm name to its checksum-augmented variant for --abft.
+std::string abft_variant(const std::string& name) {
+  if (name == "summa" || name == "summa_abft") return "summa_abft";
+  if (name == "grid3d_optimal" || name == "grid3d_abft") return "grid3d_abft";
+  throw Error("--abft: no checksum-augmented variant of algorithm '" + name +
+              "' (use summa or grid3d_optimal)");
 }
 
 int cmd_bound(int argc, char** argv) {
@@ -126,11 +166,23 @@ int cmd_run(int argc, char** argv) {
                "master seed; rank RNG and fault seeds derive from it", "42");
   cli.add_flag("fault-profile",
                "fault injection profile: none | delays | drops | stragglers "
-               "| light | heavy",
+               "| light | heavy, or a key=value spec like "
+               "'fail_prob=0.2,delay_prob=0.1,max_delay=4'",
                "none");
   cli.add_flag("fault-seed",
                "override the derived fault seed (0 = derive from master-seed)",
                "0");
+  cli.add_flag("crash-ranks",
+               "comma-separated ranks to crash mid-run (empty = none)", "");
+  cli.add_flag("crash-max-send",
+               "crash positions are drawn from [0, this] counted sends", "64");
+  cli.add_flag("crash-seed",
+               "override the derived crash seed (0 = derive from master-seed)",
+               "0");
+  cli.add_flag("abft",
+               "run the checksum-augmented variant of the algorithm, which "
+               "survives crashed ranks",
+               "false");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("cambounds run");
@@ -138,7 +190,9 @@ int cmd_run(int argc, char** argv) {
   }
   const core::Shape shape = shape_from(cli);
   const i64 P = cli.get_int("p");
-  const auto& algorithm = mm::algorithm_by_name(cli.get("algorithm"));
+  std::string algorithm_name = cli.get("algorithm");
+  if (cli.get_bool("abft")) algorithm_name = abft_variant(algorithm_name);
+  const auto& algorithm = mm::algorithm_by_name(algorithm_name);
   if (!algorithm.supports(shape, P)) {
     std::cerr << "algorithm '" << algorithm.name
               << "' does not support this (shape, P)\n";
@@ -152,7 +206,13 @@ int cmd_run(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("master-seed"));
   opts.perturb.fault_seed_override =
       static_cast<std::uint64_t>(cli.get_int("fault-seed"));
-  (void)fault_profile_by_name(opts.perturb.profile);  // validate early
+  (void)fault_profile_from_spec(opts.perturb.profile);  // validate early
+  opts.crash.ranks = parse_crash_ranks(cli.get("crash-ranks"), P);
+  opts.crash.max_send_position = cli.get_int("crash-max-send");
+  if (opts.crash.max_send_position < 0)
+    throw Error("--crash-max-send must be non-negative");
+  opts.crash.crash_seed_override =
+      static_cast<std::uint64_t>(cli.get_int("crash-seed"));
   const mm::RunReport report = algorithm.run_opts(shape, P, opts);
   std::cout << "algorithm: " << algorithm.name << "\n"
             << "measured communication: " << report.measured_critical_recv
@@ -173,6 +233,10 @@ int cmd_run(int argc, char** argv) {
   if (report.faults.enabled) {
     std::cout << "simulated time:         " << report.simulated_time << "\n"
               << "faults:                 " << report.faults.summary() << "\n";
+  }
+  if (report.recovery.enabled || report.recovery.abft) {
+    std::cout << "recovery:               " << report.recovery.summary()
+              << "\n";
   }
   return 0;
 }
