@@ -27,12 +27,6 @@ using namespace camb;
 
 namespace {
 
-std::vector<int> iota_group(int p) {
-  std::vector<int> group(static_cast<std::size_t>(p));
-  std::iota(group.begin(), group.end(), 0);
-  return group;
-}
-
 void variant_table(int p, i64 block) {
   std::cout << "--- All-Gather variants: p = " << p << ", block = " << block
             << " words ---\n";
@@ -43,9 +37,8 @@ void variant_table(int p, i64 block) {
     Machine machine(p);
     machine.run([&](RankCtx& ctx) {
       (void)coll::allgather_equal(
-          ctx, iota_group(p),
-          std::vector<double>(static_cast<std::size_t>(block)), 0,
-          variant.algo);
+          coll::Comm::world(ctx),
+          std::vector<double>(static_cast<std::size_t>(block)), variant.algo);
     });
     const auto totals = machine.stats().rank_total(0);
     table.add_row({variant.name, Table::fmt_int(totals.words_received),
@@ -62,8 +55,8 @@ void variant_table(int p, i64 block) {
     Machine machine(p);
     machine.run([&](RankCtx& ctx) {
       (void)coll::reduce_scatter_equal(
-          ctx, iota_group(p),
-          std::vector<double>(static_cast<std::size_t>(block * p), 1.0), 0,
+          coll::Comm::world(ctx),
+          std::vector<double>(static_cast<std::size_t>(block * p), 1.0),
           variant.algo);
     });
     const auto totals = machine.stats().rank_total(0);
@@ -83,8 +76,8 @@ void rs_vs_alltoall(int p, i64 seg) {
     Machine machine(p);
     machine.run([&](RankCtx& ctx) {
       (void)coll::reduce_scatter_equal(
-          ctx, iota_group(p),
-          std::vector<double>(static_cast<std::size_t>(seg * p), 1.0), 0);
+          coll::Comm::world(ctx),
+          std::vector<double>(static_cast<std::size_t>(seg * p), 1.0));
     });
     const auto totals = machine.stats().rank_total(0);
     table.add_row({"Reduce-Scatter (Alg. 1)",
@@ -99,7 +92,7 @@ void rs_vs_alltoall(int p, i64 seg) {
       for (auto& b : blocks) {
         b.assign(static_cast<std::size_t>(seg), 1.0);
       }
-      const auto received = coll::alltoall(ctx, iota_group(p), blocks, 0);
+      const auto received = coll::alltoall(coll::Comm::world(ctx), blocks);
       std::vector<double> sum(static_cast<std::size_t>(seg), 0.0);
       for (const auto& b : received) {
         for (std::size_t j = 0; j < sum.size(); ++j) sum[j] += b[j];
@@ -116,7 +109,7 @@ void rs_vs_alltoall(int p, i64 seg) {
       std::vector<std::vector<double>> blocks(
           static_cast<std::size_t>(p),
           std::vector<double>(static_cast<std::size_t>(seg), 1.0));
-      const auto received = coll::alltoall(ctx, iota_group(p), blocks, 0,
+      const auto received = coll::alltoall(coll::Comm::world(ctx), blocks,
                                            coll::AlltoallAlgo::kBruck);
       std::vector<double> sum(static_cast<std::size_t>(seg), 0.0);
       for (const auto& b : received) {
@@ -140,9 +133,9 @@ void allreduce_compositions(int p, i64 w) {
   {
     Machine machine(p);
     machine.run([&](RankCtx& ctx) {
-      (void)coll::allreduce(ctx, iota_group(p),
-                            std::vector<double>(static_cast<std::size_t>(w), 1.0),
-                            0);
+      (void)coll::allreduce(
+          coll::Comm::world(ctx),
+          std::vector<double>(static_cast<std::size_t>(w), 1.0));
     });
     const i64 worst = machine.stats().critical_path_received_words();
     table.add_row({"RS + AG (bandwidth-optimal)", Table::fmt_int(worst),
@@ -151,9 +144,10 @@ void allreduce_compositions(int p, i64 w) {
   {
     Machine machine(p);
     machine.run([&](RankCtx& ctx) {
+      const coll::Comm world = coll::Comm::world(ctx);
       std::vector<double> data(static_cast<std::size_t>(w), 1.0);
-      auto root_sum = coll::reduce(ctx, iota_group(p), 0, std::move(data), 0);
-      coll::bcast(ctx, iota_group(p), 0, root_sum, w, coll::kTagStride);
+      auto root_sum = coll::reduce(world, 0, std::move(data));
+      coll::bcast(world, 0, root_sum, w);
     });
     const i64 worst = machine.stats().critical_path_received_words();
     table.add_row({"reduce + bcast (naive)", Table::fmt_int(worst),
@@ -205,7 +199,7 @@ void bcast_pipelining() {
       machine.run([&](RankCtx& ctx) {
         std::vector<double> data;
         if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(w), 1.0);
-        coll::bcast(ctx, iota_group(p), 0, data, w, 0, algo, 32);
+        coll::bcast(coll::Comm::world(ctx), 0, data, w, algo, 32);
       });
       return machine.critical_path_time();
     };

@@ -73,13 +73,12 @@ BENCHMARK(BM_MailboxPingPong)->Arg(64)->Arg(4096)->Arg(262144);
 void BM_Allgather(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const i64 block = state.range(1);
-  std::vector<int> group(static_cast<std::size_t>(p));
-  std::iota(group.begin(), group.end(), 0);
   for (auto _ : state) {
     Machine machine(p);
     machine.run([&](RankCtx& ctx) {
       (void)coll::allgather_equal(
-          ctx, group, std::vector<double>(static_cast<std::size_t>(block)), 0);
+          coll::Comm::world(ctx),
+          std::vector<double>(static_cast<std::size_t>(block)));
     });
   }
   state.SetBytesProcessed(state.iterations() * p * (p - 1) * block * 8);
@@ -89,14 +88,12 @@ BENCHMARK(BM_Allgather)->Args({4, 4096})->Args({8, 4096})->Args({16, 4096});
 void BM_ReduceScatter(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   const i64 seg = state.range(1);
-  std::vector<int> group(static_cast<std::size_t>(p));
-  std::iota(group.begin(), group.end(), 0);
   for (auto _ : state) {
     Machine machine(p);
     machine.run([&](RankCtx& ctx) {
       (void)coll::reduce_scatter_equal(
-          ctx, group,
-          std::vector<double>(static_cast<std::size_t>(seg * p), 1.0), 0);
+          coll::Comm::world(ctx),
+          std::vector<double>(static_cast<std::size_t>(seg * p), 1.0));
     });
   }
   state.SetBytesProcessed(state.iterations() * p * (p - 1) * seg * 8);

@@ -20,12 +20,6 @@ using namespace camb;
 
 namespace {
 
-std::vector<int> iota_group(int p) {
-  std::vector<int> group(static_cast<std::size_t>(p));
-  std::iota(group.begin(), group.end(), 0);
-  return group;
-}
-
 void allgather_variants_on_topologies() {
   const int p = 16;
   const i64 block = 256;
@@ -41,8 +35,8 @@ void allgather_variants_on_topologies() {
     Trace& trace = machine.enable_trace();
     machine.run([&](RankCtx& ctx) {
       (void)coll::allgather_equal(
-          ctx, iota_group(p),
-          std::vector<double>(static_cast<std::size_t>(block)), 0, algo);
+          coll::Comm::world(ctx),
+          std::vector<double>(static_cast<std::size_t>(block)), algo);
     });
     const auto flat = analyze_contention(trace, FullyConnected(p));
     for (const Topology* topo :

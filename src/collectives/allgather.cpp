@@ -12,18 +12,18 @@ bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 /// Ring All-Gather: member i forwards blocks to (i+1) mod p, receiving from
 /// (i-1) mod p.  In round r, member i sends block (i - r) mod p and receives
 /// block (i - r - 1) mod p, so after p-1 rounds every member has every block.
-std::vector<double> allgather_ring(RankCtx& ctx, const std::vector<int>& group,
+std::vector<double> allgather_ring(const Comm& comm,
                                    const std::vector<i64>& counts,
                                    const std::vector<double>& local,
                                    int tag_base) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
+  const int p = comm.size();
+  const int me = comm.my_index();
   const i64 total = counts_total(counts);
   std::vector<double> out(static_cast<std::size_t>(total));
   std::copy(local.begin(), local.end(),
             out.begin() + counts_offset(counts, me));
-  const int next = group[static_cast<std::size_t>((me + 1) % p)];
-  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  const int next = (me + 1) % p;
+  const int prev = (me + p - 1) % p;
   for (int r = 0; r < p - 1; ++r) {
     const int send_block = (me - r + p) % p;
     const int recv_block = (me - r - 1 + 2 * p) % p;
@@ -31,8 +31,8 @@ std::vector<double> allgather_ring(RankCtx& ctx, const std::vector<int>& group,
     const i64 send_len = counts[static_cast<std::size_t>(send_block)];
     std::vector<double> chunk(out.begin() + send_off,
                               out.begin() + send_off + send_len);
-    ctx.send(next, tag_base + r, std::move(chunk));
-    std::vector<double> incoming = ctx.recv(prev, tag_base + r);
+    comm.send(next, tag_base + r, std::move(chunk));
+    std::vector<double> incoming = comm.recv(prev, tag_base + r);
     CAMB_CHECK(static_cast<i64>(incoming.size()) ==
                counts[static_cast<std::size_t>(recv_block)]);
     std::copy(incoming.begin(), incoming.end(),
@@ -41,14 +41,14 @@ std::vector<double> allgather_ring(RankCtx& ctx, const std::vector<int>& group,
   return out;
 }
 
-/// Recursive-doubling All-Gather (power-of-two group size).  Before round t
+/// Recursive-doubling All-Gather (power-of-two comm size).  Before round t
 /// (distance 2^t) member i holds the blocks of all members sharing its index
 /// bits above bit t; exchanging with partner i ^ 2^t doubles the held span.
 std::vector<double> allgather_recursive_doubling(
-    RankCtx& ctx, const std::vector<int>& group, const std::vector<i64>& counts,
+    const Comm& comm, const std::vector<i64>& counts,
     const std::vector<double>& local, int tag_base) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
+  const int p = comm.size();
+  const int me = comm.my_index();
   const i64 total = counts_total(counts);
   std::vector<double> out(static_cast<std::size_t>(total));
   std::copy(local.begin(), local.end(),
@@ -56,7 +56,6 @@ std::vector<double> allgather_recursive_doubling(
   int round = 0;
   for (int dist = 1; dist < p; dist <<= 1, ++round) {
     const int partner_idx = me ^ dist;
-    const int partner = group[static_cast<std::size_t>(partner_idx)];
     // Blocks currently held: indices with the same bits >= dist as me.
     const int my_span_lo = (me / dist) * dist;
     const int partner_span_lo = (partner_idx / dist) * dist;
@@ -68,7 +67,7 @@ std::vector<double> allgather_recursive_doubling(
     std::vector<double> chunk(out.begin() + send_off,
                               out.begin() + send_off + send_len);
     std::vector<double> incoming =
-        ctx.sendrecv(partner, tag_base + round, std::move(chunk));
+        comm.sendrecv(partner_idx, tag_base + round, std::move(chunk));
     i64 recv_len = 0;
     for (int b = partner_span_lo; b < partner_span_lo + dist; ++b) {
       recv_len += counts[static_cast<std::size_t>(b)];
@@ -80,15 +79,15 @@ std::vector<double> allgather_recursive_doubling(
   return out;
 }
 
-/// Bruck All-Gather (any group size, ⌈log2 p⌉ rounds).  Works on a virtual
+/// Bruck All-Gather (any comm size, ⌈log2 p⌉ rounds).  Works on a virtual
 /// rotation: member i accumulates the blocks of members i, i+1, … (mod p);
 /// in round t it receives 2^t more blocks from member (i + 2^t) mod p.
-std::vector<double> allgather_bruck(RankCtx& ctx, const std::vector<int>& group,
+std::vector<double> allgather_bruck(const Comm& comm,
                                     const std::vector<i64>& counts,
                                     const std::vector<double>& local,
                                     int tag_base) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
+  const int p = comm.size();
+  const int me = comm.my_index();
   // held[j] is the block of member (me + j) mod p, for j < held_count.
   std::vector<std::vector<double>> held;
   held.reserve(static_cast<std::size_t>(p));
@@ -98,8 +97,8 @@ std::vector<double> allgather_bruck(RankCtx& ctx, const std::vector<int>& group,
     const int have = static_cast<int>(held.size());
     const int want = std::min(dist, p - have);
     if (want <= 0) break;
-    const int src = group[static_cast<std::size_t>((me + dist) % p)];
-    const int dst = group[static_cast<std::size_t>((me - dist % p + p) % p)];
+    const int src = (me + dist) % p;
+    const int dst = (me - dist % p + p) % p;
     // Send my first `want` held blocks to dst (they are the blocks dst is
     // missing), receive the same count from src.  Flatten with length
     // prefix-free framing: sizes are derivable from counts on both sides.
@@ -108,8 +107,8 @@ std::vector<double> allgather_bruck(RankCtx& ctx, const std::vector<int>& group,
       outbuf.insert(outbuf.end(), held[static_cast<std::size_t>(j)].begin(),
                     held[static_cast<std::size_t>(j)].end());
     }
-    ctx.send(dst, tag_base + round, std::move(outbuf));
-    std::vector<double> inbuf = ctx.recv(src, tag_base + round);
+    comm.send(dst, tag_base + round, std::move(outbuf));
+    std::vector<double> inbuf = comm.recv(src, tag_base + round);
     // Unpack: incoming blocks are those of members (me + have + j) mod p.
     i64 cursor = 0;
     for (int j = 0; j < want; ++j) {
@@ -136,43 +135,44 @@ std::vector<double> allgather_bruck(RankCtx& ctx, const std::vector<int>& group,
 
 }  // namespace
 
-std::vector<double> allgather(RankCtx& ctx, const std::vector<int>& group,
-                              const std::vector<i64>& counts,
-                              const std::vector<double>& local, int tag_base,
+std::vector<double> allgather(const Comm& comm, const std::vector<i64>& counts,
+                              const std::vector<double>& local,
                               AllgatherAlgo algo) {
-  validate_group(group, ctx.nprocs());
-  CAMB_CHECK_MSG(counts.size() == group.size(),
-                 "counts arity must match group size");
-  const int me = group_index(group, ctx.rank());
+  CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
+  CAMB_CHECK_MSG(static_cast<int>(counts.size()) == comm.size(),
+                 "counts arity must match comm size");
   CAMB_CHECK_MSG(static_cast<i64>(local.size()) ==
-                     counts[static_cast<std::size_t>(me)],
+                     counts[static_cast<std::size_t>(comm.my_index())],
                  "local block size must match counts[my index]");
-  if (group.size() == 1) return local;
+  if (comm.size() == 1) return local;
+  const int tag_base = comm.take_tag_block();
 
   if (algo == AllgatherAlgo::kAuto) {
-    algo = is_pow2(group.size()) ? AllgatherAlgo::kRecursiveDoubling
-                                 : AllgatherAlgo::kBruck;
+    algo = is_pow2(static_cast<std::size_t>(comm.size()))
+               ? AllgatherAlgo::kRecursiveDoubling
+               : AllgatherAlgo::kBruck;
   }
   switch (algo) {
     case AllgatherAlgo::kRing:
-      return allgather_ring(ctx, group, counts, local, tag_base);
+      return allgather_ring(comm, counts, local, tag_base);
     case AllgatherAlgo::kRecursiveDoubling:
-      CAMB_CHECK_MSG(is_pow2(group.size()),
-                     "recursive doubling requires power-of-two group");
-      return allgather_recursive_doubling(ctx, group, counts, local, tag_base);
+      CAMB_CHECK_MSG(is_pow2(static_cast<std::size_t>(comm.size())),
+                     "recursive doubling requires power-of-two comm");
+      return allgather_recursive_doubling(comm, counts, local, tag_base);
     case AllgatherAlgo::kBruck:
-      return allgather_bruck(ctx, group, counts, local, tag_base);
+      return allgather_bruck(comm, counts, local, tag_base);
     case AllgatherAlgo::kAuto:
       break;
   }
   throw Error("unreachable allgather algo");
 }
 
-std::vector<double> allgather_equal(RankCtx& ctx, const std::vector<int>& group,
+std::vector<double> allgather_equal(const Comm& comm,
                                     const std::vector<double>& local,
-                                    int tag_base, AllgatherAlgo algo) {
-  std::vector<i64> counts(group.size(), static_cast<i64>(local.size()));
-  return allgather(ctx, group, counts, local, tag_base, algo);
+                                    AllgatherAlgo algo) {
+  std::vector<i64> counts(static_cast<std::size_t>(comm.size()),
+                          static_cast<i64>(local.size()));
+  return allgather(comm, counts, local, algo);
 }
 
 }  // namespace camb::coll

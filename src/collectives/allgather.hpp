@@ -1,18 +1,18 @@
 // allgather.hpp — All-Gather collective (used by Algorithm 1, lines 3–4).
 //
-// Every group member contributes a block; everyone ends with the
-// concatenation of all blocks in group order.  All implemented variants are
+// Every comm member contributes a block; everyone ends with the
+// concatenation of all blocks in comm order.  All implemented variants are
 // bandwidth optimal: each rank receives exactly (total − own) words, which for
 // equal blocks is the (1 − 1/p)·w of §5.1.  They differ in latency:
 //
-//   ring               p − 1 rounds   any group size, any block sizes
-//   recursive doubling ⌈log2 p⌉ rounds  power-of-two group size
-//   bruck              ⌈log2 p⌉ rounds  any group size
+//   ring               p − 1 rounds   any comm size, any block sizes
+//   recursive doubling ⌈log2 p⌉ rounds  power-of-two comm size
+//   bruck              ⌈log2 p⌉ rounds  any comm size
 #pragma once
 
 #include <vector>
 
-#include "collectives/group.hpp"
+#include "collectives/comm.hpp"
 
 namespace camb::coll {
 
@@ -20,22 +20,20 @@ enum class AllgatherAlgo {
   kRing,
   kRecursiveDoubling,
   kBruck,
-  /// recursive doubling when |group| is a power of two, otherwise Bruck.
+  /// recursive doubling when the comm size is a power of two, else Bruck.
   kAuto,
 };
 
-/// Runs the All-Gather.  `counts[i]` is the block size of group member i;
+/// Runs the All-Gather.  `counts[i]` is the block size of comm member i;
 /// `local` is this rank's own block (size counts[my index]).  Returns the
 /// concatenated blocks (size counts_total(counts)).
-std::vector<double> allgather(RankCtx& ctx, const std::vector<int>& group,
-                              const std::vector<i64>& counts,
-                              const std::vector<double>& local, int tag_base,
+std::vector<double> allgather(const Comm& comm, const std::vector<i64>& counts,
+                              const std::vector<double>& local,
                               AllgatherAlgo algo = AllgatherAlgo::kAuto);
 
 /// Equal-block convenience wrapper: every member contributes local.size().
-std::vector<double> allgather_equal(RankCtx& ctx, const std::vector<int>& group,
+std::vector<double> allgather_equal(const Comm& comm,
                                     const std::vector<double>& local,
-                                    int tag_base,
                                     AllgatherAlgo algo = AllgatherAlgo::kAuto);
 
 }  // namespace camb::coll

@@ -2,19 +2,18 @@
 
 namespace camb::coll {
 
-std::vector<double> allreduce(RankCtx& ctx, const std::vector<int>& group,
-                              std::vector<double> data, int tag_base) {
-  validate_group(group, ctx.nprocs());
-  const int p = static_cast<int>(group.size());
+std::vector<double> allreduce(const Comm& comm, std::vector<double> data) {
+  CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
+  const int p = comm.size();
   if (p == 1) return data;
   // Near-equal segmentation (first w mod p segments get one extra word) so
-  // the composition works for any payload size, including w < p.
+  // the composition works for any payload size, including w < p.  The two
+  // stages each draw their own tag block from the comm.
   const auto w = static_cast<i64>(data.size());
   std::vector<i64> counts(static_cast<std::size_t>(p), w / p);
   for (i64 j = 0; j < w % p; ++j) counts[static_cast<std::size_t>(j)] += 1;
-  std::vector<double> segment =
-      reduce_scatter(ctx, group, counts, data, tag_base);
-  return allgather(ctx, group, counts, segment, tag_base + kTagStride / 2);
+  std::vector<double> segment = reduce_scatter(comm, counts, data);
+  return allgather(comm, counts, segment);
 }
 
 }  // namespace camb::coll

@@ -11,8 +11,7 @@
 
 namespace camb::coll {
 
-/// Element-wise sum across the group; every member receives the full result.
-std::vector<double> allreduce(RankCtx& ctx, const std::vector<int>& group,
-                              std::vector<double> data, int tag_base);
+/// Element-wise sum across the comm; every member receives the full result.
+std::vector<double> allreduce(const Comm& comm, std::vector<double> data);
 
 }  // namespace camb::coll

@@ -5,19 +5,18 @@ namespace camb::coll {
 namespace {
 
 std::vector<std::vector<double>> alltoall_pairwise(
-    RankCtx& ctx, const std::vector<int>& group,
-    const std::vector<std::vector<double>>& blocks, int tag_base) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
+    const Comm& comm, const std::vector<std::vector<double>>& blocks,
+    int tag_base) {
+  const int p = comm.size();
+  const int me = comm.my_index();
   std::vector<std::vector<double>> received(static_cast<std::size_t>(p));
   received[static_cast<std::size_t>(me)] = blocks[static_cast<std::size_t>(me)];
   for (int r = 1; r < p; ++r) {
     const int dst_idx = (me + r) % p;
     const int src_idx = (me - r + p) % p;
-    ctx.send(group[static_cast<std::size_t>(dst_idx)], tag_base + r,
-             blocks[static_cast<std::size_t>(dst_idx)]);
+    comm.send(dst_idx, tag_base + r, blocks[static_cast<std::size_t>(dst_idx)]);
     received[static_cast<std::size_t>(src_idx)] =
-        ctx.recv(group[static_cast<std::size_t>(src_idx)], tag_base + r);
+        comm.recv(src_idx, tag_base + r);
   }
   return received;
 }
@@ -26,10 +25,10 @@ std::vector<std::vector<double>> alltoall_pairwise(
 /// destination (me + d) mod p; in round t, positions with bit t set hop
 /// +2^t ranks, so every block accumulates exactly its required displacement.
 std::vector<std::vector<double>> alltoall_bruck(
-    RankCtx& ctx, const std::vector<int>& group,
-    const std::vector<std::vector<double>>& blocks, int tag_base) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
+    const Comm& comm, const std::vector<std::vector<double>>& blocks,
+    int tag_base) {
+  const int p = comm.size();
+  const int me = comm.my_index();
   const std::size_t block_words = blocks[0].size();
   for (const auto& block : blocks) {
     CAMB_CHECK_MSG(block.size() == block_words,
@@ -44,8 +43,8 @@ std::vector<std::vector<double>> alltoall_bruck(
   // Phase 2: log rounds of displaced hops.
   int round = 0;
   for (int dist = 1; dist < p; dist <<= 1, ++round) {
-    const int dst = group[static_cast<std::size_t>((me + dist) % p)];
-    const int src = group[static_cast<std::size_t>((me - dist + p) % p)];
+    const int dst = (me + dist) % p;
+    const int src = (me - dist + p) % p;
     std::vector<double> outbuf;
     for (int d = 0; d < p; ++d) {
       if (d & dist) {
@@ -53,8 +52,8 @@ std::vector<std::vector<double>> alltoall_bruck(
                       buf[static_cast<std::size_t>(d)].end());
       }
     }
-    ctx.send(dst, tag_base + round, std::move(outbuf));
-    std::vector<double> inbuf = ctx.recv(src, tag_base + round);
+    comm.send(dst, tag_base + round, std::move(outbuf));
+    std::vector<double> inbuf = comm.recv(src, tag_base + round);
     std::size_t cursor = 0;
     for (int d = 0; d < p; ++d) {
       if (d & dist) {
@@ -79,19 +78,19 @@ std::vector<std::vector<double>> alltoall_bruck(
 }  // namespace
 
 std::vector<std::vector<double>> alltoall(
-    RankCtx& ctx, const std::vector<int>& group,
-    const std::vector<std::vector<double>>& blocks, int tag_base,
+    const Comm& comm, const std::vector<std::vector<double>>& blocks,
     AlltoallAlgo algo) {
-  validate_group(group, ctx.nprocs());
-  const int p = static_cast<int>(group.size());
+  CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
+  const int p = comm.size();
   CAMB_CHECK_MSG(static_cast<int>(blocks.size()) == p,
-                 "alltoall needs one block per group member");
+                 "alltoall needs one block per comm member");
   if (p == 1) return {blocks[0]};
+  const int tag_base = comm.take_tag_block();
   switch (algo) {
     case AlltoallAlgo::kPairwise:
-      return alltoall_pairwise(ctx, group, blocks, tag_base);
+      return alltoall_pairwise(comm, blocks, tag_base);
     case AlltoallAlgo::kBruck:
-      return alltoall_bruck(ctx, group, blocks, tag_base);
+      return alltoall_bruck(comm, blocks, tag_base);
   }
   throw Error("unreachable alltoall algo");
 }

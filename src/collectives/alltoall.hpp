@@ -3,14 +3,14 @@
 // Member i sends block (i, j) to member j.  Included because Agarwal et al.
 // (1995) used All-to-All where Algorithm 1 uses Reduce-Scatter; the
 // collectives ablation bench quantifies the difference.  Implemented as a
-// p − 1 round shifted pairwise exchange (any group size); bandwidth per rank
+// p − 1 round shifted pairwise exchange (any comm size); bandwidth per rank
 // is (total − own block), same as Reduce-Scatter, but the reduction work then
 // has to happen after the exchange and the latency is p − 1 rounds always.
 #pragma once
 
 #include <vector>
 
-#include "collectives/group.hpp"
+#include "collectives/comm.hpp"
 
 namespace camb::coll {
 
@@ -23,11 +23,10 @@ enum class AlltoallAlgo {
   kBruck,
 };
 
-/// blocks[j] is this member's block destined for group member j.  Returns
+/// blocks[j] is this member's block destined for comm member j.  Returns
 /// received blocks: result[j] is the block member j sent to this member.
 std::vector<std::vector<double>> alltoall(
-    RankCtx& ctx, const std::vector<int>& group,
-    const std::vector<std::vector<double>>& blocks, int tag_base,
+    const Comm& comm, const std::vector<std::vector<double>>& blocks,
     AlltoallAlgo algo = AlltoallAlgo::kPairwise);
 
 /// Exact per-rank received words of the Bruck variant with equal blocks:

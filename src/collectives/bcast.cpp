@@ -6,11 +6,10 @@ namespace camb::coll {
 
 namespace {
 
-void bcast_binomial(RankCtx& ctx, const std::vector<int>& group, int root_idx,
-                    std::vector<double>& data, i64 payload_words,
-                    int tag_base) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
+void bcast_binomial(const Comm& comm, int root_idx, std::vector<double>& data,
+                    i64 payload_words, int tag_base) {
+  const int p = comm.size();
+  const int me = comm.my_index();
   // Virtual index: root becomes 0, everything else rotates.
   const int v = (me - root_idx + p) % p;
   if (v == 0) {
@@ -23,13 +22,11 @@ void bcast_binomial(RankCtx& ctx, const std::vector<int>& group, int root_idx,
     if (have_data) {
       const int dst_v = v + dist;
       if (v < dist && dst_v < p) {
-        const int dst = group[static_cast<std::size_t>((dst_v + root_idx) % p)];
-        ctx.send(dst, tag_base + round, data);
+        comm.send((dst_v + root_idx) % p, tag_base + round, data);
       }
     } else if (v >= dist && v < 2 * dist) {
       const int src_v = v - dist;
-      const int src = group[static_cast<std::size_t>((src_v + root_idx) % p)];
-      data = ctx.recv(src, tag_base + round);
+      data = comm.recv((src_v + root_idx) % p, tag_base + round);
       CAMB_CHECK(static_cast<i64>(data.size()) == payload_words);
       have_data = true;
     }
@@ -41,18 +38,19 @@ void bcast_binomial(RankCtx& ctx, const std::vector<int>& group, int root_idx,
 /// to its successor; every other member forwards each segment on as soon as
 /// it arrives.  Segment s travels with tag tag_base + s, so forwarding can
 /// proceed without per-hop synchronization.
-void bcast_pipelined_ring(RankCtx& ctx, const std::vector<int>& group,
-                          int root_idx, std::vector<double>& data,
-                          i64 payload_words, int tag_base, i64 segments) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
+void bcast_pipelined_ring(const Comm& comm, int root_idx,
+                          std::vector<double>& data, i64 payload_words,
+                          int tag_base, i64 segments) {
+  const int p = comm.size();
+  const int me = comm.my_index();
   const int v = (me - root_idx + p) % p;  // position along the ring
   segments = std::max<i64>(1, std::min(segments, std::max<i64>(payload_words, 1)));
-  CAMB_CHECK_MSG(segments < kTagStride, "too many segments for the tag range");
+  CAMB_CHECK_MSG(segments < kTagBlockWidth,
+                 "too many segments for the tag block");
   const i64 base = payload_words / segments;
   const i64 extra = payload_words % segments;
-  const int next = group[static_cast<std::size_t>((me + 1) % p)];
-  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  const int next = (me + 1) % p;
+  const int prev = (me + p - 1) % p;
   const bool is_root = (v == 0);
   const bool is_tail = (v == p - 1);
   if (is_root) {
@@ -61,9 +59,9 @@ void bcast_pipelined_ring(RankCtx& ctx, const std::vector<int>& group,
     i64 offset = 0;
     for (i64 s = 0; s < segments; ++s) {
       const i64 len = base + (s < extra ? 1 : 0);
-      ctx.send(next, tag_base + static_cast<int>(s),
-               std::vector<double>(data.begin() + offset,
-                                   data.begin() + offset + len));
+      comm.send(next, tag_base + static_cast<int>(s),
+                std::vector<double>(data.begin() + offset,
+                                    data.begin() + offset + len));
       offset += len;
     }
     return;
@@ -71,35 +69,35 @@ void bcast_pipelined_ring(RankCtx& ctx, const std::vector<int>& group,
   data.assign(static_cast<std::size_t>(payload_words), 0.0);
   i64 offset = 0;
   for (i64 s = 0; s < segments; ++s) {
-    std::vector<double> segment = ctx.recv(prev, tag_base + static_cast<int>(s));
+    std::vector<double> segment = comm.recv(prev, tag_base + static_cast<int>(s));
     const i64 len = base + (s < extra ? 1 : 0);
     CAMB_CHECK(static_cast<i64>(segment.size()) == len);
     std::copy(segment.begin(), segment.end(), data.begin() + offset);
     offset += len;
     if (!is_tail) {
-      ctx.send(next, tag_base + static_cast<int>(s), std::move(segment));
+      comm.send(next, tag_base + static_cast<int>(s), std::move(segment));
     }
   }
 }
 
 }  // namespace
 
-void bcast(RankCtx& ctx, const std::vector<int>& group, int root_idx,
-           std::vector<double>& data, i64 payload_words, int tag_base,
-           BcastAlgo algo, i64 segments) {
-  validate_group(group, ctx.nprocs());
-  const int p = static_cast<int>(group.size());
+void bcast(const Comm& comm, int root_idx, std::vector<double>& data,
+           i64 payload_words, BcastAlgo algo, i64 segments) {
+  CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
+  const int p = comm.size();
   CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "bcast root out of range");
   if (p == 1) {
     CAMB_CHECK(static_cast<i64>(data.size()) == payload_words);
     return;
   }
+  const int tag_base = comm.take_tag_block();
   switch (algo) {
     case BcastAlgo::kBinomial:
-      bcast_binomial(ctx, group, root_idx, data, payload_words, tag_base);
+      bcast_binomial(comm, root_idx, data, payload_words, tag_base);
       return;
     case BcastAlgo::kPipelinedRing:
-      bcast_pipelined_ring(ctx, group, root_idx, data, payload_words, tag_base,
+      bcast_pipelined_ring(comm, root_idx, data, payload_words, tag_base,
                            segments);
       return;
   }

@@ -15,7 +15,7 @@
 
 #include <vector>
 
-#include "collectives/group.hpp"
+#include "collectives/comm.hpp"
 
 namespace camb::coll {
 
@@ -24,12 +24,12 @@ enum class BcastAlgo {
   kPipelinedRing,
 };
 
-/// Broadcast `data` from group member `root_idx` (an index into `group`, not
+/// Broadcast `data` from comm member `root_idx` (an index into the comm, not
 /// a machine rank) to all members.  On non-roots, `data` is resized and
 /// overwritten; `payload_words` must be passed consistently by every member.
 /// `segments` applies to the pipelined ring only (clamped to [1, w]).
-void bcast(RankCtx& ctx, const std::vector<int>& group, int root_idx,
-           std::vector<double>& data, i64 payload_words, int tag_base,
-           BcastAlgo algo = BcastAlgo::kBinomial, i64 segments = 16);
+void bcast(const Comm& comm, int root_idx, std::vector<double>& data,
+           i64 payload_words, BcastAlgo algo = BcastAlgo::kBinomial,
+           i64 segments = 16);
 
 }  // namespace camb::coll

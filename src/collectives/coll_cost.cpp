@@ -195,4 +195,49 @@ i64 allreduce_recv_words_exact(int p, int me, i64 w) {
          allgather_recv_words_exact(counts, me);
 }
 
+CollCost allgather_cost(const Comm& comm, i64 total, AllgatherAlgo algo) {
+  return allgather_cost(comm.size(), total, algo);
+}
+
+CollCost reduce_scatter_cost(const Comm& comm, i64 total,
+                             ReduceScatterAlgo algo) {
+  return reduce_scatter_cost(comm.size(), total, algo);
+}
+
+CollCost bcast_cost(const Comm& comm, i64 w) {
+  return bcast_cost(comm.size(), w);
+}
+
+CollCost reduce_cost(const Comm& comm, i64 w) {
+  return reduce_cost(comm.size(), w);
+}
+
+CollCost allreduce_cost(const Comm& comm, i64 w) {
+  return allreduce_cost(comm.size(), w);
+}
+
+CollCost alltoall_cost(const Comm& comm, i64 block) {
+  return alltoall_cost(comm.size(), block);
+}
+
+i64 allgather_recv_words_exact(const Comm& comm, const std::vector<i64>& counts,
+                               AllgatherAlgo algo) {
+  CAMB_CHECK_MSG(comm.member(), "predictor needs this rank's member index");
+  CAMB_CHECK(static_cast<int>(counts.size()) == comm.size());
+  return allgather_recv_words_exact(counts, comm.my_index(), algo);
+}
+
+i64 reduce_scatter_recv_words_exact(const Comm& comm,
+                                    const std::vector<i64>& counts,
+                                    ReduceScatterAlgo algo) {
+  CAMB_CHECK_MSG(comm.member(), "predictor needs this rank's member index");
+  CAMB_CHECK(static_cast<int>(counts.size()) == comm.size());
+  return reduce_scatter_recv_words_exact(counts, comm.my_index(), algo);
+}
+
+i64 allreduce_recv_words_exact(const Comm& comm, i64 w) {
+  CAMB_CHECK_MSG(comm.member(), "predictor needs this rank's member index");
+  return allreduce_recv_words_exact(comm.size(), comm.my_index(), w);
+}
+
 }  // namespace camb::coll

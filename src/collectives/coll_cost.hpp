@@ -83,4 +83,29 @@ i64 reduce_recv_words_exact(int p, int v, i64 w);
 /// words on `p` members, replicating its near-equal segmentation.
 i64 allreduce_recv_words_exact(int p, int me, i64 w);
 
+// ---------------------------------------------------------------------------
+// Comm-level predictors: the same closed forms, parameterized by the
+// communicator the collective would actually run on (size and this rank's
+// member index come from the comm), so call sites predict against exactly
+// the comm they execute on.
+// ---------------------------------------------------------------------------
+
+CollCost allgather_cost(const Comm& comm, i64 total,
+                        AllgatherAlgo algo = AllgatherAlgo::kAuto);
+CollCost reduce_scatter_cost(const Comm& comm, i64 total,
+                             ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
+CollCost bcast_cost(const Comm& comm, i64 w);
+CollCost reduce_cost(const Comm& comm, i64 w);
+CollCost allreduce_cost(const Comm& comm, i64 w);
+CollCost alltoall_cost(const Comm& comm, i64 block);
+
+/// Exact words this rank receives from the collective on `comm` (member
+/// index taken from the comm; this rank must be a member).
+i64 allgather_recv_words_exact(const Comm& comm, const std::vector<i64>& counts,
+                               AllgatherAlgo algo = AllgatherAlgo::kAuto);
+i64 reduce_scatter_recv_words_exact(
+    const Comm& comm, const std::vector<i64>& counts,
+    ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
+i64 allreduce_recv_words_exact(const Comm& comm, i64 w);
+
 }  // namespace camb::coll

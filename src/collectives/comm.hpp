@@ -1,0 +1,128 @@
+// comm.hpp — first-class communicators for collectives.
+//
+// A Comm is an immutable ordered set of machine ranks with this rank's
+// index cached at construction, plus an owned tag-space lease
+// (machine/tags.hpp).  It replaces the old (group vector, hand-numbered
+// tag_base) convention: collectives take `const Comm&` and draw a fresh tag
+// block per invocation, so no call site ever reasons about tags again.
+//
+// SPMD contract (the same one MPI imposes on communicator creation):
+//
+//   * every rank of the machine performs the identical *sequence* of Comm
+//     constructions — then the k-th lease has the same base everywhere,
+//     even though the member lists may differ per rank (each rank builds
+//     the fiber it belongs to);
+//   * every member of a comm invokes the same collectives on it in the
+//     same order — then the per-invocation tag cursors agree.
+//
+// Comms built at the same program point on different ranks (the row fibers
+// of a grid, say) share a lease base; that is safe precisely because their
+// (src, dst) pairs are disjoint, and message matching is exact on
+// (src, tag).  Construction is purely local — no messages, no cost.
+//
+// Recovery comms lease from the independent recovery region
+// (>= kRecoveryTagBase), whose cursor survives algorithm-phase divergence:
+// a rank that abandoned mid-collective still agrees with clean survivors on
+// every subsequent recovery lease.  A rank may construct a recovery comm it
+// is not a member of (keeping the lease sequence uniform across survivors);
+// only members may communicate on it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace camb::coll {
+
+class Comm {
+ public:
+  /// Tag blocks a comm leases by default: one block per collective
+  /// invocation, so this caps the invocations a comm can serve.
+  static constexpr int kDefaultTagBlocks = 256;
+
+  /// Algorithm-region communicator over an explicit ordered rank set.
+  /// Validates the set (non-empty, in range, distinct — one O(p) bitmask
+  /// pass) and caches this rank's index (-1 when not a member).
+  Comm(RankCtx& ctx, std::vector<int> ranks,
+       int tag_blocks = kDefaultTagBlocks);
+
+  /// The whole machine, ranks in order.
+  static Comm world(RankCtx& ctx, int tag_blocks = kDefaultTagBlocks);
+
+  /// Recovery-region communicator: same validation, lease taken from the
+  /// recovery cursor so abandoned and clean ranks stay in agreement.
+  static Comm recovery(RankCtx& ctx, std::vector<int> ranks,
+                       int tag_blocks = kDefaultTagBlocks);
+
+  /// Sub-communicator: the members whose color (a pure function of member
+  /// index, evaluated locally — no communication) equals this rank's,
+  /// ordered by parent index.  Every member of the parent must call split
+  /// with the same function; each gets the comm of its own color class.
+  Comm split(const std::function<int(int)>& color_of_index,
+             int tag_blocks = kDefaultTagBlocks) const;
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  const std::vector<int>& ranks() const { return ranks_; }
+  /// This rank's index within the comm; -1 when not a member.
+  int my_index() const { return my_index_; }
+  bool member() const { return my_index_ >= 0; }
+  /// Machine rank of member `index`.
+  int rank_at(int index) const {
+    CAMB_CHECK_MSG(index >= 0 && index < size(), "comm index out of range");
+    return ranks_[static_cast<std::size_t>(index)];
+  }
+  /// Index of machine rank `rank`; throws if absent.
+  int index_of(int rank) const;
+
+  RankCtx& ctx() const { return *ctx_; }
+  const TagLease& lease() const { return lease_; }
+  bool is_recovery() const { return lease_.base >= kRecoveryTagBase; }
+
+  /// A fresh tag block for one collective invocation.  Members call this in
+  /// lockstep (one call per collective, inside the collective), so the
+  /// mutable cursor agrees across members.  Throws when the lease is
+  /// exhausted — construct the comm with more tag_blocks instead.
+  int take_tag_block() const;
+
+  /// Index-addressed point-to-point on this comm's tag space.  `tag` must
+  /// come from take_tag_block() (+ an offset within the block); these are
+  /// the building blocks for shift/skew algorithms (Cannon, 2.5D, CARMA).
+  void send(int dst_index, int tag, std::vector<double> payload) const;
+  std::vector<double> recv(int src_index, int tag) const;
+  std::vector<double> sendrecv(int peer_index, int tag,
+                               std::vector<double> payload) const;
+
+ private:
+  Comm(RankCtx& ctx, std::vector<int> ranks, TagLease tag_lease);
+
+  void check_member_op(int peer_index, int tag) const;
+
+  RankCtx* ctx_;
+  std::vector<int> ranks_;
+  int my_index_ = -1;
+  TagLease lease_;
+  mutable int next_block_ = 0;
+};
+
+/// Sum of a count vector (payload sizes per member).
+inline i64 counts_total(const std::vector<i64>& counts) {
+  i64 total = 0;
+  for (i64 c : counts) {
+    CAMB_CHECK_MSG(c >= 0, "counts must be non-negative");
+    total += c;
+  }
+  return total;
+}
+
+/// Offset of member `idx`'s block within the concatenated buffer.
+inline i64 counts_offset(const std::vector<i64>& counts, int idx) {
+  CAMB_CHECK(idx >= 0 && static_cast<std::size_t>(idx) <= counts.size());
+  i64 offset = 0;
+  for (int i = 0; i < idx; ++i) offset += counts[static_cast<std::size_t>(i)];
+  return offset;
+}
+
+}  // namespace camb::coll

@@ -1,27 +1,30 @@
 #include "collectives/gather_scatter.hpp"
 
+#include <algorithm>
+
 namespace camb::coll {
 
-std::vector<double> gather(RankCtx& ctx, const std::vector<int>& group,
-                           int root_idx, const std::vector<i64>& counts,
-                           const std::vector<double>& local, int tag_base) {
-  validate_group(group, ctx.nprocs());
-  const int p = static_cast<int>(group.size());
+std::vector<double> gather(const Comm& comm, int root_idx,
+                           const std::vector<i64>& counts,
+                           const std::vector<double>& local) {
+  CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
+  const int p = comm.size();
   CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "gather root out of range");
-  CAMB_CHECK_MSG(counts.size() == group.size(), "counts arity mismatch");
-  const int me = group_index(group, ctx.rank());
+  CAMB_CHECK_MSG(static_cast<int>(counts.size()) == p, "counts arity mismatch");
+  const int me = comm.my_index();
   CAMB_CHECK(static_cast<i64>(local.size()) ==
              counts[static_cast<std::size_t>(me)]);
+  if (p == 1) return local;
+  const int tag_base = comm.take_tag_block();
   if (me != root_idx) {
-    ctx.send(group[static_cast<std::size_t>(root_idx)], tag_base + me, local);
+    comm.send(root_idx, tag_base + me, local);
     return {};
   }
   std::vector<double> out(static_cast<std::size_t>(counts_total(counts)));
   std::copy(local.begin(), local.end(), out.begin() + counts_offset(counts, me));
   for (int i = 0; i < p; ++i) {
     if (i == root_idx) continue;
-    std::vector<double> chunk =
-        ctx.recv(group[static_cast<std::size_t>(i)], tag_base + i);
+    std::vector<double> chunk = comm.recv(i, tag_base + i);
     CAMB_CHECK(static_cast<i64>(chunk.size()) ==
                counts[static_cast<std::size_t>(i)]);
     std::copy(chunk.begin(), chunk.end(), out.begin() + counts_offset(counts, i));
@@ -29,14 +32,20 @@ std::vector<double> gather(RankCtx& ctx, const std::vector<int>& group,
   return out;
 }
 
-std::vector<double> scatter(RankCtx& ctx, const std::vector<int>& group,
-                            int root_idx, const std::vector<i64>& counts,
-                            const std::vector<double>& full, int tag_base) {
-  validate_group(group, ctx.nprocs());
-  const int p = static_cast<int>(group.size());
+std::vector<double> scatter(const Comm& comm, int root_idx,
+                            const std::vector<i64>& counts,
+                            const std::vector<double>& full) {
+  CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
+  const int p = comm.size();
   CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "scatter root out of range");
-  CAMB_CHECK_MSG(counts.size() == group.size(), "counts arity mismatch");
-  const int me = group_index(group, ctx.rank());
+  CAMB_CHECK_MSG(static_cast<int>(counts.size()) == p, "counts arity mismatch");
+  const int me = comm.my_index();
+  if (p == 1) {
+    CAMB_CHECK_MSG(static_cast<i64>(full.size()) == counts_total(counts),
+                   "scatter root buffer size mismatch");
+    return full;
+  }
+  const int tag_base = comm.take_tag_block();
   if (me == root_idx) {
     CAMB_CHECK_MSG(static_cast<i64>(full.size()) == counts_total(counts),
                    "scatter root buffer size mismatch");
@@ -44,15 +53,14 @@ std::vector<double> scatter(RankCtx& ctx, const std::vector<int>& group,
       if (i == root_idx) continue;
       const i64 off = counts_offset(counts, i);
       const i64 len = counts[static_cast<std::size_t>(i)];
-      ctx.send(group[static_cast<std::size_t>(i)], tag_base + i,
-               std::vector<double>(full.begin() + off, full.begin() + off + len));
+      comm.send(i, tag_base + i,
+                std::vector<double>(full.begin() + off, full.begin() + off + len));
     }
     const i64 off = counts_offset(counts, me);
     const i64 len = counts[static_cast<std::size_t>(me)];
     return std::vector<double>(full.begin() + off, full.begin() + off + len);
   }
-  std::vector<double> chunk =
-      ctx.recv(group[static_cast<std::size_t>(root_idx)], tag_base + me);
+  std::vector<double> chunk = comm.recv(root_idx, tag_base + me);
   CAMB_CHECK(static_cast<i64>(chunk.size()) ==
              counts[static_cast<std::size_t>(me)]);
   return chunk;

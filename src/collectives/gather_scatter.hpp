@@ -9,20 +9,20 @@
 
 #include <vector>
 
-#include "collectives/group.hpp"
+#include "collectives/comm.hpp"
 
 namespace camb::coll {
 
 /// Gather: member i's `local` (counts[i] words) is concatenated on the root
-/// in group order.  Returns the concatenation on the root, empty elsewhere.
-std::vector<double> gather(RankCtx& ctx, const std::vector<int>& group,
-                           int root_idx, const std::vector<i64>& counts,
-                           const std::vector<double>& local, int tag_base);
+/// in comm order.  Returns the concatenation on the root, empty elsewhere.
+std::vector<double> gather(const Comm& comm, int root_idx,
+                           const std::vector<i64>& counts,
+                           const std::vector<double>& local);
 
-/// Scatter: the root's `full` buffer (counts_total words, group order) is
+/// Scatter: the root's `full` buffer (counts_total words, comm order) is
 /// split; member i receives counts[i] words.  `full` is ignored on non-roots.
-std::vector<double> scatter(RankCtx& ctx, const std::vector<int>& group,
-                            int root_idx, const std::vector<i64>& counts,
-                            const std::vector<double>& full, int tag_base);
+std::vector<double> scatter(const Comm& comm, int root_idx,
+                            const std::vector<i64>& counts,
+                            const std::vector<double>& full);
 
 }  // namespace camb::coll

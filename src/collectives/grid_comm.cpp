@@ -1,0 +1,37 @@
+#include "collectives/grid_comm.hpp"
+
+namespace camb::coll {
+
+GridComm::GridComm(RankCtx& ctx, core::Grid3 grid, int tag_blocks_per_fiber)
+    : ctx_(&ctx), grid_(grid) {
+  CAMB_CHECK_MSG(grid_.total() == ctx.nprocs(),
+                 "grid size must match the machine");
+  const i64 rank = ctx.rank();
+  q1_ = rank / (grid_.p2 * grid_.p3);
+  q2_ = (rank / grid_.p3) % grid_.p2;
+  q3_ = rank % grid_.p3;
+  fibers_.reserve(3);
+  for (int axis = 0; axis < 3; ++axis) {
+    const i64 extent = axis == 0 ? grid_.p1 : axis == 1 ? grid_.p2 : grid_.p3;
+    std::vector<int> members;
+    members.reserve(static_cast<std::size_t>(extent));
+    for (i64 v = 0; v < extent; ++v) {
+      members.push_back(rank_of(axis == 0 ? v : q1_, axis == 1 ? v : q2_,
+                                axis == 2 ? v : q3_));
+    }
+    fibers_.emplace_back(ctx, std::move(members), tag_blocks_per_fiber);
+  }
+}
+
+int GridComm::rank_of(i64 q1, i64 q2, i64 q3) const {
+  CAMB_CHECK(q1 >= 0 && q1 < grid_.p1 && q2 >= 0 && q2 < grid_.p2 && q3 >= 0 &&
+             q3 < grid_.p3);
+  return static_cast<int>((q1 * grid_.p2 + q2) * grid_.p3 + q3);
+}
+
+const Comm& GridComm::fiber(int axis) const {
+  CAMB_CHECK_MSG(axis >= 0 && axis < 3, "fiber axis out of range");
+  return fibers_[static_cast<std::size_t>(axis)];
+}
+
+}  // namespace camb::coll

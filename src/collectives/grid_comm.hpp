@@ -1,0 +1,55 @@
+// grid_comm.hpp — the fiber communicators of a logical processor grid.
+//
+// Algorithm 1 and its relatives are defined by *simultaneous collectives
+// over grid fibers* (§5): rank (q1, q2, q3) of a p1 x p2 x p3 grid
+// all-gathers A along its axis-2 fiber, B along axis-0, and reduce-scatters
+// C along axis-1.  GridComm materializes, once per run, this rank's fiber
+// comm along each axis — collectively, all p1·p2 + p1·p3 + p2·p3 fibers of
+// the grid.  Every rank constructs its three fibers in the same order, so
+// the leases line up under the SPMD contract of comm.hpp, and ranks in the
+// same fiber land on the same lease base.
+//
+// Ranks are laid out row-major — rank(q1, q2, q3) = (q1·p2 + q2)·p3 + q3,
+// matching mm::GridMap — which also covers the 2D and 2.5D layouts:
+//
+//   g x g SUMMA/Cannon grid  = Grid3{g, g, 1}:   fiber(1) is the row comm
+//                              (fixed row q1), fiber(0) the column comm;
+//   g x g x c 2.5D grid      = Grid3{c, g, g} with coords (layer, i, j):
+//                              fiber(0) is the depth fiber, fiber(2) the
+//                              in-layer row comm, fiber(1) the column comm.
+#pragma once
+
+#include "collectives/comm.hpp"
+#include "core/grid.hpp"
+
+namespace camb::coll {
+
+class GridComm {
+ public:
+  GridComm(RankCtx& ctx, core::Grid3 grid,
+           int tag_blocks_per_fiber = Comm::kDefaultTagBlocks);
+
+  const core::Grid3& grid() const { return grid_; }
+  RankCtx& ctx() const { return *ctx_; }
+
+  /// This rank's grid coordinates.
+  i64 q1() const { return q1_; }
+  i64 q2() const { return q2_; }
+  i64 q3() const { return q3_; }
+
+  /// Machine rank at explicit coordinates (row-major, as mm::GridMap).
+  int rank_of(i64 q1, i64 q2, i64 q3) const;
+
+  /// This rank's fiber comm along `axis`: the ranks sharing its other two
+  /// coordinates, ordered by the coordinate that varies.  This rank's index
+  /// within fiber(a) is its own a-th coordinate.
+  const Comm& fiber(int axis) const;
+
+ private:
+  RankCtx* ctx_;
+  core::Grid3 grid_;
+  i64 q1_, q2_, q3_;
+  std::vector<Comm> fibers_;  ///< one per axis, constructed in axis order
+};
+
+}  // namespace camb::coll

@@ -2,13 +2,14 @@
 
 namespace camb::coll {
 
-std::vector<double> reduce(RankCtx& ctx, const std::vector<int>& group,
-                           int root_idx, std::vector<double> data,
-                           int tag_base) {
-  validate_group(group, ctx.nprocs());
-  const int p = static_cast<int>(group.size());
+std::vector<double> reduce(const Comm& comm, int root_idx,
+                           std::vector<double> data) {
+  CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
+  const int p = comm.size();
   CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "reduce root out of range");
-  const int me = group_index(group, ctx.rank());
+  if (p == 1) return data;
+  const int tag_base = comm.take_tag_block();
+  const int me = comm.my_index();
   const int v = (me - root_idx + p) % p;
   // Mirror image of binomial bcast: distances shrink from the top.
   int top = 1;
@@ -20,12 +21,11 @@ std::vector<double> reduce(RankCtx& ctx, const std::vector<int>& group,
       return t;
     }();
     if (v >= dist && v < 2 * dist) {
-      const int dst = group[static_cast<std::size_t>(((v - dist) + root_idx) % p)];
-      ctx.send(dst, tag_base + round, std::move(data));
+      comm.send(((v - dist) + root_idx) % p, tag_base + round, std::move(data));
       data.clear();
     } else if (v < dist && v + dist < p) {
-      const int src = group[static_cast<std::size_t>(((v + dist) + root_idx) % p)];
-      std::vector<double> incoming = ctx.recv(src, tag_base + round);
+      std::vector<double> incoming =
+          comm.recv(((v + dist) + root_idx) % p, tag_base + round);
       CAMB_CHECK(incoming.size() == data.size());
       for (std::size_t j = 0; j < data.size(); ++j) data[j] += incoming[j];
     }

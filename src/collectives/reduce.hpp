@@ -6,14 +6,13 @@
 
 #include <vector>
 
-#include "collectives/group.hpp"
+#include "collectives/comm.hpp"
 
 namespace camb::coll {
 
-/// Reduces (element-wise sum) `data` across the group onto member `root_idx`.
+/// Reduces (element-wise sum) `data` across the comm onto member `root_idx`.
 /// Returns the sum on the root; returns an empty vector on other members.
-std::vector<double> reduce(RankCtx& ctx, const std::vector<int>& group,
-                           int root_idx, std::vector<double> data,
-                           int tag_base);
+std::vector<double> reduce(const Comm& comm, int root_idx,
+                           std::vector<double> data);
 
 }  // namespace camb::coll

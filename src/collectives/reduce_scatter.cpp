@@ -18,14 +18,13 @@ void add_into(std::vector<double>& acc, i64 offset,
 /// Ring Reduce-Scatter: partial sums travel around the ring, with member i
 /// sending segment (i - r - 1) mod p in round r and accumulating the incoming
 /// segment; after p - 1 rounds member i holds the complete sum of segment i.
-std::vector<double> reduce_scatter_ring(RankCtx& ctx,
-                                        const std::vector<int>& group,
+std::vector<double> reduce_scatter_ring(const Comm& comm,
                                         const std::vector<i64>& counts,
                                         std::vector<double> acc, int tag_base) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
-  const int next = group[static_cast<std::size_t>((me + 1) % p)];
-  const int prev = group[static_cast<std::size_t>((me + p - 1) % p)];
+  const int p = comm.size();
+  const int me = comm.my_index();
+  const int next = (me + 1) % p;
+  const int prev = (me + p - 1) % p;
   for (int r = 0; r < p - 1; ++r) {
     const int send_seg = (me - r - 1 + 2 * p) % p;
     const int recv_seg = (me - r - 2 + 2 * p) % p;
@@ -33,8 +32,8 @@ std::vector<double> reduce_scatter_ring(RankCtx& ctx,
     const i64 send_len = counts[static_cast<std::size_t>(send_seg)];
     std::vector<double> chunk(acc.begin() + send_off,
                               acc.begin() + send_off + send_len);
-    ctx.send(next, tag_base + r, std::move(chunk));
-    std::vector<double> incoming = ctx.recv(prev, tag_base + r);
+    comm.send(next, tag_base + r, std::move(chunk));
+    std::vector<double> incoming = comm.recv(prev, tag_base + r);
     CAMB_CHECK(static_cast<i64>(incoming.size()) ==
                counts[static_cast<std::size_t>(recv_seg)]);
     add_into(acc, counts_offset(counts, recv_seg), incoming);
@@ -44,28 +43,27 @@ std::vector<double> reduce_scatter_ring(RankCtx& ctx,
   return std::vector<double>(acc.begin() + my_off, acc.begin() + my_off + my_len);
 }
 
-/// Recursive-halving Reduce-Scatter (power-of-two group size).  The active
+/// Recursive-halving Reduce-Scatter (power-of-two comm size).  The active
 /// segment range halves each round: each member ships the half belonging to
-/// its partner's side of the group and accumulates the half it keeps.
+/// its partner's side of the comm and accumulates the half it keeps.
 std::vector<double> reduce_scatter_recursive_halving(
-    RankCtx& ctx, const std::vector<int>& group, const std::vector<i64>& counts,
-    std::vector<double> acc, int tag_base) {
-  const int p = static_cast<int>(group.size());
-  const int me = group_index(group, ctx.rank());
+    const Comm& comm, const std::vector<i64>& counts, std::vector<double> acc,
+    int tag_base) {
+  const int p = comm.size();
+  const int me = comm.my_index();
   int lo = 0, hi = p;  // active segment-index range, always contains `me`
   int round = 0;
   for (int dist = p / 2; dist >= 1; dist /= 2, ++round) {
     const int mid = lo + dist;
     const bool lower_half = me < mid;
     const int partner_idx = lower_half ? me + dist : me - dist;
-    const int partner = group[static_cast<std::size_t>(partner_idx)];
     const int send_lo = lower_half ? mid : lo;
     const int send_hi = lower_half ? hi : mid;
     const i64 send_off = counts_offset(counts, send_lo);
     const i64 send_end = counts_offset(counts, send_hi);
     std::vector<double> chunk(acc.begin() + send_off, acc.begin() + send_end);
     std::vector<double> incoming =
-        ctx.sendrecv(partner, tag_base + round, std::move(chunk));
+        comm.sendrecv(partner_idx, tag_base + round, std::move(chunk));
     const int keep_lo = lower_half ? lo : mid;
     const int keep_hi = lower_half ? mid : hi;
     CAMB_CHECK(static_cast<i64>(incoming.size()) ==
@@ -82,44 +80,45 @@ std::vector<double> reduce_scatter_recursive_halving(
 
 }  // namespace
 
-std::vector<double> reduce_scatter(RankCtx& ctx, const std::vector<int>& group,
+std::vector<double> reduce_scatter(const Comm& comm,
                                    const std::vector<i64>& counts,
                                    const std::vector<double>& full,
-                                   int tag_base, ReduceScatterAlgo algo) {
-  validate_group(group, ctx.nprocs());
-  CAMB_CHECK_MSG(counts.size() == group.size(),
-                 "counts arity must match group size");
+                                   ReduceScatterAlgo algo) {
+  CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
+  CAMB_CHECK_MSG(static_cast<int>(counts.size()) == comm.size(),
+                 "counts arity must match comm size");
   CAMB_CHECK_MSG(static_cast<i64>(full.size()) == counts_total(counts),
                  "input size must equal counts total");
-  if (group.size() == 1) return full;
+  if (comm.size() == 1) return full;
+  const int tag_base = comm.take_tag_block();
 
   if (algo == ReduceScatterAlgo::kAuto) {
-    algo = is_pow2(group.size()) ? ReduceScatterAlgo::kRecursiveHalving
-                                 : ReduceScatterAlgo::kRing;
+    algo = is_pow2(static_cast<std::size_t>(comm.size()))
+               ? ReduceScatterAlgo::kRecursiveHalving
+               : ReduceScatterAlgo::kRing;
   }
   switch (algo) {
     case ReduceScatterAlgo::kRing:
-      return reduce_scatter_ring(ctx, group, counts, full, tag_base);
+      return reduce_scatter_ring(comm, counts, full, tag_base);
     case ReduceScatterAlgo::kRecursiveHalving:
-      CAMB_CHECK_MSG(is_pow2(group.size()),
-                     "recursive halving requires power-of-two group");
-      return reduce_scatter_recursive_halving(ctx, group, counts, full,
-                                              tag_base);
+      CAMB_CHECK_MSG(is_pow2(static_cast<std::size_t>(comm.size())),
+                     "recursive halving requires power-of-two comm");
+      return reduce_scatter_recursive_halving(comm, counts, full, tag_base);
     case ReduceScatterAlgo::kAuto:
       break;
   }
   throw Error("unreachable reduce_scatter algo");
 }
 
-std::vector<double> reduce_scatter_equal(RankCtx& ctx,
-                                         const std::vector<int>& group,
+std::vector<double> reduce_scatter_equal(const Comm& comm,
                                          const std::vector<double>& full,
-                                         int tag_base, ReduceScatterAlgo algo) {
-  const auto p = static_cast<i64>(group.size());
+                                         ReduceScatterAlgo algo) {
+  const auto p = static_cast<i64>(comm.size());
   CAMB_CHECK_MSG(static_cast<i64>(full.size()) % p == 0,
-                 "reduce_scatter_equal requires |full| divisible by |group|");
-  std::vector<i64> counts(group.size(), static_cast<i64>(full.size()) / p);
-  return reduce_scatter(ctx, group, counts, full, tag_base, algo);
+                 "reduce_scatter_equal requires |full| divisible by comm size");
+  std::vector<i64> counts(static_cast<std::size_t>(comm.size()),
+                          static_cast<i64>(full.size()) / p);
+  return reduce_scatter(comm, counts, full, algo);
 }
 
 }  // namespace camb::coll

@@ -6,36 +6,35 @@
 // i.e. (1 − 1/p)·w for equal segments, matching §5.1 — and each rank performs
 // (total − own) additions, the flop count noted in §5.1.
 //
-//   ring               p − 1 rounds     any group size, any segment sizes
-//   recursive halving  ⌈log2 p⌉ rounds  power-of-two group size
+//   ring               p − 1 rounds     any comm size, any segment sizes
+//   recursive halving  ⌈log2 p⌉ rounds  power-of-two comm size
 #pragma once
 
 #include <vector>
 
-#include "collectives/group.hpp"
+#include "collectives/comm.hpp"
 
 namespace camb::coll {
 
 enum class ReduceScatterAlgo {
   kRing,
   kRecursiveHalving,
-  /// recursive halving when |group| is a power of two, otherwise ring.
+  /// recursive halving when the comm size is a power of two, otherwise ring.
   kAuto,
 };
 
 /// Runs the Reduce-Scatter.  `full` is this rank's contribution (size
 /// counts_total(counts)); segment i (size counts[i]) of the element-wise sum
-/// is returned to group member i.
-std::vector<double> reduce_scatter(RankCtx& ctx, const std::vector<int>& group,
+/// is returned to comm member i.
+std::vector<double> reduce_scatter(const Comm& comm,
                                    const std::vector<i64>& counts,
                                    const std::vector<double>& full,
-                                   int tag_base,
                                    ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
 
-/// Equal-segment convenience wrapper: splits full.size() into |group| equal
-/// segments (full.size() must be divisible by |group|).
+/// Equal-segment convenience wrapper: splits full.size() into comm-size
+/// equal segments (full.size() must be divisible by the comm size).
 std::vector<double> reduce_scatter_equal(
-    RankCtx& ctx, const std::vector<int>& group, const std::vector<double>& full,
-    int tag_base, ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
+    const Comm& comm, const std::vector<double>& full,
+    ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
 
 }  // namespace camb::coll

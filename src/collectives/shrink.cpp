@@ -20,16 +20,16 @@ void set_bit(std::vector<std::uint32_t>& mask, int i) {
 
 }  // namespace
 
-ShrinkResult shrink(RankCtx& ctx, const std::vector<int>& group,
-                    int max_failures, int tag_base, bool i_abandoned) {
-  validate_group(group, ctx.nprocs());
-  CAMB_CHECK_MSG(tag_base >= kRecoveryTagBase,
-                 "shrink must run on recovery tags");
+ShrinkResult shrink(const Comm& comm, int max_failures, bool i_abandoned) {
+  CAMB_CHECK_MSG(comm.member(), "only members may call shrink");
+  CAMB_CHECK_MSG(comm.is_recovery(), "shrink must run on a recovery comm");
   CAMB_CHECK_MSG(max_failures >= 0, "max_failures must be non-negative");
-  const int p = static_cast<int>(group.size());
+  const int p = comm.size();
   const int rounds = max_failures + 1;
-  CAMB_CHECK_MSG(rounds < kTagStride, "too many shrink rounds for tag range");
-  const int me = group_index(group, ctx.rank());
+  CAMB_CHECK_MSG(rounds < kTagBlockWidth,
+                 "too many shrink rounds for the tag block");
+  const int tag_base = comm.take_tag_block();
+  const int me = comm.my_index();
   const int words = (p + 31) / 32;
 
   std::vector<std::uint32_t> failed_mask(static_cast<std::size_t>(words), 0);
@@ -53,13 +53,13 @@ ShrinkResult shrink(RankCtx& ctx, const std::vector<int>& group,
     }
     for (int j = 0; j < p; ++j) {
       if (j == me || !alive[static_cast<std::size_t>(j)]) continue;
-      ctx.send(group[static_cast<std::size_t>(j)], tag_base + round, view);
+      comm.send(j, tag_base + round, view);
     }
     for (int j = 0; j < p; ++j) {
       if (j == me || !alive[static_cast<std::size_t>(j)]) continue;
-      auto peer_view = ctx.recv_timed(
-          group[static_cast<std::size_t>(j)], tag_base + round,
-          std::numeric_limits<double>::infinity());
+      auto peer_view =
+          comm.ctx().recv_timed(comm.rank_at(j), tag_base + round,
+                                std::numeric_limits<double>::infinity());
       if (!peer_view) {
         // Perfect detection: nullopt on a recovery tag means j is dead.
         set_bit(failed_mask, j);
@@ -76,16 +76,21 @@ ShrinkResult shrink(RankCtx& ctx, const std::vector<int>& group,
     }
   }
 
-  ShrinkResult result;
+  std::vector<int> survivors;
+  std::vector<int> failed;
+  bool any_abandoned = false;
   for (int j = 0; j < p; ++j) {
     if (test_bit(failed_mask, j)) {
-      result.failed.push_back(group[static_cast<std::size_t>(j)]);
+      failed.push_back(comm.rank_at(j));
     } else {
-      result.survivors.push_back(group[static_cast<std::size_t>(j)]);
+      survivors.push_back(comm.rank_at(j));
     }
-    if (test_bit(abandoned_mask, j)) result.any_abandoned = true;
+    if (test_bit(abandoned_mask, j)) any_abandoned = true;
   }
-  return result;
+  // Every surviving caller reaches this point with the same survivor set,
+  // so the recovery lease below lines up across all of them.
+  return ShrinkResult{Comm::recovery(comm.ctx(), std::move(survivors)),
+                      std::move(failed), any_abandoned};
 }
 
 }  // namespace camb::coll

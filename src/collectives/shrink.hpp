@@ -1,6 +1,6 @@
-// shrink.hpp — survivor-group agreement after crash faults.
+// shrink.hpp — survivor-comm agreement after crash faults.
 //
-// After a rank failure, the survivors of a group must agree on (a) exactly
+// After a rank failure, the survivors of a comm must agree on (a) exactly
 // which members are gone and (b) whether any survivor abandoned the
 // algorithm mid-flight (which decides between cheap checksum recovery and
 // degraded re-execution in the ABFT layer).  This is the classic synchronous
@@ -11,45 +11,49 @@
 // view reaches every other alive member.
 //
 // Views are bitmasks packed 32 flags per payload word, so one round costs
-// each member (alive − 1) messages of 2·⌈|group|/32⌉ words — accounted in
-// α-β through the normal network path, like every other collective.
+// each member (alive − 1) messages of 2·⌈p/32⌉ words — accounted in α-β
+// through the normal network path, like every other collective.
 //
-// Contract: every *surviving* member of `group` must call shrink (ranks
-// that completed the algorithm cleanly included — the ABFT wrappers funnel
-// everyone here), with identical group / tag_base / max_failures.  Tags
-// must lie in the recovery range (>= kRecoveryTagBase) so that abandoned
-// members can still participate.
+// Contract: every *surviving* member of `comm` must call shrink (ranks that
+// completed the algorithm cleanly included — the ABFT wrappers funnel
+// everyone here), with identical max_failures.  The comm must be a recovery
+// comm (Comm::recovery) so that abandoned members can still participate —
+// and so the survivor comm the result carries is leased in agreement by
+// every surviving caller.
 #pragma once
 
 #include <vector>
 
-#include "collectives/group.hpp"
+#include "collectives/comm.hpp"
 
 namespace camb::coll {
 
 /// Agreement outcome, identical across all surviving callers.
 struct ShrinkResult {
-  std::vector<int> survivors;  ///< machine ranks, in group order
-  std::vector<int> failed;     ///< machine ranks found crashed, group order
+  /// Recovery comm over the agreed survivor set (parent-comm order); every
+  /// surviving caller constructs it at the same point, so subsequent
+  /// recovery collectives run directly on it.
+  Comm survivors;
+  std::vector<int> failed;     ///< machine ranks found crashed, comm order
   bool any_abandoned = false;  ///< did any member flag i_abandoned?
 
   /// Index of `rank` within survivors; -1 if absent.
   int survivor_index(int rank) const {
-    for (std::size_t i = 0; i < survivors.size(); ++i) {
-      if (survivors[i] == rank) return static_cast<int>(i);
+    const std::vector<int>& s = survivors.ranks();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == rank) return static_cast<int>(i);
     }
     return -1;
   }
 };
 
-/// Flood-based crash agreement over `group`, tolerating up to `max_failures`
+/// Flood-based crash agreement over `comm`, tolerating up to `max_failures`
 /// crashed members (including crashes that strike during the protocol
 /// itself).  `i_abandoned` is this caller's own flag; the result's
 /// any_abandoned is the OR over every view that reached the survivors.
-ShrinkResult shrink(RankCtx& ctx, const std::vector<int>& group,
-                    int max_failures, int tag_base, bool i_abandoned);
+ShrinkResult shrink(const Comm& comm, int max_failures, bool i_abandoned);
 
-/// Fault-free per-member received words of shrink on a p-member group:
+/// Fault-free per-member received words of shrink on a p-member comm:
 /// (max_failures + 1) rounds × (p − 1) peers × 2·⌈p/32⌉ mask words.
 inline camb::i64 shrink_recv_words_exact(int p, int max_failures) {
   if (p <= 1) return 0;

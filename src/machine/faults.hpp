@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "machine/tags.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -137,13 +138,12 @@ class FaultPlan {
 // Crash faults (permanent, fail-stop).
 // ---------------------------------------------------------------------------
 
-/// Tag-space split for failure handling: tags at or above this base belong to
-/// the recovery protocol (shrink agreement, ABFT reconstruction).  A rank that
-/// *abandons* the algorithm mid-flight (RankCtx::abandon) stops consuming
-/// algorithm-phase tags but keeps participating below-the-line in recovery, so
-/// receives from it fail over only for tags below this base.  Crashed ranks
-/// fail over for every tag.
-inline constexpr int kRecoveryTagBase = 1 << 24;
+// Tag-space split for failure handling: tags at or above kRecoveryTagBase
+// (machine/tags.hpp) belong to the recovery protocol (shrink agreement, ABFT
+// reconstruction).  A rank that *abandons* the algorithm mid-flight
+// (RankCtx::abandon) stops consuming algorithm-phase tags but keeps
+// participating below-the-line in recovery, so receives from it fail over
+// only for tags below that base.  Crashed ranks fail over for every tag.
 
 /// Thrown inside a rank's thread when its planned crash triggers.  Not a
 /// camb::Error: a crash is an injected event, not a contract violation —

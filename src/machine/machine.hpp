@@ -14,6 +14,7 @@
 
 #include "machine/barrier.hpp"
 #include "machine/network.hpp"
+#include "machine/tags.hpp"
 #include "util/rng.hpp"
 
 namespace camb {
@@ -122,6 +123,11 @@ class RankCtx {
   /// Deterministic per-rank RNG stream.
   Rng& rng() { return rng_; }
 
+  /// This rank's tag-lease cursor (machine/tags.hpp): communicators draw
+  /// their tag blocks here.  Per-rank by design — determinism comes from
+  /// every rank performing the same sequence of lease requests.
+  TagAllocator& tags() { return tags_; }
+
   Network& network();
 
  private:
@@ -132,6 +138,7 @@ class RankCtx {
   i64 current_words_ = 0;
   i64 peak_words_ = 0;
   Rng rng_;
+  TagAllocator tags_;
 };
 
 /// RAII working-set registration: holds `words` against the rank's memory

@@ -1,0 +1,93 @@
+// tags.hpp — the machine's tag space and its per-rank allocator.
+//
+// Message matching is exact on (src, tag), so correctness of concurrent
+// collectives rests entirely on tag discipline.  Instead of hand-numbered
+// constants, every communicator (collectives/comm.hpp) owns a *lease*: a
+// contiguous run of tag blocks obtained from this allocator.  Each rank
+// holds its own allocator (there is no cross-thread state to race on); the
+// SPMD contract is that every rank performs the identical sequence of lease
+// requests, so the k-th lease has the same base on every rank — the same
+// discipline MPI imposes on communicator-creation order.  Communicators
+// whose members differ (the row fibers of a grid, say) may then share a
+// base, which is safe exactly because their (src, dst) pairs are disjoint.
+//
+// The space is split in two independently-cursored regions so that ranks
+// whose *algorithm-phase* histories diverged (a survivor that abandoned
+// mid-collective has stopped creating algorithm comms) still agree on
+// recovery leases:
+//
+//   algorithm region  [0, kRecoveryTagBase)
+//   recovery region   [kRecoveryTagBase, kTagSpaceLimit)
+//
+// Tags at or above kRecoveryTagBase survive RankCtx::abandon() — see
+// faults.hpp for the failure-detection semantics built on that split.
+#pragma once
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace camb {
+
+/// Tags available to a single collective invocation (one *block*).
+inline constexpr int kTagBlockWidth = 1 << 12;
+
+/// Start of the recovery region (shrink agreement, ABFT reconstruction).
+/// Kept here — next to the allocator that enforces it — and re-exported by
+/// faults.hpp, whose abandon() semantics key off it.
+inline constexpr int kRecoveryTagBase = 1 << 24;
+
+/// One past the last usable tag.
+inline constexpr int kTagSpaceLimit = 1 << 30;
+
+/// A contiguous run of `blocks` tag blocks starting at tag `base`.
+struct TagLease {
+  int base = 0;
+  int blocks = 0;
+
+  /// One past the last tag covered by this lease.
+  int limit() const { return base + blocks * kTagBlockWidth; }
+};
+
+/// Per-rank lease cursor over the two tag regions.  Deliberately not
+/// shared between ranks: determinism comes from uniform request order, not
+/// from synchronization.  Throws camb::Error when a region is exhausted —
+/// silent wraparound would alias live tags and corrupt message matching.
+class TagAllocator {
+ public:
+  /// Lease `blocks` tag blocks from the algorithm region.
+  TagLease lease(int blocks) {
+    return take(next_, kRecoveryTagBase, "algorithm", blocks);
+  }
+
+  /// Lease `blocks` tag blocks from the recovery region.  Its cursor is
+  /// independent of the algorithm region's, so ranks that stopped creating
+  /// algorithm communicators mid-run still agree on recovery leases.
+  TagLease lease_recovery(int blocks) {
+    return take(next_recovery_, kTagSpaceLimit, "recovery", blocks);
+  }
+
+  /// Remaining whole blocks in each region (introspection for tests).
+  int algorithm_blocks_left() const {
+    return (kRecoveryTagBase - next_) / kTagBlockWidth;
+  }
+  int recovery_blocks_left() const {
+    return (kTagSpaceLimit - next_recovery_) / kTagBlockWidth;
+  }
+
+ private:
+  TagLease take(int& cursor, int region_limit, const char* region,
+                int blocks) {
+    CAMB_CHECK_MSG(blocks > 0, "tag lease must cover at least one block");
+    const i64 width = static_cast<i64>(blocks) * kTagBlockWidth;
+    CAMB_CHECK_MSG(static_cast<i64>(cursor) + width <= region_limit,
+                   std::string(region) + " tag region exhausted");
+    const TagLease lease{cursor, blocks};
+    cursor += static_cast<int>(width);
+    return lease;
+  }
+
+  int next_ = 0;
+  int next_recovery_ = kRecoveryTagBase;
+};
+
+}  // namespace camb

@@ -7,7 +7,7 @@
 #include "collectives/allreduce.hpp"
 #include "collectives/bcast.hpp"
 #include "collectives/coll_cost.hpp"
-#include "collectives/group.hpp"
+#include "collectives/grid_comm.hpp"
 #include "collectives/reduce.hpp"
 #include "collectives/shrink.hpp"
 #include "machine/faults.hpp"
@@ -19,18 +19,6 @@ namespace camb::mm {
 namespace {
 
 int rank_of(i64 i, i64 j, i64 g) { return static_cast<int>(i * g + j); }
-
-std::vector<int> row_group(i64 i, i64 g) {
-  std::vector<int> out;
-  for (i64 j = 0; j < g; ++j) out.push_back(rank_of(i, j, g));
-  return out;
-}
-
-std::vector<int> col_group(i64 j, i64 g) {
-  std::vector<int> out;
-  for (i64 i = 0; i < g; ++i) out.push_back(rank_of(i, j, g));
-  return out;
-}
 
 BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
                       i64 ci) {
@@ -103,8 +91,6 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
   const i64 g = cfg.base.g;
   CAMB_CHECK_MSG(g * g == ctx.nprocs(), "SUMMA machine size must be g*g");
   CAMB_CHECK_MSG(g >= 2, "checksum-augmented SUMMA needs grid edge g >= 2");
-  CAMB_CHECK_MSG(6 * g * coll::kTagStride <= kRecoveryTagBase,
-                 "grid edge too large for the algorithm tag range");
   CAMB_CHECK_MSG(cfg.max_failures >= 0, "max_failures must be non-negative");
   const i64 i = ctx.rank() / g;
   const i64 j = ctx.rank() % g;
@@ -132,8 +118,20 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
   if (hold_r) r_sum = MatrixD(d1.size(i), d3max);
   if (is_corner) t_sum = MatrixD(d1max, d3max);
 
-  const std::vector<int> my_row = row_group(i, g);
-  const std::vector<int> my_col = col_group(j, g);
+  // Fibers of the g x g grid; each fiber serves 2 collectives per stage plus
+  // (on the extreme row/column) one forwarding block, so size the leases to
+  // the stage count.
+  const int fiber_blocks = std::max(coll::Comm::kDefaultTagBlocks,
+                                    static_cast<int>(2 * g) + 2);
+  const coll::GridComm grid(ctx, Grid3{g, g, 1}, fiber_blocks);
+  const coll::Comm& my_row = grid.fiber(1);  // index within = j
+  const coll::Comm& my_col = grid.fiber(0);  // index within = i
+  // Tag blocks for the per-stage checksum forwards to the corner: one block
+  // on the corner's column fiber (taken by all its members, in lockstep) and
+  // one on its row fiber; stage t uses offset t.
+  const int fwd_a_tags = (j == g - 1) ? my_col.take_tag_block() : 0;
+  const int fwd_b_tags = (i == g - 1) ? my_row.take_tag_block() : 0;
+  CAMB_CHECK_MSG(g < kTagBlockWidth, "grid edge too large for one tag block");
 
   bool abandoned = false;
   try {
@@ -143,15 +141,13 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
       ctx.set_phase(kPhaseSummaBcastA);
       std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
       const i64 a_rows = d1.size(i), a_cols = d2.size(t);
-      coll::bcast(ctx, my_row, static_cast<int>(t), a_panel, a_rows * a_cols,
-                  static_cast<int>(2 * t) * coll::kTagStride, cfg.base.bcast,
-                  cfg.base.bcast_segments);
+      coll::bcast(my_row, static_cast<int>(t), a_panel, a_rows * a_cols,
+                  cfg.base.bcast, cfg.base.bcast_segments);
 
       ctx.set_phase(kPhaseSummaBcastB);
       std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
       const i64 b_rows = d2.size(t), b_cols = d3.size(j);
-      coll::bcast(ctx, my_col, static_cast<int>(t), b_panel, b_rows * b_cols,
-                  static_cast<int>(2 * t + 1) * coll::kTagStride,
+      coll::bcast(my_col, static_cast<int>(t), b_panel, b_rows * b_cols,
                   cfg.base.bcast, cfg.base.bcast_segments);
 
       ctx.set_phase(kPhaseSummaGemm);
@@ -159,21 +155,21 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
       const MatrixD b_mat = to_matrix(b_panel, b_rows, b_cols);
       gemm_accumulate(a_mat, b_mat, out.own.block);
 
-      // Encode: column groups reduce row-padded A panels to row 0, row
-      // groups reduce column-padded B panels to column 0, and the extreme
+      // Encode: column fibers reduce row-padded A panels to row 0, row
+      // fibers reduce column-padded B panels to column 0, and the extreme
       // roots forward the sums to the corner.
       ctx.set_phase(kPhaseAbftEncode);
-      const int enc = static_cast<int>(2 * g + 4 * t) * coll::kTagStride;
       std::vector<double> asum = coll::reduce(
-          ctx, my_col, 0, pad_rows(a_panel, a_rows, a_cols, d1max), enc);
-      std::vector<double> bsum =
-          coll::reduce(ctx, my_row, 0, pad_cols(b_panel, b_rows, b_cols, d3max),
-                       enc + coll::kTagStride);
+          my_col, 0, pad_rows(a_panel, a_rows, a_cols, d1max));
+      std::vector<double> bsum = coll::reduce(
+          my_row, 0, pad_cols(b_panel, b_rows, b_cols, d3max));
       if (i == 0 && j == g - 1) {
-        ctx.send(corner, enc + 2 * coll::kTagStride, asum);
+        my_col.send(static_cast<int>(g - 1),
+                    fwd_a_tags + static_cast<int>(t), asum);
       }
       if (i == g - 1 && j == 0) {
-        ctx.send(corner, enc + 3 * coll::kTagStride, bsum);
+        my_row.send(static_cast<int>(g - 1),
+                    fwd_b_tags + static_cast<int>(t), bsum);
       }
       if (hold_s) {
         // S_j += (sum_i pad(A_it)) * B_tj  ==  sum_i pad_rows(A_it B_tj).
@@ -184,9 +180,9 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
       }
       if (is_corner) {
         const std::vector<double> asum_c =
-            ctx.recv(rank_of(0, g - 1, g), enc + 2 * coll::kTagStride);
+            my_col.recv(0, fwd_a_tags + static_cast<int>(t));
         const std::vector<double> bsum_c =
-            ctx.recv(rank_of(g - 1, 0, g), enc + 3 * coll::kTagStride);
+            my_row.recv(0, fwd_b_tags + static_cast<int>(t));
         gemm_accumulate(to_matrix(asum_c, d1max, d2.size(t)),
                         to_matrix(bsum_c, d2.size(t), d3max), t_sum);
       }
@@ -242,11 +238,14 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
     }
   }
 
-  // Agreement: every survivor learns the same failed set.
+  // Agreement: every survivor learns the same failed set.  The recovery
+  // world comm leases from the recovery cursor, which abandonment does not
+  // touch, so clean and abandoned survivors agree on its tags.
   ctx.set_phase(kPhaseAbftShrink);
+  const coll::Comm rec_world =
+      coll::Comm::recovery(ctx, world_group(ctx.nprocs()));
   const coll::ShrinkResult agreed =
-      coll::shrink(ctx, world_group(ctx.nprocs()), cfg.max_failures,
-                   kRecoveryTagBase, abandoned);
+      coll::shrink(rec_world, cfg.max_failures, abandoned);
   out.abandoned = abandoned;
   out.failed = agreed.failed;
   if (agreed.failed.empty()) return out;
@@ -290,16 +289,17 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
     }
     checksum = &t_sum;
   }
-  if (std::find(contributors.begin(), contributors.end(), ctx.rank()) ==
-      contributors.end()) {
+  // Every survivor constructs the contributor comm — non-members included —
+  // so the recovery lease sequence stays uniform; only members reduce.
+  const coll::Comm rec_contrib = coll::Comm::recovery(ctx, contributors);
+  if (!rec_contrib.member()) {
     return out;  // this survivor holds no piece of the covering checksum
   }
   const i64 pad_r = (pad_mode == Pad::kCols) ? d1.size(0) : d1max;
   const i64 pad_c = (pad_mode == Pad::kRows) ? d3.size(dj) : d3max;
   const std::vector<double> survivor_sum =
-      coll::reduce(ctx, contributors, coll::group_index(contributors, host),
-                   pad_matrix(out.own.block, pad_r, pad_c),
-                   kRecoveryTagBase + coll::kTagStride);
+      coll::reduce(rec_contrib, rec_contrib.index_of(host),
+                   pad_matrix(out.own.block, pad_r, pad_c));
   if (ctx.rank() == host) {
     RecoveredBlock2D rec;
     rec.rank = dead;
@@ -324,14 +324,12 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
   CAMB_CHECK_MSG(base.grid.total() == ctx.nprocs(),
                  "grid size must equal the machine size");
   CAMB_CHECK_MSG(cfg.max_failures >= 0, "max_failures must be non-negative");
-  CAMB_CHECK_MSG(
-      (4 + static_cast<i64>(cfg.max_failures)) * coll::kTagStride <=
-          kRecoveryTagBase,
-      "max_failures too large for the tag range");
   const GridMap map(base.grid);
   const auto [q1, q2, q3] = map.coords_of(ctx.rank());
   const Grid3dLayout layout = grid3d_layout(base, ctx.rank());
-  const std::vector<int> fiber_c = map.fiber(1, q1, q2, q3);
+  // The C fiber comm for the parity encode (grid3d_rank builds its own grid
+  // comm internally; this one serves the ABFT layer).
+  const coll::Comm c_fiber(ctx, map.fiber(1, q1, q2, q3));
   i64 lmax = 0;
   for (i64 c : layout.c_counts) lmax = std::max(lmax, c);
 
@@ -345,8 +343,7 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
     ctx.set_phase(kPhaseAbftEncode);
     std::vector<double> padded = out.own.c_data;
     padded.resize(static_cast<std::size_t>(lmax), 0.0);
-    parity = coll::allreduce(ctx, fiber_c, std::move(padded),
-                             3 * coll::kTagStride);
+    parity = coll::allreduce(c_fiber, std::move(padded));
   } catch (const PeerFailedError&) {
     ctx.abandon();
     abandoned = true;
@@ -379,9 +376,10 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
   }
 
   ctx.set_phase(kPhaseAbftShrink);
+  const coll::Comm rec_world =
+      coll::Comm::recovery(ctx, world_group(ctx.nprocs()));
   const coll::ShrinkResult agreed =
-      coll::shrink(ctx, world_group(ctx.nprocs()), cfg.max_failures,
-                   kRecoveryTagBase, abandoned);
+      coll::shrink(rec_world, cfg.max_failures, abandoned);
   out.abandoned = abandoned;
   out.failed = agreed.failed;
   if (agreed.failed.empty()) return out;
@@ -413,16 +411,15 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
           << " (parity tolerates exactly one loss per fiber)";
       throw Error(msg.str());
     }
-    if (std::find(contributors.begin(), contributors.end(), ctx.rank()) ==
-        contributors.end()) {
-      continue;
-    }
+    // Constructed by every survivor — members and non-members alike, in the
+    // agreed failed-rank order — so the recovery lease sequence is uniform.
+    const coll::Comm rec_contrib = coll::Comm::recovery(ctx, contributors);
+    if (!rec_contrib.member()) continue;
     std::vector<double> padded = out.own.c_data;
     padded.resize(static_cast<std::size_t>(lmax), 0.0);
     const int host = contributors.front();
-    const std::vector<double> survivor_sum = coll::reduce(
-        ctx, contributors, 0, std::move(padded),
-        kRecoveryTagBase + static_cast<int>(1 + idx) * coll::kTagStride);
+    const std::vector<double> survivor_sum =
+        coll::reduce(rec_contrib, 0, std::move(padded));
     if (ctx.rank() == host) {
       const Grid3dLayout dead_layout = grid3d_layout(base, dead);
       RecoveredChunk3D rec;

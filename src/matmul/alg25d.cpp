@@ -2,6 +2,7 @@
 
 #include "collectives/bcast.hpp"
 #include "collectives/coll_cost.hpp"
+#include "collectives/grid_comm.hpp"
 #include "collectives/reduce.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
@@ -15,20 +16,9 @@ struct Coords25d {
   i64 i, j, l;
 };
 
-int rank_of(i64 i, i64 j, i64 l, i64 g) {
-  return static_cast<int>((l * g + i) * g + j);
-}
-
 Coords25d coords_of(int rank, i64 g) {
   const i64 r = rank;
   return {(r / g) % g, r % g, r / (g * g)};
-}
-
-std::vector<int> depth_fiber(i64 i, i64 j, i64 g, i64 c) {
-  std::vector<int> out;
-  out.reserve(static_cast<std::size_t>(c));
-  for (i64 l = 0; l < c; ++l) out.push_back(rank_of(i, j, l, g));
-  return out;
 }
 
 BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
@@ -67,26 +57,34 @@ Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
     b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
   }
 
+  // Layer-major layout (l * g + i) * g + j is Grid3{c, g, g} with coords
+  // (l, i, j): fiber(0) is the depth fiber (index l), fiber(2) the in-layer
+  // row comm A shifts along (index j), fiber(1) the column comm for B.
+  const coll::GridComm grid25(ctx, Grid3{c, g, g});
+  const coll::Comm& depth = grid25.fiber(0);
+  const coll::Comm& my_row = grid25.fiber(2);
+  const coll::Comm& my_col = grid25.fiber(1);
+
   // 1. Replicate both inputs along the depth fiber.
   ctx.set_phase(kPhase25dReplicate);
-  const std::vector<int> depth = depth_fiber(i, j, g, c);
-  coll::bcast(ctx, depth, 0, a_held, d1.size(i) * d2.size(j), 0);
-  coll::bcast(ctx, depth, 0, b_held, d2.size(i) * d3.size(j),
-              coll::kTagStride);
+  coll::bcast(depth, 0, a_held, d1.size(i) * d2.size(j));
+  coll::bcast(depth, 0, b_held, d2.size(i) * d3.size(j));
 
   // 2. Initial skew: layer l starts at k-offset l*w, so rank (i, j, l) must
-  // hold A_{i, s0} and B_{s0, j} with s0 = (i + j + l*w) mod g.
+  // hold A_{i, s0} and B_{s0, j} with s0 = (i + j + l*w) mod g.  One tag
+  // block per fiber covers the skew plus every shift round.
   ctx.set_phase(kPhase25dSkew);
+  const int row_tags = g > 1 ? my_row.take_tag_block() : 0;
+  const int col_tags = g > 1 ? my_col.take_tag_block() : 0;
+  CAMB_CHECK_MSG(w < kTagBlockWidth, "grid too large for one tag block");
   const i64 s0 = (i + j + l * w) % g;
   if (g > 1) {
     const i64 a_dst_col = (j - i - l * w % g + 2 * g) % g;
-    ctx.send(rank_of(i, a_dst_col, l, g), 2 * coll::kTagStride,
-             std::move(a_held));
-    a_held = ctx.recv(rank_of(i, s0, l, g), 2 * coll::kTagStride);
+    my_row.send(static_cast<int>(a_dst_col), row_tags, std::move(a_held));
+    a_held = my_row.recv(static_cast<int>(s0), row_tags);
     const i64 b_dst_row = (i - j - l * w % g + 2 * g) % g;
-    ctx.send(rank_of(b_dst_row, j, l, g), 2 * coll::kTagStride + 1,
-             std::move(b_held));
-    b_held = ctx.recv(rank_of(s0, j, l, g), 2 * coll::kTagStride + 1);
+    my_col.send(static_cast<int>(b_dst_row), col_tags, std::move(b_held));
+    b_held = my_col.recv(static_cast<int>(s0), col_tags);
   }
 
   // 3. w Cannon steps within the layer, covering k-blocks s0 .. s0 + w - 1.
@@ -104,11 +102,13 @@ Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
 
     if (t + 1 < w && g > 1) {
       ctx.set_phase(kPhase25dShift);
-      const int tag = 3 * coll::kTagStride + static_cast<int>(2 * (t + 1));
-      ctx.send(rank_of(i, (j - 1 + g) % g, l, g), tag, std::move(a_held));
-      a_held = ctx.recv(rank_of(i, (j + 1) % g, l, g), tag);
-      ctx.send(rank_of((i - 1 + g) % g, j, l, g), tag + 1, std::move(b_held));
-      b_held = ctx.recv(rank_of((i + 1) % g, j, l, g), tag + 1);
+      const int off = static_cast<int>(t + 1);
+      my_row.send(static_cast<int>((j - 1 + g) % g), row_tags + off,
+                  std::move(a_held));
+      a_held = my_row.recv(static_cast<int>((j + 1) % g), row_tags + off);
+      my_col.send(static_cast<int>((i - 1 + g) % g), col_tags + off,
+                  std::move(b_held));
+      b_held = my_col.recv(static_cast<int>((i + 1) % g), col_tags + off);
     }
   }
 
@@ -116,8 +116,7 @@ Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
   ctx.set_phase(kPhase25dReduce);
   std::vector<double> c_flat(c_partial.data(),
                              c_partial.data() + c_partial.size());
-  std::vector<double> c_sum =
-      coll::reduce(ctx, depth, 0, std::move(c_flat), 4 * coll::kTagStride);
+  std::vector<double> c_sum = coll::reduce(depth, 0, std::move(c_flat));
 
   Block2DOutput out;
   out.row0 = d1.start(i);

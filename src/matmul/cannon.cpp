@@ -1,13 +1,12 @@
 #include "matmul/cannon.hpp"
 
+#include "collectives/grid_comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
 
 namespace camb::mm {
 
 namespace {
-
-int rank_of(i64 i, i64 j, i64 g) { return static_cast<int>(i * g + j); }
 
 BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
                       i64 ci) {
@@ -35,16 +34,26 @@ Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
   std::vector<double> a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
   std::vector<double> b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
 
+  // A moves along this rank's row fiber (indices there are column numbers),
+  // B along its column fiber.  One tag block per fiber covers the skew plus
+  // every shift round: 2g tags, far below the block width.
+  const coll::GridComm grid(ctx, Grid3{g, g, 1});
+  const coll::Comm& my_row = grid.fiber(1);
+  const coll::Comm& my_col = grid.fiber(0);
+  const int row_tags = g > 1 ? my_row.take_tag_block() : 0;
+  const int col_tags = g > 1 ? my_col.take_tag_block() : 0;
+  CAMB_CHECK_MSG(2 * g < kTagBlockWidth, "grid too large for one tag block");
+
   // Initial skew: A_{ij} moves to (i, j - i); afterwards rank (i, j) holds
   // A_{i, (i + j) mod g}.  Likewise B_{ij} moves to (i - j, j).
   ctx.set_phase(kPhaseCannonSkew);
   if (g > 1) {
-    const int a_dst = rank_of(i, (j - i % g + g) % g, g);
-    ctx.send(a_dst, 0, std::move(a_held));
-    a_held = ctx.recv(rank_of(i, (j + i) % g, g), 0);
-    const int b_dst = rank_of((i - j % g + g) % g, j, g);
-    ctx.send(b_dst, 1, std::move(b_held));
-    b_held = ctx.recv(rank_of((i + j) % g, j, g), 1);
+    my_row.send(static_cast<int>((j - i % g + g) % g), row_tags,
+                std::move(a_held));
+    a_held = my_row.recv(static_cast<int>((j + i) % g), row_tags);
+    my_col.send(static_cast<int>((i - j % g + g) % g), col_tags,
+                std::move(b_held));
+    b_held = my_col.recv(static_cast<int>((i + j) % g), col_tags);
   }
 
   Block2DOutput out;
@@ -66,12 +75,14 @@ Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
 
     if (t + 1 < g && g > 1) {
       ctx.set_phase(kPhaseCannonShift);
-      const int tag = static_cast<int>(2 * (t + 1));
+      const int off = static_cast<int>(t + 1);
       // Shift A left by one (to column j-1), B up by one (to row i-1).
-      ctx.send(rank_of(i, (j - 1 + g) % g, g), tag, std::move(a_held));
-      a_held = ctx.recv(rank_of(i, (j + 1) % g, g), tag);
-      ctx.send(rank_of((i - 1 + g) % g, j, g), tag + 1, std::move(b_held));
-      b_held = ctx.recv(rank_of((i + 1) % g, j, g), tag + 1);
+      my_row.send(static_cast<int>((j - 1 + g) % g), row_tags + off,
+                  std::move(a_held));
+      a_held = my_row.recv(static_cast<int>((j + 1) % g), row_tags + off);
+      my_col.send(static_cast<int>((i - 1 + g) % g), col_tags + off,
+                  std::move(b_held));
+      b_held = my_col.recv(static_cast<int>((i + 1) % g), col_tags + off);
     }
   }
   return out;

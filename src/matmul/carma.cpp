@@ -1,6 +1,6 @@
 #include "matmul/carma.hpp"
 
-#include "collectives/group.hpp"
+#include "collectives/comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
 
@@ -16,44 +16,37 @@ char choose_split(i64 r, i64 k, i64 c) {
   return 'N';
 }
 
-int split_tag(int level, int which) {
-  return (2 * level) * coll::kTagStride + which;
-}
-int combine_tag(int level) { return (2 * level + 1) * coll::kTagStride; }
-
 /// Replication exchange: the parent array (W words, row-contiguous chunks of
-/// W / g_size words per member) is needed in full by BOTH group halves.
+/// W / |comm| words per member) is needed in full by BOTH comm halves.
 /// Child member i (of either half) ends with parent chunks 2i and 2i+1
-/// concatenated = child chunk i of a W / (g_size/2) distribution.
-std::vector<double> replicate_exchange(RankCtx& ctx, int g_lo, int g_size,
+/// concatenated = child chunk i of a W / (|comm|/2) distribution.
+std::vector<double> replicate_exchange(const coll::Comm& comm,
                                        const std::vector<double>& mine,
                                        int tag) {
-  const int s = g_size / 2;
-  const int pidx = ctx.rank() - g_lo;
+  const int s = comm.size() / 2;
+  const int pidx = comm.my_index();
   // Send my chunk to the member of each half that needs it.
-  const int dst0 = g_lo + pidx / 2;
-  const int dst1 = g_lo + s + pidx / 2;
-  ctx.send(dst0, tag, mine);
-  ctx.send(dst1, tag, mine);
+  comm.send(pidx / 2, tag, mine);
+  comm.send(s + pidx / 2, tag, mine);
   // Receive parent chunks 2i and 2i+1, i = my index within my half.
   const int i = pidx < s ? pidx : pidx - s;
-  std::vector<double> lowpart = ctx.recv(g_lo + 2 * i, tag);
-  std::vector<double> highpart = ctx.recv(g_lo + 2 * i + 1, tag);
+  std::vector<double> lowpart = comm.recv(2 * i, tag);
+  std::vector<double> highpart = comm.recv(2 * i + 1, tag);
   lowpart.insert(lowpart.end(), highpart.begin(), highpart.end());
   return lowpart;
 }
 
 /// Column-halving exchange: the parent array is (rows × cols) row-major,
 /// row-distributed (rows_pm rows per member).  The left column half goes to
-/// the lower group half, the right to the upper; child member i receives the
+/// the lower comm half, the right to the upper; child member i receives the
 /// matching halves of parent members 2i, 2i+1's rows, preserving row order.
-std::vector<double> split_columns_exchange(RankCtx& ctx, int g_lo, int g_size,
+std::vector<double> split_columns_exchange(const coll::Comm& comm,
                                            const std::vector<double>& mine,
                                            i64 rows_pm, i64 cols, int tag) {
   CAMB_CHECK(cols % 2 == 0);
   CAMB_CHECK(static_cast<i64>(mine.size()) == rows_pm * cols);
-  const int s = g_size / 2;
-  const int pidx = ctx.rank() - g_lo;
+  const int s = comm.size() / 2;
+  const int pidx = comm.my_index();
   const i64 half = cols / 2;
   std::vector<double> left, right;
   left.reserve(static_cast<std::size_t>(rows_pm * half));
@@ -63,19 +56,22 @@ std::vector<double> split_columns_exchange(RankCtx& ctx, int g_lo, int g_size,
     left.insert(left.end(), base, base + half);
     right.insert(right.end(), base + half, base + cols);
   }
-  ctx.send(g_lo + pidx / 2, tag, std::move(left));
-  ctx.send(g_lo + s + pidx / 2, tag, std::move(right));
+  comm.send(pidx / 2, tag, std::move(left));
+  comm.send(s + pidx / 2, tag, std::move(right));
   const int i = pidx < s ? pidx : pidx - s;
-  std::vector<double> lowpart = ctx.recv(g_lo + 2 * i, tag);
-  std::vector<double> highpart = ctx.recv(g_lo + 2 * i + 1, tag);
+  std::vector<double> lowpart = comm.recv(2 * i, tag);
+  std::vector<double> highpart = comm.recv(2 * i + 1, tag);
   lowpart.insert(lowpart.end(), highpart.begin(), highpart.end());
   return lowpart;
 }
 
-/// One K-split combine frame remembered for the unwind.
+/// One K-split combine frame remembered for the unwind: the level comm it
+/// runs on (kept alive so the lease stays valid), the tag reserved for the
+/// combine at split time, and the partner's index within that comm.
 struct CombineFrame {
-  int level;
-  int partner;
+  coll::Comm comm;
+  int tag;
+  int partner_idx;
   bool lower;  ///< true if this rank keeps the first half of its holding
 };
 
@@ -145,21 +141,29 @@ CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
     const bool lower = pidx < s;
     const char split = choose_split(r, k, c);
     ctx.set_phase(kPhaseCarmaSplit);
+    // This level's comm: the current group.  Every rank of the machine is in
+    // exactly one group per level and the split letters are dimension-driven
+    // (identical across groups), so the lease sequences stay in lockstep.
+    std::vector<int> members(static_cast<std::size_t>(g_size));
+    for (int m = 0; m < g_size; ++m) {
+      members[static_cast<std::size_t>(m)] = g_lo + m;
+    }
+    coll::Comm level_comm(ctx, std::move(members), /*tag_blocks=*/2);
+    const int tags = level_comm.take_tag_block();
     if (split == 'M') {
-      // A and C halves align with the group halves; replicate B.
-      b = replicate_exchange(ctx, g_lo, g_size, b, split_tag(level, 0));
+      // A and C halves align with the comm halves; replicate B.
+      b = replicate_exchange(level_comm, b, tags);
       r /= 2;
       if (!lower) c_row0 += r;
     } else if (split == 'K') {
-      a = split_columns_exchange(ctx, g_lo, g_size, a, r / g_size, k,
-                                 split_tag(level, 0));
+      a = split_columns_exchange(level_comm, a, r / g_size, k, tags);
       k /= 2;
-      combines.push_back(
-          CombineFrame{level, lower ? me + s : me - s, lower});
+      const int combine_tags = level_comm.take_tag_block();
+      combines.push_back(CombineFrame{std::move(level_comm), combine_tags,
+                                      lower ? pidx + s : pidx - s, lower});
     } else {  // 'N'
-      a = replicate_exchange(ctx, g_lo, g_size, a, split_tag(level, 0));
-      b = split_columns_exchange(ctx, g_lo, g_size, b, k / g_size, c,
-                                 split_tag(level, 1));
+      a = replicate_exchange(level_comm, a, tags);
+      b = split_columns_exchange(level_comm, b, k / g_size, c, tags + 1);
       c /= 2;
       if (!lower) c_col0 += c;
     }
@@ -189,9 +193,9 @@ CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
     std::vector<double> outgoing(
         out.data.begin() + (frame->lower ? half : 0),
         out.data.begin() + (frame->lower ? 2 * half : half));
-    ctx.send(frame->partner, combine_tag(frame->level), std::move(outgoing));
+    frame->comm.send(frame->partner_idx, frame->tag, std::move(outgoing));
     const std::vector<double> incoming =
-        ctx.recv(frame->partner, combine_tag(frame->level));
+        frame->comm.recv(frame->partner_idx, frame->tag);
     CAMB_CHECK(static_cast<i64>(incoming.size()) == half);
     const i64 keep_off = frame->lower ? 0 : half;
     for (i64 j = 0; j < half; ++j) {

@@ -1,17 +1,13 @@
 #include "matmul/grid3d.hpp"
 
 #include "collectives/coll_cost.hpp"
+#include "collectives/grid_comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
 
 namespace camb::mm {
 
 namespace {
-
-/// Tag bases for the three collectives (disjoint ranges).
-constexpr int kTagAllgatherA = 0;
-constexpr int kTagAllgatherB = coll::kTagStride;
-constexpr int kTagReduceScatterC = 2 * coll::kTagStride;
 
 struct Dists {
   BlockDist1D d1, d2, d3;
@@ -56,9 +52,8 @@ Grid3dLayout grid3d_layout(const Grid3dConfig& cfg, int rank) {
 Grid3dRankOutput grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
   CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
                  "grid size must equal the machine size");
-  const GridMap map(cfg.grid);
-  const auto [q1, q2, q3] = map.coords_of(ctx.rank());
   const Grid3dLayout layout = grid3d_layout(cfg, ctx.rank());
+  const coll::GridComm grid(ctx, cfg.grid);
 
   auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
                                         : fill_chunk_indexed;
@@ -66,18 +61,14 @@ Grid3dRankOutput grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
   // Line 3: All-Gather A across the fiber (q1, q2, :).
   ctx.set_phase(kPhaseAllgatherA);
   const camb::WorkingSet a_ws(ctx, layout.a.block_size());
-  const std::vector<int> fiber_a = map.fiber(2, q1, q2, q3);
-  std::vector<double> a_flat =
-      coll::allgather(ctx, fiber_a, layout.a_counts, fill(layout.a),
-                      kTagAllgatherA, cfg.allgather);
+  std::vector<double> a_flat = coll::allgather(
+      grid.fiber(2), layout.a_counts, fill(layout.a), cfg.allgather);
 
   // Line 4: All-Gather B across the fiber (:, q2, q3).
   ctx.set_phase(kPhaseAllgatherB);
   const camb::WorkingSet b_ws(ctx, layout.b.block_size());
-  const std::vector<int> fiber_b = map.fiber(0, q1, q2, q3);
-  std::vector<double> b_flat =
-      coll::allgather(ctx, fiber_b, layout.b_counts, fill(layout.b),
-                      kTagAllgatherB, cfg.allgather);
+  std::vector<double> b_flat = coll::allgather(
+      grid.fiber(0), layout.b_counts, fill(layout.b), cfg.allgather);
 
   // Line 6: local multiply D = A_{q1 q2} * B_{q2 q3}.
   ctx.set_phase(kPhaseLocalGemm);
@@ -90,12 +81,11 @@ Grid3dRankOutput grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
 
   // Line 8: Reduce-Scatter D across the fiber (q1, :, q3).
   ctx.set_phase(kPhaseReduceScatterC);
-  const std::vector<int> fiber_c = map.fiber(1, q1, q2, q3);
   std::vector<double> d_flat(d_block.data(), d_block.data() + d_block.size());
   Grid3dRankOutput out;
   out.c_chunk = layout.c;
-  out.c_data = coll::reduce_scatter(ctx, fiber_c, layout.c_counts, d_flat,
-                                    kTagReduceScatterC, cfg.reduce_scatter);
+  out.c_data = coll::reduce_scatter(grid.fiber(1), layout.c_counts, d_flat,
+                                    cfg.reduce_scatter);
   CAMB_CHECK(static_cast<i64>(out.c_data.size()) == layout.c.flat_size);
   return out;
 }

@@ -2,36 +2,30 @@
 
 #include "collectives/alltoall.hpp"
 #include "collectives/coll_cost.hpp"
+#include "collectives/grid_comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
 
 namespace camb::mm {
 
-namespace {
-constexpr int kTagAllgatherA = 0;
-constexpr int kTagAllgatherB = coll::kTagStride;
-constexpr int kTagAlltoallC = 2 * coll::kTagStride;
-}  // namespace
-
 Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
                                      const Grid3dAgarwalConfig& cfg) {
   CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
                  "grid size must equal the machine size");
-  const GridMap map(cfg.grid);
-  const auto [q1, q2, q3] = map.coords_of(ctx.rank());
   const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
                           coll::ReduceScatterAlgo::kAuto};
   const Grid3dLayout layout = grid3d_layout(base, ctx.rank());
+  const coll::GridComm grid(ctx, cfg.grid);
 
   // Lines 3-4: identical to Algorithm 1.
   ctx.set_phase(kPhaseAllgatherA);
   std::vector<double> a_flat = coll::allgather(
-      ctx, map.fiber(2, q1, q2, q3), layout.a_counts,
-      fill_chunk_indexed(layout.a), kTagAllgatherA, cfg.allgather);
+      grid.fiber(2), layout.a_counts, fill_chunk_indexed(layout.a),
+      cfg.allgather);
   ctx.set_phase(kPhaseAllgatherB);
   std::vector<double> b_flat = coll::allgather(
-      ctx, map.fiber(0, q1, q2, q3), layout.b_counts,
-      fill_chunk_indexed(layout.b), kTagAllgatherB, cfg.allgather);
+      grid.fiber(0), layout.b_counts, fill_chunk_indexed(layout.b),
+      cfg.allgather);
 
   ctx.set_phase(kPhaseLocalGemm);
   MatrixD a_block(layout.a.rows, layout.a.cols);
@@ -42,7 +36,6 @@ Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
 
   // Line 8 the 1995 way: All-to-All the personalized D segments, sum after.
   ctx.set_phase(kPhaseAlltoallC);
-  const std::vector<int> fiber_c = map.fiber(1, q1, q2, q3);
   const int p2 = static_cast<int>(cfg.grid.p2);
   std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p2));
   // Bruck requires equal blocks; pairwise handles the near-equal counts.
@@ -55,7 +48,7 @@ Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
         d_block.data() + off, d_block.data() + off + len);
   }
   const std::vector<std::vector<double>> received =
-      coll::alltoall(ctx, fiber_c, pieces, kTagAlltoallC, cfg.alltoall);
+      coll::alltoall(grid.fiber(1), pieces, cfg.alltoall);
 
   Grid3dRankOutput out;
   out.c_chunk = layout.c;

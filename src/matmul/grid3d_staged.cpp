@@ -1,6 +1,7 @@
 #include "matmul/grid3d_staged.hpp"
 
 #include "collectives/coll_cost.hpp"
+#include "collectives/grid_comm.hpp"
 #include "core/cost_eq3.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
@@ -8,13 +9,6 @@
 namespace camb::mm {
 
 namespace {
-
-constexpr int kTagAllgatherB = 0;
-// Per-stage tag bases follow, strided so stages never collide.
-int stage_tag(i64 stage, int which) {
-  return coll::kTagStride *
-         (1 + static_cast<int>(2 * stage) + which);  // which: 0 = AG A, 1 = RS
-}
 
 /// Per-fiber-member counts for gathering the flat sub-range [lo, hi) of a
 /// block whose full flat extent is split near-equally across the fiber.
@@ -37,23 +31,25 @@ Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
                  "grid size must equal the machine size");
   const GridMap map(cfg.grid);
   const auto [q1, q2, q3] = map.coords_of(ctx.rank());
+  (void)q1;
   const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
                           cfg.reduce_scatter};
   const Grid3dLayout layout = grid3d_layout(base, ctx.rank());
+  // Every stage runs one collective per fiber; size the fiber leases to the
+  // stage count so deep stagings never exhaust them.
+  const int fiber_blocks =
+      std::max(coll::Comm::kDefaultTagBlocks, static_cast<int>(cfg.stages) + 1);
+  const coll::GridComm grid(ctx, cfg.grid, fiber_blocks);
 
   // B is gathered once, up front, exactly as in the unstaged algorithm.
   ctx.set_phase(kPhaseAllgatherB);
   const camb::WorkingSet b_ws(ctx, layout.b.block_size());
-  const std::vector<int> fiber_b = map.fiber(0, q1, q2, q3);
-  std::vector<double> b_flat =
-      coll::allgather(ctx, fiber_b, layout.b_counts,
-                      fill_chunk_indexed(layout.b), kTagAllgatherB,
-                      cfg.allgather);
+  std::vector<double> b_flat = coll::allgather(
+      grid.fiber(0), layout.b_counts, fill_chunk_indexed(layout.b),
+      cfg.allgather);
   MatrixD b_block(layout.b.rows, layout.b.cols);
   std::copy(b_flat.begin(), b_flat.end(), b_block.data());
 
-  const std::vector<int> fiber_a = map.fiber(2, q1, q2, q3);
-  const std::vector<int> fiber_c = map.fiber(1, q1, q2, q3);
   const BlockDist1D a_fiber_split(layout.a.block_size(), cfg.grid.p3);
   const BlockDist1D strips(layout.a.rows, cfg.stages);
 
@@ -77,9 +73,8 @@ Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
     BlockChunk my_piece = layout.a;
     my_piece.flat_start = std::max(lo, a_fiber_split.start(q3));
     my_piece.flat_size = counts[static_cast<std::size_t>(q3)];
-    std::vector<double> strip_flat =
-        coll::allgather(ctx, fiber_a, counts, fill_chunk_indexed(my_piece),
-                        stage_tag(stage, 0), cfg.allgather);
+    std::vector<double> strip_flat = coll::allgather(
+        grid.fiber(2), counts, fill_chunk_indexed(my_piece), cfg.allgather);
     CAMB_CHECK(static_cast<i64>(strip_flat.size()) == hi - lo);
 
     // Multiply the strip against the full B block.
@@ -94,8 +89,7 @@ Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
     std::vector<double> d_flat(d_strip.data(),
                                d_strip.data() + d_strip.size());
     std::vector<double> owned = coll::reduce_scatter(
-        ctx, fiber_c, seg.counts(), d_flat, stage_tag(stage, 1),
-        cfg.reduce_scatter);
+        grid.fiber(1), seg.counts(), d_flat, cfg.reduce_scatter);
 
     BlockChunk c_chunk;
     c_chunk.row0 = layout.c.row0;

@@ -2,6 +2,7 @@
 
 #include "collectives/bcast.hpp"
 #include "collectives/coll_cost.hpp"
+#include "collectives/comm.hpp"
 #include "collectives/gather_scatter.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
@@ -11,8 +12,7 @@ namespace camb::mm {
 Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
   const int p = ctx.nprocs();
   const int me = ctx.rank();
-  std::vector<int> everyone(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) everyone[static_cast<std::size_t>(r)] = r;
+  const coll::Comm world = coll::Comm::world(ctx);
   const Shape& s = cfg.shape;
 
   // Rank 0 materializes both inputs; everyone receives full copies.
@@ -24,8 +24,8 @@ Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
     a_flat = fill_chunk_indexed(a_all);
     b_flat = fill_chunk_indexed(b_all);
   }
-  coll::bcast(ctx, everyone, 0, a_flat, s.size_a(), 0);
-  coll::bcast(ctx, everyone, 0, b_flat, s.size_b(), coll::kTagStride);
+  coll::bcast(world, 0, a_flat, s.size_a());
+  coll::bcast(world, 0, b_flat, s.size_b());
 
   // Each rank computes its row slice of C.
   ctx.set_phase(kPhaseNaiveGemm);
@@ -44,7 +44,7 @@ Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
     counts[static_cast<std::size_t>(r)] = rows.size(r) * s.n3;
   }
   std::vector<double> c_flat(c_slice.data(), c_slice.data() + c_slice.size());
-  coll::gather(ctx, everyone, 0, counts, c_flat, 2 * coll::kTagStride);
+  coll::gather(world, 0, counts, c_flat);
 
   Block2DOutput out;
   out.row0 = rows.start(me);

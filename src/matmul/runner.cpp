@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
@@ -39,9 +40,12 @@ RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
   report.measured_critical_sent = stats.critical_path_sent_words();
   report.total_network_words = stats.total_words_sent();
   for (int r = 0; r < stats.nprocs(); ++r) {
+    const auto& totals = stats.rank_total(r);
+    report.rank_recv_words.push_back(totals.words_received);
+    report.rank_sent_words.push_back(totals.words_sent);
+    report.rank_messages.push_back(totals.messages_sent);
     report.measured_critical_messages =
-        std::max(report.measured_critical_messages,
-                 stats.rank_total(r).messages_sent);
+        std::max(report.measured_critical_messages, totals.messages_sent);
   }
   for (const auto& phase : stats.phases()) {
     report.phase_recv[phase] = stats.phase_critical_path_received_words(phase);
@@ -93,6 +97,25 @@ RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
                  stats.rank_phase(r, "abft_encode").words_received);
   }
   return report;
+}
+
+/// FNV-1a over the exact bit pattern of every entry, row-major: the
+/// "output bits" fingerprint pinned by the equivalence sweep.
+std::uint64_t hash_matrix(const MatrixD& m) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (i64 i = 0; i < m.rows(); ++i) {
+    for (i64 j = 0; j < m.cols(); ++j) {
+      std::uint64_t bits;
+      const double v = m(i, j);
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (int b = 0; b < 8; ++b) {
+        h ^= (bits >> (8 * b)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    }
+  }
+  return h;
 }
 
 /// Place a flat chunk of a row-major block into the global matrix.
@@ -232,6 +255,7 @@ RunReport run_grid3d(const Grid3dConfig& cfg, const RunOptions& opts) {
   if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.shape.n1, cfg.shape.n3);
     for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
+    report.output_hash = hash_matrix(c);
     report.max_abs_error = check_result(cfg.shape, c, opts.verify);
     report.verified = true;
   }
@@ -273,6 +297,7 @@ RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg,
         place_chunk(c, out.c_chunks[s], out.c_data[s]);
       }
     }
+    report.output_hash = hash_matrix(c);
     report.max_abs_error = check_result(cfg.shape, c, opts.verify);
     report.verified = true;
   }
@@ -306,6 +331,7 @@ RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg,
   if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.shape.n1, cfg.shape.n3);
     for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
+    report.output_hash = hash_matrix(c);
     report.max_abs_error = check_result(cfg.shape, c, opts.verify);
     report.verified = true;
   }
@@ -336,6 +362,7 @@ RunReport run_carma(const CarmaConfig& cfg, const RunOptions& opts) {
   if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.shape.n1, cfg.shape.n3);
     for (const auto& out : outputs) place_chunk(c, out.holding, out.data);
+    report.output_hash = hash_matrix(c);
     report.max_abs_error = check_result(cfg.shape, c, opts.verify);
     report.verified = true;
   }
@@ -370,6 +397,7 @@ RunReport run_block2d(
         }
       }
     }
+    report.output_hash = hash_matrix(c);
     report.max_abs_error = check_result(shape, c, opts.verify);
     report.verified = true;
   }
@@ -466,6 +494,7 @@ RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts) {
         place_block(c, rec.out);
       }
     }
+    report.output_hash = hash_matrix(c);
     report.max_abs_error =
         check_result_pattern(cfg.base.shape, c, opts.verify,
                              /*integer_inputs=*/true);
@@ -515,6 +544,7 @@ RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg,
         place_chunk(c, rec.c_chunk, rec.c_data);
       }
     }
+    report.output_hash = hash_matrix(c);
     report.max_abs_error =
         check_result_pattern(cfg.base.shape, c, opts.verify,
                              /*integer_inputs=*/true);

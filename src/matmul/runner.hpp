@@ -140,6 +140,15 @@ struct RunReport {
   i64 measured_critical_sent = 0;
   /// Max over ranks of messages sent (the latency term).
   i64 measured_critical_messages = 0;
+  /// Per-rank totals (indexed by machine rank): the full communication
+  /// profile behind the critical-path maxima above.  The equivalence sweep
+  /// pins these rank by rank, not just their maxima.
+  std::vector<i64> rank_recv_words;
+  std::vector<i64> rank_sent_words;
+  std::vector<i64> rank_messages;
+  /// FNV-1a over the assembled output's exact bit pattern; 0 when the run
+  /// skipped assembly (VerifyMode::kNone).
+  std::uint64_t output_hash = 0;
   /// Scheduled critical-path time under the machine's logical clocks
   /// (default params alpha = beta = 1, i.e. messages + words along the
   /// actual dependency structure — see RankCtx's clock model).

@@ -1,27 +1,13 @@
 #include "matmul/summa.hpp"
 
 #include "collectives/bcast.hpp"
-#include "collectives/group.hpp"
+#include "collectives/grid_comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
 
 namespace camb::mm {
 
 namespace {
-
-int rank_of(i64 i, i64 j, i64 g) { return static_cast<int>(i * g + j); }
-
-std::vector<int> row_group(i64 i, i64 g) {
-  std::vector<int> out;
-  for (i64 j = 0; j < g; ++j) out.push_back(rank_of(i, j, g));
-  return out;
-}
-
-std::vector<int> col_group(i64 j, i64 g) {
-  std::vector<int> out;
-  for (i64 i = 0; i < g; ++i) out.push_back(rank_of(i, j, g));
-  return out;
-}
 
 BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
                       i64 ci) {
@@ -58,23 +44,24 @@ Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg) {
   out.col0 = d3.start(j);
   out.block = MatrixD(d1.size(i), d3.size(j));
 
-  const std::vector<int> my_row = row_group(i, g);
-  const std::vector<int> my_col = col_group(j, g);
+  // g x g grid as Grid3{g, g, 1}: fiber(1) is this rank's row comm (its
+  // index there is j), fiber(0) its column comm (index i).
+  const coll::GridComm grid(ctx, Grid3{g, g, 1});
+  const coll::Comm& my_row = grid.fiber(1);
+  const coll::Comm& my_col = grid.fiber(0);
 
   for (i64 t = 0; t < g; ++t) {
     // A block-column t travels along each row; B block-row t along columns.
     ctx.set_phase(kPhaseSummaBcastA);
     std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
     const i64 a_words = d1.size(i) * d2.size(t);
-    coll::bcast(ctx, my_row, static_cast<int>(t), a_panel, a_words,
-                static_cast<int>(2 * t) * coll::kTagStride, cfg.bcast,
+    coll::bcast(my_row, static_cast<int>(t), a_panel, a_words, cfg.bcast,
                 cfg.bcast_segments);
 
     ctx.set_phase(kPhaseSummaBcastB);
     std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
     const i64 b_words = d2.size(t) * d3.size(j);
-    coll::bcast(ctx, my_col, static_cast<int>(t), b_panel, b_words,
-                static_cast<int>(2 * t + 1) * coll::kTagStride, cfg.bcast,
+    coll::bcast(my_col, static_cast<int>(t), b_panel, b_words, cfg.bcast,
                 cfg.bcast_segments);
 
     ctx.set_phase(kPhaseSummaGemm);

@@ -3,8 +3,6 @@
 // the executed machine.
 #include <gtest/gtest.h>
 
-#include <numeric>
-
 #include "collectives/allgather.hpp"
 #include "collectives/allreduce.hpp"
 #include "collectives/alltoall.hpp"
@@ -22,19 +20,12 @@ namespace {
 using coll::AllgatherAlgo;
 using coll::ReduceScatterAlgo;
 
-std::vector<int> iota_group(int p) {
-  std::vector<int> group(static_cast<std::size_t>(p));
-  std::iota(group.begin(), group.end(), 0);
-  return group;
-}
-
 // ---------------------------------------------------------------------------
 // All-Gather
 // ---------------------------------------------------------------------------
 
 void check_allgather(int p, AllgatherAlgo algo, const std::vector<i64>& counts) {
   Machine machine(p);
-  const auto group = iota_group(p);
   machine.run([&](RankCtx& ctx) {
     const int me = ctx.rank();
     const i64 my_count = counts[static_cast<std::size_t>(me)];
@@ -43,7 +34,8 @@ void check_allgather(int p, AllgatherAlgo algo, const std::vector<i64>& counts) 
     for (i64 j = 0; j < my_count; ++j) {
       local[static_cast<std::size_t>(j)] = static_cast<double>(offset + j);
     }
-    const auto result = coll::allgather(ctx, group, counts, local, 0, algo);
+    const auto result =
+        coll::allgather(coll::Comm::world(ctx), counts, local, algo);
     const i64 total = coll::counts_total(counts);
     ASSERT_EQ(static_cast<i64>(result.size()), total);
     for (i64 j = 0; j < total; ++j) {
@@ -100,7 +92,7 @@ TEST(Allgather, RecursiveDoublingRejectsNonPowerOfTwo) {
   Machine machine(3);
   EXPECT_THROW(
       machine.run([&](RankCtx& ctx) {
-        (void)coll::allgather_equal(ctx, iota_group(3), {1.0}, 0,
+        (void)coll::allgather_equal(coll::Comm::world(ctx), {1.0},
                                     AllgatherAlgo::kRecursiveDoubling);
       }),
       Error);
@@ -113,8 +105,8 @@ TEST(Allgather, BandwidthOptimalWordCount) {
   Machine machine(p);
   machine.run([&](RankCtx& ctx) {
     (void)coll::allgather_equal(
-        ctx, iota_group(p),
-        std::vector<double>(static_cast<std::size_t>(block)), 0);
+        coll::Comm::world(ctx),
+        std::vector<double>(static_cast<std::size_t>(block)));
   });
   const auto cost = coll::allgather_cost(p, block * p);
   for (int r = 0; r < p; ++r) {
@@ -131,7 +123,6 @@ TEST(Allgather, BandwidthOptimalWordCount) {
 void check_reduce_scatter(int p, ReduceScatterAlgo algo,
                           const std::vector<i64>& counts) {
   Machine machine(p);
-  const auto group = iota_group(p);
   const i64 total = coll::counts_total(counts);
   machine.run([&](RankCtx& ctx) {
     const int me = ctx.rank();
@@ -141,7 +132,8 @@ void check_reduce_scatter(int p, ReduceScatterAlgo algo,
     for (i64 j = 0; j < total; ++j) {
       full[static_cast<std::size_t>(j)] = static_cast<double>((me + 1) * j);
     }
-    const auto segment = coll::reduce_scatter(ctx, group, counts, full, 0, algo);
+    const auto segment =
+        coll::reduce_scatter(coll::Comm::world(ctx), counts, full, algo);
     const i64 my_off = coll::counts_offset(counts, me);
     ASSERT_EQ(static_cast<i64>(segment.size()),
               counts[static_cast<std::size_t>(me)]);
@@ -203,10 +195,10 @@ TEST(Bcast, AllGroupSizesAndRoots) {
       Machine machine(p);
       machine.run([&](RankCtx& ctx) {
         std::vector<double> data;
-        if (coll::group_index(iota_group(p), ctx.rank()) == root) {
+        if (ctx.rank() == root) {
           data = {1.0, 2.0, 3.0};
         }
-        coll::bcast(ctx, iota_group(p), root, data, 3, 0);
+        coll::bcast(coll::Comm::world(ctx), root, data, 3);
         ASSERT_EQ(data.size(), 3u);
         EXPECT_DOUBLE_EQ(data[1], 2.0);
       });
@@ -226,10 +218,10 @@ TEST(Bcast, PipelinedRingDeliversCorrectly) {
         Machine machine(p);
         machine.run([&](RankCtx& ctx) {
           std::vector<double> data;
-          if (coll::group_index(iota_group(p), ctx.rank()) == root) {
+          if (ctx.rank() == root) {
             for (int j = 0; j < 23; ++j) data.push_back(j * 1.5);
           }
-          coll::bcast(ctx, iota_group(p), root, data, 23, 0,
+          coll::bcast(coll::Comm::world(ctx), root, data, 23,
                       coll::BcastAlgo::kPipelinedRing, segments);
           ASSERT_EQ(data.size(), 23u);
           for (int j = 0; j < 23; ++j) {
@@ -261,7 +253,7 @@ TEST(Bcast, PipeliningWinsOnLargePayloadsInScheduledTime) {
     machine.run([&](RankCtx& ctx) {
       std::vector<double> data;
       if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(w), 1.0);
-      coll::bcast(ctx, iota_group(p), 0, data, w, 0, algo, 32);
+      coll::bcast(coll::Comm::world(ctx), 0, data, w, algo, 32);
     });
     return machine.critical_path_time();
   };
@@ -275,7 +267,7 @@ TEST(Bcast, PipeliningWinsOnLargePayloadsInScheduledTime) {
     machine.run([&](RankCtx& ctx) {
       std::vector<double> data;
       if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(tiny), 1.0);
-      coll::bcast(ctx, iota_group(p), 0, data, tiny, 0, algo, 32);
+      coll::bcast(coll::Comm::world(ctx), 0, data, tiny, algo, 32);
     });
     return machine.critical_path_time();
   };
@@ -289,8 +281,8 @@ TEST(Reduce, SumsOntoRoot) {
       Machine machine(p);
       machine.run([&](RankCtx& ctx) {
         std::vector<double> data = {static_cast<double>(ctx.rank() + 1), 1.0};
-        const auto result = coll::reduce(ctx, iota_group(p), root,
-                                         std::move(data), 0);
+        const auto result =
+            coll::reduce(coll::Comm::world(ctx), root, std::move(data));
         if (ctx.rank() == root) {
           ASSERT_EQ(result.size(), 2u);
           EXPECT_DOUBLE_EQ(result[0], p * (p + 1) / 2.0);
@@ -311,7 +303,8 @@ TEST(Allreduce, EveryRankGetsTheSum) {
       for (std::size_t j = 0; j < data.size(); ++j) {
         data[j] = static_cast<double>(ctx.rank()) + static_cast<double>(j);
       }
-      const auto result = coll::allreduce(ctx, iota_group(p), std::move(data), 0);
+      const auto result =
+          coll::allreduce(coll::Comm::world(ctx), std::move(data));
       ASSERT_EQ(result.size(), 17u);
       for (std::size_t j = 0; j < result.size(); ++j) {
         const double expected = p * (p - 1) / 2.0 + static_cast<double>(p * j);
@@ -326,7 +319,8 @@ TEST(Allreduce, PayloadSmallerThanGroup) {
   Machine machine(p);
   machine.run([&](RankCtx& ctx) {
     std::vector<double> data = {1.0, 2.0, 3.0};  // 3 words, 8 ranks
-    const auto result = coll::allreduce(ctx, iota_group(p), std::move(data), 0);
+    const auto result =
+        coll::allreduce(coll::Comm::world(ctx), std::move(data));
     ASSERT_EQ(result.size(), 3u);
     EXPECT_DOUBLE_EQ(result[0], 8.0);
     EXPECT_DOUBLE_EQ(result[2], 24.0);
@@ -342,7 +336,7 @@ TEST(Alltoall, PersonalizedExchange) {
         blocks[static_cast<std::size_t>(d)] = {
             static_cast<double>(ctx.rank() * 100 + d)};
       }
-      const auto received = coll::alltoall(ctx, iota_group(p), blocks, 0);
+      const auto received = coll::alltoall(coll::Comm::world(ctx), blocks);
       ASSERT_EQ(received.size(), static_cast<std::size_t>(p));
       for (int s = 0; s < p; ++s) {
         ASSERT_EQ(received[static_cast<std::size_t>(s)].size(), 1u);
@@ -368,7 +362,8 @@ TEST(Alltoall, BruckMatchesPairwise) {
               static_cast<double>(ctx.rank() * 1000 + d),
               static_cast<double>(d * 1000 + ctx.rank())};
         }
-        const auto received = coll::alltoall(ctx, iota_group(p), blocks, 0, algo);
+        const auto received =
+            coll::alltoall(coll::Comm::world(ctx), blocks, algo);
         ASSERT_EQ(received.size(), static_cast<std::size_t>(p));
         for (int s = 0; s < p; ++s) {
           ASSERT_EQ(received[static_cast<std::size_t>(s)].size(), 2u);
@@ -392,7 +387,7 @@ TEST(Alltoall, BruckLatencyBandwidthTradeoff) {
       std::vector<std::vector<double>> blocks(
           static_cast<std::size_t>(p),
           std::vector<double>(static_cast<std::size_t>(block), 1.0));
-      (void)coll::alltoall(ctx, iota_group(p), blocks, 0, algo);
+      (void)coll::alltoall(coll::Comm::world(ctx), blocks, algo);
     });
     return machine.stats().rank_total(0);
   };
@@ -411,7 +406,7 @@ TEST(Alltoall, BruckRejectsUnequalBlocks) {
       machine.run([&](RankCtx& ctx) {
         std::vector<std::vector<double>> blocks = {
             {1.0}, {1.0, 2.0}, {1.0}, {1.0}};
-        (void)coll::alltoall(ctx, iota_group(4), blocks, 0,
+        (void)coll::alltoall(coll::Comm::world(ctx), blocks,
                              coll::AlltoallAlgo::kBruck);
       }),
       Error);
@@ -430,12 +425,11 @@ TEST(GatherScatter, RoundTrip) {
           full.push_back(static_cast<double>(j));
         }
       }
-      const auto mine =
-          coll::scatter(ctx, iota_group(p), 0, counts, full, 0);
+      const coll::Comm world = coll::Comm::world(ctx);
+      const auto mine = coll::scatter(world, 0, counts, full);
       ASSERT_EQ(static_cast<i64>(mine.size()),
                 counts[static_cast<std::size_t>(me)]);
-      const auto gathered = coll::gather(ctx, iota_group(p), 0, counts, mine,
-                                         coll::kTagStride);
+      const auto gathered = coll::gather(world, 0, counts, mine);
       if (me == 0) {
         ASSERT_EQ(static_cast<i64>(gathered.size()),
                   coll::counts_total(counts));
@@ -488,11 +482,29 @@ TEST(Registry, VariantsKnowTheirSupport) {
   EXPECT_EQ(coll::reduce_scatter_variants().size(), 2u);
 }
 
-TEST(Group, HelpersValidate) {
-  EXPECT_EQ(coll::group_index({4, 2, 7}, 7), 2);
-  EXPECT_THROW(coll::group_index({4, 2}, 9), Error);
-  EXPECT_THROW(coll::validate_group({1, 1}, 4), Error);
-  EXPECT_THROW(coll::validate_group({5}, 4), Error);
+TEST(Comm, ConstructionValidatesAndIndexes) {
+  Machine machine(8);
+  machine.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 4) {
+      const coll::Comm comm(ctx, {4, 2, 7});
+      EXPECT_EQ(comm.size(), 3);
+      EXPECT_TRUE(comm.member());
+      EXPECT_EQ(comm.my_index(), 0);
+      EXPECT_EQ(comm.index_of(7), 2);
+      EXPECT_EQ(comm.rank_at(0), 4);
+      EXPECT_THROW(comm.index_of(9), Error);
+      EXPECT_THROW(coll::Comm(ctx, {4, 4}), Error);  // duplicate member
+      EXPECT_THROW(coll::Comm(ctx, {4, 8}), Error);  // rank out of range
+      EXPECT_THROW(coll::Comm(ctx, {}), Error);      // empty comm
+      EXPECT_THROW(coll::Comm(ctx, {2, 7}), Error);  // non-member construction
+    } else if (ctx.rank() == 0) {
+      // Recovery comms may be constructed by non-members (the survivor
+      // bookkeeping discipline); they just may not communicate on them.
+      const coll::Comm rec = coll::Comm::recovery(ctx, {4, 2, 7});
+      EXPECT_FALSE(rec.member());
+      EXPECT_TRUE(rec.is_recovery());
+    }
+  });
   EXPECT_EQ(coll::counts_total({1, 2, 3}), 6);
   EXPECT_EQ(coll::counts_offset({1, 2, 3}, 2), 3);
 }

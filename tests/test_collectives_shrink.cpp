@@ -8,6 +8,7 @@
 
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "machine/faults.hpp"
@@ -25,7 +26,7 @@ std::vector<int> world(int n) {
 /// Collect every caller's ShrinkResult, keyed by rank, under a lock.
 struct Results {
   std::mutex mutex;
-  std::vector<coll::ShrinkResult> by_rank;
+  std::vector<std::optional<coll::ShrinkResult>> by_rank;
   explicit Results(int n) : by_rank(static_cast<std::size_t>(n)) {}
   void put(int rank, coll::ShrinkResult result) {
     std::lock_guard<std::mutex> lock(mutex);
@@ -38,15 +39,18 @@ TEST(Shrink, FaultFreeAgreementIsTheFullGroup) {
   Machine machine(P);
   Results results(P);
   machine.run([&](RankCtx& ctx) {
-    results.put(ctx.rank(), coll::shrink(ctx, world(P), /*max_failures=*/1,
-                                         kRecoveryTagBase, false));
+    results.put(ctx.rank(),
+                coll::shrink(coll::Comm::recovery(ctx, world(P)),
+                             /*max_failures=*/1, false));
   });
   for (int r = 0; r < P; ++r) {
     const auto& result = results.by_rank[static_cast<std::size_t>(r)];
-    EXPECT_EQ(result.survivors, world(P));
-    EXPECT_TRUE(result.failed.empty());
-    EXPECT_FALSE(result.any_abandoned);
-    EXPECT_EQ(result.survivor_index(r), r);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->survivors.ranks(), world(P));
+    EXPECT_TRUE(result->survivors.is_recovery());
+    EXPECT_TRUE(result->failed.empty());
+    EXPECT_FALSE(result->any_abandoned);
+    EXPECT_EQ(result->survivor_index(r), r);
   }
 }
 
@@ -56,7 +60,7 @@ TEST(Shrink, FaultFreeCostMatchesTheClosedForm) {
       Machine machine(P);
       machine.run([&](RankCtx& ctx) {
         ctx.set_phase("shrink");
-        coll::shrink(ctx, world(P), max_failures, kRecoveryTagBase, false);
+        coll::shrink(coll::Comm::recovery(ctx, world(P)), max_failures, false);
       });
       for (int r = 0; r < P; ++r) {
         EXPECT_EQ(machine.stats().rank_phase(r, "shrink").words_received,
@@ -75,16 +79,18 @@ TEST(Shrink, SurvivorsAgreeOnACrashedMember) {
   machine.enable_crashes({{3, 0}});
   Results results(P);
   machine.run([&](RankCtx& ctx) {
-    results.put(ctx.rank(), coll::shrink(ctx, world(P), /*max_failures=*/1,
-                                         kRecoveryTagBase, false));
+    results.put(ctx.rank(),
+                coll::shrink(coll::Comm::recovery(ctx, world(P)),
+                             /*max_failures=*/1, false));
   });
   ASSERT_EQ(machine.crash_outcome().crashed, std::vector<int>{3});
   const std::vector<int> expect_survivors = {0, 1, 2, 4, 5};
   for (int r : expect_survivors) {
     const auto& result = results.by_rank[static_cast<std::size_t>(r)];
-    EXPECT_EQ(result.survivors, expect_survivors) << "rank " << r;
-    EXPECT_EQ(result.failed, std::vector<int>{3}) << "rank " << r;
-    EXPECT_EQ(result.survivor_index(3), -1);
+    ASSERT_TRUE(result.has_value()) << "rank " << r;
+    EXPECT_EQ(result->survivors.ranks(), expect_survivors) << "rank " << r;
+    EXPECT_EQ(result->failed, std::vector<int>{3}) << "rank " << r;
+    EXPECT_EQ(result->survivor_index(3), -1);
   }
 }
 
@@ -96,12 +102,14 @@ TEST(Shrink, AbandonedFlagReachesEverySurvivor) {
     // Rank 2 reports that it abandoned the algorithm phase; everyone must
     // learn this (it forces the expensive recovery path in the ABFT layer).
     const bool i_abandoned = ctx.rank() == 2;
-    results.put(ctx.rank(), coll::shrink(ctx, world(P), /*max_failures=*/1,
-                                         kRecoveryTagBase, i_abandoned));
+    results.put(ctx.rank(),
+                coll::shrink(coll::Comm::recovery(ctx, world(P)),
+                             /*max_failures=*/1, i_abandoned));
   });
   for (int r = 0; r < P; ++r) {
-    EXPECT_TRUE(results.by_rank[static_cast<std::size_t>(r)].any_abandoned)
-        << "rank " << r;
+    const auto& result = results.by_rank[static_cast<std::size_t>(r)];
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->any_abandoned) << "rank " << r;
   }
 }
 
@@ -109,9 +117,9 @@ TEST(Shrink, SingletonGroupIsFree) {
   Machine machine(2);
   machine.run([&](RankCtx& ctx) {
     ctx.set_phase("shrink");
-    const auto result = coll::shrink(ctx, {ctx.rank()}, /*max_failures=*/1,
-                                     kRecoveryTagBase, false);
-    EXPECT_EQ(result.survivors, std::vector<int>{ctx.rank()});
+    const auto result = coll::shrink(coll::Comm::recovery(ctx, {ctx.rank()}),
+                                     /*max_failures=*/1, false);
+    EXPECT_EQ(result.survivors.ranks(), std::vector<int>{ctx.rank()});
   });
   EXPECT_EQ(machine.stats().rank_phase(0, "shrink").words_received, 0);
   EXPECT_EQ(coll::shrink_recv_words_exact(1, 3), 0);

@@ -104,12 +104,10 @@ TEST(Tuning, BcastModelTracksScheduledTime) {
   const TuningParams params{1e-3, 1e-5};
   Machine machine(p);
   machine.set_time_params(AlphaBeta{params.alpha, params.beta});
-  std::vector<int> group(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) group[static_cast<std::size_t>(r)] = r;
   machine.run([&](RankCtx& ctx) {
     std::vector<double> data;
     if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(w), 1.0);
-    bcast(ctx, group, 0, data, w, 0, BcastAlgo::kPipelinedRing, segments);
+    bcast(Comm::world(ctx), 0, data, w, BcastAlgo::kPipelinedRing, segments);
   });
   EXPECT_NEAR(machine.critical_path_time(),
               bcast_model_time(p, w, BcastAlgo::kPipelinedRing, segments,

@@ -15,12 +15,6 @@
 namespace camb {
 namespace {
 
-std::vector<int> iota_group(int p) {
-  std::vector<int> group(static_cast<std::size_t>(p));
-  std::iota(group.begin(), group.end(), 0);
-  return group;
-}
-
 TEST(Clock, PingPongIsTwoTransfers) {
   Machine machine(2);
   machine.set_time_params(AlphaBeta{2.0, 0.5});
@@ -57,8 +51,8 @@ TEST(Clock, RingAllgatherMatchesTextbookTime) {
   machine.set_time_params(AlphaBeta{1e-3, 1e-6});
   machine.run([&](RankCtx& ctx) {
     (void)coll::allgather_equal(
-        ctx, iota_group(p),
-        std::vector<double>(static_cast<std::size_t>(block)), 0,
+        coll::Comm::world(ctx),
+        std::vector<double>(static_cast<std::size_t>(block)),
         coll::AllgatherAlgo::kRing);
   });
   const double expected = (p - 1) * (1e-3 + 1e-6 * block);
@@ -73,8 +67,8 @@ TEST(Clock, RecursiveDoublingMatchesTextbookTime) {
   machine.set_time_params(AlphaBeta{1e-3, 1e-6});
   machine.run([&](RankCtx& ctx) {
     (void)coll::allgather_equal(
-        ctx, iota_group(p),
-        std::vector<double>(static_cast<std::size_t>(block)), 0,
+        coll::Comm::world(ctx),
+        std::vector<double>(static_cast<std::size_t>(block)),
         coll::AllgatherAlgo::kRecursiveDoubling);
   });
   const double expected = 3 * 1e-3 + (p - 1) * block * 1e-6;
@@ -90,7 +84,7 @@ TEST(Clock, BinomialBcastIsLogDepth) {
   machine.run([&](RankCtx& ctx) {
     std::vector<double> data;
     if (ctx.rank() == 0) data.assign(static_cast<std::size_t>(w), 1.0);
-    coll::bcast(ctx, iota_group(p), 0, data, w, 0);
+    coll::bcast(coll::Comm::world(ctx), 0, data, w);
   });
   EXPECT_DOUBLE_EQ(machine.critical_path_time(), 3.0);  // log2(8)
 }

@@ -79,19 +79,13 @@ TEST(Topology, HypercubeHopsArePopcount) {
   EXPECT_THROW(Hypercube(12), Error);
 }
 
-std::vector<int> iota_group(int p) {
-  std::vector<int> group(static_cast<std::size_t>(p));
-  std::iota(group.begin(), group.end(), 0);
-  return group;
-}
-
 Trace& run_allgather_traced(Machine& machine, coll::AllgatherAlgo algo,
                             i64 block) {
   Trace& trace = machine.enable_trace();
   machine.run([&](RankCtx& ctx) {
     (void)coll::allgather_equal(
-        ctx, iota_group(machine.nprocs()),
-        std::vector<double>(static_cast<std::size_t>(block)), 0, algo);
+        coll::Comm::world(ctx),
+        std::vector<double>(static_cast<std::size_t>(block)), algo);
   });
   return trace;
 }

@@ -19,12 +19,6 @@
 namespace camb {
 namespace {
 
-std::vector<int> iota_group(int p) {
-  std::vector<int> group(static_cast<std::size_t>(p));
-  std::iota(group.begin(), group.end(), 0);
-  return group;
-}
-
 // Group sizes 1..17 cover: trivial, powers of two, primes, odd composites.
 class GroupSweep : public ::testing::TestWithParam<std::tuple<int, int>> {
  protected:
@@ -45,7 +39,7 @@ TEST_P(GroupSweep, AllgatherVariantsCorrectAndOptimal) {
             static_cast<double>(ctx.rank() * block + j);
       }
       const auto out =
-          coll::allgather_equal(ctx, iota_group(p), local, 0, variant.algo);
+          coll::allgather_equal(coll::Comm::world(ctx), local, variant.algo);
       ASSERT_EQ(static_cast<i64>(out.size()), block * p);
       for (i64 j = 0; j < block * p; ++j) {
         ASSERT_DOUBLE_EQ(out[static_cast<std::size_t>(j)],
@@ -75,7 +69,7 @@ TEST_P(GroupSweep, ReduceScatterVariantsCorrectAndOptimal) {
         full[static_cast<std::size_t>(j)] =
             static_cast<double>(j % (ctx.rank() + 2));
       }
-      const auto out = coll::reduce_scatter_equal(ctx, iota_group(p), full, 0,
+      const auto out = coll::reduce_scatter_equal(coll::Comm::world(ctx), full,
                                                   variant.algo);
       // Verify against a serial recomputation of this rank's segment.
       for (i64 j = 0; j < seg; ++j) {
@@ -104,9 +98,9 @@ TEST_P(GroupSweep, AllgatherThenReduceScatterRoundTripVolume) {
   Machine machine(p);
   machine.run([&](RankCtx& ctx) {
     std::vector<double> local(static_cast<std::size_t>(block), 1.0);
-    const auto gathered = coll::allgather_equal(ctx, iota_group(p), local, 0);
-    const auto segment = coll::reduce_scatter_equal(
-        ctx, iota_group(p), gathered, coll::kTagStride);
+    const coll::Comm world = coll::Comm::world(ctx);
+    const auto gathered = coll::allgather_equal(world, local);
+    const auto segment = coll::reduce_scatter_equal(world, gathered);
     for (double v : segment) ASSERT_DOUBLE_EQ(v, static_cast<double>(p));
   });
   const i64 moved = block * p - block;
@@ -150,7 +144,7 @@ TEST_P(FaultedGroupSweep, AllgatherVariantsCorrectUnderFaults) {
             static_cast<double>(ctx.rank() * block + j);
       }
       const auto out =
-          coll::allgather_equal(ctx, iota_group(p), local, 0, variant.algo);
+          coll::allgather_equal(coll::Comm::world(ctx), local, variant.algo);
       ASSERT_EQ(static_cast<i64>(out.size()), block * p);
       for (i64 j = 0; j < block * p; ++j) {
         ASSERT_DOUBLE_EQ(out[static_cast<std::size_t>(j)],
@@ -184,7 +178,7 @@ TEST_P(FaultedGroupSweep, ReduceScatterVariantsCorrectUnderFaults) {
         full[static_cast<std::size_t>(j)] =
             static_cast<double>(j % (ctx.rank() + 2));
       }
-      const auto out = coll::reduce_scatter_equal(ctx, iota_group(p), full, 0,
+      const auto out = coll::reduce_scatter_equal(coll::Comm::world(ctx), full,
                                                   variant.algo);
       for (i64 j = 0; j < seg; ++j) {
         double expected = 0;
@@ -228,7 +222,7 @@ TEST_P(AllreduceSweep, MatchesSerialSum) {
     for (auto& v : data) v = std::floor(rng.uniform(-8.0, 8.0));
     const std::vector<double> original = data;
     const auto result =
-        coll::allreduce(ctx, iota_group(p), std::move(data), 0);
+        coll::allreduce(coll::Comm::world(ctx), std::move(data));
     // Recompute the expected sum serially from every rank's deterministic
     // stream (exact: integer-valued payloads).
     std::vector<double> expected(static_cast<std::size_t>(words), 0.0);

@@ -131,8 +131,6 @@ TEST(RegistryRuntime, TimeDominatedByDependencyDepthNotVolumeAlone) {
 
 TEST(TuningOnMachine, ChosenAlltoallVariantIsFasterInSchedule) {
   const int p = 8;
-  std::vector<int> group(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) group[static_cast<std::size_t>(r)] = r;
   const coll::TuningParams tuning{1.0, 1e-4};
   auto scheduled = [&](i64 block, coll::AlltoallAlgo algo) {
     Machine machine(p);
@@ -141,7 +139,7 @@ TEST(TuningOnMachine, ChosenAlltoallVariantIsFasterInSchedule) {
       std::vector<std::vector<double>> blocks(
           static_cast<std::size_t>(p),
           std::vector<double>(static_cast<std::size_t>(block), 1.0));
-      (void)coll::alltoall(ctx, group, blocks, 0, algo);
+      (void)coll::alltoall(coll::Comm::world(ctx), blocks, algo);
     });
     return machine.critical_path_time();
   };
