@@ -1,0 +1,41 @@
+#include "machine/checkpoint.hpp"
+
+namespace camb {
+
+std::vector<double> snapshot_to_wire(const Snapshot& snap) {
+  CAMB_CHECK(snap.epoch >= 0);
+  std::vector<double> wire;
+  std::size_t total = 2 + snap.bufs.size();
+  for (const auto& buf : snap.bufs) total += buf.size();
+  wire.reserve(total);
+  wire.push_back(static_cast<double>(snap.epoch));
+  wire.push_back(static_cast<double>(snap.bufs.size()));
+  for (const auto& buf : snap.bufs) {
+    wire.push_back(static_cast<double>(buf.size()));
+  }
+  for (const auto& buf : snap.bufs) {
+    wire.insert(wire.end(), buf.begin(), buf.end());
+  }
+  return wire;
+}
+
+Snapshot snapshot_from_wire(const std::vector<double>& wire) {
+  CAMB_CHECK_MSG(wire.size() >= 2, "snapshot wire truncated");
+  Snapshot snap;
+  snap.epoch = static_cast<i64>(wire[0]);
+  const auto nbufs = static_cast<std::size_t>(wire[1]);
+  CAMB_CHECK_MSG(wire.size() >= 2 + nbufs, "snapshot wire truncated");
+  std::size_t off = 2 + nbufs;
+  snap.bufs.reserve(nbufs);
+  for (std::size_t b = 0; b < nbufs; ++b) {
+    const auto size = static_cast<std::size_t>(wire[2 + b]);
+    CAMB_CHECK_MSG(off + size <= wire.size(), "snapshot wire truncated");
+    snap.bufs.emplace_back(wire.begin() + static_cast<std::ptrdiff_t>(off),
+                           wire.begin() + static_cast<std::ptrdiff_t>(off + size));
+    off += size;
+  }
+  CAMB_CHECK_MSG(off == wire.size(), "snapshot wire has trailing words");
+  return snap;
+}
+
+}  // namespace camb

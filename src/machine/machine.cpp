@@ -72,6 +72,11 @@ void RankCtx::abandon() {
   machine_.note_abandon(rank_);
 }
 
+void RankCtx::abandon_below(int tag_limit) {
+  machine_.network().mark_rank_deviated(rank_, tag_limit);
+  machine_.note_abandon(rank_);
+}
+
 std::vector<double> RankCtx::sendrecv(int peer, int tag,
                                       std::vector<double> payload) {
   send(peer, tag, std::move(payload));
@@ -196,7 +201,11 @@ void Machine::run(const std::function<void(RankCtx&)>& program) {
       outcome_.crash_clocks.push_back(crash_clock[static_cast<std::size_t>(r)]);
     }
   }
+  // A rank may abandon several rollback rounds in one run; report it once.
   std::sort(outcome_.abandoned.begin(), outcome_.abandoned.end());
+  outcome_.abandoned.erase(
+      std::unique(outcome_.abandoned.begin(), outcome_.abandoned.end()),
+      outcome_.abandoned.end());
   std::sort(outcome_.detections.begin(), outcome_.detections.end(),
             [](const DetectionEvent& a, const DetectionEvent& b) {
               if (a.detector != b.detector) return a.detector < b.detector;

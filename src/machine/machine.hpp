@@ -90,6 +90,12 @@ class RankCtx {
   /// every survivor into the recovery protocol.
   void abandon();
 
+  /// Banded abandon for the checkpoint/rollback protocol: peers blocked on
+  /// this rank's messages with tags below `tag_limit` fail over, while tags
+  /// at or above it (the next rollback round's band) still flow.  Plain
+  /// abandon() is the special case tag_limit == kRecoveryTagBase.
+  void abandon_below(int tag_limit);
+
   /// Simultaneous exchange with a peer: send `payload`, receive the peer's.
   /// Models one use of a bidirectional link; deadlock-free because sends are
   /// buffered.

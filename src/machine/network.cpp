@@ -115,8 +115,12 @@ void Network::mark_rank_dead(int rank) {
 }
 
 void Network::mark_rank_deviated(int rank) {
+  mark_rank_deviated(rank, kRecoveryTagBase);
+}
+
+void Network::mark_rank_deviated(int rank, int tag_limit) {
   CAMB_CHECK(rank >= 0 && rank < nprocs_);
-  for (auto& mailbox : mailboxes_) mailbox->mark_deviated(rank, kRecoveryTagBase);
+  for (auto& mailbox : mailboxes_) mailbox->mark_deviated(rank, tag_limit);
 }
 
 std::size_t Network::pending_messages() const {

@@ -98,6 +98,12 @@ class Network {
   /// below kRecoveryTagBase fail over; recovery-protocol tags still work.
   void mark_rank_deviated(int rank);
 
+  /// Generalized deviation marking for the checkpoint/rollback protocol:
+  /// receives from `rank` of tags below `tag_limit` fail over.  Rollback
+  /// rounds carve the recovery region into bands, so an aborted round is
+  /// abandoned by raising the limit to the next band's base.
+  void mark_rank_deviated(int rank, int tag_limit);
+
   /// Count of undelivered messages across all mailboxes; a correct algorithm
   /// leaves zero behind.
   std::size_t pending_messages() const;

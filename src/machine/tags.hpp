@@ -66,6 +66,18 @@ class TagAllocator {
     return take(next_recovery_, kTagSpaceLimit, "recovery", blocks);
   }
 
+  /// Advance the recovery cursor to an agreed base (checkpoint/rollback
+  /// round bands).  Monotone only: rewinding would re-lease live tags.  All
+  /// ranks call this with the same agreed base at the same protocol point,
+  /// which re-aligns their recovery cursors even when the preceding band was
+  /// consumed unevenly (a rank that aborted mid-round leased fewer blocks).
+  void set_recovery_cursor(int base) {
+    CAMB_CHECK_MSG(base >= next_recovery_,
+                   "recovery cursor may only move forward");
+    CAMB_CHECK_MSG(base < kTagSpaceLimit, "recovery tag region exhausted");
+    next_recovery_ = base;
+  }
+
   /// Remaining whole blocks in each region (introspection for tests).
   int algorithm_blocks_left() const {
     return (kRecoveryTagBase - next_) / kTagBlockWidth;

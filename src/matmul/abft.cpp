@@ -461,6 +461,282 @@ i64 summa_abft_predicted_recv_words(const SummaAbftConfig& cfg, int rank) {
   return words;
 }
 
+SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
+                                     const SummaAbftConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  const i64 g = cfg.base.g;
+  CAMB_CHECK_MSG(g * g == session.nprocs(), "SUMMA machine size must be g*g");
+  CAMB_CHECK_MSG(g >= 2, "checksum-augmented SUMMA needs grid edge g >= 2");
+  const int me = session.rank();
+  const i64 i = me / g;
+  const i64 j = me % g;
+  const BlockDist1D d1(cfg.base.shape.n1, g), d2(cfg.base.shape.n2, g),
+      d3(cfg.base.shape.n3, g);
+  const i64 d1max = d1.size(0);
+  const i64 d3max = d3.size(0);
+
+  std::vector<double> a_own = fill_chunk_indexed_int(full_block(d1, i, d2, j));
+  std::vector<double> b_own = fill_chunk_indexed_int(full_block(d2, i, d3, j));
+
+  SummaAbftOutput out;
+  out.own.row0 = d1.start(i);
+  out.own.col0 = d3.start(j);
+  out.own.block = MatrixD(d1.size(i), d3.size(j));
+
+  const bool hold_s = (i == 0);
+  const bool hold_r = (j == 0);
+  const bool is_corner = (i == g - 1 && j == g - 1);
+  MatrixD s_sum, r_sum, t_sum;
+  if (hold_s) s_sum = MatrixD(d1max, d3.size(j));
+  if (hold_r) r_sum = MatrixD(d1.size(i), d3max);
+  if (is_corner) t_sum = MatrixD(d1max, d3max);
+
+  // Same fiber lease budget as summa_abft_rank; the twin builds its own two
+  // fibers on the session (every rank leases in the same row-then-column
+  // order, so the bases agree machine-wide).
+  const int fiber_blocks = std::max(coll::Comm::kDefaultTagBlocks,
+                                    static_cast<int>(2 * g) + 2);
+  std::vector<int> row_members, col_members;
+  for (i64 v = 0; v < g; ++v) {
+    row_members.push_back(static_cast<int>(i * g + v));
+    col_members.push_back(static_cast<int>(v * g + j));
+  }
+  const coll::Comm my_row = session.comm(row_members, fiber_blocks);
+  const coll::Comm my_col = session.comm(col_members, fiber_blocks);
+  const int fwd_a_tags = (j == g - 1) ? my_col.take_tag_block() : 0;
+  const int fwd_b_tags = (i == g - 1) ? my_row.take_tag_block() : 0;
+  CAMB_CHECK_MSG(g < kTagBlockWidth, "grid edge too large for one tag block");
+
+  const i64 t0 = session.resume_step();
+  if (session.restored()) {
+    const Snapshot& snap = session.snapshot();
+    std::size_t b = 0;
+    std::copy(snap.bufs.at(b).begin(), snap.bufs.at(b).end(),
+              out.own.block.data());
+    ++b;
+    if (hold_s) {
+      std::copy(snap.bufs.at(b).begin(), snap.bufs.at(b).end(), s_sum.data());
+      ++b;
+    }
+    if (hold_r) {
+      std::copy(snap.bufs.at(b).begin(), snap.bufs.at(b).end(), r_sum.data());
+      ++b;
+    }
+    if (is_corner) {
+      std::copy(snap.bufs.at(b).begin(), snap.bufs.at(b).end(), t_sum.data());
+      ++b;
+    }
+    CAMB_CHECK(b == snap.bufs.size());
+  }
+
+  for (i64 t = t0; t < g; ++t) {
+    // Base SUMMA stage (identical to summa_abft_rank's main loop).
+    ctx.set_phase(kPhaseSummaBcastA);
+    std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
+    const i64 a_rows = d1.size(i), a_cols = d2.size(t);
+    coll::bcast(my_row, static_cast<int>(t), a_panel, a_rows * a_cols,
+                cfg.base.bcast, cfg.base.bcast_segments);
+
+    ctx.set_phase(kPhaseSummaBcastB);
+    std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
+    const i64 b_rows = d2.size(t), b_cols = d3.size(j);
+    coll::bcast(my_col, static_cast<int>(t), b_panel, b_rows * b_cols,
+                cfg.base.bcast, cfg.base.bcast_segments);
+
+    ctx.set_phase(kPhaseSummaGemm);
+    const MatrixD a_mat = to_matrix(a_panel, a_rows, a_cols);
+    const MatrixD b_mat = to_matrix(b_panel, b_rows, b_cols);
+    gemm_accumulate(a_mat, b_mat, out.own.block);
+
+    ctx.set_phase(kPhaseAbftEncode);
+    std::vector<double> asum =
+        coll::reduce(my_col, 0, pad_rows(a_panel, a_rows, a_cols, d1max));
+    std::vector<double> bsum =
+        coll::reduce(my_row, 0, pad_cols(b_panel, b_rows, b_cols, d3max));
+    if (i == 0 && j == g - 1) {
+      my_col.send(static_cast<int>(g - 1), fwd_a_tags + static_cast<int>(t),
+                  asum);
+    }
+    if (i == g - 1 && j == 0) {
+      my_row.send(static_cast<int>(g - 1), fwd_b_tags + static_cast<int>(t),
+                  bsum);
+    }
+    if (hold_s) {
+      gemm_accumulate(to_matrix(asum, d1max, a_cols), b_mat, s_sum);
+    }
+    if (hold_r) {
+      gemm_accumulate(a_mat, to_matrix(bsum, b_rows, d3max), r_sum);
+    }
+    if (is_corner) {
+      const std::vector<double> asum_c =
+          my_col.recv(0, fwd_a_tags + static_cast<int>(t));
+      const std::vector<double> bsum_c =
+          my_row.recv(0, fwd_b_tags + static_cast<int>(t));
+      gemm_accumulate(to_matrix(asum_c, d1max, d2.size(t)),
+                      to_matrix(bsum_c, d2.size(t), d3max), t_sum);
+    }
+
+    session.boundary(t + 1, [&] {
+      Snapshot snap;
+      snap.bufs.emplace_back(out.own.block.data(),
+                             out.own.block.data() + out.own.block.size());
+      if (hold_s) {
+        snap.bufs.emplace_back(s_sum.data(), s_sum.data() + s_sum.size());
+      }
+      if (hold_r) {
+        snap.bufs.emplace_back(r_sum.data(), r_sum.data() + r_sum.size());
+      }
+      if (is_corner) {
+        snap.bufs.emplace_back(t_sum.data(), t_sum.data() + t_sum.size());
+      }
+      return snap;
+    });
+  }
+  // No shrink / reconstruction: under rollback a crash aborts the round and
+  // the machine re-executes from the last committed epoch instead.
+  return out;
+}
+
+i64 summa_abft_ckpt_steps(const SummaAbftConfig& cfg) { return cfg.base.g; }
+
+i64 summa_abft_ckpt_snapshot_words(const SummaAbftConfig& cfg, int logical,
+                                   i64 step) {
+  (void)step;  // the checksum state has a fixed footprint across stages
+  const i64 g = cfg.base.g;
+  const i64 i = logical / g, j = logical % g;
+  const BlockDist1D d1(cfg.base.shape.n1, g), d3(cfg.base.shape.n3, g);
+  const i64 d1max = d1.size(0), d3max = d3.size(0);
+  std::vector<i64> sizes = {d1.size(i) * d3.size(j)};
+  if (i == 0) sizes.push_back(d1max * d3.size(j));
+  if (j == 0) sizes.push_back(d1.size(i) * d3max);
+  if (i == g - 1 && j == g - 1) sizes.push_back(d1max * d3max);
+  return snapshot_wire_words(sizes);
+}
+
+i64 summa_abft_ckpt_base_recv_words(const SummaAbftConfig& cfg, int rank) {
+  return summa_abft_predicted_recv_words(cfg, rank) -
+         coll::shrink_recv_words_exact(
+             static_cast<int>(cfg.base.g * cfg.base.g), cfg.max_failures);
+}
+
+Grid3dAbftOutput grid3d_abft_ckpt_rank(ckpt::Session& session,
+                                       const Grid3dAbftConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  Grid3dConfig base = cfg.base;
+  base.integer_inputs = true;
+  CAMB_CHECK_MSG(base.grid.total() == session.nprocs(),
+                 "grid size must equal the logical machine size");
+  const int me = session.rank();
+  const GridMap map(base.grid);
+  const auto [q1, q2, q3] = map.coords_of(me);
+  const Grid3dLayout layout = grid3d_layout(base, me);
+  i64 lmax = 0;
+  for (i64 c : layout.c_counts) lmax = std::max(lmax, c);
+
+  // The parity fiber first (mirroring grid3d_abft_rank, which builds it
+  // before the grid comm), then the three algorithm fibers in grid3d's
+  // axis order — the same lease sequence on every rank.
+  const coll::Comm parity_fiber = session.comm(map.fiber(1, q1, q2, q3));
+  const coll::Comm fiber_b = session.comm(map.fiber(0, q1, q2, q3));
+  const coll::Comm fiber_c = session.comm(map.fiber(1, q1, q2, q3));
+  const coll::Comm fiber_a = session.comm(map.fiber(2, q1, q2, q3));
+
+  const i64 t0 = session.resume_step();
+  std::vector<double> a_flat, b_flat;
+  Grid3dAbftOutput out;
+  out.own.c_chunk = layout.c;
+  std::vector<double> parity;
+  if (session.restored()) {
+    const Snapshot& snap = session.snapshot();
+    if (t0 == 1) {
+      a_flat = snap.bufs.at(0);
+    } else if (t0 == 2) {
+      a_flat = snap.bufs.at(0);
+      b_flat = snap.bufs.at(1);
+    } else if (t0 == 3) {
+      out.own.c_data = snap.bufs.at(0);
+    } else {
+      CAMB_CHECK(t0 == 4);
+      out.own.c_data = snap.bufs.at(0);
+      parity = snap.bufs.at(1);
+    }
+  }
+
+  for (i64 step = t0; step < 4; ++step) {
+    if (step == 0) {
+      ctx.set_phase(kPhaseAllgatherA);
+      const camb::WorkingSet a_ws(ctx, layout.a.block_size());
+      a_flat = coll::allgather(fiber_a, layout.a_counts,
+                               fill_chunk_indexed_int(layout.a),
+                               base.allgather);
+    } else if (step == 1) {
+      ctx.set_phase(kPhaseAllgatherB);
+      const camb::WorkingSet b_ws(ctx, layout.b.block_size());
+      b_flat = coll::allgather(fiber_b, layout.b_counts,
+                               fill_chunk_indexed_int(layout.b),
+                               base.allgather);
+    } else if (step == 2) {
+      ctx.set_phase(kPhaseLocalGemm);
+      const camb::WorkingSet d_ws(ctx, layout.c.block_size());
+      MatrixD a_block(layout.a.rows, layout.a.cols);
+      std::copy(a_flat.begin(), a_flat.end(), a_block.data());
+      MatrixD b_block(layout.b.rows, layout.b.cols);
+      std::copy(b_flat.begin(), b_flat.end(), b_block.data());
+      const MatrixD d_block = gemm(a_block, b_block);
+      ctx.set_phase(kPhaseReduceScatterC);
+      std::vector<double> d_flat(d_block.data(),
+                                 d_block.data() + d_block.size());
+      out.own.c_data = coll::reduce_scatter(fiber_c, layout.c_counts, d_flat,
+                                            base.reduce_scatter);
+      CAMB_CHECK(static_cast<i64>(out.own.c_data.size()) ==
+                 layout.c.flat_size);
+    } else {
+      ctx.set_phase(kPhaseAbftEncode);
+      std::vector<double> padded = out.own.c_data;
+      padded.resize(static_cast<std::size_t>(lmax), 0.0);
+      parity = coll::allreduce(parity_fiber, std::move(padded));
+    }
+    session.boundary(step + 1, [&] {
+      Snapshot snap;
+      if (step == 0) {
+        snap.bufs = {a_flat};
+      } else if (step == 1) {
+        snap.bufs = {a_flat, b_flat};
+      } else if (step == 2) {
+        snap.bufs = {out.own.c_data};
+      } else {
+        snap.bufs = {out.own.c_data, parity};
+      }
+      return snap;
+    });
+  }
+  return out;
+}
+
+i64 grid3d_abft_ckpt_steps(const Grid3dAbftConfig& cfg) {
+  (void)cfg;
+  return 4;
+}
+
+i64 grid3d_abft_ckpt_snapshot_words(const Grid3dAbftConfig& cfg, int logical,
+                                    i64 step) {
+  const Grid3dLayout layout = grid3d_layout(cfg.base, logical);
+  if (step == 1) return snapshot_wire_words({layout.a.block_size()});
+  if (step == 2) {
+    return snapshot_wire_words({layout.a.block_size(), layout.b.block_size()});
+  }
+  if (step == 3) return snapshot_wire_words({layout.c.flat_size});
+  i64 lmax = 0;
+  for (i64 c : layout.c_counts) lmax = std::max(lmax, c);
+  return snapshot_wire_words({layout.c.flat_size, lmax});
+}
+
+i64 grid3d_abft_ckpt_base_recv_words(const Grid3dAbftConfig& cfg, int rank) {
+  return grid3d_abft_predicted_recv_words(cfg, rank) -
+         coll::shrink_recv_words_exact(
+             static_cast<int>(cfg.base.grid.total()), cfg.max_failures);
+}
+
 i64 grid3d_abft_predicted_recv_words(const Grid3dAbftConfig& cfg, int rank) {
   const GridMap map(cfg.base.grid);
   const auto [q1, q2, q3] = map.coords_of(rank);

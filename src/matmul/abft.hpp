@@ -97,6 +97,27 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg);
 i64 summa_abft_predicted_recv_words(const SummaAbftConfig& cfg, int rank);
 i64 grid3d_abft_predicted_recv_words(const Grid3dAbftConfig& cfg, int rank);
 
+/// Checkpointable twins: the base loop plus the checksum encode, with epoch
+/// boundaries — but no shrink/degraded path.  Under rollback recovery a
+/// failure aborts the round and the harness re-executes, so the ABFT
+/// reconstruction machinery is never entered (recovered stays empty).
+SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
+                                     const SummaAbftConfig& cfg);
+Grid3dAbftOutput grid3d_abft_ckpt_rank(ckpt::Session& session,
+                                       const Grid3dAbftConfig& cfg);
+
+i64 summa_abft_ckpt_steps(const SummaAbftConfig& cfg);
+i64 summa_abft_ckpt_snapshot_words(const SummaAbftConfig& cfg, int logical,
+                                   i64 step);
+i64 grid3d_abft_ckpt_steps(const Grid3dAbftConfig& cfg);
+i64 grid3d_abft_ckpt_snapshot_words(const Grid3dAbftConfig& cfg, int logical,
+                                    i64 step);
+
+/// The twins' fault-free prediction: the ABFT prediction without the shrink
+/// agreement (rollback replaces it with its own flood, costed separately).
+i64 summa_abft_ckpt_base_recv_words(const SummaAbftConfig& cfg, int rank);
+i64 grid3d_abft_ckpt_base_recv_words(const Grid3dAbftConfig& cfg, int rank);
+
 /// Phase labels (encode/shrink/recover traffic is accounted separately from
 /// the base algorithm's phases; failure-detection probes land in the
 /// network's "heartbeat" phase).

@@ -129,6 +129,120 @@ Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
   return out;
 }
 
+Block2DOutput alg25d_ckpt_rank(ckpt::Session& session,
+                               const Alg25dConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  validate(cfg, session.nprocs());
+  const i64 g = cfg.g, c = cfg.c;
+  const i64 w = g / c;
+  const auto [i, j, l] = coords_of(session.rank(), g);
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+
+  const GridMap map(Grid3{c, g, g});
+  const coll::Comm depth = session.comm(map.fiber(0, l, i, j));
+  const coll::Comm my_col = session.comm(map.fiber(1, l, i, j));
+  const coll::Comm my_row = session.comm(map.fiber(2, l, i, j));
+  const int row_tags = g > 1 ? my_row.take_tag_block() : 0;
+  const int col_tags = g > 1 ? my_col.take_tag_block() : 0;
+  CAMB_CHECK_MSG(w < kTagBlockWidth, "grid too large for one tag block");
+
+  const i64 s0 = (i + j + l * w) % g;
+  std::vector<double> a_held, b_held;
+  MatrixD c_partial(d1.size(i), d3.size(j));
+  const i64 t0 = session.resume_step();
+  if (session.restored()) {
+    const Snapshot& snap = session.snapshot();
+    CAMB_CHECK(snap.bufs.size() == 3);
+    a_held = snap.bufs[0];
+    b_held = snap.bufs[1];
+    CAMB_CHECK(static_cast<i64>(snap.bufs[2].size()) == c_partial.size());
+    std::copy(snap.bufs[2].begin(), snap.bufs[2].end(), c_partial.data());
+  } else {
+    if (l == 0) {
+      a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
+      b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
+    }
+    ctx.set_phase(kPhase25dReplicate);
+    coll::bcast(depth, 0, a_held, d1.size(i) * d2.size(j));
+    coll::bcast(depth, 0, b_held, d2.size(i) * d3.size(j));
+
+    ctx.set_phase(kPhase25dSkew);
+    if (g > 1) {
+      const i64 a_dst_col = (j - i - l * w % g + 2 * g) % g;
+      my_row.send(static_cast<int>(a_dst_col), row_tags, std::move(a_held));
+      a_held = my_row.recv(static_cast<int>(s0), row_tags);
+      const i64 b_dst_row = (i - j - l * w % g + 2 * g) % g;
+      my_col.send(static_cast<int>(b_dst_row), col_tags, std::move(b_held));
+      b_held = my_col.recv(static_cast<int>(s0), col_tags);
+    }
+  }
+
+  for (i64 t = t0; t < w; ++t) {
+    const i64 s = (s0 + t) % g;
+    ctx.set_phase(kPhase25dGemm);
+    MatrixD a_mat(d1.size(i), d2.size(s));
+    CAMB_CHECK(static_cast<i64>(a_held.size()) == a_mat.size());
+    std::copy(a_held.begin(), a_held.end(), a_mat.data());
+    MatrixD b_mat(d2.size(s), d3.size(j));
+    CAMB_CHECK(static_cast<i64>(b_held.size()) == b_mat.size());
+    std::copy(b_held.begin(), b_held.end(), b_mat.data());
+    gemm_accumulate(a_mat, b_mat, c_partial);
+
+    if (t + 1 < w && g > 1) {
+      ctx.set_phase(kPhase25dShift);
+      const int off = static_cast<int>(t + 1);
+      my_row.send(static_cast<int>((j - 1 + g) % g), row_tags + off,
+                  std::move(a_held));
+      a_held = my_row.recv(static_cast<int>((j + 1) % g), row_tags + off);
+      my_col.send(static_cast<int>((i - 1 + g) % g), col_tags + off,
+                  std::move(b_held));
+      b_held = my_col.recv(static_cast<int>((i + 1) % g), col_tags + off);
+    }
+
+    session.boundary(t + 1, [&] {
+      Snapshot snap;
+      snap.bufs = {a_held, b_held,
+                   std::vector<double>(c_partial.data(),
+                                       c_partial.data() + c_partial.size())};
+      return snap;
+    });
+  }
+
+  ctx.set_phase(kPhase25dReduce);
+  std::vector<double> c_flat(c_partial.data(),
+                             c_partial.data() + c_partial.size());
+  std::vector<double> c_sum = coll::reduce(depth, 0, std::move(c_flat));
+
+  Block2DOutput out;
+  out.row0 = d1.start(i);
+  out.col0 = d3.start(j);
+  if (l == 0) {
+    out.block = MatrixD(d1.size(i), d3.size(j));
+    CAMB_CHECK(static_cast<i64>(c_sum.size()) == out.block.size());
+    std::copy(c_sum.begin(), c_sum.end(), out.block.data());
+  }
+  return out;
+}
+
+i64 alg25d_ckpt_steps(const Alg25dConfig& cfg) { return cfg.g / cfg.c; }
+
+i64 alg25d_ckpt_snapshot_words(const Alg25dConfig& cfg, int logical,
+                               i64 step) {
+  const i64 g = cfg.g, c = cfg.c;
+  const i64 w = g / c;
+  const auto [i, j, l] = coords_of(logical, g);
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+  const i64 s0 = (i + j + l * w) % g;
+  // At boundary `step` the held k-block index is s0 + step after a shift,
+  // except the last step, which does not shift.
+  const i64 s = step < w ? (s0 + step) % g : (s0 + w - 1) % g;
+  return snapshot_wire_words({d1.size(i) * d2.size(s),
+                              d2.size(s) * d3.size(j),
+                              d1.size(i) * d3.size(j)});
+}
+
 i64 alg25d_predicted_recv_words(const Alg25dConfig& cfg, int rank) {
   const i64 g = cfg.g, c = cfg.c;
   const i64 w = g / c;

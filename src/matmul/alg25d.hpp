@@ -35,6 +35,13 @@ Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg);
 /// Exact predicted received words for `rank`.
 i64 alg25d_predicted_recv_words(const Alg25dConfig& cfg, int rank);
 
+/// Checkpointable twin: replicate + skew prologue at epoch 0 only, one
+/// boundary per in-layer Cannon step, depth-reduce epilogue.
+Block2DOutput alg25d_ckpt_rank(ckpt::Session& session, const Alg25dConfig& cfg);
+
+i64 alg25d_ckpt_steps(const Alg25dConfig& cfg);
+i64 alg25d_ckpt_snapshot_words(const Alg25dConfig& cfg, int logical, i64 step);
+
 /// Analytic per-rank communication (critical path, equal blocks): the
 /// classical 2.5D cost expression, for the comparison benches.
 double alg25d_cost_words(const Alg25dConfig& cfg);

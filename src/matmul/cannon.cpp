@@ -88,6 +88,108 @@ Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
   return out;
 }
 
+Block2DOutput cannon_ckpt_rank(ckpt::Session& session,
+                               const CannonConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  const i64 g = cfg.g;
+  CAMB_CHECK_MSG(g * g == session.nprocs(), "Cannon machine size must be g*g");
+  const i64 i = session.rank() / g;
+  const i64 j = session.rank() % g;
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+
+  std::vector<double> a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
+  std::vector<double> b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
+
+  // Fiber comms by logical rank, one tag block each for skew + shifts.
+  std::vector<int> row_members, col_members;
+  for (i64 v = 0; v < g; ++v) {
+    row_members.push_back(static_cast<int>(i * g + v));
+    col_members.push_back(static_cast<int>(v * g + j));
+  }
+  const coll::Comm my_row = session.comm(row_members);
+  const coll::Comm my_col = session.comm(col_members);
+  const int row_tags = g > 1 ? my_row.take_tag_block() : 0;
+  const int col_tags = g > 1 ? my_col.take_tag_block() : 0;
+  CAMB_CHECK_MSG(2 * g < kTagBlockWidth, "grid too large for one tag block");
+
+  Block2DOutput out;
+  out.row0 = d1.start(i);
+  out.col0 = d3.start(j);
+  out.block = MatrixD(d1.size(i), d3.size(j));
+
+  const i64 t0 = session.resume_step();
+  if (session.restored()) {
+    // The snapshot at boundary t0 was taken after shift t0, so the held
+    // blocks are exactly the operands of step t0.
+    const Snapshot& snap = session.snapshot();
+    CAMB_CHECK(snap.bufs.size() == 3);
+    a_held = snap.bufs[0];
+    b_held = snap.bufs[1];
+    CAMB_CHECK(static_cast<i64>(snap.bufs[2].size()) == out.block.size());
+    std::copy(snap.bufs[2].begin(), snap.bufs[2].end(), out.block.data());
+  } else {
+    ctx.set_phase(kPhaseCannonSkew);
+    if (g > 1) {
+      my_row.send(static_cast<int>((j - i % g + g) % g), row_tags,
+                  std::move(a_held));
+      a_held = my_row.recv(static_cast<int>((j + i) % g), row_tags);
+      my_col.send(static_cast<int>((i - j % g + g) % g), col_tags,
+                  std::move(b_held));
+      b_held = my_col.recv(static_cast<int>((i + j) % g), col_tags);
+    }
+  }
+
+  for (i64 t = t0; t < g; ++t) {
+    const i64 s = (i + j + t) % g;
+    ctx.set_phase(kPhaseCannonGemm);
+    MatrixD a_mat(d1.size(i), d2.size(s));
+    CAMB_CHECK(static_cast<i64>(a_held.size()) == a_mat.size());
+    std::copy(a_held.begin(), a_held.end(), a_mat.data());
+    MatrixD b_mat(d2.size(s), d3.size(j));
+    CAMB_CHECK(static_cast<i64>(b_held.size()) == b_mat.size());
+    std::copy(b_held.begin(), b_held.end(), b_mat.data());
+    gemm_accumulate(a_mat, b_mat, out.block);
+
+    if (t + 1 < g && g > 1) {
+      ctx.set_phase(kPhaseCannonShift);
+      const int off = static_cast<int>(t + 1);
+      my_row.send(static_cast<int>((j - 1 + g) % g), row_tags + off,
+                  std::move(a_held));
+      a_held = my_row.recv(static_cast<int>((j + 1) % g), row_tags + off);
+      my_col.send(static_cast<int>((i - 1 + g) % g), col_tags + off,
+                  std::move(b_held));
+      b_held = my_col.recv(static_cast<int>((i + 1) % g), col_tags + off);
+    }
+
+    session.boundary(t + 1, [&] {
+      Snapshot snap;
+      snap.bufs = {a_held, b_held,
+                   std::vector<double>(out.block.data(),
+                                       out.block.data() + out.block.size())};
+      return snap;
+    });
+  }
+  return out;
+}
+
+i64 cannon_ckpt_steps(const CannonConfig& cfg) { return cfg.g; }
+
+i64 cannon_ckpt_snapshot_words(const CannonConfig& cfg, int logical,
+                               i64 step) {
+  const i64 g = cfg.g;
+  const i64 i = logical / g;
+  const i64 j = logical % g;
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+  // At boundary `step` the held k-block index is (i + j + step) mod g after
+  // a shift, except the last step, which does not shift.
+  const i64 s = step < g ? (i + j + step) % g : (i + j + g - 1) % g;
+  return snapshot_wire_words({d1.size(i) * d2.size(s),
+                              d2.size(s) * d3.size(j),
+                              d1.size(i) * d3.size(j)});
+}
+
 i64 cannon_predicted_recv_words(const CannonConfig& cfg, int rank) {
   const i64 g = cfg.g;
   const i64 i = rank / g;

@@ -26,6 +26,16 @@ Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg);
 /// self are free, matching the machine's accounting).
 i64 cannon_predicted_recv_words(const CannonConfig& cfg, int rank);
 
+/// Checkpointable twin of cannon_rank: epoch boundaries after every shift
+/// step; snapshots carry the held A/B blocks plus the C accumulator so a
+/// restored rank rejoins the torus mid-rotation.
+Block2DOutput cannon_ckpt_rank(ckpt::Session& session, const CannonConfig& cfg);
+
+/// Boundary steps the twin announces (one per torus step).
+i64 cannon_ckpt_steps(const CannonConfig& cfg);
+/// Wire words of logical rank `logical`'s snapshot at boundary `step`.
+i64 cannon_ckpt_snapshot_words(const CannonConfig& cfg, int logical, i64 step);
+
 inline constexpr const char* kPhaseCannonSkew = "cannon_skew";
 inline constexpr const char* kPhaseCannonShift = "cannon_shift";
 inline constexpr const char* kPhaseCannonGemm = "cannon_gemm";

@@ -214,6 +214,134 @@ CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
   return out;
 }
 
+CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
+                                const CarmaConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  const i64 P = i64{1} << cfg.levels;
+  CAMB_CHECK_MSG(P == session.nprocs(), "machine size must be 2^levels");
+  CAMB_CHECK_MSG(carma_supported(cfg.shape, cfg.levels),
+                 "shape does not satisfy CARMA's divisibility requirements");
+  i64 r = cfg.shape.n1, k = cfg.shape.n2, c = cfg.shape.n3;
+  i64 c_row0 = 0, c_col0 = 0;
+  int g_lo = 0;
+  int g_size = static_cast<int>(P);
+  const int me = session.rank();
+  const i64 t0 = session.resume_step();
+
+  std::vector<double> a, b;
+  if (session.restored()) {
+    const Snapshot& snap = session.snapshot();
+    CAMB_CHECK(snap.bufs.size() == 2);
+    a = snap.bufs[0];
+    b = snap.bufs[1];
+  } else {
+    a = fill_chunk_indexed(BlockChunk{0, 0, r, k, me * (r / P) * k,
+                                      (r / P) * k});
+    b = fill_chunk_indexed(BlockChunk{0, 0, k, c, me * (k / P) * c,
+                                      (k / P) * c});
+  }
+
+  std::vector<CombineFrame> combines;
+  for (int level = 0; level < cfg.levels; ++level) {
+    const int s = g_size / 2;
+    const int pidx = me - g_lo;
+    const bool lower = pidx < s;
+    const char split = choose_split(r, k, c);
+    // Levels below the resume step replay only the split geometry and the
+    // comm leases (pure local bookkeeping): the data is already in `a`/`b`,
+    // but the unwind still needs every K-split's combine frame.
+    const bool live = level >= t0;
+    if (live) ctx.set_phase(kPhaseCarmaSplit);
+    std::vector<int> members(static_cast<std::size_t>(g_size));
+    for (int m = 0; m < g_size; ++m) {
+      members[static_cast<std::size_t>(m)] = g_lo + m;
+    }
+    coll::Comm level_comm = session.comm(members, /*tag_blocks=*/2);
+    const int tags = level_comm.take_tag_block();
+    if (split == 'M') {
+      if (live) b = replicate_exchange(level_comm, b, tags);
+      r /= 2;
+      if (!lower) c_row0 += r;
+    } else if (split == 'K') {
+      if (live) a = split_columns_exchange(level_comm, a, r / g_size, k, tags);
+      k /= 2;
+      const int combine_tags = level_comm.take_tag_block();
+      combines.push_back(CombineFrame{std::move(level_comm), combine_tags,
+                                      lower ? pidx + s : pidx - s, lower});
+    } else {  // 'N'
+      if (live) {
+        a = replicate_exchange(level_comm, a, tags);
+        b = split_columns_exchange(level_comm, b, k / g_size, c, tags + 1);
+      }
+      c /= 2;
+      if (!lower) c_col0 += c;
+    }
+    if (!lower) g_lo += s;
+    g_size = s;
+    if (live) {
+      session.boundary(level + 1, [&] {
+        Snapshot snap;
+        snap.bufs = {a, b};
+        return snap;
+      });
+    }
+  }
+
+  ctx.set_phase(kPhaseCarmaGemm);
+  MatrixD a_leaf(r, k), b_leaf(k, c);
+  CAMB_CHECK(static_cast<i64>(a.size()) == r * k);
+  CAMB_CHECK(static_cast<i64>(b.size()) == k * c);
+  std::copy(a.begin(), a.end(), a_leaf.data());
+  std::copy(b.begin(), b.end(), b_leaf.data());
+  const MatrixD c_leaf = gemm(a_leaf, b_leaf);
+
+  CarmaRankOutput out;
+  out.holding = BlockChunk{c_row0, c_col0, r, c, 0, r * c};
+  out.data.assign(c_leaf.data(), c_leaf.data() + c_leaf.size());
+
+  ctx.set_phase(kPhaseCarmaCombine);
+  for (auto frame = combines.rbegin(); frame != combines.rend(); ++frame) {
+    const i64 half = static_cast<i64>(out.data.size()) / 2;
+    CAMB_CHECK(2 * half == static_cast<i64>(out.data.size()));
+    std::vector<double> outgoing(
+        out.data.begin() + (frame->lower ? half : 0),
+        out.data.begin() + (frame->lower ? 2 * half : half));
+    frame->comm.send(frame->partner_idx, frame->tag, std::move(outgoing));
+    const std::vector<double> incoming =
+        frame->comm.recv(frame->partner_idx, frame->tag);
+    CAMB_CHECK(static_cast<i64>(incoming.size()) == half);
+    const i64 keep_off = frame->lower ? 0 : half;
+    for (i64 j = 0; j < half; ++j) {
+      out.data[static_cast<std::size_t>(keep_off + j)] +=
+          incoming[static_cast<std::size_t>(j)];
+    }
+    if (frame->lower) {
+      out.data.resize(static_cast<std::size_t>(half));
+    } else {
+      out.data.erase(out.data.begin(), out.data.begin() + half);
+      out.holding.flat_start += half;
+    }
+    out.holding.flat_size = half;
+  }
+  return out;
+}
+
+i64 carma_ckpt_steps(const CarmaConfig& cfg) { return cfg.levels; }
+
+i64 carma_ckpt_snapshot_words(const CarmaConfig& cfg, int logical, i64 step) {
+  (void)logical;  // CARMA's per-rank holdings are rank-independent in size
+  i64 r = cfg.shape.n1, k = cfg.shape.n2, c = cfg.shape.n3;
+  i64 g = i64{1} << cfg.levels;
+  for (i64 level = 0; level < step; ++level) {
+    const char split = choose_split(r, k, c);
+    if (split == 'M') r /= 2;
+    else if (split == 'K') k /= 2;
+    else c /= 2;
+    g /= 2;
+  }
+  return snapshot_wire_words({(r / g) * k, (k / g) * c});
+}
+
 std::vector<i64> carma_predicted_recv_words(const CarmaConfig& cfg) {
   const i64 P = i64{1} << cfg.levels;
   CAMB_CHECK_MSG(carma_supported(cfg.shape, cfg.levels),

@@ -26,8 +26,9 @@
 // letting the benches place CARMA's constants next to Algorithm 1's.
 #pragma once
 
-#include "matmul/distribution.hpp"
+#include "collectives/rollback.hpp"
 #include "machine/machine.hpp"
+#include "matmul/distribution.hpp"
 #include "util/matrix.hpp"
 
 namespace camb::mm {
@@ -56,6 +57,15 @@ std::vector<char> carma_split_sequence(const CarmaConfig& cfg);
 
 /// True iff the configuration satisfies CARMA's divisibility requirements.
 bool carma_supported(const Shape& shape, int levels);
+
+/// Checkpointable twin: one boundary per recursion level (snapshots carry
+/// the current A and B holdings).  A resumed rank replays the skipped
+/// levels' split geometry and comm leases locally — no communication — so
+/// the unwind's combine frames are rebuilt exactly.
+CarmaRankOutput carma_ckpt_rank(ckpt::Session& session, const CarmaConfig& cfg);
+
+i64 carma_ckpt_steps(const CarmaConfig& cfg);
+i64 carma_ckpt_snapshot_words(const CarmaConfig& cfg, int logical, i64 step);
 
 inline constexpr const char* kPhaseCarmaSplit = "carma_split";
 inline constexpr const char* kPhaseCarmaGemm = "carma_gemm";

@@ -90,6 +90,96 @@ Grid3dRankOutput grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
   return out;
 }
 
+Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
+                                  const Grid3dConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  CAMB_CHECK_MSG(cfg.grid.total() == session.nprocs(),
+                 "grid size must equal the logical machine size");
+  const int me = session.rank();
+  const Grid3dLayout layout = grid3d_layout(cfg, me);
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(me);
+  const coll::Comm fiber_b = session.comm(map.fiber(0, q1, q2, q3));
+  const coll::Comm fiber_c = session.comm(map.fiber(1, q1, q2, q3));
+  const coll::Comm fiber_a = session.comm(map.fiber(2, q1, q2, q3));
+
+  auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
+                                        : fill_chunk_indexed;
+
+  const i64 t0 = session.resume_step();
+  std::vector<double> a_flat, b_flat;
+  Grid3dRankOutput out;
+  out.c_chunk = layout.c;
+  if (session.restored()) {
+    const Snapshot& snap = session.snapshot();
+    if (t0 == 1) {
+      a_flat = snap.bufs.at(0);
+    } else if (t0 == 2) {
+      a_flat = snap.bufs.at(0);
+      b_flat = snap.bufs.at(1);
+    } else {
+      CAMB_CHECK(t0 == 3);
+      out.c_data = snap.bufs.at(0);
+    }
+  }
+
+  for (i64 step = t0; step < 3; ++step) {
+    if (step == 0) {
+      ctx.set_phase(kPhaseAllgatherA);
+      const camb::WorkingSet a_ws(ctx, layout.a.block_size());
+      a_flat = coll::allgather(fiber_a, layout.a_counts, fill(layout.a),
+                               cfg.allgather);
+    } else if (step == 1) {
+      ctx.set_phase(kPhaseAllgatherB);
+      const camb::WorkingSet b_ws(ctx, layout.b.block_size());
+      b_flat = coll::allgather(fiber_b, layout.b_counts, fill(layout.b),
+                               cfg.allgather);
+    } else {
+      ctx.set_phase(kPhaseLocalGemm);
+      const camb::WorkingSet d_ws(ctx, layout.c.block_size());
+      MatrixD a_block(layout.a.rows, layout.a.cols);
+      std::copy(a_flat.begin(), a_flat.end(), a_block.data());
+      MatrixD b_block(layout.b.rows, layout.b.cols);
+      std::copy(b_flat.begin(), b_flat.end(), b_block.data());
+      const MatrixD d_block = gemm(a_block, b_block);
+      ctx.set_phase(kPhaseReduceScatterC);
+      std::vector<double> d_flat(d_block.data(),
+                                 d_block.data() + d_block.size());
+      out.c_data = coll::reduce_scatter(fiber_c, layout.c_counts, d_flat,
+                                        cfg.reduce_scatter);
+      CAMB_CHECK(static_cast<i64>(out.c_data.size()) == layout.c.flat_size);
+    }
+    session.boundary(step + 1, [&] {
+      Snapshot snap;
+      if (step == 0) {
+        snap.bufs = {a_flat};
+      } else if (step == 1) {
+        snap.bufs = {a_flat, b_flat};
+      } else {
+        snap.bufs = {out.c_data};
+      }
+      return snap;
+    });
+  }
+  return out;
+}
+
+i64 grid3d_ckpt_steps(const Grid3dConfig& cfg) {
+  (void)cfg;
+  return 3;
+}
+
+i64 grid3d_ckpt_snapshot_words(const Grid3dConfig& cfg, int logical,
+                               i64 step) {
+  const Grid3dLayout layout = grid3d_layout(cfg, logical);
+  if (step == 1) return snapshot_wire_words({layout.a.block_size()});
+  if (step == 2) {
+    return snapshot_wire_words(
+        {layout.a.block_size(), layout.b.block_size()});
+  }
+  return snapshot_wire_words({layout.c.flat_size});
+}
+
 i64 grid3d_predicted_recv_words(const Grid3dConfig& cfg, int rank) {
   const GridMap map(cfg.grid);
   const auto [q1, q2, q3] = map.coords_of(rank);

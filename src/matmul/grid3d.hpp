@@ -14,6 +14,7 @@
 
 #include "collectives/allgather.hpp"
 #include "collectives/reduce_scatter.hpp"
+#include "collectives/rollback.hpp"
 #include "matmul/distribution.hpp"
 #include "util/matrix.hpp"
 
@@ -56,6 +57,14 @@ i64 grid3d_predicted_recv_words(const Grid3dConfig& cfg, int rank);
 
 /// Max of grid3d_predicted_recv_words over all ranks.
 i64 grid3d_predicted_critical_recv_words(const Grid3dConfig& cfg);
+
+/// Checkpointable twin: boundaries after the A all-gather, the B all-gather,
+/// and the gemm + reduce-scatter.
+Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
+                                  const Grid3dConfig& cfg);
+
+i64 grid3d_ckpt_steps(const Grid3dConfig& cfg);
+i64 grid3d_ckpt_snapshot_words(const Grid3dConfig& cfg, int logical, i64 step);
 
 /// Phase labels used by the implementation (for per-phase accounting).
 inline constexpr const char* kPhaseAllgatherA = "allgather_A";

@@ -60,6 +60,107 @@ Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
   return out;
 }
 
+Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
+                                          const Grid3dAgarwalConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  CAMB_CHECK_MSG(cfg.grid.total() == session.nprocs(),
+                 "grid size must equal the logical machine size");
+  const int me = session.rank();
+  const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
+                          coll::ReduceScatterAlgo::kAuto};
+  const Grid3dLayout layout = grid3d_layout(base, me);
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(me);
+  const coll::Comm fiber_b = session.comm(map.fiber(0, q1, q2, q3));
+  const coll::Comm fiber_c = session.comm(map.fiber(1, q1, q2, q3));
+  const coll::Comm fiber_a = session.comm(map.fiber(2, q1, q2, q3));
+
+  const i64 t0 = session.resume_step();
+  std::vector<double> a_flat, b_flat;
+  Grid3dRankOutput out;
+  out.c_chunk = layout.c;
+  if (session.restored()) {
+    const Snapshot& snap = session.snapshot();
+    if (t0 == 1) {
+      a_flat = snap.bufs.at(0);
+    } else if (t0 == 2) {
+      a_flat = snap.bufs.at(0);
+      b_flat = snap.bufs.at(1);
+    } else {
+      CAMB_CHECK(t0 == 3);
+      out.c_data = snap.bufs.at(0);
+    }
+  }
+
+  for (i64 step = t0; step < 3; ++step) {
+    if (step == 0) {
+      ctx.set_phase(kPhaseAllgatherA);
+      a_flat = coll::allgather(fiber_a, layout.a_counts,
+                               fill_chunk_indexed(layout.a), cfg.allgather);
+    } else if (step == 1) {
+      ctx.set_phase(kPhaseAllgatherB);
+      b_flat = coll::allgather(fiber_b, layout.b_counts,
+                               fill_chunk_indexed(layout.b), cfg.allgather);
+    } else {
+      ctx.set_phase(kPhaseLocalGemm);
+      MatrixD a_block(layout.a.rows, layout.a.cols);
+      std::copy(a_flat.begin(), a_flat.end(), a_block.data());
+      MatrixD b_block(layout.b.rows, layout.b.cols);
+      std::copy(b_flat.begin(), b_flat.end(), b_block.data());
+      const MatrixD d_block = gemm(a_block, b_block);
+
+      ctx.set_phase(kPhaseAlltoallC);
+      const int p2 = static_cast<int>(cfg.grid.p2);
+      std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p2));
+      for (int t = 0; t < p2; ++t) {
+        const i64 off = coll::counts_offset(layout.c_counts, t);
+        const i64 len = layout.c_counts[static_cast<std::size_t>(t)];
+        pieces[static_cast<std::size_t>(t)].assign(
+            d_block.data() + off, d_block.data() + off + len);
+      }
+      const std::vector<std::vector<double>> received =
+          coll::alltoall(fiber_c, pieces, cfg.alltoall);
+      out.c_data.assign(static_cast<std::size_t>(layout.c.flat_size), 0.0);
+      for (const auto& piece : received) {
+        CAMB_CHECK(static_cast<i64>(piece.size()) == layout.c.flat_size);
+        for (std::size_t j = 0; j < piece.size(); ++j) {
+          out.c_data[j] += piece[j];
+        }
+      }
+    }
+    session.boundary(step + 1, [&] {
+      Snapshot snap;
+      if (step == 0) {
+        snap.bufs = {a_flat};
+      } else if (step == 1) {
+        snap.bufs = {a_flat, b_flat};
+      } else {
+        snap.bufs = {out.c_data};
+      }
+      return snap;
+    });
+  }
+  return out;
+}
+
+i64 grid3d_agarwal_ckpt_steps(const Grid3dAgarwalConfig& cfg) {
+  (void)cfg;
+  return 3;
+}
+
+i64 grid3d_agarwal_ckpt_snapshot_words(const Grid3dAgarwalConfig& cfg,
+                                       int logical, i64 step) {
+  const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
+                          coll::ReduceScatterAlgo::kAuto};
+  const Grid3dLayout layout = grid3d_layout(base, logical);
+  if (step == 1) return snapshot_wire_words({layout.a.block_size()});
+  if (step == 2) {
+    return snapshot_wire_words(
+        {layout.a.block_size(), layout.b.block_size()});
+  }
+  return snapshot_wire_words({layout.c.flat_size});
+}
+
 i64 grid3d_agarwal_predicted_recv_words(const Grid3dAgarwalConfig& cfg,
                                         int rank) {
   const GridMap map(cfg.grid);

@@ -36,6 +36,15 @@ Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
 i64 grid3d_agarwal_predicted_recv_words(const Grid3dAgarwalConfig& cfg,
                                         int rank);
 
+/// Checkpointable twin: boundaries after the A all-gather, the B all-gather,
+/// and the gemm + all-to-all + local sum.
+Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
+                                          const Grid3dAgarwalConfig& cfg);
+
+i64 grid3d_agarwal_ckpt_steps(const Grid3dAgarwalConfig& cfg);
+i64 grid3d_agarwal_ckpt_snapshot_words(const Grid3dAgarwalConfig& cfg,
+                                       int logical, i64 step);
+
 inline constexpr const char* kPhaseAlltoallC = "alltoall_C";
 
 }  // namespace camb::mm

@@ -104,6 +104,132 @@ Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
   return out;
 }
 
+Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
+    ckpt::Session& session, const Grid3dStagedConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  CAMB_CHECK_MSG(cfg.stages >= 1, "stages must be >= 1");
+  CAMB_CHECK_MSG(cfg.grid.total() == session.nprocs(),
+                 "grid size must equal the logical machine size");
+  const int me = session.rank();
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(me);
+  const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
+                          cfg.reduce_scatter};
+  const Grid3dLayout layout = grid3d_layout(base, me);
+  const int fiber_blocks =
+      std::max(coll::Comm::kDefaultTagBlocks, static_cast<int>(cfg.stages) + 1);
+  const coll::Comm fiber_b =
+      session.comm(map.fiber(0, q1, q2, q3), fiber_blocks);
+  const coll::Comm fiber_c =
+      session.comm(map.fiber(1, q1, q2, q3), fiber_blocks);
+  const coll::Comm fiber_a =
+      session.comm(map.fiber(2, q1, q2, q3), fiber_blocks);
+
+  const BlockDist1D a_fiber_split(layout.a.block_size(), cfg.grid.p3);
+  const BlockDist1D strips(layout.a.rows, cfg.stages);
+
+  std::vector<double> b_flat;
+  MatrixD b_block(layout.b.rows, layout.b.cols);
+  Grid3dStagedRankOutput out;
+
+  auto chunk_of_stage = [&](i64 stage) {
+    const i64 r0 = strips.start(stage);
+    const BlockDist1D seg((strips.end(stage) - r0) * layout.c.cols,
+                          cfg.grid.p2);
+    BlockChunk c_chunk;
+    c_chunk.row0 = layout.c.row0;
+    c_chunk.col0 = layout.c.col0;
+    c_chunk.rows = layout.c.rows;
+    c_chunk.cols = layout.c.cols;
+    c_chunk.flat_start = r0 * layout.c.cols + seg.start(q2);
+    c_chunk.flat_size = seg.size(q2);
+    return c_chunk;
+  };
+
+  const i64 t0 = session.resume_step();
+  if (session.restored()) {
+    const Snapshot& snap = session.snapshot();
+    CAMB_CHECK(static_cast<i64>(snap.bufs.size()) == t0);
+    b_flat = snap.bufs.at(0);
+    std::copy(b_flat.begin(), b_flat.end(), b_block.data());
+    for (i64 stage = 0; stage + 1 < t0; ++stage) {
+      out.c_chunks.push_back(chunk_of_stage(stage));
+      out.c_data.push_back(snap.bufs.at(static_cast<std::size_t>(stage + 1)));
+    }
+  }
+
+  for (i64 step = t0; step < cfg.stages + 1; ++step) {
+    if (step == 0) {
+      ctx.set_phase(kPhaseAllgatherB);
+      const camb::WorkingSet b_ws(ctx, layout.b.block_size());
+      b_flat = coll::allgather(fiber_b, layout.b_counts,
+                               fill_chunk_indexed(layout.b), cfg.allgather);
+      std::copy(b_flat.begin(), b_flat.end(), b_block.data());
+    } else {
+      const i64 stage = step - 1;
+      const i64 r0 = strips.start(stage);
+      const i64 r1 = strips.end(stage);
+      const i64 lo = r0 * layout.a.cols;
+      const i64 hi = r1 * layout.a.cols;
+
+      ctx.set_phase(kPhaseAllgatherA);
+      const camb::WorkingSet strip_ws(
+          ctx, (hi - lo) + (r1 - r0) * layout.c.cols);
+      const std::vector<i64> counts = overlap_counts(a_fiber_split, lo, hi);
+      BlockChunk my_piece = layout.a;
+      my_piece.flat_start = std::max(lo, a_fiber_split.start(q3));
+      my_piece.flat_size = counts[static_cast<std::size_t>(q3)];
+      std::vector<double> strip_flat = coll::allgather(
+          fiber_a, counts, fill_chunk_indexed(my_piece), cfg.allgather);
+      CAMB_CHECK(static_cast<i64>(strip_flat.size()) == hi - lo);
+
+      ctx.set_phase(kPhaseLocalGemm);
+      MatrixD a_strip(r1 - r0, layout.a.cols);
+      std::copy(strip_flat.begin(), strip_flat.end(), a_strip.data());
+      const MatrixD d_strip = gemm(a_strip, b_block);
+
+      ctx.set_phase(kPhaseReduceScatterC);
+      const BlockDist1D seg(d_strip.size(), cfg.grid.p2);
+      std::vector<double> d_flat(d_strip.data(),
+                                 d_strip.data() + d_strip.size());
+      std::vector<double> owned = coll::reduce_scatter(
+          fiber_c, seg.counts(), d_flat, cfg.reduce_scatter);
+      out.c_chunks.push_back(chunk_of_stage(stage));
+      out.c_data.push_back(std::move(owned));
+    }
+    session.boundary(step + 1, [&] {
+      Snapshot snap;
+      snap.bufs.push_back(b_flat);
+      for (const auto& owned : out.c_data) snap.bufs.push_back(owned);
+      return snap;
+    });
+  }
+  return out;
+}
+
+i64 grid3d_staged_ckpt_steps(const Grid3dStagedConfig& cfg) {
+  return cfg.stages + 1;
+}
+
+i64 grid3d_staged_ckpt_snapshot_words(const Grid3dStagedConfig& cfg,
+                                      int logical, i64 step) {
+  const GridMap map(cfg.grid);
+  const auto [q1, q2, q3] = map.coords_of(logical);
+  (void)q1;
+  (void)q3;
+  const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
+                          cfg.reduce_scatter};
+  const Grid3dLayout layout = grid3d_layout(base, logical);
+  const BlockDist1D strips(layout.a.rows, cfg.stages);
+  std::vector<i64> sizes{layout.b.block_size()};
+  for (i64 stage = 0; stage + 1 < step; ++stage) {
+    const i64 strip_words =
+        (strips.end(stage) - strips.start(stage)) * layout.c.cols;
+    sizes.push_back(BlockDist1D(strip_words, cfg.grid.p2).size(q2));
+  }
+  return snapshot_wire_words(sizes);
+}
+
 i64 grid3d_staged_predicted_recv_words(const Grid3dStagedConfig& cfg,
                                        int rank) {
   const GridMap map(cfg.grid);

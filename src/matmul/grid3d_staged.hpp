@@ -54,4 +54,13 @@ double grid3d_staged_peak_memory_words(const Grid3dStagedConfig& cfg);
 /// Message count per rank along the critical path (the latency price).
 i64 grid3d_staged_messages(const Grid3dStagedConfig& cfg, int rank);
 
+/// Checkpointable twin: one boundary after the up-front B all-gather, then
+/// one per stage (snapshots carry B plus every completed stage's C piece).
+Grid3dStagedRankOutput grid3d_staged_ckpt_rank(ckpt::Session& session,
+                                               const Grid3dStagedConfig& cfg);
+
+i64 grid3d_staged_ckpt_steps(const Grid3dStagedConfig& cfg);
+i64 grid3d_staged_ckpt_snapshot_words(const Grid3dStagedConfig& cfg,
+                                      int logical, i64 step);
+
 }  // namespace camb::mm

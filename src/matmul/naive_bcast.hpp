@@ -25,6 +25,15 @@ Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg);
 i64 naive_bcast_predicted_recv_words(const NaiveBcastConfig& cfg, int rank,
                                      int nprocs);
 
+/// Checkpointable twin: three boundary steps (A broadcast, B broadcast,
+/// local gemm) followed by the un-checkpointed gather epilogue.
+Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
+                                    const NaiveBcastConfig& cfg);
+
+i64 naive_bcast_ckpt_steps(const NaiveBcastConfig& cfg);
+i64 naive_bcast_ckpt_snapshot_words(const NaiveBcastConfig& cfg, int logical,
+                                    int nprocs, i64 step);
+
 inline constexpr const char* kPhaseNaiveBcast = "naive_bcast";
 inline constexpr const char* kPhaseNaiveGemm = "naive_gemm";
 inline constexpr const char* kPhaseNaiveGather = "naive_gather";

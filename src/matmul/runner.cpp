@@ -84,6 +84,10 @@ RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
     report.recovery.last_detection_clock =
         std::max(report.recovery.last_detection_clock, d.clock);
   }
+  for (const camb::UndeliveredMessage& d : outcome.debris) {
+    ++report.recovery.debris_envelopes;
+    report.recovery.debris_words += d.words;
+  }
   for (int r = 0; r < stats.nprocs(); ++r) {
     report.recovery.heartbeat_probes +=
         stats.rank_phase(r, "heartbeat").messages_sent;
@@ -163,7 +167,22 @@ std::string RecoveryReport::summary() const {
       << "] heartbeats=" << heartbeat_probes
       << " recovery_recv=" << recovery_recv_words
       << " encode_recv=" << encode_recv_words
+      << " debris=" << debris_envelopes << "env/" << debris_words << "w"
       << " overhead_ratio=" << overhead_ratio << "}";
+  return out.str();
+}
+
+std::string ResilienceReport::summary() const {
+  std::ostringstream out;
+  out << "resilience{interval=" << interval << " stride=" << buddy_stride
+      << " spares=" << spares << " rounds=" << rounds
+      << " final_epoch=" << final_epoch << " failed=";
+  list_ranks(out, failed);
+  out << " fresh=";
+  list_ranks(out, fresh_logicals);
+  out << " ckpt_recv=" << checkpoint_recv_words
+      << " flood_recv=" << flood_recv_words
+      << " restream_recv=" << restream_recv_words << "}";
   return out.str();
 }
 
@@ -239,8 +258,186 @@ double check_result(const Shape& shape, const MatrixD& assembled,
   return check_result_pattern(shape, assembled, mode, /*integer_inputs=*/false);
 }
 
+namespace {
+
+void place_block(MatrixD& global, const Block2DOutput& out) {
+  for (i64 i = 0; i < out.block.rows(); ++i) {
+    for (i64 j = 0; j < out.block.cols(); ++j) {
+      global(out.row0 + i, out.col0 + j) = out.block(i, j);
+    }
+  }
+}
+
+bool contains(const std::vector<int>& ranks, int r) {
+  return std::find(ranks.begin(), ranks.end(), r) != ranks.end();
+}
+
+/// Commit tax of a clean checkpointed run for logical rank L: at each
+/// committed epoch, L receives its ward's snapshot wire.  Zero when the
+/// buddy ring degenerates to self (stride ≡ 0 mod P): self-sends are free.
+i64 ckpt_commit_tax(int P, const CheckpointConfig& ck, i64 steps, int logical,
+                    const std::function<i64(int, i64)>& snapshot_words) {
+  const int stride = ((ck.buddy_stride % P) + P) % P;
+  if (stride == 0) return 0;
+  const int ward = camb::ckpt_ward(logical, P, ck.buddy_stride);
+  i64 tax = 0;
+  for (i64 step = ck.interval; step <= steps; step += ck.interval) {
+    tax += snapshot_words(ward, step);
+  }
+  return tax;
+}
+
+/// Resilience record + prediction for a checkpointed run.  Clean runs have
+/// an exact closed form (per-logical base words + commit tax + agreement
+/// flood, with idle spares paying only the flood); once a crash fires the
+/// word count depends on where in the schedule the rank died, so the
+/// prediction is withheld (−1) and the tests pin bit-identity and the
+/// per-phase recovery words instead.
+void fill_resilience_report(RunReport& report, camb::Machine& machine,
+                            const RunOptions& opts,
+                            const std::vector<ckpt::RunLog>& logs, int P,
+                            i64 steps,
+                            const std::function<i64(int)>& base_pred,
+                            const std::function<i64(int, i64)>& snapshot_words) {
+  const CheckpointConfig& ck = opts.checkpoint;
+  const int T = P + ck.spares;
+  ResilienceReport& res = report.resilience;
+  res.enabled = true;
+  res.interval = ck.interval;
+  res.buddy_stride = ck.buddy_stride;
+  res.spares = ck.spares;
+  // The longest log belongs to a rank that saw every round through.
+  for (const ckpt::RunLog& log : logs) {
+    if (log.size() > res.log.size()) res.log = log;
+  }
+  res.rounds = static_cast<int>(res.log.size());
+  for (const ckpt::RoundRecord& rec : res.log) {
+    // The DONE record carries no epoch; the agreed rollback target lives in
+    // the rollback records, and the last one is what the winning execution
+    // round resumed from.
+    if (!rec.done) res.final_epoch = rec.epoch;
+    for (int f : rec.failed) {
+      if (!contains(res.failed, f)) res.failed.push_back(f);
+    }
+    for (int l : rec.fresh) {
+      if (!contains(res.fresh_logicals, l)) res.fresh_logicals.push_back(l);
+    }
+  }
+  const camb::CommStats& stats = machine.stats();
+  for (int r = 0; r < stats.nprocs(); ++r) {
+    res.checkpoint_recv_words =
+        std::max(res.checkpoint_recv_words,
+                 stats.rank_phase(r, ckpt::kPhaseCheckpoint).words_received);
+    res.flood_recv_words =
+        std::max(res.flood_recv_words,
+                 stats.rank_phase(r, ckpt::kPhaseCkptShrink).words_received);
+    res.restream_recv_words =
+        std::max(res.restream_recv_words,
+                 stats.rank_phase(r, ckpt::kPhaseCkptRollback).words_received);
+  }
+  if (machine.crash_outcome().any_crashed()) {
+    report.predicted_critical_recv = -1;
+  } else {
+    const i64 flood = ckpt::ckpt_flood_recv_words_exact(T, ck.spares);
+    i64 worst = flood;  // idle spares pay only the agreement flood
+    for (int L = 0; L < P; ++L) {
+      worst = std::max(worst,
+                       base_pred(L) +
+                           ckpt_commit_tax(P, ck, steps, L, snapshot_words) +
+                           flood);
+    }
+    report.predicted_critical_recv = worst;
+  }
+}
+
+/// Execute a checkpointed run: P + spares physical ranks each drive the
+/// rollback round loop around `body`; the per-logical outputs are collected
+/// under a mutex (re-executions overwrite bit-identical values).
+template <typename Output>
+std::vector<Output> run_checkpointed(camb::Machine& machine, int P,
+                                     const RunOptions& opts,
+                                     std::vector<ckpt::RunLog>& logs,
+                                     const std::function<Output(ckpt::Session&)>& body) {
+  const CheckpointConfig& ck = opts.checkpoint;
+  ckpt::ResilientConfig rcfg;
+  rcfg.nprocs = P;
+  rcfg.spares = ck.spares;
+  rcfg.interval = ck.interval;
+  rcfg.buddy_stride = ck.buddy_stride;
+  std::vector<std::optional<Output>> results(static_cast<std::size_t>(P));
+  std::mutex results_mu;
+  logs.assign(static_cast<std::size_t>(P + ck.spares), {});
+  machine.run([&](camb::RankCtx& ctx) {
+    ckpt::run_resilient<Output>(ctx, rcfg, body, &results, &results_mu,
+                                &logs[static_cast<std::size_t>(ctx.rank())]);
+  });
+  std::vector<Output> outputs;
+  outputs.reserve(static_cast<std::size_t>(P));
+  for (int L = 0; L < P; ++L) {
+    CAMB_CHECK_MSG(results[static_cast<std::size_t>(L)].has_value(),
+                   "checkpointed run ended without an output for a logical "
+                   "rank");
+    outputs.push_back(std::move(*results[static_cast<std::size_t>(L)]));
+  }
+  return outputs;
+}
+
+/// The whole checkpointed-run recipe minus output assembly: machine with
+/// spares, rollback loop, measurement, resilience record, prediction.
+template <typename Output>
+RunReport run_ckpt_common(int P, const RunOptions& opts, double bound,
+                          i64 steps,
+                          const std::function<i64(int)>& base_pred,
+                          const std::function<i64(int, i64)>& snap_words,
+                          const std::function<Output(ckpt::Session&)>& body,
+                          std::vector<Output>& outputs) {
+  camb::Machine machine(P + opts.checkpoint.spares,
+                        opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<ckpt::RunLog> logs;
+  outputs = run_checkpointed<Output>(machine, P, opts, logs, body);
+  RunReport report = report_from_machine(machine, opts);
+  fill_resilience_report(report, machine, opts, logs, P, steps, base_pred,
+                         snap_words);
+  report.lower_bound_words = bound;
+  return report;
+}
+
+void verify_block2d(const Shape& shape, const std::vector<Block2DOutput>& outs,
+                    const RunOptions& opts, RunReport& report,
+                    bool integer_inputs = false) {
+  if (opts.verify == VerifyMode::kNone) return;
+  MatrixD c(shape.n1, shape.n3);
+  for (const auto& out : outs) place_block(c, out);
+  report.output_hash = hash_matrix(c);
+  report.max_abs_error =
+      check_result_pattern(shape, c, opts.verify, integer_inputs);
+  report.verified = true;
+}
+
+}  // namespace
+
 RunReport run_grid3d(const Grid3dConfig& cfg, const RunOptions& opts) {
   const i64 P = cfg.grid.total();
+  if (opts.checkpoint.enabled()) {
+    const double bound =
+        camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+            .words;
+    std::vector<Grid3dRankOutput> outputs;
+    RunReport report = run_ckpt_common<Grid3dRankOutput>(
+        static_cast<int>(P), opts, bound, grid3d_ckpt_steps(cfg),
+        [&](int L) { return grid3d_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) { return grid3d_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::Session& s) { return grid3d_ckpt_rank(s, cfg); }, outputs);
+    if (opts.verify != VerifyMode::kNone) {
+      MatrixD c(cfg.shape.n1, cfg.shape.n3);
+      for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
+      report.output_hash = hash_matrix(c);
+      report.max_abs_error = check_result(cfg.shape, c, opts.verify);
+      report.verified = true;
+    }
+    return report;
+  }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
   std::vector<Grid3dRankOutput> outputs(static_cast<std::size_t>(P));
@@ -273,6 +470,32 @@ RunReport run_grid3d(const Grid3dConfig& cfg, bool verify) {
 RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg,
                             const RunOptions& opts) {
   const i64 P = cfg.grid.total();
+  if (opts.checkpoint.enabled()) {
+    const double bound =
+        camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+            .words;
+    std::vector<Grid3dStagedRankOutput> outputs;
+    RunReport report = run_ckpt_common<Grid3dStagedRankOutput>(
+        static_cast<int>(P), opts, bound, grid3d_staged_ckpt_steps(cfg),
+        [&](int L) { return grid3d_staged_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) {
+          return grid3d_staged_ckpt_snapshot_words(cfg, L, s);
+        },
+        [&](ckpt::Session& s) { return grid3d_staged_ckpt_rank(s, cfg); },
+        outputs);
+    if (opts.verify != VerifyMode::kNone) {
+      MatrixD c(cfg.shape.n1, cfg.shape.n3);
+      for (const auto& out : outputs) {
+        for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
+          place_chunk(c, out.c_chunks[s], out.c_data[s]);
+        }
+      }
+      report.output_hash = hash_matrix(c);
+      report.max_abs_error = check_result(cfg.shape, c, opts.verify);
+      report.verified = true;
+    }
+    return report;
+  }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
   std::vector<Grid3dStagedRankOutput> outputs(static_cast<std::size_t>(P));
@@ -311,6 +534,28 @@ RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
 RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg,
                              const RunOptions& opts) {
   const i64 P = cfg.grid.total();
+  if (opts.checkpoint.enabled()) {
+    const double bound =
+        camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+            .words;
+    std::vector<Grid3dRankOutput> outputs;
+    RunReport report = run_ckpt_common<Grid3dRankOutput>(
+        static_cast<int>(P), opts, bound, grid3d_agarwal_ckpt_steps(cfg),
+        [&](int L) { return grid3d_agarwal_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) {
+          return grid3d_agarwal_ckpt_snapshot_words(cfg, L, s);
+        },
+        [&](ckpt::Session& s) { return grid3d_agarwal_ckpt_rank(s, cfg); },
+        outputs);
+    if (opts.verify != VerifyMode::kNone) {
+      MatrixD c(cfg.shape.n1, cfg.shape.n3);
+      for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
+      report.output_hash = hash_matrix(c);
+      report.max_abs_error = check_result(cfg.shape, c, opts.verify);
+      report.verified = true;
+    }
+    return report;
+  }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
   std::vector<Grid3dRankOutput> outputs(static_cast<std::size_t>(P));
@@ -344,6 +589,26 @@ RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
 
 RunReport run_carma(const CarmaConfig& cfg, const RunOptions& opts) {
   const i64 P = i64{1} << cfg.levels;
+  if (opts.checkpoint.enabled()) {
+    const double bound =
+        camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
+            .words;
+    const std::vector<i64> base = carma_predicted_recv_words(cfg);
+    std::vector<CarmaRankOutput> outputs;
+    RunReport report = run_ckpt_common<CarmaRankOutput>(
+        static_cast<int>(P), opts, bound, carma_ckpt_steps(cfg),
+        [&](int L) { return base[static_cast<std::size_t>(L)]; },
+        [&](int L, i64 s) { return carma_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::Session& s) { return carma_ckpt_rank(s, cfg); }, outputs);
+    if (opts.verify != VerifyMode::kNone) {
+      MatrixD c(cfg.shape.n1, cfg.shape.n3);
+      for (const auto& out : outputs) place_chunk(c, out.holding, out.data);
+      report.output_hash = hash_matrix(c);
+      report.max_abs_error = check_result(cfg.shape, c, opts.verify);
+      report.verified = true;
+    }
+    return report;
+  }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
   std::vector<CarmaRankOutput> outputs(static_cast<std::size_t>(P));
@@ -416,6 +681,16 @@ RunReport run_alg25d(const Alg25dConfig& cfg, const RunOptions& opts) {
   const double bound =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
+  if (opts.checkpoint.enabled()) {
+    std::vector<Block2DOutput> outputs;
+    RunReport report = run_ckpt_common<Block2DOutput>(
+        static_cast<int>(P), opts, bound, alg25d_ckpt_steps(cfg),
+        [&](int L) { return alg25d_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) { return alg25d_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::Session& s) { return alg25d_ckpt_rank(s, cfg); }, outputs);
+    verify_block2d(cfg.shape, outputs, opts, report);
+    return report;
+  }
   return run_block2d(cfg.shape, P, opts, bound, predicted,
                      [&](camb::RankCtx& ctx) { return alg25d_rank(ctx, cfg); });
 }
@@ -434,6 +709,16 @@ RunReport run_summa(const SummaConfig& cfg, const RunOptions& opts) {
   const double bound =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
+  if (opts.checkpoint.enabled()) {
+    std::vector<Block2DOutput> outputs;
+    RunReport report = run_ckpt_common<Block2DOutput>(
+        static_cast<int>(P), opts, bound, summa_ckpt_steps(cfg),
+        [&](int L) { return summa_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) { return summa_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::Session& s) { return summa_ckpt_rank(s, cfg); }, outputs);
+    verify_block2d(cfg.shape, outputs, opts, report);
+    return report;
+  }
   return run_block2d(cfg.shape, P, opts, bound, predicted,
                      [&](camb::RankCtx& ctx) { return summa_rank(ctx, cfg); });
 }
@@ -442,24 +727,33 @@ RunReport run_summa(const SummaConfig& cfg, bool verify) {
   return run_summa(cfg, options_from(verify));
 }
 
-namespace {
-
-void place_block(MatrixD& global, const Block2DOutput& out) {
-  for (i64 i = 0; i < out.block.rows(); ++i) {
-    for (i64 j = 0; j < out.block.cols(); ++j) {
-      global(out.row0 + i, out.col0 + j) = out.block(i, j);
-    }
-  }
-}
-
-bool contains(const std::vector<int>& ranks, int r) {
-  return std::find(ranks.begin(), ranks.end(), r) != ranks.end();
-}
-
-}  // namespace
-
 RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts) {
   const i64 P = cfg.base.g * cfg.base.g;
+  if (opts.checkpoint.enabled()) {
+    const double bound = camb::core::memory_independent_bound(
+                             cfg.base.shape, static_cast<double>(P))
+                             .words;
+    std::vector<SummaAbftOutput> outputs;
+    RunReport report = run_ckpt_common<SummaAbftOutput>(
+        static_cast<int>(P), opts, bound, summa_abft_ckpt_steps(cfg),
+        [&](int L) { return summa_abft_ckpt_base_recv_words(cfg, L); },
+        [&](int L, i64 s) {
+          return summa_abft_ckpt_snapshot_words(cfg, L, s);
+        },
+        [&](ckpt::Session& s) { return summa_abft_ckpt_rank(s, cfg); },
+        outputs);
+    report.recovery.abft = true;
+    if (report.lower_bound_words > 0) {
+      report.recovery.overhead_ratio =
+          static_cast<double>(report.measured_critical_recv) /
+          report.lower_bound_words;
+    }
+    std::vector<Block2DOutput> blocks;
+    for (const auto& out : outputs) blocks.push_back(out.own);
+    verify_block2d(cfg.base.shape, blocks, opts, report,
+                   /*integer_inputs=*/true);
+    return report;
+  }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
   std::vector<SummaAbftOutput> outputs(static_cast<std::size_t>(P));
@@ -510,6 +804,38 @@ RunReport run_summa_abft(const SummaAbftConfig& cfg, bool verify) {
 RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg,
                           const RunOptions& opts) {
   const i64 P = cfg.base.grid.total();
+  if (opts.checkpoint.enabled()) {
+    const double bound = camb::core::memory_independent_bound(
+                             cfg.base.shape, static_cast<double>(P))
+                             .words;
+    std::vector<Grid3dAbftOutput> outputs;
+    RunReport report = run_ckpt_common<Grid3dAbftOutput>(
+        static_cast<int>(P), opts, bound, grid3d_abft_ckpt_steps(cfg),
+        [&](int L) { return grid3d_abft_ckpt_base_recv_words(cfg, L); },
+        [&](int L, i64 s) {
+          return grid3d_abft_ckpt_snapshot_words(cfg, L, s);
+        },
+        [&](ckpt::Session& s) { return grid3d_abft_ckpt_rank(s, cfg); },
+        outputs);
+    report.recovery.abft = true;
+    if (report.lower_bound_words > 0) {
+      report.recovery.overhead_ratio =
+          static_cast<double>(report.measured_critical_recv) /
+          report.lower_bound_words;
+    }
+    if (opts.verify != VerifyMode::kNone) {
+      MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
+      for (const auto& out : outputs) {
+        place_chunk(c, out.own.c_chunk, out.own.c_data);
+      }
+      report.output_hash = hash_matrix(c);
+      report.max_abs_error = check_result_pattern(cfg.base.shape, c,
+                                                  opts.verify,
+                                                  /*integer_inputs=*/true);
+      report.verified = true;
+    }
+    return report;
+  }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
   std::vector<Grid3dAbftOutput> outputs(static_cast<std::size_t>(P));
@@ -567,6 +893,16 @@ RunReport run_cannon(const CannonConfig& cfg, const RunOptions& opts) {
   const double bound =
       camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
           .words;
+  if (opts.checkpoint.enabled()) {
+    std::vector<Block2DOutput> outputs;
+    RunReport report = run_ckpt_common<Block2DOutput>(
+        static_cast<int>(P), opts, bound, cannon_ckpt_steps(cfg),
+        [&](int L) { return cannon_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) { return cannon_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::Session& s) { return cannon_ckpt_rank(s, cfg); }, outputs);
+    verify_block2d(cfg.shape, outputs, opts, report);
+    return report;
+  }
   return run_block2d(cfg.shape, P, opts, bound, predicted,
                      [&](camb::RankCtx& ctx) { return cannon_rank(ctx, cfg); });
 }
@@ -586,6 +922,23 @@ RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
   const double bound = camb::core::memory_independent_bound(
                            cfg.shape, static_cast<double>(nprocs))
                            .words;
+  if (opts.checkpoint.enabled()) {
+    std::vector<Block2DOutput> outputs;
+    RunReport report = run_ckpt_common<Block2DOutput>(
+        static_cast<int>(nprocs), opts, bound, naive_bcast_ckpt_steps(cfg),
+        [&](int L) {
+          return naive_bcast_predicted_recv_words(cfg, L,
+                                                  static_cast<int>(nprocs));
+        },
+        [&](int L, i64 s) {
+          return naive_bcast_ckpt_snapshot_words(cfg, L,
+                                                 static_cast<int>(nprocs), s);
+        },
+        [&](ckpt::Session& s) { return naive_bcast_ckpt_rank(s, cfg); },
+        outputs);
+    verify_block2d(cfg.shape, outputs, opts, report);
+    return report;
+  }
   return run_block2d(cfg.shape, nprocs, opts, bound, predicted,
                      [&](camb::RankCtx& ctx) {
                        return naive_bcast_rank(ctx, cfg);

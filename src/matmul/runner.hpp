@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "collectives/rollback.hpp"
 #include "core/bounds.hpp"
 #include "machine/faults.hpp"
 #include "util/rng.hpp"
@@ -115,6 +116,48 @@ struct RecoveryReport {
   /// measured_critical_recv ÷ the Theorem 3 bound (0 when the bound is 0):
   /// the fault-tolerance overhead ratio tabled by bench_abft_overhead.
   double overhead_ratio = 0;
+  /// Crash debris: envelopes (and their words) that were already deposited
+  /// in mailboxes when the machine stopped and never consumed — sends the
+  /// dead rank got out the door plus traffic addressed to it.
+  i64 debris_envelopes = 0;
+  i64 debris_words = 0;
+  /// One-line reproducibility record for logs and failure messages.
+  std::string summary() const;
+};
+
+/// Checkpoint/restart request for a run (collectives/rollback.hpp): commit a
+/// buddy-replicated snapshot every `interval` epoch-boundary steps, run on
+/// P + spares physical ranks, and roll back + re-execute on a crash instead
+/// of reconstructing (ABFT) or shrinking.
+struct CheckpointConfig {
+  i64 interval = 0;     ///< 0 = checkpointing off
+  int buddy_stride = 1; ///< snapshot replica goes to logical (L + stride) % P
+  int spares = 0;       ///< extra physical ranks that adopt dead logicals
+
+  bool enabled() const { return interval > 0; }
+};
+
+/// What the checkpoint/rollback layer did in one run (enabled=false when
+/// checkpointing was off).
+struct ResilienceReport {
+  bool enabled = false;
+  i64 interval = 0;
+  int buddy_stride = 1;
+  int spares = 0;
+  int rounds = 0;          ///< execution rounds until agreement (1 = clean)
+  i64 final_epoch = 0;     ///< epoch the winning round resumed from (0 = scratch)
+  std::vector<int> failed; ///< agreed crashed physical ranks, all rounds
+  std::vector<int> fresh_logicals;  ///< logicals re-hosted onto spares
+  /// Max over ranks of words received in the commit phase ("checkpoint"):
+  /// the steady-state checkpoint tax, paid even on crash-free runs.
+  i64 checkpoint_recv_words = 0;
+  /// Max over ranks of agreement-flood words ("ckpt_shrink").
+  i64 flood_recv_words = 0;
+  /// Max over ranks of snapshot-restream words to fresh recruits
+  /// ("ckpt_rollback"); 0 on crash-free runs.
+  i64 restream_recv_words = 0;
+  /// The per-round agreement records from the rank that drove assembly.
+  ckpt::RunLog log;
   /// One-line reproducibility record for logs and failure messages.
   std::string summary() const;
 };
@@ -124,6 +167,7 @@ struct RunOptions {
   VerifyMode verify = VerifyMode::kNone;
   PerturbConfig perturb;
   CrashConfig crash;
+  CheckpointConfig checkpoint;
 
   static RunOptions verified(VerifyMode mode) {
     RunOptions opts;
@@ -174,6 +218,8 @@ struct RunReport {
   FaultReport faults;
   /// Crash/recovery record (enabled=false for runs without crash injection).
   RecoveryReport recovery;
+  /// Checkpoint/rollback record (enabled=false when checkpointing was off).
+  ResilienceReport resilience;
 };
 
 /// Algorithm 1 on its grid.  `verify` assembles C and checks it (mode

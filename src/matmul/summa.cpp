@@ -74,6 +74,82 @@ Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg) {
   return out;
 }
 
+Block2DOutput summa_ckpt_rank(ckpt::Session& session, const SummaConfig& cfg) {
+  RankCtx& ctx = session.ctx();
+  const i64 g = cfg.g;
+  CAMB_CHECK_MSG(g * g == session.nprocs(), "SUMMA machine size must be g*g");
+  const i64 i = session.rank() / g;
+  const i64 j = session.rank() % g;
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+
+  const BlockChunk a_chunk = full_block(d1, i, d2, j);
+  const BlockChunk b_chunk = full_block(d2, i, d3, j);
+  auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
+                                        : fill_chunk_indexed;
+  std::vector<double> a_own = fill(a_chunk);
+  std::vector<double> b_own = fill(b_chunk);
+
+  Block2DOutput out;
+  out.row0 = d1.start(i);
+  out.col0 = d3.start(j);
+  out.block = MatrixD(d1.size(i), d3.size(j));
+
+  // Fiber comms by logical rank: the row of (i, .) and the column of (., j).
+  std::vector<int> row_members, col_members;
+  for (i64 v = 0; v < g; ++v) {
+    row_members.push_back(static_cast<int>(i * g + v));
+    col_members.push_back(static_cast<int>(v * g + j));
+  }
+  const coll::Comm my_row = session.comm(row_members);
+  const coll::Comm my_col = session.comm(col_members);
+
+  if (session.restored()) {
+    const Snapshot& snap = session.snapshot();
+    CAMB_CHECK(snap.bufs.size() == 1 &&
+               static_cast<i64>(snap.bufs[0].size()) == out.block.size());
+    std::copy(snap.bufs[0].begin(), snap.bufs[0].end(), out.block.data());
+  }
+
+  for (i64 t = session.resume_step(); t < g; ++t) {
+    ctx.set_phase(kPhaseSummaBcastA);
+    std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
+    const i64 a_words = d1.size(i) * d2.size(t);
+    coll::bcast(my_row, static_cast<int>(t), a_panel, a_words, cfg.bcast,
+                cfg.bcast_segments);
+
+    ctx.set_phase(kPhaseSummaBcastB);
+    std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
+    const i64 b_words = d2.size(t) * d3.size(j);
+    coll::bcast(my_col, static_cast<int>(t), b_panel, b_words, cfg.bcast,
+                cfg.bcast_segments);
+
+    ctx.set_phase(kPhaseSummaGemm);
+    MatrixD a_mat(d1.size(i), d2.size(t));
+    std::copy(a_panel.begin(), a_panel.end(), a_mat.data());
+    MatrixD b_mat(d2.size(t), d3.size(j));
+    std::copy(b_panel.begin(), b_panel.end(), b_mat.data());
+    gemm_accumulate(a_mat, b_mat, out.block);
+
+    session.boundary(t + 1, [&] {
+      Snapshot snap;
+      snap.bufs = {std::vector<double>(out.block.data(),
+                                       out.block.data() + out.block.size())};
+      return snap;
+    });
+  }
+  return out;
+}
+
+i64 summa_ckpt_steps(const SummaConfig& cfg) { return cfg.g; }
+
+i64 summa_ckpt_snapshot_words(const SummaConfig& cfg, int logical, i64 step) {
+  (void)step;  // the C block is the whole snapshot at every stage
+  const i64 g = cfg.g;
+  const BlockDist1D d1(cfg.shape.n1, g), d3(cfg.shape.n3, g);
+  return snapshot_wire_words({d1.size(logical / g) * d3.size(logical % g)});
+}
+
 i64 summa_predicted_recv_words(const SummaConfig& cfg, int rank) {
   const i64 g = cfg.g;
   const i64 i = rank / g;

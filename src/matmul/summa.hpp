@@ -10,6 +10,7 @@
 #pragma once
 
 #include "collectives/bcast.hpp"
+#include "collectives/rollback.hpp"
 #include "machine/machine.hpp"
 #include "matmul/distribution.hpp"
 #include "util/matrix.hpp"
@@ -40,6 +41,16 @@ Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg);
 /// Exact predicted received words for `rank` (binomial broadcasts: every
 /// non-root of a stage receives the panel once).
 i64 summa_predicted_recv_words(const SummaConfig& cfg, int rank);
+
+/// Checkpointable twin of summa_rank: same math and word counts, but runs
+/// under a rollback session — recovery-region comms, epoch boundaries after
+/// every stage, and restore-from-snapshot on re-execution.
+Block2DOutput summa_ckpt_rank(ckpt::Session& session, const SummaConfig& cfg);
+
+/// Boundary steps the twin announces (one per SUMMA stage).
+i64 summa_ckpt_steps(const SummaConfig& cfg);
+/// Wire words of logical rank `logical`'s snapshot at boundary `step`.
+i64 summa_ckpt_snapshot_words(const SummaConfig& cfg, int logical, i64 step);
 
 inline constexpr const char* kPhaseSummaBcastA = "summa_bcast_A";
 inline constexpr const char* kPhaseSummaBcastB = "summa_bcast_B";

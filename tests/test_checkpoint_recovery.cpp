@@ -1,0 +1,200 @@
+// Crash recovery through checkpoint/rollback: every registered algorithm
+// must survive a seeded single-rank crash bit-identically, and the 2D
+// algorithms must additionally survive a second crash landing while the
+// first one's recovery is still in flight (rounds >= 3).
+#include <gtest/gtest.h>
+
+#include "matmul/runner.hpp"
+#include "util/rng.hpp"
+
+namespace camb {
+namespace {
+
+mm::RunOptions crash_opts(std::vector<int> ranks, i64 max_pos,
+                          std::uint64_t master_seed, i64 interval = 1,
+                          int spares = 1) {
+  mm::RunOptions opts;
+  opts.verify = mm::VerifyMode::kReference;
+  opts.perturb.master_seed = master_seed;
+  opts.crash.ranks = std::move(ranks);
+  opts.crash.max_send_position = max_pos;
+  opts.checkpoint.interval = interval;
+  opts.checkpoint.spares = spares;
+  return opts;
+}
+
+/// A crashed checkpointed run must still verify bit-exactly against the
+/// fault-free twin, have actually rolled back (>= 2 rounds), and report the
+/// crash in the agreed failed set.
+void expect_recovered(const mm::RunReport& plain, const mm::RunReport& report,
+                      const char* what) {
+  ASSERT_TRUE(report.verified) << what;
+  ASSERT_FALSE(report.recovery.crashed.empty())
+      << what << ": crash never fired — widen max_send_position";
+  EXPECT_EQ(report.max_abs_error, plain.max_abs_error)
+      << what << ": " << report.resilience.summary();
+  EXPECT_EQ(report.output_hash, plain.output_hash)
+      << what << ": " << report.resilience.summary();
+  EXPECT_EQ(report.predicted_critical_recv, -1) << what;
+  EXPECT_GE(report.resilience.rounds, 2) << report.resilience.summary();
+  for (int dead : report.recovery.crashed) {
+    EXPECT_TRUE(std::find(report.resilience.failed.begin(),
+                          report.resilience.failed.end(),
+                          dead) != report.resilience.failed.end())
+        << what << ": crashed rank " << dead << " missing from agreed set; "
+        << report.resilience.summary();
+  }
+  // The dead rank had buffered sends out the door and mail addressed to it:
+  // the crash-debris envelope count feeds the RecoveryReport (satellite 2).
+  EXPECT_GT(report.recovery.debris_envelopes, 0) << what;
+  EXPECT_GE(report.recovery.debris_words, 0) << what;
+}
+
+const mm::RunOptions kPlain = mm::RunOptions::verified(mm::VerifyMode::kReference);
+
+TEST(CheckpointRecovery, SummaSingleCrash) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  const mm::RunReport plain = mm::run_summa(cfg, kPlain);
+  expect_recovered(plain, mm::run_summa(cfg, crash_opts({4}, 8, 11)), "summa");
+}
+
+TEST(CheckpointRecovery, CannonSingleCrash) {
+  const mm::CannonConfig cfg{{12, 9, 6}, 3};
+  const mm::RunReport plain = mm::run_cannon(cfg, kPlain);
+  expect_recovered(plain, mm::run_cannon(cfg, crash_opts({2}, 8, 12)),
+                   "cannon");
+}
+
+TEST(CheckpointRecovery, NaiveBcastSingleCrash) {
+  const mm::NaiveBcastConfig cfg{{8, 6, 4}};
+  const mm::RunReport plain = mm::run_naive_bcast(cfg, 4, kPlain);
+  expect_recovered(plain,
+                   mm::run_naive_bcast(cfg, 4, crash_opts({1}, 6, 13)),
+                   "naive_bcast");
+}
+
+TEST(CheckpointRecovery, Grid3dSingleCrash) {
+  const mm::Grid3dConfig cfg{{12, 10, 8}, core::Grid3{2, 2, 2}};
+  const mm::RunReport plain = mm::run_grid3d(cfg, kPlain);
+  expect_recovered(plain, mm::run_grid3d(cfg, crash_opts({3}, 6, 14)),
+                   "grid3d");
+}
+
+TEST(CheckpointRecovery, Grid3dAgarwalSingleCrash) {
+  const mm::Grid3dAgarwalConfig cfg{{12, 10, 8}, core::Grid3{2, 2, 2}};
+  const mm::RunReport plain = mm::run_grid3d_agarwal(cfg, kPlain);
+  expect_recovered(plain,
+                   mm::run_grid3d_agarwal(cfg, crash_opts({3}, 6, 15)),
+                   "grid3d_agarwal");
+}
+
+TEST(CheckpointRecovery, Grid3dStagedSingleCrash) {
+  mm::Grid3dStagedConfig cfg;
+  cfg.shape = {12, 12, 8};
+  cfg.grid = core::Grid3{2, 2, 2};
+  cfg.stages = 3;
+  const mm::RunReport plain = mm::run_grid3d_staged(cfg, kPlain);
+  expect_recovered(plain, mm::run_grid3d_staged(cfg, crash_opts({5}, 6, 16)),
+                   "grid3d_staged");
+}
+
+TEST(CheckpointRecovery, CarmaSingleCrash) {
+  const mm::CarmaConfig cfg{{16, 16, 16}, 3};
+  const mm::RunReport plain = mm::run_carma(cfg, kPlain);
+  expect_recovered(plain, mm::run_carma(cfg, crash_opts({2}, 6, 17)),
+                   "carma");
+}
+
+TEST(CheckpointRecovery, Alg25dSingleCrash) {
+  mm::Alg25dConfig cfg;
+  cfg.shape = {12, 12, 12};
+  cfg.g = 2;
+  cfg.c = 2;
+  const mm::RunReport plain = mm::run_alg25d(cfg, kPlain);
+  expect_recovered(plain, mm::run_alg25d(cfg, crash_opts({3}, 6, 18)),
+                   "alg25d");
+}
+
+TEST(CheckpointRecovery, SummaAbftSingleCrash) {
+  const mm::SummaAbftConfig cfg{mm::SummaConfig{{27, 15, 12}, 3}};
+  const mm::RunReport plain = mm::run_summa_abft(cfg, kPlain);
+  expect_recovered(plain, mm::run_summa_abft(cfg, crash_opts({4}, 8, 19)),
+                   "summa_abft");
+}
+
+TEST(CheckpointRecovery, Grid3dAbftSingleCrash) {
+  const mm::Grid3dAbftConfig cfg{
+      mm::Grid3dConfig{{12, 10, 8}, core::Grid3{2, 2, 2}}};
+  const mm::RunReport plain = mm::run_grid3d_abft(cfg, kPlain);
+  expect_recovered(plain, mm::run_grid3d_abft(cfg, crash_opts({3}, 6, 20)),
+                   "grid3d_abft");
+}
+
+/// A rollback from a committed epoch restreams the dead logical's snapshot
+/// to its replacement: the restream words must show up in the dedicated
+/// phase whenever the agreed epoch was >= 1 and a spare was drafted.
+TEST(CheckpointRecovery, RestreamWordsAccountedWhenRollingBackToEpoch) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  const mm::RunReport plain = mm::run_summa(cfg, kPlain);
+  bool saw_restream = false;
+  for (std::uint64_t seed = 30; seed < 60 && !saw_restream; ++seed) {
+    const mm::RunReport report =
+        mm::run_summa(cfg, crash_opts({4}, 24, seed));
+    ASSERT_TRUE(report.verified);
+    ASSERT_EQ(report.output_hash, plain.output_hash)
+        << report.resilience.summary();
+    if (report.recovery.crashed.empty()) continue;
+    if (report.resilience.final_epoch >= 1 &&
+        !report.resilience.fresh_logicals.empty()) {
+      EXPECT_GT(report.resilience.restream_recv_words, 0)
+          << report.resilience.summary();
+      saw_restream = true;
+    }
+  }
+  EXPECT_TRUE(saw_restream)
+      << "no seed in the scan produced an epoch >= 1 rollback";
+}
+
+/// Two crashes where the second fires while the first crash's recovery is
+/// still running (the run needs >= 3 rounds to settle).  The crash send
+/// positions are seed-driven, so the sweep scans seeds until it finds such
+/// a schedule — every run along the way must stay bit-identical.
+void two_crash_during_rollback_sweep(
+    const std::function<mm::RunReport(const mm::RunOptions&)>& run,
+    const mm::RunReport& plain, const char* what) {
+  bool saw_late_second_crash = false;
+  for (std::uint64_t seed = 100; seed < 200 && !saw_late_second_crash;
+       ++seed) {
+    const mm::RunReport report =
+        run(crash_opts({1, 4}, 48, seed, /*interval=*/1, /*spares=*/2));
+    ASSERT_TRUE(report.verified) << what << " seed " << seed;
+    ASSERT_EQ(report.output_hash, plain.output_hash)
+        << what << " seed " << seed << ": " << report.resilience.summary();
+    if (report.recovery.crashed.size() == 2 &&
+        report.resilience.rounds >= 3) {
+      saw_late_second_crash = true;
+    }
+  }
+  EXPECT_TRUE(saw_late_second_crash)
+      << what
+      << ": no seed produced a second crash during recovery (rounds >= 3)";
+}
+
+TEST(CheckpointRecovery, SummaSurvivesSecondCrashDuringRollback) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  const mm::RunReport plain = mm::run_summa(cfg, kPlain);
+  two_crash_during_rollback_sweep(
+      [&](const mm::RunOptions& opts) { return mm::run_summa(cfg, opts); },
+      plain, "summa");
+}
+
+TEST(CheckpointRecovery, CannonSurvivesSecondCrashDuringRollback) {
+  const mm::CannonConfig cfg{{12, 9, 6}, 3};
+  const mm::RunReport plain = mm::run_cannon(cfg, kPlain);
+  two_crash_during_rollback_sweep(
+      [&](const mm::RunOptions& opts) { return mm::run_cannon(cfg, opts); },
+      plain, "cannon");
+}
+
+}  // namespace
+}  // namespace camb

@@ -38,5 +38,51 @@ TEST(StressCrash, RandomizedRecoverySweepIsAlwaysBitExact) {
   EXPECT_GT(fired, 8);  // the sweep must exercise actual recoveries
 }
 
+// Perturbation and crashes together, under checkpointing: stragglers and
+// message delays shuffle the schedule (and hence which receive observes the
+// crash first), but detection must still converge to the same agreed failed
+// set and the recovered output must stay bit-identical to the fault-free
+// run.  16 sweep-derived seeds, alternating timing profiles.
+TEST(StressCrash, PerturbedCheckpointedRecoveryConverges) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  const mm::RunReport plain =
+      mm::run_summa(cfg, mm::RunOptions::verified(mm::VerifyMode::kReference));
+  Rng sweep(0x5EED6);
+  int fired = 0;
+  for (int iteration = 0; iteration < 16; ++iteration) {
+    mm::RunOptions opts;
+    opts.verify = mm::VerifyMode::kReference;
+    opts.perturb.profile = iteration % 2 == 0 ? "stragglers" : "delays";
+    opts.perturb.master_seed = 2000 + static_cast<std::uint64_t>(iteration);
+    opts.crash.ranks = {static_cast<int>(sweep.below(9))};
+    opts.crash.max_send_position = 4 + static_cast<i64>(sweep.below(20));
+    opts.checkpoint.interval = 1;
+    opts.checkpoint.spares = 1;
+    const mm::RunReport report = mm::run_summa(cfg, opts);
+    ASSERT_TRUE(report.verified)
+        << "iteration " << iteration << ": " << report.faults.summary();
+    ASSERT_EQ(report.output_hash, plain.output_hash)
+        << "iteration " << iteration << ": " << report.resilience.summary();
+    ASSERT_EQ(report.max_abs_error, plain.max_abs_error)
+        << "iteration " << iteration;
+    // A crash firing after the rank's last needed send is benign: every
+    // logical was claimed and the run finishes in one round.  Otherwise a
+    // rollback ran, and detection must have converged: every crashed rank
+    // lands in the agreed failed set.
+    if (report.recovery.crashed.empty() || report.resilience.rounds < 2) {
+      continue;
+    }
+    ++fired;
+    for (int dead : report.recovery.crashed) {
+      EXPECT_TRUE(std::find(report.resilience.failed.begin(),
+                            report.resilience.failed.end(),
+                            dead) != report.resilience.failed.end())
+          << "iteration " << iteration << ": crashed rank " << dead
+          << " missing; " << report.resilience.summary();
+    }
+  }
+  EXPECT_GT(fired, 4);  // the sweep must exercise actual recoveries
+}
+
 }  // namespace
 }  // namespace camb

@@ -10,6 +10,7 @@
 //
 // Every subcommand is a thin veneer over the public API; this file is also a
 // worked example of composing it.
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
@@ -63,6 +64,10 @@ std::vector<int> parse_crash_ranks(const std::string& spec, i64 nprocs) {
     if (value >= nprocs)
       throw Error("--crash-ranks: rank " + item + " is out of range for p = " +
                   std::to_string(nprocs));
+    if (std::find(ranks.begin(), ranks.end(), static_cast<int>(value)) !=
+        ranks.end())
+      throw Error("--crash-ranks: rank " + item + " listed twice in '" + spec +
+                  "'");
     ranks.push_back(static_cast<int>(value));
   }
   return ranks;
@@ -183,6 +188,16 @@ int cmd_run(int argc, char** argv) {
                "run the checksum-augmented variant of the algorithm, which "
                "survives crashed ranks",
                "false");
+  cli.add_flag("checkpoint-interval",
+               "commit a buddy checkpoint every this many algorithm steps "
+               "(0 = checkpointing off)",
+               "0");
+  cli.add_flag("buddy-stride",
+               "checkpoint buddy offset on the logical ring (rank i's "
+               "snapshot is replicated to rank i+stride mod p)",
+               "1");
+  cli.add_flag("spares",
+               "idle spare ranks provisioned for crash substitution", "0");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("cambounds run");
@@ -213,6 +228,14 @@ int cmd_run(int argc, char** argv) {
     throw Error("--crash-max-send must be non-negative");
   opts.crash.crash_seed_override =
       static_cast<std::uint64_t>(cli.get_int("crash-seed"));
+  opts.checkpoint.interval = cli.get_int("checkpoint-interval");
+  if (opts.checkpoint.interval < 0)
+    throw Error("--checkpoint-interval must be non-negative");
+  opts.checkpoint.buddy_stride = static_cast<int>(cli.get_int("buddy-stride"));
+  opts.checkpoint.spares = static_cast<int>(cli.get_int("spares"));
+  if (opts.checkpoint.spares < 0) throw Error("--spares must be non-negative");
+  if (opts.checkpoint.spares > 0 && !opts.checkpoint.enabled())
+    throw Error("--spares requires --checkpoint-interval > 0");
   const mm::RunReport report = algorithm.run_opts(shape, P, opts);
   std::cout << "algorithm: " << algorithm.name << "\n"
             << "measured communication: " << report.measured_critical_recv
@@ -236,6 +259,10 @@ int cmd_run(int argc, char** argv) {
   }
   if (report.recovery.enabled || report.recovery.abft) {
     std::cout << "recovery:               " << report.recovery.summary()
+              << "\n";
+  }
+  if (report.resilience.enabled) {
+    std::cout << "resilience:             " << report.resilience.summary()
               << "\n";
   }
   return 0;
