@@ -29,10 +29,10 @@ std::vector<double> allgather_ring(const Comm& comm,
     const int recv_block = (me - r - 1 + 2 * p) % p;
     const i64 send_off = counts_offset(counts, send_block);
     const i64 send_len = counts[static_cast<std::size_t>(send_block)];
-    std::vector<double> chunk(out.begin() + send_off,
-                              out.begin() + send_off + send_len);
-    comm.send(next, tag_base + r, std::move(chunk));
-    std::vector<double> incoming = comm.recv(prev, tag_base + r);
+    comm.send(next, tag_base + r,
+              Buffer::copy_of(out.data() + send_off,
+                              static_cast<std::size_t>(send_len)));
+    Buffer incoming = comm.recv(prev, tag_base + r);
     CAMB_CHECK(static_cast<i64>(incoming.size()) ==
                counts[static_cast<std::size_t>(recv_block)]);
     std::copy(incoming.begin(), incoming.end(),
@@ -64,10 +64,10 @@ std::vector<double> allgather_recursive_doubling(
     for (int b = my_span_lo; b < my_span_lo + dist; ++b) {
       send_len += counts[static_cast<std::size_t>(b)];
     }
-    std::vector<double> chunk(out.begin() + send_off,
-                              out.begin() + send_off + send_len);
-    std::vector<double> incoming =
-        comm.sendrecv(partner_idx, tag_base + round, std::move(chunk));
+    Buffer incoming = comm.sendrecv(
+        partner_idx, tag_base + round,
+        Buffer::copy_of(out.data() + send_off,
+                        static_cast<std::size_t>(send_len)));
     i64 recv_len = 0;
     for (int b = partner_span_lo; b < partner_span_lo + dist; ++b) {
       recv_len += counts[static_cast<std::size_t>(b)];
@@ -108,7 +108,7 @@ std::vector<double> allgather_bruck(const Comm& comm,
                     held[static_cast<std::size_t>(j)].end());
     }
     comm.send(dst, tag_base + round, std::move(outbuf));
-    std::vector<double> inbuf = comm.recv(src, tag_base + round);
+    Buffer inbuf = comm.recv(src, tag_base + round);
     // Unpack: incoming blocks are those of members (me + have + j) mod p.
     i64 cursor = 0;
     for (int j = 0; j < want; ++j) {

@@ -14,7 +14,8 @@ std::vector<std::vector<double>> alltoall_pairwise(
   for (int r = 1; r < p; ++r) {
     const int dst_idx = (me + r) % p;
     const int src_idx = (me - r + p) % p;
-    comm.send(dst_idx, tag_base + r, blocks[static_cast<std::size_t>(dst_idx)]);
+    comm.send(dst_idx, tag_base + r,
+              Buffer::copy_of(blocks[static_cast<std::size_t>(dst_idx)]));
     received[static_cast<std::size_t>(src_idx)] =
         comm.recv(src_idx, tag_base + r);
   }
@@ -53,7 +54,7 @@ std::vector<std::vector<double>> alltoall_bruck(
       }
     }
     comm.send(dst, tag_base + round, std::move(outbuf));
-    std::vector<double> inbuf = comm.recv(src, tag_base + round);
+    Buffer inbuf = comm.recv(src, tag_base + round);
     std::size_t cursor = 0;
     for (int d = 0; d < p; ++d) {
       if (d & dist) {

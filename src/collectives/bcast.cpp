@@ -22,7 +22,10 @@ void bcast_binomial(const Comm& comm, int root_idx, std::vector<double>& data,
     if (have_data) {
       const int dst_v = v + dist;
       if (v < dist && dst_v < p) {
-        comm.send((dst_v + root_idx) % p, tag_base + round, data);
+        // The root line sends the same payload to several children; each
+        // send gets its own pooled copy.
+        comm.send((dst_v + root_idx) % p, tag_base + round,
+                  Buffer::copy_of(data));
       }
     } else if (v >= dist && v < 2 * dist) {
       const int src_v = v - dist;
@@ -60,8 +63,8 @@ void bcast_pipelined_ring(const Comm& comm, int root_idx,
     for (i64 s = 0; s < segments; ++s) {
       const i64 len = base + (s < extra ? 1 : 0);
       comm.send(next, tag_base + static_cast<int>(s),
-                std::vector<double>(data.begin() + offset,
-                                    data.begin() + offset + len));
+                Buffer::copy_of(data.data() + offset,
+                                static_cast<std::size_t>(len)));
       offset += len;
     }
     return;
@@ -69,7 +72,7 @@ void bcast_pipelined_ring(const Comm& comm, int root_idx,
   data.assign(static_cast<std::size_t>(payload_words), 0.0);
   i64 offset = 0;
   for (i64 s = 0; s < segments; ++s) {
-    std::vector<double> segment = comm.recv(prev, tag_base + static_cast<int>(s));
+    Buffer segment = comm.recv(prev, tag_base + static_cast<int>(s));
     const i64 len = base + (s < extra ? 1 : 0);
     CAMB_CHECK(static_cast<i64>(segment.size()) == len);
     std::copy(segment.begin(), segment.end(), data.begin() + offset);

@@ -83,18 +83,17 @@ void Comm::check_member_op(int peer_index, int tag) const {
                  "tag outside this comm's lease");
 }
 
-void Comm::send(int dst_index, int tag, std::vector<double> payload) const {
+void Comm::send(int dst_index, int tag, Buffer payload) const {
   check_member_op(dst_index, tag);
   ctx_->send(rank_at(dst_index), tag, std::move(payload));
 }
 
-std::vector<double> Comm::recv(int src_index, int tag) const {
+Buffer Comm::recv(int src_index, int tag) const {
   check_member_op(src_index, tag);
   return ctx_->recv(rank_at(src_index), tag);
 }
 
-std::vector<double> Comm::sendrecv(int peer_index, int tag,
-                                   std::vector<double> payload) const {
+Buffer Comm::sendrecv(int peer_index, int tag, Buffer payload) const {
   check_member_op(peer_index, tag);
   return ctx_->sendrecv(rank_at(peer_index), tag, std::move(payload));
 }

@@ -90,10 +90,10 @@ class Comm {
   /// Index-addressed point-to-point on this comm's tag space.  `tag` must
   /// come from take_tag_block() (+ an offset within the block); these are
   /// the building blocks for shift/skew algorithms (Cannon, 2.5D, CARMA).
-  void send(int dst_index, int tag, std::vector<double> payload) const;
-  std::vector<double> recv(int src_index, int tag) const;
-  std::vector<double> sendrecv(int peer_index, int tag,
-                               std::vector<double> payload) const;
+  /// Payloads are pooled move-only Buffers (vectors convert by move).
+  void send(int dst_index, int tag, Buffer payload) const;
+  Buffer recv(int src_index, int tag) const;
+  Buffer sendrecv(int peer_index, int tag, Buffer payload) const;
 
  private:
   Comm(RankCtx& ctx, std::vector<int> ranks, TagLease tag_lease);

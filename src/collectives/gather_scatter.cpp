@@ -17,14 +17,14 @@ std::vector<double> gather(const Comm& comm, int root_idx,
   if (p == 1) return local;
   const int tag_base = comm.take_tag_block();
   if (me != root_idx) {
-    comm.send(root_idx, tag_base + me, local);
+    comm.send(root_idx, tag_base + me, Buffer::copy_of(local));
     return {};
   }
   std::vector<double> out(static_cast<std::size_t>(counts_total(counts)));
   std::copy(local.begin(), local.end(), out.begin() + counts_offset(counts, me));
   for (int i = 0; i < p; ++i) {
     if (i == root_idx) continue;
-    std::vector<double> chunk = comm.recv(i, tag_base + i);
+    Buffer chunk = comm.recv(i, tag_base + i);
     CAMB_CHECK(static_cast<i64>(chunk.size()) ==
                counts[static_cast<std::size_t>(i)]);
     std::copy(chunk.begin(), chunk.end(), out.begin() + counts_offset(counts, i));
@@ -54,7 +54,8 @@ std::vector<double> scatter(const Comm& comm, int root_idx,
       const i64 off = counts_offset(counts, i);
       const i64 len = counts[static_cast<std::size_t>(i)];
       comm.send(i, tag_base + i,
-                std::vector<double>(full.begin() + off, full.begin() + off + len));
+                Buffer::copy_of(full.data() + off,
+                                static_cast<std::size_t>(len)));
     }
     const i64 off = counts_offset(counts, me);
     const i64 len = counts[static_cast<std::size_t>(me)];

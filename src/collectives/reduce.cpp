@@ -24,8 +24,8 @@ std::vector<double> reduce(const Comm& comm, int root_idx,
       comm.send(((v - dist) + root_idx) % p, tag_base + round, std::move(data));
       data.clear();
     } else if (v < dist && v + dist < p) {
-      std::vector<double> incoming =
-          comm.recv(((v + dist) + root_idx) % p, tag_base + round);
+      Buffer incoming = comm.recv(((v + dist) + root_idx) % p,
+                                  tag_base + round);
       CAMB_CHECK(incoming.size() == data.size());
       for (std::size_t j = 0; j < data.size(); ++j) data[j] += incoming[j];
     }

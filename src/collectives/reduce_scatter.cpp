@@ -6,8 +6,7 @@ namespace {
 
 bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-void add_into(std::vector<double>& acc, i64 offset,
-              const std::vector<double>& values) {
+void add_into(std::vector<double>& acc, i64 offset, const Buffer& values) {
   CAMB_CHECK(offset + static_cast<i64>(values.size()) <=
              static_cast<i64>(acc.size()));
   for (std::size_t j = 0; j < values.size(); ++j) {
@@ -30,10 +29,10 @@ std::vector<double> reduce_scatter_ring(const Comm& comm,
     const int recv_seg = (me - r - 2 + 2 * p) % p;
     const i64 send_off = counts_offset(counts, send_seg);
     const i64 send_len = counts[static_cast<std::size_t>(send_seg)];
-    std::vector<double> chunk(acc.begin() + send_off,
-                              acc.begin() + send_off + send_len);
-    comm.send(next, tag_base + r, std::move(chunk));
-    std::vector<double> incoming = comm.recv(prev, tag_base + r);
+    comm.send(next, tag_base + r,
+              Buffer::copy_of(acc.data() + send_off,
+                              static_cast<std::size_t>(send_len)));
+    Buffer incoming = comm.recv(prev, tag_base + r);
     CAMB_CHECK(static_cast<i64>(incoming.size()) ==
                counts[static_cast<std::size_t>(recv_seg)]);
     add_into(acc, counts_offset(counts, recv_seg), incoming);
@@ -61,9 +60,10 @@ std::vector<double> reduce_scatter_recursive_halving(
     const int send_hi = lower_half ? hi : mid;
     const i64 send_off = counts_offset(counts, send_lo);
     const i64 send_end = counts_offset(counts, send_hi);
-    std::vector<double> chunk(acc.begin() + send_off, acc.begin() + send_end);
-    std::vector<double> incoming =
-        comm.sendrecv(partner_idx, tag_base + round, std::move(chunk));
+    Buffer incoming = comm.sendrecv(
+        partner_idx, tag_base + round,
+        Buffer::copy_of(acc.data() + send_off,
+                        static_cast<std::size_t>(send_end - send_off)));
     const int keep_lo = lower_half ? lo : mid;
     const int keep_hi = lower_half ? mid : hi;
     CAMB_CHECK(static_cast<i64>(incoming.size()) ==

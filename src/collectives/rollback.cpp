@@ -135,7 +135,7 @@ bool RollbackState::round_sync(bool exec_success) {
     }
     for (int j = 0; j < T_; ++j) {
       if (j == me || !alive[static_cast<std::size_t>(j)]) continue;
-      flood.send(j, flood_base + sub, view);
+      flood.send(j, flood_base + sub, Buffer::copy_of(view));
     }
     for (int j = 0; j < T_; ++j) {
       if (j == me || !alive[static_cast<std::size_t>(j)]) continue;

@@ -53,7 +53,7 @@ ShrinkResult shrink(const Comm& comm, int max_failures, bool i_abandoned) {
     }
     for (int j = 0; j < p; ++j) {
       if (j == me || !alive[static_cast<std::size_t>(j)]) continue;
-      comm.send(j, tag_base + round, view);
+      comm.send(j, tag_base + round, Buffer::copy_of(view));
     }
     for (int j = 0; j < p; ++j) {
       if (j == me || !alive[static_cast<std::size_t>(j)]) continue;

@@ -1,0 +1,126 @@
+#include "machine/buffer_pool.hpp"
+
+namespace camb {
+
+namespace {
+thread_local BufferPool* tl_current_pool = nullptr;
+}  // namespace
+
+Buffer::Buffer(std::vector<double> v)
+    : storage_(std::move(v)), pool_(BufferPool::current()) {}
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : storage_(std::move(other.storage_)), pool_(other.pool_) {
+  other.storage_.clear();
+  other.pool_ = nullptr;
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    storage_ = std::move(other.storage_);
+    pool_ = other.pool_;
+    other.storage_.clear();
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+Buffer::~Buffer() { release(); }
+
+void Buffer::release() {
+  // Small storages are cheaper to free than to hand back across threads.
+  if (pool_ != nullptr &&
+      storage_.capacity() >= BufferPool::kMinPooledWords) {
+    pool_->give(std::move(storage_));
+  }
+  storage_.clear();
+  pool_ = nullptr;
+}
+
+Buffer Buffer::zeros(std::size_t words) {
+  if (words >= BufferPool::kMinPooledWords) {
+    if (BufferPool* pool = BufferPool::current()) return pool->zeros(words);
+  }
+  return Buffer(std::vector<double>(words));
+}
+
+Buffer Buffer::copy_of(const double* src, std::size_t words) {
+  if (words >= BufferPool::kMinPooledWords) {
+    if (BufferPool* pool = BufferPool::current()) {
+      return pool->copy_of(src, words);
+    }
+  }
+  return Buffer(std::vector<double>(src, src + words));
+}
+
+Buffer Buffer::copy_of(const std::vector<double>& v) {
+  return copy_of(v.data(), v.size());
+}
+
+std::vector<double> Buffer::take() && {
+  std::vector<double> out = std::move(storage_);
+  storage_.clear();
+  pool_ = nullptr;
+  return out;
+}
+
+Buffer BufferPool::zeros(std::size_t words) {
+  std::vector<double> storage = pop_free();
+  storage.assign(words, 0.0);
+  Buffer out;
+  out.storage_ = std::move(storage);
+  out.pool_ = this;
+  return out;
+}
+
+Buffer BufferPool::copy_of(const double* src, std::size_t words) {
+  std::vector<double> storage = pop_free();
+  storage.assign(src, src + words);
+  Buffer out;
+  out.storage_ = std::move(storage);
+  out.pool_ = this;
+  return out;
+}
+
+std::vector<double> BufferPool::pop_free() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.acquires;
+  if (free_.empty()) return {};
+  ++stats_.reuses;
+  std::vector<double> storage = std::move(free_.back());
+  free_.pop_back();
+  return storage;
+}
+
+void BufferPool::give(std::vector<double>&& storage) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.returns;
+  if (free_.size() >= kMaxFree) {
+    ++stats_.drops;
+    return;  // storage freed on scope exit
+  }
+  free_.push_back(std::move(storage));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.free = free_.size();
+  return out;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+}
+
+BufferPool* BufferPool::current() { return tl_current_pool; }
+
+BufferPool::Scope::Scope(BufferPool* pool) : prev_(tl_current_pool) {
+  tl_current_pool = pool;
+}
+
+BufferPool::Scope::~Scope() { tl_current_pool = prev_; }
+
+}  // namespace camb

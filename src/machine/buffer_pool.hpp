@@ -1,0 +1,181 @@
+// buffer_pool.hpp — pooled, move-only message payloads.
+//
+// Every message the simulator carries used to be a freshly heap-allocated
+// std::vector<double>; a stress sweep sends millions of them, so allocation
+// was a first-order cost of the hot path.  A Buffer is a move-only payload
+// whose storage is recycled through a per-rank free-list pool: destroying a
+// Buffer returns its storage to the pool it was drawn from, and the next
+// acquisition on that rank reuses it instead of touching the allocator.
+//
+// Ownership and hand-off rules:
+//
+//   * A Buffer drawn from (or adopted into) pool X returns its storage to X
+//     when destroyed, *no matter which thread destroys it*.  This is the
+//     cross-thread hand-off of the message path — rank A packs a payload,
+//     rank B consumes and destroys it — and is why the pool's free list is
+//     mutex-guarded even though acquisition is single-threaded per rank.
+//   * Adopting a std::vector<double> (the implicit converting constructor)
+//     is a move of the vector's storage, never a copy; the storage joins the
+//     current thread's pool cycle.  Moving a Buffer out into a vector
+//     (`take()` / the rvalue conversion) detaches the storage from the pool.
+//   * Buffers are value-identical to the vectors they wrap: zeros(n) has
+//     exactly the contents of std::vector<double>(n), so switching payload
+//     types cannot move a single bit of any computed result.
+//
+// None of this is visible to communication accounting: a Buffer's size() is
+// the word count, and words are counted exactly as before.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <mutex>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace camb {
+
+class BufferPool;
+
+/// A move-only message payload backed by pooled storage.
+class Buffer {
+ public:
+  using value_type = double;
+
+  Buffer() = default;
+
+  /// Adopt a vector's storage (a move, never a copy).  The storage joins the
+  /// calling thread's current pool cycle, if one is installed.
+  Buffer(std::vector<double> v);  // NOLINT(google-explicit-constructor)
+
+  /// Literal payloads (`send(dst, tag, {1.0, 2.0})`).
+  Buffer(std::initializer_list<double> init)
+      : Buffer(std::vector<double>(init)) {}
+
+  Buffer(Buffer&& other) noexcept;
+  Buffer& operator=(Buffer&& other) noexcept;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  ~Buffer();
+
+  /// A zero-filled n-word buffer from the current thread's pool (heap when
+  /// no pool is installed).  Contents identical to std::vector<double>(n).
+  static Buffer zeros(std::size_t words);
+
+  /// A pooled copy of `words` doubles starting at `src` — the replacement
+  /// for the pack-site idiom std::vector<double>(first, last).
+  static Buffer copy_of(const double* src, std::size_t words);
+  static Buffer copy_of(const std::vector<double>& v);
+
+  /// Move the storage out, detaching it from the pool.  The Buffer is left
+  /// empty.
+  std::vector<double> take() &&;
+
+  /// Rvalue-only conversion so `std::vector<double> v = ctx.recv(...)`
+  /// stays a one-move assignment at every legacy call site.
+  operator std::vector<double>() && { return std::move(*this).take(); }
+
+  /// Read-only view of the storage as a vector (for APIs that want one).
+  const std::vector<double>& vec() const { return storage_; }
+
+  std::size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  double* data() { return storage_.data(); }
+  const double* data() const { return storage_.data(); }
+  double& operator[](std::size_t i) { return storage_[i]; }
+  const double& operator[](std::size_t i) const { return storage_[i]; }
+  double* begin() { return storage_.data(); }
+  double* end() { return storage_.data() + storage_.size(); }
+  const double* begin() const { return storage_.data(); }
+  const double* end() const { return storage_.data() + storage_.size(); }
+
+  friend bool operator==(const Buffer& a, const std::vector<double>& b) {
+    return a.storage_ == b;
+  }
+  friend bool operator==(const std::vector<double>& a, const Buffer& b) {
+    return b.storage_ == a;
+  }
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.storage_ == b.storage_;
+  }
+
+ private:
+  friend class BufferPool;
+  void release();
+
+  std::vector<double> storage_;
+  BufferPool* pool_ = nullptr;
+};
+
+/// A free list of payload storages.  One pool per rank (owned by the
+/// Network); the rank's thread installs it as the thread's current pool for
+/// the duration of the SPMD program (BufferPool::Scope), so every payload
+/// packed on that rank draws from — and eventually returns to — its pool.
+class BufferPool {
+ public:
+  /// Reuse / return accounting (for tests and the hot-path bench).
+  struct Stats {
+    i64 acquires = 0;      ///< zeros/copy_of acquisitions served
+    i64 reuses = 0;        ///< acquisitions served from the free list
+    i64 returns = 0;       ///< storages returned by ~Buffer
+    i64 drops = 0;         ///< returns discarded because the list was full
+    std::size_t free = 0;  ///< storages currently on the free list
+  };
+
+  /// Free-list cap: bounds idle memory per rank; overflow returns are
+  /// simply freed.
+  static constexpr std::size_t kMaxFree = 64;
+
+  /// Payloads below this word count bypass the pool entirely (the static
+  /// Buffer helpers go straight to the heap and ~Buffer frees rather than
+  /// gives back).  For tiny payloads the allocator's thread-local fast path
+  /// beats a shared free list plus its cross-thread mutex; the pool's win —
+  /// dodging page faults on fresh large blocks — only exists for payloads
+  /// of real size.  (2 KiB: measured crossover on the perturbed stress
+  /// sweep, whose payloads sit just below it, vs the compute sweep, whose
+  /// block payloads sit far above.)
+  static constexpr std::size_t kMinPooledWords = 256;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A zero-filled n-word buffer owned by this pool.
+  Buffer zeros(std::size_t words);
+  /// A copy of `words` doubles owned by this pool.
+  Buffer copy_of(const double* src, std::size_t words);
+
+  /// Return a storage to the free list (called by ~Buffer, possibly from a
+  /// different thread than the one that acquired it).
+  void give(std::vector<double>&& storage);
+
+  Stats stats() const;
+  /// Drop every free storage (tests that want a cold pool).
+  void trim();
+
+  /// The calling thread's current pool (nullptr outside an SPMD program).
+  static BufferPool* current();
+
+  /// RAII installation of a thread's current pool.
+  class Scope {
+   public:
+    explicit Scope(BufferPool* pool);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    BufferPool* prev_;
+  };
+
+ private:
+  /// Pop a free storage, or an empty vector on a miss.  Lock held briefly;
+  /// the (potentially large) fill happens outside the critical section.
+  std::vector<double> pop_free();
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<double>> free_;
+  Stats stats_;
+};
+
+}  // namespace camb

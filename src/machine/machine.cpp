@@ -4,8 +4,8 @@
 #include <exception>
 #include <limits>
 #include <sstream>
-#include <thread>
 
+#include "machine/worker_pool.hpp"
 #include "util/error.hpp"
 
 namespace camb {
@@ -20,14 +20,14 @@ RankCtx::RankCtx(Machine& machine, int rank)
 
 int RankCtx::nprocs() const { return machine_.nprocs(); }
 
-void RankCtx::send(int dst, int tag, std::vector<double> payload) {
+void RankCtx::send(int dst, int tag, Buffer payload) {
   clock_ = machine_.network().send_timed(rank_, dst, tag, std::move(payload),
                                          clock_, machine_.time_params());
 }
 
-std::vector<double> RankCtx::recv(int src, int tag) {
+Buffer RankCtx::recv(int src, int tag) {
   double arrival = 0.0;
-  std::vector<double> payload;
+  Buffer payload;
   const RecvStatus status = machine_.network().recv_or_failed(
       rank_, src, tag, std::numeric_limits<double>::infinity(), &payload,
       &arrival);
@@ -40,11 +40,10 @@ std::vector<double> RankCtx::recv(int src, int tag) {
   throw PeerFailedError(src, rank_, tag, crashed);
 }
 
-std::optional<std::vector<double>> RankCtx::recv_timed(int src, int tag,
-                                                       double deadline,
-                                                       RecvStatus* status) {
+std::optional<Buffer> RankCtx::recv_timed(int src, int tag, double deadline,
+                                          RecvStatus* status) {
   double arrival = 0.0;
-  std::vector<double> payload;
+  Buffer payload;
   const RecvStatus st =
       machine_.network().recv_or_failed(rank_, src, tag, deadline, &payload,
                                         &arrival);
@@ -52,7 +51,7 @@ std::optional<std::vector<double>> RankCtx::recv_timed(int src, int tag,
   switch (st) {
     case RecvStatus::kDelivered:
       if (src != rank_) clock_ = std::max(clock_, arrival);
-      return payload;
+      return std::optional<Buffer>(std::move(payload));
     case RecvStatus::kTimedOut:
       // The receiver waited out its deadline; the matching message is still
       // "in flight" past it.
@@ -77,8 +76,7 @@ void RankCtx::abandon_below(int tag_limit) {
   machine_.note_abandon(rank_);
 }
 
-std::vector<double> RankCtx::sendrecv(int peer, int tag,
-                                      std::vector<double> payload) {
+Buffer RankCtx::sendrecv(int peer, int tag, Buffer payload) {
   send(peer, tag, std::move(payload));
   return recv(peer, tag);
 }
@@ -109,6 +107,8 @@ void RankCtx::set_phase(const std::string& phase) {
 }
 
 Network& RankCtx::network() { return machine_.network(); }
+
+BufferPool& RankCtx::pool() { return machine_.network().pool(rank_); }
 
 Machine::Machine(int nprocs, std::uint64_t seed)
     : network_(nprocs), barrier_(nprocs), seed_(seed) {}
@@ -167,33 +167,34 @@ void Machine::run(const std::function<void(RankCtx&)>& program) {
   barrier_clocks_.assign(static_cast<std::size_t>(p), 0.0);
   peak_memory_.assign(static_cast<std::size_t>(p), 0);
   outcome_ = CrashOutcome{};
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(p));
-  for (int r = 0; r < p; ++r) {
-    threads.emplace_back([&, r] {
-      RankCtx ctx(*this, r);
-      try {
-        program(ctx);
-        final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
-        peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
-      } catch (const RankCrashed& rc) {
-        // The planned crash: the rank dies cleanly, drains nothing, and its
-        // thread exits.  Survivors learn of it through the dead-marking.
-        crashed[static_cast<std::size_t>(r)] = 1;
-        crash_clock[static_cast<std::size_t>(r)] = rc.clock();
-        final_clocks_[static_cast<std::size_t>(r)] = rc.clock();
-        peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
-        handle_rank_failure(r);
-      } catch (...) {
-        // Any other failure gets the same liveness treatment so peers
-        // blocked on this rank fail over instead of deadlocking the join.
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
-        handle_rank_failure(r);
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+  // Rank bodies run on the process-wide worker pool — real OS threads, but
+  // reused across Machine runs so small programs don't pay P thread
+  // create/join pairs each.  The task catches everything; it never throws.
+  WorkerPool::instance().run(p, [&](int r) {
+    // Every payload this rank packs draws from — and returns to — its own
+    // free-list pool for the duration of the program.
+    BufferPool::Scope pool_scope(&network_.pool(r));
+    RankCtx ctx(*this, r);
+    try {
+      program(ctx);
+      final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
+      peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
+    } catch (const RankCrashed& rc) {
+      // The planned crash: the rank dies cleanly, drains nothing, and its
+      // rank body exits.  Survivors learn of it through the dead-marking.
+      crashed[static_cast<std::size_t>(r)] = 1;
+      crash_clock[static_cast<std::size_t>(r)] = rc.clock();
+      final_clocks_[static_cast<std::size_t>(r)] = rc.clock();
+      peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
+      handle_rank_failure(r);
+    } catch (...) {
+      // Any other failure gets the same liveness treatment so peers
+      // blocked on this rank fail over instead of deadlocking the join.
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
+      handle_rank_failure(r);
+    }
+  });
 
   for (int r = 0; r < p; ++r) {
     if (crashed[static_cast<std::size_t>(r)]) {

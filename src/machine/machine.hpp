@@ -64,11 +64,15 @@ class RankCtx {
   int nprocs() const;
 
   /// Point-to-point primitives (buffered send, blocking receive).
+  /// Payloads are pooled move-only Buffers; std::vector<double> arguments
+  /// convert implicitly (adopting their storage — a move, never a copy), and
+  /// a received Buffer moves back into a vector on assignment, so call sites
+  /// written against the vector API compile and behave identically.
   /// `recv` throws PeerFailedError (naming the failed rank) when `src` has
   /// been marked crashed — or marked abandoned, for tags below
   /// kRecoveryTagBase — and nothing matching remains buffered.
-  void send(int dst, int tag, std::vector<double> payload);
-  std::vector<double> recv(int src, int tag);
+  void send(int dst, int tag, Buffer payload);
+  Buffer recv(int src, int tag);
 
   /// Receive with a logical-clock deadline: returns the payload if a
   /// matching message with arrival stamp <= `deadline` is (or becomes)
@@ -78,9 +82,8 @@ class RankCtx {
   /// message stays queued and the caller's clock advances to the deadline).
   /// Pass an infinite deadline to wait out everything except failure —
   /// the shape the shrink collective is built on.
-  std::optional<std::vector<double>> recv_timed(int src, int tag,
-                                                double deadline,
-                                                RecvStatus* status = nullptr);
+  std::optional<Buffer> recv_timed(int src, int tag, double deadline,
+                                   RecvStatus* status = nullptr);
 
   /// Declare that this rank abandons the algorithm phase (typically after
   /// catching PeerFailedError mid-collective): peers blocked on its
@@ -99,7 +102,7 @@ class RankCtx {
   /// Simultaneous exchange with a peer: send `payload`, receive the peer's.
   /// Models one use of a bidirectional link; deadlock-free because sends are
   /// buffered.
-  std::vector<double> sendrecv(int peer, int tag, std::vector<double> payload);
+  Buffer sendrecv(int peer, int tag, Buffer payload);
 
   /// Whole-machine barrier (synchronizes all logical clocks to the max).
   /// Crashed and errored ranks are dropped from the barrier automatically.
@@ -135,6 +138,10 @@ class RankCtx {
   TagAllocator& tags() { return tags_; }
 
   Network& network();
+
+  /// This rank's payload pool (owned by the network; installed as the
+  /// thread's current pool while the SPMD program runs).
+  BufferPool& pool();
 
  private:
   Machine& machine_;

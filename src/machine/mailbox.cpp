@@ -1,17 +1,88 @@
 #include "machine/mailbox.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <iterator>
 
 namespace camb {
 
+std::deque<Message>& Mailbox::bucket(int src) {
+  const std::size_t idx = static_cast<std::size_t>(src);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+  return buckets_[idx];
+}
+
+void Mailbox::trim_order_front() {
+  while (!stale_.empty() && !order_.empty()) {
+    auto it = stale_.find(order_.front().seq);
+    if (it == stale_.end()) break;
+    stale_.erase(it);
+    order_.pop_front();
+  }
+}
+
+Message Mailbox::take_oldest(int src, int tag, bool indexed) {
+  std::deque<Message>& q = bucket(src);
+  auto it = std::find_if(q.begin(), q.end(),
+                         [tag](const Message& m) { return m.tag == tag; });
+  assert(it != q.end());
+  return take_at(q, it, indexed);
+}
+
+Message Mailbox::take_at(std::deque<Message>& q, std::deque<Message>::iterator it,
+                         bool indexed) {
+  Message out = std::move(*it);
+  q.erase(it);
+  if (indexed) {
+    // Fast path: the matched message is the globally oldest (the common
+    // case — most receives find an empty or shallow queue), so its index
+    // entry can be dropped directly instead of lazily via the stale set.
+    if (!order_.empty() && order_.front().seq == out.seq) {
+      order_.pop_front();
+    } else {
+      stale_.insert(out.seq);
+      compact_if_sparse();
+    }
+  }
+  --size_;
+  return out;
+}
+
+void Mailbox::compact_if_sparse() {
+  // Stale entries buried behind long-lived live entries can't be trimmed
+  // from the front; once they outnumber the live entries, rebuild the index
+  // without them.  The rebuild costs O(live + stale) and needs at least
+  // `live` further matches to trigger again, so it is amortized O(1) and
+  // bounds the index at twice the pending-message count (plus slack).
+  if (stale_.size() <= 64 || stale_.size() <= size_) return;
+  std::deque<Entry> live;
+  for (const Entry& e : order_) {
+    if (stale_.count(e.seq) == 0) live.push_back(e);
+  }
+  order_.swap(live);
+  stale_.clear();
+}
+
 void Mailbox::push(Message msg, int reorder_skip) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(msg));
-    auto pos = std::prev(queue_.end());
-    while (reorder_skip > 0 && pos != queue_.begin()) {
+    msg.seq = next_seq_++;
+    order_.push_back(Entry{msg.src, msg.tag, msg.seq});
+    bucket(msg.src).push_back(std::move(msg));
+    ++size_;
+    // The legal-reordering swap walks the lightweight index only; stale
+    // entries (whose message is already gone) are passed for free, exactly
+    // as if they were not there.  Position relative to stale entries is
+    // unobservable (every reader skips them), so once the skip budget is
+    // spent the walk stops immediately — even mid-run of stale entries.
+    auto pos = std::prev(order_.end());
+    while (reorder_skip > 0 && pos != order_.begin()) {
       auto prev = std::prev(pos);
+      if (stale_.count(prev->seq) != 0) {
+        std::iter_swap(prev, pos);
+        pos = prev;
+        continue;
+      }
       if (prev->src == pos->src && prev->tag == pos->tag) break;
       std::iter_swap(prev, pos);
       pos = prev;
@@ -24,12 +95,13 @@ void Mailbox::push(Message msg, int reorder_skip) {
 Message Mailbox::pop_matching(int src, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
-        Message out = std::move(*it);
-        queue_.erase(it);
-        return out;
-      }
+    std::deque<Message>& q = bucket(src);
+    auto it = std::find_if(q.begin(), q.end(),
+                           [tag](const Message& m) { return m.tag == tag; });
+    if (it != q.end()) {
+      Message out = take_at(q, it, /*indexed=*/true);
+      trim_order_front();
+      return out;
     }
     cv_.wait(lock);
   }
@@ -39,17 +111,18 @@ RecvStatus Mailbox::pop_matching_or_failed(int src, int tag, double max_stamp,
                                            Message* out) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
-        if (it->depart_time > max_stamp) return RecvStatus::kTimedOut;
-        *out = std::move(*it);
-        queue_.erase(it);
-        return RecvStatus::kDelivered;
-      }
+    std::deque<Message>& q = bucket(src);
+    auto it = std::find_if(q.begin(), q.end(),
+                           [tag](const Message& m) { return m.tag == tag; });
+    if (it != q.end()) {
+      if (it->depart_time > max_stamp) return RecvStatus::kTimedOut;
+      *out = take_at(q, it, /*indexed=*/true);
+      trim_order_front();
+      return RecvStatus::kDelivered;
     }
     // Nothing buffered: only now may the failure marking decide the outcome.
     // A message buffered before the source died is a program-order fact of
-    // the sender and is always delivered first (loop above).
+    // the sender and is always delivered first (match above).
     if (std::find(dead_.begin(), dead_.end(), src) != dead_.end()) {
       return RecvStatus::kSrcDead;
     }
@@ -62,9 +135,14 @@ RecvStatus Mailbox::pop_matching_or_failed(int src, int tag, double max_stamp,
 
 Message Mailbox::pop_any() {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return !queue_.empty(); });
-  Message out = std::move(queue_.front());
-  queue_.pop_front();
+  cv_.wait(lock, [&] { return size_ > 0; });
+  trim_order_front();
+  // The front index entry is the earliest live entry of its envelope, so
+  // the oldest queued message of that envelope *is* its message.
+  const Entry e = order_.front();
+  order_.pop_front();
+  Message out = take_oldest(e.src, e.tag, /*indexed=*/false);
+  assert(out.seq == e.seq);
   return out;
 }
 
@@ -88,15 +166,47 @@ void Mailbox::mark_deviated(int src, int tag_base) {
 
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return size_;
 }
 
 std::vector<Message> Mailbox::drain() {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<Message> out(std::make_move_iterator(queue_.begin()),
-                           std::make_move_iterator(queue_.end()));
-  queue_.clear();
+  std::vector<Message> out;
+  out.reserve(size_);
+  while (!order_.empty()) {
+    const Entry e = order_.front();
+    order_.pop_front();
+    auto it = stale_.find(e.seq);
+    if (it != stale_.end()) {
+      stale_.erase(it);
+      continue;
+    }
+    out.push_back(take_oldest(e.src, e.tag, /*indexed=*/false));
+  }
+  buckets_.clear();
+  stale_.clear();
+  size_ = 0;
   return out;
+}
+
+void Mailbox::drain_undelivered(int dst, std::vector<UndeliveredMessage>& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!order_.empty()) {
+    const Entry e = order_.front();
+    order_.pop_front();
+    auto it = stale_.find(e.seq);
+    if (it != stale_.end()) {
+      stale_.erase(it);
+      continue;
+    }
+    Message msg = take_oldest(e.src, e.tag, /*indexed=*/false);
+    out.push_back(UndeliveredMessage{msg.src, dst, msg.tag,
+                                     static_cast<i64>(msg.payload.size()),
+                                     std::move(msg.phase)});
+  }
+  buckets_.clear();
+  stale_.clear();
+  size_ = 0;
 }
 
 }  // namespace camb

@@ -5,6 +5,18 @@
 // This mirrors the eager-protocol semantics message-passing programs rely on
 // for small and medium messages, and keeps collective implementations simple.
 //
+// Storage layout (the hot-path redesign): messages live in *per-source
+// envelope buckets*, so pop_matching(src, tag) scans only the messages
+// `src` currently has in flight — O(match) — instead of the whole queue.
+// A separate *any-queue index* (`order_`) records global arrival order
+// (including the fault layer's legal reorderings) as lightweight
+// (src, tag, seq) entries, giving pop_any and drain exactly the order the
+// old single-deque implementation exposed without ever moving a payload to
+// reorder.  Entries whose message was matched out of a bucket are skipped
+// lazily via a stale-sequence set; because matching is FIFO per envelope,
+// the earliest live entry of an envelope always corresponds to the earliest
+// queued message of that envelope.
+//
 // Failure awareness (crash-fault support): a source rank may be marked *dead*
 // (it crashed — no further message from it will ever arrive) or *deviated*
 // (it abandoned the algorithm but still participates in the recovery
@@ -22,20 +34,35 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "machine/buffer_pool.hpp"
 #include "util/math.hpp"
 
 namespace camb {
 
 /// A message in flight: the payload plus its envelope, the logical time at
 /// which it left the sender (see machine.hpp's clock model), and the sender's
-/// phase label at send time (for leak-report forensics).
+/// phase label at send time (for leak-report forensics).  Payloads are
+/// pooled move-only Buffers: a message is moved into the mailbox and moved
+/// out to the receiver; its words are never copied in between.
 struct Message {
   int src = -1;
   int tag = 0;
   double depart_time = 0.0;
-  std::vector<double> payload;
+  Buffer payload;
+  std::string phase;
+  std::uint64_t seq = 0;  ///< arrival sequence, assigned by the mailbox
+};
+
+/// One message left in a mailbox after a run — the leak / crash-debris
+/// report entry (name the envelope, not just the count).
+struct UndeliveredMessage {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  i64 words = 0;
   std::string phase;
 };
 
@@ -59,7 +86,8 @@ class Mailbox {
   /// already-queued messages bearing a *different* (src, tag) envelope —
   /// the legal reorderings of the fault-injection layer.  Messages with the
   /// same envelope are never passed, so per-envelope FIFO order (the only
-  /// order tag-matched receives can observe) is preserved.
+  /// order tag-matched receives can observe) is preserved.  Reordering
+  /// swaps index entries, never payloads.
   void push(Message msg, int reorder_skip = 0);
 
   /// Block until a message with envelope (src, tag) is available and return
@@ -75,7 +103,8 @@ class Mailbox {
   RecvStatus pop_matching_or_failed(int src, int tag, double max_stamp,
                                     Message* out);
 
-  /// Block until any message is available and return the oldest one.
+  /// Block until any message is available and return the oldest one (in
+  /// arrival order, as perturbed by legal reorderings).
   Message pop_any();
 
   /// Mark `src` as crashed: receives from it fail over once drained.
@@ -88,13 +117,55 @@ class Mailbox {
   /// Number of queued messages (for tests / leak detection).
   std::size_t pending() const;
 
-  /// Remove and return every queued message (leak forensics / crash debris).
+  /// Remove and return every queued message (oldest first), for tests.
   std::vector<Message> drain();
 
+  /// Single-lock leak/debris sweep: append one envelope record per queued
+  /// message (oldest first) to `out` and clear the mailbox.  This is the
+  /// call Network::undelivered makes so the post-run leak report takes one
+  /// lock per mailbox instead of a pending()+drain() pair per call site.
+  void drain_undelivered(int dst, std::vector<UndeliveredMessage>& out);
+
  private:
+  /// One any-queue index entry: the envelope plus the arrival sequence of
+  /// the message it stands for.
+  struct Entry {
+    int src = -1;
+    int tag = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// The bucket for `src`, grown on demand (mailboxes are constructed
+  /// without knowing the machine size).
+  std::deque<Message>& bucket(int src);
+
+  /// Drop index-front entries whose messages were already matched out.
+  void trim_order_front();
+
+  /// Rebuild the index without stale entries once they outnumber the live
+  /// ones (stale entries buried behind long-lived live entries are
+  /// unreachable by trim_order_front).  Amortized O(1) per matching pop;
+  /// bounds the index at ~2x the pending-message count.
+  void compact_if_sparse();
+
+  /// Remove and return the oldest queued message with envelope (src, tag).
+  /// Precondition: one exists.  `indexed` says whether its index entry is
+  /// still in order_ (true for matching pops, which then mark the entry's
+  /// seq stale; false for pop_any, which removed the entry itself).
+  Message take_oldest(int src, int tag, bool indexed);
+
+  /// Extract the message at `it` from its bucket and retire its index entry
+  /// (directly if it is the index front, else via the stale set).
+  Message take_at(std::deque<Message>& q, std::deque<Message>::iterator it,
+                  bool indexed);
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::vector<std::deque<Message>> buckets_;      ///< by source
+  std::deque<Entry> order_;                       ///< any-queue index
+  std::unordered_set<std::uint64_t> stale_;       ///< matched-out entry seqs
+  std::uint64_t next_seq_ = 1;
+  std::size_t size_ = 0;
   std::vector<int> dead_;
   std::vector<std::pair<int, int>> deviated_;  ///< (src, tag_base)
 };

@@ -6,13 +6,20 @@ namespace camb {
 
 Network::Network(int nprocs) : nprocs_(nprocs), stats_(nprocs) {
   CAMB_CHECK_MSG(nprocs >= 1, "network needs at least one processor");
+  pools_.reserve(nprocs);
   mailboxes_.reserve(nprocs);
   for (int r = 0; r < nprocs; ++r) {
+    pools_.push_back(std::make_unique<BufferPool>());
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
 }
 
-void Network::send(int src, int dst, int tag, std::vector<double> payload,
+BufferPool& Network::pool(int rank) {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  return *pools_[static_cast<std::size_t>(rank)];
+}
+
+void Network::send(int src, int dst, int tag, Buffer payload,
                    double depart_time) {
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
   const bool counted = (src != dst);
@@ -23,18 +30,19 @@ void Network::send(int src, int dst, int tag, std::vector<double> payload,
                      stats_.phase(src));
     }
   }
+  // Counted or not, delivery is a move of the payload's storage into the
+  // destination mailbox; a self-send in particular costs zero copies.
   mailboxes_[dst]->push(Message{src, tag, depart_time, std::move(payload),
                                 stats_.phase(src)});
 }
 
-double Network::send_timed(int src, int dst, int tag,
-                           std::vector<double> payload, double clock,
-                           const AlphaBeta& params) {
+double Network::send_timed(int src, int dst, int tag, Buffer payload,
+                           double clock, const AlphaBeta& params) {
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
   if (src == dst) {
     // Self-sends are free and fault-exempt: the data never leaves local
     // memory, so there is nothing for the network to perturb — and nothing
-    // for a crash to interrupt.
+    // for a crash to interrupt.  The payload is delivered by move.
     mailboxes_[dst]->push(Message{src, tag, clock, std::move(payload),
                                   stats_.phase(src)});
     return clock;
@@ -72,8 +80,7 @@ double Network::send_timed(int src, int dst, int tag,
   return clock;
 }
 
-std::vector<double> Network::recv(int dst, int src, int tag,
-                                  double* arrival_time) {
+Buffer Network::recv(int dst, int src, int tag, double* arrival_time) {
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
   Message msg = mailboxes_[dst]->pop_matching(src, tag);
   if (src != dst) {
@@ -84,8 +91,7 @@ std::vector<double> Network::recv(int dst, int src, int tag,
 }
 
 RecvStatus Network::recv_or_failed(int dst, int src, int tag, double deadline,
-                                   std::vector<double>* payload,
-                                   double* arrival_time) {
+                                   Buffer* payload, double* arrival_time) {
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
   Message msg;
   const RecvStatus status =
@@ -132,11 +138,7 @@ std::size_t Network::pending_messages() const {
 std::vector<UndeliveredMessage> Network::undelivered() {
   std::vector<UndeliveredMessage> out;
   for (int dst = 0; dst < nprocs_; ++dst) {
-    for (Message& msg : mailboxes_[static_cast<std::size_t>(dst)]->drain()) {
-      out.push_back(UndeliveredMessage{msg.src, dst, msg.tag,
-                                       static_cast<i64>(msg.payload.size()),
-                                       std::move(msg.phase)});
-    }
+    mailboxes_[static_cast<std::size_t>(dst)]->drain_undelivered(dst, out);
   }
   return out;
 }

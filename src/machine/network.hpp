@@ -3,29 +3,26 @@
 // The network owns one mailbox per processor and is the single point through
 // which every message flows, so communication accounting is exact by
 // construction: a word cannot move between ranks without being counted.
+//
+// It also owns one BufferPool per processor: payloads are move-only pooled
+// Buffers, packed once on the sender, moved through the mailbox, and moved
+// out to the receiver — the words of a message are never copied in transit.
+// Self-sends (which the model does not count) likewise deliver by move: the
+// payload's storage travels from the send call to the matching receive
+// without touching the allocator or the word counters.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "machine/buffer_pool.hpp"
 #include "machine/comm_stats.hpp"
 #include "machine/faults.hpp"
 #include "machine/mailbox.hpp"
 #include "machine/trace.hpp"
 
 namespace camb {
-
-/// One message left in a mailbox after a run — the leak / crash-debris
-/// report entry (satellite of the crash subsystem: name the envelope, not
-/// just the count).
-struct UndeliveredMessage {
-  int src = -1;
-  int dst = -1;
-  int tag = 0;
-  i64 words = 0;
-  std::string phase;
-};
 
 class Network {
  public:
@@ -34,6 +31,10 @@ class Network {
   int nprocs() const { return nprocs_; }
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }
+
+  /// The payload pool of rank `rank`; the rank's thread installs it as its
+  /// current pool (BufferPool::Scope) for the duration of an SPMD program.
+  BufferPool& pool(int rank);
 
   /// Attach (or detach with nullptr) an event trace; every subsequent
   /// counted send is recorded there.  Not owned.
@@ -53,9 +54,10 @@ class Network {
   /// Send `payload` from rank `src` to rank `dst` with tag `tag`.
   /// Buffered: returns as soon as the message is deposited. Self-sends are
   /// permitted and delivered but are NOT counted as communication (data that
-  /// stays in a processor's local memory is free in the model).
+  /// stays in a processor's local memory is free in the model); their
+  /// payload is delivered by move, storage intact.
   /// `depart_time` stamps the sender's logical clock onto the message.
-  void send(int src, int dst, int tag, std::vector<double> payload,
+  void send(int src, int dst, int tag, Buffer payload,
             double depart_time = 0.0);
 
   /// The clocked (and fault-injecting) send used by RankCtx: charges the
@@ -68,15 +70,14 @@ class Network {
   /// clock.  With no plans attached this is exactly the historical
   /// behaviour: clock + alpha + beta * words for counted sends, clock for
   /// self-sends.
-  double send_timed(int src, int dst, int tag, std::vector<double> payload,
-                    double clock, const AlphaBeta& params);
+  double send_timed(int src, int dst, int tag, Buffer payload, double clock,
+                    const AlphaBeta& params);
 
   /// Blocking receive at rank `dst` of the message (src, tag).
   /// `arrival_time`, when non-null, receives the message's departure stamp.
   /// Oblivious to failure marking — callers that must survive crashed peers
   /// use recv_or_failed.
-  std::vector<double> recv(int dst, int src, int tag,
-                           double* arrival_time = nullptr);
+  Buffer recv(int dst, int src, int tag, double* arrival_time = nullptr);
 
   /// Failure-aware receive: blocks until a matching message with arrival
   /// stamp <= `deadline` is delivered, a matching message past the deadline
@@ -87,8 +88,7 @@ class Network {
   /// dedicated "heartbeat" phase — detection costs latency/messages, never
   /// words, and never pollutes algorithm phases.
   RecvStatus recv_or_failed(int dst, int src, int tag, double deadline,
-                            std::vector<double>* payload,
-                            double* arrival_time = nullptr);
+                            Buffer* payload, double* arrival_time = nullptr);
 
   /// Mark `rank` as crashed in every mailbox: pending receives targeting it
   /// fail over (after draining anything it buffered before dying).
@@ -108,8 +108,9 @@ class Network {
   /// leaves zero behind.
   std::size_t pending_messages() const;
 
-  /// Drain every mailbox and return the envelopes left behind (leak
-  /// forensics after a clean run, crash debris after a faulted one).
+  /// Sweep every mailbox in one pass — one lock acquisition per mailbox —
+  /// and return the envelopes left behind (leak forensics after a clean
+  /// run, crash debris after a faulted one).  Clears the mailboxes.
   std::vector<UndeliveredMessage> undelivered();
 
  private:
@@ -118,6 +119,10 @@ class Network {
   Trace* trace_ = nullptr;
   FaultPlan* fault_plan_ = nullptr;
   CrashPlan* crash_plan_ = nullptr;
+  // Pools are declared before mailboxes and so outlive them during
+  // destruction: a queued Buffer destroyed by ~Mailbox can always reach its
+  // origin pool.
+  std::vector<std::unique_ptr<BufferPool>> pools_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 

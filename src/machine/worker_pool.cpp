@@ -1,0 +1,83 @@
+#include "machine/worker_pool.hpp"
+
+namespace camb {
+
+namespace {
+// Set while a pool worker runs a task, so a nested Machine::run on this
+// thread knows the pool is not available to it.
+thread_local bool tl_is_pool_worker = false;
+}  // namespace
+
+WorkerPool& WorkerPool::instance() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exit_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkerPool::ensure_workers(int p) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (workers_.size() < static_cast<std::size_t>(p)) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void WorkerPool::worker_loop() {
+  tl_is_pool_worker = true;
+  for (;;) {
+    int arg = -1;
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return exit_ || (task_ != nullptr && next_arg_ < total_);
+      });
+      if (exit_) return;
+      arg = next_arg_++;
+      task = task_;
+    }
+    (*task)(arg);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(int p, const std::function<void(int)>& task) {
+  if (p <= 0) return;
+  // A pool worker (nested run) or a concurrent run cannot borrow the pool;
+  // plain threads are always correct.
+  if (tl_is_pool_worker || !serial_mutex_.try_lock()) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) threads.emplace_back([&task, r] { task(r); });
+    for (auto& t : threads) t.join();
+    return;
+  }
+  std::lock_guard<std::mutex> serial(serial_mutex_, std::adopt_lock);
+  ensure_workers(p);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    total_ = p;
+    next_arg_ = 0;
+    remaining_ = p;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+    total_ = 0;
+  }
+}
+
+}  // namespace camb

@@ -1,0 +1,65 @@
+// worker_pool.hpp — reusable OS threads for SPMD rank execution.
+//
+// A stress sweep constructs thousands of Machines, and every run used to pay
+// P pthread create/join pairs — the dominant cost of small runs.  The pool
+// keeps rank workers alive across Machine::run calls: a run dispatches its
+// P rank bodies to idle workers (growing the pool to P on demand) and
+// blocks until all of them finish.  Worker threads are real OS threads, so
+// every concurrency property of the simulator (mailbox blocking, barrier
+// waits, TSan analysis) is unchanged — only thread *creation* is amortized.
+//
+// Deadlock-freedom: rank bodies synchronize with each other, so all P tasks
+// of a run must be able to execute concurrently.  ensure_workers(P)
+// guarantees at least P workers exist before any task is claimed; a free
+// worker always remains for every unclaimed task (workers ≥ P ≥ running +
+// unclaimed), so every rank eventually runs.
+//
+// Reentrancy: a rank body that itself runs a nested Machine (or a second
+// thread racing into Machine::run) cannot use the pool — the outer run
+// holds it.  Those callers fall back to plain std::thread spawning, which
+// is always correct, just slower.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace camb {
+
+class WorkerPool {
+ public:
+  /// The process-wide pool (workers are shared by every Machine).
+  static WorkerPool& instance();
+
+  /// Run task(0) .. task(p-1), each on its own worker thread, and block
+  /// until all have returned.  Tasks must not throw (Machine::run's rank
+  /// lambda catches everything).  Falls back to plain threads when the pool
+  /// is unavailable (nested or concurrent call).
+  void run(int p, const std::function<void(int)>& task);
+
+  ~WorkerPool();
+
+ private:
+  WorkerPool() = default;
+
+  void ensure_workers(int p);
+  void worker_loop();
+
+  /// Serializes whole runs; try-locked so a nested/concurrent run degrades
+  /// to plain threads instead of deadlocking.
+  std::mutex serial_mutex_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int)>* task_ = nullptr;  ///< current run's task
+  int total_ = 0;      ///< ranks in the current run
+  int next_arg_ = 0;   ///< next unclaimed rank
+  int remaining_ = 0;  ///< tasks not yet finished
+  bool exit_ = false;
+};
+
+}  // namespace camb

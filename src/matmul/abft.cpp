@@ -165,11 +165,11 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
           my_row, 0, pad_cols(b_panel, b_rows, b_cols, d3max));
       if (i == 0 && j == g - 1) {
         my_col.send(static_cast<int>(g - 1),
-                    fwd_a_tags + static_cast<int>(t), asum);
+                    fwd_a_tags + static_cast<int>(t), Buffer::copy_of(asum));
       }
       if (i == g - 1 && j == 0) {
         my_row.send(static_cast<int>(g - 1),
-                    fwd_b_tags + static_cast<int>(t), bsum);
+                    fwd_b_tags + static_cast<int>(t), Buffer::copy_of(bsum));
       }
       if (hold_s) {
         // S_j += (sum_i pad(A_it)) * B_tj  ==  sum_i pad_rows(A_it B_tj).
@@ -555,11 +555,11 @@ SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
         coll::reduce(my_row, 0, pad_cols(b_panel, b_rows, b_cols, d3max));
     if (i == 0 && j == g - 1) {
       my_col.send(static_cast<int>(g - 1), fwd_a_tags + static_cast<int>(t),
-                  asum);
+                  Buffer::copy_of(asum));
     }
     if (i == g - 1 && j == 0) {
       my_row.send(static_cast<int>(g - 1), fwd_b_tags + static_cast<int>(t),
-                  bsum);
+                  Buffer::copy_of(bsum));
     }
     if (hold_s) {
       gemm_accumulate(to_matrix(asum, d1max, a_cols), b_mat, s_sum);

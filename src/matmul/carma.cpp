@@ -26,8 +26,8 @@ std::vector<double> replicate_exchange(const coll::Comm& comm,
   const int s = comm.size() / 2;
   const int pidx = comm.my_index();
   // Send my chunk to the member of each half that needs it.
-  comm.send(pidx / 2, tag, mine);
-  comm.send(s + pidx / 2, tag, mine);
+  comm.send(pidx / 2, tag, Buffer::copy_of(mine));
+  comm.send(s + pidx / 2, tag, Buffer::copy_of(mine));
   // Receive parent chunks 2i and 2i+1, i = my index within my half.
   const int i = pidx < s ? pidx : pidx - s;
   std::vector<double> lowpart = comm.recv(2 * i, tag);

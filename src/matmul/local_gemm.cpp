@@ -1,12 +1,173 @@
 #include "matmul/local_gemm.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "util/error.hpp"
 
+// The AVX2 micro-kernel is compiled per-function via the `target` attribute
+// and selected at runtime, so the library still runs on any x86-64 (and the
+// translation unit's baseline arch stays the build default).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CAMB_GEMM_AVX2_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace camb::mm {
 
+namespace {
+
+// The micro-kernel computes an mr×nr tile of C over a packed kc×nc panel of
+// B.  Accumulators live in registers for the whole k loop; each output
+// element sums its products in ascending k — the same order as the
+// reference kernel, so the result is bit-identical (absent FMA contraction,
+// which the default target arch cannot do).
+
+template <i64 MR>
+inline void micro_full(const double* a, i64 lda, const double* bp, i64 nc,
+                       double* c, i64 ldc, i64 kc) {
+  double acc[MR][kGemmNr];
+  for (i64 r = 0; r < MR; ++r) {
+    for (i64 v = 0; v < kGemmNr; ++v) acc[r][v] = c[r * ldc + v];
+  }
+  for (i64 k = 0; k < kc; ++k) {
+    const double* brow = bp + k * nc;
+    for (i64 r = 0; r < MR; ++r) {
+      const double ar = a[r * lda + k];
+      for (i64 v = 0; v < kGemmNr; ++v) acc[r][v] += ar * brow[v];
+    }
+  }
+  for (i64 r = 0; r < MR; ++r) {
+    for (i64 v = 0; v < kGemmNr; ++v) c[r * ldc + v] = acc[r][v];
+  }
+}
+
+#ifdef CAMB_GEMM_AVX2_DISPATCH
+// AVX2 variant of the 4×8 micro-tile.  Bit-identity with the scalar kernels
+// holds by construction: vmulpd/vaddpd round each lane exactly as the scalar
+// mul and add do, the k order is unchanged, and fusion into FMA is
+// impossible — the function's target is avx2, which does not include FMA.
+__attribute__((target("avx2"))) void micro_full_avx2(const double* a, i64 lda,
+                                                     const double* bp, i64 nc,
+                                                     double* c, i64 ldc,
+                                                     i64 kc) {
+  static_assert(kGemmMr == 4 && kGemmNr == 8,
+                "micro_full_avx2 is written for a 4x8 tile");
+  __m256d a0lo = _mm256_loadu_pd(c + 0 * ldc);
+  __m256d a0hi = _mm256_loadu_pd(c + 0 * ldc + 4);
+  __m256d a1lo = _mm256_loadu_pd(c + 1 * ldc);
+  __m256d a1hi = _mm256_loadu_pd(c + 1 * ldc + 4);
+  __m256d a2lo = _mm256_loadu_pd(c + 2 * ldc);
+  __m256d a2hi = _mm256_loadu_pd(c + 2 * ldc + 4);
+  __m256d a3lo = _mm256_loadu_pd(c + 3 * ldc);
+  __m256d a3hi = _mm256_loadu_pd(c + 3 * ldc + 4);
+  for (i64 k = 0; k < kc; ++k) {
+    const double* brow = bp + k * nc;
+    const __m256d blo = _mm256_loadu_pd(brow);
+    const __m256d bhi = _mm256_loadu_pd(brow + 4);
+    __m256d ar = _mm256_set1_pd(a[0 * lda + k]);
+    a0lo = _mm256_add_pd(a0lo, _mm256_mul_pd(ar, blo));
+    a0hi = _mm256_add_pd(a0hi, _mm256_mul_pd(ar, bhi));
+    ar = _mm256_set1_pd(a[1 * lda + k]);
+    a1lo = _mm256_add_pd(a1lo, _mm256_mul_pd(ar, blo));
+    a1hi = _mm256_add_pd(a1hi, _mm256_mul_pd(ar, bhi));
+    ar = _mm256_set1_pd(a[2 * lda + k]);
+    a2lo = _mm256_add_pd(a2lo, _mm256_mul_pd(ar, blo));
+    a2hi = _mm256_add_pd(a2hi, _mm256_mul_pd(ar, bhi));
+    ar = _mm256_set1_pd(a[3 * lda + k]);
+    a3lo = _mm256_add_pd(a3lo, _mm256_mul_pd(ar, blo));
+    a3hi = _mm256_add_pd(a3hi, _mm256_mul_pd(ar, bhi));
+  }
+  _mm256_storeu_pd(c + 0 * ldc, a0lo);
+  _mm256_storeu_pd(c + 0 * ldc + 4, a0hi);
+  _mm256_storeu_pd(c + 1 * ldc, a1lo);
+  _mm256_storeu_pd(c + 1 * ldc + 4, a1hi);
+  _mm256_storeu_pd(c + 2 * ldc, a2lo);
+  _mm256_storeu_pd(c + 2 * ldc + 4, a2hi);
+  _mm256_storeu_pd(c + 3 * ldc, a3lo);
+  _mm256_storeu_pd(c + 3 * ldc + 4, a3hi);
+}
+#endif  // CAMB_GEMM_AVX2_DISPATCH
+
+using MicroFullFn = void (*)(const double*, i64, const double*, i64, double*,
+                             i64, i64);
+
+MicroFullFn resolve_micro_full() {
+#ifdef CAMB_GEMM_AVX2_DISPATCH
+  if (__builtin_cpu_supports("avx2")) return micro_full_avx2;
+#endif
+  return micro_full<kGemmMr>;
+}
+
+// Edge micro-tile with runtime mr×nr (bottom rows / rightmost columns).
+inline void micro_edge(const double* a, i64 lda, const double* bp, i64 nc,
+                       double* c, i64 ldc, i64 kc, i64 mr, i64 nr) {
+  double acc[kGemmMr][kGemmNr];
+  for (i64 r = 0; r < mr; ++r) {
+    for (i64 v = 0; v < nr; ++v) acc[r][v] = c[r * ldc + v];
+  }
+  for (i64 k = 0; k < kc; ++k) {
+    const double* brow = bp + k * nc;
+    for (i64 r = 0; r < mr; ++r) {
+      const double ar = a[r * lda + k];
+      for (i64 v = 0; v < nr; ++v) acc[r][v] += ar * brow[v];
+    }
+  }
+  for (i64 r = 0; r < mr; ++r) {
+    for (i64 v = 0; v < nr; ++v) c[r * ldc + v] = acc[r][v];
+  }
+}
+
+}  // namespace
+
 void gemm_accumulate(const MatrixD& a, const MatrixD& b, MatrixD& c) {
+  CAMB_CHECK_MSG(a.cols() == b.rows(), "inner dimensions must agree");
+  CAMB_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(),
+                 "output shape mismatch");
+  const i64 rows = a.rows(), inner = a.cols(), cols = b.cols();
+  const double* adata = a.data();
+  const double* bdata = b.data();
+  double* cdata = c.data();
+  // Resolved once per process (magic static): AVX2 micro-tile if the CPU
+  // has it, the portable template otherwise.  Both produce identical bits.
+  static const MicroFullFn micro = resolve_micro_full();
+  // Panel scratch is reused across calls on the same thread; in the
+  // simulator every rank thread runs many GEMMs of identical block shape.
+  static thread_local std::vector<double> panel;
+  for (i64 k0 = 0; k0 < inner; k0 += kGemmKc) {
+    const i64 kc = std::min(kGemmKc, inner - k0);
+    for (i64 j0 = 0; j0 < cols; j0 += kGemmNc) {
+      const i64 nc = std::min(kGemmNc, cols - j0);
+      panel.resize(static_cast<std::size_t>(kc * nc));
+      for (i64 k = 0; k < kc; ++k) {
+        std::memcpy(panel.data() + k * nc, bdata + (k0 + k) * cols + j0,
+                    static_cast<std::size_t>(nc) * sizeof(double));
+      }
+      i64 i = 0;
+      for (; i + kGemmMr <= rows; i += kGemmMr) {
+        i64 j = 0;
+        for (; j + kGemmNr <= nc; j += kGemmNr) {
+          micro(adata + i * inner + k0, inner, panel.data() + j, nc,
+                cdata + i * cols + j0 + j, cols, kc);
+        }
+        if (j < nc) {
+          micro_edge(adata + i * inner + k0, inner, panel.data() + j, nc,
+                     cdata + i * cols + j0 + j, cols, kc, kGemmMr, nc - j);
+        }
+      }
+      if (i < rows) {
+        for (i64 j = 0; j < nc; j += kGemmNr) {
+          const i64 nr = std::min(kGemmNr, nc - j);
+          micro_edge(adata + i * inner + k0, inner, panel.data() + j, nc,
+                     cdata + i * cols + j0 + j, cols, kc, rows - i, nr);
+        }
+      }
+    }
+  }
+}
+
+void gemm_accumulate_reference(const MatrixD& a, const MatrixD& b, MatrixD& c) {
   CAMB_CHECK_MSG(a.cols() == b.rows(), "inner dimensions must agree");
   CAMB_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(),
                  "output shape mismatch");

@@ -1,13 +1,19 @@
 // local_gemm.hpp — the local (per-processor) dense multiplication kernel,
 // i.e. the γ part of the α-β-γ model.
 //
-// A register/cache-blocked triple loop: not a vendor BLAS, but an honest
-// kernel with the right loop order (i-k-j, unit-stride inner loop) and cache
-// tiling, so the kernel microbenchmarks in bench_kernels measure something
-// meaningful.  Numerically it computes the same sums as the reference
-// implementation (floating-point addition order per output element is
-// identical: ascending k), which keeps distributed results bit-comparable
-// paths short in tests.
+// A register-blocked, panel-packed kernel: not a vendor BLAS, but an honest
+// kernel with the structure of one (packed B panel for unit-stride reuse,
+// an mr×nr register micro-tile, k innermost).  On x86-64 the full micro-tile
+// additionally has an AVX2 variant selected at runtime (per-function target
+// attribute + cpuid check), so the build stays portable.  Numerically every
+// path computes the same sums as the reference implementation —
+// floating-point addition order per output element is identical (ascending
+// k), and the AVX2 path uses separate vmulpd/vaddpd, which round exactly
+// like scalar mul+add and cannot be fused (its target lacks FMA) — which
+// keeps distributed results bit-comparable and the golden equivalence sweep
+// stable.  (That equivalence holds at the default target arch; building
+// with CAMB_NATIVE may let the compiler contract the *scalar* kernels'
+// mul+add into FMAs, which changes low-order bits.)
 #pragma once
 
 #include "util/matrix.hpp"
@@ -17,13 +23,25 @@ namespace camb::mm {
 using camb::i64;
 using camb::MatrixD;
 
-/// C += A * B with cache tiling.  Shapes: A is r×c, B is c×s, C is r×s.
+/// C += A * B, register-blocked.  Shapes: A is r×c, B is c×s, C is r×s.
 void gemm_accumulate(const MatrixD& a, const MatrixD& b, MatrixD& c);
+
+/// C += A * B as a plain tiled triple loop (the pre-blocking kernel).  The
+/// bit-exactness oracle: gemm_accumulate must produce exactly these bits on
+/// every shape.  Also the "before" side of the kernel benchmark.
+void gemm_accumulate_reference(const MatrixD& a, const MatrixD& b, MatrixD& c);
 
 /// C = A * B (allocates C).
 MatrixD gemm(const MatrixD& a, const MatrixD& b);
 
-/// Tile edge used by the blocked kernel (exposed for the kernel bench).
+/// Tile edge used by the reference kernel (exposed for the kernel bench).
 inline constexpr i64 kGemmTile = 64;
+
+/// Blocking parameters of the register-blocked kernel (exposed so the
+/// bit-exactness test can probe tile-boundary ±1 shapes deliberately).
+inline constexpr i64 kGemmMr = 4;    ///< micro-tile rows
+inline constexpr i64 kGemmNr = 8;    ///< micro-tile cols
+inline constexpr i64 kGemmKc = 192;  ///< packed-panel depth
+inline constexpr i64 kGemmNc = 256;  ///< packed-panel width
 
 }  // namespace camb::mm

@@ -1,0 +1,110 @@
+// bench_report — render a BENCH_PR5.json hot-path report as a table.
+//
+// The repo carries no JSON library, and the report format is fixed (emitted
+// by bench_hotpath), so this uses a small key-scanning extractor rather than
+// a general parser.  Usage: bench_report [PATH]   (default: BENCH_PR5.json)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Value of the first occurrence of `"key": <number>` at or after `from`.
+// Returns false if the key is absent.
+bool find_number(const std::string& text, const std::string& key, double* out,
+                 std::size_t from = 0, std::size_t* pos_out = nullptr) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle, from);
+  if (pos == std::string::npos) return false;
+  const char* start = text.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = value;
+  if (pos_out != nullptr) *pos_out = pos;
+  return true;
+}
+
+bool find_string(const std::string& text, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t begin = pos + needle.size();
+  const std::size_t close = text.find('"', begin);
+  if (close == std::string::npos) return false;
+  *out = text.substr(begin, close - begin);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_PR5.json";
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_report: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::string mode;
+  find_string(text, "mode", &mode);
+  std::printf("hot-path benchmark report (%s)%s\n", path.c_str(),
+              mode.empty() ? "" : ("  [" + mode + " mode]").c_str());
+
+  double before = 0.0, after = 0.0, speedup = 0.0, ring = 0.0;
+  if (find_number(text, "before_msgs_per_sec", &before) &&
+      find_number(text, "after_msgs_per_sec", &after) &&
+      find_number(text, "speedup", &speedup)) {
+    std::printf("\nmailbox (matched pop, 63-source backlog)\n");
+    std::printf("  %-12s %14.0f msgs/s\n", "before", before);
+    std::printf("  %-12s %14.0f msgs/s\n", "after", after);
+    std::printf("  %-12s %13.2fx\n", "speedup", speedup);
+  }
+  if (find_number(text, "machine_ring_p8_msgs_per_sec", &ring)) {
+    std::printf("  %-12s %14.0f msgs/s (end-to-end, P=8)\n", "ring", ring);
+  }
+
+  // The gemm array: walk successive "n" keys.
+  std::size_t cursor = text.find("\"gemm\":");
+  if (cursor != std::string::npos) {
+    std::printf("\ngemm (GFLOP/s, square n)\n");
+    std::printf("  %6s %10s %10s %9s\n", "n", "before", "after", "speedup");
+    double n = 0.0;
+    std::size_t at = 0;
+    while (find_number(text, "n", &n, cursor, &at)) {
+      double b = 0.0, a = 0.0, s = 0.0;
+      if (!find_number(text, "before_gflops", &b, at) ||
+          !find_number(text, "after_gflops", &a, at) ||
+          !find_number(text, "speedup", &s, at)) {
+        break;
+      }
+      std::printf("  %6.0f %10.2f %10.2f %8.2fx\n", n, b, a, s);
+      cursor = at + 1;
+      if (text.find("\"n\":", cursor) > text.find("\"stress_sweep\"", cursor)) {
+        break;  // don't read past the gemm array
+      }
+    }
+  }
+
+  double seeds = 0.0, cur = 0.0, recorded = 0.0;
+  if (find_number(text, "seeds", &seeds) &&
+      find_number(text, "current_best_sec", &cur)) {
+    std::printf("\nperturbed stress sweep (%d seeds)\n",
+                static_cast<int>(seeds));
+    std::printf("  %-22s %8.3f s\n", "current (best)", cur);
+    if (find_number(text, "seed_build_interleaved_best_sec", &recorded)) {
+      std::printf("  %-22s %8.3f s (interleaved seed-build runs, same host)\n",
+                  "seed build (best)", recorded);
+      if (recorded > 0.0) {
+        std::printf("  %-22s %8.2fx faster\n", "wall-clock", recorded / cur);
+      }
+    }
+  }
+  return 0;
+}
