@@ -1,14 +1,26 @@
 // barrier.hpp — reusable sense-reversing barrier for the simulated machine.
 //
 // We implement our own rather than use std::barrier so the machine can keep
-// full control over synchronization semantics (no completion function, no
-// arrival tokens) and so the barrier can be reused an unbounded number of
-// times by exactly `count` participants.
+// full control over synchronization semantics (participants can be dropped
+// mid-run when ranks crash) and so the barrier can be reused an unbounded
+// number of times by exactly `count` participants.
+//
+// Fiber awareness: a participant running on a fiber parks instead of
+// blocking its worker thread (see fiber.hpp), so a 65,536-rank barrier
+// occupies pool-width OS threads, not 65,536.
+//
+// The optional on_release hook runs exactly once per release — by the last
+// arriver (or the drop that released the survivors), under the barrier
+// mutex, before anyone is woken.  Machine uses it to reduce the barrier
+// clocks to their max once per barrier instead of once per rank, turning
+// the whole-machine clock sync from O(P^2) reads into O(P).
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 
+#include "machine/fiber.hpp"
 #include "util/error.hpp"
 
 namespace camb {
@@ -22,16 +34,19 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
+  /// Hook run by the releasing participant, under the barrier mutex, each
+  /// time the barrier trips (including a release via drop_participant).
+  void set_on_release(std::function<void()> fn) { on_release_ = std::move(fn); }
+
   /// Block until all current participants have arrived.
   void arrive_and_wait() {
     std::unique_lock<std::mutex> lock(mutex_);
     const bool my_sense = sense_;
     if (++waiting_ >= count_) {
-      waiting_ = 0;
-      sense_ = !sense_;
-      cv_.notify_all();
+      release();
     } else {
-      cv_.wait(lock, [&] { return sense_ != my_sense; });
+      fiber_aware_wait(lock, cv_, waiters_,
+                       [&] { return sense_ != my_sense; });
     }
   }
 
@@ -43,18 +58,31 @@ class Barrier {
     --count_;
     CAMB_CHECK_MSG(count_ >= 0, "barrier lost more participants than it had");
     if (waiting_ >= count_ && count_ > 0) {
-      waiting_ = 0;
-      sense_ = !sense_;
+      release();
+    } else {
+      cv_.notify_all();
+      waiters_.notify_all();
     }
-    cv_.notify_all();
   }
 
  private:
+  /// Trip the barrier (mutex held): run the hook, flip the sense, wake
+  /// every waiter — parked fibers and blocked threads alike.
+  void release() {
+    waiting_ = 0;
+    if (on_release_) on_release_();
+    sense_ = !sense_;
+    cv_.notify_all();
+    waiters_.notify_all();
+  }
+
   int count_;
   int waiting_;
   bool sense_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  FiberWaitList waiters_;
+  std::function<void()> on_release_;
 };
 
 }  // namespace camb

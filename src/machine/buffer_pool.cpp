@@ -1,9 +1,19 @@
 #include "machine/buffer_pool.hpp"
 
+#include "machine/fiber.hpp"
+
 namespace camb {
 
 namespace {
 thread_local BufferPool* tl_current_pool = nullptr;
+
+/// The slot behind BufferPool::current(): per-fiber when running on a fiber
+/// (the installed pool must migrate with the rank, not stay behind on a
+/// worker thread that picks up a different rank next), per-thread otherwise.
+BufferPool*& current_pool_slot() {
+  if (Fiber* fiber = Fiber::current()) return fiber->pool_slot();
+  return tl_current_pool;
+}
 }  // namespace
 
 Buffer::Buffer(std::vector<double> v)
@@ -115,12 +125,14 @@ void BufferPool::trim() {
   free_.clear();
 }
 
-BufferPool* BufferPool::current() { return tl_current_pool; }
+BufferPool* BufferPool::current() { return current_pool_slot(); }
 
-BufferPool::Scope::Scope(BufferPool* pool) : prev_(tl_current_pool) {
-  tl_current_pool = pool;
+BufferPool::Scope::Scope(BufferPool* pool) {
+  BufferPool*& slot = current_pool_slot();
+  prev_ = slot;
+  slot = pool;
 }
 
-BufferPool::Scope::~Scope() { tl_current_pool = prev_; }
+BufferPool::Scope::~Scope() { current_pool_slot() = prev_; }
 
 }  // namespace camb

@@ -23,6 +23,10 @@ int RankCtx::nprocs() const { return machine_.nprocs(); }
 void RankCtx::send(int dst, int tag, Buffer payload) {
   clock_ = machine_.network().send_timed(rank_, dst, tag, std::move(payload),
                                          clock_, machine_.time_params());
+  // Chaos-mode fuzz hook (no-op otherwise): yield after every communication
+  // call so seeded schedules explore interleavings that natural blocking
+  // points would never produce.
+  Fiber::maybe_preempt();
 }
 
 Buffer RankCtx::recv(int src, int tag) {
@@ -33,6 +37,7 @@ Buffer RankCtx::recv(int src, int tag) {
       &arrival);
   if (status == RecvStatus::kDelivered) {
     if (src != rank_) clock_ = std::max(clock_, arrival);
+    Fiber::maybe_preempt();
     return payload;
   }
   const bool crashed = (status == RecvStatus::kSrcDead);
@@ -51,6 +56,7 @@ std::optional<Buffer> RankCtx::recv_timed(int src, int tag, double deadline,
   switch (st) {
     case RecvStatus::kDelivered:
       if (src != rank_) clock_ = std::max(clock_, arrival);
+      Fiber::maybe_preempt();
       return std::optional<Buffer>(std::move(payload));
     case RecvStatus::kTimedOut:
       // The receiver waited out its deadline; the matching message is still
@@ -111,7 +117,17 @@ Network& RankCtx::network() { return machine_.network(); }
 BufferPool& RankCtx::pool() { return machine_.network().pool(rank_); }
 
 Machine::Machine(int nprocs, std::uint64_t seed)
-    : network_(nprocs), barrier_(nprocs), seed_(seed) {}
+    : network_(nprocs), barrier_(nprocs), seed_(seed) {
+  // Reduce the barrier clocks to their max once per release (by the
+  // releasing participant, under the barrier mutex) instead of once per
+  // rank: sync_clock_at_barrier would otherwise read O(P) slots on each of
+  // P ranks — O(P^2) per barrier, real seconds at P = 65,536.
+  barrier_.set_on_release([this] {
+    double worst = 0.0;
+    for (double c : barrier_clocks_) worst = std::max(worst, c);
+    barrier_max_ = worst;
+  });
+}
 
 Trace& Machine::enable_trace() {
   if (!trace_) {
@@ -167,10 +183,13 @@ void Machine::run(const std::function<void(RankCtx&)>& program) {
   barrier_clocks_.assign(static_cast<std::size_t>(p), 0.0);
   peak_memory_.assign(static_cast<std::size_t>(p), 0);
   outcome_ = CrashOutcome{};
-  // Rank bodies run on the process-wide worker pool — real OS threads, but
-  // reused across Machine runs so small programs don't pay P thread
-  // create/join pairs each.  The task catches everything; it never throws.
-  WorkerPool::instance().run(p, [&](int r) {
+  // Under the threads scheduler, rank bodies run on the process-wide worker
+  // pool — real OS threads, reused across Machine runs so small programs
+  // don't pay P thread create/join pairs each.  Under the fiber scheduler,
+  // the same bodies run as cooperatively scheduled fibers multiplexed onto
+  // pool-width threads (fiber.hpp) — the mode that reaches P in the tens of
+  // thousands.  The task catches everything; it never throws.
+  const std::function<void(int)> task = [&](int r) {
     // Every payload this rank packs draws from — and returns to — its own
     // free-list pool for the duration of the program.
     BufferPool::Scope pool_scope(&network_.pool(r));
@@ -194,7 +213,16 @@ void Machine::run(const std::function<void(RankCtx&)>& program) {
       final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
       handle_rank_failure(r);
     }
-  });
+  };
+  if (resolve_scheduler_kind(scheduler_.kind) == SchedulerKind::kFibers) {
+    FiberScheduler::Options fopts;
+    fopts.workers = scheduler_.workers;
+    fopts.stack_bytes = scheduler_.stack_bytes;
+    fopts.interleave_seed = scheduler_.interleave_seed;
+    FiberScheduler::run(p, task, fopts);
+  } else {
+    WorkerPool::instance().run(p, task);
+  }
 
   for (int r = 0; r < p; ++r) {
     if (crashed[static_cast<std::size_t>(r)]) {
@@ -282,8 +310,10 @@ i64 Machine::max_peak_memory_words() const {
 double Machine::sync_clock_at_barrier(int rank, double clock) {
   barrier_clocks_[static_cast<std::size_t>(rank)] = clock;
   barrier_.arrive_and_wait();
-  double worst = 0.0;
-  for (double c : barrier_clocks_) worst = std::max(worst, c);
+  // The releasing participant reduced the slots to barrier_max_ (under the
+  // barrier mutex, which every arrival passes through — so the value is
+  // ordered with respect to each rank's slot write and this read).
+  const double worst = barrier_max_;
   barrier_.arrive_and_wait();  // keep slots stable until everyone has read
   return worst;
 }

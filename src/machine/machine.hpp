@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "machine/barrier.hpp"
+#include "machine/fiber.hpp"
 #include "machine/network.hpp"
 #include "machine/tags.hpp"
 #include "util/rng.hpp"
@@ -184,8 +185,9 @@ class Machine {
   const CommStats& stats() const { return network_.stats(); }
   CommStats& stats() { return network_.stats(); }
 
-  /// Run `program` as an SPMD computation: one thread per rank, all started
-  /// together, joined before returning.
+  /// Run `program` as an SPMD computation: one execution context per rank
+  /// (an OS thread or a fiber, per set_scheduler), all started together,
+  /// joined before returning.
   ///
   /// Failure semantics: a rank whose planned crash fires (RankCrashed) exits
   /// cleanly — it is marked dead in every mailbox and dropped from the
@@ -198,6 +200,14 @@ class Machine {
   /// crash_outcome().  After a fully clean run, verifies no undelivered
   /// messages remain, listing the leaked envelopes in the failure message.
   void run(const std::function<void(RankCtx&)>& program);
+
+  /// Choose the execution substrate for run(): thread-per-rank (the
+  /// default) or fibers multiplexed on pool-width worker threads (the only
+  /// mode that reaches P in the tens of thousands).  kDefault defers to
+  /// set_default_scheduler_kind / $CAMB_SCHEDULER.  Must be set before
+  /// run(); simulation results are identical across schedulers.
+  void set_scheduler(const SchedulerSpec& spec) { scheduler_ = spec; }
+  const SchedulerSpec& scheduler() const { return scheduler_; }
 
   Barrier& barrier() { return barrier_; }
 
@@ -267,8 +277,12 @@ class Machine {
   std::unique_ptr<FaultPlan> fault_plan_;
   std::unique_ptr<CrashPlan> crash_plan_;
   AlphaBeta time_params_{1.0, 1.0};
+  SchedulerSpec scheduler_;
   std::vector<double> final_clocks_;
   std::vector<double> barrier_clocks_;
+  /// Max over barrier_clocks_, reduced once per barrier release by the
+  /// barrier's on_release hook (written and read under the barrier mutex).
+  double barrier_max_ = 0.0;
   std::vector<i64> peak_memory_;
   CrashOutcome outcome_;
   std::mutex outcome_mutex_;

@@ -6,10 +6,14 @@
 
 namespace camb {
 
-std::deque<Message>& Mailbox::bucket(int src) {
-  const std::size_t idx = static_cast<std::size_t>(src);
-  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
-  return buckets_[idx];
+std::vector<Message>& Mailbox::bucket(int src) { return buckets_[src]; }
+
+void Mailbox::wait_for_mail(std::unique_lock<std::mutex>& lock) {
+  if (Fiber* fiber = Fiber::current()) {
+    fiber->park_on(waiters_, lock);
+  } else {
+    cv_.wait(lock);
+  }
 }
 
 void Mailbox::trim_order_front() {
@@ -22,15 +26,15 @@ void Mailbox::trim_order_front() {
 }
 
 Message Mailbox::take_oldest(int src, int tag, bool indexed) {
-  std::deque<Message>& q = bucket(src);
+  std::vector<Message>& q = bucket(src);
   auto it = std::find_if(q.begin(), q.end(),
                          [tag](const Message& m) { return m.tag == tag; });
   assert(it != q.end());
   return take_at(q, it, indexed);
 }
 
-Message Mailbox::take_at(std::deque<Message>& q, std::deque<Message>::iterator it,
-                         bool indexed) {
+Message Mailbox::take_at(std::vector<Message>& q,
+                         std::vector<Message>::iterator it, bool indexed) {
   Message out = std::move(*it);
   q.erase(it);
   if (indexed) {
@@ -90,12 +94,13 @@ void Mailbox::push(Message msg, int reorder_skip) {
     }
   }
   cv_.notify_all();
+  waiters_.notify_all();
 }
 
 Message Mailbox::pop_matching(int src, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::deque<Message>& q = bucket(src);
+    std::vector<Message>& q = bucket(src);
     auto it = std::find_if(q.begin(), q.end(),
                            [tag](const Message& m) { return m.tag == tag; });
     if (it != q.end()) {
@@ -103,7 +108,7 @@ Message Mailbox::pop_matching(int src, int tag) {
       trim_order_front();
       return out;
     }
-    cv_.wait(lock);
+    wait_for_mail(lock);
   }
 }
 
@@ -111,7 +116,7 @@ RecvStatus Mailbox::pop_matching_or_failed(int src, int tag, double max_stamp,
                                            Message* out) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::deque<Message>& q = bucket(src);
+    std::vector<Message>& q = bucket(src);
     auto it = std::find_if(q.begin(), q.end(),
                            [tag](const Message& m) { return m.tag == tag; });
     if (it != q.end()) {
@@ -129,13 +134,13 @@ RecvStatus Mailbox::pop_matching_or_failed(int src, int tag, double max_stamp,
     for (const auto& [r, base] : deviated_) {
       if (r == src && tag < base) return RecvStatus::kSrcDeviated;
     }
-    cv_.wait(lock);
+    wait_for_mail(lock);
   }
 }
 
 Message Mailbox::pop_any() {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return size_ > 0; });
+  while (size_ == 0) wait_for_mail(lock);
   trim_order_front();
   // The front index entry is the earliest live entry of its envelope, so
   // the oldest queued message of that envelope *is* its message.
@@ -154,6 +159,7 @@ void Mailbox::mark_dead(int src) {
     }
   }
   cv_.notify_all();
+  waiters_.notify_all();
 }
 
 void Mailbox::mark_deviated(int src, int tag_base) {
@@ -162,6 +168,7 @@ void Mailbox::mark_deviated(int src, int tag_base) {
     deviated_.emplace_back(src, tag_base);
   }
   cv_.notify_all();
+  waiters_.notify_all();
 }
 
 std::size_t Mailbox::pending() const {

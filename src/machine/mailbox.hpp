@@ -8,6 +8,10 @@
 // Storage layout (the hot-path redesign): messages live in *per-source
 // envelope buckets*, so pop_matching(src, tag) scans only the messages
 // `src` currently has in flight — O(match) — instead of the whole queue.
+// Buckets are keyed sparsely (a hash map over the sources this rank has
+// actually met, each bucket a small FIFO vector): a rank talks to O(grid
+// dimension) peers, so dense per-source storage would cost O(P) per mailbox
+// — O(P^2) per machine — and P = 65,536 mailboxes must stay cheap.
 // A separate *any-queue index* (`order_`) records global arrival order
 // (including the fault layer's legal reorderings) as lightweight
 // (src, tag, seq) entries, giving pop_any and drain exactly the order the
@@ -34,10 +38,12 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "machine/buffer_pool.hpp"
+#include "machine/fiber.hpp"
 #include "util/math.hpp"
 
 namespace camb {
@@ -135,9 +141,16 @@ class Mailbox {
     std::uint64_t seq = 0;
   };
 
-  /// The bucket for `src`, grown on demand (mailboxes are constructed
-  /// without knowing the machine size).
-  std::deque<Message>& bucket(int src);
+  /// The bucket for `src`, created on demand (mailboxes are constructed
+  /// without knowing the machine size, and most sources never write here).
+  /// A bucket is a FIFO: push_back on arrival, erase(begin()+i) on match —
+  /// buckets are shallow (a handful of in-flight messages), so the shift
+  /// is cheaper than a deque's chunked storage.
+  std::vector<Message>& bucket(int src);
+
+  /// Block until this mailbox is notified again: parks when called on a
+  /// fiber, waits on the condition variable otherwise.  Callers loop.
+  void wait_for_mail(std::unique_lock<std::mutex>& lock);
 
   /// Drop index-front entries whose messages were already matched out.
   void trim_order_front();
@@ -156,12 +169,13 @@ class Mailbox {
 
   /// Extract the message at `it` from its bucket and retire its index entry
   /// (directly if it is the index front, else via the stale set).
-  Message take_at(std::deque<Message>& q, std::deque<Message>::iterator it,
+  Message take_at(std::vector<Message>& q, std::vector<Message>::iterator it,
                   bool indexed);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<std::deque<Message>> buckets_;      ///< by source
+  FiberWaitList waiters_;
+  std::unordered_map<int, std::vector<Message>> buckets_;  ///< by source
   std::deque<Entry> order_;                       ///< any-queue index
   std::unordered_set<std::uint64_t> stale_;       ///< matched-out entry seqs
   std::uint64_t next_seq_ = 1;

@@ -13,6 +13,8 @@ WorkerPool& WorkerPool::instance() {
   return pool;
 }
 
+bool WorkerPool::on_pool_worker() { return tl_is_pool_worker; }
+
 WorkerPool::~WorkerPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

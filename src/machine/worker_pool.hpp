@@ -39,6 +39,10 @@ class WorkerPool {
   /// is unavailable (nested or concurrent call).
   void run(int p, const std::function<void(int)>& task);
 
+  /// True on a thread owned by the pool (i.e. inside a pooled task).  Lets
+  /// tests observe whether a run used the pool or the plain-thread fallback.
+  static bool on_pool_worker();
+
   ~WorkerPool();
 
  private:

@@ -20,6 +20,7 @@ constexpr i64 kReferenceFlopLimit = 1 << 26;  // ~67M multiply-adds
 /// fault seed, and the crash seed all derive from the options' master seed
 /// (independent domains), so a run is replayable from that one logged value.
 void configure_machine(camb::Machine& machine, const RunOptions& opts) {
+  machine.set_scheduler(opts.scheduler);
   if (opts.perturb.enabled()) {
     machine.enable_faults(fault_profile_from_spec(opts.perturb.profile),
                           opts.perturb.fault_seed());

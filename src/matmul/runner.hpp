@@ -14,6 +14,7 @@
 #include "collectives/rollback.hpp"
 #include "core/bounds.hpp"
 #include "machine/faults.hpp"
+#include "machine/fiber.hpp"
 #include "util/rng.hpp"
 #include "matmul/abft.hpp"
 #include "matmul/alg25d.hpp"
@@ -168,6 +169,10 @@ struct RunOptions {
   PerturbConfig perturb;
   CrashConfig crash;
   CheckpointConfig checkpoint;
+  /// Execution substrate for the SPMD ranks (machine/fiber.hpp): OS thread
+  /// per rank, or fibers on pool-width workers.  Simulation results are
+  /// identical either way; fibers are the only mode that reaches P ≈ 65,536.
+  SchedulerSpec scheduler;
 
   static RunOptions verified(VerifyMode mode) {
     RunOptions opts;

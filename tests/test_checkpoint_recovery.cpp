@@ -2,6 +2,12 @@
 // must survive a seeded single-rank crash bit-identically, and the 2D
 // algorithms must additionally survive a second crash landing while the
 // first one's recovery is still in flight (rounds >= 3).
+//
+// The fiber-scheduler legs re-run the hardest sweeps with ranks executing
+// as cooperatively scheduled fibers (machine/fiber.hpp): rollback parks
+// fibers *inside catch blocks*, so these are the tests that pin the
+// exception-state handoff and the park/notify protocol under recovery
+// traffic — word-exact against the thread-per-rank twin.
 #include <gtest/gtest.h>
 
 #include "matmul/runner.hpp"
@@ -21,6 +27,32 @@ mm::RunOptions crash_opts(std::vector<int> ranks, i64 max_pos,
   opts.checkpoint.interval = interval;
   opts.checkpoint.spares = spares;
   return opts;
+}
+
+mm::RunOptions fiberize(mm::RunOptions opts) {
+  opts.scheduler.kind = SchedulerKind::kFibers;
+  return opts;
+}
+
+/// Word-exact recovery accounting across schedulers: the fiber run must
+/// reproduce the thread run's per-rank counters, output bits, rollback
+/// rounds, and crash-debris words — not just "also recover".
+void expect_word_exact_twin(const mm::RunReport& threads,
+                            const mm::RunReport& fibers, const char* what) {
+  EXPECT_EQ(fibers.rank_recv_words, threads.rank_recv_words) << what;
+  EXPECT_EQ(fibers.rank_sent_words, threads.rank_sent_words) << what;
+  EXPECT_EQ(fibers.rank_messages, threads.rank_messages) << what;
+  EXPECT_EQ(fibers.output_hash, threads.output_hash) << what;
+  EXPECT_EQ(fibers.simulated_time, threads.simulated_time) << what;
+  EXPECT_EQ(fibers.recovery.crashed, threads.recovery.crashed) << what;
+  EXPECT_EQ(fibers.resilience.rounds, threads.resilience.rounds) << what;
+  EXPECT_EQ(fibers.resilience.final_epoch, threads.resilience.final_epoch)
+      << what;
+  EXPECT_EQ(fibers.resilience.failed, threads.resilience.failed) << what;
+  EXPECT_EQ(fibers.recovery.debris_envelopes, threads.recovery.debris_envelopes)
+      << what;
+  EXPECT_EQ(fibers.recovery.debris_words, threads.recovery.debris_words)
+      << what;
 }
 
 /// A crashed checkpointed run must still verify bit-exactly against the
@@ -161,12 +193,15 @@ TEST(CheckpointRecovery, RestreamWordsAccountedWhenRollingBackToEpoch) {
 /// a schedule — every run along the way must stay bit-identical.
 void two_crash_during_rollback_sweep(
     const std::function<mm::RunReport(const mm::RunOptions&)>& run,
-    const mm::RunReport& plain, const char* what) {
+    const mm::RunReport& plain, const char* what,
+    SchedulerKind scheduler = SchedulerKind::kThreads) {
   bool saw_late_second_crash = false;
   for (std::uint64_t seed = 100; seed < 200 && !saw_late_second_crash;
        ++seed) {
-    const mm::RunReport report =
-        run(crash_opts({1, 4}, 48, seed, /*interval=*/1, /*spares=*/2));
+    mm::RunOptions opts = crash_opts({1, 4}, 48, seed, /*interval=*/1,
+                                     /*spares=*/2);
+    opts.scheduler.kind = scheduler;
+    const mm::RunReport report = run(opts);
     ASSERT_TRUE(report.verified) << what << " seed " << seed;
     ASSERT_EQ(report.output_hash, plain.output_hash)
         << what << " seed " << seed << ": " << report.resilience.summary();
@@ -194,6 +229,58 @@ TEST(CheckpointRecovery, CannonSurvivesSecondCrashDuringRollback) {
   two_crash_during_rollback_sweep(
       [&](const mm::RunOptions& opts) { return mm::run_cannon(cfg, opts); },
       plain, "cannon");
+}
+
+// ---------------------------------------------------------------------------
+// Fiber-scheduler legs.
+
+/// Every-rank-crash sweep under fibers: for each rank of a P = 9 SUMMA
+/// grid, crash exactly that rank and demand the fiber run match the
+/// thread run word for word — per-rank counters, rollback rounds, debris.
+TEST(CheckpointRecoveryFibers, SummaEveryRankCrashMatchesThreadsExactly) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  for (int victim = 0; victim < 9; ++victim) {
+    const mm::RunOptions opts =
+        crash_opts({victim}, 8, 21 + static_cast<std::uint64_t>(victim));
+    const mm::RunReport threads = mm::run_summa(cfg, opts);
+    const mm::RunReport fibers = mm::run_summa(cfg, fiberize(opts));
+    ASSERT_TRUE(fibers.verified) << "victim " << victim;
+    ASSERT_FALSE(fibers.recovery.crashed.empty())
+        << "victim " << victim << ": crash never fired";
+    expect_word_exact_twin(threads, fibers,
+                           ("summa victim " + std::to_string(victim)).c_str());
+  }
+}
+
+/// Same sweep for Algorithm 1 on its 2x2x2 grid (the rollback collective
+/// exercises a different communicator layout than SUMMA's 2D grid).
+TEST(CheckpointRecoveryFibers, Grid3dEveryRankCrashMatchesThreadsExactly) {
+  const mm::Grid3dConfig cfg{{12, 10, 8}, core::Grid3{2, 2, 2}};
+  for (int victim = 0; victim < 8; ++victim) {
+    const mm::RunOptions opts =
+        crash_opts({victim}, 6, 31 + static_cast<std::uint64_t>(victim));
+    const mm::RunReport threads = mm::run_grid3d(cfg, opts);
+    const mm::RunReport fibers = mm::run_grid3d(cfg, fiberize(opts));
+    ASSERT_TRUE(fibers.verified) << "victim " << victim;
+    expect_word_exact_twin(threads, fibers,
+                           ("grid3d victim " + std::to_string(victim)).c_str());
+  }
+}
+
+TEST(CheckpointRecoveryFibers, SummaSurvivesSecondCrashDuringRollback) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  const mm::RunReport plain = mm::run_summa(cfg, kPlain);
+  two_crash_during_rollback_sweep(
+      [&](const mm::RunOptions& opts) { return mm::run_summa(cfg, opts); },
+      plain, "summa-fibers", SchedulerKind::kFibers);
+}
+
+TEST(CheckpointRecoveryFibers, CannonSurvivesSecondCrashDuringRollback) {
+  const mm::CannonConfig cfg{{12, 9, 6}, 3};
+  const mm::RunReport plain = mm::run_cannon(cfg, kPlain);
+  two_crash_during_rollback_sweep(
+      [&](const mm::RunOptions& opts) { return mm::run_cannon(cfg, opts); },
+      plain, "cannon-fibers", SchedulerKind::kFibers);
 }
 
 }  // namespace

@@ -9,6 +9,11 @@
 // per-rank message counts, the scheduled critical-path time, and the
 // assembled output's bit pattern are all pinned, run by run.
 //
+// The sweep runs under BOTH rank schedulers (thread-per-rank and fibers)
+// against the same golden records: the fiber cutover must be invisible in
+// every pinned bit, which is the simulator's determinism contract
+// (machine/fiber.hpp) made checkable.
+//
 // Regenerate (only when an *intentional* behavior change lands) with:
 //   CAMB_WRITE_GOLDEN=1 ./test_equivalence_sweep
 #include <gtest/gtest.h>
@@ -20,6 +25,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "matmul/algorithm_registry.hpp"
@@ -84,9 +90,13 @@ Record record_of(const RunReport& report) {
   return rec;
 }
 
-RunReport run_one(const AlgorithmInfo& algo, i64 p, std::uint64_t seed) {
+RunReport run_one(const AlgorithmInfo& algo, i64 p, std::uint64_t seed,
+                  SchedulerKind scheduler) {
   RunOptions opts = RunOptions::verified(VerifyMode::kReference);
   opts.perturb.master_seed = seed;
+  // Explicit kind (never kDefault): the sweep must pin both substrates
+  // regardless of any $CAMB_SCHEDULER ambient override.
+  opts.scheduler.kind = scheduler;
   return algo.run_opts(kShape, p, opts);
 }
 
@@ -132,12 +142,16 @@ void write_golden(const std::map<std::string, Record>& records) {
 
 bool write_mode() { return std::getenv("CAMB_WRITE_GOLDEN") != nullptr; }
 
-/// The sweep itself, parameterized over P so failures localize and the
-/// per-P runs parallelize under ctest.
-class EquivalenceSweep : public ::testing::TestWithParam<i64> {};
+/// The sweep itself, parameterized over (P, scheduler) so failures localize
+/// and the runs parallelize under ctest.  Both scheduler legs assert
+/// against the SAME golden records — bit-identity across substrates is the
+/// whole point.
+class EquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<i64, SchedulerKind>> {};
 
 TEST_P(EquivalenceSweep, MatchesGolden) {
-  const i64 p = GetParam();
+  const i64 p = std::get<0>(GetParam());
+  const SchedulerKind scheduler = std::get<1>(GetParam());
   const auto golden = load_golden();
   if (!write_mode()) {
     ASSERT_FALSE(golden.empty())
@@ -148,7 +162,7 @@ TEST_P(EquivalenceSweep, MatchesGolden) {
   for (const auto& algo : algorithm_registry()) {
     if (!algo.supports(kShape, p)) continue;
     for (std::uint64_t seed : kMasterSeeds) {
-      const RunReport report = run_one(algo, p, seed);
+      const RunReport report = run_one(algo, p, seed, scheduler);
       ASSERT_TRUE(report.verified);
       // Bit-exactness is asserted against the golden output hash below;
       // against the serial reference only closeness holds (summation order).
@@ -176,11 +190,15 @@ TEST_P(EquivalenceSweep, MatchesGolden) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllGrids, EquivalenceSweep,
-                         ::testing::ValuesIn(kProcs),
-                         [](const ::testing::TestParamInfo<i64>& info) {
-                           return "P" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllGrids, EquivalenceSweep,
+    ::testing::Combine(::testing::ValuesIn(kProcs),
+                       ::testing::Values(SchedulerKind::kThreads,
+                                         SchedulerKind::kFibers)),
+    [](const ::testing::TestParamInfo<std::tuple<i64, SchedulerKind>>& info) {
+      return "P" + std::to_string(std::get<0>(info.param)) + "_" +
+             scheduler_kind_name(std::get<1>(info.param));
+    });
 
 /// Regeneration entry point: under CAMB_WRITE_GOLDEN, re-runs the whole
 /// sweep and rewrites the golden file in one pass.
@@ -194,7 +212,9 @@ TEST(EquivalenceSweepGolden, WriteIfRequested) {
     for (i64 p : kProcs) {
       if (!algo.supports(kShape, p)) continue;
       for (std::uint64_t seed : kMasterSeeds) {
-        const RunReport report = run_one(algo, p, seed);
+        // Golden records are always written from the thread-per-rank
+        // substrate; the fiber leg must reproduce them, never define them.
+        const RunReport report = run_one(algo, p, seed, SchedulerKind::kThreads);
         ASSERT_TRUE(report.verified);
         records[key_of(algo.name, p, seed)] = record_of(report);
       }

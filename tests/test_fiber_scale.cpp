@@ -1,0 +1,66 @@
+// Executed word-exact runs at P = 16K–65K (the paper's regime, §1): the
+// fiber scheduler multiplexes tens of thousands of ranks onto pool-width
+// worker threads, so these runs *execute* — every send and receive happens,
+// every counter is measured — and the measured critical-path received words
+// must equal the closed-form analytic prediction exactly, word for word.
+//
+// Thread-per-rank execution cannot reach this regime (an OS thread per rank
+// at P = 65,536 exhausts kernel thread and memory limits); until the fiber
+// scheduler landed, predictions at these P were only checked analytically.
+// ctest label: scale (excluded from the sanitizer legs — these runs are
+// big, not concurrency-sensitive beyond what the fuzz battery covers).
+#include <gtest/gtest.h>
+
+#include "matmul/runner.hpp"
+
+namespace camb {
+namespace {
+
+mm::RunOptions scale_opts() {
+  // kNone: no output assembly (a 512^2 gather of 16K tiles is the harness's
+  // cost, not the algorithm's) — the subject here is communication exactness.
+  mm::RunOptions opts;
+  opts.verify = mm::VerifyMode::kNone;
+  opts.scheduler.kind = SchedulerKind::kFibers;
+  return opts;
+}
+
+void expect_word_exact(const mm::RunReport& report, i64 p, const char* what) {
+  ASSERT_GE(report.predicted_critical_recv, 0)
+      << what << ": no closed-form predictor";
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv)
+      << what << ": executed run diverged from the analytic prediction";
+  EXPECT_GT(report.measured_critical_messages, 0) << what;
+  // Every rank really executed: the per-rank counter vectors are full-size
+  // and the whole machine moved data.
+  ASSERT_EQ(static_cast<i64>(report.rank_recv_words.size()), p) << what;
+  ASSERT_EQ(static_cast<i64>(report.rank_messages.size()), p) << what;
+  EXPECT_GT(report.total_network_words, 0) << what;
+  EXPECT_GE(static_cast<double>(report.measured_critical_recv),
+            report.lower_bound_words)
+      << what << ": measured run beat the Theorem 3 lower bound";
+}
+
+TEST(FiberScale, Summa16kWordExact) {
+  const mm::SummaConfig cfg{{512, 512, 512}, 128};  // P = 128^2 = 16,384
+  const mm::RunReport report = mm::run_summa(cfg, scale_opts());
+  expect_word_exact(report, 16384, "summa P=16384");
+}
+
+TEST(FiberScale, Grid3d16kWordExact) {
+  const mm::Grid3dConfig cfg{{128, 128, 64}, core::Grid3{32, 32, 16}};
+  const mm::RunReport report = mm::run_grid3d(cfg, scale_opts());
+  expect_word_exact(report, 16384, "grid3d P=16384");
+}
+
+TEST(FiberScale, Alg25d64kWordExact) {
+  mm::Alg25dConfig cfg;
+  cfg.shape = {256, 256, 256};
+  cfg.g = 128;
+  cfg.c = 4;  // P = g^2 * c = 65,536
+  const mm::RunReport report = mm::run_alg25d(cfg, scale_opts());
+  expect_word_exact(report, 65536, "alg25d P=65536");
+}
+
+}  // namespace
+}  // namespace camb

@@ -198,6 +198,11 @@ int cmd_run(int argc, char** argv) {
                "1");
   cli.add_flag("spares",
                "idle spare ranks provisioned for crash substitution", "0");
+  cli.add_flag("scheduler",
+               "rank execution substrate: threads (one OS thread per rank) "
+               "| fibers (cooperative, reaches P in the tens of thousands); "
+               "default honors $CAMB_SCHEDULER",
+               "default");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("cambounds run");
@@ -236,6 +241,7 @@ int cmd_run(int argc, char** argv) {
   if (opts.checkpoint.spares < 0) throw Error("--spares must be non-negative");
   if (opts.checkpoint.spares > 0 && !opts.checkpoint.enabled())
     throw Error("--spares requires --checkpoint-interval > 0");
+  opts.scheduler.kind = scheduler_kind_from_name(cli.get("scheduler"));
   const mm::RunReport report = algorithm.run_opts(shape, P, opts);
   std::cout << "algorithm: " << algorithm.name << "\n"
             << "measured communication: " << report.measured_critical_recv
