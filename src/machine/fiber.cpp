@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -52,7 +53,9 @@
 #include <sanitizer/tsan_interface.h>
 #endif
 
-#if defined(__x86_64__)
+// CAMB_FORCE_UCONTEXT (a CMake option) builds the portable backend on
+// x86-64 too, so CI can exercise the fallback path real non-x86 hosts take.
+#if defined(__x86_64__) && !defined(CAMB_FORCE_UCONTEXT)
 #define CAMB_FIBER_X86_64 1
 #else
 #include <ucontext.h>
@@ -88,6 +91,12 @@ std::size_t default_stack_bytes() {
 // are packed into shared slabs instead (see FiberStack in the header).
 constexpr int kPackedStackThreshold = 16384;
 constexpr std::size_t kStacksPerSlab = 512;
+
+// Planted at the base (lowest address) of every packed-slab stack, where a
+// dedicated guard page would otherwise sit.  An overflow deep enough to
+// cross into the neighboring fiber's slice clobbers a canary on the way, so
+// the corruption is reported (at fiber completion) instead of silent.
+constexpr std::uint64_t kStackCanary = 0x5ca1ab1e0ddba11eULL;
 
 }  // namespace
 
@@ -347,6 +356,12 @@ Fiber::Fiber(FiberScheduler& sched, int index, const FiberStack& stack,
 #ifdef CAMB_FIBER_TSAN
   ctx_.tsan_fiber = __tsan_create_fiber(0);
 #endif
+  if (!stack_owned_) {
+    // Packed slabs have no per-stack guard page; the canary substitutes for
+    // it, turning a silent cross-fiber scribble into a named error (checked
+    // by check_stack_canary when the fiber completes).
+    std::memcpy(ctx_.stack_base, &kStackCanary, sizeof(kStackCanary));
+  }
 #ifdef CAMB_FIBER_X86_64
   ctx_.sp = make_fiber_frame(
       static_cast<unsigned char*>(ctx_.stack_base) + ctx_.stack_size, this);
@@ -385,6 +400,18 @@ void Fiber::release_stack() {
     // go back to the kernel now (bounds resident memory at huge P).
     madvise(ctx_.stack_base, ctx_.stack_size, MADV_DONTNEED);
     ctx_.stack_base = nullptr;
+  }
+}
+
+void Fiber::check_stack_canary() {
+  if (stack_owned_ || ctx_.stack_base == nullptr) return;
+  std::uint64_t word = 0;
+  std::memcpy(&word, ctx_.stack_base, sizeof(word));
+  if (word != kStackCanary && !error_) {
+    error_ = std::make_exception_ptr(
+        Error("fiber stack overflow: rank " + std::to_string(index_) +
+              " overran its packed " + std::to_string(ctx_.stack_size / 1024) +
+              " KiB stack (base canary clobbered); raise CAMB_FIBER_STACK_KB"));
   }
 }
 
@@ -547,6 +574,13 @@ void FiberScheduler::execute() {
 void FiberScheduler::worker_loop() {
   FiberContext wctx;
   init_worker_context(wctx);
+#ifndef CAMB_FIBER_X86_64
+  // swapcontext saves the worker frame into this record before adopting a
+  // fiber; getcontext-style init is not needed for a save target, but the
+  // ucontext_t storage is (a null uctx would segfault on the first switch).
+  const auto worker_uctx = std::make_unique<ucontext_t>();
+  wctx.uctx = worker_uctx.get();
+#endif
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     cv_.wait(lock, [&] { return !runq_.empty() || live_ == 0 || deadlock_; });
@@ -563,28 +597,39 @@ void FiberScheduler::worker_loop() {
     const Fiber::Phase phase = fiber->phase_;
 
     lock.lock();
-    --running_;
     if (phase == Fiber::Phase::kDone) {
+      --running_;
       --live_;
       lock.unlock();
+      fiber->check_stack_canary();
       fiber->release_stack();  // bound resident memory during huge runs
       lock.lock();
       if (live_ == 0) cv_.notify_all();
     } else if (phase == Fiber::Phase::kYielded) {
+      --running_;
       runq_.push_back(fiber);
       cv_.notify_one();
     } else {  // Phase::kParking — finish the park handshake off the lock
       // The phase must be written before the exchange below: the instant
       // the exchange publishes kWakeParked, a notifier may requeue the
-      // fiber and another worker may resume it.
+      // fiber and another worker may resume it.  running_ stays elevated
+      // until the whole handshake (exchange + possible requeue) is done, so
+      // no other worker can observe "queue empty, nothing running, fibers
+      // live" while a notified fiber is still in flight between the unlock
+      // and the exchange — that window used to read as a false deadlock.
       fiber->phase_ = Fiber::Phase::kParked;
       lock.unlock();
       const int prev = fiber->wake_.exchange(Fiber::kWakeParked,
                                              std::memory_order_acq_rel);
-      if (prev == Fiber::kWakeNotified) {
-        enqueue(fiber);  // the notifier fired mid-switch; requeue now
-      }
       lock.lock();
+      if (prev == Fiber::kWakeNotified) {
+        // The notifier fired mid-switch; requeue now (inline — mutex_ is
+        // already held, so enqueue() would self-deadlock).
+        fiber->phase_ = Fiber::Phase::kRunnable;
+        runq_.push_back(fiber);
+        cv_.notify_one();
+      }
+      --running_;
     }
     // Every wakeup originates from a running fiber (notify paths) or from
     // this worker's own post-processing (just finished), so an empty run

@@ -123,7 +123,9 @@ class FiberWaitList {
 /// (vm.max_map_count ≈ 64 Ki, two VMAs per guarded stack), so stacks are
 /// packed into shared slabs guarded only at the slab base; a slab lives
 /// until the scheduler is destroyed, and finished fibers return their pages
-/// with madvise instead of munmap.
+/// with madvise instead of munmap.  In lieu of per-stack guard pages each
+/// packed stack carries a canary word at its base, checked at completion,
+/// so an overflow into a neighbor is detected rather than silent.
 struct FiberStack {
   void* base = nullptr;        ///< lowest usable address
   std::size_t size = 0;        ///< usable bytes
@@ -178,6 +180,10 @@ class Fiber {
   void run_body();
   void yield_to_scheduler(Phase why);
   void release_stack();
+  /// Packed-slab stacks only: verify the canary word at the stack base is
+  /// intact and record an Error into error_ if not.  Called when the fiber
+  /// completes, before its pages are returned to the kernel.
+  void check_stack_canary();
 
   FiberScheduler& sched_;
   int index_;

@@ -8,6 +8,11 @@ namespace camb {
 
 std::vector<Message>& Mailbox::bucket(int src) { return buckets_[src]; }
 
+std::vector<Message>* Mailbox::find_bucket(int src) {
+  auto it = buckets_.find(src);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
 void Mailbox::wait_for_mail(std::unique_lock<std::mutex>& lock) {
   if (Fiber* fiber = Fiber::current()) {
     fiber->park_on(waiters_, lock);
@@ -26,11 +31,12 @@ void Mailbox::trim_order_front() {
 }
 
 Message Mailbox::take_oldest(int src, int tag, bool indexed) {
-  std::vector<Message>& q = bucket(src);
-  auto it = std::find_if(q.begin(), q.end(),
+  std::vector<Message>* q = find_bucket(src);
+  assert(q != nullptr);
+  auto it = std::find_if(q->begin(), q->end(),
                          [tag](const Message& m) { return m.tag == tag; });
-  assert(it != q.end());
-  return take_at(q, it, indexed);
+  assert(it != q->end());
+  return take_at(*q, it, indexed);
 }
 
 Message Mailbox::take_at(std::vector<Message>& q,
@@ -100,13 +106,17 @@ void Mailbox::push(Message msg, int reorder_skip) {
 Message Mailbox::pop_matching(int src, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::vector<Message>& q = bucket(src);
-    auto it = std::find_if(q.begin(), q.end(),
-                           [tag](const Message& m) { return m.tag == tag; });
-    if (it != q.end()) {
-      Message out = take_at(q, it, /*indexed=*/true);
-      trim_order_front();
-      return out;
+    // find, not operator[]: a receive polling a source that has never sent
+    // (common while blocked on a slow or dead peer) must not materialize an
+    // empty bucket — buckets exist only for sources that actually pushed.
+    if (std::vector<Message>* q = find_bucket(src)) {
+      auto it = std::find_if(q->begin(), q->end(),
+                             [tag](const Message& m) { return m.tag == tag; });
+      if (it != q->end()) {
+        Message out = take_at(*q, it, /*indexed=*/true);
+        trim_order_front();
+        return out;
+      }
     }
     wait_for_mail(lock);
   }
@@ -116,14 +126,15 @@ RecvStatus Mailbox::pop_matching_or_failed(int src, int tag, double max_stamp,
                                            Message* out) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::vector<Message>& q = bucket(src);
-    auto it = std::find_if(q.begin(), q.end(),
-                           [tag](const Message& m) { return m.tag == tag; });
-    if (it != q.end()) {
-      if (it->depart_time > max_stamp) return RecvStatus::kTimedOut;
-      *out = take_at(q, it, /*indexed=*/true);
-      trim_order_front();
-      return RecvStatus::kDelivered;
+    if (std::vector<Message>* q = find_bucket(src)) {
+      auto it = std::find_if(q->begin(), q->end(),
+                             [tag](const Message& m) { return m.tag == tag; });
+      if (it != q->end()) {
+        if (it->depart_time > max_stamp) return RecvStatus::kTimedOut;
+        *out = take_at(*q, it, /*indexed=*/true);
+        trim_order_front();
+        return RecvStatus::kDelivered;
+      }
     }
     // Nothing buffered: only now may the failure marking decide the outcome.
     // A message buffered before the source died is a program-order fact of
@@ -174,6 +185,11 @@ void Mailbox::mark_deviated(int src, int tag_base) {
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return size_;
+}
+
+std::size_t Mailbox::bucket_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
 }
 
 std::vector<Message> Mailbox::drain() {

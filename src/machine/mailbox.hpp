@@ -123,6 +123,11 @@ class Mailbox {
   /// Number of queued messages (for tests / leak detection).
   std::size_t pending() const;
 
+  /// Number of per-source buckets materialized (for tests: the sparse
+  /// footprint contract — only sources that actually pushed have buckets;
+  /// receives polling a silent source must not create one).
+  std::size_t bucket_count() const;
+
   /// Remove and return every queued message (oldest first), for tests.
   std::vector<Message> drain();
 
@@ -141,12 +146,18 @@ class Mailbox {
     std::uint64_t seq = 0;
   };
 
-  /// The bucket for `src`, created on demand (mailboxes are constructed
-  /// without knowing the machine size, and most sources never write here).
-  /// A bucket is a FIFO: push_back on arrival, erase(begin()+i) on match —
-  /// buckets are shallow (a handful of in-flight messages), so the shift
-  /// is cheaper than a deque's chunked storage.
+  /// The bucket for `src`, created on demand — called by push() only, so
+  /// buckets exist exactly for the sources that have actually sent here
+  /// (mailboxes are constructed without knowing the machine size, and most
+  /// sources never write here).  A bucket is a FIFO: push_back on arrival,
+  /// erase(begin()+i) on match — buckets are shallow (a handful of
+  /// in-flight messages), so the shift is cheaper than a deque's chunked
+  /// storage.
   std::vector<Message>& bucket(int src);
+
+  /// The bucket for `src`, or nullptr if that source has never pushed here.
+  /// All pop paths use this so a blocked receive does not grow the map.
+  std::vector<Message>* find_bucket(int src);
 
   /// Block until this mailbox is notified again: parks when called on a
   /// fiber, waits on the condition variable otherwise.  Callers loop.

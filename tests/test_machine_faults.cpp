@@ -203,6 +203,23 @@ TEST(Mailbox, ReorderSkipStopsAtSameEnvelopeBarrier) {
   EXPECT_EQ(box.pop_any().src, 0);
 }
 
+TEST(Mailbox, PopPathsDoNotMaterializeBucketsForSilentSources) {
+  Mailbox box;
+  box.mark_dead(7);
+  box.mark_deviated(8, /*tag_base=*/100);
+  Message out;
+  EXPECT_EQ(box.pop_matching_or_failed(7, 1, 1e9, &out), RecvStatus::kSrcDead);
+  EXPECT_EQ(box.pop_matching_or_failed(8, 1, 1e9, &out),
+            RecvStatus::kSrcDeviated);
+  // Neither failed receive may create storage: buckets exist only for
+  // sources that actually pushed (the sparse-footprint contract).
+  EXPECT_EQ(box.bucket_count(), 0u);
+  box.push(Message{3, 1, 0.0, {1.0}, ""});
+  EXPECT_EQ(box.bucket_count(), 1u);
+  EXPECT_DOUBLE_EQ(box.pop_matching(3, 1).payload[0], 1.0);
+  EXPECT_EQ(box.bucket_count(), 1u);  // emptied in place, not erased
+}
+
 // ---------------------------------------------------------------------------
 // Machine-level: retry accounting, delays, stragglers, trace records.
 // ---------------------------------------------------------------------------
