@@ -1,0 +1,191 @@
+// bench_sdc_overhead — what healing silent data corruption costs: for
+// grid3d and summa at P in {8, 27, 64}, runs under the reliable transport
+// with increasing per-copy drop/flip/dup injection rates and tables the
+// retransmit tax against the fault-free traffic and the Theorem 3 bound.
+//
+// The numbers are exact, not sampled: at rate 0 the run must match the
+// fault-free baseline word for word, and at every rate the measured
+// per-rank totals must equal baseline + coll::predicted_transport_phase
+// replayed over the counted-send log (the closed-form tax).  Any escaped
+// corruption or missed prediction exits nonzero.
+//
+// Usage: bench_sdc_overhead [--quick] [--out PATH]
+//   --quick   fewer injection rates (the CI smoke mode)
+//   --out     also emit a BENCH_PR7.json machine-readable report
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "collectives/coll_cost.hpp"
+#include "machine/faults.hpp"
+#include "matmul/algorithm_registry.hpp"
+#include "matmul/runner.hpp"
+#include "util/table.hpp"
+
+using namespace camb;
+
+namespace {
+
+struct CaseResult {
+  std::string algorithm;
+  i64 P = 0;
+  double rate = 0;
+  bool supported = true;
+  i64 injected = 0;          // drops + flips + dups
+  i64 clean_recv = 0;        // fault-free critical-path received words
+  i64 faulted_recv = 0;      // same, under injection (includes transport tax)
+  i64 retransmit_words = 0;  // sender-side extra on-wire words (sum over ranks)
+  double tax_ratio = 0;      // faulted_recv / clean_recv
+  double bound_ratio = 0;    // faulted_recv / Theorem 3 bound
+  bool exact = false;        // totals == baseline + closed-form tax, 0 escaped
+};
+
+/// One (algorithm, P, rate) cell: run healed, pin against the closed-form
+/// predictor rank for rank, and report the tax.
+CaseResult run_case(const mm::AlgorithmInfo& algorithm, const core::Shape shape,
+                    i64 P, double rate, const mm::RunReport& clean) {
+  CaseResult res;
+  res.algorithm = algorithm.name;
+  res.P = P;
+  res.rate = rate;
+
+  mm::RunOptions opts = mm::RunOptions::verified(mm::VerifyMode::kReference);
+  opts.sdc.message_rate = rate;
+  opts.sdc.reliable = true;
+  opts.sdc.sdc_seed_override = 0xBE7C;
+  opts.collect_trace = true;
+  const mm::RunReport report = algorithm.run_opts(shape, P, opts);
+
+  res.injected = report.corruption.injected_drops +
+                 report.corruption.injected_flips +
+                 report.corruption.injected_dups;
+  res.clean_recv = clean.measured_critical_recv;
+  res.faulted_recv = report.measured_critical_recv;
+  res.retransmit_words = report.corruption.retransmitted_words;
+  res.tax_ratio = clean.measured_critical_recv > 0
+                      ? static_cast<double>(report.measured_critical_recv) /
+                            static_cast<double>(clean.measured_critical_recv)
+                      : 1.0;
+  res.bound_ratio = report.lower_bound_words > 0
+                        ? static_cast<double>(report.measured_critical_recv) /
+                              report.lower_bound_words
+                        : 0.0;
+
+  // Exactness: bit-identical output, zero escapes, and measured per-rank
+  // totals equal to baseline + the replayed transport-tax predictor.
+  bool exact = report.verified && report.output_hash == clean.output_hash &&
+               report.corruption.escaped == 0;
+  FaultProfile profile;
+  profile.drop_prob = rate;
+  profile.flip_prob = rate;
+  profile.dup_prob = rate;
+  const std::vector<PhaseCounters> tax = coll::predicted_transport_phase(
+      profile, opts.perturb.fault_seed(), opts.sdc.sdc_seed_override,
+      static_cast<int>(P), report.trace_events);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(P); ++r) {
+    exact &= report.rank_recv_words[r] ==
+             clean.rank_recv_words[r] + tax[r].words_received;
+    exact &= report.rank_sent_words[r] ==
+             clean.rank_sent_words[r] + tax[r].words_sent;
+    exact &= report.rank_messages[r] ==
+             clean.rank_messages[r] + tax[r].messages_sent;
+  }
+  if (rate == 0.0) {
+    exact &= res.injected == 0 &&
+             report.simulated_time == clean.simulated_time;
+  }
+  res.exact = exact;
+  return res;
+}
+
+void write_json(const std::string& path, const std::vector<CaseResult>& rows,
+                bool quick) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"sdc_overhead\",\n"
+      << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+      << "  \"methodology\": \"per-copy drop=flip=dup Bernoulli injection "
+         "healed by the reliable transport; tax pinned exactly against the "
+         "closed-form replay predictor; shape 96x96x96, seed 0xBE7C\",\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CaseResult& r = rows[i];
+    out << "    {\"algorithm\": \"" << r.algorithm << "\", \"procs\": " << r.P
+        << ", \"rate\": " << r.rate << ", \"injected\": " << r.injected
+        << ", \"clean_recv_words\": " << r.clean_recv
+        << ", \"faulted_recv_words\": " << r.faulted_recv
+        << ", \"retransmit_words\": " << r.retransmit_words
+        << ", \"tax_ratio\": " << r.tax_ratio
+        << ", \"bound_ratio\": " << r.bound_ratio
+        << ", \"exact\": " << (r.exact ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  const core::Shape shape{96, 96, 96};
+  const char* algorithms[] = {"grid3d_optimal", "summa"};
+  const i64 procs[] = {8, 27, 64};
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.02, 0.05, 0.10};
+
+  std::cout << "=== SDC retransmit tax vs injection rate ===\n"
+            << "(healed word-exactly by the reliable transport; 'exact' pins "
+               "totals to baseline + closed-form tax)\n\n";
+  Table table({"algorithm", "P", "rate", "injected", "clean recv",
+               "faulted recv", "retransmit w", "tax", "vs Thm3", "exact"});
+  std::vector<CaseResult> rows;
+  bool all_exact = true;
+  for (const char* name : algorithms) {
+    const mm::AlgorithmInfo& algorithm = mm::algorithm_by_name(name);
+    for (const i64 P : procs) {
+      if (!algorithm.supports(shape, P)) {
+        // summa needs a square grid; record the gap honestly instead of
+        // silently shrinking the sweep.
+        table.add_row({name, Table::fmt_int(P), "-", "-", "-", "-", "-", "-",
+                       "-", "unsupported grid"});
+        continue;
+      }
+      const mm::RunReport clean = algorithm.run_opts(
+          shape, P, mm::RunOptions::verified(mm::VerifyMode::kReference));
+      for (const double rate : rates) {
+        const CaseResult res = run_case(algorithm, shape, P, rate, clean);
+        all_exact &= res.exact;
+        rows.push_back(res);
+        table.add_row({res.algorithm, Table::fmt_int(res.P),
+                       Table::fmt(res.rate, 2), Table::fmt_int(res.injected),
+                       Table::fmt_int(res.clean_recv),
+                       Table::fmt_int(res.faulted_recv),
+                       Table::fmt_int(res.retransmit_words),
+                       Table::fmt(res.tax_ratio, 4),
+                       Table::fmt(res.bound_ratio, 4),
+                       res.exact ? "bit-exact" : "NO"});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << (all_exact ? "\nEvery run healed bit-identically and matched "
+                            "the closed-form tax exactly.\n"
+                          : "\nSOME RUN MISSED ITS PREDICTION OR LEAKED "
+                            "CORRUPTION — investigate!\n");
+  if (!out_path.empty()) {
+    write_json(out_path, rows, quick);
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return all_exact ? 0 : 1;
+}

@@ -240,4 +240,37 @@ i64 allreduce_recv_words_exact(const Comm& comm, i64 w) {
   return allreduce_recv_words_exact(comm.size(), comm.my_index(), w);
 }
 
+std::vector<PhaseCounters> predicted_transport_phase(
+    const FaultProfile& profile, std::uint64_t fault_seed,
+    std::uint64_t sdc_seed, int nprocs,
+    const std::vector<MessageEvent>& sends) {
+  CAMB_CHECK(nprocs >= 1);
+  std::vector<PhaseCounters> tax(static_cast<std::size_t>(nprocs));
+  // A fresh plan with the same seeds re-issues the exact decision stream the
+  // run consumed: decide_send(src) per counted send, in each source's
+  // program order — which is the trace's per-source seq order.
+  FaultPlan plan(profile, fault_seed, nprocs, sdc_seed);
+  for (const MessageEvent& e : sends) {
+    CAMB_CHECK(e.src >= 0 && e.src < nprocs && e.dst >= 0 && e.dst < nprocs);
+    const SendFaults f = plan.decide_send(e.src);
+    const int failed = f.dropped_copies + f.corrupt_copies;
+    const int extra = failed + (f.duplicated ? 1 : 0);
+    auto& src = tax[static_cast<std::size_t>(e.src)];
+    auto& dst = tax[static_cast<std::size_t>(e.dst)];
+    if (f.transport_exhausted) {
+      // The run would have surfaced TransportError here; only the wasted
+      // copies hit the wire.
+      src.words_sent += e.words * failed;
+      src.messages_sent += failed;
+      continue;
+    }
+    src.words_sent += e.words * extra;
+    src.messages_sent += extra;
+    dst.words_received += e.words * f.corrupt_copies;
+    dst.messages_received += f.corrupt_copies;
+    dst.messages_sent += f.corrupt_copies;  // nacks carry zero words
+  }
+  return tax;
+}
+
 }  // namespace camb::coll

@@ -10,6 +10,9 @@
 
 #include "collectives/allgather.hpp"
 #include "collectives/reduce_scatter.hpp"
+#include "machine/comm_stats.hpp"
+#include "machine/faults.hpp"
+#include "machine/trace.hpp"
 #include "util/math.hpp"
 
 namespace camb::coll {
@@ -107,5 +110,28 @@ i64 reduce_scatter_recv_words_exact(
     const Comm& comm, const std::vector<i64>& counts,
     ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
 i64 allreduce_recv_words_exact(const Comm& comm, i64 w);
+
+// ---------------------------------------------------------------------------
+// Reliable-transport tax predictor (the closed form behind the SDC tests).
+// ---------------------------------------------------------------------------
+
+/// Exact per-rank "transport"-phase counters a run will accrue under the
+/// reliable transport, computed without executing anything: replay the
+/// fault plan's SDC decision stream against the run's counted-send log
+/// (Trace::events() of a traced run — per-source subsequences are program
+/// order, which is exactly the order decide_send consumed draws in).
+///
+/// Per counted send of w words whose decision drew d dropped copies,
+/// c corrupt copies, and u ∈ {0, 1} duplicates:
+///   sender:    words_sent += w (d + c + u), messages_sent += d + c + u
+///   receiver:  words_received += w c, messages_received += c,
+///              messages_sent += c        (the zero-word nacks)
+/// Duplicate discards and implicit acks cost the receiver nothing.  A
+/// faulted run's total per-rank counters are therefore pinned to the
+/// fault-free run's plus exactly this tax — the property the chaos tests
+/// assert rank-for-rank.
+std::vector<PhaseCounters> predicted_transport_phase(
+    const FaultProfile& profile, std::uint64_t fault_seed,
+    std::uint64_t sdc_seed, int nprocs, const std::vector<MessageEvent>& sends);
 
 }  // namespace camb::coll

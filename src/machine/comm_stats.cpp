@@ -89,8 +89,27 @@ std::vector<std::string> CommStats::phases() const {
   return phase_order_;
 }
 
+TransportCounters& CommStats::transport_mut(int rank) {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  return slots_[rank].transport;
+}
+
+const TransportCounters& CommStats::transport(int rank) const {
+  CAMB_CHECK(rank >= 0 && rank < nprocs_);
+  return slots_[rank].transport;
+}
+
+TransportCounters CommStats::transport_total() const {
+  TransportCounters total;
+  for (int r = 0; r < nprocs_; ++r) total += slots_[r].transport;
+  return total;
+}
+
 void CommStats::reset() {
-  for (auto& slot : slots_) slot.by_phase.clear();
+  for (auto& slot : slots_) {
+    slot.by_phase.clear();
+    slot.transport = TransportCounters{};
+  }
 }
 
 void CommStats::note_phase_name(const std::string& phase) {

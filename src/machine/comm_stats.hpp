@@ -58,6 +58,38 @@ struct AlphaBeta {
   }
 };
 
+/// Reliable-transport event counters for one rank (machine/reliable.hpp).
+/// These are *event* counts, not word counts — the word tax of retransmits
+/// already lands in the "transport" phase counters — so recovery summaries
+/// can print them without re-deriving from the trace.  Sender-side fields
+/// (retransmits, retransmitted_words, dup_copies) are written by the
+/// sending rank's thread; receiver-side fields (corrupt_discards,
+/// dup_discards, nacks, acks) by the receiving rank's; corrections by the
+/// runner after the machine stops — the same single-writer discipline as
+/// the phase counters.
+struct TransportCounters {
+  i64 retransmits = 0;         ///< extra on-wire copies (dropped + corrupt)
+  i64 retransmitted_words = 0; ///< words those extra copies carried
+  i64 dup_copies = 0;          ///< injected duplicates put on the wire
+  i64 corrupt_discards = 0;    ///< copies this rank rejected on checksum
+  i64 dup_discards = 0;        ///< duplicates this rank discarded silently
+  i64 nacks = 0;               ///< zero-word rejections this rank sent back
+  i64 acks = 0;                ///< clean deliveries this rank acknowledged
+  i64 corrections = 0;         ///< ABFT single-error corrections applied
+
+  TransportCounters& operator+=(const TransportCounters& other) {
+    retransmits += other.retransmits;
+    retransmitted_words += other.retransmitted_words;
+    dup_copies += other.dup_copies;
+    corrupt_discards += other.corrupt_discards;
+    dup_discards += other.dup_discards;
+    nacks += other.nacks;
+    acks += other.acks;
+    corrections += other.corrections;
+    return *this;
+  }
+};
+
 /// Per-rank, per-phase communication statistics for one machine run.
 class CommStats {
  public:
@@ -102,6 +134,14 @@ class CommStats {
   /// All phase names that recorded any traffic, in first-use order.
   std::vector<std::string> phases() const;
 
+  /// Reliable-transport counters for one rank.  The mutable accessor follows
+  /// the single-writer rules documented on TransportCounters.
+  TransportCounters& transport_mut(int rank);
+  const TransportCounters& transport(int rank) const;
+
+  /// Sum of transport counters over all ranks (after the run).
+  TransportCounters transport_total() const;
+
   /// Reset all counters (phases keep their labels).
   void reset();
 
@@ -109,6 +149,7 @@ class CommStats {
   struct alignas(64) RankSlot {
     std::string active_phase = "default";
     std::map<std::string, PhaseCounters> by_phase;
+    TransportCounters transport;
   };
   int nprocs_;
   std::vector<RankSlot> slots_;

@@ -70,11 +70,18 @@ FaultProfile fault_profile_by_name(const std::string& name) {
     p.max_slowdown = 4.0;
     return p;
   }
+  if (name == "sdc") {
+    FaultProfile p;
+    p.drop_prob = 0.05;
+    p.flip_prob = 0.05;
+    p.dup_prob = 0.05;
+    return p;
+  }
   throw Error("unknown fault profile: " + name);
 }
 
 std::vector<std::string> fault_profile_names() {
-  return {"none", "delays", "drops", "stragglers", "light", "heavy"};
+  return {"none", "delays", "drops", "stragglers", "light", "heavy", "sdc"};
 }
 
 namespace {
@@ -112,7 +119,8 @@ FaultProfile fault_profile_from_spec(const std::string& spec) {
     const std::string key = item.substr(0, eq);
     const double value = parse_spec_number(key, item.substr(eq + 1));
     const bool is_prob = key == "delay_prob" || key == "fail_prob" ||
-                         key == "straggler_prob";
+                         key == "straggler_prob" || key == "drop_prob" ||
+                         key == "flip_prob" || key == "dup_prob";
     if (is_prob && (value < 0.0 || value > 1.0)) {
       throw Error("fault profile spec: " + key + " must lie in [0, 1], got " +
                   item.substr(eq + 1));
@@ -135,6 +143,14 @@ FaultProfile fault_profile_from_spec(const std::string& spec) {
       p.straggler_prob = value;
     } else if (key == "max_slowdown") {
       p.max_slowdown = value;
+    } else if (key == "drop_prob") {
+      p.drop_prob = value;
+    } else if (key == "flip_prob") {
+      p.flip_prob = value;
+    } else if (key == "dup_prob") {
+      p.dup_prob = value;
+    } else if (key == "max_transport_retries") {
+      p.max_transport_retries = static_cast<int>(value);
     } else {
       throw Error("fault profile spec: unknown key '" + key + "'");
     }
@@ -209,18 +225,27 @@ std::vector<int> CrashPlan::triggered() const {
 }
 
 FaultPlan::FaultPlan(const FaultProfile& profile, std::uint64_t seed,
-                     int nprocs)
-    : profile_(profile), seed_(seed), nprocs_(nprocs) {
+                     int nprocs, std::uint64_t sdc_seed)
+    : profile_(profile), seed_(seed),
+      sdc_seed_(sdc_seed != 0 ? sdc_seed : derive_seed(seed, kSeedDomainSdc)),
+      nprocs_(nprocs) {
   CAMB_CHECK_MSG(nprocs >= 1, "fault plan needs at least one processor");
   CAMB_CHECK_MSG(profile.delay_prob >= 0 && profile.delay_prob <= 1 &&
                      profile.fail_prob >= 0 && profile.fail_prob <= 1 &&
                      profile.straggler_prob >= 0 &&
                      profile.straggler_prob <= 1,
                  "fault probabilities must lie in [0, 1]");
+  CAMB_CHECK_MSG(profile.drop_prob >= 0 && profile.drop_prob <= 1 &&
+                     profile.flip_prob >= 0 && profile.flip_prob <= 1 &&
+                     profile.dup_prob >= 0 && profile.dup_prob <= 1,
+                 "SDC probabilities must lie in [0, 1]");
   CAMB_CHECK_MSG(profile.max_delay >= 0 && profile.max_retries >= 0 &&
                      profile.max_reorder_skip >= 0 &&
                      profile.max_slowdown >= 0,
                  "fault magnitudes must be non-negative");
+  CAMB_CHECK_MSG(!profile.any_message_sdc() ||
+                     profile.max_transport_retries >= 1,
+                 "SDC injection needs a retransmit budget of at least one");
   slots_.resize(static_cast<std::size_t>(nprocs));
   straggler_.assign(static_cast<std::size_t>(nprocs), 1.0);
   // Straggler factors are fixed per run: domain 0 of the decision space,
@@ -269,6 +294,43 @@ SendFaults FaultPlan::decide_send(int src) {
     slot.retries += out.failed_attempts;
     ++slot.failed_sends;
   }
+  if (profile_.any_message_sdc()) {
+    // SDC decisions run on their own seed and their own splitmix chain, so
+    // (a) adding them never perturbs the timing-fault draws above (the
+    // pre-SDC golden sweeps stay bit-identical) and (b) --sdc-seed replays
+    // the drop/dup/flip sequence independently of the fault seed.  Each
+    // transmitted copy draws a drop coin then a flip coin; the transport
+    // keeps retransmitting until a copy survives both or the budget is out.
+    std::uint64_t t = stream_state(
+        sdc_seed_, 1 + static_cast<std::uint64_t>(src), index);
+    for (;;) {
+      if (out.dropped_copies + out.corrupt_copies >=
+          profile_.max_transport_retries) {
+        out.transport_exhausted = true;
+        break;
+      }
+      const double drop_coin = to_unit(splitmix64(t));
+      if (profile_.drop_prob > 0 && drop_coin < profile_.drop_prob) {
+        ++out.dropped_copies;
+        continue;
+      }
+      const double flip_coin = to_unit(splitmix64(t));
+      if (profile_.flip_prob > 0 && flip_coin < profile_.flip_prob) {
+        ++out.corrupt_copies;
+        continue;
+      }
+      break;
+    }
+    if (!out.transport_exhausted) {
+      const double dup_coin = to_unit(splitmix64(t));
+      out.duplicated = profile_.dup_prob > 0 && dup_coin < profile_.dup_prob;
+    }
+    out.flip_entropy = splitmix64(t);
+    slot.dropped += out.dropped_copies;
+    slot.corrupted += out.corrupt_copies;
+    if (out.duplicated) ++slot.duplicated;
+    if (out.transport_exhausted) ++slot.exhausted;
+  }
   return out;
 }
 
@@ -290,6 +352,10 @@ FaultCounts FaultPlan::counts() const {
     total.total_retries += slot.retries;
     total.failed_sends += slot.failed_sends;
     total.reordered_messages += slot.reordered;
+    total.dropped_copies += slot.dropped;
+    total.corrupt_copies += slot.corrupted;
+    total.duplicated_messages += slot.duplicated;
+    total.exhausted_sends += slot.exhausted;
   }
   for (double f : straggler_) {
     if (f > 1.0) ++total.stragglers;

@@ -53,21 +53,37 @@ struct FaultProfile {
   int max_retries = 0;          ///< bound on failed attempts per send
   double straggler_prob = 0.0;  ///< chance a rank is a straggler
   double max_slowdown = 0.0;    ///< extra slowdown factor drawn from (0, max]
+  // Silent-data-corruption events (require the reliable transport,
+  // machine/reliable.hpp — without it a dropped copy would hang the
+  // receiver, so Machine::run rejects SDC profiles with no transport).
+  // Each probability rules on one *transmitted copy*: a send keeps
+  // retransmitting until a copy neither drops nor flips, bounded by
+  // max_transport_retries failed copies.
+  double drop_prob = 0.0;          ///< chance a transmitted copy is lost
+  double flip_prob = 0.0;          ///< chance a copy arrives bit-flipped
+  double dup_prob = 0.0;           ///< chance the clean copy arrives twice
+  int max_transport_retries = 12;  ///< retransmit budget per counted send
 
+  bool any_message_sdc() const {
+    return drop_prob > 0 || flip_prob > 0 || dup_prob > 0;
+  }
   bool any_faults() const {
-    return delay_prob > 0 || fail_prob > 0 || straggler_prob > 0;
+    return delay_prob > 0 || fail_prob > 0 || straggler_prob > 0 ||
+           any_message_sdc();
   }
 };
 
 /// Named profiles for CLI / test use: "none", "delays", "drops",
-/// "stragglers", "light", "heavy".  Throws camb::Error on unknown names.
+/// "stragglers", "light", "heavy", "sdc".  Throws camb::Error on unknown
+/// names.
 FaultProfile fault_profile_by_name(const std::string& name);
 /// All names accepted by fault_profile_by_name, stable order.
 std::vector<std::string> fault_profile_names();
 
 /// CLI-facing profile parser: accepts either a named profile or a custom
 /// "key=value,key=value" spec (keys: delay_prob, max_delay, max_reorder_skip,
-/// fail_prob, max_retries, straggler_prob, max_slowdown).  Every value is
+/// fail_prob, max_retries, straggler_prob, max_slowdown, drop_prob,
+/// flip_prob, dup_prob, max_transport_retries).  Every value is
 /// range-checked — probabilities in [0, 1], magnitudes non-negative — and a
 /// malformed spec throws camb::Error with a one-line message, so bad knobs
 /// never flow silently into a FaultPlan.
@@ -78,6 +94,16 @@ struct SendFaults {
   int failed_attempts = 0;  ///< transient failures before the send succeeds
   double delay = 0.0;       ///< added to the message's arrival stamp
   int reorder_skip = 0;     ///< legal queue-jump distance for the mailbox
+  // Silent-data-corruption events for this send (reliable-transport model):
+  // the transport transmits copies until one survives; each dropped copy
+  // vanishes in flight, each corrupt copy reaches the receiver and is
+  // discarded on checksum mismatch (nack), and the surviving copy may be
+  // duplicated in delivery.
+  int dropped_copies = 0;   ///< copies lost before one got through
+  int corrupt_copies = 0;   ///< copies delivered corrupted and nacked
+  bool duplicated = false;  ///< the clean copy is delivered twice
+  bool transport_exhausted = false;  ///< retransmit budget ran out
+  std::uint64_t flip_entropy = 0;    ///< seeds the injected bit positions
 };
 
 /// Aggregated injection counts (exact, summed over ranks after a run).
@@ -88,6 +114,10 @@ struct FaultCounts {
   i64 failed_sends = 0;      ///< sends with >= 1 failed attempt
   i64 reordered_messages = 0;
   int stragglers = 0;        ///< ranks with slowdown factor > 1
+  i64 dropped_copies = 0;    ///< SDC: copies lost in flight
+  i64 corrupt_copies = 0;    ///< SDC: copies delivered corrupted
+  i64 duplicated_messages = 0;  ///< SDC: sends whose clean copy doubled
+  i64 exhausted_sends = 0;   ///< SDC: sends that ran out their budget
 };
 
 /// The seeded, deterministic fault oracle for one machine run.
@@ -98,10 +128,15 @@ struct FaultCounts {
 /// immutable after construction; counts() is for after Machine::run.
 class FaultPlan {
  public:
-  FaultPlan(const FaultProfile& profile, std::uint64_t seed, int nprocs);
+  /// `sdc_seed` drives the drop/dup/flip decision streams independently of
+  /// the timing-fault streams (so --sdc-seed replays SDC events alone);
+  /// 0 derives one from `seed` (util/rng.hpp kSeedDomainSdc).
+  FaultPlan(const FaultProfile& profile, std::uint64_t seed, int nprocs,
+            std::uint64_t sdc_seed = 0);
 
   const FaultProfile& profile() const { return profile_; }
   std::uint64_t seed() const { return seed_; }
+  std::uint64_t sdc_seed() const { return sdc_seed_; }
   int nprocs() const { return nprocs_; }
 
   /// Rule on rank src's next counted send (advances src's send index).
@@ -125,10 +160,15 @@ class FaultPlan {
     i64 retries = 0;
     i64 failed_sends = 0;
     i64 reordered = 0;
+    i64 dropped = 0;
+    i64 corrupted = 0;
+    i64 duplicated = 0;
+    i64 exhausted = 0;
   };
 
   FaultProfile profile_;
   std::uint64_t seed_;
+  std::uint64_t sdc_seed_ = 0;
   int nprocs_;
   std::vector<RankSlot> slots_;
   std::vector<double> straggler_;

@@ -138,10 +138,19 @@ Trace& Machine::enable_trace() {
 }
 
 FaultPlan& Machine::enable_faults(const FaultProfile& profile,
-                                  std::uint64_t fault_seed) {
-  fault_plan_ = std::make_unique<FaultPlan>(profile, fault_seed, nprocs());
+                                  std::uint64_t fault_seed,
+                                  std::uint64_t sdc_seed) {
+  fault_plan_ =
+      std::make_unique<FaultPlan>(profile, fault_seed, nprocs(), sdc_seed);
   network_.set_fault_plan(fault_plan_.get());
   return *fault_plan_;
+}
+
+ReliableTransport& Machine::enable_reliable_transport(
+    std::uint64_t checksum_seed) {
+  reliable_ = std::make_unique<ReliableTransport>(checksum_seed);
+  network_.set_reliable(reliable_.get());
+  return *reliable_;
 }
 
 CrashPlan& Machine::enable_crashes(const std::vector<int>& ranks,
@@ -175,6 +184,13 @@ void Machine::handle_rank_failure(int r) {
 }
 
 void Machine::run(const std::function<void(RankCtx&)>& program) {
+  if (fault_plan_ != nullptr && fault_plan_->profile().any_message_sdc() &&
+      network_.reliable() == nullptr) {
+    throw Error(
+        "fault profile injects message drop/flip/dup events but no reliable "
+        "transport is attached — a dropped copy would hang its receiver; "
+        "call enable_reliable_transport (CLI: --reliable)");
+  }
   const int p = nprocs();
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
   std::vector<char> crashed(static_cast<std::size_t>(p), 0);
@@ -183,6 +199,7 @@ void Machine::run(const std::function<void(RankCtx&)>& program) {
   barrier_clocks_.assign(static_cast<std::size_t>(p), 0.0);
   peak_memory_.assign(static_cast<std::size_t>(p), 0);
   outcome_ = CrashOutcome{};
+  transport_debris_.clear();
   // Under the threads scheduler, rank bodies run on the process-wide worker
   // pool — real OS threads, reused across Machine runs so small programs
   // don't pay P thread create/join pairs each.  Under the fiber scheduler,
@@ -276,7 +293,16 @@ void Machine::run(const std::function<void(RankCtx&)>& program) {
   if (first_peer_crashed) std::rethrow_exception(first_peer_crashed);
   if (first_peer) std::rethrow_exception(first_peer);
   if (!any_failures) {
-    const std::vector<UndeliveredMessage> leaked = network_.undelivered();
+    std::vector<UndeliveredMessage> leaked = network_.undelivered();
+    // Injected duplicates whose originals were delivered are transport
+    // debris, not program leaks: every word of them was charged to the
+    // sender's transport phase, and the program's own envelopes all
+    // matched.  Keep them inspectable, but out of the leak report.
+    auto debris_begin = std::partition(
+        leaked.begin(), leaked.end(),
+        [](const UndeliveredMessage& m) { return !m.transport_dup; });
+    transport_debris_.assign(debris_begin, leaked.end());
+    leaked.erase(debris_begin, leaked.end());
     if (!leaked.empty()) {
       std::ostringstream msg;
       msg << "program finished with " << leaked.size()

@@ -15,6 +15,7 @@
 #include "machine/barrier.hpp"
 #include "machine/fiber.hpp"
 #include "machine/network.hpp"
+#include "machine/reliable.hpp"
 #include "machine/tags.hpp"
 #include "util/rng.hpp"
 
@@ -219,12 +220,33 @@ class Machine {
 
   /// Turn on deterministic fault injection: every subsequent counted send
   /// consults the plan (see faults.hpp for the model and cost-accounting
-  /// rules).  `fault_seed` alone determines the injected event sequence.
-  /// Must be called before run(); replaces any previously attached plan.
+  /// rules).  `fault_seed` alone determines the injected timing-event
+  /// sequence; `sdc_seed` independently drives the drop/dup/flip streams
+  /// (0 derives one from fault_seed, kSeedDomainSdc).  Must be called
+  /// before run(); replaces any previously attached plan.
   FaultPlan& enable_faults(const FaultProfile& profile,
-                           std::uint64_t fault_seed);
+                           std::uint64_t fault_seed,
+                           std::uint64_t sdc_seed = 0);
   /// The active fault plan, or nullptr when fault injection is off.
   FaultPlan* fault_plan() { return fault_plan_.get(); }
+
+  /// Turn on the reliable transport (machine/reliable.hpp): every counted
+  /// send carries a checksummed envelope, the fault plan's SDC events are
+  /// physically injected and healed (or surface as TransportError), and the
+  /// repair tax is accounted in the "transport" phase.  Required whenever
+  /// the fault profile has any drop/flip/dup probability — run() fails fast
+  /// otherwise, because a dropped copy without retransmission would hang
+  /// the receiver.  Must be called before run().
+  ReliableTransport& enable_reliable_transport(std::uint64_t checksum_seed);
+  /// The active transport, or nullptr when the network is trusted.
+  ReliableTransport* reliable_transport() { return reliable_.get(); }
+
+  /// After a clean run under SDC injection: injected duplicates still parked
+  /// in mailboxes at exit (their originals were delivered — this is benign
+  /// transport debris, excluded from the leak check).
+  const std::vector<UndeliveredMessage>& transport_debris() const {
+    return transport_debris_;
+  }
 
   /// Turn on deterministic crash injection: each listed rank dies at a send
   /// position drawn from (crash_seed, rank) in [0, max_send_position].
@@ -276,6 +298,8 @@ class Machine {
   std::unique_ptr<Trace> trace_;
   std::unique_ptr<FaultPlan> fault_plan_;
   std::unique_ptr<CrashPlan> crash_plan_;
+  std::unique_ptr<ReliableTransport> reliable_;
+  std::vector<UndeliveredMessage> transport_debris_;
   AlphaBeta time_params_{1.0, 1.0};
   SchedulerSpec scheduler_;
   std::vector<double> final_clocks_;

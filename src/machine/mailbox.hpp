@@ -60,6 +60,13 @@ struct Message {
   Buffer payload;
   std::string phase;
   std::uint64_t seq = 0;  ///< arrival sequence, assigned by the mailbox
+  // Reliable-transport envelope fields (machine/reliable.hpp).  The checksum
+  // is metadata, not payload — it adds no words to any count.  A copy marked
+  // transport_dup is an injected duplicate of an already-delivered message:
+  // the receive path discards it silently, and one still parked here at run
+  // end is transport debris, not a program leak.
+  std::uint64_t checksum = 0;
+  bool transport_dup = false;
 };
 
 /// One message left in a mailbox after a run — the leak / crash-debris
@@ -70,6 +77,7 @@ struct UndeliveredMessage {
   int tag = 0;
   i64 words = 0;
   std::string phase;
+  bool transport_dup = false;  ///< injected duplicate — benign debris
 };
 
 /// How a blocking receive concluded under failure marking.

@@ -1,5 +1,6 @@
 #include "machine/network.hpp"
 
+#include "machine/reliable.hpp"
 #include "util/error.hpp"
 
 namespace camb {
@@ -32,8 +33,14 @@ void Network::send(int src, int dst, int tag, Buffer payload,
   }
   // Counted or not, delivery is a move of the payload's storage into the
   // destination mailbox; a self-send in particular costs zero copies.
-  mailboxes_[dst]->push(Message{src, tag, depart_time, std::move(payload),
-                                stats_.phase(src)});
+  Message msg{src, tag, depart_time, std::move(payload), stats_.phase(src)};
+  if (counted && reliable_ != nullptr) {
+    // The plain (unclocked) path injects no SDC events, but its envelopes
+    // still need valid checksums or the transport-aware receive would nack
+    // them forever.
+    msg.checksum = reliable_->checksum(msg.payload);
+  }
+  mailboxes_[dst]->push(std::move(msg));
 }
 
 double Network::send_timed(int src, int dst, int tag, Buffer payload,
@@ -62,9 +69,45 @@ double Network::send_timed(int src, int dst, int tag, Buffer payload,
   }
   const int attempts = 1 + faults.failed_attempts;
   const auto words = static_cast<i64>(payload.size());
-  // Latency charged per attempt (with backoff), payload words exactly once.
-  clock += slowdown * (params.alpha * FaultPlan::retry_alpha_units(attempts) +
-                       params.beta * static_cast<double>(words));
+  // SDC events are physical only under the reliable transport; Machine::run
+  // rejects SDC profiles without one, so this guard is belt-and-braces.
+  const bool sdc_active = reliable_ != nullptr;
+  const int failed_copies =
+      sdc_active ? faults.dropped_copies + faults.corrupt_copies : 0;
+  const bool duplicated = sdc_active && faults.duplicated;
+
+  if (sdc_active && faults.transport_exhausted) {
+    // Every copy in the budget dropped or arrived corrupt: the transport
+    // gives up.  The wasted wire words and backoff latency are still real —
+    // account them in the transport phase, then surface the named error.
+    clock += slowdown *
+             (params.alpha *
+                  FaultPlan::retry_alpha_units(faults.failed_attempts +
+                                               failed_copies) +
+              params.beta * static_cast<double>(words * failed_copies));
+    const std::string active = stats_.phase(src);
+    stats_.set_phase(src, kPhaseTransport);
+    for (int k = 0; k < failed_copies; ++k) stats_.record_send(src, words);
+    stats_.set_phase(src, active);
+    auto& tc = stats_.transport_mut(src);
+    tc.retransmits += failed_copies;
+    tc.retransmitted_words += words * failed_copies;
+    if (trace_ != nullptr) {
+      trace_->record_transport(src, dst, tag, words, faults.dropped_copies,
+                               faults.corrupt_copies, false);
+    }
+    throw TransportError(src, dst, tag, failed_copies);
+  }
+
+  // Latency charged per attempt (with backoff), payload words exactly once
+  // in the algorithm phase; every failed transport copy costs one more
+  // backoff round and its wire words, the duplicate one more plain send.
+  clock += slowdown *
+           (params.alpha *
+                FaultPlan::retry_alpha_units(attempts + failed_copies) +
+            params.beta * static_cast<double>(words * (1 + failed_copies)) +
+            (duplicated ? params.alpha + params.beta * static_cast<double>(words)
+                        : 0.0));
   stats_.record_send(src, words);
   if (trace_ != nullptr) {
     trace_->record(src, dst, tag, words, stats_.phase(src));
@@ -73,29 +116,127 @@ double Network::send_timed(int src, int dst, int tag, Buffer payload,
                            faults.reorder_skip);
     }
   }
-  mailboxes_[dst]->push(
-      Message{src, tag, clock + faults.delay, std::move(payload),
-              stats_.phase(src)},
-      faults.reorder_skip);
+  const int extra_copies = failed_copies + (duplicated ? 1 : 0);
+  if (extra_copies > 0) {
+    // Sender-side transport tax: one counted send per extra on-wire copy
+    // (dropped, corrupted, or duplicated), in the dedicated phase so the
+    // algorithm phases stay word-exact to the fault-free run.
+    const std::string active = stats_.phase(src);
+    stats_.set_phase(src, kPhaseTransport);
+    for (int k = 0; k < extra_copies; ++k) stats_.record_send(src, words);
+    stats_.set_phase(src, active);
+    auto& tc = stats_.transport_mut(src);
+    tc.retransmits += failed_copies;
+    tc.retransmitted_words += words * failed_copies;
+    if (duplicated) ++tc.dup_copies;
+    if (trace_ != nullptr) {
+      trace_->record_transport(src, dst, tag, words, faults.dropped_copies,
+                               faults.corrupt_copies, duplicated);
+    }
+  }
+
+  const double stamp = clock + faults.delay;
+  const std::string& phase = stats_.phase(src);
+  if (sdc_active) {
+    // Corrupt copies are deposited *before* the clean one: per-envelope
+    // FIFO order guarantees the receiver sees (and nacks) them first, which
+    // is exactly the drop-discard-retransmit schedule of a real ARQ.
+    // Dropped copies never reach the mailbox at all.
+    const std::uint64_t clean_checksum = reliable_->checksum(payload);
+    for (int k = 0; k < faults.corrupt_copies; ++k) {
+      Message corrupt;
+      corrupt.src = src;
+      corrupt.tag = tag;
+      corrupt.depart_time = stamp;
+      corrupt.payload = reliable_->forge_corrupt_copy(
+          payload, faults.flip_entropy, k, &corrupt.checksum);
+      corrupt.phase = phase;
+      mailboxes_[dst]->push(std::move(corrupt), faults.reorder_skip);
+    }
+    Buffer dup_payload = duplicated
+                             ? Buffer::copy_of(payload.data(), payload.size())
+                             : Buffer();
+    Message clean;
+    clean.src = src;
+    clean.tag = tag;
+    clean.depart_time = stamp;
+    clean.payload = std::move(payload);
+    clean.phase = phase;
+    clean.checksum = clean_checksum;
+    mailboxes_[dst]->push(std::move(clean), faults.reorder_skip);
+    if (duplicated) {
+      Message dup;
+      dup.src = src;
+      dup.tag = tag;
+      dup.depart_time = stamp;
+      dup.payload = std::move(dup_payload);
+      dup.phase = phase;
+      dup.checksum = clean_checksum;
+      dup.transport_dup = true;
+      mailboxes_[dst]->push(std::move(dup), faults.reorder_skip);
+    }
+  } else {
+    mailboxes_[dst]->push(Message{src, tag, stamp, std::move(payload), phase},
+                          faults.reorder_skip);
+  }
   return clock;
+}
+
+// Transport-side acceptance check, shared by both receive paths.  Returns
+// true when `msg` is a real delivery; false when it was transport debris
+// (an injected duplicate, discarded silently, or a corrupt copy, nacked and
+// charged to the receiver's transport phase) and the caller must pop again.
+bool Network::transport_accept(int dst, Message& msg) {
+  if (msg.src == dst || reliable_ == nullptr) return true;
+  if (msg.transport_dup) {
+    // A duplicate of an envelope already delivered: the wire words were
+    // charged to the sender, the receiver drops it for free.
+    ++stats_.transport_mut(dst).dup_discards;
+    return false;
+  }
+  if (msg.checksum != reliable_->checksum(msg.payload)) {
+    // Corrupt copy: the words did arrive (and are charged to the receiver's
+    // transport phase), the zero-word nack goes back, and the retransmit is
+    // already queued behind it in the same envelope.
+    auto& tc = stats_.transport_mut(dst);
+    ++tc.corrupt_discards;
+    ++tc.nacks;
+    const std::string active = stats_.phase(dst);
+    stats_.set_phase(dst, kPhaseTransport);
+    stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));
+    stats_.record_send(dst, 0);  // the nack
+    stats_.set_phase(dst, active);
+    return false;
+  }
+  ++stats_.transport_mut(dst).acks;
+  return true;
 }
 
 Buffer Network::recv(int dst, int src, int tag, double* arrival_time) {
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
-  Message msg = mailboxes_[dst]->pop_matching(src, tag);
-  if (src != dst) {
-    stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));
+  for (;;) {
+    Message msg = mailboxes_[dst]->pop_matching(src, tag);
+    if (!transport_accept(dst, msg)) continue;
+    if (src != dst) {
+      stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));
+    }
+    if (arrival_time != nullptr) *arrival_time = msg.depart_time;
+    return std::move(msg.payload);
   }
-  if (arrival_time != nullptr) *arrival_time = msg.depart_time;
-  return std::move(msg.payload);
 }
 
 RecvStatus Network::recv_or_failed(int dst, int src, int tag, double deadline,
                                    Buffer* payload, double* arrival_time) {
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
   Message msg;
-  const RecvStatus status =
-      mailboxes_[dst]->pop_matching_or_failed(src, tag, deadline, &msg);
+  RecvStatus status;
+  for (;;) {
+    status = mailboxes_[dst]->pop_matching_or_failed(src, tag, deadline, &msg);
+    if (status == RecvStatus::kDelivered && !transport_accept(dst, msg)) {
+      continue;  // transport debris — the real delivery is still queued
+    }
+    break;
+  }
   if (status == RecvStatus::kDelivered) {
     if (src != dst) {
       stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));

@@ -24,6 +24,8 @@
 
 namespace camb {
 
+class ReliableTransport;
+
 class Network {
  public:
   explicit Network(int nprocs);
@@ -50,6 +52,17 @@ class Network {
   /// whose planned crash triggers throws RankCrashed instead of sending.
   void set_crash_plan(CrashPlan* plan) { crash_plan_ = plan; }
   CrashPlan* crash_plan() { return crash_plan_; }
+
+  /// Attach (or detach with nullptr) the reliable transport
+  /// (machine/reliable.hpp).  With a transport attached every counted send
+  /// carries a checksummed envelope, the fault plan's SDC events (drops,
+  /// bit-flips, duplicates) are physically injected — extra copies on the
+  /// wire, corrupt copies nacked and retransmitted, duplicates discarded —
+  /// and a send that exhausts its retransmit budget throws TransportError.
+  /// All repair tax is accounted in the "transport" phase; algorithm phases
+  /// stay word-exact to the fault-free run.  Not owned.
+  void set_reliable(ReliableTransport* transport) { reliable_ = transport; }
+  ReliableTransport* reliable() { return reliable_; }
 
   /// Send `payload` from rank `src` to rank `dst` with tag `tag`.
   /// Buffered: returns as soon as the message is deposited. Self-sends are
@@ -114,11 +127,17 @@ class Network {
   std::vector<UndeliveredMessage> undelivered();
 
  private:
+  /// Reliable-transport acceptance of one popped message: true for a real
+  /// delivery, false for debris (dup discarded silently, corrupt copy
+  /// nacked) that the receive loop must pop past.
+  bool transport_accept(int dst, Message& msg);
+
   int nprocs_;
   CommStats stats_;
   Trace* trace_ = nullptr;
   FaultPlan* fault_plan_ = nullptr;
   CrashPlan* crash_plan_ = nullptr;
+  ReliableTransport* reliable_ = nullptr;
   // Pools are declared before mailboxes and so outlive them during
   // destruction: a queued Buffer destroyed by ~Mailbox can always reach its
   // origin pool.

@@ -1,0 +1,51 @@
+#include "machine/reliable.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace camb {
+
+std::uint64_t checksum64(const double* data, std::size_t words,
+                         std::uint64_t seed) {
+  // Seeded splitmix64 chain over the payload's bit patterns.  Length is
+  // folded in so a truncated payload can't collide with its prefix, and the
+  // final mix makes single-bit payload differences avalanche through the
+  // whole digest — a one-bit flip is always detected.
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (words + 1));
+  std::uint64_t acc = splitmix64(state);
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    state ^= bits;
+    acc ^= splitmix64(state);
+  }
+  return acc;
+}
+
+Buffer ReliableTransport::forge_corrupt_copy(
+    const Buffer& payload, std::uint64_t entropy, int copy_index,
+    std::uint64_t* checksum_out) const {
+  const std::uint64_t original = checksum(payload);
+  std::uint64_t state =
+      entropy ^ (0xA0761D6478BD642FULL *
+                 (static_cast<std::uint64_t>(copy_index) + 1));
+  const std::uint64_t draw = splitmix64(state);
+  if (payload.size() == 0) {
+    // Nothing on the wire to flip but the envelope itself: corrupt the
+    // checksum field, so verification against the empty payload still fails.
+    *checksum_out = original ^ (1ULL << (draw & 63));
+    return Buffer::zeros(0);
+  }
+  Buffer copy = Buffer::copy_of(payload.data(), payload.size());
+  const std::size_t word = static_cast<std::size_t>(draw % payload.size());
+  const int bit = static_cast<int>((draw >> 32) & 63);
+  std::uint64_t bits;
+  std::memcpy(&bits, &copy.data()[word], sizeof(bits));
+  bits ^= 1ULL << bit;
+  std::memcpy(&copy.data()[word], &bits, sizeof(bits));
+  *checksum_out = original;  // the sender stamped the clean payload's digest
+  return copy;
+}
+
+}  // namespace camb

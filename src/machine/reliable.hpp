@@ -1,0 +1,105 @@
+// reliable.hpp — the opt-in reliable transport over the counted network.
+//
+// The SDC fault class (faults.hpp: seeded message drop, duplication, and
+// payload bit-flip events) models a network that is no longer trustworthy at
+// the word level.  This layer restores exactly-once, uncorrupted delivery on
+// top of it, the way real interconnects and MPI layers do — checksummed
+// envelopes, acknowledgements, and timeout-driven retransmission — while
+// keeping every cost observable and every decision deterministic:
+//
+//   * every counted send carries a seeded 64-bit checksum over its payload;
+//   * a dropped copy is retransmitted after a timeout that doubles per
+//     attempt (the same exponential-backoff latency schedule the transient-
+//     retry path uses, charged to the sender's logical clock);
+//   * a corrupted copy reaches the receiver, fails checksum verification,
+//     and is discarded with a zero-word nack (accounted like the heartbeat
+//     probes: messages, never words, in the dedicated "transport" phase);
+//     the retransmit follows in the same envelope, so per-envelope FIFO
+//     order — the only order tag matching can observe — is preserved;
+//   * a duplicated copy is flagged in its envelope and discarded free of
+//     charge at the receiver (the wire words were already charged to the
+//     sender); a duplicate still parked in a mailbox at run end is benign
+//     transport debris, not a program leak;
+//   * positive acks are implicit in the synchronous model (the sender's
+//     timeout window closing without a nack *is* the ack), so healing adds
+//     words only for copies that actually hit the wire.
+//
+// Accounting invariant: all transport tax lands in the "transport" phase
+// (kPhaseTransport), so the algorithm phases of a faulted run stay word-
+// exact to the fault-free run, and the tax itself is pinned exactly by
+// coll::predicted_transport_phase replaying the plan against the send log.
+// When the retransmit budget runs out the send surfaces as a TransportError
+// naming the envelope — never a hang, never a silently wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/buffer_pool.hpp"
+#include "util/error.hpp"
+
+namespace camb {
+
+/// Phase label under which all retransmit/discard/nack tax is accounted.
+inline constexpr const char* kPhaseTransport = "transport";
+
+/// Thrown by the transport when a send exhausts its retransmit budget
+/// (faults.hpp max_transport_retries): the named, structured give-up path.
+class TransportError : public Error {
+ public:
+  TransportError(int src, int dst, int tag, int failed_copies)
+      : Error("reliable transport gave up on send " + std::to_string(src) +
+              " -> " + std::to_string(dst) + " tag " + std::to_string(tag) +
+              " after " + std::to_string(failed_copies) +
+              " dropped/corrupted copies (retransmit budget exhausted)"),
+        src_(src), dst_(dst), tag_(tag), failed_copies_(failed_copies) {}
+
+  int src() const { return src_; }
+  int dst() const { return dst_; }
+  int tag() const { return tag_; }
+  int failed_copies() const { return failed_copies_; }
+
+ private:
+  int src_;
+  int dst_;
+  int tag_;
+  int failed_copies_;
+};
+
+/// Seeded 64-bit payload checksum (splitmix64-mixed over the words' bit
+/// patterns).  Deterministic across platforms; the seed keys the hash so
+/// distinct transports disagree about what "valid" looks like.
+std::uint64_t checksum64(const double* data, std::size_t words,
+                         std::uint64_t seed);
+
+/// The per-machine transport state: the checksum key plus the corrupt-copy
+/// forge used by the injection path.  Attached to the Network (not owned);
+/// per-copy counters live in CommStats so they follow the same per-rank
+/// thread-confinement discipline as every other counter.
+class ReliableTransport {
+ public:
+  explicit ReliableTransport(std::uint64_t checksum_seed)
+      : checksum_seed_(checksum_seed) {}
+
+  std::uint64_t checksum_seed() const { return checksum_seed_; }
+
+  /// The checksum a clean copy of `payload` carries.
+  std::uint64_t checksum(const Buffer& payload) const {
+    return checksum64(payload.data(), payload.size(), checksum_seed_);
+  }
+
+  /// Forge the `copy_index`-th corrupted copy of `payload` for injection: a
+  /// real bit is flipped at a position drawn from `entropy` (the plan's
+  /// per-send SDC entropy), so detection happens the honest way — the
+  /// receiver recomputes the checksum and it disagrees.  For empty payloads
+  /// the corruption hits the checksum itself instead.  `checksum_out`
+  /// receives the checksum of the *original* payload (what the sender
+  /// stamped before the wire corrupted the copy).
+  Buffer forge_corrupt_copy(const Buffer& payload, std::uint64_t entropy,
+                            int copy_index, std::uint64_t* checksum_out) const;
+
+ private:
+  std::uint64_t checksum_seed_;
+};
+
+}  // namespace camb

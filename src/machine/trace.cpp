@@ -39,6 +39,37 @@ void Trace::record_fault(int src, int dst, int tag, int failed_attempts,
   fault_events_.push_back(event);
 }
 
+void Trace::record_transport(int src, int dst, int tag, i64 words,
+                             int dropped_copies, int corrupt_copies,
+                             bool duplicated) {
+  TransportEvent event;
+  event.seq = next_seq_.fetch_add(1);
+  event.src = src;
+  event.dst = dst;
+  event.tag = tag;
+  event.words = words;
+  event.dropped_copies = dropped_copies;
+  event.corrupt_copies = corrupt_copies;
+  event.duplicated = duplicated;
+  std::lock_guard<std::mutex> lock(mutex_);
+  transport_events_.push_back(event);
+}
+
+std::vector<TransportEvent> Trace::transport_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TransportEvent> snapshot = transport_events_;
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const TransportEvent& a, const TransportEvent& b) {
+              return a.seq < b.seq;
+            });
+  return snapshot;
+}
+
+std::size_t Trace::transport_event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return transport_events_.size();
+}
+
 std::vector<FaultEvent> Trace::fault_events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<FaultEvent> snapshot = fault_events_;

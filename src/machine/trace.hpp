@@ -40,6 +40,22 @@ struct FaultEvent {
   int reorder_skip = 0;     ///< queue positions the message jumped
 };
 
+/// One recorded reliable-transport repair (machine/reliable.hpp): a send
+/// whose copies were dropped, corrupted, or duplicated on the wire.  Shares
+/// the sequence counter with MessageEvent, so transport events interleave
+/// with the message log and a phase-trace reader sees retransmits in send
+/// order.
+struct TransportEvent {
+  std::uint64_t seq = 0;
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  i64 words = 0;            ///< payload words per copy
+  int dropped_copies = 0;   ///< copies lost in flight
+  int corrupt_copies = 0;   ///< copies delivered corrupted and nacked
+  bool duplicated = false;  ///< the clean copy was delivered twice
+};
+
 class Trace {
  public:
   explicit Trace(int nprocs);
@@ -54,10 +70,21 @@ class Trace {
   void record_fault(int src, int dst, int tag, int failed_attempts,
                     double delay, int reorder_skip);
 
+  /// Record one reliable-transport repair (thread-safe; called by the
+  /// network when SDC injection touched the matching send).
+  void record_transport(int src, int dst, int tag, i64 words,
+                        int dropped_copies, int corrupt_copies,
+                        bool duplicated);
+
   /// Snapshot of all fault events in sequence order.
   std::vector<FaultEvent> fault_events() const;
 
   std::size_t fault_event_count() const;
+
+  /// Snapshot of all transport events in sequence order.
+  std::vector<TransportEvent> transport_events() const;
+
+  std::size_t transport_event_count() const;
 
   /// Snapshot of all events in sequence order.
   std::vector<MessageEvent> events() const;
@@ -85,6 +112,7 @@ class Trace {
   std::atomic<std::uint64_t> next_seq_{0};
   std::vector<MessageEvent> events_;
   std::vector<FaultEvent> fault_events_;
+  std::vector<TransportEvent> transport_events_;
 };
 
 }  // namespace camb

@@ -238,6 +238,13 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
     }
   }
 
+  // Export the checksum state before any return path: the runner's
+  // single-error correction pass (summa_abft_correct) intersects these
+  // against the assembled tiles after the machine stops.
+  if (hold_s) out.s_sum = s_sum;
+  if (hold_r) out.r_sum = r_sum;
+  if (is_corner) out.t_sum = t_sum;
+
   // Agreement: every survivor learns the same failed set.  The recovery
   // world comm leases from the recovery cursor, which abandonment does not
   // touch, so clean and abandoned survivors agree on its tags.
@@ -374,6 +381,8 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
       }
     }
   }
+
+  out.parity = parity;  // exported for grid3d_abft_correct
 
   ctx.set_phase(kPhaseAbftShrink);
   const coll::Comm rec_world =
@@ -594,6 +603,9 @@ SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
   }
   // No shrink / reconstruction: under rollback a crash aborts the round and
   // the machine re-executes from the last committed epoch instead.
+  if (hold_s) out.s_sum = s_sum;
+  if (hold_r) out.r_sum = r_sum;
+  if (is_corner) out.t_sum = t_sum;
   return out;
 }
 
@@ -710,6 +722,7 @@ Grid3dAbftOutput grid3d_abft_ckpt_rank(ckpt::Session& session,
       return snap;
     });
   }
+  out.parity = parity;
   return out;
 }
 
@@ -735,6 +748,157 @@ i64 grid3d_abft_ckpt_base_recv_words(const Grid3dAbftConfig& cfg, int rank) {
   return grid3d_abft_predicted_recv_words(cfg, rank) -
          coll::shrink_recv_words_exact(
              static_cast<int>(cfg.base.grid.total()), cfg.max_failures);
+}
+
+AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
+                                  std::vector<SummaAbftOutput>& outputs) {
+  const i64 g = cfg.base.g;
+  CAMB_CHECK_MSG(static_cast<i64>(outputs.size()) == g * g,
+                 "correction needs every rank's output");
+  const BlockDist1D d1(cfg.base.shape.n1, g), d3(cfg.base.shape.n3, g);
+  const i64 d1max = d1.size(0);
+
+  // A corrupted cell at local (r, c) of tile (i*, j*) shows up at exactly
+  // (r, c) in both its column syndrome D_{j*} (pad_rows keeps local rows)
+  // and its row syndrome E_{i*} (pad_cols keeps local columns), with the
+  // same magnitude — all sums are exact on the integer-valued pattern, so
+  // clean cells have syndrome exactly zero.
+  struct Hit {
+    i64 block = -1;  // j for column hits, i for row hits
+    i64 r = 0;
+    i64 c = 0;
+    double delta = 0.0;
+  };
+  std::vector<Hit> col_hits, row_hits;
+  for (i64 j = 0; j < g; ++j) {
+    const MatrixD& s = outputs[static_cast<std::size_t>(rank_of(0, j, g))].s_sum;
+    CAMB_CHECK_MSG(s.rows() == d1max && s.cols() == d3.size(j),
+                   "correction needs the checksums of a crash-free run");
+    MatrixD d(d1max, d3.size(j));
+    for (i64 i = 0; i < g; ++i) {
+      const MatrixD& tile =
+          outputs[static_cast<std::size_t>(rank_of(i, j, g))].own.block;
+      for (i64 r = 0; r < tile.rows(); ++r) {
+        for (i64 c = 0; c < tile.cols(); ++c) d(r, c) += tile(r, c);
+      }
+    }
+    for (i64 r = 0; r < d.rows(); ++r) {
+      for (i64 c = 0; c < d.cols(); ++c) {
+        const double delta = d(r, c) - s(r, c);
+        if (delta != 0.0) col_hits.push_back(Hit{j, r, c, delta});
+      }
+    }
+  }
+  for (i64 i = 0; i < g; ++i) {
+    const MatrixD& rsum =
+        outputs[static_cast<std::size_t>(rank_of(i, 0, g))].r_sum;
+    CAMB_CHECK_MSG(rsum.rows() == d1.size(i),
+                   "correction needs the checksums of a crash-free run");
+    MatrixD e(d1.size(i), rsum.cols());
+    for (i64 j = 0; j < g; ++j) {
+      const MatrixD& tile =
+          outputs[static_cast<std::size_t>(rank_of(i, j, g))].own.block;
+      for (i64 r = 0; r < tile.rows(); ++r) {
+        for (i64 c = 0; c < tile.cols(); ++c) e(r, c) += tile(r, c);
+      }
+    }
+    for (i64 r = 0; r < e.rows(); ++r) {
+      for (i64 c = 0; c < e.cols(); ++c) {
+        const double delta = e(r, c) - rsum(r, c);
+        if (delta != 0.0) row_hits.push_back(Hit{i, r, c, delta});
+      }
+    }
+  }
+
+  AbftCorrection result;
+  if (col_hits.empty() && row_hits.empty()) return result;
+  if (col_hits.size() == 1 && row_hits.size() == 1) {
+    const Hit& ch = col_hits.front();
+    const Hit& rh = row_hits.front();
+    if (ch.r == rh.r && ch.c == rh.c && ch.delta == rh.delta) {
+      const int rank = rank_of(rh.block, ch.block, g);
+      MatrixD& tile = outputs[static_cast<std::size_t>(rank)].own.block;
+      if (ch.r < tile.rows() && ch.c < tile.cols()) {
+        tile(ch.r, ch.c) -= ch.delta;
+        result.detected = 1;
+        result.corrected = 1;
+        result.corrected_ranks.push_back(rank);
+        return result;
+      }
+    }
+  }
+  // More simultaneous errors than the single-error code localizes (or an
+  // inconsistent intersection): report them for the Freivalds backstop.
+  result.detected =
+      static_cast<int>(std::max(col_hits.size(), row_hits.size()));
+  result.uncorrected = result.detected;
+  return result;
+}
+
+AbftCorrection grid3d_abft_correct(
+    const Grid3dAbftConfig& cfg, std::vector<Grid3dAbftOutput>& outputs,
+    const std::function<double(i64, i64)>& expected_entry) {
+  const GridMap map(cfg.base.grid);
+  CAMB_CHECK_MSG(cfg.base.grid.total() == static_cast<i64>(outputs.size()),
+                 "correction needs every rank's output");
+  AbftCorrection result;
+  for (i64 q1 = 0; q1 < cfg.base.grid.p1; ++q1) {
+    for (i64 q3 = 0; q3 < cfg.base.grid.p3; ++q3) {
+      const std::vector<int> members = map.fiber(1, q1, 0, q3);
+      const std::vector<double>& parity =
+          outputs[static_cast<std::size_t>(members.front())].parity;
+      CAMB_CHECK_MSG(!parity.empty() || cfg.base.shape.n1 == 0,
+                     "correction needs the parities of a crash-free run");
+      const i64 lmax = static_cast<i64>(parity.size());
+      // Parity syndrome: the members' chunks overlap *elementwise* in the
+      // fiber parity (each chunk padded to lmax), so a nonzero entry gives
+      // the corrupted local element and magnitude but not the member.
+      std::vector<double> syndrome(parity.size(), 0.0);
+      for (int m : members) {
+        const std::vector<double>& data =
+            outputs[static_cast<std::size_t>(m)].own.c_data;
+        for (std::size_t k = 0; k < data.size(); ++k) syndrome[k] += data[k];
+      }
+      for (i64 k = 0; k < lmax; ++k) {
+        syndrome[static_cast<std::size_t>(k)] -=
+            parity[static_cast<std::size_t>(k)];
+        const double delta = syndrome[static_cast<std::size_t>(k)];
+        if (delta == 0.0) continue;
+        ++result.detected;
+        // Disambiguate by recomputing the one expected entry per candidate
+        // member: exactly one should disagree with it, by exactly delta.
+        int culprit = -1;
+        int mismatches = 0;
+        for (int m : members) {
+          const Grid3dRankOutput& own =
+              outputs[static_cast<std::size_t>(m)].own;
+          if (k >= static_cast<i64>(own.c_data.size())) continue;
+          const i64 flat = own.c_chunk.flat_start + k;
+          const double expected =
+              expected_entry(own.c_chunk.row0 + flat / own.c_chunk.cols,
+                             own.c_chunk.col0 + flat % own.c_chunk.cols);
+          const double actual = own.c_data[static_cast<std::size_t>(k)];
+          if (actual != expected) {
+            ++mismatches;
+            if (actual - expected == delta) culprit = m;
+          }
+        }
+        if (mismatches == 1 && culprit >= 0) {
+          outputs[static_cast<std::size_t>(culprit)]
+              .own.c_data[static_cast<std::size_t>(k)] -= delta;
+          ++result.corrected;
+          result.corrected_ranks.push_back(culprit);
+        } else {
+          ++result.uncorrected;
+        }
+      }
+    }
+  }
+  std::sort(result.corrected_ranks.begin(), result.corrected_ranks.end());
+  result.corrected_ranks.erase(std::unique(result.corrected_ranks.begin(),
+                                           result.corrected_ranks.end()),
+                               result.corrected_ranks.end());
+  return result;
 }
 
 i64 grid3d_abft_predicted_recv_words(const Grid3dAbftConfig& cfg, int rank) {

@@ -25,6 +25,8 @@
 // tests assert.
 #pragma once
 
+#include <functional>
+
 #include "matmul/grid3d.hpp"
 #include "matmul/summa.hpp"
 
@@ -54,6 +56,14 @@ struct SummaAbftOutput {
   std::vector<RecoveredBlock2D> recovered;  ///< tiles this rank reconstructed
   bool abandoned = false;  ///< did this rank take the degraded-local path?
   std::vector<int> failed;  ///< agreed failed ranks (same on all survivors)
+  // Exported checksum state for post-run error correction (empty on
+  // non-holders): S_j = sum_i pad_rows(C_ij) on rank (0, j), R_i =
+  // sum_j pad_cols(C_ij) on rank (i, 0), T = sum_ij pad(C_ij) on the
+  // corner.  summa_abft_correct intersects the row/column syndromes these
+  // induce to locate and repair a single corrupted output cell.
+  MatrixD s_sum;
+  MatrixD r_sum;
+  MatrixD t_sum;
 };
 
 struct RecoveredChunk3D {
@@ -67,6 +77,10 @@ struct Grid3dAbftOutput {
   std::vector<RecoveredChunk3D> recovered;
   bool abandoned = false;
   std::vector<int> failed;
+  /// Exported C-fiber parity X = sum_q2 pad(c_chunk) (every fiber member
+  /// holds a copy after the encode All-Reduce); grid3d_abft_correct checks
+  /// each fiber's chunks against it to detect and repair corrupted cells.
+  std::vector<double> parity;
 };
 
 /// SPMD body of checksum-augmented SUMMA for one rank.  Requires g >= 2.
@@ -117,6 +131,46 @@ i64 grid3d_abft_ckpt_snapshot_words(const Grid3dAbftConfig& cfg, int logical,
 /// agreement (rollback replaces it with its own flood, costed separately).
 i64 summa_abft_ckpt_base_recv_words(const SummaAbftConfig& cfg, int rank);
 i64 grid3d_abft_ckpt_base_recv_words(const Grid3dAbftConfig& cfg, int rank);
+
+// ---------------------------------------------------------------------------
+// Single-error detection and correction (the SDC upgrade: the same checksums
+// that reconstruct a *missing* tile after a crash also locate and repair a
+// *corrupted* cell — the original Huang–Abraham use of the encoding).
+// ---------------------------------------------------------------------------
+
+/// What a post-run correction pass observed.  `detected` counts corrupted
+/// cells the checksum syndromes flagged; `corrected` of them were localized
+/// and repaired in place; `uncorrected` could not be disambiguated (more
+/// simultaneous errors than the single-error code covers) and are left for
+/// the Freivalds backstop.
+struct AbftCorrection {
+  int detected = 0;
+  int corrected = 0;
+  int uncorrected = 0;
+  std::vector<int> corrected_ranks;  ///< ranks whose tiles were repaired
+
+  bool clean() const { return detected == 0; }
+};
+
+/// Check every rank's output tile against the exported S/R checksums and
+/// repair a single corrupted cell in place.  The column syndrome
+/// D_j = sum_i pad_rows(C_ij) - S_j localizes the block column, local cell,
+/// and error magnitude; the row syndrome E_i = sum_j pad_cols(C_ij) - R_i
+/// localizes the block row; a unique, consistent intersection identifies
+/// the tile and the repair is exact (integer-valued arithmetic).  Outputs
+/// must come from a crash-free run (every rank's checksums present).
+AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
+                                  std::vector<SummaAbftOutput>& outputs);
+
+/// Grid3d analogue over the C-fiber parities.  The parity syndrome gives
+/// the corrupted local element and magnitude but not *which* fiber member
+/// holds it (the members' chunks overlap elementwise in the parity);
+/// `expected_entry(row, col)` — one exact dot product of the global inputs
+/// per candidate — disambiguates.  Errors the intersection cannot pin down
+/// are reported uncorrected for the Freivalds backstop.
+AbftCorrection grid3d_abft_correct(
+    const Grid3dAbftConfig& cfg, std::vector<Grid3dAbftOutput>& outputs,
+    const std::function<double(i64, i64)>& expected_entry);
 
 /// Phase labels (encode/shrink/recover traffic is accounted separately from
 /// the base algorithm's phases; failure-detection probes land in the

@@ -21,15 +21,30 @@ constexpr i64 kReferenceFlopLimit = 1 << 26;  // ~67M multiply-adds
 /// (independent domains), so a run is replayable from that one logged value.
 void configure_machine(camb::Machine& machine, const RunOptions& opts) {
   machine.set_scheduler(opts.scheduler);
-  if (opts.perturb.enabled()) {
-    machine.enable_faults(fault_profile_from_spec(opts.perturb.profile),
-                          opts.perturb.fault_seed());
+  if (opts.perturb.enabled() || opts.sdc.message_sdc()) {
+    camb::FaultProfile profile = opts.perturb.enabled()
+                                     ? fault_profile_from_spec(opts.perturb.profile)
+                                     : camb::FaultProfile{};
+    if (opts.sdc.message_sdc()) {
+      // One CLI rate arms all three per-copy SDC events; a profile that
+      // already injects them keeps the stronger setting.
+      profile.drop_prob = std::max(profile.drop_prob, opts.sdc.message_rate);
+      profile.flip_prob = std::max(profile.flip_prob, opts.sdc.message_rate);
+      profile.dup_prob = std::max(profile.dup_prob, opts.sdc.message_rate);
+    }
+    machine.enable_faults(profile, opts.perturb.fault_seed(),
+                          opts.sdc.sdc_seed(opts.perturb.master_seed));
+  }
+  if (opts.sdc.reliable) {
+    machine.enable_reliable_transport(
+        opts.sdc.sdc_seed(opts.perturb.master_seed));
   }
   if (opts.crash.enabled()) {
     machine.enable_crashes(opts.crash.ranks,
                            opts.crash.crash_seed(opts.perturb.master_seed),
                            opts.crash.max_send_position);
   }
+  if (opts.collect_trace) machine.enable_trace();
 }
 
 /// Measurement half shared by every run_*: critical-path counters, phase
@@ -65,6 +80,29 @@ RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
     report.faults.total_retries = counts.total_retries;
     report.faults.reordered_messages = counts.reordered_messages;
     report.faults.stragglers = counts.stragglers;
+  }
+  report.corruption.enabled = opts.sdc.enabled();
+  if (opts.sdc.enabled()) {
+    report.corruption.sdc_seed = opts.sdc.sdc_seed(opts.perturb.master_seed);
+  }
+  if (camb::FaultPlan* plan = machine.fault_plan()) {
+    const camb::FaultCounts counts = plan->counts();
+    report.corruption.sdc_seed = plan->sdc_seed();
+    report.corruption.injected_drops = counts.dropped_copies;
+    report.corruption.injected_flips = counts.corrupt_copies;
+    report.corruption.injected_dups = counts.duplicated_messages;
+  }
+  const camb::TransportCounters transport = stats.transport_total();
+  report.corruption.caught_at_transport = transport.corrupt_discards;
+  report.corruption.retransmits = transport.retransmits;
+  report.corruption.retransmitted_words = transport.retransmitted_words;
+  report.corruption.acks = transport.acks;
+  report.corruption.nacks = transport.nacks;
+  report.corruption.dup_discards = transport.dup_discards;
+  report.corruption.transport_debris =
+      static_cast<i64>(machine.transport_debris().size());
+  if (camb::Trace* trace = machine.trace()) {
+    report.trace_events = trace->events();
   }
   if (machine.crash_plan() != nullptr) {
     report.recovery.enabled = true;
@@ -194,6 +232,19 @@ std::string FaultReport::summary() const {
       << " failed_sends=" << injected_failures << " retries=" << total_retries
       << " reordered=" << reordered_messages << " stragglers=" << stragglers
       << "}";
+  return out.str();
+}
+
+std::string CorruptionReport::summary() const {
+  std::ostringstream out;
+  out << "sdc{seed=" << sdc_seed << " injected=" << injected_drops << "drop/"
+      << injected_flips << "flip/" << injected_dups << "dup/"
+      << injected_mem_flips << "mem caught=" << caught_at_transport
+      << " retransmits=" << retransmits << "(" << retransmitted_words
+      << "w) acks=" << acks << " nacks=" << nacks
+      << " dup_discards=" << dup_discards << " debris=" << transport_debris
+      << " abft=" << detected_by_checksums << "det/" << corrected_by_abft
+      << "fix escaped=" << escaped << "}";
   return out.str();
 }
 
@@ -404,6 +455,47 @@ RunReport run_ckpt_common(int P, const RunOptions& opts, double bound,
   return report;
 }
 
+/// Memory SDC has no transport to heal it — only the ABFT checksum
+/// correction can.  Algorithms without the encoding reject the request up
+/// front instead of returning a silently wrong answer.
+void reject_mem_sdc(const RunOptions& opts, const char* algo) {
+  if (opts.sdc.mem_rate > 0) {
+    throw Error(std::string("memory-SDC injection (--sdc-mem-rate) requires a "
+                            "checksum-augmented (ABFT) algorithm; ") +
+                algo + " has no correction path");
+  }
+}
+
+/// Flip one low bit of the integer value at a seeded position of `data`
+/// when rank `rank`'s memory-SDC coin lands.  The draw chain is a pure
+/// function of (mem_seed, rank), so a corruption scenario replays from the
+/// logged seed alone.  ABFT tiles are integer-valued, and the flip keeps
+/// them integer-valued, so every later checksum subtraction stays exact —
+/// which is what makes the repair bit-exact.
+bool maybe_flip_entry(std::uint64_t mem_seed, int rank, double rate,
+                      double* data, i64 size) {
+  Rng rng(mem_seed, static_cast<std::uint64_t>(rank));
+  if (rng.uniform() >= rate || size == 0) return false;
+  const i64 idx = static_cast<i64>(rng.below(static_cast<std::uint64_t>(size)));
+  const int bit = static_cast<int>(rng.below(16));
+  const i64 value = static_cast<i64>(std::llround(data[idx]));
+  data[idx] = static_cast<double>(value ^ (i64{1} << bit));
+  return true;
+}
+
+/// Fold a correction pass's outcome into the report and the per-rank
+/// correction counters.
+void record_correction(RunReport& report, camb::Machine& machine,
+                       const AbftCorrection& corr, i64 mem_flips) {
+  report.corruption.injected_mem_flips = mem_flips;
+  report.corruption.detected_by_checksums = corr.detected;
+  report.corruption.corrected_by_abft = corr.corrected;
+  report.corruption.escaped = corr.uncorrected;
+  for (int r : corr.corrected_ranks) {
+    machine.stats().transport_mut(r).corrections += 1;
+  }
+}
+
 void verify_block2d(const Shape& shape, const std::vector<Block2DOutput>& outs,
                     const RunOptions& opts, RunReport& report,
                     bool integer_inputs = false) {
@@ -419,6 +511,7 @@ void verify_block2d(const Shape& shape, const std::vector<Block2DOutput>& outs,
 }  // namespace
 
 RunReport run_grid3d(const Grid3dConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "grid3d");
   const i64 P = cfg.grid.total();
   if (opts.checkpoint.enabled()) {
     const double bound =
@@ -470,6 +563,7 @@ RunReport run_grid3d(const Grid3dConfig& cfg, bool verify) {
 
 RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg,
                             const RunOptions& opts) {
+  reject_mem_sdc(opts, "grid3d_staged");
   const i64 P = cfg.grid.total();
   if (opts.checkpoint.enabled()) {
     const double bound =
@@ -534,6 +628,7 @@ RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
 
 RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg,
                              const RunOptions& opts) {
+  reject_mem_sdc(opts, "grid3d_agarwal");
   const i64 P = cfg.grid.total();
   if (opts.checkpoint.enabled()) {
     const double bound =
@@ -589,6 +684,7 @@ RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
 }
 
 RunReport run_carma(const CarmaConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "carma");
   const i64 P = i64{1} << cfg.levels;
   if (opts.checkpoint.enabled()) {
     const double bound =
@@ -673,6 +769,7 @@ RunReport run_block2d(
 }  // namespace
 
 RunReport run_alg25d(const Alg25dConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "alg25d");
   const i64 P = cfg.g * cfg.g * cfg.c;
   i64 predicted = 0;
   for (i64 r = 0; r < P; ++r) {
@@ -701,6 +798,7 @@ RunReport run_alg25d(const Alg25dConfig& cfg, bool verify) {
 }
 
 RunReport run_summa(const SummaConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "summa");
   const i64 P = cfg.g * cfg.g;
   i64 predicted = 0;
   for (i64 r = 0; r < P; ++r) {
@@ -730,6 +828,11 @@ RunReport run_summa(const SummaConfig& cfg, bool verify) {
 
 RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts) {
   const i64 P = cfg.base.g * cfg.base.g;
+  if (opts.checkpoint.enabled() && opts.sdc.mem_rate > 0) {
+    throw Error("memory-SDC injection (--sdc-mem-rate) does not compose with "
+                "checkpoint/rollback: rollback re-executes instead of "
+                "correcting, so the checksum repair path is never exercised");
+  }
   if (opts.checkpoint.enabled()) {
     const double bound = camb::core::memory_independent_bound(
                              cfg.base.shape, static_cast<double>(P))
@@ -778,6 +881,22 @@ RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts) {
         static_cast<double>(report.measured_critical_recv) /
         report.lower_bound_words;
   }
+  if (opts.sdc.enabled() && !machine.crash_outcome().any_crashed()) {
+    i64 mem_flips = 0;
+    for (i64 r = 0; r < P; ++r) {
+      MatrixD& tile = outputs[static_cast<std::size_t>(r)].own.block;
+      if (opts.sdc.mem_rate > 0 &&
+          maybe_flip_entry(opts.sdc.mem_seed(opts.perturb.master_seed),
+                           static_cast<int>(r), opts.sdc.mem_rate, tile.data(),
+                           tile.size())) {
+        ++mem_flips;
+      }
+    }
+    // The correction pass also runs under message-only SDC: a clean syndrome
+    // set is the proof that the transport let nothing through.
+    const AbftCorrection corr = summa_abft_correct(cfg, outputs);
+    record_correction(report, machine, corr, mem_flips);
+  }
   if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
     const std::vector<int>& crashed = machine.crash_outcome().crashed;
@@ -805,6 +924,11 @@ RunReport run_summa_abft(const SummaAbftConfig& cfg, bool verify) {
 RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg,
                           const RunOptions& opts) {
   const i64 P = cfg.base.grid.total();
+  if (opts.checkpoint.enabled() && opts.sdc.mem_rate > 0) {
+    throw Error("memory-SDC injection (--sdc-mem-rate) does not compose with "
+                "checkpoint/rollback: rollback re-executes instead of "
+                "correcting, so the checksum repair path is never exercised");
+  }
   if (opts.checkpoint.enabled()) {
     const double bound = camb::core::memory_independent_bound(
                              cfg.base.shape, static_cast<double>(P))
@@ -860,6 +984,30 @@ RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg,
         static_cast<double>(report.measured_critical_recv) /
         report.lower_bound_words;
   }
+  if (opts.sdc.enabled() && !machine.crash_outcome().any_crashed()) {
+    i64 mem_flips = 0;
+    for (i64 r = 0; r < P; ++r) {
+      std::vector<double>& data = outputs[static_cast<std::size_t>(r)].own.c_data;
+      if (opts.sdc.mem_rate > 0 &&
+          maybe_flip_entry(opts.sdc.mem_seed(opts.perturb.master_seed),
+                           static_cast<int>(r), opts.sdc.mem_rate, data.data(),
+                           static_cast<i64>(data.size()))) {
+        ++mem_flips;
+      }
+    }
+    // The parity syndrome localizes the corrupted element but not which
+    // fiber member holds it; one exact reference dot product per candidate
+    // disambiguates.
+    MatrixD a, b;
+    fill_inputs(cfg.base.shape, /*integer_inputs=*/true, a, b);
+    const AbftCorrection corr = grid3d_abft_correct(
+        cfg, outputs, [&](i64 row, i64 col) {
+          double acc = 0;
+          for (i64 k = 0; k < cfg.base.shape.n2; ++k) acc += a(row, k) * b(k, col);
+          return acc;
+        });
+    record_correction(report, machine, corr, mem_flips);
+  }
   if (opts.verify != VerifyMode::kNone) {
     MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
     const std::vector<int>& crashed = machine.crash_outcome().crashed;
@@ -885,6 +1033,7 @@ RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, bool verify) {
 }
 
 RunReport run_cannon(const CannonConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "cannon");
   const i64 P = cfg.g * cfg.g;
   i64 predicted = 0;
   for (i64 r = 0; r < P; ++r) {
@@ -914,6 +1063,7 @@ RunReport run_cannon(const CannonConfig& cfg, bool verify) {
 
 RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
                           const RunOptions& opts) {
+  reject_mem_sdc(opts, "naive_bcast");
   i64 predicted = 0;
   for (i64 r = 0; r < nprocs; ++r) {
     predicted = std::max(predicted,

@@ -15,6 +15,7 @@
 #include "core/bounds.hpp"
 #include "machine/faults.hpp"
 #include "machine/fiber.hpp"
+#include "machine/trace.hpp"
 #include "util/rng.hpp"
 #include "matmul/abft.hpp"
 #include "matmul/alg25d.hpp"
@@ -126,6 +127,72 @@ struct RecoveryReport {
   std::string summary() const;
 };
 
+/// Silent-data-corruption request for a run: per-copy message drop /
+/// payload-bit-flip / duplication draws at the network layer (healed by the
+/// reliable transport, machine/reliable.hpp) and post-run bit-flips in
+/// output tiles (healed by the ABFT checksum correction).  Both draw streams
+/// derive from the master seed through their own domains (kSeedDomainSdc,
+/// kSeedDomainMemSdc), so existing fault profiles replay bit-identically
+/// and one logged seed reproduces every corruption event.
+struct SdcConfig {
+  /// Per-copy probability applied to message drop, payload bit-flip, and
+  /// duplication alike (merged into the run's fault profile as drop_prob /
+  /// flip_prob / dup_prob).  Requires `reliable`: a dropped copy with no
+  /// retransmission would hang its receiver, so the machine rejects the
+  /// combination up front.
+  double message_rate = 0;
+  /// Per-rank probability of one integer bit-flip in the rank's output
+  /// tile, injected after the machine stops and before assembly.  Requires
+  /// a checksum-augmented (ABFT) algorithm — the correction pass is the
+  /// healing layer — and a crash-free, non-checkpointed run.
+  double mem_rate = 0;
+  /// Nonzero: use this SDC seed directly instead of deriving it (the CLI's
+  /// --sdc-seed override).
+  std::uint64_t sdc_seed_override = 0;
+  /// Attach the reliable transport: checksummed envelopes, ack/nack, and
+  /// deterministic retransmit with bounded backoff on the logical clock.
+  bool reliable = false;
+
+  bool enabled() const { return message_rate > 0 || mem_rate > 0 || reliable; }
+  bool message_sdc() const { return message_rate > 0; }
+  std::uint64_t sdc_seed(std::uint64_t master_seed) const {
+    return sdc_seed_override != 0 ? sdc_seed_override
+                                  : derive_seed(master_seed, kSeedDomainSdc);
+  }
+  std::uint64_t mem_seed(std::uint64_t master_seed) const {
+    return sdc_seed_override != 0
+               ? derive_seed(sdc_seed_override, kSeedDomainMemSdc)
+               : derive_seed(master_seed, kSeedDomainMemSdc);
+  }
+};
+
+/// What the corruption layers injected into one run and which defense caught
+/// each event (enabled=false when no SDC was requested).  The invariant the
+/// chaos tests pin: every injected event is healed at the transport (drops
+/// and flips retransmitted, dups discarded) or corrected by the ABFT
+/// checksums; `escaped` counts detections the single-error code could not
+/// localize — the Freivalds backstop's territory, zero in a single-error run.
+struct CorruptionReport {
+  bool enabled = false;
+  std::uint64_t sdc_seed = 0;
+  i64 injected_drops = 0;       ///< message copies lost on the wire
+  i64 injected_flips = 0;       ///< message copies delivered corrupted
+  i64 injected_dups = 0;        ///< sends whose clean copy arrived twice
+  i64 injected_mem_flips = 0;   ///< output-tile bit-flips injected post-run
+  i64 caught_at_transport = 0;  ///< corrupt copies the checksum rejected
+  i64 retransmits = 0;          ///< extra on-wire copies (drop + flip)
+  i64 retransmitted_words = 0;  ///< sender-side transport-phase word tax
+  i64 acks = 0;                 ///< clean deliveries acknowledged
+  i64 nacks = 0;                ///< zero-word rejections of corrupt copies
+  i64 dup_discards = 0;         ///< duplicates recognized and dropped on pop
+  i64 transport_debris = 0;     ///< run-end dup envelopes never popped (benign)
+  i64 detected_by_checksums = 0;  ///< ABFT syndrome detections (memory SDC)
+  i64 corrected_by_abft = 0;      ///< of those, localized and repaired
+  i64 escaped = 0;  ///< detected but uncorrectable; must be 0 single-error
+  /// One-line reproducibility record for logs and failure messages.
+  std::string summary() const;
+};
+
 /// Checkpoint/restart request for a run (collectives/rollback.hpp): commit a
 /// buddy-replicated snapshot every `interval` epoch-boundary steps, run on
 /// P + spares physical ranks, and roll back + re-execute on a crash instead
@@ -168,7 +235,13 @@ struct RunOptions {
   VerifyMode verify = VerifyMode::kNone;
   PerturbConfig perturb;
   CrashConfig crash;
+  SdcConfig sdc;
   CheckpointConfig checkpoint;
+  /// Record every counted send (machine/trace.hpp) and return the log in
+  /// RunReport::trace_events — what the closed-form transport-tax predictor
+  /// (collectives/coll_cost.hpp) replays.  Off by default: tracing allocates
+  /// per message.
+  bool collect_trace = false;
   /// Execution substrate for the SPMD ranks (machine/fiber.hpp): OS thread
   /// per rank, or fibers on pool-width workers.  Simulation results are
   /// identical either way; fibers are the only mode that reaches P ≈ 65,536.
@@ -225,6 +298,12 @@ struct RunReport {
   RecoveryReport recovery;
   /// Checkpoint/rollback record (enabled=false when checkpointing was off).
   ResilienceReport resilience;
+  /// Corruption record: what SDC injection did and which layer healed it
+  /// (enabled=false when no SDC was requested).
+  CorruptionReport corruption;
+  /// The counted-send log when RunOptions::collect_trace was set (empty
+  /// otherwise); feed to coll::predicted_transport_phase.
+  std::vector<camb::MessageEvent> trace_events;
 };
 
 /// Algorithm 1 on its grid.  `verify` assembles C and checks it (mode

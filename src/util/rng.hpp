@@ -32,6 +32,8 @@ inline std::uint64_t derive_seed(std::uint64_t master, std::uint64_t domain) {
 inline constexpr std::uint64_t kSeedDomainRankRng = 0;  ///< Machine rank streams
 inline constexpr std::uint64_t kSeedDomainFaults = 1;   ///< FaultPlan decisions
 inline constexpr std::uint64_t kSeedDomainCrashes = 2;  ///< CrashPlan positions
+inline constexpr std::uint64_t kSeedDomainSdc = 3;      ///< message drop/dup/flip draws
+inline constexpr std::uint64_t kSeedDomainMemSdc = 4;   ///< output-tile bit-flip draws
 
 /// xoshiro256** generator with a splitmix64-derived state.
 /// Satisfies UniformRandomBitGenerator, so it plugs into <random>.

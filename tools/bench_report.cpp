@@ -1,8 +1,11 @@
-// bench_report — render a BENCH_PR5.json hot-path report as a table.
+// bench_report — render a benchmark JSON report as a table.  Understands
+// the BENCH_PR5.json hot-path report (bench_hotpath) and the
+// BENCH_PR7.json SDC retransmit-tax report (bench_sdc_overhead),
+// dispatching on the "bench" key.
 //
-// The repo carries no JSON library, and the report format is fixed (emitted
-// by bench_hotpath), so this uses a small key-scanning extractor rather than
-// a general parser.  Usage: bench_report [PATH]   (default: BENCH_PR5.json)
+// The repo carries no JSON library, and the report formats are fixed, so
+// this uses a small key-scanning extractor rather than a general parser.
+// Usage: bench_report [PATH]   (default: BENCH_PR5.json)
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -39,6 +42,61 @@ bool find_string(const std::string& text, const std::string& key,
   return true;
 }
 
+// Renders a bench_sdc_overhead report: one row per (algorithm, P, rate)
+// case, with the retransmit tax and the exactness verdict.
+int render_sdc_overhead(const std::string& text, const std::string& path,
+                        const std::string& mode) {
+  std::printf("SDC retransmit-tax report (%s)%s\n", path.c_str(),
+              mode.empty() ? "" : ("  [" + mode + " mode]").c_str());
+  std::printf("  %-16s %4s %6s %9s %12s %14s %14s %8s %8s  %s\n", "algorithm",
+              "P", "rate", "injected", "clean recv", "faulted recv",
+              "retransmit w", "tax", "vs Thm3", "exact");
+  std::size_t cursor = text.find("\"cases\":");
+  if (cursor == std::string::npos) {
+    std::fprintf(stderr, "bench_report: no cases array in %s\n", path.c_str());
+    return 1;
+  }
+  bool all_exact = true;
+  for (;;) {
+    const std::size_t entry = text.find("{\"algorithm\":", cursor);
+    if (entry == std::string::npos) break;
+    std::string algorithm;
+    {
+      const std::string needle = "\"algorithm\": \"";
+      const std::size_t name_at = text.find(needle, entry);
+      if (name_at == std::string::npos) break;
+      const std::size_t begin = name_at + needle.size();
+      const std::size_t close = text.find('"', begin);
+      if (close == std::string::npos) break;
+      algorithm = text.substr(begin, close - begin);
+    }
+    double procs = 0, rate = 0, injected = 0, clean = 0, faulted = 0,
+           retrans = 0, tax = 0, bound = 0;
+    if (!find_number(text, "procs", &procs, entry) ||
+        !find_number(text, "rate", &rate, entry) ||
+        !find_number(text, "injected", &injected, entry) ||
+        !find_number(text, "clean_recv_words", &clean, entry) ||
+        !find_number(text, "faulted_recv_words", &faulted, entry) ||
+        !find_number(text, "retransmit_words", &retrans, entry) ||
+        !find_number(text, "tax_ratio", &tax, entry) ||
+        !find_number(text, "bound_ratio", &bound, entry)) {
+      break;
+    }
+    const bool exact =
+        text.compare(text.find("\"exact\":", entry) + 9, 4, "true") == 0;
+    all_exact &= exact;
+    std::printf(
+        "  %-16s %4.0f %6.2f %9.0f %12.0f %14.0f %14.0f %7.4fx %7.4fx  %s\n",
+        algorithm.c_str(), procs, rate, injected, clean, faulted, retrans, tax,
+        bound, exact ? "bit-exact" : "NO");
+    cursor = entry + 1;
+  }
+  std::printf("%s\n", all_exact
+                          ? "every healed run matched the closed-form tax"
+                          : "SOME RUN MISSED ITS PREDICTION — investigate!");
+  return all_exact ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,6 +112,11 @@ int main(int argc, char** argv) {
 
   std::string mode;
   find_string(text, "mode", &mode);
+
+  std::string bench;
+  if (find_string(text, "bench", &bench) && bench == "sdc_overhead") {
+    return render_sdc_overhead(text, path, mode);
+  }
   std::printf("hot-path benchmark report (%s)%s\n", path.c_str(),
               mode.empty() ? "" : ("  [" + mode + " mode]").c_str());
 

@@ -198,6 +198,21 @@ int cmd_run(int argc, char** argv) {
                "1");
   cli.add_flag("spares",
                "idle spare ranks provisioned for crash substitution", "0");
+  cli.add_flag("sdc-rate",
+               "per-copy probability of message drop, payload bit-flip, and "
+               "duplication alike (0 = off); requires --reliable",
+               "0");
+  cli.add_flag("sdc-mem-rate",
+               "per-rank probability of one output-tile bit-flip injected "
+               "after the run (0 = off); requires --abft",
+               "0");
+  cli.add_flag("sdc-seed",
+               "override the derived SDC seed (0 = derive from master-seed)",
+               "0");
+  cli.add_flag("reliable",
+               "attach the reliable transport: checksummed envelopes, "
+               "ack/nack, deterministic retransmit",
+               "false");
   cli.add_flag("scheduler",
                "rank execution substrate: threads (one OS thread per rank) "
                "| fibers (cooperative, reaches P in the tens of thousands); "
@@ -241,6 +256,21 @@ int cmd_run(int argc, char** argv) {
   if (opts.checkpoint.spares < 0) throw Error("--spares must be non-negative");
   if (opts.checkpoint.spares > 0 && !opts.checkpoint.enabled())
     throw Error("--spares requires --checkpoint-interval > 0");
+  opts.sdc.message_rate = cli.get_double("sdc-rate");
+  if (opts.sdc.message_rate < 0 || opts.sdc.message_rate > 1)
+    throw Error("--sdc-rate must be a probability in [0, 1]");
+  opts.sdc.mem_rate = cli.get_double("sdc-mem-rate");
+  if (opts.sdc.mem_rate < 0 || opts.sdc.mem_rate > 1)
+    throw Error("--sdc-mem-rate must be a probability in [0, 1]");
+  opts.sdc.sdc_seed_override =
+      static_cast<std::uint64_t>(cli.get_int("sdc-seed"));
+  opts.sdc.reliable = cli.get_bool("reliable");
+  if (opts.sdc.message_rate > 0 && !opts.sdc.reliable)
+    throw Error("--sdc-rate injects message drops, which hang their receiver "
+                "without retransmission; add --reliable true");
+  if (opts.sdc.mem_rate > 0 && !cli.get_bool("abft"))
+    throw Error("--sdc-mem-rate corrupts output tiles, which only the "
+                "checksum-augmented algorithms can repair; add --abft true");
   opts.scheduler.kind = scheduler_kind_from_name(cli.get("scheduler"));
   const mm::RunReport report = algorithm.run_opts(shape, P, opts);
   std::cout << "algorithm: " << algorithm.name << "\n"
@@ -269,6 +299,10 @@ int cmd_run(int argc, char** argv) {
   }
   if (report.resilience.enabled) {
     std::cout << "resilience:             " << report.resilience.summary()
+              << "\n";
+  }
+  if (report.corruption.enabled) {
+    std::cout << "corruption:             " << report.corruption.summary()
               << "\n";
   }
   return 0;
