@@ -41,7 +41,7 @@ void variant_table(int p, i64 block) {
           std::vector<double>(static_cast<std::size_t>(block)), variant.algo);
     });
     const auto totals = machine.stats().rank_total(0);
-    table.add_row({variant.name, Table::fmt_int(totals.words_received),
+    table.add_row({variant.name, Table::fmt_int(totals.words_received()),
                    Table::fmt_int(totals.messages_sent),
                    Table::fmt(optimal, 1)});
   }
@@ -60,7 +60,7 @@ void variant_table(int p, i64 block) {
           variant.algo);
     });
     const auto totals = machine.stats().rank_total(0);
-    rs.add_row({variant.name, Table::fmt_int(totals.words_received),
+    rs.add_row({variant.name, Table::fmt_int(totals.words_received()),
                 Table::fmt_int(totals.messages_sent), Table::fmt(optimal, 1)});
   }
   rs.print(std::cout);
@@ -81,7 +81,7 @@ void rs_vs_alltoall(int p, i64 seg) {
     });
     const auto totals = machine.stats().rank_total(0);
     table.add_row({"Reduce-Scatter (Alg. 1)",
-                   Table::fmt_int(totals.words_received),
+                   Table::fmt_int(totals.words_received()),
                    Table::fmt_int(totals.messages_sent)});
   }
   {
@@ -100,7 +100,7 @@ void rs_vs_alltoall(int p, i64 seg) {
     });
     const auto totals = machine.stats().rank_total(0);
     table.add_row({"All-to-All + local sum (Agarwal'95)",
-                   Table::fmt_int(totals.words_received),
+                   Table::fmt_int(totals.words_received()),
                    Table::fmt_int(totals.messages_sent)});
   }
   {
@@ -118,7 +118,7 @@ void rs_vs_alltoall(int p, i64 seg) {
     });
     const auto totals = machine.stats().rank_total(0);
     table.add_row({"Bruck All-to-All + local sum (log-latency)",
-                   Table::fmt_int(totals.words_received),
+                   Table::fmt_int(totals.words_received()),
                    Table::fmt_int(totals.messages_sent)});
   }
   table.print(std::cout);

@@ -1,0 +1,186 @@
+// bench_dtype — what the scalar substrate buys: f32 vs f64 local GEMM
+// kernel throughput (the AVX2 8-wide ps micro-tile against the paired
+// 4-wide pd one), and the end-to-end dtype sweep — every registry
+// algorithm at f64/f32/i64/kahan with measured critical-path words pinned
+// against the closed-form element predictions × the dtype's width factor.
+//
+// The sweep is exact, not sampled: a case passes only if measured words
+// EQUAL predicted elements × sizeof(elem)/8 (+ the ABFT variants' fixed
+// control words).  Any miss exits nonzero, so the perf leg doubles as a
+// correctness gate like the SDC sweep.
+//
+// Usage: bench_dtype [--quick] [--out PATH]
+//   --quick   fewer GEMM reps and sizes (the CI smoke mode)
+//   --out     also emit a BENCH_PR8.json machine-readable report
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "matmul/algorithm_registry.hpp"
+#include "matmul/local_gemm.hpp"
+#include "matmul/runner.hpp"
+#include "util/scalar.hpp"
+#include "util/table.hpp"
+
+using namespace camb;
+
+namespace {
+
+struct GemmResult {
+  std::string dtype;
+  i64 n = 0;
+  double gflops = 0;
+};
+
+/// Best-of-reps Gflop/s of gemm_accumulate<T> on an n×n×n product.
+template <typename T>
+GemmResult time_gemm(i64 n, int reps) {
+  Matrix<T> a(n, n), b(n, n), c(n, n);
+  a.fill_indexed(0, 0);
+  b.fill_indexed(1, 1);
+  double best_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    mm::gemm_accumulate(a, b, c);
+    const auto t1 = std::chrono::steady_clock::now();
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  GemmResult res;
+  res.dtype = ScalarTraits<T>::name;
+  res.n = n;
+  res.gflops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+               static_cast<double>(n) / best_s / 1e9;
+  return res;
+}
+
+struct CaseResult {
+  std::string algorithm;
+  std::string dtype;
+  i64 P = 0;
+  double measured_words = 0;   // critical-path received words
+  double predicted_words = 0;  // elements × width + control words
+  double width = 0;            // sizeof(elem) / 8
+  double vs_bound = 0;         // measured / dtype-scaled Theorem 3 bound
+  bool exact = false;          // measured == predicted, verified
+};
+
+CaseResult run_case(const mm::AlgorithmInfo& algorithm, const core::Shape shape,
+                    i64 P, DType dtype) {
+  mm::RunOptions opts = mm::RunOptions::verified(mm::VerifyMode::kReference);
+  opts.dtype = dtype;
+  const mm::RunReport report = algorithm.run_opts(shape, P, opts);
+  CaseResult res;
+  res.algorithm = algorithm.name;
+  res.dtype = dtype_name(dtype);
+  res.P = P;
+  res.measured_words = report.measured_critical_recv;
+  res.predicted_words = report.predicted_words();
+  res.width = dtype_width_words(dtype);
+  res.vs_bound = report.lower_bound_words > 0
+                     ? report.measured_critical_recv / report.lower_bound_words
+                     : 0.0;
+  res.exact = report.verified &&
+              (report.predicted_critical_recv < 0 ||
+               report.measured_critical_recv == report.predicted_words());
+  return res;
+}
+
+void write_json(const std::string& path, const std::vector<GemmResult>& gemm,
+                const std::vector<CaseResult>& rows, bool quick) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"dtype\",\n"
+      << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+      << "  \"methodology\": \"gemm: best-of-reps wall clock of the "
+         "register-blocked kernel (AVX2 where the host has it); sweep: "
+         "every registry algorithm per dtype at shape 48x40x56, measured "
+         "critical-path words pinned exactly against predicted elements x "
+         "sizeof(elem)/8\",\n"
+      << "  \"gemm\": [\n";
+  for (std::size_t i = 0; i < gemm.size(); ++i) {
+    out << "    {\"dtype\": \"" << gemm[i].dtype << "\", \"n\": " << gemm[i].n
+        << ", \"gflops\": " << gemm[i].gflops << "}"
+        << (i + 1 < gemm.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CaseResult& r = rows[i];
+    out << "    {\"algorithm\": \"" << r.algorithm << "\", \"dtype\": \""
+        << r.dtype << "\", \"procs\": " << r.P
+        << ", \"measured_words\": " << r.measured_words
+        << ", \"predicted_words\": " << r.predicted_words
+        << ", \"width\": " << r.width << ", \"vs_bound\": " << r.vs_bound
+        << ", \"exact\": " << (r.exact ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  // --- f32 vs f64 kernel throughput -------------------------------------
+  const std::vector<i64> sizes =
+      quick ? std::vector<i64>{128, 256} : std::vector<i64>{128, 256, 384};
+  const int reps = quick ? 3 : 7;
+  std::vector<GemmResult> gemm;
+  std::cout << "local GEMM kernel, f32 vs f64 (best of " << reps << "):\n";
+  Table gemm_table({"n", "f64 Gflop/s", "f32 Gflop/s", "f32/f64"});
+  for (i64 n : sizes) {
+    const GemmResult f64 = time_gemm<double>(n, reps);
+    const GemmResult f32 = time_gemm<float>(n, reps);
+    gemm.push_back(f64);
+    gemm.push_back(f32);
+    gemm_table.add_row({Table::fmt_int(n), Table::fmt(f64.gflops, 2),
+                        Table::fmt(f32.gflops, 2),
+                        Table::fmt(f32.gflops / f64.gflops, 2)});
+  }
+  gemm_table.print(std::cout);
+
+  // --- end-to-end dtype sweep -------------------------------------------
+  const core::Shape shape{48, 40, 56};
+  const i64 P = 16;
+  const std::vector<DType> dtypes = {DType::kF64, DType::kF32, DType::kI64,
+                                     DType::kKahan};
+  std::vector<CaseResult> rows;
+  bool all_exact = true;
+  std::cout << "\nend-to-end dtype sweep, shape 48x40x56, P = " << P << ":\n";
+  Table sweep({"algorithm", "dtype", "width", "measured w", "predicted w",
+               "vs Thm3", "exact"});
+  for (const auto& algorithm : mm::algorithm_registry()) {
+    if (!algorithm.supports(shape, P)) continue;
+    for (DType dtype : dtypes) {
+      const CaseResult r = run_case(algorithm, shape, P, dtype);
+      all_exact &= r.exact;
+      rows.push_back(r);
+      sweep.add_row({r.algorithm, r.dtype, Table::fmt(r.width, 2),
+                     Table::fmt(r.measured_words, 1),
+                     Table::fmt(r.predicted_words, 1),
+                     Table::fmt(r.vs_bound, 4), r.exact ? "yes" : "NO"});
+    }
+  }
+  sweep.print(std::cout);
+
+  if (!out_path.empty()) {
+    write_json(out_path, gemm, rows, quick);
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+  if (!all_exact) {
+    std::cerr << "SOME CASE MISSED ITS WORD PREDICTION — investigate!\n";
+    return 1;
+  }
+  std::cout << "every case matched predicted elements x width exactly\n";
+  return 0;
+}

@@ -80,12 +80,12 @@ int main() {
       if (!partners.empty()) partners += ", ";
       partners += std::to_string(r);
     }
-    i64 words = 0;
+    double words = 0;
     for (const auto& event : trace.events_in_phase(row.phase)) {
-      if (event.dst == hero) words += event.words;
+      if (event.dst == hero) words += event.words();
     }
     table.add_row({row.name, row.fiber_label, partners,
-                   Table::fmt_int(words)});
+                   Table::fmt_int(static_cast<i64>(words))});
   }
   table.print(std::cout);
 

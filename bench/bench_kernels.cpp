@@ -29,6 +29,19 @@ void BM_LocalGemm(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalGemm)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_LocalGemmF32(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Matrix<float> a(n, n), b(n, n), c(n, n);
+  a.fill_indexed(0, 0);
+  b.fill_indexed(1, 1);
+  for (auto _ : state) {
+    gemm_accumulate(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // flops
+}
+BENCHMARK(BM_LocalGemmF32)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_ReferenceGemm(benchmark::State& state) {
   const i64 n = state.range(0);
   MatrixD a(n, n), b(n, n);

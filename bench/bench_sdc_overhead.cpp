@@ -86,9 +86,9 @@ CaseResult run_case(const mm::AlgorithmInfo& algorithm, const core::Shape shape,
       static_cast<int>(P), report.trace_events);
   for (std::size_t r = 0; r < static_cast<std::size_t>(P); ++r) {
     exact &= report.rank_recv_words[r] ==
-             clean.rank_recv_words[r] + tax[r].words_received;
+             clean.rank_recv_words[r] + tax[r].words_received();
     exact &= report.rank_sent_words[r] ==
-             clean.rank_sent_words[r] + tax[r].words_sent;
+             clean.rank_sent_words[r] + tax[r].words_sent();
     exact &= report.rank_messages[r] ==
              clean.rank_messages[r] + tax[r].messages_sent;
   }

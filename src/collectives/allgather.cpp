@@ -1,5 +1,7 @@
 #include "collectives/allgather.hpp"
 
+#include "util/scalar.hpp"
+
 #include <bit>
 #include <cstring>
 
@@ -12,14 +14,13 @@ bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 /// Ring All-Gather: member i forwards blocks to (i+1) mod p, receiving from
 /// (i-1) mod p.  In round r, member i sends block (i - r) mod p and receives
 /// block (i - r - 1) mod p, so after p-1 rounds every member has every block.
-std::vector<double> allgather_ring(const Comm& comm,
-                                   const std::vector<i64>& counts,
-                                   const std::vector<double>& local,
-                                   int tag_base) {
+template <typename T>
+std::vector<T> allgather_ring(const Comm& comm, const std::vector<i64>& counts,
+                              const std::vector<T>& local, int tag_base) {
   const int p = comm.size();
   const int me = comm.my_index();
   const i64 total = counts_total(counts);
-  std::vector<double> out(static_cast<std::size_t>(total));
+  std::vector<T> out(static_cast<std::size_t>(total));
   std::copy(local.begin(), local.end(),
             out.begin() + counts_offset(counts, me));
   const int next = (me + 1) % p;
@@ -30,13 +31,11 @@ std::vector<double> allgather_ring(const Comm& comm,
     const i64 send_off = counts_offset(counts, send_block);
     const i64 send_len = counts[static_cast<std::size_t>(send_block)];
     comm.send(next, tag_base + r,
-              Buffer::copy_of(out.data() + send_off,
-                              static_cast<std::size_t>(send_len)));
+              Buffer::pack<T>(out.data() + send_off, send_len));
     Buffer incoming = comm.recv(prev, tag_base + r);
-    CAMB_CHECK(static_cast<i64>(incoming.size()) ==
+    CAMB_CHECK(incoming.elems<T>() ==
                counts[static_cast<std::size_t>(recv_block)]);
-    std::copy(incoming.begin(), incoming.end(),
-              out.begin() + counts_offset(counts, recv_block));
+    incoming.unpack_into<T>(out.data() + counts_offset(counts, recv_block));
   }
   return out;
 }
@@ -44,13 +43,15 @@ std::vector<double> allgather_ring(const Comm& comm,
 /// Recursive-doubling All-Gather (power-of-two comm size).  Before round t
 /// (distance 2^t) member i holds the blocks of all members sharing its index
 /// bits above bit t; exchanging with partner i ^ 2^t doubles the held span.
-std::vector<double> allgather_recursive_doubling(
-    const Comm& comm, const std::vector<i64>& counts,
-    const std::vector<double>& local, int tag_base) {
+template <typename T>
+std::vector<T> allgather_recursive_doubling(const Comm& comm,
+                                            const std::vector<i64>& counts,
+                                            const std::vector<T>& local,
+                                            int tag_base) {
   const int p = comm.size();
   const int me = comm.my_index();
   const i64 total = counts_total(counts);
-  std::vector<double> out(static_cast<std::size_t>(total));
+  std::vector<T> out(static_cast<std::size_t>(total));
   std::copy(local.begin(), local.end(),
             out.begin() + counts_offset(counts, me));
   int round = 0;
@@ -66,15 +67,14 @@ std::vector<double> allgather_recursive_doubling(
     }
     Buffer incoming = comm.sendrecv(
         partner_idx, tag_base + round,
-        Buffer::copy_of(out.data() + send_off,
-                        static_cast<std::size_t>(send_len)));
+        Buffer::pack<T>(out.data() + send_off, send_len));
     i64 recv_len = 0;
     for (int b = partner_span_lo; b < partner_span_lo + dist; ++b) {
       recv_len += counts[static_cast<std::size_t>(b)];
     }
-    CAMB_CHECK(static_cast<i64>(incoming.size()) == recv_len);
-    std::copy(incoming.begin(), incoming.end(),
-              out.begin() + counts_offset(counts, partner_span_lo));
+    CAMB_CHECK(incoming.elems<T>() == recv_len);
+    incoming.unpack_into<T>(out.data() +
+                            counts_offset(counts, partner_span_lo));
   }
   return out;
 }
@@ -82,14 +82,14 @@ std::vector<double> allgather_recursive_doubling(
 /// Bruck All-Gather (any comm size, ⌈log2 p⌉ rounds).  Works on a virtual
 /// rotation: member i accumulates the blocks of members i, i+1, … (mod p);
 /// in round t it receives 2^t more blocks from member (i + 2^t) mod p.
-std::vector<double> allgather_bruck(const Comm& comm,
-                                    const std::vector<i64>& counts,
-                                    const std::vector<double>& local,
-                                    int tag_base) {
+template <typename T>
+std::vector<T> allgather_bruck(const Comm& comm,
+                               const std::vector<i64>& counts,
+                               const std::vector<T>& local, int tag_base) {
   const int p = comm.size();
   const int me = comm.my_index();
   // held[j] is the block of member (me + j) mod p, for j < held_count.
-  std::vector<std::vector<double>> held;
+  std::vector<std::vector<T>> held;
   held.reserve(static_cast<std::size_t>(p));
   held.push_back(local);
   int round = 0;
@@ -102,28 +102,29 @@ std::vector<double> allgather_bruck(const Comm& comm,
     // Send my first `want` held blocks to dst (they are the blocks dst is
     // missing), receive the same count from src.  Flatten with length
     // prefix-free framing: sizes are derivable from counts on both sides.
-    std::vector<double> outbuf;
+    std::vector<T> outbuf;
     for (int j = 0; j < want; ++j) {
       outbuf.insert(outbuf.end(), held[static_cast<std::size_t>(j)].begin(),
                     held[static_cast<std::size_t>(j)].end());
     }
-    comm.send(dst, tag_base + round, std::move(outbuf));
+    comm.send(dst, tag_base + round, Buffer::adopt(std::move(outbuf)));
     Buffer inbuf = comm.recv(src, tag_base + round);
     // Unpack: incoming blocks are those of members (me + have + j) mod p.
+    const TypedView<T> in(inbuf);
     i64 cursor = 0;
     for (int j = 0; j < want; ++j) {
       const int owner = (me + have + j) % p;
       const i64 len = counts[static_cast<std::size_t>(owner)];
-      CAMB_CHECK(cursor + len <= static_cast<i64>(inbuf.size()));
-      held.emplace_back(inbuf.begin() + cursor, inbuf.begin() + cursor + len);
+      CAMB_CHECK(cursor + len <= in.size());
+      held.emplace_back(in.begin() + cursor, in.begin() + cursor + len);
       cursor += len;
     }
-    CAMB_CHECK(cursor == static_cast<i64>(inbuf.size()));
+    CAMB_CHECK(cursor == in.size());
   }
   CAMB_CHECK(static_cast<int>(held.size()) == p);
   // Un-rotate: held[j] belongs to member (me + j) mod p.
   const i64 total = counts_total(counts);
-  std::vector<double> out(static_cast<std::size_t>(total));
+  std::vector<T> out(static_cast<std::size_t>(total));
   for (int j = 0; j < p; ++j) {
     const int owner = (me + j) % p;
     std::copy(held[static_cast<std::size_t>(j)].begin(),
@@ -135,9 +136,9 @@ std::vector<double> allgather_bruck(const Comm& comm,
 
 }  // namespace
 
-std::vector<double> allgather(const Comm& comm, const std::vector<i64>& counts,
-                              const std::vector<double>& local,
-                              AllgatherAlgo algo) {
+template <typename T>
+std::vector<T> allgather(const Comm& comm, const std::vector<i64>& counts,
+                         const std::vector<T>& local, AllgatherAlgo algo) {
   CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
   CAMB_CHECK_MSG(static_cast<int>(counts.size()) == comm.size(),
                  "counts arity must match comm size");
@@ -167,12 +168,21 @@ std::vector<double> allgather(const Comm& comm, const std::vector<i64>& counts,
   throw Error("unreachable allgather algo");
 }
 
-std::vector<double> allgather_equal(const Comm& comm,
-                                    const std::vector<double>& local,
-                                    AllgatherAlgo algo) {
+template <typename T>
+std::vector<T> allgather_equal(const Comm& comm, const std::vector<T>& local,
+                               AllgatherAlgo algo) {
   std::vector<i64> counts(static_cast<std::size_t>(comm.size()),
                           static_cast<i64>(local.size()));
   return allgather(comm, counts, local, algo);
 }
+
+#define CAMB_INSTANTIATE(T)                                                  \
+  template std::vector<T> allgather<T>(const Comm&, const std::vector<i64>&, \
+                                       const std::vector<T>&, AllgatherAlgo); \
+  template std::vector<T> allgather_equal<T>(const Comm&,                    \
+                                             const std::vector<T>&,          \
+                                             AllgatherAlgo);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::coll

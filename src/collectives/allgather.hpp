@@ -24,16 +24,19 @@ enum class AllgatherAlgo {
   kAuto,
 };
 
-/// Runs the All-Gather.  `counts[i]` is the block size of comm member i;
-/// `local` is this rank's own block (size counts[my index]).  Returns the
-/// concatenated blocks (size counts_total(counts)).
-std::vector<double> allgather(const Comm& comm, const std::vector<i64>& counts,
-                              const std::vector<double>& local,
-                              AllgatherAlgo algo = AllgatherAlgo::kAuto);
+/// Runs the All-Gather.  `counts[i]` is the block size (in elements) of comm
+/// member i; `local` is this rank's own block (size counts[my index]).
+/// Returns the concatenated blocks (size counts_total(counts)).  Templated
+/// over the scalar type; defined for the CAMB_FOR_EACH_SCALAR set
+/// (util/scalar.hpp) via explicit instantiation.
+template <typename T>
+std::vector<T> allgather(const Comm& comm, const std::vector<i64>& counts,
+                         const std::vector<T>& local,
+                         AllgatherAlgo algo = AllgatherAlgo::kAuto);
 
 /// Equal-block convenience wrapper: every member contributes local.size().
-std::vector<double> allgather_equal(const Comm& comm,
-                                    const std::vector<double>& local,
-                                    AllgatherAlgo algo = AllgatherAlgo::kAuto);
+template <typename T>
+std::vector<T> allgather_equal(const Comm& comm, const std::vector<T>& local,
+                               AllgatherAlgo algo = AllgatherAlgo::kAuto);
 
 }  // namespace camb::coll

@@ -1,19 +1,27 @@
 #include "collectives/allreduce.hpp"
 
+#include "util/scalar.hpp"
+
 namespace camb::coll {
 
-std::vector<double> allreduce(const Comm& comm, std::vector<double> data) {
+template <typename T>
+std::vector<T> allreduce(const Comm& comm, std::vector<T> data) {
   CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
   const int p = comm.size();
   if (p == 1) return data;
-  // Near-equal segmentation (first w mod p segments get one extra word) so
+  // Near-equal segmentation (first w mod p segments get one extra element) so
   // the composition works for any payload size, including w < p.  The two
   // stages each draw their own tag block from the comm.
   const auto w = static_cast<i64>(data.size());
   std::vector<i64> counts(static_cast<std::size_t>(p), w / p);
   for (i64 j = 0; j < w % p; ++j) counts[static_cast<std::size_t>(j)] += 1;
-  std::vector<double> segment = reduce_scatter(comm, counts, data);
+  std::vector<T> segment = reduce_scatter(comm, counts, data);
   return allgather(comm, counts, segment);
 }
+
+#define CAMB_INSTANTIATE(T) \
+  template std::vector<T> allreduce<T>(const Comm&, std::vector<T>);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::coll

@@ -12,6 +12,8 @@
 namespace camb::coll {
 
 /// Element-wise sum across the comm; every member receives the full result.
-std::vector<double> allreduce(const Comm& comm, std::vector<double> data);
+/// Templated over the scalar type; defined for the CAMB_FOR_EACH_SCALAR set.
+template <typename T>
+std::vector<T> allreduce(const Comm& comm, std::vector<T> data);
 
 }  // namespace camb::coll

@@ -1,23 +1,26 @@
 #include "collectives/alltoall.hpp"
 
+#include "util/scalar.hpp"
+
 namespace camb::coll {
 
 namespace {
 
-std::vector<std::vector<double>> alltoall_pairwise(
-    const Comm& comm, const std::vector<std::vector<double>>& blocks,
+template <typename T>
+std::vector<std::vector<T>> alltoall_pairwise(
+    const Comm& comm, const std::vector<std::vector<T>>& blocks,
     int tag_base) {
   const int p = comm.size();
   const int me = comm.my_index();
-  std::vector<std::vector<double>> received(static_cast<std::size_t>(p));
+  std::vector<std::vector<T>> received(static_cast<std::size_t>(p));
   received[static_cast<std::size_t>(me)] = blocks[static_cast<std::size_t>(me)];
   for (int r = 1; r < p; ++r) {
     const int dst_idx = (me + r) % p;
     const int src_idx = (me - r + p) % p;
     comm.send(dst_idx, tag_base + r,
-              Buffer::copy_of(blocks[static_cast<std::size_t>(dst_idx)]));
+              Buffer::pack<T>(blocks[static_cast<std::size_t>(dst_idx)]));
     received[static_cast<std::size_t>(src_idx)] =
-        comm.recv(src_idx, tag_base + r);
+        std::move(comm.recv(src_idx, tag_base + r)).take_as<T>();
   }
   return received;
 }
@@ -25,18 +28,19 @@ std::vector<std::vector<double>> alltoall_pairwise(
 /// Bruck all-to-all (equal blocks).  Rotated index d holds the block for
 /// destination (me + d) mod p; in round t, positions with bit t set hop
 /// +2^t ranks, so every block accumulates exactly its required displacement.
-std::vector<std::vector<double>> alltoall_bruck(
-    const Comm& comm, const std::vector<std::vector<double>>& blocks,
+template <typename T>
+std::vector<std::vector<T>> alltoall_bruck(
+    const Comm& comm, const std::vector<std::vector<T>>& blocks,
     int tag_base) {
   const int p = comm.size();
   const int me = comm.my_index();
-  const std::size_t block_words = blocks[0].size();
+  const i64 block_elems = static_cast<i64>(blocks[0].size());
   for (const auto& block : blocks) {
-    CAMB_CHECK_MSG(block.size() == block_words,
+    CAMB_CHECK_MSG(static_cast<i64>(block.size()) == block_elems,
                    "Bruck all-to-all requires equal block sizes");
   }
   // Phase 1: local rotation — buf[d] = block destined for (me + d) mod p.
-  std::vector<std::vector<double>> buf(static_cast<std::size_t>(p));
+  std::vector<std::vector<T>> buf(static_cast<std::size_t>(p));
   for (int d = 0; d < p; ++d) {
     buf[static_cast<std::size_t>(d)] =
         blocks[static_cast<std::size_t>((me + d) % p)];
@@ -46,29 +50,29 @@ std::vector<std::vector<double>> alltoall_bruck(
   for (int dist = 1; dist < p; dist <<= 1, ++round) {
     const int dst = (me + dist) % p;
     const int src = (me - dist + p) % p;
-    std::vector<double> outbuf;
+    std::vector<T> outbuf;
     for (int d = 0; d < p; ++d) {
       if (d & dist) {
         outbuf.insert(outbuf.end(), buf[static_cast<std::size_t>(d)].begin(),
                       buf[static_cast<std::size_t>(d)].end());
       }
     }
-    comm.send(dst, tag_base + round, std::move(outbuf));
+    comm.send(dst, tag_base + round, Buffer::adopt(std::move(outbuf)));
     Buffer inbuf = comm.recv(src, tag_base + round);
-    std::size_t cursor = 0;
+    const TypedView<T> in(inbuf);
+    i64 cursor = 0;
     for (int d = 0; d < p; ++d) {
       if (d & dist) {
-        CAMB_CHECK(cursor + block_words <= inbuf.size());
+        CAMB_CHECK(cursor + block_elems <= in.size());
         buf[static_cast<std::size_t>(d)].assign(
-            inbuf.begin() + static_cast<std::ptrdiff_t>(cursor),
-            inbuf.begin() + static_cast<std::ptrdiff_t>(cursor + block_words));
-        cursor += block_words;
+            in.begin() + cursor, in.begin() + cursor + block_elems);
+        cursor += block_elems;
       }
     }
-    CAMB_CHECK(cursor == inbuf.size());
+    CAMB_CHECK(cursor == in.size());
   }
   // Phase 3: after the hops, buf[d] holds the block sent by (me - d) mod p.
-  std::vector<std::vector<double>> received(static_cast<std::size_t>(p));
+  std::vector<std::vector<T>> received(static_cast<std::size_t>(p));
   for (int src_idx = 0; src_idx < p; ++src_idx) {
     received[static_cast<std::size_t>(src_idx)] =
         std::move(buf[static_cast<std::size_t>((me - src_idx + p) % p)]);
@@ -78,9 +82,10 @@ std::vector<std::vector<double>> alltoall_bruck(
 
 }  // namespace
 
-std::vector<std::vector<double>> alltoall(
-    const Comm& comm, const std::vector<std::vector<double>>& blocks,
-    AlltoallAlgo algo) {
+template <typename T>
+std::vector<std::vector<T>> alltoall(const Comm& comm,
+                                     const std::vector<std::vector<T>>& blocks,
+                                     AlltoallAlgo algo) {
   CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
   const int p = comm.size();
   CAMB_CHECK_MSG(static_cast<int>(blocks.size()) == p,
@@ -89,9 +94,9 @@ std::vector<std::vector<double>> alltoall(
   const int tag_base = comm.take_tag_block();
   switch (algo) {
     case AlltoallAlgo::kPairwise:
-      return alltoall_pairwise(comm, blocks, tag_base);
+      return alltoall_pairwise<T>(comm, blocks, tag_base);
     case AlltoallAlgo::kBruck:
-      return alltoall_bruck(comm, blocks, tag_base);
+      return alltoall_bruck<T>(comm, blocks, tag_base);
   }
   throw Error("unreachable alltoall algo");
 }
@@ -106,5 +111,11 @@ i64 alltoall_bruck_recv_words(int p, i64 block) {
   }
   return positions * block;
 }
+
+#define CAMB_INSTANTIATE(T)                     \
+  template std::vector<std::vector<T>> alltoall<T>( \
+      const Comm&, const std::vector<std::vector<T>>&, AlltoallAlgo);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::coll

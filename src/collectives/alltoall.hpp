@@ -25,12 +25,14 @@ enum class AlltoallAlgo {
 
 /// blocks[j] is this member's block destined for comm member j.  Returns
 /// received blocks: result[j] is the block member j sent to this member.
-std::vector<std::vector<double>> alltoall(
-    const Comm& comm, const std::vector<std::vector<double>>& blocks,
+/// Templated over the scalar type; defined for the CAMB_FOR_EACH_SCALAR set.
+template <typename T>
+std::vector<std::vector<T>> alltoall(
+    const Comm& comm, const std::vector<std::vector<T>>& blocks,
     AlltoallAlgo algo = AlltoallAlgo::kPairwise);
 
-/// Exact per-rank received words of the Bruck variant with equal blocks:
-/// block * sum over rounds t of |{d in [0, p) : bit t of d is set}|.
+/// Exact per-rank received element count of the Bruck variant with equal
+/// blocks: block * sum over rounds t of |{d in [0, p) : bit t of d is set}|.
 i64 alltoall_bruck_recv_words(int p, i64 block);
 
 }  // namespace camb::coll

@@ -2,18 +2,21 @@
 
 #include <algorithm>
 
+#include "util/scalar.hpp"
+
 namespace camb::coll {
 
 namespace {
 
-void bcast_binomial(const Comm& comm, int root_idx, std::vector<double>& data,
-                    i64 payload_words, int tag_base) {
+template <typename T>
+void bcast_binomial(const Comm& comm, int root_idx, std::vector<T>& data,
+                    i64 payload_elems, int tag_base) {
   const int p = comm.size();
   const int me = comm.my_index();
   // Virtual index: root becomes 0, everything else rotates.
   const int v = (me - root_idx + p) % p;
   if (v == 0) {
-    CAMB_CHECK_MSG(static_cast<i64>(data.size()) == payload_words,
+    CAMB_CHECK_MSG(static_cast<i64>(data.size()) == payload_elems,
                    "bcast root payload size mismatch");
   }
   bool have_data = (v == 0);
@@ -25,12 +28,13 @@ void bcast_binomial(const Comm& comm, int root_idx, std::vector<double>& data,
         // The root line sends the same payload to several children; each
         // send gets its own pooled copy.
         comm.send((dst_v + root_idx) % p, tag_base + round,
-                  Buffer::copy_of(data));
+                  Buffer::pack<T>(data));
       }
     } else if (v >= dist && v < 2 * dist) {
       const int src_v = v - dist;
-      data = comm.recv((src_v + root_idx) % p, tag_base + round);
-      CAMB_CHECK(static_cast<i64>(data.size()) == payload_words);
+      Buffer incoming = comm.recv((src_v + root_idx) % p, tag_base + round);
+      CAMB_CHECK(incoming.elems<T>() == payload_elems);
+      data = std::move(incoming).take_as<T>();
       have_data = true;
     }
   }
@@ -41,41 +45,41 @@ void bcast_binomial(const Comm& comm, int root_idx, std::vector<double>& data,
 /// to its successor; every other member forwards each segment on as soon as
 /// it arrives.  Segment s travels with tag tag_base + s, so forwarding can
 /// proceed without per-hop synchronization.
-void bcast_pipelined_ring(const Comm& comm, int root_idx,
-                          std::vector<double>& data, i64 payload_words,
-                          int tag_base, i64 segments) {
+template <typename T>
+void bcast_pipelined_ring(const Comm& comm, int root_idx, std::vector<T>& data,
+                          i64 payload_elems, int tag_base, i64 segments) {
   const int p = comm.size();
   const int me = comm.my_index();
   const int v = (me - root_idx + p) % p;  // position along the ring
-  segments = std::max<i64>(1, std::min(segments, std::max<i64>(payload_words, 1)));
+  segments =
+      std::max<i64>(1, std::min(segments, std::max<i64>(payload_elems, 1)));
   CAMB_CHECK_MSG(segments < kTagBlockWidth,
                  "too many segments for the tag block");
-  const i64 base = payload_words / segments;
-  const i64 extra = payload_words % segments;
+  const i64 base = payload_elems / segments;
+  const i64 extra = payload_elems % segments;
   const int next = (me + 1) % p;
   const int prev = (me + p - 1) % p;
   const bool is_root = (v == 0);
   const bool is_tail = (v == p - 1);
   if (is_root) {
-    CAMB_CHECK_MSG(static_cast<i64>(data.size()) == payload_words,
+    CAMB_CHECK_MSG(static_cast<i64>(data.size()) == payload_elems,
                    "bcast root payload size mismatch");
     i64 offset = 0;
     for (i64 s = 0; s < segments; ++s) {
       const i64 len = base + (s < extra ? 1 : 0);
       comm.send(next, tag_base + static_cast<int>(s),
-                Buffer::copy_of(data.data() + offset,
-                                static_cast<std::size_t>(len)));
+                Buffer::pack<T>(data.data() + offset, len));
       offset += len;
     }
     return;
   }
-  data.assign(static_cast<std::size_t>(payload_words), 0.0);
+  data.assign(static_cast<std::size_t>(payload_elems), ScalarTraits<T>::zero());
   i64 offset = 0;
   for (i64 s = 0; s < segments; ++s) {
     Buffer segment = comm.recv(prev, tag_base + static_cast<int>(s));
     const i64 len = base + (s < extra ? 1 : 0);
-    CAMB_CHECK(static_cast<i64>(segment.size()) == len);
-    std::copy(segment.begin(), segment.end(), data.begin() + offset);
+    CAMB_CHECK(segment.elems<T>() == len);
+    segment.unpack_into<T>(data.data() + offset);
     offset += len;
     if (!is_tail) {
       comm.send(next, tag_base + static_cast<int>(s), std::move(segment));
@@ -85,26 +89,33 @@ void bcast_pipelined_ring(const Comm& comm, int root_idx,
 
 }  // namespace
 
-void bcast(const Comm& comm, int root_idx, std::vector<double>& data,
-           i64 payload_words, BcastAlgo algo, i64 segments) {
+template <typename T>
+void bcast(const Comm& comm, int root_idx, std::vector<T>& data,
+           i64 payload_elems, BcastAlgo algo, i64 segments) {
   CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
   const int p = comm.size();
   CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "bcast root out of range");
   if (p == 1) {
-    CAMB_CHECK(static_cast<i64>(data.size()) == payload_words);
+    CAMB_CHECK(static_cast<i64>(data.size()) == payload_elems);
     return;
   }
   const int tag_base = comm.take_tag_block();
   switch (algo) {
     case BcastAlgo::kBinomial:
-      bcast_binomial(comm, root_idx, data, payload_words, tag_base);
+      bcast_binomial<T>(comm, root_idx, data, payload_elems, tag_base);
       return;
     case BcastAlgo::kPipelinedRing:
-      bcast_pipelined_ring(comm, root_idx, data, payload_words, tag_base,
-                           segments);
+      bcast_pipelined_ring<T>(comm, root_idx, data, payload_elems, tag_base,
+                              segments);
       return;
   }
   throw Error("unreachable bcast algo");
 }
+
+#define CAMB_INSTANTIATE(T)                                      \
+  template void bcast<T>(const Comm&, int, std::vector<T>&, i64, \
+                         BcastAlgo, i64);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::coll

@@ -26,10 +26,13 @@ enum class BcastAlgo {
 
 /// Broadcast `data` from comm member `root_idx` (an index into the comm, not
 /// a machine rank) to all members.  On non-roots, `data` is resized and
-/// overwritten; `payload_words` must be passed consistently by every member.
-/// `segments` applies to the pipelined ring only (clamped to [1, w]).
-void bcast(const Comm& comm, int root_idx, std::vector<double>& data,
-           i64 payload_words, BcastAlgo algo = BcastAlgo::kBinomial,
+/// overwritten; `payload_elems` (an element count — words scale by the
+/// scalar's width) must be passed consistently by every member.  `segments`
+/// applies to the pipelined ring only (clamped to [1, w]).  Templated over
+/// the scalar type; defined for the CAMB_FOR_EACH_SCALAR set.
+template <typename T>
+void bcast(const Comm& comm, int root_idx, std::vector<T>& data,
+           i64 payload_elems, BcastAlgo algo = BcastAlgo::kBinomial,
            i64 segments = 16);
 
 }  // namespace camb::coll

@@ -260,13 +260,13 @@ std::vector<PhaseCounters> predicted_transport_phase(
     if (f.transport_exhausted) {
       // The run would have surfaced TransportError here; only the wasted
       // copies hit the wire.
-      src.words_sent += e.words * failed;
+      src.bytes_sent += e.bytes * failed;
       src.messages_sent += failed;
       continue;
     }
-    src.words_sent += e.words * extra;
+    src.bytes_sent += e.bytes * extra;
     src.messages_sent += extra;
-    dst.words_received += e.words * f.corrupt_copies;
+    dst.bytes_received += e.bytes * f.corrupt_copies;
     dst.messages_received += f.corrupt_copies;
     dst.messages_sent += f.corrupt_copies;  // nacks carry zero words
   }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "util/scalar.hpp"
+
 namespace camb::coll {
 
-std::vector<double> gather(const Comm& comm, int root_idx,
-                           const std::vector<i64>& counts,
-                           const std::vector<double>& local) {
+template <typename T>
+std::vector<T> gather(const Comm& comm, int root_idx,
+                      const std::vector<i64>& counts,
+                      const std::vector<T>& local) {
   CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
   const int p = comm.size();
   CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "gather root out of range");
@@ -17,24 +20,24 @@ std::vector<double> gather(const Comm& comm, int root_idx,
   if (p == 1) return local;
   const int tag_base = comm.take_tag_block();
   if (me != root_idx) {
-    comm.send(root_idx, tag_base + me, Buffer::copy_of(local));
+    comm.send(root_idx, tag_base + me, Buffer::pack<T>(local));
     return {};
   }
-  std::vector<double> out(static_cast<std::size_t>(counts_total(counts)));
+  std::vector<T> out(static_cast<std::size_t>(counts_total(counts)));
   std::copy(local.begin(), local.end(), out.begin() + counts_offset(counts, me));
   for (int i = 0; i < p; ++i) {
     if (i == root_idx) continue;
     Buffer chunk = comm.recv(i, tag_base + i);
-    CAMB_CHECK(static_cast<i64>(chunk.size()) ==
-               counts[static_cast<std::size_t>(i)]);
-    std::copy(chunk.begin(), chunk.end(), out.begin() + counts_offset(counts, i));
+    CAMB_CHECK(chunk.elems<T>() == counts[static_cast<std::size_t>(i)]);
+    chunk.unpack_into<T>(out.data() + counts_offset(counts, i));
   }
   return out;
 }
 
-std::vector<double> scatter(const Comm& comm, int root_idx,
-                            const std::vector<i64>& counts,
-                            const std::vector<double>& full) {
+template <typename T>
+std::vector<T> scatter(const Comm& comm, int root_idx,
+                       const std::vector<i64>& counts,
+                       const std::vector<T>& full) {
   CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
   const int p = comm.size();
   CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "scatter root out of range");
@@ -53,18 +56,25 @@ std::vector<double> scatter(const Comm& comm, int root_idx,
       if (i == root_idx) continue;
       const i64 off = counts_offset(counts, i);
       const i64 len = counts[static_cast<std::size_t>(i)];
-      comm.send(i, tag_base + i,
-                Buffer::copy_of(full.data() + off,
-                                static_cast<std::size_t>(len)));
+      comm.send(i, tag_base + i, Buffer::pack<T>(full.data() + off, len));
     }
     const i64 off = counts_offset(counts, me);
     const i64 len = counts[static_cast<std::size_t>(me)];
-    return std::vector<double>(full.begin() + off, full.begin() + off + len);
+    return std::vector<T>(full.begin() + off, full.begin() + off + len);
   }
-  std::vector<double> chunk = comm.recv(root_idx, tag_base + me);
-  CAMB_CHECK(static_cast<i64>(chunk.size()) ==
-             counts[static_cast<std::size_t>(me)]);
-  return chunk;
+  Buffer incoming = comm.recv(root_idx, tag_base + me);
+  CAMB_CHECK(incoming.elems<T>() == counts[static_cast<std::size_t>(me)]);
+  return std::move(incoming).take_as<T>();
 }
+
+#define CAMB_INSTANTIATE(T)                                                \
+  template std::vector<T> gather<T>(const Comm&, int,                      \
+                                    const std::vector<i64>&,               \
+                                    const std::vector<T>&);                \
+  template std::vector<T> scatter<T>(const Comm&, int,                     \
+                                     const std::vector<i64>&,              \
+                                     const std::vector<T>&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::coll

@@ -13,16 +13,20 @@
 
 namespace camb::coll {
 
-/// Gather: member i's `local` (counts[i] words) is concatenated on the root
-/// in comm order.  Returns the concatenation on the root, empty elsewhere.
-std::vector<double> gather(const Comm& comm, int root_idx,
-                           const std::vector<i64>& counts,
-                           const std::vector<double>& local);
+/// Gather: member i's `local` (counts[i] elements) is concatenated on the
+/// root in comm order.  Returns the concatenation on the root, empty
+/// elsewhere.  Templated over the scalar type (CAMB_FOR_EACH_SCALAR set).
+template <typename T>
+std::vector<T> gather(const Comm& comm, int root_idx,
+                      const std::vector<i64>& counts,
+                      const std::vector<T>& local);
 
-/// Scatter: the root's `full` buffer (counts_total words, comm order) is
-/// split; member i receives counts[i] words.  `full` is ignored on non-roots.
-std::vector<double> scatter(const Comm& comm, int root_idx,
-                            const std::vector<i64>& counts,
-                            const std::vector<double>& full);
+/// Scatter: the root's `full` buffer (counts_total elements, comm order) is
+/// split; member i receives counts[i] elements.  `full` is ignored on
+/// non-roots.
+template <typename T>
+std::vector<T> scatter(const Comm& comm, int root_idx,
+                       const std::vector<i64>& counts,
+                       const std::vector<T>& full);
 
 }  // namespace camb::coll

@@ -1,9 +1,11 @@
 #include "collectives/reduce.hpp"
 
+#include "util/scalar.hpp"
+
 namespace camb::coll {
 
-std::vector<double> reduce(const Comm& comm, int root_idx,
-                           std::vector<double> data) {
+template <typename T>
+std::vector<T> reduce(const Comm& comm, int root_idx, std::vector<T> data) {
   CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
   const int p = comm.size();
   CAMB_CHECK_MSG(root_idx >= 0 && root_idx < p, "reduce root out of range");
@@ -21,17 +23,26 @@ std::vector<double> reduce(const Comm& comm, int root_idx,
       return t;
     }();
     if (v >= dist && v < 2 * dist) {
-      comm.send(((v - dist) + root_idx) % p, tag_base + round, std::move(data));
+      comm.send(((v - dist) + root_idx) % p, tag_base + round,
+                Buffer::adopt(std::move(data)));
       data.clear();
     } else if (v < dist && v + dist < p) {
       Buffer incoming = comm.recv(((v + dist) + root_idx) % p,
                                   tag_base + round);
-      CAMB_CHECK(incoming.size() == data.size());
-      for (std::size_t j = 0; j < data.size(); ++j) data[j] += incoming[j];
+      CAMB_CHECK(incoming.elems<T>() == static_cast<i64>(data.size()));
+      const TypedView<T> in(incoming);
+      for (std::size_t j = 0; j < data.size(); ++j) {
+        data[j] += in[static_cast<i64>(j)];
+      }
     }
   }
   if (v != 0) data.clear();
   return data;
 }
+
+#define CAMB_INSTANTIATE(T) \
+  template std::vector<T> reduce<T>(const Comm&, int, std::vector<T>);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::coll

@@ -12,7 +12,9 @@ namespace camb::coll {
 
 /// Reduces (element-wise sum) `data` across the comm onto member `root_idx`.
 /// Returns the sum on the root; returns an empty vector on other members.
-std::vector<double> reduce(const Comm& comm, int root_idx,
-                           std::vector<double> data);
+/// Templated over the scalar type (sum via operator+=, so i64 is exact and
+/// kahan is compensated); defined for the CAMB_FOR_EACH_SCALAR set.
+template <typename T>
+std::vector<T> reduce(const Comm& comm, int root_idx, std::vector<T> data);
 
 }  // namespace camb::coll

@@ -1,25 +1,29 @@
 #include "collectives/reduce_scatter.hpp"
 
+#include "util/scalar.hpp"
+
 namespace camb::coll {
 
 namespace {
 
 bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-void add_into(std::vector<double>& acc, i64 offset, const Buffer& values) {
-  CAMB_CHECK(offset + static_cast<i64>(values.size()) <=
-             static_cast<i64>(acc.size()));
-  for (std::size_t j = 0; j < values.size(); ++j) {
-    acc[static_cast<std::size_t>(offset) + j] += values[j];
+template <typename T>
+void add_into(std::vector<T>& acc, i64 offset, const Buffer& values) {
+  const TypedView<T> in(values);
+  CAMB_CHECK(offset + in.size() <= static_cast<i64>(acc.size()));
+  for (i64 j = 0; j < in.size(); ++j) {
+    acc[static_cast<std::size_t>(offset + j)] += in[j];
   }
 }
 
 /// Ring Reduce-Scatter: partial sums travel around the ring, with member i
 /// sending segment (i - r - 1) mod p in round r and accumulating the incoming
 /// segment; after p - 1 rounds member i holds the complete sum of segment i.
-std::vector<double> reduce_scatter_ring(const Comm& comm,
-                                        const std::vector<i64>& counts,
-                                        std::vector<double> acc, int tag_base) {
+template <typename T>
+std::vector<T> reduce_scatter_ring(const Comm& comm,
+                                   const std::vector<i64>& counts,
+                                   std::vector<T> acc, int tag_base) {
   const int p = comm.size();
   const int me = comm.my_index();
   const int next = (me + 1) % p;
@@ -30,24 +34,25 @@ std::vector<double> reduce_scatter_ring(const Comm& comm,
     const i64 send_off = counts_offset(counts, send_seg);
     const i64 send_len = counts[static_cast<std::size_t>(send_seg)];
     comm.send(next, tag_base + r,
-              Buffer::copy_of(acc.data() + send_off,
-                              static_cast<std::size_t>(send_len)));
+              Buffer::pack<T>(acc.data() + send_off, send_len));
     Buffer incoming = comm.recv(prev, tag_base + r);
-    CAMB_CHECK(static_cast<i64>(incoming.size()) ==
+    CAMB_CHECK(incoming.elems<T>() ==
                counts[static_cast<std::size_t>(recv_seg)]);
     add_into(acc, counts_offset(counts, recv_seg), incoming);
   }
   const i64 my_off = counts_offset(counts, me);
   const i64 my_len = counts[static_cast<std::size_t>(me)];
-  return std::vector<double>(acc.begin() + my_off, acc.begin() + my_off + my_len);
+  return std::vector<T>(acc.begin() + my_off, acc.begin() + my_off + my_len);
 }
 
 /// Recursive-halving Reduce-Scatter (power-of-two comm size).  The active
 /// segment range halves each round: each member ships the half belonging to
 /// its partner's side of the comm and accumulates the half it keeps.
-std::vector<double> reduce_scatter_recursive_halving(
-    const Comm& comm, const std::vector<i64>& counts, std::vector<double> acc,
-    int tag_base) {
+template <typename T>
+std::vector<T> reduce_scatter_recursive_halving(const Comm& comm,
+                                                const std::vector<i64>& counts,
+                                                std::vector<T> acc,
+                                                int tag_base) {
   const int p = comm.size();
   const int me = comm.my_index();
   int lo = 0, hi = p;  // active segment-index range, always contains `me`
@@ -62,11 +67,10 @@ std::vector<double> reduce_scatter_recursive_halving(
     const i64 send_end = counts_offset(counts, send_hi);
     Buffer incoming = comm.sendrecv(
         partner_idx, tag_base + round,
-        Buffer::copy_of(acc.data() + send_off,
-                        static_cast<std::size_t>(send_end - send_off)));
+        Buffer::pack<T>(acc.data() + send_off, send_end - send_off));
     const int keep_lo = lower_half ? lo : mid;
     const int keep_hi = lower_half ? mid : hi;
-    CAMB_CHECK(static_cast<i64>(incoming.size()) ==
+    CAMB_CHECK(incoming.elems<T>() ==
                counts_offset(counts, keep_hi) - counts_offset(counts, keep_lo));
     add_into(acc, counts_offset(counts, keep_lo), incoming);
     lo = keep_lo;
@@ -75,15 +79,15 @@ std::vector<double> reduce_scatter_recursive_halving(
   CAMB_CHECK(lo == me && hi == me + 1);
   const i64 my_off = counts_offset(counts, me);
   const i64 my_len = counts[static_cast<std::size_t>(me)];
-  return std::vector<double>(acc.begin() + my_off, acc.begin() + my_off + my_len);
+  return std::vector<T>(acc.begin() + my_off, acc.begin() + my_off + my_len);
 }
 
 }  // namespace
 
-std::vector<double> reduce_scatter(const Comm& comm,
-                                   const std::vector<i64>& counts,
-                                   const std::vector<double>& full,
-                                   ReduceScatterAlgo algo) {
+template <typename T>
+std::vector<T> reduce_scatter(const Comm& comm, const std::vector<i64>& counts,
+                              const std::vector<T>& full,
+                              ReduceScatterAlgo algo) {
   CAMB_CHECK_MSG(comm.member(), "only members may call collectives");
   CAMB_CHECK_MSG(static_cast<int>(counts.size()) == comm.size(),
                  "counts arity must match comm size");
@@ -99,20 +103,21 @@ std::vector<double> reduce_scatter(const Comm& comm,
   }
   switch (algo) {
     case ReduceScatterAlgo::kRing:
-      return reduce_scatter_ring(comm, counts, full, tag_base);
+      return reduce_scatter_ring<T>(comm, counts, full, tag_base);
     case ReduceScatterAlgo::kRecursiveHalving:
       CAMB_CHECK_MSG(is_pow2(static_cast<std::size_t>(comm.size())),
                      "recursive halving requires power-of-two comm");
-      return reduce_scatter_recursive_halving(comm, counts, full, tag_base);
+      return reduce_scatter_recursive_halving<T>(comm, counts, full, tag_base);
     case ReduceScatterAlgo::kAuto:
       break;
   }
   throw Error("unreachable reduce_scatter algo");
 }
 
-std::vector<double> reduce_scatter_equal(const Comm& comm,
-                                         const std::vector<double>& full,
-                                         ReduceScatterAlgo algo) {
+template <typename T>
+std::vector<T> reduce_scatter_equal(const Comm& comm,
+                                    const std::vector<T>& full,
+                                    ReduceScatterAlgo algo) {
   const auto p = static_cast<i64>(comm.size());
   CAMB_CHECK_MSG(static_cast<i64>(full.size()) % p == 0,
                  "reduce_scatter_equal requires |full| divisible by comm size");
@@ -120,5 +125,14 @@ std::vector<double> reduce_scatter_equal(const Comm& comm,
                           static_cast<i64>(full.size()) / p);
   return reduce_scatter(comm, counts, full, algo);
 }
+
+#define CAMB_INSTANTIATE(T)                                     \
+  template std::vector<T> reduce_scatter<T>(                    \
+      const Comm&, const std::vector<i64>&, const std::vector<T>&, \
+      ReduceScatterAlgo);                                       \
+  template std::vector<T> reduce_scatter_equal<T>(              \
+      const Comm&, const std::vector<T>&, ReduceScatterAlgo);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::coll

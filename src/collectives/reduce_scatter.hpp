@@ -24,17 +24,19 @@ enum class ReduceScatterAlgo {
 };
 
 /// Runs the Reduce-Scatter.  `full` is this rank's contribution (size
-/// counts_total(counts)); segment i (size counts[i]) of the element-wise sum
-/// is returned to comm member i.
-std::vector<double> reduce_scatter(const Comm& comm,
-                                   const std::vector<i64>& counts,
-                                   const std::vector<double>& full,
-                                   ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
+/// counts_total(counts), counted in elements); segment i (size counts[i]) of
+/// the element-wise sum is returned to comm member i.  Templated over the
+/// scalar type (sum via operator+=); defined for CAMB_FOR_EACH_SCALAR.
+template <typename T>
+std::vector<T> reduce_scatter(const Comm& comm, const std::vector<i64>& counts,
+                              const std::vector<T>& full,
+                              ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
 
 /// Equal-segment convenience wrapper: splits full.size() into comm-size
 /// equal segments (full.size() must be divisible by the comm size).
-std::vector<double> reduce_scatter_equal(
-    const Comm& comm, const std::vector<double>& full,
+template <typename T>
+std::vector<T> reduce_scatter_equal(
+    const Comm& comm, const std::vector<T>& full,
     ReduceScatterAlgo algo = ReduceScatterAlgo::kAuto);
 
 }  // namespace camb::coll

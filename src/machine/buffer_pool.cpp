@@ -17,12 +17,19 @@ BufferPool*& current_pool_slot() {
 }  // namespace
 
 Buffer::Buffer(std::vector<double> v)
-    : storage_(std::move(v)), pool_(BufferPool::current()) {}
+    : storage_(std::move(v)),
+      pool_(BufferPool::current()),
+      elems_(static_cast<i64>(storage_.size())) {}
 
 Buffer::Buffer(Buffer&& other) noexcept
-    : storage_(std::move(other.storage_)), pool_(other.pool_) {
+    : storage_(std::move(other.storage_)),
+      pool_(other.pool_),
+      elems_(other.elems_),
+      elem_bytes_(other.elem_bytes_) {
   other.storage_.clear();
   other.pool_ = nullptr;
+  other.elems_ = 0;
+  other.elem_bytes_ = 8;
 }
 
 Buffer& Buffer::operator=(Buffer&& other) noexcept {
@@ -30,8 +37,12 @@ Buffer& Buffer::operator=(Buffer&& other) noexcept {
     release();
     storage_ = std::move(other.storage_);
     pool_ = other.pool_;
+    elems_ = other.elems_;
+    elem_bytes_ = other.elem_bytes_;
     other.storage_.clear();
     other.pool_ = nullptr;
+    other.elems_ = 0;
+    other.elem_bytes_ = 8;
   }
   return *this;
 }
@@ -46,6 +57,8 @@ void Buffer::release() {
   }
   storage_.clear();
   pool_ = nullptr;
+  elems_ = 0;
+  elem_bytes_ = 8;
 }
 
 Buffer Buffer::zeros(std::size_t words) {
@@ -68,61 +81,110 @@ Buffer Buffer::copy_of(const std::vector<double>& v) {
   return copy_of(v.data(), v.size());
 }
 
+Buffer Buffer::clone() const {
+  Buffer out = copy_of(storage_.data(), storage_.size());
+  out.elems_ = elems_;
+  out.elem_bytes_ = elem_bytes_;
+  return out;
+}
+
 std::vector<double> Buffer::take() && {
   std::vector<double> out = std::move(storage_);
   storage_.clear();
   pool_ = nullptr;
+  elems_ = 0;
+  elem_bytes_ = 8;
   return out;
 }
 
 Buffer BufferPool::zeros(std::size_t words) {
-  std::vector<double> storage = pop_free();
+  std::vector<double> storage = pop_free(words);
   storage.assign(words, 0.0);
   Buffer out;
   out.storage_ = std::move(storage);
   out.pool_ = this;
+  out.elems_ = static_cast<i64>(words);
   return out;
 }
 
 Buffer BufferPool::copy_of(const double* src, std::size_t words) {
-  std::vector<double> storage = pop_free();
+  std::vector<double> storage = pop_free(words);
   storage.assign(src, src + words);
   Buffer out;
   out.storage_ = std::move(storage);
   out.pool_ = this;
+  out.elems_ = static_cast<i64>(words);
   return out;
 }
 
-std::vector<double> BufferPool::pop_free() {
+Buffer BufferPool::bytes_copy(const void* src, i64 nbytes) {
+  CAMB_CHECK(nbytes >= 0);
+  const std::size_t words = static_cast<std::size_t>(ceil_div(nbytes, 8));
+  std::vector<double> storage = pop_free(words);
+  storage.resize(words);
+  // Zero the tail word before the copy so pad bytes beyond nbytes are a
+  // deterministic 0 (transport checksums read whole storage words).
+  if (words > 0) storage[words - 1] = 0.0;
+  std::memcpy(storage.data(), src, static_cast<std::size_t>(nbytes));
+  Buffer out;
+  out.storage_ = std::move(storage);
+  out.pool_ = this;
+  out.elems_ = static_cast<i64>(words);
+  return out;
+}
+
+Buffer BufferPool::bytes_zeros(i64 nbytes) {
+  CAMB_CHECK(nbytes >= 0);
+  return zeros(static_cast<std::size_t>(ceil_div(nbytes, 8)));
+}
+
+int BufferPool::size_class(std::size_t words) {
+  int cls = 0;
+  std::size_t v = 1;
+  while (v < words && cls < kMaxClass) {
+    v <<= 1;
+    ++cls;
+  }
+  return cls < kMinClass ? kMinClass : cls;
+}
+
+std::vector<double> BufferPool::pop_free(std::size_t words) {
+  const std::size_t bucket =
+      static_cast<std::size_t>(size_class(words) - kMinClass);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.acquires;
-  if (free_.empty()) return {};
+  auto& list = free_[bucket];
+  if (list.empty()) return {};
   ++stats_.reuses;
-  std::vector<double> storage = std::move(free_.back());
-  free_.pop_back();
+  std::vector<double> storage = std::move(list.back());
+  list.pop_back();
   return storage;
 }
 
 void BufferPool::give(std::vector<double>&& storage) {
+  const std::size_t bucket =
+      static_cast<std::size_t>(size_class(storage.capacity()) - kMinClass);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.returns;
-  if (free_.size() >= kMaxFree) {
+  auto& list = free_[bucket];
+  if (list.size() >= kMaxFree) {
     ++stats_.drops;
     return;  // storage freed on scope exit
   }
-  free_.push_back(std::move(storage));
+  list.push_back(std::move(storage));
 }
 
 BufferPool::Stats BufferPool::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats out = stats_;
-  out.free = free_.size();
+  out.free = 0;
+  for (const auto& list : free_) out.free += list.size();
   return out;
 }
 
 void BufferPool::trim() {
   std::lock_guard<std::mutex> lock(mutex_);
-  free_.clear();
+  for (auto& list : free_) list.clear();
 }
 
 BufferPool* BufferPool::current() { return current_pool_slot(); }

@@ -19,17 +19,17 @@ const std::string& CommStats::phase(int rank) const {
   return slots_[rank].active_phase;
 }
 
-void CommStats::record_send(int src, i64 words) {
+void CommStats::record_send(int src, i64 bytes) {
   CAMB_CHECK(src >= 0 && src < nprocs_);
   auto& counters = slots_[src].by_phase[slots_[src].active_phase];
-  counters.words_sent += words;
+  counters.bytes_sent += bytes;
   counters.messages_sent += 1;
 }
 
-void CommStats::record_receive(int dst, i64 words) {
+void CommStats::record_receive(int dst, i64 bytes) {
   CAMB_CHECK(dst >= 0 && dst < nprocs_);
   auto& counters = slots_[dst].by_phase[slots_[dst].active_phase];
-  counters.words_received += words;
+  counters.bytes_received += bytes;
   counters.messages_received += 1;
 }
 
@@ -46,20 +46,20 @@ PhaseCounters CommStats::rank_phase(int rank, const std::string& phase) const {
   return it == slots_[rank].by_phase.end() ? PhaseCounters{} : it->second;
 }
 
-i64 CommStats::critical_path_received_words() const {
+double CommStats::critical_path_received_words() const {
   i64 worst = 0;
   for (int r = 0; r < nprocs_; ++r) {
-    worst = std::max(worst, rank_total(r).words_received);
+    worst = std::max(worst, rank_total(r).bytes_received);
   }
-  return worst;
+  return static_cast<double>(worst) / 8.0;
 }
 
-i64 CommStats::critical_path_sent_words() const {
+double CommStats::critical_path_sent_words() const {
   i64 worst = 0;
   for (int r = 0; r < nprocs_; ++r) {
-    worst = std::max(worst, rank_total(r).words_sent);
+    worst = std::max(worst, rank_total(r).bytes_sent);
   }
-  return worst;
+  return static_cast<double>(worst) / 8.0;
 }
 
 double CommStats::critical_path_cost(const AlphaBeta& machine) const {
@@ -70,18 +70,19 @@ double CommStats::critical_path_cost(const AlphaBeta& machine) const {
   return worst;
 }
 
-i64 CommStats::total_words_sent() const {
+double CommStats::total_words_sent() const {
   i64 total = 0;
-  for (int r = 0; r < nprocs_; ++r) total += rank_total(r).words_sent;
-  return total;
+  for (int r = 0; r < nprocs_; ++r) total += rank_total(r).bytes_sent;
+  return static_cast<double>(total) / 8.0;
 }
 
-i64 CommStats::phase_critical_path_received_words(const std::string& phase) const {
+double CommStats::phase_critical_path_received_words(
+    const std::string& phase) const {
   i64 worst = 0;
   for (int r = 0; r < nprocs_; ++r) {
-    worst = std::max(worst, rank_phase(r, phase).words_received);
+    worst = std::max(worst, rank_phase(r, phase).bytes_received);
   }
-  return worst;
+  return static_cast<double>(worst) / 8.0;
 }
 
 std::vector<std::string> CommStats::phases() const {

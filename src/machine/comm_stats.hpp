@@ -28,15 +28,28 @@
 namespace camb {
 
 /// Counters for one rank within one phase.
+///
+/// Since the scalar-substrate refactor the canonical stored unit is *bytes*:
+/// every payload size is an exact integer of bytes regardless of element
+/// width, so the counters never round.  Words (the paper's unit, normalized
+/// to 8 bytes) are exposed as derived accessors returning double — exact for
+/// every supported dtype because all byte totals are multiples of 4, and
+/// halves are exactly representable.  For pure-f64 runs words_sent() etc.
+/// are integer-valued and bit-compare equal to the pre-refactor counts.
 struct PhaseCounters {
-  i64 words_sent = 0;
-  i64 words_received = 0;
+  i64 bytes_sent = 0;
+  i64 bytes_received = 0;
   i64 messages_sent = 0;
   i64 messages_received = 0;
 
+  double words_sent() const { return static_cast<double>(bytes_sent) / 8.0; }
+  double words_received() const {
+    return static_cast<double>(bytes_received) / 8.0;
+  }
+
   PhaseCounters& operator+=(const PhaseCounters& other) {
-    words_sent += other.words_sent;
-    words_received += other.words_received;
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
     messages_sent += other.messages_sent;
     messages_received += other.messages_received;
     return *this;
@@ -52,8 +65,7 @@ struct AlphaBeta {
   double cost(const PhaseCounters& c) const {
     const double msgs =
         static_cast<double>(std::max(c.messages_sent, c.messages_received));
-    const double words =
-        static_cast<double>(std::max(c.words_sent, c.words_received));
+    const double words = std::max(c.words_sent(), c.words_received());
     return alpha * msgs + beta * words;
   }
 };
@@ -69,7 +81,7 @@ struct AlphaBeta {
 /// the phase counters.
 struct TransportCounters {
   i64 retransmits = 0;         ///< extra on-wire copies (dropped + corrupt)
-  i64 retransmitted_words = 0; ///< words those extra copies carried
+  i64 retransmitted_bytes = 0; ///< bytes those extra copies carried
   i64 dup_copies = 0;          ///< injected duplicates put on the wire
   i64 corrupt_discards = 0;    ///< copies this rank rejected on checksum
   i64 dup_discards = 0;        ///< duplicates this rank discarded silently
@@ -79,7 +91,7 @@ struct TransportCounters {
 
   TransportCounters& operator+=(const TransportCounters& other) {
     retransmits += other.retransmits;
-    retransmitted_words += other.retransmitted_words;
+    retransmitted_bytes += other.retransmitted_bytes;
     dup_copies += other.dup_copies;
     corrupt_discards += other.corrupt_discards;
     dup_discards += other.dup_discards;
@@ -106,8 +118,8 @@ class CommStats {
   /// Record a message. Called from the sender's thread; the receive half is
   /// attributed to the receiver's currently active phase at receive time via
   /// record_receive (mailbox bookkeeping keeps both ends exact).
-  void record_send(int src, i64 words);
-  void record_receive(int dst, i64 words);
+  void record_send(int src, i64 bytes);
+  void record_receive(int dst, i64 bytes);
 
   /// Totals across all phases for one rank.
   PhaseCounters rank_total(int rank) const;
@@ -116,20 +128,21 @@ class CommStats {
   PhaseCounters rank_phase(int rank, const std::string& phase) const;
 
   /// Max over ranks of received words — the bandwidth-cost word count used to
-  /// compare against the lower bounds.
-  i64 critical_path_received_words() const;
+  /// compare against the lower bounds.  Exact (integer or half-integer) for
+  /// every supported dtype.
+  double critical_path_received_words() const;
 
   /// Max over ranks of sent words.
-  i64 critical_path_sent_words() const;
+  double critical_path_sent_words() const;
 
   /// Max over ranks of α-β cost of the rank's total counters.
   double critical_path_cost(const AlphaBeta& machine) const;
 
   /// Sum over ranks of words sent (total traffic volume on the network).
-  i64 total_words_sent() const;
+  double total_words_sent() const;
 
   /// Max over ranks of received words within a single named phase.
-  i64 phase_critical_path_received_words(const std::string& phase) const;
+  double phase_critical_path_received_words(const std::string& phase) const;
 
   /// All phase names that recorded any traffic, in first-use order.
   std::vector<std::string> phases() const;

@@ -49,25 +49,25 @@ HierarchyReport analyze_hierarchy(const Trace& trace,
   CAMB_CHECK_MSG(trace.nprocs() == mapping.nprocs(),
                  "trace and mapping sizes must agree");
   HierarchyReport report;
-  std::vector<i64> ingress(static_cast<std::size_t>(mapping.nodes()), 0);
-  std::vector<i64> egress(static_cast<std::size_t>(mapping.nodes()), 0);
+  std::vector<double> ingress(static_cast<std::size_t>(mapping.nodes()), 0.0);
+  std::vector<double> egress(static_cast<std::size_t>(mapping.nodes()), 0.0);
   for (const auto& event : trace.events()) {
-    report.total_words += event.words;
+    report.total_words += event.words();
     const int src_node = mapping.node_of(event.src);
     const int dst_node = mapping.node_of(event.dst);
     if (src_node == dst_node) {
-      report.intra_node_words += event.words;
+      report.intra_node_words += event.words();
     } else {
-      report.inter_node_words += event.words;
-      egress[static_cast<std::size_t>(src_node)] += event.words;
-      ingress[static_cast<std::size_t>(dst_node)] += event.words;
+      report.inter_node_words += event.words();
+      egress[static_cast<std::size_t>(src_node)] += event.words();
+      ingress[static_cast<std::size_t>(dst_node)] += event.words();
     }
   }
-  for (i64 words : ingress) {
+  for (double words : ingress) {
     report.max_node_ingress_words =
         std::max(report.max_node_ingress_words, words);
   }
-  for (i64 words : egress) {
+  for (double words : egress) {
     report.max_node_egress_words =
         std::max(report.max_node_egress_words, words);
   }

@@ -40,15 +40,15 @@ class NodeMapping {
 
 /// Inter-/intra-node traffic split of a trace under a mapping.
 struct HierarchyReport {
-  i64 total_words = 0;
-  i64 intra_node_words = 0;
-  i64 inter_node_words = 0;
+  double total_words = 0;
+  double intra_node_words = 0;
+  double inter_node_words = 0;
   /// Max over nodes of words entering the node from other nodes — the
   /// node-level analog of the per-processor critical-path count that
   /// Theorem 3 (with P' = nodes) lower-bounds.
-  i64 max_node_ingress_words = 0;
+  double max_node_ingress_words = 0;
   /// Max over nodes of words leaving the node.
-  i64 max_node_egress_words = 0;
+  double max_node_egress_words = 0;
 };
 
 HierarchyReport analyze_hierarchy(const Trace& trace,

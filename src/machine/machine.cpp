@@ -96,16 +96,16 @@ void RankCtx::advance_clock(double seconds) {
   clock_ += straggler_ * seconds;
 }
 
-void RankCtx::acquire_words(i64 words) {
-  CAMB_CHECK_MSG(words >= 0, "working-set sizes are non-negative");
-  current_words_ += words;
-  peak_words_ = std::max(peak_words_, current_words_);
+void RankCtx::acquire_bytes(i64 bytes) {
+  CAMB_CHECK_MSG(bytes >= 0, "working-set sizes are non-negative");
+  current_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, current_bytes_);
 }
 
-void RankCtx::release_words(i64 words) {
-  CAMB_CHECK_MSG(words >= 0 && words <= current_words_,
+void RankCtx::release_bytes(i64 bytes) {
+  CAMB_CHECK_MSG(bytes >= 0 && bytes <= current_bytes_,
                  "unbalanced working-set release");
-  current_words_ -= words;
+  current_bytes_ -= bytes;
 }
 
 void RankCtx::set_phase(const std::string& phase) {
@@ -214,14 +214,14 @@ void Machine::run(const std::function<void(RankCtx&)>& program) {
     try {
       program(ctx);
       final_clocks_[static_cast<std::size_t>(r)] = ctx.clock();
-      peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
+      peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_bytes();
     } catch (const RankCrashed& rc) {
       // The planned crash: the rank dies cleanly, drains nothing, and its
       // rank body exits.  Survivors learn of it through the dead-marking.
       crashed[static_cast<std::size_t>(r)] = 1;
       crash_clock[static_cast<std::size_t>(r)] = rc.clock();
       final_clocks_[static_cast<std::size_t>(r)] = rc.clock();
-      peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_words();
+      peak_memory_[static_cast<std::size_t>(r)] = ctx.peak_bytes();
       handle_rank_failure(r);
     } catch (...) {
       // Any other failure gets the same liveness treatment so peers
@@ -311,7 +311,7 @@ void Machine::run(const std::function<void(RankCtx&)>& program) {
       for (std::size_t i = 0; i < leaked.size() && i < kMaxListed; ++i) {
         const UndeliveredMessage& m = leaked[i];
         msg << "\n  src " << m.src << " -> dst " << m.dst << " tag " << m.tag
-            << " words " << m.words << " phase \"" << m.phase << "\"";
+            << " bytes " << m.bytes << " phase \"" << m.phase << "\"";
       }
       if (leaked.size() > kMaxListed) {
         msg << "\n  ... and " << (leaked.size() - kMaxListed) << " more";
@@ -327,10 +327,10 @@ double Machine::critical_path_time() const {
   return worst;
 }
 
-i64 Machine::max_peak_memory_words() const {
+double Machine::max_peak_memory_words() const {
   i64 worst = 0;
-  for (i64 peak : peak_memory_) worst = std::max(worst, peak);
-  return worst;
+  for (i64 bytes : peak_memory_) worst = std::max(worst, bytes);
+  return static_cast<double>(worst) / 8.0;
 }
 
 double Machine::sync_clock_at_barrier(int rank, double clock) {

@@ -125,11 +125,19 @@ class RankCtx {
   /// Working-set accounting: algorithms report the buffers they hold so the
   /// per-rank peak can be *measured* (the §6.2 memory claims).  Balanced
   /// acquire/release is the caller's contract; WorkingSet below is the RAII
-  /// helper.
-  void acquire_words(i64 words);
-  void release_words(i64 words);
-  i64 current_words() const { return current_words_; }
-  i64 peak_words() const { return peak_words_; }
+  /// helper.  Canonical unit is bytes (exact for every element width); the
+  /// word-denominated wrappers assume 8-byte elements and the word accessors
+  /// return exact (possibly half-integer) words.
+  void acquire_bytes(i64 bytes);
+  void release_bytes(i64 bytes);
+  void acquire_words(i64 words) { acquire_bytes(words * 8); }
+  void release_words(i64 words) { release_bytes(words * 8); }
+  i64 current_bytes() const { return current_bytes_; }
+  i64 peak_bytes() const { return peak_bytes_; }
+  double current_words() const {
+    return static_cast<double>(current_bytes_) / 8.0;
+  }
+  double peak_words() const { return static_cast<double>(peak_bytes_) / 8.0; }
 
   /// Deterministic per-rank RNG stream.
   Rng& rng() { return rng_; }
@@ -150,26 +158,32 @@ class RankCtx {
   int rank_;
   double clock_ = 0.0;
   double straggler_ = 1.0;
-  i64 current_words_ = 0;
-  i64 peak_words_ = 0;
+  i64 current_bytes_ = 0;
+  i64 peak_bytes_ = 0;
   Rng rng_;
   TagAllocator tags_;
 };
 
-/// RAII working-set registration: holds `words` against the rank's memory
-/// accounting for the lifetime of the guard.
+/// RAII working-set registration: holds a buffer's footprint against the
+/// rank's memory accounting for the lifetime of the guard.  The two-argument
+/// form is word-denominated (8-byte elements, the historical default); the
+/// three-argument form takes an element count and width for typed buffers.
 class WorkingSet {
  public:
-  WorkingSet(RankCtx& ctx, i64 words) : ctx_(ctx), words_(words) {
-    ctx_.acquire_words(words_);
+  WorkingSet(RankCtx& ctx, i64 words) : ctx_(ctx), bytes_(words * 8) {
+    ctx_.acquire_bytes(bytes_);
   }
-  ~WorkingSet() { ctx_.release_words(words_); }
+  WorkingSet(RankCtx& ctx, i64 elems, i64 elem_bytes)
+      : ctx_(ctx), bytes_(elems * elem_bytes) {
+    ctx_.acquire_bytes(bytes_);
+  }
+  ~WorkingSet() { ctx_.release_bytes(bytes_); }
   WorkingSet(const WorkingSet&) = delete;
   WorkingSet& operator=(const WorkingSet&) = delete;
 
  private:
   RankCtx& ctx_;
-  i64 words_;
+  i64 bytes_;
 };
 
 /// The machine itself: owns the network and runs SPMD programs.
@@ -279,10 +293,11 @@ class Machine {
   const std::vector<double>& final_clocks() const { return final_clocks_; }
   double critical_path_time() const;
 
-  /// After run(): each rank's peak registered working set, and the max —
-  /// meaningful only for programs that register buffers (WorkingSet).
-  const std::vector<i64>& peak_memory_words() const { return peak_memory_; }
-  i64 max_peak_memory_words() const;
+  /// After run(): each rank's peak registered working set in bytes, and the
+  /// word-denominated max — meaningful only for programs that register
+  /// buffers (WorkingSet).
+  const std::vector<i64>& peak_memory_bytes() const { return peak_memory_; }
+  double max_peak_memory_words() const;
 
   /// Barrier clock synchronization support (used by RankCtx::barrier).
   double sync_clock_at_barrier(int rank, double clock);

@@ -224,7 +224,7 @@ void Mailbox::drain_undelivered(int dst, std::vector<UndeliveredMessage>& out) {
     }
     Message msg = take_oldest(e.src, e.tag, /*indexed=*/false);
     out.push_back(UndeliveredMessage{msg.src, dst, msg.tag,
-                                     static_cast<i64>(msg.payload.size()),
+                                     msg.payload.byte_size(),
                                      std::move(msg.phase), msg.transport_dup});
   }
   buckets_.clear();

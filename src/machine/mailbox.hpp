@@ -75,9 +75,11 @@ struct UndeliveredMessage {
   int src = -1;
   int dst = -1;
   int tag = 0;
-  i64 words = 0;
+  i64 bytes = 0;
   std::string phase;
   bool transport_dup = false;  ///< injected duplicate — benign debris
+
+  double words() const { return static_cast<double>(bytes) / 8.0; }
 };
 
 /// How a blocking receive concluded under failure marking.

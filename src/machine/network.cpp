@@ -25,10 +25,9 @@ void Network::send(int src, int dst, int tag, Buffer payload,
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
   const bool counted = (src != dst);
   if (counted) {
-    stats_.record_send(src, static_cast<i64>(payload.size()));
+    stats_.record_send(src, payload.byte_size());
     if (trace_ != nullptr) {
-      trace_->record(src, dst, tag, static_cast<i64>(payload.size()),
-                     stats_.phase(src));
+      trace_->record(src, dst, tag, payload.byte_size(), stats_.phase(src));
     }
   }
   // Counted or not, delivery is a move of the payload's storage into the
@@ -68,7 +67,9 @@ double Network::send_timed(int src, int dst, int tag, Buffer payload,
     slowdown = fault_plan_->straggler_factor(src);
   }
   const int attempts = 1 + faults.failed_attempts;
-  const auto words = static_cast<i64>(payload.size());
+  const i64 bytes = payload.byte_size();
+  // β is charged per 8-byte word; exact halves for 4-byte scalars.
+  const double words = static_cast<double>(bytes) / 8.0;
   // SDC events are physical only under the reliable transport; Machine::run
   // rejects SDC profiles without one, so this guard is belt-and-braces.
   const bool sdc_active = reliable_ != nullptr;
@@ -84,16 +85,16 @@ double Network::send_timed(int src, int dst, int tag, Buffer payload,
              (params.alpha *
                   FaultPlan::retry_alpha_units(faults.failed_attempts +
                                                failed_copies) +
-              params.beta * static_cast<double>(words * failed_copies));
+              params.beta * (words * failed_copies));
     const std::string active = stats_.phase(src);
     stats_.set_phase(src, kPhaseTransport);
-    for (int k = 0; k < failed_copies; ++k) stats_.record_send(src, words);
+    for (int k = 0; k < failed_copies; ++k) stats_.record_send(src, bytes);
     stats_.set_phase(src, active);
     auto& tc = stats_.transport_mut(src);
     tc.retransmits += failed_copies;
-    tc.retransmitted_words += words * failed_copies;
+    tc.retransmitted_bytes += bytes * failed_copies;
     if (trace_ != nullptr) {
-      trace_->record_transport(src, dst, tag, words, faults.dropped_copies,
+      trace_->record_transport(src, dst, tag, bytes, faults.dropped_copies,
                                faults.corrupt_copies, false);
     }
     throw TransportError(src, dst, tag, failed_copies);
@@ -105,12 +106,11 @@ double Network::send_timed(int src, int dst, int tag, Buffer payload,
   clock += slowdown *
            (params.alpha *
                 FaultPlan::retry_alpha_units(attempts + failed_copies) +
-            params.beta * static_cast<double>(words * (1 + failed_copies)) +
-            (duplicated ? params.alpha + params.beta * static_cast<double>(words)
-                        : 0.0));
-  stats_.record_send(src, words);
+            params.beta * (words * (1 + failed_copies)) +
+            (duplicated ? params.alpha + params.beta * words : 0.0));
+  stats_.record_send(src, bytes);
   if (trace_ != nullptr) {
-    trace_->record(src, dst, tag, words, stats_.phase(src));
+    trace_->record(src, dst, tag, bytes, stats_.phase(src));
     if (attempts > 1 || faults.delay > 0) {
       trace_->record_fault(src, dst, tag, faults.failed_attempts, faults.delay,
                            faults.reorder_skip);
@@ -123,14 +123,14 @@ double Network::send_timed(int src, int dst, int tag, Buffer payload,
     // algorithm phases stay word-exact to the fault-free run.
     const std::string active = stats_.phase(src);
     stats_.set_phase(src, kPhaseTransport);
-    for (int k = 0; k < extra_copies; ++k) stats_.record_send(src, words);
+    for (int k = 0; k < extra_copies; ++k) stats_.record_send(src, bytes);
     stats_.set_phase(src, active);
     auto& tc = stats_.transport_mut(src);
     tc.retransmits += failed_copies;
-    tc.retransmitted_words += words * failed_copies;
+    tc.retransmitted_bytes += bytes * failed_copies;
     if (duplicated) ++tc.dup_copies;
     if (trace_ != nullptr) {
-      trace_->record_transport(src, dst, tag, words, faults.dropped_copies,
+      trace_->record_transport(src, dst, tag, bytes, faults.dropped_copies,
                                faults.corrupt_copies, duplicated);
     }
   }
@@ -153,9 +153,7 @@ double Network::send_timed(int src, int dst, int tag, Buffer payload,
       corrupt.phase = phase;
       mailboxes_[dst]->push(std::move(corrupt), faults.reorder_skip);
     }
-    Buffer dup_payload = duplicated
-                             ? Buffer::copy_of(payload.data(), payload.size())
-                             : Buffer();
+    Buffer dup_payload = duplicated ? payload.clone() : Buffer();
     Message clean;
     clean.src = src;
     clean.tag = tag;
@@ -203,7 +201,7 @@ bool Network::transport_accept(int dst, Message& msg) {
     ++tc.nacks;
     const std::string active = stats_.phase(dst);
     stats_.set_phase(dst, kPhaseTransport);
-    stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));
+    stats_.record_receive(dst, msg.payload.byte_size());
     stats_.record_send(dst, 0);  // the nack
     stats_.set_phase(dst, active);
     return false;
@@ -218,7 +216,7 @@ Buffer Network::recv(int dst, int src, int tag, double* arrival_time) {
     Message msg = mailboxes_[dst]->pop_matching(src, tag);
     if (!transport_accept(dst, msg)) continue;
     if (src != dst) {
-      stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));
+      stats_.record_receive(dst, msg.payload.byte_size());
     }
     if (arrival_time != nullptr) *arrival_time = msg.depart_time;
     return std::move(msg.payload);
@@ -239,7 +237,7 @@ RecvStatus Network::recv_or_failed(int dst, int src, int tag, double deadline,
   }
   if (status == RecvStatus::kDelivered) {
     if (src != dst) {
-      stats_.record_receive(dst, static_cast<i64>(msg.payload.size()));
+      stats_.record_receive(dst, msg.payload.byte_size());
     }
     if (arrival_time != nullptr) *arrival_time = msg.depart_time;
     *payload = std::move(msg.payload);

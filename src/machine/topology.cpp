@@ -114,13 +114,13 @@ ContentionReport analyze_contention(const Trace& trace, const Topology& topo) {
                  "trace and topology sizes must agree");
   ContentionReport report;
   for (const auto& event : trace.events()) {
-    report.total_words += event.words;
+    report.total_words += event.words();
     const auto links = trace.nprocs() == 1
                            ? std::vector<Link>{}
                            : topo.route(event.src, event.dst);
-    report.hop_words += static_cast<i64>(links.size()) * event.words;
+    report.hop_words += static_cast<double>(links.size()) * event.words();
     for (const Link& link : links) {
-      report.link_words[link] += event.words;
+      report.link_words[link] += event.words();
     }
   }
   for (const auto& [link, words] : report.link_words) {
@@ -130,10 +130,7 @@ ContentionReport analyze_contention(const Trace& trace, const Topology& topo) {
     }
   }
   report.mean_hops =
-      report.total_words > 0
-          ? static_cast<double>(report.hop_words) /
-                static_cast<double>(report.total_words)
-          : 0.0;
+      report.total_words > 0 ? report.hop_words / report.total_words : 0.0;
   return report;
 }
 

@@ -91,12 +91,12 @@ class Hypercube final : public Topology {
 
 /// What the fully-connected abstraction hides on a given topology.
 struct ContentionReport {
-  i64 total_words = 0;      ///< words in the trace (topology-independent)
-  i64 hop_words = 0;        ///< sum over messages of words × hops
-  double mean_hops = 0;     ///< hop_words / total_words (0 if no traffic)
-  i64 max_link_words = 0;   ///< load on the most congested directed link
+  double total_words = 0;    ///< words in the trace (topology-independent)
+  double hop_words = 0;      ///< sum over messages of words × hops
+  double mean_hops = 0;      ///< hop_words / total_words (0 if no traffic)
+  double max_link_words = 0; ///< load on the most congested directed link
   Link max_link = {-1, -1};
-  std::map<Link, i64> link_words;  ///< full per-link load map
+  std::map<Link, double> link_words;  ///< full per-link load map
 };
 
 /// Route every traced message over the topology and aggregate link loads.

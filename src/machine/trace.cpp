@@ -12,14 +12,14 @@ Trace::Trace(int nprocs) : nprocs_(nprocs) {
   CAMB_CHECK_MSG(nprocs >= 1, "trace needs at least one processor");
 }
 
-void Trace::record(int src, int dst, int tag, i64 words,
+void Trace::record(int src, int dst, int tag, i64 bytes,
                    const std::string& phase) {
   MessageEvent event;
   event.seq = next_seq_.fetch_add(1);
   event.src = src;
   event.dst = dst;
   event.tag = tag;
-  event.words = words;
+  event.bytes = bytes;
   event.phase = phase;
   std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(std::move(event));
@@ -39,7 +39,7 @@ void Trace::record_fault(int src, int dst, int tag, int failed_attempts,
   fault_events_.push_back(event);
 }
 
-void Trace::record_transport(int src, int dst, int tag, i64 words,
+void Trace::record_transport(int src, int dst, int tag, i64 bytes,
                              int dropped_copies, int corrupt_copies,
                              bool duplicated) {
   TransportEvent event;
@@ -47,7 +47,7 @@ void Trace::record_transport(int src, int dst, int tag, i64 words,
   event.src = src;
   event.dst = dst;
   event.tag = tag;
-  event.words = words;
+  event.bytes = bytes;
   event.dropped_copies = dropped_copies;
   event.corrupt_copies = corrupt_copies;
   event.duplicated = duplicated;
@@ -100,26 +100,36 @@ std::size_t Trace::event_count() const {
   return events_.size();
 }
 
-std::vector<std::vector<i64>> Trace::traffic_matrix() const {
-  std::vector<std::vector<i64>> matrix(
+std::vector<std::vector<double>> Trace::traffic_matrix() const {
+  std::vector<std::vector<i64>> bytes(
       static_cast<std::size_t>(nprocs_),
       std::vector<i64>(static_cast<std::size_t>(nprocs_), 0));
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& event : events_) {
-    matrix[static_cast<std::size_t>(event.src)]
-          [static_cast<std::size_t>(event.dst)] += event.words;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& event : events_) {
+      bytes[static_cast<std::size_t>(event.src)]
+           [static_cast<std::size_t>(event.dst)] += event.bytes;
+    }
+  }
+  std::vector<std::vector<double>> matrix(
+      static_cast<std::size_t>(nprocs_),
+      std::vector<double>(static_cast<std::size_t>(nprocs_), 0.0));
+  for (std::size_t s = 0; s < bytes.size(); ++s) {
+    for (std::size_t d = 0; d < bytes[s].size(); ++d) {
+      matrix[s][d] = static_cast<double>(bytes[s][d]) / 8.0;
+    }
   }
   return matrix;
 }
 
-i64 Trace::words_between(int src, int dst) const {
+double Trace::words_between(int src, int dst) const {
   CAMB_CHECK(src >= 0 && src < nprocs_ && dst >= 0 && dst < nprocs_);
   i64 total = 0;
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& event : events_) {
-    if (event.src == src && event.dst == dst) total += event.words;
+    if (event.src == src && event.dst == dst) total += event.bytes;
   }
-  return total;
+  return static_cast<double>(total) / 8.0;
 }
 
 std::vector<MessageEvent> Trace::events_in_phase(
@@ -150,10 +160,10 @@ std::vector<int> Trace::partners_of(int rank) const {
 void Trace::write_csv(const std::string& path) const {
   std::ofstream file(path);
   CAMB_CHECK_MSG(file.good(), "cannot open trace CSV: " + path);
-  file << "seq,src,dst,tag,words,phase\n";
+  file << "seq,src,dst,tag,bytes,phase\n";
   for (const auto& event : events()) {
     file << event.seq << ',' << event.src << ',' << event.dst << ','
-         << event.tag << ',' << event.words << ',' << event.phase << '\n';
+         << event.tag << ',' << event.bytes << ',' << event.phase << '\n';
   }
   CAMB_CHECK_MSG(file.good(), "error writing trace CSV: " + path);
 }

@@ -23,8 +23,11 @@ struct MessageEvent {
   int src = -1;
   int dst = -1;
   int tag = 0;
-  i64 words = 0;
+  i64 bytes = 0;      ///< exact payload size (elems x elem width)
   std::string phase;  ///< sender's active phase at send time
+
+  /// Payload size in 8-byte words (exact halves for 4-byte scalars).
+  double words() const { return static_cast<double>(bytes) / 8.0; }
 };
 
 /// One recorded fault injection (delay, retry burst, or reordering applied
@@ -50,7 +53,7 @@ struct TransportEvent {
   int src = -1;
   int dst = -1;
   int tag = 0;
-  i64 words = 0;            ///< payload words per copy
+  i64 bytes = 0;            ///< payload bytes per copy
   int dropped_copies = 0;   ///< copies lost in flight
   int corrupt_copies = 0;   ///< copies delivered corrupted and nacked
   bool duplicated = false;  ///< the clean copy was delivered twice
@@ -63,7 +66,7 @@ class Trace {
   int nprocs() const { return nprocs_; }
 
   /// Record one send (thread-safe; called by the network).
-  void record(int src, int dst, int tag, i64 words, const std::string& phase);
+  void record(int src, int dst, int tag, i64 bytes, const std::string& phase);
 
   /// Record one fault injection (thread-safe; called by the network when a
   /// fault plan perturbed the matching send).
@@ -72,7 +75,7 @@ class Trace {
 
   /// Record one reliable-transport repair (thread-safe; called by the
   /// network when SDC injection touched the matching send).
-  void record_transport(int src, int dst, int tag, i64 words,
+  void record_transport(int src, int dst, int tag, i64 bytes,
                         int dropped_copies, int corrupt_copies,
                         bool duplicated);
 
@@ -91,11 +94,12 @@ class Trace {
 
   std::size_t event_count() const;
 
-  /// words[src][dst] — total words sent from src to dst.
-  std::vector<std::vector<i64>> traffic_matrix() const;
+  /// words[src][dst] — total words sent from src to dst (exact halves for
+  /// 4-byte scalars; integer-valued for f64 traffic).
+  std::vector<std::vector<double>> traffic_matrix() const;
 
   /// Total words from a to b (directed).
-  i64 words_between(int src, int dst) const;
+  double words_between(int src, int dst) const;
 
   /// Events recorded under one phase label.
   std::vector<MessageEvent> events_in_phase(const std::string& phase) const;
@@ -103,7 +107,7 @@ class Trace {
   /// Distinct communication partners of a rank (union of in and out).
   std::vector<int> partners_of(int rank) const;
 
-  /// Write the full event log as CSV (seq,src,dst,tag,words,phase).
+  /// Write the full event log as CSV (seq,src,dst,tag,bytes,phase).
   void write_csv(const std::string& path) const;
 
  private:

@@ -13,6 +13,7 @@
 #include "machine/faults.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -32,37 +33,53 @@ BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
   return chunk;
 }
 
-/// Regenerate a full block with the integer-valued indexed pattern.
-MatrixD regen_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
-                    i64 ci) {
+/// The checksum-exact fill.  Exact scalars use the plain indexed pattern —
+/// integer arithmetic never rounds, so sums are order-independent without
+/// any input restriction.  Floating-point scalars still need the
+/// integer-valued pattern for bit-exact, order-independent checksums.
+template <typename T>
+std::vector<T> abft_fill(const BlockChunk& chunk) {
+  if constexpr (ScalarTraits<T>::exact) {
+    return fill_chunk_indexed<T>(chunk);
+  } else {
+    return fill_chunk_indexed_int<T>(chunk);
+  }
+}
+
+/// Regenerate a full block with the checksum-exact pattern.
+template <typename T>
+Matrix<T> regen_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
+                      i64 ci) {
   const BlockChunk chunk = full_block(rows, ri, cols, ci);
-  const std::vector<double> flat = fill_chunk_indexed_int(chunk);
-  MatrixD out(chunk.rows, chunk.cols);
+  const std::vector<T> flat = abft_fill<T>(chunk);
+  Matrix<T> out(chunk.rows, chunk.cols);
   std::copy(flat.begin(), flat.end(), out.data());
   return out;
 }
 
-MatrixD to_matrix(const std::vector<double>& flat, i64 rows, i64 cols) {
+template <typename T>
+Matrix<T> to_matrix(const std::vector<T>& flat, i64 rows, i64 cols) {
   CAMB_CHECK(static_cast<i64>(flat.size()) == rows * cols);
-  MatrixD out(rows, cols);
+  Matrix<T> out(rows, cols);
   std::copy(flat.begin(), flat.end(), out.data());
   return out;
 }
 
 /// Pad an r×c row-major block to rmax rows (zeros below).
-std::vector<double> pad_rows(const std::vector<double>& flat, i64 r, i64 c,
-                             i64 rmax) {
+template <typename T>
+std::vector<T> pad_rows(const std::vector<T>& flat, i64 r, i64 c, i64 rmax) {
   CAMB_CHECK(static_cast<i64>(flat.size()) == r * c && rmax >= r);
-  std::vector<double> out = flat;
-  out.resize(static_cast<std::size_t>(rmax * c), 0.0);
+  std::vector<T> out = flat;
+  out.resize(static_cast<std::size_t>(rmax * c), ScalarTraits<T>::zero());
   return out;
 }
 
 /// Pad an r×c row-major block to cmax columns (zeros to the right).
-std::vector<double> pad_cols(const std::vector<double>& flat, i64 r, i64 c,
-                             i64 cmax) {
+template <typename T>
+std::vector<T> pad_cols(const std::vector<T>& flat, i64 r, i64 c, i64 cmax) {
   CAMB_CHECK(static_cast<i64>(flat.size()) == r * c && cmax >= c);
-  std::vector<double> out(static_cast<std::size_t>(r * cmax), 0.0);
+  std::vector<T> out(static_cast<std::size_t>(r * cmax),
+                     ScalarTraits<T>::zero());
   for (i64 ri = 0; ri < r; ++ri) {
     std::copy(flat.begin() + ri * c, flat.begin() + (ri + 1) * c,
               out.begin() + ri * cmax);
@@ -70,8 +87,10 @@ std::vector<double> pad_cols(const std::vector<double>& flat, i64 r, i64 c,
   return out;
 }
 
-std::vector<double> pad_matrix(const MatrixD& m, i64 rmax, i64 cmax) {
-  std::vector<double> out(static_cast<std::size_t>(rmax * cmax), 0.0);
+template <typename T>
+std::vector<T> pad_matrix(const Matrix<T>& m, i64 rmax, i64 cmax) {
+  std::vector<T> out(static_cast<std::size_t>(rmax * cmax),
+                     ScalarTraits<T>::zero());
   for (i64 ri = 0; ri < m.rows(); ++ri) {
     std::copy(m.data() + ri * m.cols(), m.data() + (ri + 1) * m.cols(),
               out.begin() + ri * cmax);
@@ -87,7 +106,8 @@ std::vector<int> world_group(int nprocs) {
 
 }  // namespace
 
-SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
+template <typename T>
+SummaAbftOutputT<T> summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
   const i64 g = cfg.base.g;
   CAMB_CHECK_MSG(g * g == ctx.nprocs(), "SUMMA machine size must be g*g");
   CAMB_CHECK_MSG(g >= 2, "checksum-augmented SUMMA needs grid edge g >= 2");
@@ -99,24 +119,24 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
   const i64 d1max = d1.size(0);  // near-equal split: piece 0 is largest
   const i64 d3max = d3.size(0);
 
-  // Owned blocks (integer-valued pattern: see abft.hpp on exactness).
-  std::vector<double> a_own = fill_chunk_indexed_int(full_block(d1, i, d2, j));
-  std::vector<double> b_own = fill_chunk_indexed_int(full_block(d2, i, d3, j));
+  // Owned blocks (checksum-exact pattern: see abft_fill on exactness).
+  std::vector<T> a_own = abft_fill<T>(full_block(d1, i, d2, j));
+  std::vector<T> b_own = abft_fill<T>(full_block(d2, i, d3, j));
 
-  SummaAbftOutput out;
+  SummaAbftOutputT<T> out;
   out.own.row0 = d1.start(i);
   out.own.col0 = d3.start(j);
-  out.own.block = MatrixD(d1.size(i), d3.size(j));
+  out.own.block = Matrix<T>(d1.size(i), d3.size(j));
 
   // Checksum holders: S_j on row 0, R_i on column 0, T on the corner.
   const bool hold_s = (i == 0);
   const bool hold_r = (j == 0);
   const bool is_corner = (i == g - 1 && j == g - 1);
   const int corner = rank_of(g - 1, g - 1, g);
-  MatrixD s_sum, r_sum, t_sum;
-  if (hold_s) s_sum = MatrixD(d1max, d3.size(j));
-  if (hold_r) r_sum = MatrixD(d1.size(i), d3max);
-  if (is_corner) t_sum = MatrixD(d1max, d3max);
+  Matrix<T> s_sum, r_sum, t_sum;
+  if (hold_s) s_sum = Matrix<T>(d1max, d3.size(j));
+  if (hold_r) r_sum = Matrix<T>(d1.size(i), d3max);
+  if (is_corner) t_sum = Matrix<T>(d1max, d3max);
 
   // Fibers of the g x g grid; each fiber serves 2 collectives per stage plus
   // (on the extreme row/column) one forwarding block, so size the leases to
@@ -139,37 +159,37 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
       // Base SUMMA stage: A block-column t along rows, B block-row t along
       // columns, local accumulate (identical to summa_rank).
       ctx.set_phase(kPhaseSummaBcastA);
-      std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
+      std::vector<T> a_panel = (t == j) ? a_own : std::vector<T>{};
       const i64 a_rows = d1.size(i), a_cols = d2.size(t);
       coll::bcast(my_row, static_cast<int>(t), a_panel, a_rows * a_cols,
                   cfg.base.bcast, cfg.base.bcast_segments);
 
       ctx.set_phase(kPhaseSummaBcastB);
-      std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
+      std::vector<T> b_panel = (t == i) ? b_own : std::vector<T>{};
       const i64 b_rows = d2.size(t), b_cols = d3.size(j);
       coll::bcast(my_col, static_cast<int>(t), b_panel, b_rows * b_cols,
                   cfg.base.bcast, cfg.base.bcast_segments);
 
       ctx.set_phase(kPhaseSummaGemm);
-      const MatrixD a_mat = to_matrix(a_panel, a_rows, a_cols);
-      const MatrixD b_mat = to_matrix(b_panel, b_rows, b_cols);
+      const Matrix<T> a_mat = to_matrix(a_panel, a_rows, a_cols);
+      const Matrix<T> b_mat = to_matrix(b_panel, b_rows, b_cols);
       gemm_accumulate(a_mat, b_mat, out.own.block);
 
       // Encode: column fibers reduce row-padded A panels to row 0, row
       // fibers reduce column-padded B panels to column 0, and the extreme
       // roots forward the sums to the corner.
       ctx.set_phase(kPhaseAbftEncode);
-      std::vector<double> asum = coll::reduce(
+      std::vector<T> asum = coll::reduce(
           my_col, 0, pad_rows(a_panel, a_rows, a_cols, d1max));
-      std::vector<double> bsum = coll::reduce(
+      std::vector<T> bsum = coll::reduce(
           my_row, 0, pad_cols(b_panel, b_rows, b_cols, d3max));
       if (i == 0 && j == g - 1) {
         my_col.send(static_cast<int>(g - 1),
-                    fwd_a_tags + static_cast<int>(t), Buffer::copy_of(asum));
+                    fwd_a_tags + static_cast<int>(t), Buffer::pack<T>(asum));
       }
       if (i == g - 1 && j == 0) {
         my_row.send(static_cast<int>(g - 1),
-                    fwd_b_tags + static_cast<int>(t), Buffer::copy_of(bsum));
+                    fwd_b_tags + static_cast<int>(t), Buffer::pack<T>(bsum));
       }
       if (hold_s) {
         // S_j += (sum_i pad(A_it)) * B_tj  ==  sum_i pad_rows(A_it B_tj).
@@ -179,10 +199,12 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
         gemm_accumulate(a_mat, to_matrix(bsum, b_rows, d3max), r_sum);
       }
       if (is_corner) {
-        const std::vector<double> asum_c =
-            my_col.recv(0, fwd_a_tags + static_cast<int>(t));
-        const std::vector<double> bsum_c =
-            my_row.recv(0, fwd_b_tags + static_cast<int>(t));
+        const std::vector<T> asum_c =
+            std::move(my_col.recv(0, fwd_a_tags + static_cast<int>(t)))
+                .take_as<T>();
+        const std::vector<T> bsum_c =
+            std::move(my_row.recv(0, fwd_b_tags + static_cast<int>(t)))
+                .take_as<T>();
         gemm_accumulate(to_matrix(asum_c, d1max, d2.size(t)),
                         to_matrix(bsum_c, d2.size(t), d3max), t_sum);
       }
@@ -197,27 +219,27 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
   }
 
   if (abandoned) {
-    out.own.block = MatrixD(d1.size(i), d3.size(j));
-    if (hold_s) s_sum = MatrixD(d1max, d3.size(j));
-    if (hold_r) r_sum = MatrixD(d1.size(i), d3max);
-    if (is_corner) t_sum = MatrixD(d1max, d3max);
+    out.own.block = Matrix<T>(d1.size(i), d3.size(j));
+    if (hold_s) s_sum = Matrix<T>(d1max, d3.size(j));
+    if (hold_r) r_sum = Matrix<T>(d1.size(i), d3max);
+    if (is_corner) t_sum = Matrix<T>(d1max, d3max);
     for (i64 t = 0; t < g; ++t) {
-      const MatrixD a_t = regen_block(d1, i, d2, t);
-      const MatrixD b_t = regen_block(d2, t, d3, j);
+      const Matrix<T> a_t = regen_block<T>(d1, i, d2, t);
+      const Matrix<T> b_t = regen_block<T>(d2, t, d3, j);
       gemm_accumulate(a_t, b_t, out.own.block);
       if (hold_s || is_corner) {
-        MatrixD asum_t(d1max, d2.size(t));
+        Matrix<T> asum_t(d1max, d2.size(t));
         for (i64 i2 = 0; i2 < g; ++i2) {
-          const MatrixD a_i2 = regen_block(d1, i2, d2, t);
+          const Matrix<T> a_i2 = regen_block<T>(d1, i2, d2, t);
           for (i64 r = 0; r < a_i2.rows(); ++r) {
             for (i64 c = 0; c < a_i2.cols(); ++c) asum_t(r, c) += a_i2(r, c);
           }
         }
         if (hold_s) gemm_accumulate(asum_t, b_t, s_sum);
         if (is_corner) {
-          MatrixD bsum_t(d2.size(t), d3max);
+          Matrix<T> bsum_t(d2.size(t), d3max);
           for (i64 j2 = 0; j2 < g; ++j2) {
-            const MatrixD b_j2 = regen_block(d2, t, d3, j2);
+            const Matrix<T> b_j2 = regen_block<T>(d2, t, d3, j2);
             for (i64 r = 0; r < b_j2.rows(); ++r) {
               for (i64 c = 0; c < b_j2.cols(); ++c) bsum_t(r, c) += b_j2(r, c);
             }
@@ -226,9 +248,9 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
         }
       }
       if (hold_r) {
-        MatrixD bsum_t(d2.size(t), d3max);
+        Matrix<T> bsum_t(d2.size(t), d3max);
         for (i64 j2 = 0; j2 < g; ++j2) {
-          const MatrixD b_j2 = regen_block(d2, t, d3, j2);
+          const Matrix<T> b_j2 = regen_block<T>(d2, t, d3, j2);
           for (i64 r = 0; r < b_j2.rows(); ++r) {
             for (i64 c = 0; c < b_j2.cols(); ++c) bsum_t(r, c) += b_j2(r, c);
           }
@@ -273,7 +295,7 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
   enum class Pad { kRows, kCols, kBoth } pad_mode;
   int host = -1;
   std::vector<int> contributors;
-  const MatrixD* checksum = nullptr;
+  const Matrix<T>* checksum = nullptr;
   if (di != 0) {
     pad_mode = Pad::kRows;
     host = rank_of(0, dj, g);
@@ -304,15 +326,15 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
   }
   const i64 pad_r = (pad_mode == Pad::kCols) ? d1.size(0) : d1max;
   const i64 pad_c = (pad_mode == Pad::kRows) ? d3.size(dj) : d3max;
-  const std::vector<double> survivor_sum =
+  const std::vector<T> survivor_sum =
       coll::reduce(rec_contrib, rec_contrib.index_of(host),
                    pad_matrix(out.own.block, pad_r, pad_c));
   if (ctx.rank() == host) {
-    RecoveredBlock2D rec;
+    RecoveredBlock2DT<T> rec;
     rec.rank = dead;
     rec.out.row0 = d1.start(di);
     rec.out.col0 = d3.start(dj);
-    rec.out.block = MatrixD(d1.size(di), d3.size(dj));
+    rec.out.block = Matrix<T>(d1.size(di), d3.size(dj));
     for (i64 r = 0; r < rec.out.block.rows(); ++r) {
       for (i64 c = 0; c < rec.out.block.cols(); ++c) {
         rec.out.block(r, c) = (*checksum)(r, c) -
@@ -325,9 +347,19 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg) {
   return out;
 }
 
-Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
+#define CAMB_INSTANTIATE(T)                    \
+  template SummaAbftOutputT<T> summa_abft_rank<T>( \
+      RankCtx&, const SummaAbftConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
+
+template <typename T>
+Grid3dAbftOutputT<T> grid3d_abft_rank(RankCtx& ctx,
+                                      const Grid3dAbftConfig& cfg) {
   Grid3dConfig base = cfg.base;
-  base.integer_inputs = true;
+  // Exact scalars keep the plain indexed fill (their sums never round);
+  // floating-point instantiations force the integer-valued pattern.
+  base.integer_inputs = !ScalarTraits<T>::exact;
   CAMB_CHECK_MSG(base.grid.total() == ctx.nprocs(),
                  "grid size must equal the machine size");
   CAMB_CHECK_MSG(cfg.max_failures >= 0, "max_failures must be non-negative");
@@ -340,16 +372,16 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
   i64 lmax = 0;
   for (i64 c : layout.c_counts) lmax = std::max(lmax, c);
 
-  Grid3dAbftOutput out;
-  std::vector<double> parity;
+  Grid3dAbftOutputT<T> out;
+  std::vector<T> parity;
   bool abandoned = false;
   try {
-    out.own = grid3d_rank(ctx, base);
+    out.own = grid3d_rank<T>(ctx, base);
     // Encode: every C fiber All-Reduces the parity of its members' padded
     // chunks, so each member holds X = sum_q2 pad(chunk) (f = 1 redundancy).
     ctx.set_phase(kPhaseAbftEncode);
-    std::vector<double> padded = out.own.c_data;
-    padded.resize(static_cast<std::size_t>(lmax), 0.0);
+    std::vector<T> padded = out.own.c_data;
+    padded.resize(static_cast<std::size_t>(lmax), ScalarTraits<T>::zero());
     parity = coll::allreduce(c_fiber, std::move(padded));
   } catch (const PeerFailedError&) {
     ctx.abandon();
@@ -363,17 +395,17 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
     // integer-valued.
     const BlockDist1D d1(base.shape.n1, base.grid.p1),
         d2(base.shape.n2, base.grid.p2), d3(base.shape.n3, base.grid.p3);
-    MatrixD c_full(layout.c.rows, layout.c.cols);
+    Matrix<T> c_full(layout.c.rows, layout.c.cols);
     for (i64 t = 0; t < base.grid.p2; ++t) {
-      const MatrixD a_t = regen_block(d1, q1, d2, t);
-      const MatrixD b_t = regen_block(d2, t, d3, q3);
+      const Matrix<T> a_t = regen_block<T>(d1, q1, d2, t);
+      const Matrix<T> b_t = regen_block<T>(d2, t, d3, q3);
       gemm_accumulate(a_t, b_t, c_full);
     }
     out.own.c_chunk = layout.c;
     out.own.c_data.assign(
         c_full.data() + layout.c.flat_start,
         c_full.data() + layout.c.flat_start + layout.c.flat_size);
-    parity.assign(static_cast<std::size_t>(lmax), 0.0);
+    parity.assign(static_cast<std::size_t>(lmax), ScalarTraits<T>::zero());
     const BlockDist1D flat(layout.c.block_size(), base.grid.p2);
     for (i64 m = 0; m < base.grid.p2; ++m) {
       for (i64 k = 0; k < flat.size(m); ++k) {
@@ -424,14 +456,14 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
     // agreed failed-rank order — so the recovery lease sequence is uniform.
     const coll::Comm rec_contrib = coll::Comm::recovery(ctx, contributors);
     if (!rec_contrib.member()) continue;
-    std::vector<double> padded = out.own.c_data;
-    padded.resize(static_cast<std::size_t>(lmax), 0.0);
+    std::vector<T> padded = out.own.c_data;
+    padded.resize(static_cast<std::size_t>(lmax), ScalarTraits<T>::zero());
     const int host = contributors.front();
-    const std::vector<double> survivor_sum =
+    const std::vector<T> survivor_sum =
         coll::reduce(rec_contrib, 0, std::move(padded));
     if (ctx.rank() == host) {
       const Grid3dLayout dead_layout = grid3d_layout(base, dead);
-      RecoveredChunk3D rec;
+      RecoveredChunk3DT<T> rec;
       rec.rank = dead;
       rec.c_chunk = dead_layout.c;
       rec.c_data.resize(static_cast<std::size_t>(dead_layout.c.flat_size));
@@ -445,6 +477,12 @@ Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg) {
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                      \
+  template Grid3dAbftOutputT<T> grid3d_abft_rank<T>( \
+      RankCtx&, const Grid3dAbftConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 summa_abft_predicted_recv_words(const SummaAbftConfig& cfg, int rank) {
   const i64 g = cfg.base.g;
@@ -750,33 +788,37 @@ i64 grid3d_abft_ckpt_base_recv_words(const Grid3dAbftConfig& cfg, int rank) {
              static_cast<int>(cfg.base.grid.total()), cfg.max_failures);
 }
 
+template <typename T>
 AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
-                                  std::vector<SummaAbftOutput>& outputs) {
+                                  std::vector<SummaAbftOutputT<T>>& outputs) {
   const i64 g = cfg.base.g;
   CAMB_CHECK_MSG(static_cast<i64>(outputs.size()) == g * g,
                  "correction needs every rank's output");
   const BlockDist1D d1(cfg.base.shape.n1, g), d3(cfg.base.shape.n3, g);
   const i64 d1max = d1.size(0);
+  const T zero = ScalarTraits<T>::zero();
 
   // A corrupted cell at local (r, c) of tile (i*, j*) shows up at exactly
   // (r, c) in both its column syndrome D_{j*} (pad_rows keeps local rows)
   // and its row syndrome E_{i*} (pad_cols keeps local columns), with the
-  // same magnitude — all sums are exact on the integer-valued pattern, so
-  // clean cells have syndrome exactly zero.
+  // same magnitude — all sums are exact (integer-valued pattern, or native
+  // integer arithmetic for exact scalars), so clean cells have syndrome
+  // exactly zero.
   struct Hit {
     i64 block = -1;  // j for column hits, i for row hits
     i64 r = 0;
     i64 c = 0;
-    double delta = 0.0;
+    T delta{};
   };
   std::vector<Hit> col_hits, row_hits;
   for (i64 j = 0; j < g; ++j) {
-    const MatrixD& s = outputs[static_cast<std::size_t>(rank_of(0, j, g))].s_sum;
+    const Matrix<T>& s =
+        outputs[static_cast<std::size_t>(rank_of(0, j, g))].s_sum;
     CAMB_CHECK_MSG(s.rows() == d1max && s.cols() == d3.size(j),
                    "correction needs the checksums of a crash-free run");
-    MatrixD d(d1max, d3.size(j));
+    Matrix<T> d(d1max, d3.size(j));
     for (i64 i = 0; i < g; ++i) {
-      const MatrixD& tile =
+      const Matrix<T>& tile =
           outputs[static_cast<std::size_t>(rank_of(i, j, g))].own.block;
       for (i64 r = 0; r < tile.rows(); ++r) {
         for (i64 c = 0; c < tile.cols(); ++c) d(r, c) += tile(r, c);
@@ -784,19 +826,19 @@ AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
     }
     for (i64 r = 0; r < d.rows(); ++r) {
       for (i64 c = 0; c < d.cols(); ++c) {
-        const double delta = d(r, c) - s(r, c);
-        if (delta != 0.0) col_hits.push_back(Hit{j, r, c, delta});
+        const T delta = d(r, c) - s(r, c);
+        if (delta != zero) col_hits.push_back(Hit{j, r, c, delta});
       }
     }
   }
   for (i64 i = 0; i < g; ++i) {
-    const MatrixD& rsum =
+    const Matrix<T>& rsum =
         outputs[static_cast<std::size_t>(rank_of(i, 0, g))].r_sum;
     CAMB_CHECK_MSG(rsum.rows() == d1.size(i),
                    "correction needs the checksums of a crash-free run");
-    MatrixD e(d1.size(i), rsum.cols());
+    Matrix<T> e(d1.size(i), rsum.cols());
     for (i64 j = 0; j < g; ++j) {
-      const MatrixD& tile =
+      const Matrix<T>& tile =
           outputs[static_cast<std::size_t>(rank_of(i, j, g))].own.block;
       for (i64 r = 0; r < tile.rows(); ++r) {
         for (i64 c = 0; c < tile.cols(); ++c) e(r, c) += tile(r, c);
@@ -804,8 +846,8 @@ AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
     }
     for (i64 r = 0; r < e.rows(); ++r) {
       for (i64 c = 0; c < e.cols(); ++c) {
-        const double delta = e(r, c) - rsum(r, c);
-        if (delta != 0.0) row_hits.push_back(Hit{i, r, c, delta});
+        const T delta = e(r, c) - rsum(r, c);
+        if (delta != zero) row_hits.push_back(Hit{i, r, c, delta});
       }
     }
   }
@@ -817,7 +859,7 @@ AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
     const Hit& rh = row_hits.front();
     if (ch.r == rh.r && ch.c == rh.c && ch.delta == rh.delta) {
       const int rank = rank_of(rh.block, ch.block, g);
-      MatrixD& tile = outputs[static_cast<std::size_t>(rank)].own.block;
+      Matrix<T>& tile = outputs[static_cast<std::size_t>(rank)].own.block;
       if (ch.r < tile.rows() && ch.c < tile.cols()) {
         tile(ch.r, ch.c) -= ch.delta;
         result.detected = 1;
@@ -835,17 +877,25 @@ AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
   return result;
 }
 
+#define CAMB_INSTANTIATE(T)                 \
+  template AbftCorrection summa_abft_correct<T>( \
+      const SummaAbftConfig&, std::vector<SummaAbftOutputT<T>>&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
+
+template <typename T>
 AbftCorrection grid3d_abft_correct(
-    const Grid3dAbftConfig& cfg, std::vector<Grid3dAbftOutput>& outputs,
-    const std::function<double(i64, i64)>& expected_entry) {
+    const Grid3dAbftConfig& cfg, std::vector<Grid3dAbftOutputT<T>>& outputs,
+    const std::type_identity_t<std::function<T(i64, i64)>>& expected_entry) {
   const GridMap map(cfg.base.grid);
   CAMB_CHECK_MSG(cfg.base.grid.total() == static_cast<i64>(outputs.size()),
                  "correction needs every rank's output");
+  const T zero = ScalarTraits<T>::zero();
   AbftCorrection result;
   for (i64 q1 = 0; q1 < cfg.base.grid.p1; ++q1) {
     for (i64 q3 = 0; q3 < cfg.base.grid.p3; ++q3) {
       const std::vector<int> members = map.fiber(1, q1, 0, q3);
-      const std::vector<double>& parity =
+      const std::vector<T>& parity =
           outputs[static_cast<std::size_t>(members.front())].parity;
       CAMB_CHECK_MSG(!parity.empty() || cfg.base.shape.n1 == 0,
                      "correction needs the parities of a crash-free run");
@@ -853,31 +903,31 @@ AbftCorrection grid3d_abft_correct(
       // Parity syndrome: the members' chunks overlap *elementwise* in the
       // fiber parity (each chunk padded to lmax), so a nonzero entry gives
       // the corrupted local element and magnitude but not the member.
-      std::vector<double> syndrome(parity.size(), 0.0);
+      std::vector<T> syndrome(parity.size(), zero);
       for (int m : members) {
-        const std::vector<double>& data =
+        const std::vector<T>& data =
             outputs[static_cast<std::size_t>(m)].own.c_data;
         for (std::size_t k = 0; k < data.size(); ++k) syndrome[k] += data[k];
       }
       for (i64 k = 0; k < lmax; ++k) {
         syndrome[static_cast<std::size_t>(k)] -=
             parity[static_cast<std::size_t>(k)];
-        const double delta = syndrome[static_cast<std::size_t>(k)];
-        if (delta == 0.0) continue;
+        const T delta = syndrome[static_cast<std::size_t>(k)];
+        if (delta == zero) continue;
         ++result.detected;
         // Disambiguate by recomputing the one expected entry per candidate
         // member: exactly one should disagree with it, by exactly delta.
         int culprit = -1;
         int mismatches = 0;
         for (int m : members) {
-          const Grid3dRankOutput& own =
+          const Grid3dRankOutputT<T>& own =
               outputs[static_cast<std::size_t>(m)].own;
           if (k >= static_cast<i64>(own.c_data.size())) continue;
           const i64 flat = own.c_chunk.flat_start + k;
-          const double expected =
+          const T expected =
               expected_entry(own.c_chunk.row0 + flat / own.c_chunk.cols,
                              own.c_chunk.col0 + flat % own.c_chunk.cols);
-          const double actual = own.c_data[static_cast<std::size_t>(k)];
+          const T actual = own.c_data[static_cast<std::size_t>(k)];
           if (actual != expected) {
             ++mismatches;
             if (actual - expected == delta) culprit = m;
@@ -900,6 +950,13 @@ AbftCorrection grid3d_abft_correct(
                                result.corrected_ranks.end());
   return result;
 }
+
+#define CAMB_INSTANTIATE(T)                                         \
+  template AbftCorrection grid3d_abft_correct<T>(                   \
+      const Grid3dAbftConfig&, std::vector<Grid3dAbftOutputT<T>>&,  \
+      const std::type_identity_t<std::function<T(i64, i64)>>&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 grid3d_abft_predicted_recv_words(const Grid3dAbftConfig& cfg, int rank) {
   const GridMap map(cfg.base.grid);

@@ -26,9 +26,11 @@
 #pragma once
 
 #include <functional>
+#include <type_traits>
 
 #include "matmul/grid3d.hpp"
 #include "matmul/summa.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -46,14 +48,17 @@ struct Grid3dAbftConfig {
 };
 
 /// A dead rank's output tile, reconstructed on a surviving host rank.
-struct RecoveredBlock2D {
+template <typename T>
+struct RecoveredBlock2DT {
   int rank = -1;  ///< the crashed rank whose tile this is
-  Block2DOutput out;
+  Block2DOutputT<T> out;
 };
+using RecoveredBlock2D = RecoveredBlock2DT<double>;
 
-struct SummaAbftOutput {
-  Block2DOutput own;                        ///< this rank's (completed) tile
-  std::vector<RecoveredBlock2D> recovered;  ///< tiles this rank reconstructed
+template <typename T>
+struct SummaAbftOutputT {
+  Block2DOutputT<T> own;  ///< this rank's (completed) tile
+  std::vector<RecoveredBlock2DT<T>> recovered;  ///< tiles reconstructed here
   bool abandoned = false;  ///< did this rank take the degraded-local path?
   std::vector<int> failed;  ///< agreed failed ranks (same on all survivors)
   // Exported checksum state for post-run error correction (empty on
@@ -61,27 +66,32 @@ struct SummaAbftOutput {
   // sum_j pad_cols(C_ij) on rank (i, 0), T = sum_ij pad(C_ij) on the
   // corner.  summa_abft_correct intersects the row/column syndromes these
   // induce to locate and repair a single corrupted output cell.
-  MatrixD s_sum;
-  MatrixD r_sum;
-  MatrixD t_sum;
+  Matrix<T> s_sum;
+  Matrix<T> r_sum;
+  Matrix<T> t_sum;
 };
+using SummaAbftOutput = SummaAbftOutputT<double>;
 
-struct RecoveredChunk3D {
+template <typename T>
+struct RecoveredChunk3DT {
   int rank = -1;
   BlockChunk c_chunk;
-  std::vector<double> c_data;
+  std::vector<T> c_data;
 };
+using RecoveredChunk3D = RecoveredChunk3DT<double>;
 
-struct Grid3dAbftOutput {
-  Grid3dRankOutput own;
-  std::vector<RecoveredChunk3D> recovered;
+template <typename T>
+struct Grid3dAbftOutputT {
+  Grid3dRankOutputT<T> own;
+  std::vector<RecoveredChunk3DT<T>> recovered;
   bool abandoned = false;
   std::vector<int> failed;
   /// Exported C-fiber parity X = sum_q2 pad(c_chunk) (every fiber member
   /// holds a copy after the encode All-Reduce); grid3d_abft_correct checks
   /// each fiber's chunks against it to detect and repair corrupted cells.
-  std::vector<double> parity;
+  std::vector<T> parity;
 };
+using Grid3dAbftOutput = Grid3dAbftOutputT<double>;
 
 /// SPMD body of checksum-augmented SUMMA for one rank.  Requires g >= 2.
 ///
@@ -93,7 +103,12 @@ struct Grid3dAbftOutput {
 /// (di, dj) is then reconstructed from S_dj (di != 0), from R_0 (di == 0,
 /// dj != 0), or from T (the (0,0) corner itself), by subtracting the
 /// survivors' tiles.
-SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg);
+/// Templated over the scalar (CAMB_FOR_EACH_SCALAR set).  Exact scalars
+/// (i64) use the plain indexed fill — their arithmetic never rounds, so the
+/// checksums are bit-exact without the integer-valued input workaround the
+/// floating-point instantiations still require.
+template <typename T = double>
+SummaAbftOutputT<T> summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg);
 
 /// SPMD body of checksum-augmented Algorithm 1 for one rank.
 ///
@@ -102,7 +117,9 @@ SummaAbftOutput summa_abft_rank(RankCtx& ctx, const SummaAbftConfig& cfg);
 /// member holds X (f = 1 redundancy per fiber).  A dead rank's chunk is
 /// X minus the surviving members' chunks; dead ranks on distinct fibers are
 /// recovered independently.
-Grid3dAbftOutput grid3d_abft_rank(RankCtx& ctx, const Grid3dAbftConfig& cfg);
+template <typename T = double>
+Grid3dAbftOutputT<T> grid3d_abft_rank(RankCtx& ctx,
+                                      const Grid3dAbftConfig& cfg);
 
 /// Exact fault-free received words for `rank` (base algorithm + encode +
 /// shrink).  Asserted equal to the executed machine when no crash fires;
@@ -159,8 +176,9 @@ struct AbftCorrection {
 /// localizes the block row; a unique, consistent intersection identifies
 /// the tile and the repair is exact (integer-valued arithmetic).  Outputs
 /// must come from a crash-free run (every rank's checksums present).
+template <typename T = double>
 AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
-                                  std::vector<SummaAbftOutput>& outputs);
+                                  std::vector<SummaAbftOutputT<T>>& outputs);
 
 /// Grid3d analogue over the C-fiber parities.  The parity syndrome gives
 /// the corrupted local element and magnitude but not *which* fiber member
@@ -168,9 +186,12 @@ AbftCorrection summa_abft_correct(const SummaAbftConfig& cfg,
 /// `expected_entry(row, col)` — one exact dot product of the global inputs
 /// per candidate — disambiguates.  Errors the intersection cannot pin down
 /// are reported uncorrected for the Freivalds backstop.
+/// `expected_entry` computes one exact reference entry in T; its type is a
+/// non-deduced context so callers may pass a plain lambda.
+template <typename T = double>
 AbftCorrection grid3d_abft_correct(
-    const Grid3dAbftConfig& cfg, std::vector<Grid3dAbftOutput>& outputs,
-    const std::function<double(i64, i64)>& expected_entry);
+    const Grid3dAbftConfig& cfg, std::vector<Grid3dAbftOutputT<T>>& outputs,
+    const std::type_identity_t<std::function<T(i64, i64)>>& expected_entry);
 
 /// Phase labels (encode/shrink/recover traffic is accounted separately from
 /// the base algorithm's phases; failure-detection probes land in the

@@ -6,6 +6,7 @@
 #include "collectives/reduce.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -42,7 +43,8 @@ void validate(const Alg25dConfig& cfg, int nprocs) {
 
 }  // namespace
 
-Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
+template <typename T>
+Block2DOutputT<T> alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
   validate(cfg, ctx.nprocs());
   const i64 g = cfg.g, c = cfg.c;
   const i64 w = g / c;  // Cannon steps per layer
@@ -51,10 +53,10 @@ Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
       d3(cfg.shape.n3, g);
 
   // Layer 0 materializes the single input copy.
-  std::vector<double> a_held, b_held;
+  std::vector<T> a_held, b_held;
   if (l == 0) {
-    a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
-    b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
+    a_held = fill_chunk_indexed<T>(full_block(d1, i, d2, j));
+    b_held = fill_chunk_indexed<T>(full_block(d2, i, d3, j));
   }
 
   // Layer-major layout (l * g + i) * g + j is Grid3{c, g, g} with coords
@@ -80,22 +82,26 @@ Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
   const i64 s0 = (i + j + l * w) % g;
   if (g > 1) {
     const i64 a_dst_col = (j - i - l * w % g + 2 * g) % g;
-    my_row.send(static_cast<int>(a_dst_col), row_tags, std::move(a_held));
-    a_held = my_row.recv(static_cast<int>(s0), row_tags);
+    my_row.send(static_cast<int>(a_dst_col), row_tags,
+                Buffer::adopt(std::move(a_held)));
+    a_held = std::move(my_row.recv(static_cast<int>(s0), row_tags))
+                 .take_as<T>();
     const i64 b_dst_row = (i - j - l * w % g + 2 * g) % g;
-    my_col.send(static_cast<int>(b_dst_row), col_tags, std::move(b_held));
-    b_held = my_col.recv(static_cast<int>(s0), col_tags);
+    my_col.send(static_cast<int>(b_dst_row), col_tags,
+                Buffer::adopt(std::move(b_held)));
+    b_held = std::move(my_col.recv(static_cast<int>(s0), col_tags))
+                 .take_as<T>();
   }
 
   // 3. w Cannon steps within the layer, covering k-blocks s0 .. s0 + w - 1.
-  MatrixD c_partial(d1.size(i), d3.size(j));
+  Matrix<T> c_partial(d1.size(i), d3.size(j));
   for (i64 t = 0; t < w; ++t) {
     const i64 s = (s0 + t) % g;
     ctx.set_phase(kPhase25dGemm);
-    MatrixD a_mat(d1.size(i), d2.size(s));
+    Matrix<T> a_mat(d1.size(i), d2.size(s));
     CAMB_CHECK(static_cast<i64>(a_held.size()) == a_mat.size());
     std::copy(a_held.begin(), a_held.end(), a_mat.data());
-    MatrixD b_mat(d2.size(s), d3.size(j));
+    Matrix<T> b_mat(d2.size(s), d3.size(j));
     CAMB_CHECK(static_cast<i64>(b_held.size()) == b_mat.size());
     std::copy(b_held.begin(), b_held.end(), b_mat.data());
     gemm_accumulate(a_mat, b_mat, c_partial);
@@ -104,30 +110,39 @@ Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
       ctx.set_phase(kPhase25dShift);
       const int off = static_cast<int>(t + 1);
       my_row.send(static_cast<int>((j - 1 + g) % g), row_tags + off,
-                  std::move(a_held));
-      a_held = my_row.recv(static_cast<int>((j + 1) % g), row_tags + off);
+                  Buffer::adopt(std::move(a_held)));
+      a_held = std::move(
+                   my_row.recv(static_cast<int>((j + 1) % g), row_tags + off))
+                   .take_as<T>();
       my_col.send(static_cast<int>((i - 1 + g) % g), col_tags + off,
-                  std::move(b_held));
-      b_held = my_col.recv(static_cast<int>((i + 1) % g), col_tags + off);
+                  Buffer::adopt(std::move(b_held)));
+      b_held = std::move(
+                   my_col.recv(static_cast<int>((i + 1) % g), col_tags + off))
+                   .take_as<T>();
     }
   }
 
   // 4. Sum the layers' partials onto layer 0.
   ctx.set_phase(kPhase25dReduce);
-  std::vector<double> c_flat(c_partial.data(),
-                             c_partial.data() + c_partial.size());
-  std::vector<double> c_sum = coll::reduce(depth, 0, std::move(c_flat));
+  std::vector<T> c_flat(c_partial.data(),
+                        c_partial.data() + c_partial.size());
+  std::vector<T> c_sum = coll::reduce(depth, 0, std::move(c_flat));
 
-  Block2DOutput out;
+  Block2DOutputT<T> out;
   out.row0 = d1.start(i);
   out.col0 = d3.start(j);
   if (l == 0) {
-    out.block = MatrixD(d1.size(i), d3.size(j));
+    out.block = Matrix<T>(d1.size(i), d3.size(j));
     CAMB_CHECK(static_cast<i64>(c_sum.size()) == out.block.size());
     std::copy(c_sum.begin(), c_sum.end(), out.block.data());
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T) \
+  template Block2DOutputT<T> alg25d_rank<T>(RankCtx&, const Alg25dConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 Block2DOutput alg25d_ckpt_rank(ckpt::Session& session,
                                const Alg25dConfig& cfg) {
@@ -160,8 +175,8 @@ Block2DOutput alg25d_ckpt_rank(ckpt::Session& session,
     std::copy(snap.bufs[2].begin(), snap.bufs[2].end(), c_partial.data());
   } else {
     if (l == 0) {
-      a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
-      b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
+      a_held = fill_chunk_indexed<double>(full_block(d1, i, d2, j));
+      b_held = fill_chunk_indexed<double>(full_block(d2, i, d3, j));
     }
     ctx.set_phase(kPhase25dReplicate);
     coll::bcast(depth, 0, a_held, d1.size(i) * d2.size(j));

@@ -30,7 +30,8 @@ struct Alg25dConfig {
 
 /// A rank's output: layer-0 ranks return their full C block; other layers
 /// return an empty block (the output lives in one copy, on layer 0).
-Block2DOutput alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg);
+template <typename T = double>
+Block2DOutputT<T> alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg);
 
 /// Exact predicted received words for `rank`.
 i64 alg25d_predicted_recv_words(const Alg25dConfig& cfg, int rank);

@@ -3,6 +3,7 @@
 #include "collectives/grid_comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -22,7 +23,8 @@ BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
 
 }  // namespace
 
-Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
+template <typename T>
+Block2DOutputT<T> cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
   const i64 g = cfg.g;
   CAMB_CHECK_MSG(g * g == ctx.nprocs(), "Cannon machine size must be g*g");
   const i64 i = ctx.rank() / g;
@@ -31,8 +33,8 @@ Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
       d3(cfg.shape.n3, g);
 
   // Owned blocks.
-  std::vector<double> a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
-  std::vector<double> b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
+  std::vector<T> a_held = fill_chunk_indexed<T>(full_block(d1, i, d2, j));
+  std::vector<T> b_held = fill_chunk_indexed<T>(full_block(d2, i, d3, j));
 
   // A moves along this rank's row fiber (indices there are column numbers),
   // B along its column fiber.  One tag block per fiber covers the skew plus
@@ -49,26 +51,28 @@ Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
   ctx.set_phase(kPhaseCannonSkew);
   if (g > 1) {
     my_row.send(static_cast<int>((j - i % g + g) % g), row_tags,
-                std::move(a_held));
-    a_held = my_row.recv(static_cast<int>((j + i) % g), row_tags);
+                Buffer::adopt(std::move(a_held)));
+    a_held = std::move(my_row.recv(static_cast<int>((j + i) % g), row_tags))
+                 .take_as<T>();
     my_col.send(static_cast<int>((i - j % g + g) % g), col_tags,
-                std::move(b_held));
-    b_held = my_col.recv(static_cast<int>((i + j) % g), col_tags);
+                Buffer::adopt(std::move(b_held)));
+    b_held = std::move(my_col.recv(static_cast<int>((i + j) % g), col_tags))
+                 .take_as<T>();
   }
 
-  Block2DOutput out;
+  Block2DOutputT<T> out;
   out.row0 = d1.start(i);
   out.col0 = d3.start(j);
-  out.block = MatrixD(d1.size(i), d3.size(j));
+  out.block = Matrix<T>(d1.size(i), d3.size(j));
 
   for (i64 t = 0; t < g; ++t) {
     // After the skew and t shifts, the held k-block index is (i + j + t).
     const i64 s = (i + j + t) % g;
     ctx.set_phase(kPhaseCannonGemm);
-    MatrixD a_mat(d1.size(i), d2.size(s));
+    Matrix<T> a_mat(d1.size(i), d2.size(s));
     CAMB_CHECK(static_cast<i64>(a_held.size()) == a_mat.size());
     std::copy(a_held.begin(), a_held.end(), a_mat.data());
-    MatrixD b_mat(d2.size(s), d3.size(j));
+    Matrix<T> b_mat(d2.size(s), d3.size(j));
     CAMB_CHECK(static_cast<i64>(b_held.size()) == b_mat.size());
     std::copy(b_held.begin(), b_held.end(), b_mat.data());
     gemm_accumulate(a_mat, b_mat, out.block);
@@ -78,15 +82,24 @@ Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
       const int off = static_cast<int>(t + 1);
       // Shift A left by one (to column j-1), B up by one (to row i-1).
       my_row.send(static_cast<int>((j - 1 + g) % g), row_tags + off,
-                  std::move(a_held));
-      a_held = my_row.recv(static_cast<int>((j + 1) % g), row_tags + off);
+                  Buffer::adopt(std::move(a_held)));
+      a_held = std::move(
+                   my_row.recv(static_cast<int>((j + 1) % g), row_tags + off))
+                   .take_as<T>();
       my_col.send(static_cast<int>((i - 1 + g) % g), col_tags + off,
-                  std::move(b_held));
-      b_held = my_col.recv(static_cast<int>((i + 1) % g), col_tags + off);
+                  Buffer::adopt(std::move(b_held)));
+      b_held = std::move(
+                   my_col.recv(static_cast<int>((i + 1) % g), col_tags + off))
+                   .take_as<T>();
     }
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T) \
+  template Block2DOutputT<T> cannon_rank<T>(RankCtx&, const CannonConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 Block2DOutput cannon_ckpt_rank(ckpt::Session& session,
                                const CannonConfig& cfg) {
@@ -98,8 +111,10 @@ Block2DOutput cannon_ckpt_rank(ckpt::Session& session,
   const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
       d3(cfg.shape.n3, g);
 
-  std::vector<double> a_held = fill_chunk_indexed(full_block(d1, i, d2, j));
-  std::vector<double> b_held = fill_chunk_indexed(full_block(d2, i, d3, j));
+  std::vector<double> a_held =
+      fill_chunk_indexed<double>(full_block(d1, i, d2, j));
+  std::vector<double> b_held =
+      fill_chunk_indexed<double>(full_block(d2, i, d3, j));
 
   // Fiber comms by logical rank, one tag block each for skew + shifts.
   std::vector<int> row_members, col_members;

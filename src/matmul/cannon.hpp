@@ -19,8 +19,11 @@ struct CannonConfig {
   i64 g = 1;  ///< grid edge; machine size must be g*g
 };
 
-/// SPMD body for one rank; returns the rank's full C block.
-Block2DOutput cannon_rank(RankCtx& ctx, const CannonConfig& cfg);
+/// SPMD body for one rank; returns the rank's full C block.  Templated over
+/// the scalar (CAMB_FOR_EACH_SCALAR set); the default keeps legacy double
+/// call sites source-compatible.
+template <typename T = double>
+Block2DOutputT<T> cannon_rank(RankCtx& ctx, const CannonConfig& cfg);
 
 /// Exact predicted received words for `rank` (skew + 2(g−1) shifts; moves to
 /// self are free, matching the machine's accounting).

@@ -3,6 +3,7 @@
 #include "collectives/comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -20,18 +21,18 @@ char choose_split(i64 r, i64 k, i64 c) {
 /// W / |comm| words per member) is needed in full by BOTH comm halves.
 /// Child member i (of either half) ends with parent chunks 2i and 2i+1
 /// concatenated = child chunk i of a W / (|comm|/2) distribution.
-std::vector<double> replicate_exchange(const coll::Comm& comm,
-                                       const std::vector<double>& mine,
-                                       int tag) {
+template <typename T>
+std::vector<T> replicate_exchange(const coll::Comm& comm,
+                                  const std::vector<T>& mine, int tag) {
   const int s = comm.size() / 2;
   const int pidx = comm.my_index();
   // Send my chunk to the member of each half that needs it.
-  comm.send(pidx / 2, tag, Buffer::copy_of(mine));
-  comm.send(s + pidx / 2, tag, Buffer::copy_of(mine));
+  comm.send(pidx / 2, tag, Buffer::pack<T>(mine));
+  comm.send(s + pidx / 2, tag, Buffer::pack<T>(mine));
   // Receive parent chunks 2i and 2i+1, i = my index within my half.
   const int i = pidx < s ? pidx : pidx - s;
-  std::vector<double> lowpart = comm.recv(2 * i, tag);
-  std::vector<double> highpart = comm.recv(2 * i + 1, tag);
+  std::vector<T> lowpart = std::move(comm.recv(2 * i, tag)).take_as<T>();
+  std::vector<T> highpart = std::move(comm.recv(2 * i + 1, tag)).take_as<T>();
   lowpart.insert(lowpart.end(), highpart.begin(), highpart.end());
   return lowpart;
 }
@@ -40,15 +41,16 @@ std::vector<double> replicate_exchange(const coll::Comm& comm,
 /// row-distributed (rows_pm rows per member).  The left column half goes to
 /// the lower comm half, the right to the upper; child member i receives the
 /// matching halves of parent members 2i, 2i+1's rows, preserving row order.
-std::vector<double> split_columns_exchange(const coll::Comm& comm,
-                                           const std::vector<double>& mine,
-                                           i64 rows_pm, i64 cols, int tag) {
+template <typename T>
+std::vector<T> split_columns_exchange(const coll::Comm& comm,
+                                      const std::vector<T>& mine, i64 rows_pm,
+                                      i64 cols, int tag) {
   CAMB_CHECK(cols % 2 == 0);
   CAMB_CHECK(static_cast<i64>(mine.size()) == rows_pm * cols);
   const int s = comm.size() / 2;
   const int pidx = comm.my_index();
   const i64 half = cols / 2;
-  std::vector<double> left, right;
+  std::vector<T> left, right;
   left.reserve(static_cast<std::size_t>(rows_pm * half));
   right.reserve(static_cast<std::size_t>(rows_pm * half));
   for (i64 row = 0; row < rows_pm; ++row) {
@@ -56,11 +58,11 @@ std::vector<double> split_columns_exchange(const coll::Comm& comm,
     left.insert(left.end(), base, base + half);
     right.insert(right.end(), base + half, base + cols);
   }
-  comm.send(pidx / 2, tag, std::move(left));
-  comm.send(s + pidx / 2, tag, std::move(right));
+  comm.send(pidx / 2, tag, Buffer::adopt(std::move(left)));
+  comm.send(s + pidx / 2, tag, Buffer::adopt(std::move(right)));
   const int i = pidx < s ? pidx : pidx - s;
-  std::vector<double> lowpart = comm.recv(2 * i, tag);
-  std::vector<double> highpart = comm.recv(2 * i + 1, tag);
+  std::vector<T> lowpart = std::move(comm.recv(2 * i, tag)).take_as<T>();
+  std::vector<T> highpart = std::move(comm.recv(2 * i + 1, tag)).take_as<T>();
   lowpart.insert(lowpart.end(), highpart.begin(), highpart.end());
   return lowpart;
 }
@@ -117,7 +119,8 @@ bool carma_supported(const Shape& shape, int levels) {
   return leaf_c_words % (i64{1} << k_splits) == 0;
 }
 
-CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
+template <typename T>
+CarmaRankOutputT<T> carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
   const i64 P = i64{1} << cfg.levels;
   CAMB_CHECK_MSG(P == ctx.nprocs(), "machine size must be 2^levels");
   CAMB_CHECK_MSG(carma_supported(cfg.shape, cfg.levels),
@@ -129,9 +132,9 @@ CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
 
   // Root distribution: contiguous row blocks of A and B.
   const int me = ctx.rank();
-  std::vector<double> a = fill_chunk_indexed(BlockChunk{
+  std::vector<T> a = fill_chunk_indexed<T>(BlockChunk{
       0, 0, r, k, me * (r / P) * k, (r / P) * k});
-  std::vector<double> b = fill_chunk_indexed(BlockChunk{
+  std::vector<T> b = fill_chunk_indexed<T>(BlockChunk{
       0, 0, k, c, me * (k / P) * c, (k / P) * c});
 
   std::vector<CombineFrame> combines;
@@ -173,14 +176,14 @@ CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
 
   // Leaf: this rank owns the entire (r × k) x (k × c) subproblem.
   ctx.set_phase(kPhaseCarmaGemm);
-  MatrixD a_leaf(r, k), b_leaf(k, c);
+  Matrix<T> a_leaf(r, k), b_leaf(k, c);
   CAMB_CHECK(static_cast<i64>(a.size()) == r * k);
   CAMB_CHECK(static_cast<i64>(b.size()) == k * c);
   std::copy(a.begin(), a.end(), a_leaf.data());
   std::copy(b.begin(), b.end(), b_leaf.data());
-  const MatrixD c_leaf = gemm(a_leaf, b_leaf);
+  const Matrix<T> c_leaf = gemm(a_leaf, b_leaf);
 
-  CarmaRankOutput out;
+  CarmaRankOutputT<T> out;
   out.holding = BlockChunk{c_row0, c_col0, r, c, 0, r * c};
   out.data.assign(c_leaf.data(), c_leaf.data() + c_leaf.size());
 
@@ -190,12 +193,14 @@ CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
   for (auto frame = combines.rbegin(); frame != combines.rend(); ++frame) {
     const i64 half = static_cast<i64>(out.data.size()) / 2;
     CAMB_CHECK(2 * half == static_cast<i64>(out.data.size()));
-    std::vector<double> outgoing(
+    std::vector<T> outgoing(
         out.data.begin() + (frame->lower ? half : 0),
         out.data.begin() + (frame->lower ? 2 * half : half));
-    frame->comm.send(frame->partner_idx, frame->tag, std::move(outgoing));
-    const std::vector<double> incoming =
-        frame->comm.recv(frame->partner_idx, frame->tag);
+    frame->comm.send(frame->partner_idx, frame->tag,
+                     Buffer::adopt(std::move(outgoing)));
+    const std::vector<T> incoming =
+        std::move(frame->comm.recv(frame->partner_idx, frame->tag))
+            .take_as<T>();
     CAMB_CHECK(static_cast<i64>(incoming.size()) == half);
     const i64 keep_off = frame->lower ? 0 : half;
     for (i64 j = 0; j < half; ++j) {
@@ -213,6 +218,11 @@ CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
   // The lower member's kept range starts where it started; adjust size only.
   return out;
 }
+
+#define CAMB_INSTANTIATE(T) \
+  template CarmaRankOutputT<T> carma_rank<T>(RankCtx&, const CarmaConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
                                 const CarmaConfig& cfg) {
@@ -235,10 +245,10 @@ CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
     a = snap.bufs[0];
     b = snap.bufs[1];
   } else {
-    a = fill_chunk_indexed(BlockChunk{0, 0, r, k, me * (r / P) * k,
-                                      (r / P) * k});
-    b = fill_chunk_indexed(BlockChunk{0, 0, k, c, me * (k / P) * c,
-                                      (k / P) * c});
+    a = fill_chunk_indexed<double>(BlockChunk{0, 0, r, k, me * (r / P) * k,
+                                              (r / P) * k});
+    b = fill_chunk_indexed<double>(BlockChunk{0, 0, k, c, me * (k / P) * c,
+                                              (k / P) * c});
   }
 
   std::vector<CombineFrame> combines;

@@ -39,14 +39,18 @@ struct CarmaConfig {
 };
 
 /// A rank's final piece of C: a contiguous flat range of a C sub-block.
-struct CarmaRankOutput {
+template <typename T>
+struct CarmaRankOutputT {
   BlockChunk holding;
-  std::vector<double> data;
+  std::vector<T> data;
 };
+using CarmaRankOutput = CarmaRankOutputT<double>;
 
 /// SPMD body for one rank (inputs generated in place at the root
 /// distribution, so all measured traffic is the algorithm's own).
-CarmaRankOutput carma_rank(RankCtx& ctx, const CarmaConfig& cfg);
+/// Templated over the scalar (CAMB_FOR_EACH_SCALAR set).
+template <typename T = double>
+CarmaRankOutputT<T> carma_rank(RankCtx& ctx, const CarmaConfig& cfg);
 
 /// Exact predicted received words per rank (replays the recursion).
 std::vector<i64> carma_predicted_recv_words(const CarmaConfig& cfg);

@@ -2,6 +2,7 @@
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -67,32 +68,45 @@ std::vector<int> GridMap::fiber(int axis, i64 q1, i64 q2, i64 q3) const {
   return out;
 }
 
-std::vector<double> fill_chunk_indexed(const BlockChunk& chunk) {
-  std::vector<double> out(static_cast<std::size_t>(chunk.flat_size));
+template <typename T>
+std::vector<T> fill_chunk_indexed(const BlockChunk& chunk) {
+  std::vector<T> out(static_cast<std::size_t>(chunk.flat_size));
   for (i64 f = 0; f < chunk.flat_size; ++f) {
     const i64 flat = chunk.flat_start + f;
     const i64 i = flat / chunk.cols;
     const i64 j = flat % chunk.cols;
     std::uint64_t s = static_cast<std::uint64_t>(
         (chunk.row0 + i) * 0x1000003 + (chunk.col0 + j));
-    out[static_cast<std::size_t>(f)] =
+    const double u =
         static_cast<double>(camb::splitmix64(s) >> 11) * 0x1.0p-53 - 0.5;
+    out[static_cast<std::size_t>(f)] = ScalarTraits<T>::from_unit(u);
   }
   return out;
 }
 
-std::vector<double> fill_chunk_indexed_int(const BlockChunk& chunk) {
-  std::vector<double> out(static_cast<std::size_t>(chunk.flat_size));
+#define CAMB_INSTANTIATE(T) \
+  template std::vector<T> fill_chunk_indexed<T>(const BlockChunk&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
+
+template <typename T>
+std::vector<T> fill_chunk_indexed_int(const BlockChunk& chunk) {
+  std::vector<T> out(static_cast<std::size_t>(chunk.flat_size));
   for (i64 f = 0; f < chunk.flat_size; ++f) {
     const i64 flat = chunk.flat_start + f;
     const i64 i = flat / chunk.cols;
     const i64 j = flat % chunk.cols;
     std::uint64_t s = static_cast<std::uint64_t>(
         (chunk.row0 + i) * 0x1000003 + (chunk.col0 + j));
-    out[static_cast<std::size_t>(f)] =
-        static_cast<double>(camb::splitmix64(s) >> 60) - 8.0;
+    const double v = static_cast<double>(camb::splitmix64(s) >> 60) - 8.0;
+    out[static_cast<std::size_t>(f)] = static_cast<T>(v);
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE_INT(T) \
+  template std::vector<T> fill_chunk_indexed_int<T>(const BlockChunk&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE_INT)
+#undef CAMB_INSTANTIATE_INT
 
 }  // namespace camb::mm

@@ -79,13 +79,21 @@ struct BlockChunk {
 };
 
 /// Fill a flat chunk of a block with the deterministic indexed pattern used
-/// for verification (matches Matrix::fill_indexed on the full matrix).
-std::vector<double> fill_chunk_indexed(const BlockChunk& chunk);
+/// for verification (matches Matrix<T>::fill_indexed on the full matrix: the
+/// same index-hash unit draw, mapped through ScalarTraits<T>::from_unit).
+/// Defined for the CAMB_FOR_EACH_SCALAR set via explicit instantiation.
+template <typename T = double>
+std::vector<T> fill_chunk_indexed(const BlockChunk& chunk);
 
 /// Integer-valued variant (matches Matrix::fill_indexed_int): entries are
 /// small integers, so distributed sums are exact and order-independent.
-/// The ABFT algorithms generate their inputs with this pattern, which is
-/// what licenses bit-identical checksum reconstruction after a crash.
-std::vector<double> fill_chunk_indexed_int(const BlockChunk& chunk);
+/// The f64 ABFT algorithms generate their inputs with this pattern, which is
+/// what licenses bit-identical checksum reconstruction after a crash.  For
+/// T = i64 the plain fill_chunk_indexed already yields exact small integers
+/// (ScalarTraits<i64>::from_unit), so this double-valued workaround is only
+/// needed when integers must ride in doubles.  The templated form casts the
+/// same small-integer draw into T (exact for every supported scalar).
+template <typename T = double>
+std::vector<T> fill_chunk_indexed_int(const BlockChunk& chunk);
 
 }  // namespace camb::mm

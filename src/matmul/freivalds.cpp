@@ -8,8 +8,10 @@ namespace camb::mm {
 
 namespace {
 
-/// One residual evaluation: max_i |(A(Bx) - Cx)_i| / scale.
-double one_trial(const MatrixD& a, const MatrixD& b, const MatrixD& c,
+/// One residual evaluation: max_i |(A(Bx) - Cx)_i| / scale, with every
+/// operand widened to double first.
+template <typename T>
+double one_trial(const Matrix<T>& a, const Matrix<T>& b, const Matrix<T>& c,
                  Rng& rng) {
   const i64 n1 = a.rows(), n2 = a.cols(), n3 = b.cols();
   std::vector<double> x(static_cast<std::size_t>(n3));
@@ -19,22 +21,27 @@ double one_trial(const MatrixD& a, const MatrixD& b, const MatrixD& c,
   std::vector<double> y(static_cast<std::size_t>(n2), 0.0);
   for (i64 i = 0; i < n2; ++i) {
     double acc = 0.0;
-    const double* row = b.data() + i * n3;
-    for (i64 j = 0; j < n3; ++j) acc += row[j] * x[static_cast<std::size_t>(j)];
+    const T* row = b.data() + i * n3;
+    for (i64 j = 0; j < n3; ++j) {
+      acc += ScalarTraits<T>::to_double(row[j]) * x[static_cast<std::size_t>(j)];
+    }
     y[static_cast<std::size_t>(i)] = acc;
   }
   double worst = 0.0;
   double scale = 1.0;
   for (i64 i = 0; i < n1; ++i) {
     double z = 0.0, z_mag = 0.0;
-    const double* arow = a.data() + i * n2;
+    const T* arow = a.data() + i * n2;
     for (i64 j = 0; j < n2; ++j) {
-      z += arow[j] * y[static_cast<std::size_t>(j)];
-      z_mag += std::abs(arow[j] * y[static_cast<std::size_t>(j)]);
+      const double av = ScalarTraits<T>::to_double(arow[j]);
+      z += av * y[static_cast<std::size_t>(j)];
+      z_mag += std::abs(av * y[static_cast<std::size_t>(j)]);
     }
     double w = 0.0;
-    const double* crow = c.data() + i * n3;
-    for (i64 j = 0; j < n3; ++j) w += crow[j] * x[static_cast<std::size_t>(j)];
+    const T* crow = c.data() + i * n3;
+    for (i64 j = 0; j < n3; ++j) {
+      w += ScalarTraits<T>::to_double(crow[j]) * x[static_cast<std::size_t>(j)];
+    }
     worst = std::max(worst, std::abs(z - w));
     scale = std::max(scale, z_mag);
   }
@@ -43,25 +50,35 @@ double one_trial(const MatrixD& a, const MatrixD& b, const MatrixD& c,
 
 }  // namespace
 
-bool freivalds_check(const MatrixD& a, const MatrixD& b, const MatrixD& c,
-                     int trials, Rng& rng, double tol) {
+template <typename T>
+bool freivalds_check(const Matrix<T>& a, const Matrix<T>& b,
+                     const Matrix<T>& c, int trials, Rng& rng, double tol) {
   CAMB_CHECK_MSG(a.cols() == b.rows(), "inner dimensions must agree");
   CAMB_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(),
                  "product shape mismatch");
   CAMB_CHECK_MSG(trials >= 1, "need at least one trial");
   for (int t = 0; t < trials; ++t) {
-    if (one_trial(a, b, c, rng) > tol) return false;
+    if (one_trial<T>(a, b, c, rng) > tol) return false;
   }
   return true;
 }
 
-double freivalds_residual(const MatrixD& a, const MatrixD& b, const MatrixD& c,
-                          int trials, Rng& rng) {
+template <typename T>
+double freivalds_residual(const Matrix<T>& a, const Matrix<T>& b,
+                          const Matrix<T>& c, int trials, Rng& rng) {
   double worst = 0.0;
   for (int t = 0; t < trials; ++t) {
-    worst = std::max(worst, one_trial(a, b, c, rng));
+    worst = std::max(worst, one_trial<T>(a, b, c, rng));
   }
   return worst;
 }
+
+#define CAMB_INSTANTIATE(T)                                                 \
+  template bool freivalds_check<T>(const Matrix<T>&, const Matrix<T>&,      \
+                                   const Matrix<T>&, int, Rng&, double);    \
+  template double freivalds_residual<T>(const Matrix<T>&, const Matrix<T>&, \
+                                        const Matrix<T>&, int, Rng&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::mm

@@ -5,10 +5,18 @@
 // `trials` independent draws bound the false-accept probability by 2^-trials.
 // The runner uses this for shapes too large to verify against the cubic-time
 // serial reference, so even the biggest benchmark runs stay checked.
+//
+// Templated over the scalar type: entries are widened to double through
+// ScalarTraits<T>::to_double and the whole residual is accumulated at double
+// precision.  For f32 data that means the *check* never loses precision the
+// data itself didn't already lose — only the tolerance has to admit the f32
+// rounding that happened inside the product under test (see
+// freivalds_default_tol).
 #pragma once
 
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -16,15 +24,35 @@ using camb::i64;
 using camb::MatrixD;
 using camb::Rng;
 
+/// Per-dtype residual tolerance: the product under test accumulated in T, so
+/// the normalized residual is bounded by roughly n2 * eps(T).  Exact scalars
+/// leave residual exactly zero (all arithmetic below 2^53 is exact in the
+/// double-precision check); f32 products carry single-precision rounding.
+template <typename T>
+constexpr double freivalds_default_tol() {
+  if constexpr (ScalarTraits<T>::exact) {
+    return 0.0;
+  } else if constexpr (sizeof(T) == sizeof(float) &&
+                       !ScalarTraits<T>::exact) {
+    return 1e-3;  // f32: ~n2 * 2^-24 with headroom for large n2
+  } else {
+    return 1e-9;  // double / kahan
+  }
+}
+
 /// True iff C == A*B passes `trials` Freivalds checks with random {0,1}
 /// vectors.  `tol` bounds the per-entry residual |A(Bx) - Cx| relative to
-/// the accumulated magnitude (floating-point slack).
-bool freivalds_check(const MatrixD& a, const MatrixD& b, const MatrixD& c,
-                     int trials, Rng& rng, double tol = 1e-9);
+/// the accumulated magnitude; the residual itself is computed at double
+/// precision regardless of T.
+template <typename T>
+bool freivalds_check(const Matrix<T>& a, const Matrix<T>& b,
+                     const Matrix<T>& c, int trials, Rng& rng,
+                     double tol = freivalds_default_tol<T>());
 
 /// Convenience: the largest residual seen over `trials` checks, normalized
 /// by the magnitude scale — handy for reporting rather than pass/fail.
-double freivalds_residual(const MatrixD& a, const MatrixD& b, const MatrixD& c,
-                          int trials, Rng& rng);
+template <typename T>
+double freivalds_residual(const Matrix<T>& a, const Matrix<T>& b,
+                          const Matrix<T>& c, int trials, Rng& rng);
 
 }  // namespace camb::mm

@@ -4,6 +4,7 @@
 #include "collectives/grid_comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -49,46 +50,57 @@ Grid3dLayout grid3d_layout(const Grid3dConfig& cfg, int rank) {
   return layout;
 }
 
-Grid3dRankOutput grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
+template <typename T>
+Grid3dRankOutputT<T> grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
   CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
                  "grid size must equal the machine size");
   const Grid3dLayout layout = grid3d_layout(cfg, ctx.rank());
   const coll::GridComm grid(ctx, cfg.grid);
 
-  auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
-                                        : fill_chunk_indexed;
+  const auto fill = [&](const BlockChunk& chunk) {
+    return cfg.integer_inputs ? fill_chunk_indexed_int<T>(chunk)
+                              : fill_chunk_indexed<T>(chunk);
+  };
 
   // Line 3: All-Gather A across the fiber (q1, q2, :).
   ctx.set_phase(kPhaseAllgatherA);
-  const camb::WorkingSet a_ws(ctx, layout.a.block_size());
-  std::vector<double> a_flat = coll::allgather(
+  const camb::WorkingSet a_ws(ctx, layout.a.block_size(),
+                              ScalarTraits<T>::elem_bytes);
+  std::vector<T> a_flat = coll::allgather(
       grid.fiber(2), layout.a_counts, fill(layout.a), cfg.allgather);
 
   // Line 4: All-Gather B across the fiber (:, q2, q3).
   ctx.set_phase(kPhaseAllgatherB);
-  const camb::WorkingSet b_ws(ctx, layout.b.block_size());
-  std::vector<double> b_flat = coll::allgather(
+  const camb::WorkingSet b_ws(ctx, layout.b.block_size(),
+                              ScalarTraits<T>::elem_bytes);
+  std::vector<T> b_flat = coll::allgather(
       grid.fiber(0), layout.b_counts, fill(layout.b), cfg.allgather);
 
   // Line 6: local multiply D = A_{q1 q2} * B_{q2 q3}.
   ctx.set_phase(kPhaseLocalGemm);
-  const camb::WorkingSet d_ws(ctx, layout.c.block_size());
-  MatrixD a_block(layout.a.rows, layout.a.cols);
+  const camb::WorkingSet d_ws(ctx, layout.c.block_size(),
+                              ScalarTraits<T>::elem_bytes);
+  Matrix<T> a_block(layout.a.rows, layout.a.cols);
   std::copy(a_flat.begin(), a_flat.end(), a_block.data());
-  MatrixD b_block(layout.b.rows, layout.b.cols);
+  Matrix<T> b_block(layout.b.rows, layout.b.cols);
   std::copy(b_flat.begin(), b_flat.end(), b_block.data());
-  const MatrixD d_block = gemm(a_block, b_block);
+  const Matrix<T> d_block = gemm(a_block, b_block);
 
   // Line 8: Reduce-Scatter D across the fiber (q1, :, q3).
   ctx.set_phase(kPhaseReduceScatterC);
-  std::vector<double> d_flat(d_block.data(), d_block.data() + d_block.size());
-  Grid3dRankOutput out;
+  std::vector<T> d_flat(d_block.data(), d_block.data() + d_block.size());
+  Grid3dRankOutputT<T> out;
   out.c_chunk = layout.c;
   out.c_data = coll::reduce_scatter(grid.fiber(1), layout.c_counts, d_flat,
                                     cfg.reduce_scatter);
   CAMB_CHECK(static_cast<i64>(out.c_data.size()) == layout.c.flat_size);
   return out;
 }
+
+#define CAMB_INSTANTIATE(T) \
+  template Grid3dRankOutputT<T> grid3d_rank<T>(RankCtx&, const Grid3dConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
                                   const Grid3dConfig& cfg) {
@@ -103,8 +115,10 @@ Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
   const coll::Comm fiber_c = session.comm(map.fiber(1, q1, q2, q3));
   const coll::Comm fiber_a = session.comm(map.fiber(2, q1, q2, q3));
 
-  auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
-                                        : fill_chunk_indexed;
+  const auto fill = [&](const BlockChunk& chunk) {
+    return cfg.integer_inputs ? fill_chunk_indexed_int<double>(chunk)
+                              : fill_chunk_indexed<double>(chunk);
+  };
 
   const i64 t0 = session.resume_step();
   std::vector<double> a_flat, b_flat;

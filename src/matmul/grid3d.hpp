@@ -31,10 +31,12 @@ struct Grid3dConfig {
 };
 
 /// A rank's piece of the output: a flat chunk of its C block.
-struct Grid3dRankOutput {
+template <typename T>
+struct Grid3dRankOutputT {
   BlockChunk c_chunk;
-  std::vector<double> c_data;
+  std::vector<T> c_data;
 };
+using Grid3dRankOutput = Grid3dRankOutputT<double>;
 
 /// The chunk layout for one rank (which flat parts of which blocks of A, B,
 /// and C the rank owns initially / finally).
@@ -48,8 +50,11 @@ Grid3dLayout grid3d_layout(const Grid3dConfig& cfg, int rank);
 
 /// SPMD body of Algorithm 1 for one rank.  Inputs are generated locally with
 /// the deterministic indexed pattern (no distribution traffic), so all
-/// measured communication is the algorithm's own.
-Grid3dRankOutput grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg);
+/// measured communication is the algorithm's own.  Templated over the
+/// scalar (CAMB_FOR_EACH_SCALAR set); the default keeps legacy double call
+/// sites source-compatible.
+template <typename T = double>
+Grid3dRankOutputT<T> grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg);
 
 /// Exact predicted words received by `rank`, replicating the collective
 /// round structure (matches the executed machine word-for-word).

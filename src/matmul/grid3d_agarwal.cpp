@@ -5,11 +5,13 @@
 #include "collectives/grid_comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
-Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
-                                     const Grid3dAgarwalConfig& cfg) {
+template <typename T>
+Grid3dRankOutputT<T> grid3d_agarwal_rank(RankCtx& ctx,
+                                         const Grid3dAgarwalConfig& cfg) {
   CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
                  "grid size must equal the machine size");
   const Grid3dConfig base{cfg.shape, cfg.grid, cfg.allgather,
@@ -19,25 +21,25 @@ Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
 
   // Lines 3-4: identical to Algorithm 1.
   ctx.set_phase(kPhaseAllgatherA);
-  std::vector<double> a_flat = coll::allgather(
-      grid.fiber(2), layout.a_counts, fill_chunk_indexed(layout.a),
+  std::vector<T> a_flat = coll::allgather(
+      grid.fiber(2), layout.a_counts, fill_chunk_indexed<T>(layout.a),
       cfg.allgather);
   ctx.set_phase(kPhaseAllgatherB);
-  std::vector<double> b_flat = coll::allgather(
-      grid.fiber(0), layout.b_counts, fill_chunk_indexed(layout.b),
+  std::vector<T> b_flat = coll::allgather(
+      grid.fiber(0), layout.b_counts, fill_chunk_indexed<T>(layout.b),
       cfg.allgather);
 
   ctx.set_phase(kPhaseLocalGemm);
-  MatrixD a_block(layout.a.rows, layout.a.cols);
+  Matrix<T> a_block(layout.a.rows, layout.a.cols);
   std::copy(a_flat.begin(), a_flat.end(), a_block.data());
-  MatrixD b_block(layout.b.rows, layout.b.cols);
+  Matrix<T> b_block(layout.b.rows, layout.b.cols);
   std::copy(b_flat.begin(), b_flat.end(), b_block.data());
-  const MatrixD d_block = gemm(a_block, b_block);
+  const Matrix<T> d_block = gemm(a_block, b_block);
 
   // Line 8 the 1995 way: All-to-All the personalized D segments, sum after.
   ctx.set_phase(kPhaseAlltoallC);
   const int p2 = static_cast<int>(cfg.grid.p2);
-  std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p2));
+  std::vector<std::vector<T>> pieces(static_cast<std::size_t>(p2));
   // Bruck requires equal blocks; pairwise handles the near-equal counts.
   // For Bruck with ragged counts we pad... instead: Bruck only when counts
   // are uniform (checked), pairwise otherwise.
@@ -47,18 +49,25 @@ Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
     pieces[static_cast<std::size_t>(t)].assign(
         d_block.data() + off, d_block.data() + off + len);
   }
-  const std::vector<std::vector<double>> received =
+  const std::vector<std::vector<T>> received =
       coll::alltoall(grid.fiber(1), pieces, cfg.alltoall);
 
-  Grid3dRankOutput out;
+  Grid3dRankOutputT<T> out;
   out.c_chunk = layout.c;
-  out.c_data.assign(static_cast<std::size_t>(layout.c.flat_size), 0.0);
+  out.c_data.assign(static_cast<std::size_t>(layout.c.flat_size),
+                    ScalarTraits<T>::zero());
   for (const auto& piece : received) {
     CAMB_CHECK(static_cast<i64>(piece.size()) == layout.c.flat_size);
     for (std::size_t j = 0; j < piece.size(); ++j) out.c_data[j] += piece[j];
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                      \
+  template Grid3dRankOutputT<T> grid3d_agarwal_rank<T>( \
+      RankCtx&, const Grid3dAgarwalConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
                                           const Grid3dAgarwalConfig& cfg) {
@@ -96,11 +105,13 @@ Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
     if (step == 0) {
       ctx.set_phase(kPhaseAllgatherA);
       a_flat = coll::allgather(fiber_a, layout.a_counts,
-                               fill_chunk_indexed(layout.a), cfg.allgather);
+                               fill_chunk_indexed<double>(layout.a),
+                               cfg.allgather);
     } else if (step == 1) {
       ctx.set_phase(kPhaseAllgatherB);
       b_flat = coll::allgather(fiber_b, layout.b_counts,
-                               fill_chunk_indexed(layout.b), cfg.allgather);
+                               fill_chunk_indexed<double>(layout.b),
+                               cfg.allgather);
     } else {
       ctx.set_phase(kPhaseLocalGemm);
       MatrixD a_block(layout.a.rows, layout.a.cols);

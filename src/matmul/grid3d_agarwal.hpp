@@ -29,8 +29,9 @@ struct Grid3dAgarwalConfig {
 
 /// SPMD body for one rank; same data layout and output ownership as
 /// Algorithm 1 (grid3d_layout applies unchanged).
-Grid3dRankOutput grid3d_agarwal_rank(RankCtx& ctx,
-                                     const Grid3dAgarwalConfig& cfg);
+template <typename T = double>
+Grid3dRankOutputT<T> grid3d_agarwal_rank(RankCtx& ctx,
+                                         const Grid3dAgarwalConfig& cfg);
 
 /// Exact predicted received words for `rank`.
 i64 grid3d_agarwal_predicted_recv_words(const Grid3dAgarwalConfig& cfg,

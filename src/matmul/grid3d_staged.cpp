@@ -5,6 +5,7 @@
 #include "core/cost_eq3.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -24,8 +25,9 @@ std::vector<i64> overlap_counts(const BlockDist1D& fiber_split, i64 lo, i64 hi) 
 
 }  // namespace
 
-Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
-                                          const Grid3dStagedConfig& cfg) {
+template <typename T>
+Grid3dStagedRankOutputT<T> grid3d_staged_rank(RankCtx& ctx,
+                                              const Grid3dStagedConfig& cfg) {
   CAMB_CHECK_MSG(cfg.stages >= 1, "stages must be >= 1");
   CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
                  "grid size must equal the machine size");
@@ -43,17 +45,18 @@ Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
 
   // B is gathered once, up front, exactly as in the unstaged algorithm.
   ctx.set_phase(kPhaseAllgatherB);
-  const camb::WorkingSet b_ws(ctx, layout.b.block_size());
-  std::vector<double> b_flat = coll::allgather(
-      grid.fiber(0), layout.b_counts, fill_chunk_indexed(layout.b),
+  const camb::WorkingSet b_ws(ctx, layout.b.block_size(),
+                              ScalarTraits<T>::elem_bytes);
+  std::vector<T> b_flat = coll::allgather(
+      grid.fiber(0), layout.b_counts, fill_chunk_indexed<T>(layout.b),
       cfg.allgather);
-  MatrixD b_block(layout.b.rows, layout.b.cols);
+  Matrix<T> b_block(layout.b.rows, layout.b.cols);
   std::copy(b_flat.begin(), b_flat.end(), b_block.data());
 
   const BlockDist1D a_fiber_split(layout.a.block_size(), cfg.grid.p3);
   const BlockDist1D strips(layout.a.rows, cfg.stages);
 
-  Grid3dStagedRankOutput out;
+  Grid3dStagedRankOutputT<T> out;
   out.c_chunks.reserve(static_cast<std::size_t>(cfg.stages));
   out.c_data.reserve(static_cast<std::size_t>(cfg.stages));
 
@@ -68,27 +71,28 @@ Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
     // working set this variant exists to shrink.
     ctx.set_phase(kPhaseAllgatherA);
     const camb::WorkingSet strip_ws(
-        ctx, (hi - lo) + (r1 - r0) * layout.c.cols);
+        ctx, (hi - lo) + (r1 - r0) * layout.c.cols,
+        ScalarTraits<T>::elem_bytes);
     const std::vector<i64> counts = overlap_counts(a_fiber_split, lo, hi);
     BlockChunk my_piece = layout.a;
     my_piece.flat_start = std::max(lo, a_fiber_split.start(q3));
     my_piece.flat_size = counts[static_cast<std::size_t>(q3)];
-    std::vector<double> strip_flat = coll::allgather(
-        grid.fiber(2), counts, fill_chunk_indexed(my_piece), cfg.allgather);
+    std::vector<T> strip_flat = coll::allgather(
+        grid.fiber(2), counts, fill_chunk_indexed<T>(my_piece), cfg.allgather);
     CAMB_CHECK(static_cast<i64>(strip_flat.size()) == hi - lo);
 
     // Multiply the strip against the full B block.
     ctx.set_phase(kPhaseLocalGemm);
-    MatrixD a_strip(r1 - r0, layout.a.cols);
+    Matrix<T> a_strip(r1 - r0, layout.a.cols);
     std::copy(strip_flat.begin(), strip_flat.end(), a_strip.data());
-    const MatrixD d_strip = gemm(a_strip, b_block);
+    const Matrix<T> d_strip = gemm(a_strip, b_block);
 
     // Reduce-Scatter this strip of D across the p2 fiber immediately.
     ctx.set_phase(kPhaseReduceScatterC);
     const BlockDist1D seg(d_strip.size(), cfg.grid.p2);
-    std::vector<double> d_flat(d_strip.data(),
-                               d_strip.data() + d_strip.size());
-    std::vector<double> owned = coll::reduce_scatter(
+    std::vector<T> d_flat(d_strip.data(),
+                          d_strip.data() + d_strip.size());
+    std::vector<T> owned = coll::reduce_scatter(
         grid.fiber(1), seg.counts(), d_flat, cfg.reduce_scatter);
 
     BlockChunk c_chunk;
@@ -103,6 +107,12 @@ Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                          \
+  template Grid3dStagedRankOutputT<T> grid3d_staged_rank<T>( \
+      RankCtx&, const Grid3dStagedConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
     ckpt::Session& session, const Grid3dStagedConfig& cfg) {
@@ -163,7 +173,8 @@ Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
       ctx.set_phase(kPhaseAllgatherB);
       const camb::WorkingSet b_ws(ctx, layout.b.block_size());
       b_flat = coll::allgather(fiber_b, layout.b_counts,
-                               fill_chunk_indexed(layout.b), cfg.allgather);
+                               fill_chunk_indexed<double>(layout.b),
+                               cfg.allgather);
       std::copy(b_flat.begin(), b_flat.end(), b_block.data());
     } else {
       const i64 stage = step - 1;
@@ -180,7 +191,8 @@ Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
       my_piece.flat_start = std::max(lo, a_fiber_split.start(q3));
       my_piece.flat_size = counts[static_cast<std::size_t>(q3)];
       std::vector<double> strip_flat = coll::allgather(
-          fiber_a, counts, fill_chunk_indexed(my_piece), cfg.allgather);
+          fiber_a, counts, fill_chunk_indexed<double>(my_piece),
+          cfg.allgather);
       CAMB_CHECK(static_cast<i64>(strip_flat.size()) == hi - lo);
 
       ctx.set_phase(kPhaseLocalGemm);

@@ -33,14 +33,18 @@ struct Grid3dStagedConfig {
 /// A rank's output: one owned C piece per stage (the staged ownership layout
 /// differs from the unstaged one: each stage's strip is split across the
 /// p2 fiber independently).
-struct Grid3dStagedRankOutput {
+template <typename T>
+struct Grid3dStagedRankOutputT {
   std::vector<BlockChunk> c_chunks;
-  std::vector<std::vector<double>> c_data;
+  std::vector<std::vector<T>> c_data;
 };
+using Grid3dStagedRankOutput = Grid3dStagedRankOutputT<double>;
 
-/// SPMD body for one rank.
-Grid3dStagedRankOutput grid3d_staged_rank(RankCtx& ctx,
-                                          const Grid3dStagedConfig& cfg);
+/// SPMD body for one rank.  Templated over the scalar
+/// (CAMB_FOR_EACH_SCALAR set).
+template <typename T = double>
+Grid3dStagedRankOutputT<T> grid3d_staged_rank(RankCtx& ctx,
+                                              const Grid3dStagedConfig& cfg);
 
 /// Exact predicted received words for `rank` (equals the unstaged total up
 /// to the near-equal rounding of strip boundaries).

@@ -5,10 +5,11 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
-// The AVX2 micro-kernel is compiled per-function via the `target` attribute
-// and selected at runtime, so the library still runs on any x86-64 (and the
-// translation unit's baseline arch stays the build default).
+// The AVX2 micro-kernels are compiled per-function via the `target`
+// attribute and selected at runtime, so the library still runs on any
+// x86-64 (and the translation unit's baseline arch stays the build default).
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define CAMB_GEMM_AVX2_DISPATCH 1
 #include <immintrin.h>
@@ -24,17 +25,17 @@ namespace {
 // reference kernel, so the result is bit-identical (absent FMA contraction,
 // which the default target arch cannot do).
 
-template <i64 MR>
-inline void micro_full(const double* a, i64 lda, const double* bp, i64 nc,
-                       double* c, i64 ldc, i64 kc) {
-  double acc[MR][kGemmNr];
+template <typename T, i64 MR>
+inline void micro_full(const T* a, i64 lda, const T* bp, i64 nc, T* c,
+                       i64 ldc, i64 kc) {
+  T acc[MR][kGemmNr];
   for (i64 r = 0; r < MR; ++r) {
     for (i64 v = 0; v < kGemmNr; ++v) acc[r][v] = c[r * ldc + v];
   }
   for (i64 k = 0; k < kc; ++k) {
-    const double* brow = bp + k * nc;
+    const T* brow = bp + k * nc;
     for (i64 r = 0; r < MR; ++r) {
-      const double ar = a[r * lda + k];
+      const T ar = a[r * lda + k];
       for (i64 v = 0; v < kGemmNr; ++v) acc[r][v] += ar * brow[v];
     }
   }
@@ -44,10 +45,10 @@ inline void micro_full(const double* a, i64 lda, const double* bp, i64 nc,
 }
 
 #ifdef CAMB_GEMM_AVX2_DISPATCH
-// AVX2 variant of the 4×8 micro-tile.  Bit-identity with the scalar kernels
-// holds by construction: vmulpd/vaddpd round each lane exactly as the scalar
-// mul and add do, the k order is unchanged, and fusion into FMA is
-// impossible — the function's target is avx2, which does not include FMA.
+// AVX2 variant of the 4×8 double micro-tile.  Bit-identity with the scalar
+// kernels holds by construction: vmulpd/vaddpd round each lane exactly as
+// the scalar mul and add do, the k order is unchanged, and fusion into FMA
+// is impossible — the function's target is avx2, which does not include FMA.
 __attribute__((target("avx2"))) void micro_full_avx2(const double* a, i64 lda,
                                                      const double* bp, i64 nc,
                                                      double* c, i64 ldc,
@@ -88,29 +89,71 @@ __attribute__((target("avx2"))) void micro_full_avx2(const double* a, i64 lda,
   _mm256_storeu_pd(c + 3 * ldc, a3lo);
   _mm256_storeu_pd(c + 3 * ldc + 4, a3hi);
 }
+
+// AVX2 variant of the 4×8 float micro-tile: the whole 8-wide row fits one
+// ps register, so each C row is a single accumulator.  Same bit-identity
+// argument as the double kernel — vmulps/vaddps per-lane round like scalar
+// float mul+add, ascending k, no FMA on this target.
+__attribute__((target("avx2"))) void micro_full_avx2_f32(const float* a,
+                                                         i64 lda,
+                                                         const float* bp,
+                                                         i64 nc, float* c,
+                                                         i64 ldc, i64 kc) {
+  static_assert(kGemmMr == 4 && kGemmNr == 8,
+                "micro_full_avx2_f32 is written for a 4x8 tile");
+  __m256 acc0 = _mm256_loadu_ps(c + 0 * ldc);
+  __m256 acc1 = _mm256_loadu_ps(c + 1 * ldc);
+  __m256 acc2 = _mm256_loadu_ps(c + 2 * ldc);
+  __m256 acc3 = _mm256_loadu_ps(c + 3 * ldc);
+  for (i64 k = 0; k < kc; ++k) {
+    const __m256 brow = _mm256_loadu_ps(bp + k * nc);
+    acc0 = _mm256_add_ps(acc0,
+                         _mm256_mul_ps(_mm256_set1_ps(a[0 * lda + k]), brow));
+    acc1 = _mm256_add_ps(acc1,
+                         _mm256_mul_ps(_mm256_set1_ps(a[1 * lda + k]), brow));
+    acc2 = _mm256_add_ps(acc2,
+                         _mm256_mul_ps(_mm256_set1_ps(a[2 * lda + k]), brow));
+    acc3 = _mm256_add_ps(acc3,
+                         _mm256_mul_ps(_mm256_set1_ps(a[3 * lda + k]), brow));
+  }
+  _mm256_storeu_ps(c + 0 * ldc, acc0);
+  _mm256_storeu_ps(c + 1 * ldc, acc1);
+  _mm256_storeu_ps(c + 2 * ldc, acc2);
+  _mm256_storeu_ps(c + 3 * ldc, acc3);
+}
 #endif  // CAMB_GEMM_AVX2_DISPATCH
 
-using MicroFullFn = void (*)(const double*, i64, const double*, i64, double*,
-                             i64, i64);
+template <typename T>
+using MicroFullFn = void (*)(const T*, i64, const T*, i64, T*, i64, i64);
 
-MicroFullFn resolve_micro_full() {
+/// The full-tile kernel for T: AVX2 when T has a vector variant and the CPU
+/// supports it, the portable scalar template otherwise (always for i64 and
+/// kahan — integer multiplies and compensated adds have no profitable 256-bit
+/// formulation that preserves the scalar semantics).
+template <typename T>
+MicroFullFn<T> resolve_micro_full() {
 #ifdef CAMB_GEMM_AVX2_DISPATCH
-  if (__builtin_cpu_supports("avx2")) return micro_full_avx2;
+  if constexpr (std::is_same_v<T, double>) {
+    if (__builtin_cpu_supports("avx2")) return micro_full_avx2;
+  } else if constexpr (std::is_same_v<T, float>) {
+    if (__builtin_cpu_supports("avx2")) return micro_full_avx2_f32;
+  }
 #endif
-  return micro_full<kGemmMr>;
+  return micro_full<T, kGemmMr>;
 }
 
 // Edge micro-tile with runtime mr×nr (bottom rows / rightmost columns).
-inline void micro_edge(const double* a, i64 lda, const double* bp, i64 nc,
-                       double* c, i64 ldc, i64 kc, i64 mr, i64 nr) {
-  double acc[kGemmMr][kGemmNr];
+template <typename T>
+inline void micro_edge(const T* a, i64 lda, const T* bp, i64 nc, T* c,
+                       i64 ldc, i64 kc, i64 mr, i64 nr) {
+  T acc[kGemmMr][kGemmNr];
   for (i64 r = 0; r < mr; ++r) {
     for (i64 v = 0; v < nr; ++v) acc[r][v] = c[r * ldc + v];
   }
   for (i64 k = 0; k < kc; ++k) {
-    const double* brow = bp + k * nc;
+    const T* brow = bp + k * nc;
     for (i64 r = 0; r < mr; ++r) {
-      const double ar = a[r * lda + k];
+      const T ar = a[r * lda + k];
       for (i64 v = 0; v < nr; ++v) acc[r][v] += ar * brow[v];
     }
   }
@@ -121,20 +164,22 @@ inline void micro_edge(const double* a, i64 lda, const double* bp, i64 nc,
 
 }  // namespace
 
-void gemm_accumulate(const MatrixD& a, const MatrixD& b, MatrixD& c) {
+template <typename T>
+void gemm_accumulate(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
   CAMB_CHECK_MSG(a.cols() == b.rows(), "inner dimensions must agree");
   CAMB_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(),
                  "output shape mismatch");
   const i64 rows = a.rows(), inner = a.cols(), cols = b.cols();
-  const double* adata = a.data();
-  const double* bdata = b.data();
-  double* cdata = c.data();
-  // Resolved once per process (magic static): AVX2 micro-tile if the CPU
-  // has it, the portable template otherwise.  Both produce identical bits.
-  static const MicroFullFn micro = resolve_micro_full();
+  const T* adata = a.data();
+  const T* bdata = b.data();
+  T* cdata = c.data();
+  // Resolved once per process (magic static, one per scalar): AVX2
+  // micro-tile if the CPU and scalar have it, the portable template
+  // otherwise.  Both produce identical bits.
+  static const MicroFullFn<T> micro = resolve_micro_full<T>();
   // Panel scratch is reused across calls on the same thread; in the
   // simulator every rank thread runs many GEMMs of identical block shape.
-  static thread_local std::vector<double> panel;
+  static thread_local std::vector<T> panel;
   for (i64 k0 = 0; k0 < inner; k0 += kGemmKc) {
     const i64 kc = std::min(kGemmKc, inner - k0);
     for (i64 j0 = 0; j0 < cols; j0 += kGemmNc) {
@@ -142,7 +187,7 @@ void gemm_accumulate(const MatrixD& a, const MatrixD& b, MatrixD& c) {
       panel.resize(static_cast<std::size_t>(kc * nc));
       for (i64 k = 0; k < kc; ++k) {
         std::memcpy(panel.data() + k * nc, bdata + (k0 + k) * cols + j0,
-                    static_cast<std::size_t>(nc) * sizeof(double));
+                    static_cast<std::size_t>(nc) * sizeof(T));
       }
       i64 i = 0;
       for (; i + kGemmMr <= rows; i += kGemmMr) {
@@ -167,7 +212,9 @@ void gemm_accumulate(const MatrixD& a, const MatrixD& b, MatrixD& c) {
   }
 }
 
-void gemm_accumulate_reference(const MatrixD& a, const MatrixD& b, MatrixD& c) {
+template <typename T>
+void gemm_accumulate_reference(const Matrix<T>& a, const Matrix<T>& b,
+                               Matrix<T>& c) {
   CAMB_CHECK_MSG(a.cols() == b.rows(), "inner dimensions must agree");
   CAMB_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(),
                  "output shape mismatch");
@@ -180,9 +227,9 @@ void gemm_accumulate_reference(const MatrixD& a, const MatrixD& b, MatrixD& c) {
         const i64 jmax = std::min(j0 + kGemmTile, cols);
         for (i64 i = i0; i < imax; ++i) {
           for (i64 k = k0; k < kmax; ++k) {
-            const double aik = a(i, k);
-            const double* brow = b.data() + k * cols;
-            double* crow = c.data() + i * cols;
+            const T aik = a(i, k);
+            const T* brow = b.data() + k * cols;
+            T* crow = c.data() + i * cols;
             for (i64 j = j0; j < jmax; ++j) crow[j] += aik * brow[j];
           }
         }
@@ -191,10 +238,20 @@ void gemm_accumulate_reference(const MatrixD& a, const MatrixD& b, MatrixD& c) {
   }
 }
 
-MatrixD gemm(const MatrixD& a, const MatrixD& b) {
-  MatrixD c(a.rows(), b.cols());
+template <typename T>
+Matrix<T> gemm(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c(a.rows(), b.cols());
   gemm_accumulate(a, b, c);
   return c;
 }
+
+#define CAMB_INSTANTIATE(T)                                                \
+  template void gemm_accumulate<T>(const Matrix<T>&, const Matrix<T>&,     \
+                                   Matrix<T>&);                            \
+  template void gemm_accumulate_reference<T>(const Matrix<T>&,             \
+                                             const Matrix<T>&, Matrix<T>&); \
+  template Matrix<T> gemm<T>(const Matrix<T>&, const Matrix<T>&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::mm

@@ -4,16 +4,18 @@
 // A register-blocked, panel-packed kernel: not a vendor BLAS, but an honest
 // kernel with the structure of one (packed B panel for unit-stride reuse,
 // an mr×nr register micro-tile, k innermost).  On x86-64 the full micro-tile
-// additionally has an AVX2 variant selected at runtime (per-function target
-// attribute + cpuid check), so the build stays portable.  Numerically every
-// path computes the same sums as the reference implementation —
-// floating-point addition order per output element is identical (ascending
-// k), and the AVX2 path uses separate vmulpd/vaddpd, which round exactly
-// like scalar mul+add and cannot be fused (its target lacks FMA) — which
-// keeps distributed results bit-comparable and the golden equivalence sweep
-// stable.  (That equivalence holds at the default target arch; building
-// with CAMB_NATIVE may let the compiler contract the *scalar* kernels'
-// mul+add into FMAs, which changes low-order bits.)
+// additionally has AVX2 variants for double (4×8 over paired 4-wide pd
+// registers) and float (4×8 over single 8-wide ps registers) selected at
+// runtime (per-function target attribute + cpuid check), so the build stays
+// portable; i64 and kahan always take the scalar micro-tile.  Numerically
+// every path computes the same sums as the reference implementation —
+// addition order per output element is identical (ascending k), and the
+// AVX2 paths use separate vmul/vadd, which round exactly like scalar
+// mul+add and cannot be fused (their target lacks FMA) — which keeps
+// distributed results bit-comparable across schedulers and kernels for
+// every scalar.  (That equivalence holds at the default target arch;
+// building with CAMB_NATIVE may let the compiler contract the *scalar*
+// kernels' mul+add into FMAs, which changes low-order bits.)
 #pragma once
 
 #include "util/matrix.hpp"
@@ -24,15 +26,21 @@ using camb::i64;
 using camb::MatrixD;
 
 /// C += A * B, register-blocked.  Shapes: A is r×c, B is c×s, C is r×s.
-void gemm_accumulate(const MatrixD& a, const MatrixD& b, MatrixD& c);
+/// Templated over the scalar; defined for the CAMB_FOR_EACH_SCALAR set
+/// (util/scalar.hpp) via explicit instantiation.
+template <typename T>
+void gemm_accumulate(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c);
 
 /// C += A * B as a plain tiled triple loop (the pre-blocking kernel).  The
 /// bit-exactness oracle: gemm_accumulate must produce exactly these bits on
 /// every shape.  Also the "before" side of the kernel benchmark.
-void gemm_accumulate_reference(const MatrixD& a, const MatrixD& b, MatrixD& c);
+template <typename T>
+void gemm_accumulate_reference(const Matrix<T>& a, const Matrix<T>& b,
+                               Matrix<T>& c);
 
 /// C = A * B (allocates C).
-MatrixD gemm(const MatrixD& a, const MatrixD& b);
+template <typename T>
+Matrix<T> gemm(const Matrix<T>& a, const Matrix<T>& b);
 
 /// Tile edge used by the reference kernel (exposed for the kernel bench).
 inline constexpr i64 kGemmTile = 64;

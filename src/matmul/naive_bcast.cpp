@@ -6,10 +6,12 @@
 #include "collectives/gather_scatter.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
-Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
+template <typename T>
+Block2DOutputT<T> naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
   const int p = ctx.nprocs();
   const int me = ctx.rank();
   const coll::Comm world = coll::Comm::world(ctx);
@@ -17,12 +19,12 @@ Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
 
   // Rank 0 materializes both inputs; everyone receives full copies.
   ctx.set_phase(kPhaseNaiveBcast);
-  std::vector<double> a_flat, b_flat;
+  std::vector<T> a_flat, b_flat;
   if (me == 0) {
     BlockChunk a_all{0, 0, s.n1, s.n2, 0, s.size_a()};
     BlockChunk b_all{0, 0, s.n2, s.n3, 0, s.size_b()};
-    a_flat = fill_chunk_indexed(a_all);
-    b_flat = fill_chunk_indexed(b_all);
+    a_flat = fill_chunk_indexed<T>(a_all);
+    b_flat = fill_chunk_indexed<T>(b_all);
   }
   coll::bcast(world, 0, a_flat, s.size_a());
   coll::bcast(world, 0, b_flat, s.size_b());
@@ -30,12 +32,12 @@ Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
   // Each rank computes its row slice of C.
   ctx.set_phase(kPhaseNaiveGemm);
   const BlockDist1D rows(s.n1, p);
-  MatrixD a_mine(rows.size(me), s.n2);
+  Matrix<T> a_mine(rows.size(me), s.n2);
   std::copy(a_flat.begin() + rows.start(me) * s.n2,
             a_flat.begin() + rows.end(me) * s.n2, a_mine.data());
-  MatrixD b_full(s.n2, s.n3);
+  Matrix<T> b_full(s.n2, s.n3);
   std::copy(b_flat.begin(), b_flat.end(), b_full.data());
-  MatrixD c_slice = gemm(a_mine, b_full);
+  Matrix<T> c_slice = gemm(a_mine, b_full);
 
   // Gather the slices onto rank 0 (the "one copy of the output" finale).
   ctx.set_phase(kPhaseNaiveGather);
@@ -43,15 +45,21 @@ Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
   for (int r = 0; r < p; ++r) {
     counts[static_cast<std::size_t>(r)] = rows.size(r) * s.n3;
   }
-  std::vector<double> c_flat(c_slice.data(), c_slice.data() + c_slice.size());
+  std::vector<T> c_flat(c_slice.data(), c_slice.data() + c_slice.size());
   coll::gather(world, 0, counts, c_flat);
 
-  Block2DOutput out;
+  Block2DOutputT<T> out;
   out.row0 = rows.start(me);
   out.col0 = 0;
   out.block = std::move(c_slice);
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                  \
+  template Block2DOutputT<T> naive_bcast_rank<T>(RankCtx&, \
+                                                 const NaiveBcastConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
                                     const NaiveBcastConfig& cfg) {
@@ -84,14 +92,14 @@ Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
       ctx.set_phase(kPhaseNaiveBcast);
       if (me == 0) {
         BlockChunk a_all{0, 0, s.n1, s.n2, 0, s.size_a()};
-        a_flat = fill_chunk_indexed(a_all);
+        a_flat = fill_chunk_indexed<double>(a_all);
       }
       coll::bcast(world, 0, a_flat, s.size_a());
     } else if (step == 1) {
       ctx.set_phase(kPhaseNaiveBcast);
       if (me == 0) {
         BlockChunk b_all{0, 0, s.n2, s.n3, 0, s.size_b()};
-        b_flat = fill_chunk_indexed(b_all);
+        b_flat = fill_chunk_indexed<double>(b_all);
       }
       coll::bcast(world, 0, b_flat, s.size_b());
     } else {

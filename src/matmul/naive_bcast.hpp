@@ -18,8 +18,10 @@ struct NaiveBcastConfig {
 };
 
 /// SPMD body; returns rank's C row-slice (all ranks return their slice; the
-/// runner reassembles, mirroring the final gather onto rank 0).
-Block2DOutput naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg);
+/// runner reassembles, mirroring the final gather onto rank 0).  Templated
+/// over the scalar (CAMB_FOR_EACH_SCALAR set).
+template <typename T = double>
+Block2DOutputT<T> naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg);
 
 /// Exact predicted received words for `rank`.
 i64 naive_bcast_predicted_recv_words(const NaiveBcastConfig& cfg, int rank,

@@ -5,7 +5,9 @@
 #include <cstring>
 #include <limits>
 #include <sstream>
+#include <type_traits>
 
+#include "collectives/shrink.hpp"
 #include "matmul/freivalds.hpp"
 #include "util/error.hpp"
 
@@ -15,6 +17,35 @@ namespace {
 
 /// Shapes above this flop count use Freivalds under VerifyMode::kAuto.
 constexpr i64 kReferenceFlopLimit = 1 << 26;  // ~67M multiply-adds
+
+/// Run the callable with the scalar type selected by the options' dtype.
+/// The one runtime → compile-time bridge: everything below it is templated.
+template <typename F>
+RunReport dispatch_dtype(DType d, F&& f) {
+  switch (d) {
+    case DType::kF64:
+      return f(std::type_identity<double>{});
+    case DType::kF32:
+      return f(std::type_identity<float>{});
+    case DType::kI64:
+      return f(std::type_identity<i64>{});
+    case DType::kKahan:
+      return f(std::type_identity<kahan>{});
+  }
+  throw Error("unreachable dtype");
+}
+
+/// Checkpoint/rollback snapshots travel through the f64 wire codec and the
+/// rollback twins execute in double; other dtypes are rejected by name
+/// instead of silently running the f64 twin.
+void require_f64_for_checkpoint(const RunOptions& opts) {
+  if (opts.checkpoint.enabled() && opts.dtype != DType::kF64) {
+    throw Error(std::string("checkpoint/rollback requires --dtype f64 (the "
+                            "snapshot wire codec and rollback twins are "
+                            "f64-only); got --dtype ") +
+                dtype_name(opts.dtype));
+  }
+}
 
 /// Machine construction + fault wiring for one run: the rank RNG seed, the
 /// fault seed, and the crash seed all derive from the options' master seed
@@ -48,17 +79,20 @@ void configure_machine(camb::Machine& machine, const RunOptions& opts) {
 }
 
 /// Measurement half shared by every run_*: critical-path counters, phase
-/// breakdown, simulated time, peak memory, and the fault record.
+/// breakdown, simulated time, peak memory, the dtype annotation, and the
+/// fault record.
 RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
   const camb::CommStats& stats = machine.stats();
   RunReport report;
+  report.dtype = opts.dtype;
+  report.element_bytes = dtype_elem_bytes(opts.dtype);
   report.measured_critical_recv = stats.critical_path_received_words();
   report.measured_critical_sent = stats.critical_path_sent_words();
   report.total_network_words = stats.total_words_sent();
   for (int r = 0; r < stats.nprocs(); ++r) {
     const auto& totals = stats.rank_total(r);
-    report.rank_recv_words.push_back(totals.words_received);
-    report.rank_sent_words.push_back(totals.words_sent);
+    report.rank_recv_words.push_back(totals.words_received());
+    report.rank_sent_words.push_back(totals.words_sent());
     report.rank_messages.push_back(totals.messages_sent);
     report.measured_critical_messages =
         std::max(report.measured_critical_messages, totals.messages_sent);
@@ -95,7 +129,8 @@ RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
   const camb::TransportCounters transport = stats.transport_total();
   report.corruption.caught_at_transport = transport.corrupt_discards;
   report.corruption.retransmits = transport.retransmits;
-  report.corruption.retransmitted_words = transport.retransmitted_words;
+  report.corruption.retransmitted_words =
+      static_cast<double>(transport.retransmitted_bytes) / 8.0;
   report.corruption.acks = transport.acks;
   report.corruption.nacks = transport.nacks;
   report.corruption.dup_discards = transport.dup_discards;
@@ -125,35 +160,37 @@ RunReport report_from_machine(camb::Machine& machine, const RunOptions& opts) {
   }
   for (const camb::UndeliveredMessage& d : outcome.debris) {
     ++report.recovery.debris_envelopes;
-    report.recovery.debris_words += d.words;
+    report.recovery.debris_words += d.words();
   }
   for (int r = 0; r < stats.nprocs(); ++r) {
     report.recovery.heartbeat_probes +=
         stats.rank_phase(r, "heartbeat").messages_sent;
-    const i64 rec = stats.rank_phase(r, "abft_shrink").words_received +
-                    stats.rank_phase(r, "abft_recover").words_received +
-                    stats.rank_phase(r, "heartbeat").words_received;
+    const double rec = stats.rank_phase(r, "abft_shrink").words_received() +
+                       stats.rank_phase(r, "abft_recover").words_received() +
+                       stats.rank_phase(r, "heartbeat").words_received();
     report.recovery.recovery_recv_words =
         std::max(report.recovery.recovery_recv_words, rec);
     report.recovery.encode_recv_words =
         std::max(report.recovery.encode_recv_words,
-                 stats.rank_phase(r, "abft_encode").words_received);
+                 stats.rank_phase(r, "abft_encode").words_received());
   }
   return report;
 }
 
-/// FNV-1a over the exact bit pattern of every entry, row-major: the
-/// "output bits" fingerprint pinned by the equivalence sweep.
-std::uint64_t hash_matrix(const MatrixD& m) {
+/// FNV-1a over the exact bit pattern of every entry, row-major, sizeof(T)
+/// bytes per element: the "output bits" fingerprint pinned by the
+/// equivalence sweep.  For double this hashes the same 8 bytes per entry as
+/// the pre-dtype harness, so committed f64 golden hashes are unchanged.
+template <typename T>
+std::uint64_t hash_matrix(const Matrix<T>& m) {
   std::uint64_t h = 1469598103934665603ull;
+  unsigned char bytes[sizeof(T)];
   for (i64 i = 0; i < m.rows(); ++i) {
     for (i64 j = 0; j < m.cols(); ++j) {
-      std::uint64_t bits;
-      const double v = m(i, j);
-      static_assert(sizeof(bits) == sizeof(v));
-      std::memcpy(&bits, &v, sizeof(bits));
-      for (int b = 0; b < 8; ++b) {
-        h ^= (bits >> (8 * b)) & 0xff;
+      const T v = m(i, j);
+      std::memcpy(bytes, &v, sizeof(T));
+      for (std::size_t b = 0; b < sizeof(T); ++b) {
+        h ^= bytes[b];
         h *= 1099511628211ull;
       }
     }
@@ -162,8 +199,9 @@ std::uint64_t hash_matrix(const MatrixD& m) {
 }
 
 /// Place a flat chunk of a row-major block into the global matrix.
-void place_chunk(MatrixD& global, const BlockChunk& chunk,
-                 const std::vector<double>& data) {
+template <typename T>
+void place_chunk(Matrix<T>& global, const BlockChunk& chunk,
+                 const std::vector<T>& data) {
   CAMB_CHECK(static_cast<i64>(data.size()) == chunk.flat_size);
   for (i64 f = 0; f < chunk.flat_size; ++f) {
     const i64 flat = chunk.flat_start + f;
@@ -250,10 +288,11 @@ std::string CorruptionReport::summary() const {
 
 namespace {
 
-void fill_inputs(const Shape& shape, bool integer_inputs, MatrixD& a,
-                 MatrixD& b) {
-  a = MatrixD(shape.n1, shape.n2);
-  b = MatrixD(shape.n2, shape.n3);
+template <typename T>
+void fill_inputs(const Shape& shape, bool integer_inputs, Matrix<T>& a,
+                 Matrix<T>& b) {
+  a = Matrix<T>(shape.n1, shape.n2);
+  b = Matrix<T>(shape.n2, shape.n3);
   if (integer_inputs) {
     a.fill_indexed_int(0, 0);
     b.fill_indexed_int(0, 0);
@@ -263,7 +302,8 @@ void fill_inputs(const Shape& shape, bool integer_inputs, MatrixD& a,
   }
 }
 
-double check_result_pattern(const Shape& shape, const MatrixD& assembled,
+template <typename T>
+double check_result_pattern(const Shape& shape, const Matrix<T>& assembled,
                             VerifyMode mode, bool integer_inputs) {
   if (mode == VerifyMode::kAuto) {
     mode = shape.flops() <= kReferenceFlopLimit ? VerifyMode::kReference
@@ -273,20 +313,29 @@ double check_result_pattern(const Shape& shape, const MatrixD& assembled,
     case VerifyMode::kNone:
       return std::numeric_limits<double>::quiet_NaN();
     case VerifyMode::kReference: {
-      MatrixD a, b;
-      fill_inputs(shape, integer_inputs, a, b);
+      Matrix<T> a, b;
+      fill_inputs<T>(shape, integer_inputs, a, b);
       return assembled.max_abs_diff(camb::matmul_reference(a, b));
     }
     case VerifyMode::kFreivalds: {
-      MatrixD a, b;
-      fill_inputs(shape, integer_inputs, a, b);
+      Matrix<T> a, b;
+      fill_inputs<T>(shape, integer_inputs, a, b);
       Rng rng(0xF4E1);
-      return freivalds_residual(a, b, assembled, /*trials=*/24, rng);
+      return freivalds_residual<T>(a, b, assembled, /*trials=*/24, rng);
     }
     case VerifyMode::kAuto:
       break;
   }
   throw Error("unreachable verify mode");
+}
+
+/// The inputs the ABFT algorithms fill: exact scalars use the plain indexed
+/// pattern (native integer arithmetic never rounds), rounded scalars the
+/// integer-valued pattern (exactness through smallness) — matching
+/// abft_fill in matmul/abft.cpp.
+template <typename T>
+constexpr bool abft_integer_inputs() {
+  return !ScalarTraits<T>::exact;
 }
 
 }  // namespace
@@ -307,12 +356,14 @@ MatrixD reference_result_int(const Shape& shape) {
 
 double check_result(const Shape& shape, const MatrixD& assembled,
                     VerifyMode mode) {
-  return check_result_pattern(shape, assembled, mode, /*integer_inputs=*/false);
+  return check_result_pattern<double>(shape, assembled, mode,
+                                      /*integer_inputs=*/false);
 }
 
 namespace {
 
-void place_block(MatrixD& global, const Block2DOutput& out) {
+template <typename T>
+void place_block(Matrix<T>& global, const Block2DOutputT<T>& out) {
   for (i64 i = 0; i < out.block.rows(); ++i) {
     for (i64 j = 0; j < out.block.cols(); ++j) {
       global(out.row0 + i, out.col0 + j) = out.block(i, j);
@@ -379,13 +430,13 @@ void fill_resilience_report(RunReport& report, camb::Machine& machine,
   for (int r = 0; r < stats.nprocs(); ++r) {
     res.checkpoint_recv_words =
         std::max(res.checkpoint_recv_words,
-                 stats.rank_phase(r, ckpt::kPhaseCheckpoint).words_received);
+                 stats.rank_phase(r, ckpt::kPhaseCheckpoint).words_received());
     res.flood_recv_words =
         std::max(res.flood_recv_words,
-                 stats.rank_phase(r, ckpt::kPhaseCkptShrink).words_received);
+                 stats.rank_phase(r, ckpt::kPhaseCkptShrink).words_received());
     res.restream_recv_words =
         std::max(res.restream_recv_words,
-                 stats.rank_phase(r, ckpt::kPhaseCkptRollback).words_received);
+                 stats.rank_phase(r, ckpt::kPhaseCkptRollback).words_received());
   }
   if (machine.crash_outcome().any_crashed()) {
     report.predicted_critical_recv = -1;
@@ -469,17 +520,25 @@ void reject_mem_sdc(const RunOptions& opts, const char* algo) {
 /// Flip one low bit of the integer value at a seeded position of `data`
 /// when rank `rank`'s memory-SDC coin lands.  The draw chain is a pure
 /// function of (mem_seed, rank), so a corruption scenario replays from the
-/// logged seed alone.  ABFT tiles are integer-valued, and the flip keeps
-/// them integer-valued, so every later checksum subtraction stays exact —
-/// which is what makes the repair bit-exact.
+/// logged seed alone.  ABFT tiles are integer-valued in every dtype (small
+/// enough to be exact in f32 and represented natively in i64), and the flip
+/// keeps them integer-valued, so every later checksum subtraction stays
+/// exact — which is what makes the repair bit-exact.
+template <typename T>
 bool maybe_flip_entry(std::uint64_t mem_seed, int rank, double rate,
-                      double* data, i64 size) {
+                      T* data, i64 size) {
   Rng rng(mem_seed, static_cast<std::uint64_t>(rank));
   if (rng.uniform() >= rate || size == 0) return false;
   const i64 idx = static_cast<i64>(rng.below(static_cast<std::uint64_t>(size)));
   const int bit = static_cast<int>(rng.below(16));
-  const i64 value = static_cast<i64>(std::llround(data[idx]));
-  data[idx] = static_cast<double>(value ^ (i64{1} << bit));
+  const i64 value =
+      static_cast<i64>(std::llround(ScalarTraits<T>::to_double(data[idx])));
+  const i64 flipped = value ^ (i64{1} << bit);
+  if constexpr (std::is_same_v<T, i64>) {
+    data[idx] = flipped;
+  } else {
+    data[idx] = static_cast<T>(static_cast<double>(flipped));
+  }
   return true;
 }
 
@@ -496,61 +555,607 @@ void record_correction(RunReport& report, camb::Machine& machine,
   }
 }
 
-void verify_block2d(const Shape& shape, const std::vector<Block2DOutput>& outs,
+template <typename T>
+void verify_block2d(const Shape& shape,
+                    const std::vector<Block2DOutputT<T>>& outs,
                     const RunOptions& opts, RunReport& report,
                     bool integer_inputs = false) {
   if (opts.verify == VerifyMode::kNone) return;
-  MatrixD c(shape.n1, shape.n3);
-  for (const auto& out : outs) place_block(c, out);
-  report.output_hash = hash_matrix(c);
+  Matrix<T> c(shape.n1, shape.n3);
+  for (const auto& out : outs) place_block<T>(c, out);
+  report.output_hash = hash_matrix<T>(c);
   report.max_abs_error =
-      check_result_pattern(shape, c, opts.verify, integer_inputs);
+      check_result_pattern<T>(shape, c, opts.verify, integer_inputs);
   report.verified = true;
+}
+
+/// The Theorem 3 bound for (shape, P), scaled into the run's words: the
+/// theory counts elements, the machine counts 8-byte words.
+double lower_bound_for(const Shape& shape, i64 nprocs,
+                       const RunOptions& opts) {
+  return camb::core::memory_independent_bound(shape,
+                                              static_cast<double>(nprocs))
+             .words *
+         dtype_width_words(opts.dtype);
+}
+
+template <typename T>
+RunReport run_grid3d_t(const Grid3dConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "grid3d");
+  const i64 P = cfg.grid.total();
+  const double bound = lower_bound_for(cfg.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<Grid3dRankOutput> outputs;
+      RunReport report = run_ckpt_common<Grid3dRankOutput>(
+          static_cast<int>(P), opts, bound, grid3d_ckpt_steps(cfg),
+          [&](int L) { return grid3d_predicted_recv_words(cfg, L); },
+          [&](int L, i64 s) { return grid3d_ckpt_snapshot_words(cfg, L, s); },
+          [&](ckpt::Session& s) { return grid3d_ckpt_rank(s, cfg); }, outputs);
+      if (opts.verify != VerifyMode::kNone) {
+        MatrixD c(cfg.shape.n1, cfg.shape.n3);
+        for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
+        report.output_hash = hash_matrix(c);
+        report.max_abs_error = check_result(cfg.shape, c, opts.verify);
+        report.verified = true;
+      }
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<Grid3dRankOutputT<T>> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = grid3d_rank<T>(ctx, cfg);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  report.predicted_critical_recv = grid3d_predicted_critical_recv_words(cfg);
+  report.lower_bound_words = bound;
+  if (opts.verify != VerifyMode::kNone) {
+    Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
+    for (const auto& out : outputs) place_chunk<T>(c, out.c_chunk, out.c_data);
+    report.output_hash = hash_matrix<T>(c);
+    report.max_abs_error =
+        check_result_pattern<T>(cfg.shape, c, opts.verify, false);
+    report.verified = true;
+  }
+  return report;
+}
+
+template <typename T>
+RunReport run_grid3d_staged_t(const Grid3dStagedConfig& cfg,
+                              const RunOptions& opts) {
+  reject_mem_sdc(opts, "grid3d_staged");
+  const i64 P = cfg.grid.total();
+  const double bound = lower_bound_for(cfg.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<Grid3dStagedRankOutput> outputs;
+      RunReport report = run_ckpt_common<Grid3dStagedRankOutput>(
+          static_cast<int>(P), opts, bound, grid3d_staged_ckpt_steps(cfg),
+          [&](int L) { return grid3d_staged_predicted_recv_words(cfg, L); },
+          [&](int L, i64 s) {
+            return grid3d_staged_ckpt_snapshot_words(cfg, L, s);
+          },
+          [&](ckpt::Session& s) { return grid3d_staged_ckpt_rank(s, cfg); },
+          outputs);
+      if (opts.verify != VerifyMode::kNone) {
+        MatrixD c(cfg.shape.n1, cfg.shape.n3);
+        for (const auto& out : outputs) {
+          for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
+            place_chunk(c, out.c_chunks[s], out.c_data[s]);
+          }
+        }
+        report.output_hash = hash_matrix(c);
+        report.max_abs_error = check_result(cfg.shape, c, opts.verify);
+        report.verified = true;
+      }
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<Grid3dStagedRankOutputT<T>> outputs(
+      static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] =
+        grid3d_staged_rank<T>(ctx, cfg);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(predicted, grid3d_staged_predicted_recv_words(
+                                        cfg, static_cast<int>(r)));
+  }
+  report.predicted_critical_recv = predicted;
+  report.lower_bound_words = bound;
+  if (opts.verify != VerifyMode::kNone) {
+    Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
+    for (const auto& out : outputs) {
+      for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
+        place_chunk<T>(c, out.c_chunks[s], out.c_data[s]);
+      }
+    }
+    report.output_hash = hash_matrix<T>(c);
+    report.max_abs_error =
+        check_result_pattern<T>(cfg.shape, c, opts.verify, false);
+    report.verified = true;
+  }
+  return report;
+}
+
+template <typename T>
+RunReport run_grid3d_agarwal_t(const Grid3dAgarwalConfig& cfg,
+                               const RunOptions& opts) {
+  reject_mem_sdc(opts, "grid3d_agarwal");
+  const i64 P = cfg.grid.total();
+  const double bound = lower_bound_for(cfg.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<Grid3dRankOutput> outputs;
+      RunReport report = run_ckpt_common<Grid3dRankOutput>(
+          static_cast<int>(P), opts, bound, grid3d_agarwal_ckpt_steps(cfg),
+          [&](int L) { return grid3d_agarwal_predicted_recv_words(cfg, L); },
+          [&](int L, i64 s) {
+            return grid3d_agarwal_ckpt_snapshot_words(cfg, L, s);
+          },
+          [&](ckpt::Session& s) { return grid3d_agarwal_ckpt_rank(s, cfg); },
+          outputs);
+      if (opts.verify != VerifyMode::kNone) {
+        MatrixD c(cfg.shape.n1, cfg.shape.n3);
+        for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
+        report.output_hash = hash_matrix(c);
+        report.max_abs_error = check_result(cfg.shape, c, opts.verify);
+        report.verified = true;
+      }
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<Grid3dRankOutputT<T>> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] =
+        grid3d_agarwal_rank<T>(ctx, cfg);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(predicted, grid3d_agarwal_predicted_recv_words(
+                                        cfg, static_cast<int>(r)));
+  }
+  report.predicted_critical_recv = predicted;
+  report.lower_bound_words = bound;
+  if (opts.verify != VerifyMode::kNone) {
+    Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
+    for (const auto& out : outputs) place_chunk<T>(c, out.c_chunk, out.c_data);
+    report.output_hash = hash_matrix<T>(c);
+    report.max_abs_error =
+        check_result_pattern<T>(cfg.shape, c, opts.verify, false);
+    report.verified = true;
+  }
+  return report;
+}
+
+template <typename T>
+RunReport run_carma_t(const CarmaConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "carma");
+  const i64 P = i64{1} << cfg.levels;
+  const double bound = lower_bound_for(cfg.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      const std::vector<i64> base = carma_predicted_recv_words(cfg);
+      std::vector<CarmaRankOutput> outputs;
+      RunReport report = run_ckpt_common<CarmaRankOutput>(
+          static_cast<int>(P), opts, bound, carma_ckpt_steps(cfg),
+          [&](int L) { return base[static_cast<std::size_t>(L)]; },
+          [&](int L, i64 s) { return carma_ckpt_snapshot_words(cfg, L, s); },
+          [&](ckpt::Session& s) { return carma_ckpt_rank(s, cfg); }, outputs);
+      if (opts.verify != VerifyMode::kNone) {
+        MatrixD c(cfg.shape.n1, cfg.shape.n3);
+        for (const auto& out : outputs) place_chunk(c, out.holding, out.data);
+        report.output_hash = hash_matrix(c);
+        report.max_abs_error = check_result(cfg.shape, c, opts.verify);
+        report.verified = true;
+      }
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<CarmaRankOutputT<T>> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = carma_rank<T>(ctx, cfg);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  const std::vector<i64> predicted = carma_predicted_recv_words(cfg);
+  report.predicted_critical_recv = 0;
+  for (i64 w : predicted) {
+    report.predicted_critical_recv = std::max(report.predicted_critical_recv, w);
+  }
+  report.lower_bound_words = bound;
+  if (opts.verify != VerifyMode::kNone) {
+    Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
+    for (const auto& out : outputs) place_chunk<T>(c, out.holding, out.data);
+    report.output_hash = hash_matrix<T>(c);
+    report.max_abs_error =
+        check_result_pattern<T>(cfg.shape, c, opts.verify, false);
+    report.verified = true;
+  }
+  return report;
+}
+
+template <typename T>
+RunReport run_block2d(
+    const Shape& shape, i64 nprocs, const RunOptions& opts, double lower_bound,
+    i64 predicted,
+    const std::function<Block2DOutputT<T>(camb::RankCtx&)>& body) {
+  camb::Machine machine(static_cast<int>(nprocs), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<Block2DOutputT<T>> outputs(static_cast<std::size_t>(nprocs));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = body(ctx);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  report.predicted_critical_recv = predicted;
+  report.lower_bound_words = lower_bound;
+  verify_block2d<T>(shape, outputs, opts, report);
+  return report;
+}
+
+template <typename T>
+RunReport run_alg25d_t(const Alg25dConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "alg25d");
+  const i64 P = cfg.g * cfg.g * cfg.c;
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, alg25d_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  const double bound = lower_bound_for(cfg.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<Block2DOutput> outputs;
+      RunReport report = run_ckpt_common<Block2DOutput>(
+          static_cast<int>(P), opts, bound, alg25d_ckpt_steps(cfg),
+          [&](int L) { return alg25d_predicted_recv_words(cfg, L); },
+          [&](int L, i64 s) { return alg25d_ckpt_snapshot_words(cfg, L, s); },
+          [&](ckpt::Session& s) { return alg25d_ckpt_rank(s, cfg); }, outputs);
+      verify_block2d<double>(cfg.shape, outputs, opts, report);
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  return run_block2d<T>(cfg.shape, P, opts, bound, predicted,
+                        [&](camb::RankCtx& ctx) {
+                          return alg25d_rank<T>(ctx, cfg);
+                        });
+}
+
+template <typename T>
+RunReport run_summa_t(const SummaConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "summa");
+  const i64 P = cfg.g * cfg.g;
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, summa_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  const double bound = lower_bound_for(cfg.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<Block2DOutput> outputs;
+      RunReport report = run_ckpt_common<Block2DOutput>(
+          static_cast<int>(P), opts, bound, summa_ckpt_steps(cfg),
+          [&](int L) { return summa_predicted_recv_words(cfg, L); },
+          [&](int L, i64 s) { return summa_ckpt_snapshot_words(cfg, L, s); },
+          [&](ckpt::Session& s) { return summa_ckpt_rank(s, cfg); }, outputs);
+      verify_block2d<double>(cfg.shape, outputs, opts, report);
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  return run_block2d<T>(cfg.shape, P, opts, bound, predicted,
+                        [&](camb::RankCtx& ctx) {
+                          return summa_rank<T>(ctx, cfg);
+                        });
+}
+
+template <typename T>
+RunReport run_summa_abft_t(const SummaAbftConfig& cfg,
+                           const RunOptions& opts) {
+  const i64 P = cfg.base.g * cfg.base.g;
+  constexpr bool int_inputs = abft_integer_inputs<T>();
+  if (opts.checkpoint.enabled() && opts.sdc.mem_rate > 0) {
+    throw Error("memory-SDC injection (--sdc-mem-rate) does not compose with "
+                "checkpoint/rollback: rollback re-executes instead of "
+                "correcting, so the checksum repair path is never exercised");
+  }
+  const double bound = lower_bound_for(cfg.base.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<SummaAbftOutput> outputs;
+      RunReport report = run_ckpt_common<SummaAbftOutput>(
+          static_cast<int>(P), opts, bound, summa_abft_ckpt_steps(cfg),
+          [&](int L) { return summa_abft_ckpt_base_recv_words(cfg, L); },
+          [&](int L, i64 s) {
+            return summa_abft_ckpt_snapshot_words(cfg, L, s);
+          },
+          [&](ckpt::Session& s) { return summa_abft_ckpt_rank(s, cfg); },
+          outputs);
+      report.recovery.abft = true;
+      if (report.lower_bound_words > 0) {
+        report.recovery.overhead_ratio =
+            report.measured_critical_recv / report.lower_bound_words;
+      }
+      std::vector<Block2DOutput> blocks;
+      for (const auto& out : outputs) blocks.push_back(out.own);
+      verify_block2d<double>(cfg.base.shape, blocks, opts, report,
+                             /*integer_inputs=*/true);
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<SummaAbftOutputT<T>> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] =
+        summa_abft_rank<T>(ctx, cfg);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  report.recovery.abft = true;
+  // Split the fault-free prediction into data elements (dtype-scaled) and
+  // the shrink agreement's control words (fixed 8-byte mask payloads,
+  // identical on every rank — so the split commutes with the max).
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, summa_abft_ckpt_base_recv_words(cfg, static_cast<int>(r)));
+  }
+  report.predicted_critical_recv = predicted;  // fault-free prediction
+  report.predicted_control_words = coll::shrink_recv_words_exact(
+      static_cast<int>(P), cfg.max_failures);
+  report.lower_bound_words = bound;
+  if (report.lower_bound_words > 0) {
+    report.recovery.overhead_ratio =
+        report.measured_critical_recv / report.lower_bound_words;
+  }
+  if (opts.sdc.enabled() && !machine.crash_outcome().any_crashed()) {
+    i64 mem_flips = 0;
+    for (i64 r = 0; r < P; ++r) {
+      Matrix<T>& tile = outputs[static_cast<std::size_t>(r)].own.block;
+      if (opts.sdc.mem_rate > 0 &&
+          maybe_flip_entry<T>(opts.sdc.mem_seed(opts.perturb.master_seed),
+                              static_cast<int>(r), opts.sdc.mem_rate,
+                              tile.data(), tile.size())) {
+        ++mem_flips;
+      }
+    }
+    // The correction pass also runs under message-only SDC: a clean syndrome
+    // set is the proof that the transport let nothing through.
+    const AbftCorrection corr = summa_abft_correct<T>(cfg, outputs);
+    record_correction(report, machine, corr, mem_flips);
+  }
+  if (opts.verify != VerifyMode::kNone) {
+    Matrix<T> c(cfg.base.shape.n1, cfg.base.shape.n3);
+    const std::vector<int>& crashed = machine.crash_outcome().crashed;
+    for (i64 r = 0; r < P; ++r) {
+      const SummaAbftOutputT<T>& out = outputs[static_cast<std::size_t>(r)];
+      if (contains(crashed, static_cast<int>(r))) continue;
+      place_block<T>(c, out.own);
+      for (const RecoveredBlock2DT<T>& rec : out.recovered) {
+        place_block<T>(c, rec.out);
+      }
+    }
+    report.output_hash = hash_matrix<T>(c);
+    report.max_abs_error =
+        check_result_pattern<T>(cfg.base.shape, c, opts.verify, int_inputs);
+    report.verified = true;
+  }
+  return report;
+}
+
+template <typename T>
+RunReport run_grid3d_abft_t(const Grid3dAbftConfig& cfg,
+                            const RunOptions& opts) {
+  const i64 P = cfg.base.grid.total();
+  constexpr bool int_inputs = abft_integer_inputs<T>();
+  if (opts.checkpoint.enabled() && opts.sdc.mem_rate > 0) {
+    throw Error("memory-SDC injection (--sdc-mem-rate) does not compose with "
+                "checkpoint/rollback: rollback re-executes instead of "
+                "correcting, so the checksum repair path is never exercised");
+  }
+  const double bound = lower_bound_for(cfg.base.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<Grid3dAbftOutput> outputs;
+      RunReport report = run_ckpt_common<Grid3dAbftOutput>(
+          static_cast<int>(P), opts, bound, grid3d_abft_ckpt_steps(cfg),
+          [&](int L) { return grid3d_abft_ckpt_base_recv_words(cfg, L); },
+          [&](int L, i64 s) {
+            return grid3d_abft_ckpt_snapshot_words(cfg, L, s);
+          },
+          [&](ckpt::Session& s) { return grid3d_abft_ckpt_rank(s, cfg); },
+          outputs);
+      report.recovery.abft = true;
+      if (report.lower_bound_words > 0) {
+        report.recovery.overhead_ratio =
+            report.measured_critical_recv / report.lower_bound_words;
+      }
+      if (opts.verify != VerifyMode::kNone) {
+        MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
+        for (const auto& out : outputs) {
+          place_chunk(c, out.own.c_chunk, out.own.c_data);
+        }
+        report.output_hash = hash_matrix(c);
+        report.max_abs_error = check_result_pattern<double>(
+            cfg.base.shape, c, opts.verify, /*integer_inputs=*/true);
+        report.verified = true;
+      }
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<Grid3dAbftOutputT<T>> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] =
+        grid3d_abft_rank<T>(ctx, cfg);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  report.recovery.abft = true;
+  // Same data/control split as summa_abft: the shrink flood's mask words
+  // are dtype-independent control traffic.
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, grid3d_abft_ckpt_base_recv_words(cfg, static_cast<int>(r)));
+  }
+  report.predicted_critical_recv = predicted;  // fault-free prediction
+  report.predicted_control_words = coll::shrink_recv_words_exact(
+      static_cast<int>(P), cfg.max_failures);
+  report.lower_bound_words = bound;
+  if (report.lower_bound_words > 0) {
+    report.recovery.overhead_ratio =
+        report.measured_critical_recv / report.lower_bound_words;
+  }
+  if (opts.sdc.enabled() && !machine.crash_outcome().any_crashed()) {
+    i64 mem_flips = 0;
+    for (i64 r = 0; r < P; ++r) {
+      std::vector<T>& data = outputs[static_cast<std::size_t>(r)].own.c_data;
+      if (opts.sdc.mem_rate > 0 &&
+          maybe_flip_entry<T>(opts.sdc.mem_seed(opts.perturb.master_seed),
+                              static_cast<int>(r), opts.sdc.mem_rate,
+                              data.data(), static_cast<i64>(data.size()))) {
+        ++mem_flips;
+      }
+    }
+    // The parity syndrome localizes the corrupted element but not which
+    // fiber member holds it; one exact reference dot product per candidate
+    // disambiguates.  The dot product is exact in every dtype: the inputs
+    // are integer-valued (natively for exact scalars, by the smallness of
+    // the integer pattern otherwise).
+    Matrix<T> a, b;
+    fill_inputs<T>(cfg.base.shape, int_inputs, a, b);
+    const AbftCorrection corr = grid3d_abft_correct<T>(
+        cfg, outputs, [&](i64 row, i64 col) {
+          T acc = ScalarTraits<T>::zero();
+          for (i64 k = 0; k < cfg.base.shape.n2; ++k) {
+            acc += a(row, k) * b(k, col);
+          }
+          return acc;
+        });
+    record_correction(report, machine, corr, mem_flips);
+  }
+  if (opts.verify != VerifyMode::kNone) {
+    Matrix<T> c(cfg.base.shape.n1, cfg.base.shape.n3);
+    const std::vector<int>& crashed = machine.crash_outcome().crashed;
+    for (i64 r = 0; r < P; ++r) {
+      const Grid3dAbftOutputT<T>& out = outputs[static_cast<std::size_t>(r)];
+      if (contains(crashed, static_cast<int>(r))) continue;
+      place_chunk<T>(c, out.own.c_chunk, out.own.c_data);
+      for (const RecoveredChunk3DT<T>& rec : out.recovered) {
+        place_chunk<T>(c, rec.c_chunk, rec.c_data);
+      }
+    }
+    report.output_hash = hash_matrix<T>(c);
+    report.max_abs_error =
+        check_result_pattern<T>(cfg.base.shape, c, opts.verify, int_inputs);
+    report.verified = true;
+  }
+  return report;
+}
+
+template <typename T>
+RunReport run_cannon_t(const CannonConfig& cfg, const RunOptions& opts) {
+  reject_mem_sdc(opts, "cannon");
+  const i64 P = cfg.g * cfg.g;
+  i64 predicted = 0;
+  for (i64 r = 0; r < P; ++r) {
+    predicted = std::max(
+        predicted, cannon_predicted_recv_words(cfg, static_cast<int>(r)));
+  }
+  const double bound = lower_bound_for(cfg.shape, P, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<Block2DOutput> outputs;
+      RunReport report = run_ckpt_common<Block2DOutput>(
+          static_cast<int>(P), opts, bound, cannon_ckpt_steps(cfg),
+          [&](int L) { return cannon_predicted_recv_words(cfg, L); },
+          [&](int L, i64 s) { return cannon_ckpt_snapshot_words(cfg, L, s); },
+          [&](ckpt::Session& s) { return cannon_ckpt_rank(s, cfg); }, outputs);
+      verify_block2d<double>(cfg.shape, outputs, opts, report);
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  return run_block2d<T>(cfg.shape, P, opts, bound, predicted,
+                        [&](camb::RankCtx& ctx) {
+                          return cannon_rank<T>(ctx, cfg);
+                        });
+}
+
+template <typename T>
+RunReport run_naive_bcast_t(const NaiveBcastConfig& cfg, i64 nprocs,
+                            const RunOptions& opts) {
+  reject_mem_sdc(opts, "naive_bcast");
+  i64 predicted = 0;
+  for (i64 r = 0; r < nprocs; ++r) {
+    predicted = std::max(predicted,
+                         naive_bcast_predicted_recv_words(
+                             cfg, static_cast<int>(r), static_cast<int>(nprocs)));
+  }
+  const double bound = lower_bound_for(cfg.shape, nprocs, opts);
+  if (opts.checkpoint.enabled()) {
+    if constexpr (std::is_same_v<T, double>) {
+      std::vector<Block2DOutput> outputs;
+      RunReport report = run_ckpt_common<Block2DOutput>(
+          static_cast<int>(nprocs), opts, bound, naive_bcast_ckpt_steps(cfg),
+          [&](int L) {
+            return naive_bcast_predicted_recv_words(cfg, L,
+                                                    static_cast<int>(nprocs));
+          },
+          [&](int L, i64 s) {
+            return naive_bcast_ckpt_snapshot_words(cfg, L,
+                                                   static_cast<int>(nprocs), s);
+          },
+          [&](ckpt::Session& s) { return naive_bcast_ckpt_rank(s, cfg); },
+          outputs);
+      verify_block2d<double>(cfg.shape, outputs, opts, report);
+      return report;
+    } else {
+      throw Error("unreachable: checkpointing is f64-only");
+    }
+  }
+  return run_block2d<T>(cfg.shape, nprocs, opts, bound, predicted,
+                        [&](camb::RankCtx& ctx) {
+                          return naive_bcast_rank<T>(ctx, cfg);
+                        });
 }
 
 }  // namespace
 
 RunReport run_grid3d(const Grid3dConfig& cfg, const RunOptions& opts) {
-  reject_mem_sdc(opts, "grid3d");
-  const i64 P = cfg.grid.total();
-  if (opts.checkpoint.enabled()) {
-    const double bound =
-        camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-            .words;
-    std::vector<Grid3dRankOutput> outputs;
-    RunReport report = run_ckpt_common<Grid3dRankOutput>(
-        static_cast<int>(P), opts, bound, grid3d_ckpt_steps(cfg),
-        [&](int L) { return grid3d_predicted_recv_words(cfg, L); },
-        [&](int L, i64 s) { return grid3d_ckpt_snapshot_words(cfg, L, s); },
-        [&](ckpt::Session& s) { return grid3d_ckpt_rank(s, cfg); }, outputs);
-    if (opts.verify != VerifyMode::kNone) {
-      MatrixD c(cfg.shape.n1, cfg.shape.n3);
-      for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
-      report.output_hash = hash_matrix(c);
-      report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-      report.verified = true;
-    }
-    return report;
-  }
-  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
-  configure_machine(machine, opts);
-  std::vector<Grid3dRankOutput> outputs(static_cast<std::size_t>(P));
-  machine.run([&](camb::RankCtx& ctx) {
-    outputs[static_cast<std::size_t>(ctx.rank())] = grid3d_rank(ctx, cfg);
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_grid3d_t<T>(cfg, opts);
   });
-  RunReport report = report_from_machine(machine, opts);
-  report.predicted_critical_recv = grid3d_predicted_critical_recv_words(cfg);
-  report.lower_bound_words =
-      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-          .words;
-  if (opts.verify != VerifyMode::kNone) {
-    MatrixD c(cfg.shape.n1, cfg.shape.n3);
-    for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
-    report.output_hash = hash_matrix(c);
-    report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-    report.verified = true;
-  }
-  return report;
 }
 
 RunReport run_grid3d(const Grid3dConfig& cfg, VerifyMode mode) {
@@ -563,63 +1168,11 @@ RunReport run_grid3d(const Grid3dConfig& cfg, bool verify) {
 
 RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg,
                             const RunOptions& opts) {
-  reject_mem_sdc(opts, "grid3d_staged");
-  const i64 P = cfg.grid.total();
-  if (opts.checkpoint.enabled()) {
-    const double bound =
-        camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-            .words;
-    std::vector<Grid3dStagedRankOutput> outputs;
-    RunReport report = run_ckpt_common<Grid3dStagedRankOutput>(
-        static_cast<int>(P), opts, bound, grid3d_staged_ckpt_steps(cfg),
-        [&](int L) { return grid3d_staged_predicted_recv_words(cfg, L); },
-        [&](int L, i64 s) {
-          return grid3d_staged_ckpt_snapshot_words(cfg, L, s);
-        },
-        [&](ckpt::Session& s) { return grid3d_staged_ckpt_rank(s, cfg); },
-        outputs);
-    if (opts.verify != VerifyMode::kNone) {
-      MatrixD c(cfg.shape.n1, cfg.shape.n3);
-      for (const auto& out : outputs) {
-        for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
-          place_chunk(c, out.c_chunks[s], out.c_data[s]);
-        }
-      }
-      report.output_hash = hash_matrix(c);
-      report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-      report.verified = true;
-    }
-    return report;
-  }
-  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
-  configure_machine(machine, opts);
-  std::vector<Grid3dStagedRankOutput> outputs(static_cast<std::size_t>(P));
-  machine.run([&](camb::RankCtx& ctx) {
-    outputs[static_cast<std::size_t>(ctx.rank())] =
-        grid3d_staged_rank(ctx, cfg);
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_grid3d_staged_t<T>(cfg, opts);
   });
-  RunReport report = report_from_machine(machine, opts);
-  i64 predicted = 0;
-  for (i64 r = 0; r < P; ++r) {
-    predicted = std::max(predicted, grid3d_staged_predicted_recv_words(
-                                        cfg, static_cast<int>(r)));
-  }
-  report.predicted_critical_recv = predicted;
-  report.lower_bound_words =
-      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-          .words;
-  if (opts.verify != VerifyMode::kNone) {
-    MatrixD c(cfg.shape.n1, cfg.shape.n3);
-    for (const auto& out : outputs) {
-      for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
-        place_chunk(c, out.c_chunks[s], out.c_data[s]);
-      }
-    }
-    report.output_hash = hash_matrix(c);
-    report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-    report.verified = true;
-  }
-  return report;
 }
 
 RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
@@ -628,55 +1181,11 @@ RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
 
 RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg,
                              const RunOptions& opts) {
-  reject_mem_sdc(opts, "grid3d_agarwal");
-  const i64 P = cfg.grid.total();
-  if (opts.checkpoint.enabled()) {
-    const double bound =
-        camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-            .words;
-    std::vector<Grid3dRankOutput> outputs;
-    RunReport report = run_ckpt_common<Grid3dRankOutput>(
-        static_cast<int>(P), opts, bound, grid3d_agarwal_ckpt_steps(cfg),
-        [&](int L) { return grid3d_agarwal_predicted_recv_words(cfg, L); },
-        [&](int L, i64 s) {
-          return grid3d_agarwal_ckpt_snapshot_words(cfg, L, s);
-        },
-        [&](ckpt::Session& s) { return grid3d_agarwal_ckpt_rank(s, cfg); },
-        outputs);
-    if (opts.verify != VerifyMode::kNone) {
-      MatrixD c(cfg.shape.n1, cfg.shape.n3);
-      for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
-      report.output_hash = hash_matrix(c);
-      report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-      report.verified = true;
-    }
-    return report;
-  }
-  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
-  configure_machine(machine, opts);
-  std::vector<Grid3dRankOutput> outputs(static_cast<std::size_t>(P));
-  machine.run([&](camb::RankCtx& ctx) {
-    outputs[static_cast<std::size_t>(ctx.rank())] =
-        grid3d_agarwal_rank(ctx, cfg);
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_grid3d_agarwal_t<T>(cfg, opts);
   });
-  RunReport report = report_from_machine(machine, opts);
-  i64 predicted = 0;
-  for (i64 r = 0; r < P; ++r) {
-    predicted = std::max(predicted, grid3d_agarwal_predicted_recv_words(
-                                        cfg, static_cast<int>(r)));
-  }
-  report.predicted_critical_recv = predicted;
-  report.lower_bound_words =
-      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-          .words;
-  if (opts.verify != VerifyMode::kNone) {
-    MatrixD c(cfg.shape.n1, cfg.shape.n3);
-    for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
-    report.output_hash = hash_matrix(c);
-    report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-    report.verified = true;
-  }
-  return report;
 }
 
 RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
@@ -684,113 +1193,23 @@ RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
 }
 
 RunReport run_carma(const CarmaConfig& cfg, const RunOptions& opts) {
-  reject_mem_sdc(opts, "carma");
-  const i64 P = i64{1} << cfg.levels;
-  if (opts.checkpoint.enabled()) {
-    const double bound =
-        camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-            .words;
-    const std::vector<i64> base = carma_predicted_recv_words(cfg);
-    std::vector<CarmaRankOutput> outputs;
-    RunReport report = run_ckpt_common<CarmaRankOutput>(
-        static_cast<int>(P), opts, bound, carma_ckpt_steps(cfg),
-        [&](int L) { return base[static_cast<std::size_t>(L)]; },
-        [&](int L, i64 s) { return carma_ckpt_snapshot_words(cfg, L, s); },
-        [&](ckpt::Session& s) { return carma_ckpt_rank(s, cfg); }, outputs);
-    if (opts.verify != VerifyMode::kNone) {
-      MatrixD c(cfg.shape.n1, cfg.shape.n3);
-      for (const auto& out : outputs) place_chunk(c, out.holding, out.data);
-      report.output_hash = hash_matrix(c);
-      report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-      report.verified = true;
-    }
-    return report;
-  }
-  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
-  configure_machine(machine, opts);
-  std::vector<CarmaRankOutput> outputs(static_cast<std::size_t>(P));
-  machine.run([&](camb::RankCtx& ctx) {
-    outputs[static_cast<std::size_t>(ctx.rank())] = carma_rank(ctx, cfg);
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_carma_t<T>(cfg, opts);
   });
-  RunReport report = report_from_machine(machine, opts);
-  const std::vector<i64> predicted = carma_predicted_recv_words(cfg);
-  report.predicted_critical_recv = 0;
-  for (i64 w : predicted) {
-    report.predicted_critical_recv = std::max(report.predicted_critical_recv, w);
-  }
-  report.lower_bound_words =
-      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-          .words;
-  if (opts.verify != VerifyMode::kNone) {
-    MatrixD c(cfg.shape.n1, cfg.shape.n3);
-    for (const auto& out : outputs) place_chunk(c, out.holding, out.data);
-    report.output_hash = hash_matrix(c);
-    report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-    report.verified = true;
-  }
-  return report;
 }
 
 RunReport run_carma(const CarmaConfig& cfg, bool verify) {
   return run_carma(cfg, options_from(verify));
 }
 
-namespace {
-
-RunReport run_block2d(
-    const Shape& shape, i64 nprocs, const RunOptions& opts, double lower_bound,
-    i64 predicted,
-    const std::function<Block2DOutput(camb::RankCtx&)>& body) {
-  camb::Machine machine(static_cast<int>(nprocs), opts.perturb.machine_seed());
-  configure_machine(machine, opts);
-  std::vector<Block2DOutput> outputs(static_cast<std::size_t>(nprocs));
-  machine.run([&](camb::RankCtx& ctx) {
-    outputs[static_cast<std::size_t>(ctx.rank())] = body(ctx);
-  });
-  RunReport report = report_from_machine(machine, opts);
-  report.predicted_critical_recv = predicted;
-  report.lower_bound_words = lower_bound;
-  if (opts.verify != VerifyMode::kNone) {
-    MatrixD c(shape.n1, shape.n3);
-    for (const auto& out : outputs) {
-      for (i64 i = 0; i < out.block.rows(); ++i) {
-        for (i64 j = 0; j < out.block.cols(); ++j) {
-          c(out.row0 + i, out.col0 + j) = out.block(i, j);
-        }
-      }
-    }
-    report.output_hash = hash_matrix(c);
-    report.max_abs_error = check_result(shape, c, opts.verify);
-    report.verified = true;
-  }
-  return report;
-}
-
-}  // namespace
-
 RunReport run_alg25d(const Alg25dConfig& cfg, const RunOptions& opts) {
-  reject_mem_sdc(opts, "alg25d");
-  const i64 P = cfg.g * cfg.g * cfg.c;
-  i64 predicted = 0;
-  for (i64 r = 0; r < P; ++r) {
-    predicted = std::max(
-        predicted, alg25d_predicted_recv_words(cfg, static_cast<int>(r)));
-  }
-  const double bound =
-      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-          .words;
-  if (opts.checkpoint.enabled()) {
-    std::vector<Block2DOutput> outputs;
-    RunReport report = run_ckpt_common<Block2DOutput>(
-        static_cast<int>(P), opts, bound, alg25d_ckpt_steps(cfg),
-        [&](int L) { return alg25d_predicted_recv_words(cfg, L); },
-        [&](int L, i64 s) { return alg25d_ckpt_snapshot_words(cfg, L, s); },
-        [&](ckpt::Session& s) { return alg25d_ckpt_rank(s, cfg); }, outputs);
-    verify_block2d(cfg.shape, outputs, opts, report);
-    return report;
-  }
-  return run_block2d(cfg.shape, P, opts, bound, predicted,
-                     [&](camb::RankCtx& ctx) { return alg25d_rank(ctx, cfg); });
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_alg25d_t<T>(cfg, opts);
+  });
 }
 
 RunReport run_alg25d(const Alg25dConfig& cfg, bool verify) {
@@ -798,28 +1217,11 @@ RunReport run_alg25d(const Alg25dConfig& cfg, bool verify) {
 }
 
 RunReport run_summa(const SummaConfig& cfg, const RunOptions& opts) {
-  reject_mem_sdc(opts, "summa");
-  const i64 P = cfg.g * cfg.g;
-  i64 predicted = 0;
-  for (i64 r = 0; r < P; ++r) {
-    predicted = std::max(
-        predicted, summa_predicted_recv_words(cfg, static_cast<int>(r)));
-  }
-  const double bound =
-      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-          .words;
-  if (opts.checkpoint.enabled()) {
-    std::vector<Block2DOutput> outputs;
-    RunReport report = run_ckpt_common<Block2DOutput>(
-        static_cast<int>(P), opts, bound, summa_ckpt_steps(cfg),
-        [&](int L) { return summa_predicted_recv_words(cfg, L); },
-        [&](int L, i64 s) { return summa_ckpt_snapshot_words(cfg, L, s); },
-        [&](ckpt::Session& s) { return summa_ckpt_rank(s, cfg); }, outputs);
-    verify_block2d(cfg.shape, outputs, opts, report);
-    return report;
-  }
-  return run_block2d(cfg.shape, P, opts, bound, predicted,
-                     [&](camb::RankCtx& ctx) { return summa_rank(ctx, cfg); });
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_summa_t<T>(cfg, opts);
+  });
 }
 
 RunReport run_summa(const SummaConfig& cfg, bool verify) {
@@ -827,94 +1229,11 @@ RunReport run_summa(const SummaConfig& cfg, bool verify) {
 }
 
 RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts) {
-  const i64 P = cfg.base.g * cfg.base.g;
-  if (opts.checkpoint.enabled() && opts.sdc.mem_rate > 0) {
-    throw Error("memory-SDC injection (--sdc-mem-rate) does not compose with "
-                "checkpoint/rollback: rollback re-executes instead of "
-                "correcting, so the checksum repair path is never exercised");
-  }
-  if (opts.checkpoint.enabled()) {
-    const double bound = camb::core::memory_independent_bound(
-                             cfg.base.shape, static_cast<double>(P))
-                             .words;
-    std::vector<SummaAbftOutput> outputs;
-    RunReport report = run_ckpt_common<SummaAbftOutput>(
-        static_cast<int>(P), opts, bound, summa_abft_ckpt_steps(cfg),
-        [&](int L) { return summa_abft_ckpt_base_recv_words(cfg, L); },
-        [&](int L, i64 s) {
-          return summa_abft_ckpt_snapshot_words(cfg, L, s);
-        },
-        [&](ckpt::Session& s) { return summa_abft_ckpt_rank(s, cfg); },
-        outputs);
-    report.recovery.abft = true;
-    if (report.lower_bound_words > 0) {
-      report.recovery.overhead_ratio =
-          static_cast<double>(report.measured_critical_recv) /
-          report.lower_bound_words;
-    }
-    std::vector<Block2DOutput> blocks;
-    for (const auto& out : outputs) blocks.push_back(out.own);
-    verify_block2d(cfg.base.shape, blocks, opts, report,
-                   /*integer_inputs=*/true);
-    return report;
-  }
-  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
-  configure_machine(machine, opts);
-  std::vector<SummaAbftOutput> outputs(static_cast<std::size_t>(P));
-  machine.run([&](camb::RankCtx& ctx) {
-    outputs[static_cast<std::size_t>(ctx.rank())] = summa_abft_rank(ctx, cfg);
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_summa_abft_t<T>(cfg, opts);
   });
-  RunReport report = report_from_machine(machine, opts);
-  report.recovery.abft = true;
-  i64 predicted = 0;
-  for (i64 r = 0; r < P; ++r) {
-    predicted = std::max(
-        predicted, summa_abft_predicted_recv_words(cfg, static_cast<int>(r)));
-  }
-  report.predicted_critical_recv = predicted;  // fault-free prediction
-  report.lower_bound_words =
-      camb::core::memory_independent_bound(cfg.base.shape,
-                                           static_cast<double>(P))
-          .words;
-  if (report.lower_bound_words > 0) {
-    report.recovery.overhead_ratio =
-        static_cast<double>(report.measured_critical_recv) /
-        report.lower_bound_words;
-  }
-  if (opts.sdc.enabled() && !machine.crash_outcome().any_crashed()) {
-    i64 mem_flips = 0;
-    for (i64 r = 0; r < P; ++r) {
-      MatrixD& tile = outputs[static_cast<std::size_t>(r)].own.block;
-      if (opts.sdc.mem_rate > 0 &&
-          maybe_flip_entry(opts.sdc.mem_seed(opts.perturb.master_seed),
-                           static_cast<int>(r), opts.sdc.mem_rate, tile.data(),
-                           tile.size())) {
-        ++mem_flips;
-      }
-    }
-    // The correction pass also runs under message-only SDC: a clean syndrome
-    // set is the proof that the transport let nothing through.
-    const AbftCorrection corr = summa_abft_correct(cfg, outputs);
-    record_correction(report, machine, corr, mem_flips);
-  }
-  if (opts.verify != VerifyMode::kNone) {
-    MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
-    const std::vector<int>& crashed = machine.crash_outcome().crashed;
-    for (i64 r = 0; r < P; ++r) {
-      const SummaAbftOutput& out = outputs[static_cast<std::size_t>(r)];
-      if (contains(crashed, static_cast<int>(r))) continue;
-      place_block(c, out.own);
-      for (const RecoveredBlock2D& rec : out.recovered) {
-        place_block(c, rec.out);
-      }
-    }
-    report.output_hash = hash_matrix(c);
-    report.max_abs_error =
-        check_result_pattern(cfg.base.shape, c, opts.verify,
-                             /*integer_inputs=*/true);
-    report.verified = true;
-  }
-  return report;
 }
 
 RunReport run_summa_abft(const SummaAbftConfig& cfg, bool verify) {
@@ -923,109 +1242,11 @@ RunReport run_summa_abft(const SummaAbftConfig& cfg, bool verify) {
 
 RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg,
                           const RunOptions& opts) {
-  const i64 P = cfg.base.grid.total();
-  if (opts.checkpoint.enabled() && opts.sdc.mem_rate > 0) {
-    throw Error("memory-SDC injection (--sdc-mem-rate) does not compose with "
-                "checkpoint/rollback: rollback re-executes instead of "
-                "correcting, so the checksum repair path is never exercised");
-  }
-  if (opts.checkpoint.enabled()) {
-    const double bound = camb::core::memory_independent_bound(
-                             cfg.base.shape, static_cast<double>(P))
-                             .words;
-    std::vector<Grid3dAbftOutput> outputs;
-    RunReport report = run_ckpt_common<Grid3dAbftOutput>(
-        static_cast<int>(P), opts, bound, grid3d_abft_ckpt_steps(cfg),
-        [&](int L) { return grid3d_abft_ckpt_base_recv_words(cfg, L); },
-        [&](int L, i64 s) {
-          return grid3d_abft_ckpt_snapshot_words(cfg, L, s);
-        },
-        [&](ckpt::Session& s) { return grid3d_abft_ckpt_rank(s, cfg); },
-        outputs);
-    report.recovery.abft = true;
-    if (report.lower_bound_words > 0) {
-      report.recovery.overhead_ratio =
-          static_cast<double>(report.measured_critical_recv) /
-          report.lower_bound_words;
-    }
-    if (opts.verify != VerifyMode::kNone) {
-      MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
-      for (const auto& out : outputs) {
-        place_chunk(c, out.own.c_chunk, out.own.c_data);
-      }
-      report.output_hash = hash_matrix(c);
-      report.max_abs_error = check_result_pattern(cfg.base.shape, c,
-                                                  opts.verify,
-                                                  /*integer_inputs=*/true);
-      report.verified = true;
-    }
-    return report;
-  }
-  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
-  configure_machine(machine, opts);
-  std::vector<Grid3dAbftOutput> outputs(static_cast<std::size_t>(P));
-  machine.run([&](camb::RankCtx& ctx) {
-    outputs[static_cast<std::size_t>(ctx.rank())] = grid3d_abft_rank(ctx, cfg);
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_grid3d_abft_t<T>(cfg, opts);
   });
-  RunReport report = report_from_machine(machine, opts);
-  report.recovery.abft = true;
-  i64 predicted = 0;
-  for (i64 r = 0; r < P; ++r) {
-    predicted = std::max(
-        predicted, grid3d_abft_predicted_recv_words(cfg, static_cast<int>(r)));
-  }
-  report.predicted_critical_recv = predicted;  // fault-free prediction
-  report.lower_bound_words =
-      camb::core::memory_independent_bound(cfg.base.shape,
-                                           static_cast<double>(P))
-          .words;
-  if (report.lower_bound_words > 0) {
-    report.recovery.overhead_ratio =
-        static_cast<double>(report.measured_critical_recv) /
-        report.lower_bound_words;
-  }
-  if (opts.sdc.enabled() && !machine.crash_outcome().any_crashed()) {
-    i64 mem_flips = 0;
-    for (i64 r = 0; r < P; ++r) {
-      std::vector<double>& data = outputs[static_cast<std::size_t>(r)].own.c_data;
-      if (opts.sdc.mem_rate > 0 &&
-          maybe_flip_entry(opts.sdc.mem_seed(opts.perturb.master_seed),
-                           static_cast<int>(r), opts.sdc.mem_rate, data.data(),
-                           static_cast<i64>(data.size()))) {
-        ++mem_flips;
-      }
-    }
-    // The parity syndrome localizes the corrupted element but not which
-    // fiber member holds it; one exact reference dot product per candidate
-    // disambiguates.
-    MatrixD a, b;
-    fill_inputs(cfg.base.shape, /*integer_inputs=*/true, a, b);
-    const AbftCorrection corr = grid3d_abft_correct(
-        cfg, outputs, [&](i64 row, i64 col) {
-          double acc = 0;
-          for (i64 k = 0; k < cfg.base.shape.n2; ++k) acc += a(row, k) * b(k, col);
-          return acc;
-        });
-    record_correction(report, machine, corr, mem_flips);
-  }
-  if (opts.verify != VerifyMode::kNone) {
-    MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
-    const std::vector<int>& crashed = machine.crash_outcome().crashed;
-    for (i64 r = 0; r < P; ++r) {
-      const Grid3dAbftOutput& out = outputs[static_cast<std::size_t>(r)];
-      if (contains(crashed, static_cast<int>(r))) continue;
-      place_chunk(c, out.own.c_chunk, out.own.c_data);
-      for (const RecoveredChunk3D& rec : out.recovered) {
-        place_chunk(c, rec.c_chunk, rec.c_data);
-      }
-    }
-    report.output_hash = hash_matrix(c);
-    report.max_abs_error =
-        check_result_pattern(cfg.base.shape, c, opts.verify,
-                             /*integer_inputs=*/true);
-    report.verified = true;
-  }
-  return report;
 }
 
 RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, bool verify) {
@@ -1033,28 +1254,11 @@ RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, bool verify) {
 }
 
 RunReport run_cannon(const CannonConfig& cfg, const RunOptions& opts) {
-  reject_mem_sdc(opts, "cannon");
-  const i64 P = cfg.g * cfg.g;
-  i64 predicted = 0;
-  for (i64 r = 0; r < P; ++r) {
-    predicted = std::max(
-        predicted, cannon_predicted_recv_words(cfg, static_cast<int>(r)));
-  }
-  const double bound =
-      camb::core::memory_independent_bound(cfg.shape, static_cast<double>(P))
-          .words;
-  if (opts.checkpoint.enabled()) {
-    std::vector<Block2DOutput> outputs;
-    RunReport report = run_ckpt_common<Block2DOutput>(
-        static_cast<int>(P), opts, bound, cannon_ckpt_steps(cfg),
-        [&](int L) { return cannon_predicted_recv_words(cfg, L); },
-        [&](int L, i64 s) { return cannon_ckpt_snapshot_words(cfg, L, s); },
-        [&](ckpt::Session& s) { return cannon_ckpt_rank(s, cfg); }, outputs);
-    verify_block2d(cfg.shape, outputs, opts, report);
-    return report;
-  }
-  return run_block2d(cfg.shape, P, opts, bound, predicted,
-                     [&](camb::RankCtx& ctx) { return cannon_rank(ctx, cfg); });
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_cannon_t<T>(cfg, opts);
+  });
 }
 
 RunReport run_cannon(const CannonConfig& cfg, bool verify) {
@@ -1063,37 +1267,11 @@ RunReport run_cannon(const CannonConfig& cfg, bool verify) {
 
 RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
                           const RunOptions& opts) {
-  reject_mem_sdc(opts, "naive_bcast");
-  i64 predicted = 0;
-  for (i64 r = 0; r < nprocs; ++r) {
-    predicted = std::max(predicted,
-                         naive_bcast_predicted_recv_words(
-                             cfg, static_cast<int>(r), static_cast<int>(nprocs)));
-  }
-  const double bound = camb::core::memory_independent_bound(
-                           cfg.shape, static_cast<double>(nprocs))
-                           .words;
-  if (opts.checkpoint.enabled()) {
-    std::vector<Block2DOutput> outputs;
-    RunReport report = run_ckpt_common<Block2DOutput>(
-        static_cast<int>(nprocs), opts, bound, naive_bcast_ckpt_steps(cfg),
-        [&](int L) {
-          return naive_bcast_predicted_recv_words(cfg, L,
-                                                  static_cast<int>(nprocs));
-        },
-        [&](int L, i64 s) {
-          return naive_bcast_ckpt_snapshot_words(cfg, L,
-                                                 static_cast<int>(nprocs), s);
-        },
-        [&](ckpt::Session& s) { return naive_bcast_ckpt_rank(s, cfg); },
-        outputs);
-    verify_block2d(cfg.shape, outputs, opts, report);
-    return report;
-  }
-  return run_block2d(cfg.shape, nprocs, opts, bound, predicted,
-                     [&](camb::RankCtx& ctx) {
-                       return naive_bcast_rank(ctx, cfg);
-                     });
+  require_f64_for_checkpoint(opts);
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_naive_bcast_t<T>(cfg, nprocs, opts);
+  });
 }
 
 RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "collectives/rollback.hpp"
+#include "util/scalar.hpp"
 #include "core/bounds.hpp"
 #include "machine/faults.hpp"
 #include "machine/fiber.hpp"
@@ -110,11 +111,12 @@ struct RecoveryReport {
   /// detection adds messages but zero words to the algorithm phases).
   i64 heartbeat_probes = 0;
   /// Max over ranks of words received in the shrink + recover + heartbeat
-  /// phases — what the recovery protocol itself moved.
-  i64 recovery_recv_words = 0;
+  /// phases — what the recovery protocol itself moved.  Words are exact
+  /// (possibly half-integer) for every dtype; see PhaseCounters.
+  double recovery_recv_words = 0;
   /// Max over ranks of words received in the ABFT encode phase — the
   /// fault-tolerance tax paid even on fault-free runs.
-  i64 encode_recv_words = 0;
+  double encode_recv_words = 0;
   /// measured_critical_recv ÷ the Theorem 3 bound (0 when the bound is 0):
   /// the fault-tolerance overhead ratio tabled by bench_abft_overhead.
   double overhead_ratio = 0;
@@ -122,7 +124,7 @@ struct RecoveryReport {
   /// in mailboxes when the machine stopped and never consumed — sends the
   /// dead rank got out the door plus traffic addressed to it.
   i64 debris_envelopes = 0;
-  i64 debris_words = 0;
+  double debris_words = 0;
   /// One-line reproducibility record for logs and failure messages.
   std::string summary() const;
 };
@@ -181,7 +183,7 @@ struct CorruptionReport {
   i64 injected_mem_flips = 0;   ///< output-tile bit-flips injected post-run
   i64 caught_at_transport = 0;  ///< corrupt copies the checksum rejected
   i64 retransmits = 0;          ///< extra on-wire copies (drop + flip)
-  i64 retransmitted_words = 0;  ///< sender-side transport-phase word tax
+  double retransmitted_words = 0;  ///< sender-side transport-phase word tax
   i64 acks = 0;                 ///< clean deliveries acknowledged
   i64 nacks = 0;                ///< zero-word rejections of corrupt copies
   i64 dup_discards = 0;         ///< duplicates recognized and dropped on pop
@@ -218,12 +220,12 @@ struct ResilienceReport {
   std::vector<int> fresh_logicals;  ///< logicals re-hosted onto spares
   /// Max over ranks of words received in the commit phase ("checkpoint"):
   /// the steady-state checkpoint tax, paid even on crash-free runs.
-  i64 checkpoint_recv_words = 0;
+  double checkpoint_recv_words = 0;
   /// Max over ranks of agreement-flood words ("ckpt_shrink").
-  i64 flood_recv_words = 0;
+  double flood_recv_words = 0;
   /// Max over ranks of snapshot-restream words to fresh recruits
   /// ("ckpt_rollback"); 0 on crash-free runs.
-  i64 restream_recv_words = 0;
+  double restream_recv_words = 0;
   /// The per-round agreement records from the rank that drove assembly.
   ckpt::RunLog log;
   /// One-line reproducibility record for logs and failure messages.
@@ -233,6 +235,12 @@ struct ResilienceReport {
 /// Everything configurable about how the harness executes an algorithm.
 struct RunOptions {
   VerifyMode verify = VerifyMode::kNone;
+  /// Scalar type the whole data path runs in (Buffer payloads, collectives,
+  /// GEMM, ABFT checksums).  Word accounting stays exact per dtype: an
+  /// element of width w bytes costs w/8 words on the wire.  Checkpoint/
+  /// rollback requires kF64 (the snapshot wire codec is f64-only) and the
+  /// runner rejects other dtypes with a named error.
+  DType dtype = DType::kF64;
   PerturbConfig perturb;
   CrashConfig crash;
   SdcConfig sdc;
@@ -256,17 +264,23 @@ struct RunOptions {
 
 /// Everything a caller needs to compare an executed run against the theory.
 struct RunReport {
+  /// The scalar type the run executed in, and its element width in bytes.
+  /// Every *_words field below is in 8-byte words — exact (integer or
+  /// half-integer) for all supported widths — so measured counts compare to
+  /// element-count predictions via the width factor element_bytes / 8.
+  DType dtype = DType::kF64;
+  i64 element_bytes = 8;
   /// Max over ranks of words received during algorithm phases.
-  i64 measured_critical_recv = 0;
+  double measured_critical_recv = 0;
   /// Max over ranks of words sent.
-  i64 measured_critical_sent = 0;
+  double measured_critical_sent = 0;
   /// Max over ranks of messages sent (the latency term).
   i64 measured_critical_messages = 0;
   /// Per-rank totals (indexed by machine rank): the full communication
   /// profile behind the critical-path maxima above.  The equivalence sweep
   /// pins these rank by rank, not just their maxima.
-  std::vector<i64> rank_recv_words;
-  std::vector<i64> rank_sent_words;
+  std::vector<double> rank_recv_words;
+  std::vector<double> rank_sent_words;
   std::vector<i64> rank_messages;
   /// FNV-1a over the assembled output's exact bit pattern; 0 when the run
   /// skipped assembly (VerifyMode::kNone).
@@ -278,15 +292,23 @@ struct RunReport {
   /// Max over ranks of the registered peak working set (words); nonzero only
   /// for algorithms instrumented with WorkingSet (Algorithm 1 and its staged
   /// variant).
-  i64 measured_peak_memory_words = 0;
-  /// Exact analytic prediction of measured_critical_recv (−1 if the
-  /// algorithm has no exact predictor).
+  double measured_peak_memory_words = 0;
+  /// Exact analytic prediction of measured_critical_recv in *elements*
+  /// (−1 if the algorithm has no exact predictor).  Dtype-independent: the
+  /// closed forms count elements moved; multiply by element_bytes / 8 — see
+  /// predicted_words() — to land in the measured unit.
   i64 predicted_critical_recv = -1;
+  /// Control-plane words on the predicted critical path: protocol traffic
+  /// (shrink agreement bitmask floods) whose payloads are fixed 8-byte
+  /// words regardless of the data scalar, so it never scales with dtype.
+  /// 0 for every plain algorithm; nonzero only for the ABFT variants.
+  i64 predicted_control_words = 0;
   /// Critical-path received words per named phase.
-  std::map<std::string, i64> phase_recv;
+  std::map<std::string, double> phase_recv;
   /// Total words that crossed the network (sum over ranks of sent words).
-  i64 total_network_words = 0;
-  /// Theorem 3 lower bound for (shape, P) in words.
+  double total_network_words = 0;
+  /// Theorem 3 lower bound for (shape, P), scaled into this run's words
+  /// (the theory counts elements; words = elements × element_bytes / 8).
   double lower_bound_words = 0;
   /// Max |C − C_ref| over all entries; NaN if verification was skipped.
   double max_abs_error = 0;
@@ -304,6 +326,15 @@ struct RunReport {
   /// The counted-send log when RunOptions::collect_trace was set (empty
   /// otherwise); feed to coll::predicted_transport_phase.
   std::vector<camb::MessageEvent> trace_events;
+
+  /// The element-count prediction scaled into this run's words: the value
+  /// measured_critical_recv must equal exactly on fault-free runs.
+  double predicted_words() const {
+    if (predicted_critical_recv < 0) return -1.0;
+    return static_cast<double>(predicted_critical_recv) *
+               (static_cast<double>(element_bytes) / 8.0) +
+           static_cast<double>(predicted_control_words);
+  }
 };
 
 /// Algorithm 1 on its grid.  `verify` assembles C and checks it (mode

@@ -4,6 +4,7 @@
 #include "collectives/grid_comm.hpp"
 #include "matmul/local_gemm.hpp"
 #include "util/error.hpp"
+#include "util/scalar.hpp"
 
 namespace camb::mm {
 
@@ -23,7 +24,8 @@ BlockChunk full_block(const BlockDist1D& rows, i64 ri, const BlockDist1D& cols,
 
 }  // namespace
 
-Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg) {
+template <typename T>
+Block2DOutputT<T> summa_rank(RankCtx& ctx, const SummaConfig& cfg) {
   const i64 g = cfg.g;
   CAMB_CHECK_MSG(g * g == ctx.nprocs(), "SUMMA machine size must be g*g");
   const i64 i = ctx.rank() / g;
@@ -34,15 +36,17 @@ Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg) {
   // Owned blocks, generated in place.
   const BlockChunk a_chunk = full_block(d1, i, d2, j);
   const BlockChunk b_chunk = full_block(d2, i, d3, j);
-  auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
-                                        : fill_chunk_indexed;
-  std::vector<double> a_own = fill(a_chunk);
-  std::vector<double> b_own = fill(b_chunk);
+  const auto fill = [&](const BlockChunk& chunk) {
+    return cfg.integer_inputs ? fill_chunk_indexed_int<T>(chunk)
+                              : fill_chunk_indexed<T>(chunk);
+  };
+  std::vector<T> a_own = fill(a_chunk);
+  std::vector<T> b_own = fill(b_chunk);
 
-  Block2DOutput out;
+  Block2DOutputT<T> out;
   out.row0 = d1.start(i);
   out.col0 = d3.start(j);
-  out.block = MatrixD(d1.size(i), d3.size(j));
+  out.block = Matrix<T>(d1.size(i), d3.size(j));
 
   // g x g grid as Grid3{g, g, 1}: fiber(1) is this rank's row comm (its
   // index there is j), fiber(0) its column comm (index i).
@@ -53,26 +57,31 @@ Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg) {
   for (i64 t = 0; t < g; ++t) {
     // A block-column t travels along each row; B block-row t along columns.
     ctx.set_phase(kPhaseSummaBcastA);
-    std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
-    const i64 a_words = d1.size(i) * d2.size(t);
-    coll::bcast(my_row, static_cast<int>(t), a_panel, a_words, cfg.bcast,
+    std::vector<T> a_panel = (t == j) ? a_own : std::vector<T>{};
+    const i64 a_elems = d1.size(i) * d2.size(t);
+    coll::bcast(my_row, static_cast<int>(t), a_panel, a_elems, cfg.bcast,
                 cfg.bcast_segments);
 
     ctx.set_phase(kPhaseSummaBcastB);
-    std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
-    const i64 b_words = d2.size(t) * d3.size(j);
-    coll::bcast(my_col, static_cast<int>(t), b_panel, b_words, cfg.bcast,
+    std::vector<T> b_panel = (t == i) ? b_own : std::vector<T>{};
+    const i64 b_elems = d2.size(t) * d3.size(j);
+    coll::bcast(my_col, static_cast<int>(t), b_panel, b_elems, cfg.bcast,
                 cfg.bcast_segments);
 
     ctx.set_phase(kPhaseSummaGemm);
-    MatrixD a_mat(d1.size(i), d2.size(t));
+    Matrix<T> a_mat(d1.size(i), d2.size(t));
     std::copy(a_panel.begin(), a_panel.end(), a_mat.data());
-    MatrixD b_mat(d2.size(t), d3.size(j));
+    Matrix<T> b_mat(d2.size(t), d3.size(j));
     std::copy(b_panel.begin(), b_panel.end(), b_mat.data());
     gemm_accumulate(a_mat, b_mat, out.block);
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T) \
+  template Block2DOutputT<T> summa_rank<T>(RankCtx&, const SummaConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 Block2DOutput summa_ckpt_rank(ckpt::Session& session, const SummaConfig& cfg) {
   RankCtx& ctx = session.ctx();
@@ -85,8 +94,10 @@ Block2DOutput summa_ckpt_rank(ckpt::Session& session, const SummaConfig& cfg) {
 
   const BlockChunk a_chunk = full_block(d1, i, d2, j);
   const BlockChunk b_chunk = full_block(d2, i, d3, j);
-  auto* const fill = cfg.integer_inputs ? fill_chunk_indexed_int
-                                        : fill_chunk_indexed;
+  const auto fill = [&](const BlockChunk& chunk) {
+    return cfg.integer_inputs ? fill_chunk_indexed_int<double>(chunk)
+                              : fill_chunk_indexed<double>(chunk);
+  };
   std::vector<double> a_own = fill(a_chunk);
   std::vector<double> b_own = fill(b_chunk);
 

@@ -30,13 +30,18 @@ struct SummaConfig {
 };
 
 /// A rank's full C block with its global origin.
-struct Block2DOutput {
+template <typename T>
+struct Block2DOutputT {
   i64 row0 = 0, col0 = 0;
-  MatrixD block;
+  Matrix<T> block;
 };
+using Block2DOutput = Block2DOutputT<double>;
 
 /// SPMD body for one rank; inputs generated with the indexed pattern.
-Block2DOutput summa_rank(RankCtx& ctx, const SummaConfig& cfg);
+/// Templated over the scalar (CAMB_FOR_EACH_SCALAR set); the default keeps
+/// legacy double call sites source-compatible.
+template <typename T = double>
+Block2DOutputT<T> summa_rank(RankCtx& ctx, const SummaConfig& cfg);
 
 /// Exact predicted received words for `rank` (binomial broadcasts: every
 /// non-root of a stage receives the panel once).

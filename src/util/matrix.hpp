@@ -14,6 +14,7 @@
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/scalar.hpp"
 
 namespace camb {
 
@@ -29,7 +30,9 @@ class Matrix {
 
   i64 rows() const { return rows_; }
   i64 cols() const { return cols_; }
-  i64 size() const { return rows_ * cols_; }
+  /// Element count through the same overflow-checked product the constructor
+  /// uses (a raw rows_ * cols_ would silently wrap where construction threw).
+  i64 size() const { return checked_mul(rows_, cols_); }
   bool empty() const { return data_.empty(); }
 
   T& operator()(i64 i, i64 j) {
@@ -73,9 +76,20 @@ class Matrix {
     }
   }
 
-  /// Fill with deterministic pseudo-random values in [-1, 1).
+  /// Fill with deterministic pseudo-random values through the scalar's
+  /// traits.  Floating scalars keep the historical [-1, 1) draw (for double
+  /// the stream is bit-identical to the pre-traits behaviour); exact
+  /// (integer) scalars map the unit draw onto their full fill range instead
+  /// of truncating every draw to 0 through a unit-magnitude cast.
   void fill_random(Rng& rng) {
-    for (auto& value : data_) value = static_cast<T>(rng.uniform(-1.0, 1.0));
+    for (auto& value : data_) {
+      const double u = rng.uniform(-1.0, 1.0);
+      if constexpr (ScalarTraits<T>::exact) {
+        value = ScalarTraits<T>::from_unit(u / 2.0);
+      } else {
+        value = ScalarTraits<T>::from_unit(u);
+      }
+    }
   }
 
   /// Fill element (i, j) with a deterministic function of the *global* index
@@ -86,8 +100,9 @@ class Matrix {
       for (i64 j = 0; j < cols_; ++j) {
         std::uint64_t s =
             static_cast<std::uint64_t>((gr0 + i) * 0x1000003 + (gc0 + j));
-        (*this)(i, j) = static_cast<T>(
-            static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53 - 0.5);
+        const double u =
+            static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53 - 0.5;
+        (*this)(i, j) = ScalarTraits<T>::from_unit(u);
       }
     }
   }
@@ -112,8 +127,9 @@ class Matrix {
     CAMB_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
     double worst = 0.0;
     for (std::size_t idx = 0; idx < data_.size(); ++idx) {
-      worst = std::max(worst, std::abs(static_cast<double>(data_[idx]) -
-                                       static_cast<double>(other.data_[idx])));
+      worst = std::max(
+          worst, std::abs(ScalarTraits<T>::to_double(data_[idx]) -
+                          ScalarTraits<T>::to_double(other.data_[idx])));
     }
     return worst;
   }

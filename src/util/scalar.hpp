@@ -1,0 +1,202 @@
+// scalar.hpp — the scalar substrate: every type the data path can carry.
+//
+// The paper's Theorem 3 counts *words* moved, and the machine counts bytes
+// exactly; the bridge between them is the element width declared here.  A
+// "word" is normalized to sizeof(double) = 8 bytes throughout the repo, so
+// an element of type T costs sizeof(T)/8 words on the wire — 1 for double
+// and int64, 1/2 for float, 2 for the compensated kahan accumulator.  The
+// ScalarTraits below are everything the templated layers (Buffer packing,
+// collectives, distribution fills, GEMM, ABFT, Freivalds) need to know
+// about a scalar: its wire width, its additive identity, how to derive a
+// deterministic fill value from the index-hash unit draw, and whether its
+// arithmetic is exact (integers) or rounded (floating point).
+//
+// The supported set is fixed at four explicit instantiations — double,
+// float, std::int64_t, and kahan — selected at runtime by the DType enum
+// (`--dtype {f64,f32,i64,kahan}`).  Adding a scalar means: a traits
+// specialization here, a DType member, and one line in each layer's
+// CAMB_FOR_EACH_SCALAR instantiation list.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace camb {
+
+/// Compensated (Kahan–Neumaier) double accumulator.  Wire format is the
+/// pair {hi, c}; the represented value is hi + c.  Addition compensates the
+/// rounding of every += so long summations lose far less than plain double;
+/// multiplication (GEMM products) rounds once through double and restarts
+/// the compensation, which is the standard compensated-GEMM formulation.
+struct kahan {
+  double hi = 0.0;
+  double c = 0.0;
+
+  kahan() = default;
+  explicit kahan(double v) : hi(v) {}
+
+  double value() const { return hi + c; }
+
+  /// Neumaier update: exact error of hi + v is captured in c.
+  void add(double v) {
+    const double t = hi + v;
+    if (std::abs(hi) >= std::abs(v)) {
+      c += (hi - t) + v;
+    } else {
+      c += (v - t) + hi;
+    }
+    hi = t;
+  }
+
+  kahan& operator+=(const kahan& o) {
+    add(o.hi);
+    add(o.c);
+    return *this;
+  }
+  kahan operator*(const kahan& o) const { return kahan(value() * o.value()); }
+  kahan operator+(const kahan& o) const {
+    kahan r = *this;
+    r += o;
+    return r;
+  }
+  kahan& operator-=(const kahan& o) { return *this += -o; }
+  kahan operator-(const kahan& o) const {
+    kahan r = *this;
+    r -= o;
+    return r;
+  }
+  kahan operator-() const {
+    kahan r;
+    r.hi = -hi;
+    r.c = -c;
+    return r;
+  }
+  friend bool operator==(const kahan& a, const kahan& b) {
+    return a.hi == b.hi && a.c == b.c;
+  }
+  friend bool operator!=(const kahan& a, const kahan& b) { return !(a == b); }
+};
+
+/// Per-scalar knowledge used by every templated layer.  The primary
+/// template is intentionally undefined: instantiating the data path over an
+/// unsupported scalar is a compile error, not a silent guess.
+template <typename T>
+struct ScalarTraits;
+
+template <>
+struct ScalarTraits<double> {
+  static constexpr const char* name = "f64";
+  static constexpr i64 elem_bytes = 8;
+  static constexpr bool exact = false;  // rounded arithmetic
+  static double zero() { return 0.0; }
+  static double to_double(double v) { return v; }
+  /// Deterministic fill value from the index-hash unit draw u ∈ [-0.5, 0.5).
+  /// For double this is the identity, so existing f64 streams (and the
+  /// committed golden records) are bit-unchanged.
+  static double from_unit(double u) { return u; }
+};
+
+template <>
+struct ScalarTraits<float> {
+  static constexpr const char* name = "f32";
+  static constexpr i64 elem_bytes = 4;
+  static constexpr bool exact = false;
+  static float zero() { return 0.0f; }
+  static double to_double(float v) { return static_cast<double>(v); }
+  static float from_unit(double u) { return static_cast<float>(u); }
+};
+
+template <>
+struct ScalarTraits<std::int64_t> {
+  static constexpr const char* name = "i64";
+  static constexpr i64 elem_bytes = 8;
+  static constexpr bool exact = true;  // integer arithmetic never rounds
+  /// Fill magnitude bound: inputs drawn from [-kFillMax, kFillMax] keep the
+  /// ABFT checksum sums (over ≤ ~10^5-element panels) far inside i64 range,
+  /// so checksum reconstruction is bit-exact by construction.
+  static constexpr std::int64_t kFillMax = 8;
+  static std::int64_t zero() { return 0; }
+  static double to_double(std::int64_t v) { return static_cast<double>(v); }
+  /// Exact-range fill: u ∈ [-0.5, 0.5) maps affinely onto the integer range
+  /// [-kFillMax, kFillMax] — no truncation through a unit cast (which would
+  /// collapse every draw to 0).
+  static std::int64_t from_unit(double u) {
+    const double scaled = (u + 0.5) * (2.0 * kFillMax + 1.0);
+    std::int64_t v = static_cast<std::int64_t>(scaled) - kFillMax;
+    if (v > kFillMax) v = kFillMax;  // guard u == 0.5 - eps edge
+    return v;
+  }
+};
+
+template <>
+struct ScalarTraits<kahan> {
+  static constexpr const char* name = "kahan";
+  static constexpr i64 elem_bytes = 16;
+  static constexpr bool exact = false;
+  static kahan zero() { return kahan(); }
+  static double to_double(kahan v) { return v.value(); }
+  static kahan from_unit(double u) { return kahan(u); }
+};
+
+static_assert(sizeof(kahan) == 16, "kahan wire format is the {hi, c} pair");
+
+/// Instantiation list for the templated layers: X(T) for each supported
+/// scalar.  Every layer's explicit instantiations expand this one macro, so
+/// the supported set cannot drift between layers.
+#define CAMB_FOR_EACH_SCALAR(X) \
+  X(double)                     \
+  X(float)                      \
+  X(::camb::i64)                \
+  X(::camb::kahan)
+
+/// Runtime scalar selector carried by RunOptions / the CLI.
+enum class DType { kF64, kF32, kI64, kKahan };
+
+inline const char* dtype_name(DType d) {
+  switch (d) {
+    case DType::kF64:
+      return "f64";
+    case DType::kF32:
+      return "f32";
+    case DType::kI64:
+      return "i64";
+    case DType::kKahan:
+      return "kahan";
+  }
+  throw Error("unreachable dtype");
+}
+
+inline i64 dtype_elem_bytes(DType d) {
+  switch (d) {
+    case DType::kF64:
+      return 8;
+    case DType::kF32:
+      return 4;
+    case DType::kI64:
+      return 8;
+    case DType::kKahan:
+      return 16;
+  }
+  throw Error("unreachable dtype");
+}
+
+/// Width of one element in 8-byte words — the factor that scales every
+/// element-count predictor into measured words (exact halves for f32).
+inline double dtype_width_words(DType d) {
+  return static_cast<double>(dtype_elem_bytes(d)) / 8.0;
+}
+
+/// Parse a --dtype spec; unknown names fail fast listing the valid set.
+inline DType parse_dtype(const std::string& s) {
+  if (s == "f64") return DType::kF64;
+  if (s == "f32") return DType::kF32;
+  if (s == "i64") return DType::kI64;
+  if (s == "kahan") return DType::kKahan;
+  throw Error("unknown dtype '" + s + "' (valid: f64, f32, i64, kahan)");
+}
+
+}  // namespace camb

@@ -115,18 +115,18 @@ void expect_healed_exactly(const RunReport& faulted, const RunReport& clean,
   for (int r = 0; r < nprocs; ++r) {
     EXPECT_EQ(faulted.rank_recv_words[static_cast<std::size_t>(r)],
               clean.rank_recv_words[static_cast<std::size_t>(r)] +
-                  tax[static_cast<std::size_t>(r)].words_received)
+                  tax[static_cast<std::size_t>(r)].words_received())
         << label << " rank " << r;
     EXPECT_EQ(faulted.rank_sent_words[static_cast<std::size_t>(r)],
               clean.rank_sent_words[static_cast<std::size_t>(r)] +
-                  tax[static_cast<std::size_t>(r)].words_sent)
+                  tax[static_cast<std::size_t>(r)].words_sent())
         << label << " rank " << r;
     EXPECT_EQ(faulted.rank_messages[static_cast<std::size_t>(r)],
               clean.rank_messages[static_cast<std::size_t>(r)] +
                   tax[static_cast<std::size_t>(r)].messages_sent)
         << label << " rank " << r;
     predicted_retransmit_words +=
-        tax[static_cast<std::size_t>(r)].words_sent;
+        tax[static_cast<std::size_t>(r)].words_sent();
   }
   // The sender-side word tax splits into retransmitted words (dropped +
   // corrupt copies, reported) and duplicate words (one clean-sized copy per

@@ -101,7 +101,7 @@ void expect_clean_ckpt_exact(const mm::RunReport& plain,
   EXPECT_EQ(ckpt_report.max_abs_error, plain.max_abs_error) << what;
   EXPECT_EQ(ckpt_report.output_hash, plain.output_hash) << what;
   EXPECT_EQ(ckpt_report.measured_critical_recv,
-            ckpt_report.predicted_critical_recv)
+            ckpt_report.predicted_words())
       << what << ": " << ckpt_report.resilience.summary();
   EXPECT_TRUE(ckpt_report.resilience.enabled) << what;
   EXPECT_EQ(ckpt_report.resilience.rounds, 1) << what;

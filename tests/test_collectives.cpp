@@ -46,7 +46,7 @@ void check_allgather(int p, AllgatherAlgo algo, const std::vector<i64>& counts) 
   });
   // Exact per-rank received-word prediction.
   for (int r = 0; r < p; ++r) {
-    EXPECT_EQ(machine.stats().rank_total(r).words_received,
+    EXPECT_EQ(machine.stats().rank_total(r).words_received(),
               coll::allgather_recv_words_exact(counts, r, algo))
         << "p=" << p << " rank=" << r;
   }
@@ -92,7 +92,8 @@ TEST(Allgather, RecursiveDoublingRejectsNonPowerOfTwo) {
   Machine machine(3);
   EXPECT_THROW(
       machine.run([&](RankCtx& ctx) {
-        (void)coll::allgather_equal(coll::Comm::world(ctx), {1.0},
+        (void)coll::allgather_equal(coll::Comm::world(ctx),
+                                    std::vector<double>{1.0},
                                     AllgatherAlgo::kRecursiveDoubling);
       }),
       Error);
@@ -110,8 +111,8 @@ TEST(Allgather, BandwidthOptimalWordCount) {
   });
   const auto cost = coll::allgather_cost(p, block * p);
   for (int r = 0; r < p; ++r) {
-    EXPECT_EQ(machine.stats().rank_total(r).words_received, cost.recv_words);
-    EXPECT_EQ(machine.stats().rank_total(r).words_sent, cost.sent_words);
+    EXPECT_EQ(machine.stats().rank_total(r).words_received(), cost.recv_words);
+    EXPECT_EQ(machine.stats().rank_total(r).words_sent(), cost.sent_words);
     EXPECT_EQ(machine.stats().rank_total(r).messages_sent, cost.messages);
   }
 }
@@ -145,7 +146,7 @@ void check_reduce_scatter(int p, ReduceScatterAlgo algo,
     }
   });
   for (int r = 0; r < p; ++r) {
-    EXPECT_EQ(machine.stats().rank_total(r).words_received,
+    EXPECT_EQ(machine.stats().rank_total(r).words_received(),
               coll::reduce_scatter_recv_words_exact(counts, r, algo))
         << "p=" << p << " rank=" << r;
   }
@@ -204,7 +205,7 @@ TEST(Bcast, AllGroupSizesAndRoots) {
       });
       // Every non-root receives the payload exactly once.
       for (int r = 0; r < p; ++r) {
-        EXPECT_EQ(machine.stats().rank_total(r).words_received,
+        EXPECT_EQ(machine.stats().rank_total(r).words_received(),
                   r == root ? 0 : 3);
       }
     }
@@ -233,7 +234,7 @@ TEST(Bcast, PipelinedRingDeliversCorrectly) {
         // indistinguishable by word count).
         for (int r = 0; r < p; ++r) {
           const int v = (r - root + p) % p;
-          EXPECT_EQ(machine.stats().rank_total(r).words_received,
+          EXPECT_EQ(machine.stats().rank_total(r).words_received(),
                     v == 0 ? 0 : 23);
         }
       }
@@ -346,7 +347,7 @@ TEST(Alltoall, PersonalizedExchange) {
     });
     const auto cost = coll::alltoall_cost(p, 1);
     for (int r = 0; r < p; ++r) {
-      EXPECT_EQ(machine.stats().rank_total(r).words_received, cost.recv_words);
+      EXPECT_EQ(machine.stats().rank_total(r).words_received(), cost.recv_words);
     }
   }
 }
@@ -395,9 +396,9 @@ TEST(Alltoall, BruckLatencyBandwidthTradeoff) {
   const auto bruck = run_with(coll::AlltoallAlgo::kBruck);
   EXPECT_EQ(pairwise.messages_sent, p - 1);
   EXPECT_EQ(bruck.messages_sent, coll::ceil_log2(p));
-  EXPECT_EQ(pairwise.words_received, (p - 1) * block);
-  EXPECT_EQ(bruck.words_received, coll::alltoall_bruck_recv_words(p, block));
-  EXPECT_GT(bruck.words_received, pairwise.words_received);
+  EXPECT_EQ(pairwise.words_received(), (p - 1) * block);
+  EXPECT_EQ(bruck.words_received(), coll::alltoall_bruck_recv_words(p, block));
+  EXPECT_GT(bruck.words_received(), pairwise.words_received());
 }
 
 TEST(Alltoall, BruckRejectsUnequalBlocks) {

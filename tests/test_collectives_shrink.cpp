@@ -63,7 +63,7 @@ TEST(Shrink, FaultFreeCostMatchesTheClosedForm) {
         coll::shrink(coll::Comm::recovery(ctx, world(P)), max_failures, false);
       });
       for (int r = 0; r < P; ++r) {
-        EXPECT_EQ(machine.stats().rank_phase(r, "shrink").words_received,
+        EXPECT_EQ(machine.stats().rank_phase(r, "shrink").words_received(),
                   coll::shrink_recv_words_exact(P, max_failures))
             << "P=" << P << " f=" << max_failures << " rank=" << r;
       }
@@ -121,7 +121,7 @@ TEST(Shrink, SingletonGroupIsFree) {
                                      /*max_failures=*/1, false);
     EXPECT_EQ(result.survivors.ranks(), std::vector<int>{ctx.rank()});
   });
-  EXPECT_EQ(machine.stats().rank_phase(0, "shrink").words_received, 0);
+  EXPECT_EQ(machine.stats().rank_phase(0, "shrink").words_received(), 0);
   EXPECT_EQ(coll::shrink_recv_words_exact(1, 3), 0);
 }
 

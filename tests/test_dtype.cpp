@@ -1,0 +1,256 @@
+// The scalar-substrate acceptance battery: every registry algorithm carried
+// end-to-end over non-double scalars, with the word accounting checked
+// against the closed-form predictions at each dtype's element width.
+//
+// The headline invariant is exactness: measured critical-path words must
+// equal predicted elements × sizeof(elem)/8 with NO tolerance — f32 runs
+// land on exact half-words (the byte-canonical counters make halves
+// representable), i64 and kahan on exact multiples.  Around it: the i64
+// ABFT leg (bit-exact checksum reconstruction in native integer arithmetic,
+// no integer-valued-double workaround), f32 Freivalds at double precision,
+// the kahan smoke, and the CLI-facing rejection paths (unknown dtype names,
+// checkpointing off the f64 path).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/dims.hpp"
+#include "matmul/algorithm_registry.hpp"
+#include "matmul/runner.hpp"
+#include "util/error.hpp"
+#include "util/scalar.hpp"
+
+namespace camb {
+namespace {
+
+using core::Shape;
+using namespace camb::mm;
+
+const Shape kShape{48, 40, 56};
+const std::vector<i64> kProcs = {8, 16, 27, 36, 64};
+
+/// Every registered algorithm, at every supported P, under f32 and i64:
+/// verified against the per-dtype reference, with measured critical-path
+/// words exactly predicted × width.  Seed-swept so the fill stream (which
+/// differs per dtype through ScalarTraits::from_unit) is not a constant.
+TEST(DtypeSweep, AllAlgorithmsExactWordsAtEveryWidth) {
+  const std::vector<DType> dtypes = {DType::kF32, DType::kI64};
+  const std::vector<std::uint64_t> seeds = {5, 11};
+  int runs = 0;
+  for (const auto& algo : algorithm_registry()) {
+    for (i64 p : kProcs) {
+      if (!algo.supports(kShape, p)) continue;
+      for (DType dtype : dtypes) {
+        for (std::uint64_t seed : seeds) {
+          RunOptions opts = RunOptions::verified(VerifyMode::kReference);
+          opts.perturb.master_seed = seed;
+          opts.dtype = dtype;
+          const RunReport report = algo.run_opts(kShape, p, opts);
+          const std::string label = std::string(algo.name) + "~" +
+                                    dtype_name(dtype) + " P=" +
+                                    std::to_string(p) + " seed=" +
+                                    std::to_string(seed);
+          ASSERT_TRUE(report.verified) << label;
+          EXPECT_EQ(report.dtype, dtype) << label;
+          EXPECT_EQ(report.element_bytes, dtype_elem_bytes(dtype)) << label;
+          const double tol = dtype == DType::kI64 ? 0.0 : 1e-3;
+          EXPECT_LE(report.max_abs_error, tol) << label;
+          if (report.predicted_critical_recv >= 0) {
+            // The acceptance bar: exact equality, no rounding fudge.  The
+            // predictor counts elements; the wire counts bytes; the bridge
+            // is sizeof(elem)/8 and nothing else.
+            EXPECT_EQ(report.measured_critical_recv, report.predicted_words())
+                << label;
+          }
+          ++runs;
+        }
+      }
+    }
+  }
+  EXPECT_GT(runs, 60) << "sweep degenerated: registry or supports() shrank";
+}
+
+/// f32 moves exactly half the words f64 moves, run for run — the sharpest
+/// statement of width-proportional accounting (and of the byte-canonical
+/// counters: 4-byte elements land on representable half-words).
+TEST(DtypeSweep, F32MovesExactlyHalfTheWordsOfF64) {
+  for (const char* name : {"grid3d_optimal", "summa", "cannon", "carma"}) {
+    const auto& algo = algorithm_by_name(name);
+    for (i64 p : kProcs) {
+      if (!algo.supports(kShape, p)) continue;
+      RunOptions opts = RunOptions::verified(VerifyMode::kNone);
+      const RunReport f64 = algo.run_opts(kShape, p, opts);
+      opts.dtype = DType::kF32;
+      const RunReport f32 = algo.run_opts(kShape, p, opts);
+      const std::string label = std::string(name) + " P=" + std::to_string(p);
+      EXPECT_EQ(f32.measured_critical_recv, f64.measured_critical_recv / 2.0)
+          << label;
+      EXPECT_EQ(f32.total_network_words, f64.total_network_words / 2.0)
+          << label;
+      // The element-count predictor is dtype-independent by design.
+      EXPECT_EQ(f32.predicted_critical_recv, f64.predicted_critical_recv)
+          << label;
+      // Theorem 3's bound scales by the same width factor.
+      EXPECT_EQ(f32.lower_bound_words, f64.lower_bound_words / 2.0) << label;
+    }
+  }
+}
+
+/// The kahan accumulator is a first-class scalar: 16-byte elements, double
+/// the f64 word traffic, and a verified (reference-compared) result.
+TEST(DtypeSweep, KahanSmoke) {
+  const auto& algo = algorithm_by_name("summa");
+  RunOptions opts = RunOptions::verified(VerifyMode::kReference);
+  opts.dtype = DType::kKahan;
+  const RunReport report = algo.run_opts(kShape, 16, opts);
+  ASSERT_TRUE(report.verified);
+  EXPECT_LT(report.max_abs_error, 1e-12);
+  EXPECT_EQ(report.element_bytes, 16);
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
+  opts.dtype = DType::kF64;
+  const RunReport f64 = algo.run_opts(kShape, 16, opts);
+  EXPECT_EQ(report.measured_critical_recv, 2.0 * f64.measured_critical_recv);
+}
+
+// ---------------------------------------------------------------------------
+// ABFT at i64: bit-exact reconstruction in native integer arithmetic.
+
+/// summa_abft under i64 memory SDC: every injected flip detected; single
+/// errors localized and repaired to the clean run's exact bits.  Integer
+/// checksum sums never round, so this needs no integer-valued-double
+/// workaround — the dtype IS the workaround, retired.
+TEST(DtypeAbft, SummaI64MemSdcBitExactRepair) {
+  const Shape shape{18, 18, 18};
+  const auto& algo = algorithm_by_name("summa_abft");
+  RunOptions base = RunOptions::verified(VerifyMode::kReference);
+  base.dtype = DType::kI64;
+  const RunReport clean = algo.run_opts(shape, 9, base);
+  ASSERT_TRUE(clean.verified);
+  EXPECT_EQ(clean.max_abs_error, 0.0) << "i64 ABFT must verify exactly";
+
+  int single_corrected = 0;
+  for (int seed = 1; seed <= 24; ++seed) {
+    RunOptions opts = base;
+    opts.sdc.mem_rate = 0.12;
+    opts.sdc.sdc_seed_override = static_cast<std::uint64_t>(seed);
+    const RunReport report = algo.run_opts(shape, 9, opts);
+    const std::string label = "summa_abft~i64 mem seed=" +
+                              std::to_string(seed) + " " +
+                              report.corruption.summary();
+    EXPECT_EQ(report.corruption.detected_by_checksums,
+              report.corruption.injected_mem_flips)
+        << label;
+    if (report.corruption.injected_mem_flips == 1) {
+      EXPECT_EQ(report.corruption.corrected_by_abft, 1) << label;
+      EXPECT_EQ(report.corruption.escaped, 0) << label;
+      EXPECT_EQ(report.output_hash, clean.output_hash) << label;
+      EXPECT_EQ(report.max_abs_error, 0.0) << label;
+      ++single_corrected;
+    }
+  }
+  EXPECT_GT(single_corrected, 0) << "no seed produced exactly one flip";
+}
+
+/// grid3d_abft at i64: per-fiber parity reconstruction, same exactness bar.
+TEST(DtypeAbft, Grid3dI64MemSdcBitExactRepair) {
+  const Shape shape{16, 16, 16};
+  const auto& algo = algorithm_by_name("grid3d_abft");
+  RunOptions base = RunOptions::verified(VerifyMode::kReference);
+  base.dtype = DType::kI64;
+  const RunReport clean = algo.run_opts(shape, 8, base);
+  ASSERT_TRUE(clean.verified);
+  EXPECT_EQ(clean.max_abs_error, 0.0);
+
+  int corrected_runs = 0;
+  for (int seed = 1; seed <= 24; ++seed) {
+    RunOptions opts = base;
+    opts.sdc.mem_rate = 0.3;
+    opts.sdc.sdc_seed_override = static_cast<std::uint64_t>(seed);
+    const RunReport report = algo.run_opts(shape, 8, opts);
+    const std::string label = "grid3d_abft~i64 mem seed=" +
+                              std::to_string(seed) + " " +
+                              report.corruption.summary();
+    EXPECT_EQ(report.corruption.detected_by_checksums,
+              report.corruption.injected_mem_flips)
+        << label;
+    EXPECT_EQ(report.corruption.escaped, 0) << label;
+    if (report.corruption.injected_mem_flips > 0) {
+      EXPECT_EQ(report.corruption.corrected_by_abft,
+                report.corruption.injected_mem_flips)
+          << label;
+      EXPECT_EQ(report.output_hash, clean.output_hash) << label;
+      EXPECT_EQ(report.max_abs_error, 0.0) << label;
+      ++corrected_runs;
+    }
+  }
+  EXPECT_GT(corrected_runs, 0) << "no seed injected a flip at rate 0.3";
+}
+
+// ---------------------------------------------------------------------------
+// Verification paths per dtype.
+
+/// f32 results pass Freivalds run at double precision: the residual is
+/// computed by widening every operand, so single-precision rounding shows
+/// up as a small (bounded) residual, not a spurious rejection.
+TEST(DtypeVerify, F32PassesFreivaldsAtDouble) {
+  for (const char* name : {"summa", "grid3d_optimal"}) {
+    const auto& algo = algorithm_by_name(name);
+    RunOptions opts = RunOptions::verified(VerifyMode::kFreivalds);
+    opts.dtype = DType::kF32;
+    const RunReport report = algo.run_opts(kShape, 16, opts);
+    ASSERT_TRUE(report.verified) << name;
+    EXPECT_LT(report.max_abs_error, 1e-3) << name;
+  }
+}
+
+/// i64 under Freivalds: exact arithmetic means an exactly-zero residual.
+TEST(DtypeVerify, I64FreivaldsResidualIsZero) {
+  const auto& algo = algorithm_by_name("summa");
+  RunOptions opts = RunOptions::verified(VerifyMode::kFreivalds);
+  opts.dtype = DType::kI64;
+  const RunReport report = algo.run_opts(kShape, 16, opts);
+  ASSERT_TRUE(report.verified);
+  EXPECT_EQ(report.max_abs_error, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rejection paths: bad specs fail fast with named errors.
+
+TEST(DtypeErrors, UnknownDtypeNameListsValidSet) {
+  try {
+    parse_dtype("f16");
+    FAIL() << "parse_dtype accepted an unknown name";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown dtype 'f16'"), std::string::npos) << what;
+    EXPECT_NE(what.find("f64, f32, i64, kahan"), std::string::npos) << what;
+  }
+}
+
+/// Checkpoint/rollback's snapshot codec and rollback twins are f64-only;
+/// asking for them at another dtype must be a named, actionable error —
+/// not a crash deep in the snapshot path.
+TEST(DtypeErrors, CheckpointRequiresF64) {
+  const auto& algo = algorithm_by_name("summa");
+  RunOptions opts = RunOptions::verified(VerifyMode::kReference);
+  opts.checkpoint.interval = 1;
+  opts.dtype = DType::kF32;
+  try {
+    algo.run_opts(kShape, 16, opts);
+    FAIL() << "checkpointing ran at f32";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checkpoint/rollback requires --dtype f64"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("f32"), std::string::npos) << what;
+  }
+  // f64 itself is unaffected by the gate.
+  opts.dtype = DType::kF64;
+  const RunReport report = algo.run_opts(kShape, 16, opts);
+  EXPECT_TRUE(report.verified);
+}
+
+}  // namespace
+}  // namespace camb

@@ -14,6 +14,13 @@
 // every pinned bit, which is the simulator's determinism contract
 // (machine/fiber.hpp) made checkable.
 //
+// Since the scalar-substrate refactor the sweep also pins dtype legs: f32
+// and i64 records for SUMMA and Algorithm 1 (keys "<algo>~<dtype>"), run
+// under both schedulers like everything else.  Per-rank word counts are
+// doubles now (exact halves for f32), so the counts hash folds their exact
+// bit patterns; f64 output/time hashes are unchanged from the pre-dtype
+// harness because the f64 data path is bit-identical.
+//
 // Regenerate (only when an *intentional* behavior change lands) with:
 //   CAMB_WRITE_GOLDEN=1 ./test_equivalence_sweep
 #include <gtest/gtest.h>
@@ -39,6 +46,15 @@ const std::vector<i64> kProcs = {8, 16, 27, 36, 64};
 const std::vector<std::uint64_t> kMasterSeeds = {101, 102, 103, 104,
                                                  105, 106, 107, 108};
 
+/// The dtype legs: every (algo, dtype) pair here gets its own golden records
+/// at every supported P and seed, under both schedulers.
+const std::vector<DType> kDtypes = {DType::kF32, DType::kI64};
+const std::vector<std::string> kDtypeAlgos = {"grid3d_optimal", "summa"};
+
+/// Verification tolerance per dtype: i64 is exact, f32 carries
+/// single-precision rounding against the serially-summed reference.
+double verify_tol(DType d) { return d == DType::kF32 ? 1e-3 : 1e-9; }
+
 std::string golden_path() {
   return std::string(CAMB_GOLDEN_DIR) + "/equivalence_sweep.txt";
 }
@@ -57,6 +73,17 @@ struct Fnv {
     add(static_cast<std::uint64_t>(xs.size()));
     for (i64 x : xs) add(static_cast<std::uint64_t>(x));
   }
+  /// Word vectors are doubles (exact halves possible): fold the exact bit
+  /// pattern of every entry, so any change — even by half a word — shows.
+  void add_all(const std::vector<double>& xs) {
+    add(static_cast<std::uint64_t>(xs.size()));
+    for (double x : xs) {
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(x));
+      std::memcpy(&bits, &x, sizeof(bits));
+      add(bits);
+    }
+  }
 };
 
 /// One golden record: everything the sweep pins for a (algo, P, seed) run.
@@ -71,9 +98,12 @@ bool operator==(const Record& a, const Record& b) {
          a.output_hash == b.output_hash;
 }
 
-std::string key_of(const std::string& algo, i64 p, std::uint64_t seed) {
+std::string key_of(const std::string& algo, i64 p, std::uint64_t seed,
+                   DType dtype = DType::kF64) {
   std::ostringstream out;
-  out << algo << " P=" << p << " seed=" << seed;
+  out << algo;
+  if (dtype != DType::kF64) out << "~" << dtype_name(dtype);
+  out << " P=" << p << " seed=" << seed;
   return out.str();
 }
 
@@ -91,12 +121,13 @@ Record record_of(const RunReport& report) {
 }
 
 RunReport run_one(const AlgorithmInfo& algo, i64 p, std::uint64_t seed,
-                  SchedulerKind scheduler) {
+                  SchedulerKind scheduler, DType dtype = DType::kF64) {
   RunOptions opts = RunOptions::verified(VerifyMode::kReference);
   opts.perturb.master_seed = seed;
   // Explicit kind (never kDefault): the sweep must pin both substrates
   // regardless of any $CAMB_SCHEDULER ambient override.
   opts.scheduler.kind = scheduler;
+  opts.dtype = dtype;
   return algo.run_opts(kShape, p, opts);
 }
 
@@ -171,6 +202,20 @@ TEST_P(EquivalenceSweep, MatchesGolden) {
       fresh[key_of(algo.name, p, seed)] = record_of(report);
     }
   }
+  for (const std::string& name : kDtypeAlgos) {
+    const AlgorithmInfo& algo = algorithm_by_name(name);
+    if (!algo.supports(kShape, p)) continue;
+    for (DType dtype : kDtypes) {
+      for (std::uint64_t seed : kMasterSeeds) {
+        const RunReport report = run_one(algo, p, seed, scheduler, dtype);
+        ASSERT_TRUE(report.verified);
+        ASSERT_LT(report.max_abs_error, verify_tol(dtype))
+            << name << "~" << dtype_name(dtype) << " P=" << p
+            << " seed=" << seed;
+        fresh[key_of(name, p, seed, dtype)] = record_of(report);
+      }
+    }
+  }
   if (write_mode()) return;  // collected by the writer test below
   for (const auto& [key, rec] : fresh) {
     const auto it = golden.find(key);
@@ -217,6 +262,20 @@ TEST(EquivalenceSweepGolden, WriteIfRequested) {
         const RunReport report = run_one(algo, p, seed, SchedulerKind::kThreads);
         ASSERT_TRUE(report.verified);
         records[key_of(algo.name, p, seed)] = record_of(report);
+      }
+    }
+  }
+  for (const std::string& name : kDtypeAlgos) {
+    const AlgorithmInfo& algo = algorithm_by_name(name);
+    for (i64 p : kProcs) {
+      if (!algo.supports(kShape, p)) continue;
+      for (DType dtype : kDtypes) {
+        for (std::uint64_t seed : kMasterSeeds) {
+          const RunReport report =
+              run_one(algo, p, seed, SchedulerKind::kThreads, dtype);
+          ASSERT_TRUE(report.verified);
+          records[key_of(name, p, seed, dtype)] = record_of(report);
+        }
       }
     }
   }

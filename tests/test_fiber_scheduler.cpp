@@ -120,10 +120,11 @@ TEST(FiberScheduler, KindNamesRoundTrip) {
 
 /// Everything the simulation is allowed to observe about a run.
 struct Observables {
-  std::vector<i64> recv, sent, messages;
+  std::vector<double> recv, sent;
+  std::vector<i64> messages;
   std::uint64_t output_hash = 0;
   std::uint64_t time_bits = 0;  ///< simulated_time, exact bit pattern
-  std::map<std::string, i64> phase_recv;
+  std::map<std::string, double> phase_recv;
 
   bool operator==(const Observables& o) const {
     return recv == o.recv && sent == o.sent && messages == o.messages &&

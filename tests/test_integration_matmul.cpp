@@ -34,7 +34,7 @@ TEST_P(Grid3dEveryGrid, CorrectCountedAndBounded) {
     const RunReport report = run_grid3d(cfg, true);
     EXPECT_LE(report.max_abs_error, 1e-10)
         << "grid=" << grid.p1 << "x" << grid.p2 << "x" << grid.p3;
-    EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv)
+    EXPECT_EQ(report.measured_critical_recv, report.predicted_words())
         << "grid=" << grid.p1 << "x" << grid.p2 << "x" << grid.p3;
     EXPECT_GE(static_cast<double>(report.measured_critical_recv) + 1e-6,
               report.lower_bound_words);
@@ -132,8 +132,8 @@ TEST(CrossAlgorithm, TotalVolumeConservation) {
   machine.run([&](camb::RankCtx& ctx) { (void)grid3d_rank(ctx, cfg); });
   i64 sent = 0, received = 0;
   for (int r = 0; r < machine.nprocs(); ++r) {
-    sent += machine.stats().rank_total(r).words_sent;
-    received += machine.stats().rank_total(r).words_received;
+    sent += machine.stats().rank_total(r).words_sent();
+    received += machine.stats().rank_total(r).words_received();
   }
   EXPECT_EQ(sent, received);
 }
@@ -148,7 +148,7 @@ TEST(MediumScale, SixtyFourRanksCubicGrid) {
   Grid3dConfig cfg{shape, grid};
   const RunReport report = run_grid3d(cfg, true);
   EXPECT_LE(report.max_abs_error, 1e-10);
-  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
   // Square shape, P = 64 cubic grid: exact optimum.
   EXPECT_NEAR(static_cast<double>(report.measured_critical_recv),
               report.lower_bound_words, 1e-9 * report.lower_bound_words);

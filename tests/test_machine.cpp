@@ -62,10 +62,10 @@ TEST(Machine, CountsWordsOnBothEnds) {
     }
   });
   const CommStats& stats = machine.stats();
-  EXPECT_EQ(stats.rank_total(0).words_sent, 15);
+  EXPECT_EQ(stats.rank_total(0).words_sent(), 15);
   EXPECT_EQ(stats.rank_total(0).messages_sent, 2);
-  EXPECT_EQ(stats.rank_total(1).words_received, 10);
-  EXPECT_EQ(stats.rank_total(2).words_received, 5);
+  EXPECT_EQ(stats.rank_total(1).words_received(), 10);
+  EXPECT_EQ(stats.rank_total(2).words_received(), 5);
   EXPECT_EQ(stats.total_words_sent(), 15);
   EXPECT_EQ(stats.critical_path_received_words(), 10);
   EXPECT_EQ(stats.critical_path_sent_words(), 15);
@@ -157,9 +157,9 @@ TEST(AlphaBeta, CostFormula) {
   AlphaBeta machine{2.0, 0.5};
   PhaseCounters counters;
   counters.messages_sent = 3;
-  counters.words_sent = 100;
+  counters.bytes_sent = 100 * 8;
   counters.messages_received = 1;
-  counters.words_received = 40;
+  counters.bytes_received = 40 * 8;
   // max(sent, recv) on both terms: 3 messages, 100 words.
   EXPECT_DOUBLE_EQ(machine.cost(counters), 2.0 * 3 + 0.5 * 100);
 }

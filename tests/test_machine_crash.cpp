@@ -203,10 +203,10 @@ TEST(MachineCrash, DetectionChargesHeartbeatPhaseAndZeroWords) {
   });
   const auto heartbeat = machine.stats().rank_phase(0, "heartbeat");
   EXPECT_GE(heartbeat.messages_sent, 1);  // the suspicion probe
-  EXPECT_EQ(heartbeat.words_sent, 0);     // ...carries zero words
+  EXPECT_EQ(heartbeat.words_sent(), 0);     // ...carries zero words
   const auto algorithm = machine.stats().rank_phase(0, "algorithm");
-  EXPECT_EQ(algorithm.words_received, 0);  // detection added nothing here
-  EXPECT_EQ(algorithm.words_sent, 0);
+  EXPECT_EQ(algorithm.words_received(), 0);  // detection added nothing here
+  EXPECT_EQ(algorithm.words_sent(), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -229,7 +229,7 @@ TEST(MachineCrash, UndeliveredMailAfterACrashIsDebrisNotALeak) {
   EXPECT_EQ(outcome.debris[0].src, 1);
   EXPECT_EQ(outcome.debris[0].dst, 0);
   EXPECT_EQ(outcome.debris[0].tag, 7);
-  EXPECT_EQ(outcome.debris[0].words, 3);
+  EXPECT_EQ(outcome.debris[0].words(), 3);
 }
 
 TEST(MachineCrash, CleanRunLeakFailureListsTheEnvelopes) {
@@ -246,7 +246,7 @@ TEST(MachineCrash, CleanRunLeakFailureListsTheEnvelopes) {
     EXPECT_NE(what.find("src 1"), std::string::npos) << what;
     EXPECT_NE(what.find("dst 0"), std::string::npos) << what;
     EXPECT_NE(what.find("tag 42"), std::string::npos) << what;
-    EXPECT_NE(what.find("words 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("bytes 16"), std::string::npos) << what;
     EXPECT_NE(what.find("stage0"), std::string::npos) << what;
   }
 }

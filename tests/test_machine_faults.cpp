@@ -249,9 +249,9 @@ TEST(FaultInjection, RetryChargesLatencyPerAttemptWordsOnce) {
     }
   });
   // Words and the message counted exactly once despite the retries…
-  EXPECT_EQ(machine.stats().rank_total(0).words_sent, 3);
+  EXPECT_EQ(machine.stats().rank_total(0).words_sent(), 3);
   EXPECT_EQ(machine.stats().rank_total(0).messages_sent, 1);
-  EXPECT_EQ(machine.stats().rank_total(1).words_received, 3);
+  EXPECT_EQ(machine.stats().rank_total(1).words_received(), 3);
   EXPECT_EQ(machine.stats().rank_total(1).messages_received, 1);
   // …while the sender's clock paid alpha per attempt with backoff
   // (alpha = beta = 1): 2^attempts - 1 latency units plus 3 payload words.
@@ -302,10 +302,10 @@ TEST(FaultInjection, DelaysInflateTimeButNeverCounts) {
   const auto clean = run_once(false);
   const auto faulty = run_once(true);
   for (int r = 0; r < 4; ++r) {
-    EXPECT_EQ(faulty->stats().rank_total(r).words_sent,
-              clean->stats().rank_total(r).words_sent);
-    EXPECT_EQ(faulty->stats().rank_total(r).words_received,
-              clean->stats().rank_total(r).words_received);
+    EXPECT_EQ(faulty->stats().rank_total(r).words_sent(),
+              clean->stats().rank_total(r).words_sent());
+    EXPECT_EQ(faulty->stats().rank_total(r).words_received(),
+              clean->stats().rank_total(r).words_received());
     EXPECT_EQ(faulty->stats().rank_total(r).messages_sent,
               clean->stats().rank_total(r).messages_sent);
   }
@@ -332,7 +332,7 @@ TEST(FaultInjection, StragglersScaleClockChargesOnly) {
       (void)ctx.recv(0, 0);
     }
   });
-  EXPECT_EQ(machine.stats().rank_total(0).words_sent, 1);  // counts untouched
+  EXPECT_EQ(machine.stats().rank_total(0).words_sent(), 1);  // counts untouched
   EXPECT_EQ(machine.fault_plan()->counts().stragglers, 2);
 }
 

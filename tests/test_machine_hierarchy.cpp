@@ -71,9 +71,9 @@ TEST(Hierarchy, FiberAlignedMappingKeepsCollectivesInside) {
   EXPECT_EQ(blocked.total_words, rr.total_words);
   EXPECT_LT(blocked.inter_node_words, rr.inter_node_words);
   // Exactly the B traffic crosses under the blocked mapping.
-  i64 b_words = 0;
+  double b_words = 0;
   for (const auto& event : trace.events_in_phase(mm::kPhaseAllgatherB)) {
-    b_words += event.words;
+    b_words += event.words();
   }
   EXPECT_EQ(blocked.inter_node_words, b_words);
 }

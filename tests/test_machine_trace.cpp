@@ -29,7 +29,7 @@ TEST(Trace, RecordsEnvelopeAndPhase) {
   EXPECT_EQ(events[0].src, 0);
   EXPECT_EQ(events[0].dst, 1);
   EXPECT_EQ(events[0].tag, 42);
-  EXPECT_EQ(events[0].words, 3);
+  EXPECT_EQ(events[0].words(), 3);
   EXPECT_EQ(events[0].phase, "hello");
 }
 
@@ -60,7 +60,7 @@ TEST(Trace, TrafficMatrixMatchesStats) {
     // Row sums equal the stats counters.
     i64 row = 0;
     for (i64 v : matrix[static_cast<std::size_t>(r)]) row += v;
-    EXPECT_EQ(row, machine.stats().rank_total(r).words_sent);
+    EXPECT_EQ(row, machine.stats().rank_total(r).words_sent());
   }
   EXPECT_EQ(trace.words_between(0, 1), 1);
   EXPECT_EQ(trace.words_between(1, 0), 0);
@@ -137,7 +137,9 @@ TEST(Trace, CsvRoundTrip) {
   std::ifstream file(path);
   std::string header, row;
   ASSERT_TRUE(std::getline(file, header));
-  EXPECT_EQ(header, "seq,src,dst,tag,words,phase");
+  // Bytes-canonical schema: the machine counts bytes (an f32 element is
+  // half a word, so words would need fractions); words = bytes / 8.
+  EXPECT_EQ(header, "seq,src,dst,tag,bytes,phase");
   ASSERT_TRUE(std::getline(file, row));
   EXPECT_EQ(row.substr(0, 8), "0,0,1,5,");
   std::remove(path.c_str());

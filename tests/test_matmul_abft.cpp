@@ -113,7 +113,7 @@ TEST(AbftCost, FaultFreeSummaMatchesExactPrediction) {
   opts.verify = mm::VerifyMode::kReference;
   const mm::RunReport report = mm::run_summa_abft(
       mm::SummaAbftConfig{mm::SummaConfig{kSummaShape, kSummaGrid}}, opts);
-  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
   EXPECT_EQ(report.max_abs_error, 0.0);
   EXPECT_TRUE(report.recovery.abft);
   EXPECT_GT(report.recovery.encode_recv_words, 0);
@@ -125,7 +125,7 @@ TEST(AbftCost, FaultFreeGrid3dMatchesExactPrediction) {
   opts.verify = mm::VerifyMode::kReference;
   const mm::RunReport report = mm::run_grid3d_abft(
       mm::Grid3dAbftConfig{mm::Grid3dConfig{kGridShape, kGrid}}, opts);
-  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
   EXPECT_EQ(report.max_abs_error, 0.0);
   EXPECT_TRUE(report.recovery.abft);
 }

@@ -17,7 +17,7 @@ void expect_correct_and_counted(const Shape& shape, i64 g, i64 c) {
   EXPECT_LE(report.max_abs_error, 1e-10)
       << "shape=(" << shape.n1 << "," << shape.n2 << "," << shape.n3
       << ") g=" << g << " c=" << c;
-  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv)
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_words())
       << "g=" << g << " c=" << c;
   EXPECT_GE(static_cast<double>(report.measured_critical_recv) + 1e-6,
             report.lower_bound_words);

@@ -18,7 +18,7 @@ TEST(Summa, CorrectAcrossGridsAndShapes) {
       EXPECT_LE(report.max_abs_error, 1e-10)
           << "g=" << g << " shape=(" << shape.n1 << "," << shape.n2 << ","
           << shape.n3 << ")";
-      EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+      EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
     }
   }
 }
@@ -70,7 +70,7 @@ TEST(Cannon, CorrectAcrossGridsAndShapes) {
       EXPECT_LE(report.max_abs_error, 1e-10)
           << "g=" << g << " shape=(" << shape.n1 << "," << shape.n2 << ","
           << shape.n3 << ")";
-      EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+      EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
     }
   }
 }
@@ -90,7 +90,7 @@ TEST(NaiveBcast, CorrectAndCounted) {
     const Shape shape{12, 9, 7};
     const RunReport report = run_naive_bcast(NaiveBcastConfig{shape}, P, true);
     EXPECT_LE(report.max_abs_error, 1e-10) << "P=" << P;
-    EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+    EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
   }
 }
 

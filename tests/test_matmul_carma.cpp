@@ -19,7 +19,7 @@ void expect_correct_and_counted(const Shape& shape, int levels) {
   const RunReport report = run_carma(CarmaConfig{shape, levels}, true);
   EXPECT_LE(report.max_abs_error, 1e-10)
       << shape.n1 << "x" << shape.n2 << "x" << shape.n3 << " levels=" << levels;
-  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
   EXPECT_GE(static_cast<double>(report.measured_critical_recv) + 1e-6,
             report.lower_bound_words);
 }

@@ -19,7 +19,7 @@ void expect_correct_and_exactly_counted(const Shape& shape, const Grid3& grid) {
   EXPECT_LE(report.max_abs_error, 1e-10)
       << "shape=(" << shape.n1 << "," << shape.n2 << "," << shape.n3
       << ") grid=" << grid.p1 << "x" << grid.p2 << "x" << grid.p3;
-  EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+  EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
   EXPECT_GE(static_cast<double>(report.measured_critical_recv) + 1e-6,
             report.lower_bound_words);
 }
@@ -74,7 +74,7 @@ TEST(Grid3d, CollectiveVariantsAgree) {
       Grid3dConfig cfg{shape, grid, ag, rs};
       const RunReport report = run_grid3d(cfg, true);
       EXPECT_LE(report.max_abs_error, 1e-10);
-      EXPECT_EQ(report.measured_critical_recv, report.predicted_critical_recv);
+      EXPECT_EQ(report.measured_critical_recv, report.predicted_words());
     }
   }
 }
@@ -145,7 +145,7 @@ TEST(Grid3d, PredictionIsPerRankExact) {
   camb::Machine machine(static_cast<int>(grid.total()));
   machine.run([&](camb::RankCtx& ctx) { (void)grid3d_rank(ctx, cfg); });
   for (int r = 0; r < grid.total(); ++r) {
-    EXPECT_EQ(machine.stats().rank_total(r).words_received,
+    EXPECT_EQ(machine.stats().rank_total(r).words_received(),
               grid3d_predicted_recv_words(cfg, r))
         << "rank " << r;
   }

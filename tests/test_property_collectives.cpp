@@ -50,8 +50,8 @@ TEST_P(GroupSweep, AllgatherVariantsCorrectAndOptimal) {
     const auto cost = coll::allgather_cost(p, block * p, variant.algo);
     for (int r = 0; r < p; ++r) {
       const auto totals = machine.stats().rank_total(r);
-      EXPECT_EQ(totals.words_received, cost.recv_words) << variant.name;
-      EXPECT_EQ(totals.words_sent, cost.sent_words) << variant.name;
+      EXPECT_EQ(totals.words_received(), cost.recv_words) << variant.name;
+      EXPECT_EQ(totals.words_sent(), cost.sent_words) << variant.name;
       EXPECT_EQ(totals.messages_sent, cost.messages) << variant.name;
     }
   }
@@ -82,7 +82,7 @@ TEST_P(GroupSweep, ReduceScatterVariantsCorrectAndOptimal) {
     });
     const auto cost = coll::reduce_scatter_cost(p, seg * p, variant.algo);
     for (int r = 0; r < p; ++r) {
-      EXPECT_EQ(machine.stats().rank_total(r).words_received, cost.recv_words)
+      EXPECT_EQ(machine.stats().rank_total(r).words_received(), cost.recv_words)
           << variant.name;
       EXPECT_EQ(machine.stats().rank_total(r).messages_sent, cost.messages)
           << variant.name;
@@ -105,7 +105,7 @@ TEST_P(GroupSweep, AllgatherThenReduceScatterRoundTripVolume) {
   });
   const i64 moved = block * p - block;
   for (int r = 0; r < p; ++r) {
-    EXPECT_EQ(machine.stats().rank_total(r).words_received, 2 * moved);
+    EXPECT_EQ(machine.stats().rank_total(r).words_received(), 2 * moved);
   }
 }
 
@@ -155,9 +155,9 @@ TEST_P(FaultedGroupSweep, AllgatherVariantsCorrectUnderFaults) {
     const auto cost = coll::allgather_cost(p, block * p, variant.algo);
     for (int r = 0; r < p; ++r) {
       const auto totals = machine.stats().rank_total(r);
-      EXPECT_EQ(totals.words_received, cost.recv_words)
+      EXPECT_EQ(totals.words_received(), cost.recv_words)
           << variant.name << " seed=" << fault_seed();
-      EXPECT_EQ(totals.words_sent, cost.sent_words)
+      EXPECT_EQ(totals.words_sent(), cost.sent_words)
           << variant.name << " seed=" << fault_seed();
       EXPECT_EQ(totals.messages_sent, cost.messages)
           << variant.name << " seed=" << fault_seed();
@@ -192,7 +192,7 @@ TEST_P(FaultedGroupSweep, ReduceScatterVariantsCorrectUnderFaults) {
     });
     const auto cost = coll::reduce_scatter_cost(p, seg * p, variant.algo);
     for (int r = 0; r < p; ++r) {
-      EXPECT_EQ(machine.stats().rank_total(r).words_received, cost.recv_words)
+      EXPECT_EQ(machine.stats().rank_total(r).words_received(), cost.recv_words)
           << variant.name << " seed=" << fault_seed();
       EXPECT_EQ(machine.stats().rank_total(r).messages_sent, cost.messages)
           << variant.name << " seed=" << fault_seed();

@@ -217,13 +217,13 @@ TEST(ReliableTransportMachine, HealsDropsFlipsDupsWordExactly) {
   for (int r = 0; r < kProcs; ++r) {
     const PhaseCounters algo = faulted.stats().rank_phase(r, "exchange");
     const PhaseCounters algo_clean = clean.stats().rank_phase(r, "exchange");
-    EXPECT_EQ(algo.words_sent, algo_clean.words_sent) << "rank " << r;
-    EXPECT_EQ(algo.words_received, algo_clean.words_received) << "rank " << r;
+    EXPECT_EQ(algo.words_sent(), algo_clean.words_sent()) << "rank " << r;
+    EXPECT_EQ(algo.words_received(), algo_clean.words_received()) << "rank " << r;
     EXPECT_EQ(algo.messages_sent, algo_clean.messages_sent) << "rank " << r;
     const PhaseCounters measured =
         faulted.stats().rank_phase(r, kPhaseTransport);
-    EXPECT_EQ(measured.words_sent, tax[r].words_sent) << "rank " << r;
-    EXPECT_EQ(measured.words_received, tax[r].words_received) << "rank " << r;
+    EXPECT_EQ(measured.words_sent(), tax[r].words_sent()) << "rank " << r;
+    EXPECT_EQ(measured.words_received(), tax[r].words_received()) << "rank " << r;
     EXPECT_EQ(measured.messages_sent, tax[r].messages_sent) << "rank " << r;
     EXPECT_EQ(measured.messages_received, tax[r].messages_received)
         << "rank " << r;
@@ -260,7 +260,7 @@ TEST(ReliableTransportMachine, RunsAreDeterministicAcrossReplays) {
   run_once(&first, &time_first);
   run_once(&second, &time_second);
   EXPECT_EQ(first.retransmits, second.retransmits);
-  EXPECT_EQ(first.retransmitted_words, second.retransmitted_words);
+  EXPECT_EQ(first.retransmitted_bytes, second.retransmitted_bytes);
   EXPECT_EQ(first.corrupt_discards, second.corrupt_discards);
   EXPECT_EQ(first.dup_discards, second.dup_discards);
   EXPECT_EQ(first.acks, second.acks);
@@ -316,7 +316,7 @@ TEST(ReliableTransportMachine, UnpoppedDuplicatesPartitionAsBenignDebris) {
   ASSERT_EQ(machine.transport_debris().size(), 6u);  // 3 ranks x 2 sends
   for (const UndeliveredMessage& msg : machine.transport_debris()) {
     EXPECT_TRUE(msg.transport_dup);
-    EXPECT_EQ(msg.words, 17);
+    EXPECT_EQ(msg.words(), 17);
   }
   EXPECT_EQ(machine.stats().transport_total().dup_discards, 0);
 }
@@ -365,7 +365,7 @@ TEST(MailboxDebris, DrainUndeliveredCarriesTransportDupFlag) {
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].src, 2);
   EXPECT_EQ(out[0].dst, 5);
-  EXPECT_EQ(out[0].words, 3);
+  EXPECT_EQ(out[0].words(), 3);
   EXPECT_TRUE(out[0].transport_dup);
   EXPECT_EQ(out[1].src, 1);
   EXPECT_FALSE(out[1].transport_dup);

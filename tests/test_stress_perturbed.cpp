@@ -87,7 +87,7 @@ TEST_P(PerturbedSweep, InvariantsSurviveHeavyFaults) {
 
       // Measured communication equals the analytic predictor exactly —
       // the same equality the clean harness enforces.
-      EXPECT_EQ(faulty.measured_critical_recv, faulty.predicted_critical_recv)
+      EXPECT_EQ(faulty.measured_critical_recv, faulty.predicted_words())
           << label;
 
       // Counters are schedule facts: perturbation must not move them.

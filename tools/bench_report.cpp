@@ -1,7 +1,7 @@
 // bench_report — render a benchmark JSON report as a table.  Understands
-// the BENCH_PR5.json hot-path report (bench_hotpath) and the
-// BENCH_PR7.json SDC retransmit-tax report (bench_sdc_overhead),
-// dispatching on the "bench" key.
+// the BENCH_PR5.json hot-path report (bench_hotpath), the BENCH_PR7.json
+// SDC retransmit-tax report (bench_sdc_overhead), and the BENCH_PR8.json
+// scalar-substrate report (bench_dtype), dispatching on the "bench" key.
 //
 // The repo carries no JSON library, and the report formats are fixed, so
 // this uses a small key-scanning extractor rather than a general parser.
@@ -97,6 +97,82 @@ int render_sdc_overhead(const std::string& text, const std::string& path,
   return all_exact ? 0 : 1;
 }
 
+// Renders a bench_dtype report: the f32 vs f64 kernel table, then one row
+// per (algorithm, dtype) sweep case with the word-exactness verdict.
+int render_dtype(const std::string& text, const std::string& path,
+                 const std::string& mode) {
+  std::printf("scalar-substrate report (%s)%s\n", path.c_str(),
+              mode.empty() ? "" : ("  [" + mode + " mode]").c_str());
+
+  std::size_t cursor = text.find("\"gemm\":");
+  if (cursor != std::string::npos) {
+    std::printf("\nlocal GEMM kernel (GFLOP/s, square n)\n");
+    std::printf("  %6s %8s %10s\n", "n", "dtype", "GFLOP/s");
+    std::size_t at = 0;
+    double n = 0.0;
+    const std::size_t cases_at = text.find("\"cases\":");
+    while (find_number(text, "n", &n, cursor, &at) && at < cases_at) {
+      std::string dtype;
+      {
+        const std::string needle = "\"dtype\": \"";
+        const std::size_t d = text.rfind(needle, at);
+        const std::size_t begin = d + needle.size();
+        dtype = text.substr(begin, text.find('"', begin) - begin);
+      }
+      double gflops = 0.0;
+      if (!find_number(text, "gflops", &gflops, at)) break;
+      std::printf("  %6.0f %8s %10.2f\n", n, dtype.c_str(), gflops);
+      cursor = at + 1;
+    }
+  }
+
+  std::printf("\nend-to-end dtype sweep\n");
+  std::printf("  %-16s %6s %6s %4s %12s %13s %9s  %s\n", "algorithm", "dtype",
+              "width", "P", "measured w", "predicted w", "vs Thm3", "exact");
+  cursor = text.find("\"cases\":");
+  if (cursor == std::string::npos) {
+    std::fprintf(stderr, "bench_report: no cases array in %s\n", path.c_str());
+    return 1;
+  }
+  bool all_exact = true;
+  for (;;) {
+    const std::size_t entry = text.find("{\"algorithm\":", cursor);
+    if (entry == std::string::npos) break;
+    std::string algorithm, dtype;
+    {
+      std::string needle = "\"algorithm\": \"";
+      std::size_t at = text.find(needle, entry);
+      if (at == std::string::npos) break;
+      std::size_t begin = at + needle.size();
+      algorithm = text.substr(begin, text.find('"', begin) - begin);
+      needle = "\"dtype\": \"";
+      at = text.find(needle, entry);
+      if (at == std::string::npos) break;
+      begin = at + needle.size();
+      dtype = text.substr(begin, text.find('"', begin) - begin);
+    }
+    double procs = 0, measured = 0, predicted = 0, width = 0, bound = 0;
+    if (!find_number(text, "procs", &procs, entry) ||
+        !find_number(text, "measured_words", &measured, entry) ||
+        !find_number(text, "predicted_words", &predicted, entry) ||
+        !find_number(text, "width", &width, entry) ||
+        !find_number(text, "vs_bound", &bound, entry)) {
+      break;
+    }
+    const bool exact =
+        text.compare(text.find("\"exact\":", entry) + 9, 4, "true") == 0;
+    all_exact &= exact;
+    std::printf("  %-16s %6s %6.2f %4.0f %12.1f %13.1f %8.4fx  %s\n",
+                algorithm.c_str(), dtype.c_str(), width, procs, measured,
+                predicted, bound, exact ? "word-exact" : "NO");
+    cursor = entry + 1;
+  }
+  std::printf("%s\n",
+              all_exact ? "every case matched predicted elements x width"
+                        : "SOME CASE MISSED ITS PREDICTION — investigate!");
+  return all_exact ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +192,9 @@ int main(int argc, char** argv) {
   std::string bench;
   if (find_string(text, "bench", &bench) && bench == "sdc_overhead") {
     return render_sdc_overhead(text, path, mode);
+  }
+  if (bench == "dtype") {
+    return render_dtype(text, path, mode);
   }
   std::printf("hot-path benchmark report (%s)%s\n", path.c_str(),
               mode.empty() ? "" : ("  [" + mode + " mode]").c_str());

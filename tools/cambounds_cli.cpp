@@ -218,6 +218,10 @@ int cmd_run(int argc, char** argv) {
                "| fibers (cooperative, reaches P in the tens of thousands); "
                "default honors $CAMB_SCHEDULER",
                "default");
+  cli.add_flag("dtype",
+               "element scalar carried end-to-end: f64 | f32 | i64 | kahan; "
+               "word accounting scales by sizeof(elem)/8",
+               "f64");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::cout << cli.usage("cambounds run");
@@ -272,16 +276,20 @@ int cmd_run(int argc, char** argv) {
     throw Error("--sdc-mem-rate corrupts output tiles, which only the "
                 "checksum-augmented algorithms can repair; add --abft true");
   opts.scheduler.kind = scheduler_kind_from_name(cli.get("scheduler"));
+  opts.dtype = parse_dtype(cli.get("dtype"));  // unknown names fail fast here
   const mm::RunReport report = algorithm.run_opts(shape, P, opts);
   std::cout << "algorithm: " << algorithm.name << "\n"
+            << "dtype:                  " << dtype_name(report.dtype) << " ("
+            << report.element_bytes << " bytes/element, width "
+            << dtype_width_words(report.dtype) << " words)\n"
             << "measured communication: " << report.measured_critical_recv
             << " words/processor (critical path)\n"
-            << "analytic prediction:    " << report.predicted_critical_recv
-            << " words\n"
+            << "analytic prediction:    " << report.predicted_words()
+            << " words (" << report.predicted_critical_recv << " elements)\n"
             << "messages:               " << report.measured_critical_messages
             << "\nTheorem 3 bound:        " << report.lower_bound_words
             << " words (ratio "
-            << Table::fmt(static_cast<double>(report.measured_critical_recv) /
+            << Table::fmt(report.measured_critical_recv /
                               std::max(1.0, report.lower_bound_words),
                           4)
             << ")\n";
