@@ -21,7 +21,8 @@ void set_bit(std::vector<std::uint32_t>& mask, int i) {
 
 }  // namespace
 
-RollbackState::RollbackState(RankCtx& ctx, const ResilientConfig& cfg)
+template <typename T>
+RollbackStateT<T>::RollbackStateT(RankCtx& ctx, const ResilientConfig& cfg)
     : ctx_(ctx), cfg_(cfg), T_(cfg.nprocs + cfg.spares) {
   CAMB_CHECK_MSG(cfg_.nprocs >= 1, "need at least one logical rank");
   CAMB_CHECK_MSG(cfg_.spares >= 0, "spares must be non-negative");
@@ -34,7 +35,8 @@ RollbackState::RollbackState(RankCtx& ctx, const ResilientConfig& cfg)
   std::iota(hosts_.begin(), hosts_.end(), 0);
 }
 
-int RollbackState::hosted_logical() const {
+template <typename T>
+int RollbackStateT<T>::hosted_logical() const {
   for (int logical = 0; logical < cfg_.nprocs; ++logical) {
     if (hosts_[static_cast<std::size_t>(logical)] == ctx_.rank()) {
       return logical;
@@ -43,25 +45,30 @@ int RollbackState::hosted_logical() const {
   return -1;
 }
 
-void RollbackState::begin_exec() {
+template <typename T>
+void RollbackStateT<T>::begin_exec() {
   CAMB_CHECK_MSG(round_ < kMaxRounds, "rollback rounds exhausted tag space");
   ctx_.tags().set_recovery_cursor(exec_band(round_));
 }
 
-void RollbackState::abort_exec() { ctx_.abandon_below(sync_band(round_)); }
+template <typename T>
+void RollbackStateT<T>::abort_exec() { ctx_.abandon_below(sync_band(round_)); }
 
-void RollbackState::note_failure(const PeerFailedError& err) {
+template <typename T>
+void RollbackStateT<T>::note_failure(const PeerFailedError& err) {
   if (err.peer_crashed() && err.failed_rank() >= 0 && err.failed_rank() < T_) {
     known_dead_[static_cast<std::size_t>(err.failed_rank())] = 1;
   }
 }
 
-void RollbackState::abort_sync() {
+template <typename T>
+void RollbackStateT<T>::abort_sync() {
   ctx_.abandon_below(sync_band(round_ + 1));
   ++round_;
 }
 
-std::vector<int> RollbackState::compute_hosts(
+template <typename T>
+std::vector<int> RollbackStateT<T>::compute_hosts(
     const std::vector<char>& failed) const {
   std::vector<int> hosts(static_cast<std::size_t>(cfg_.nprocs));
   int spare = cfg_.nprocs;
@@ -77,7 +84,8 @@ std::vector<int> RollbackState::compute_hosts(
   return hosts;
 }
 
-bool RollbackState::round_sync(bool exec_success) {
+template <typename T>
+bool RollbackStateT<T>::round_sync(bool exec_success) {
   CAMB_CHECK_MSG(round_ < kMaxRounds, "rollback rounds exhausted tag space");
   const int P = cfg_.nprocs;
   const int me = ctx_.rank();
@@ -262,15 +270,16 @@ bool RollbackState::round_sync(bool exec_success) {
       const int recruit = hosts_[static_cast<std::size_t>(logical)];
       const int tag = restream_base + logical;
       if (me == holder) {
-        const Snapshot* snap = store_.ward(epoch);
+        const SnapshotT<T>* snap = store_.ward(epoch);
         CAMB_CHECK_MSG(snap != nullptr, "agreed ward epoch missing");
         ctx_.set_phase(kPhaseCkptRollback);
-        ctx_.send(recruit, tag, snapshot_to_wire(*snap));
+        ctx_.send(recruit, tag, Buffer::adopt(snapshot_to_wire(*snap)));
         ctx_.set_phase(kPhaseCkptShrink);
       }
       if (me == recruit) {
         ctx_.set_phase(kPhaseCkptRollback);
-        Snapshot snap = snapshot_from_wire(ctx_.recv(holder, tag));
+        SnapshotT<T> snap = snapshot_from_wire(
+            std::move(ctx_.recv(holder, tag)).template take_as<T>());
         ctx_.set_phase(kPhaseCkptShrink);
         CAMB_CHECK(snap.epoch == epoch);
         store_.put_own(std::move(snap));
@@ -281,54 +290,66 @@ bool RollbackState::round_sync(bool exec_success) {
   return false;
 }
 
-Session::Session(RollbackState& rb)
+template <typename T>
+SessionT<T>::SessionT(RollbackStateT<T>& rb)
     : rb_(rb),
       logical_(rb.hosted_logical()),
       commit_base_(rb.ctx().tags().lease_recovery(1).base) {
   CAMB_CHECK_MSG(logical_ >= 0, "idle spares do not execute");
 }
 
-const Snapshot& Session::snapshot() const {
-  const Snapshot* snap = rb_.store().own(rb_.resume_epoch());
+template <typename T>
+const SnapshotT<T>& SessionT<T>::snapshot() const {
+  const SnapshotT<T>* snap = rb_.store().own(rb_.resume_epoch());
   CAMB_CHECK_MSG(snap != nullptr, "agreed resume epoch missing from store");
   return *snap;
 }
 
-coll::Comm Session::comm(const std::vector<int>& logical_members,
-                         int tag_blocks) const {
+template <typename T>
+coll::Comm SessionT<T>::comm(const std::vector<int>& logical_members,
+                             int tag_blocks) const {
   std::vector<int> physical;
   physical.reserve(logical_members.size());
   for (int logical : logical_members) {
-    CAMB_CHECK(logical >= 0 && logical < nprocs());
+    CAMB_CHECK(logical >= 0 && logical < this->nprocs());
     physical.push_back(rb_.hosts()[static_cast<std::size_t>(logical)]);
   }
-  return coll::Comm::recovery(ctx(), std::move(physical), tag_blocks);
+  return coll::Comm::recovery(this->ctx(), std::move(physical), tag_blocks);
 }
 
-void Session::boundary(i64 step, const std::function<Snapshot()>& make) {
+template <typename T>
+void SessionT<T>::boundary(i64 step,
+                           const std::function<SnapshotT<T>()>& make) {
   const i64 interval = rb_.config().interval;
   CAMB_CHECK(step >= 1);
   if (step % interval != 0) return;
   const i64 epoch = step / interval;
   if (epoch <= rb_.resume_epoch()) return;  // restored, not re-committed
   CAMB_CHECK_MSG(epoch < kTagBlockWidth, "too many epochs for one tag block");
-  const int P = nprocs();
+  const int P = this->nprocs();
   const int stride = rb_.config().buddy_stride;
   const int buddy_host =
       rb_.hosts()[static_cast<std::size_t>(ckpt_buddy(logical_, P, stride))];
   const int ward_host =
       rb_.hosts()[static_cast<std::size_t>(ckpt_ward(logical_, P, stride))];
-  Snapshot snap = make();
+  SnapshotT<T> snap = make();
   snap.epoch = epoch;
-  ctx().set_phase(kPhaseCheckpoint);
+  this->ctx().set_phase(kPhaseCheckpoint);
   // Pairwise ring: buffered send to the buddy's host first, then the
   // blocking receive of the ward copy — deadlock-free by construction.
   const int tag = commit_base_ + static_cast<int>(epoch);
-  ctx().send(buddy_host, tag, snapshot_to_wire(snap));
-  Snapshot ward = snapshot_from_wire(ctx().recv(ward_host, tag));
+  this->ctx().send(buddy_host, tag, Buffer::adopt(snapshot_to_wire(snap)));
+  SnapshotT<T> ward = snapshot_from_wire(
+      std::move(this->ctx().recv(ward_host, tag)).template take_as<T>());
   CAMB_CHECK(ward.epoch == epoch);
   rb_.store().put_own(std::move(snap));
   rb_.store().put_ward(std::move(ward));
 }
+
+#define CAMB_INSTANTIATE(T)          \
+  template class RollbackStateT<T>;  \
+  template class SessionT<T>;
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb::ckpt

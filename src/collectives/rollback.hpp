@@ -105,12 +105,17 @@ struct RoundRecord {
 };
 using RunLog = std::vector<RoundRecord>;
 
-class Session;
+template <typename T>
+class SessionT;
 
-/// Per-physical-rank driver state for the round loop.
-class RollbackState {
+/// Per-physical-rank driver state for the round loop.  Templated over the
+/// run's scalar: the agreement flood is dtype-independent control traffic
+/// (fixed 8-byte words), but the snapshot store and restream wires carry
+/// the algorithm's scalar T.
+template <typename T>
+class RollbackStateT {
  public:
-  RollbackState(RankCtx& ctx, const ResilientConfig& cfg);
+  RollbackStateT(RankCtx& ctx, const ResilientConfig& cfg);
 
   int round() const { return round_; }
   /// Logical rank this physical rank currently hosts; -1 = idle spare.
@@ -120,7 +125,7 @@ class RollbackState {
   const std::vector<int>& hosts() const { return hosts_; }
   const ResilientConfig& config() const { return cfg_; }
   RankCtx& ctx() const { return ctx_; }
-  CheckpointStore& store() { return store_; }
+  CheckpointStoreT<T>& store() { return store_; }
   const RunLog& log() const { return log_; }
 
   /// Enter this round's exec band (cursor re-alignment).
@@ -147,17 +152,19 @@ class RollbackState {
   i64 epoch_ = 0;
   std::vector<char> known_dead_;
   std::vector<int> hosts_;
-  CheckpointStore store_;
+  CheckpointStoreT<T> store_;
   RunLog log_;
 };
+using RollbackState = RollbackStateT<double>;
 
 /// The per-execution-attempt face the algorithm twins program against:
 /// logical-rank geometry, recovery-region communicators translated through
 /// the hosts map, and epoch-boundary commits.  Constructed fresh for every
 /// execution round (its construction leases the round's commit tag block).
-class Session {
+template <typename T>
+class SessionT {
  public:
-  explicit Session(RollbackState& rb);
+  explicit SessionT(RollbackStateT<T>& rb);
 
   /// Logical rank / logical machine size.
   int rank() const { return logical_; }
@@ -170,7 +177,7 @@ class Session {
   i64 resume_step() const { return rb_.resume_epoch() * interval(); }
   bool restored() const { return rb_.resume_epoch() >= 1; }
   /// The snapshot to restore from (valid when restored()).
-  const Snapshot& snapshot() const;
+  const SnapshotT<T>& snapshot() const;
 
   /// Recovery communicator over *logical* members, translated to physical
   /// ranks through the agreed hosts map.  Twins make the identical sequence
@@ -183,23 +190,25 @@ class Session {
   /// stores the ward copy received from the ward's host, all in the
   /// dedicated "checkpoint" phase.  The twin must set its own phase after
   /// the call.  Throws PeerFailedError if a commit peer died.
-  void boundary(i64 step, const std::function<Snapshot()>& make);
+  void boundary(i64 step, const std::function<SnapshotT<T>()>& make);
 
  private:
-  RollbackState& rb_;
+  RollbackStateT<T>& rb_;
   int logical_;
   int commit_base_;
 };
+using Session = SessionT<double>;
 
 /// The round loop run by every physical rank: attempt the body, store its
 /// output under the results mutex, synchronize, repeat until every logical
 /// rank's output is claimed.  Crashed ranks simply stop participating;
-/// spares idle until the hosts map drafts them.
-template <typename Output, typename Body>
+/// spares idle until the hosts map drafts them.  T is the run's scalar —
+/// the snapshot wires the body commits through SessionT<T>::boundary.
+template <typename T, typename Output, typename Body>
 void run_resilient(RankCtx& ctx, const ResilientConfig& cfg, Body&& body,
                    std::vector<std::optional<Output>>* results,
                    std::mutex* results_mu, RunLog* log_out) {
-  RollbackState rb(ctx, cfg);
+  RollbackStateT<T> rb(ctx, cfg);
   bool skip_exec = false;
   while (true) {
     const int logical = rb.hosted_logical();
@@ -207,7 +216,7 @@ void run_resilient(RankCtx& ctx, const ResilientConfig& cfg, Body&& body,
     if (!skip_exec && logical >= 0) {
       rb.begin_exec();
       try {
-        Session session(rb);
+        SessionT<T> session(rb);
         Output out = body(session);
         {
           std::lock_guard<std::mutex> lock(*results_mu);

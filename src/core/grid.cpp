@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <tuple>
 
 #include "core/cost_eq3.hpp"
 #include "util/error.hpp"
@@ -85,6 +86,33 @@ Grid3 best_integer_grid(const Shape& shape, i64 P) {
     if (cost < best_cost) {
       best_cost = cost;
       best = grid;
+    }
+  }
+  return best;
+}
+
+Grid3 best_integer_grid_at_most(const Shape& shape, i64 max_procs) {
+  CAMB_CHECK_MSG(max_procs >= 1, "max_procs must be >= 1");
+  const double flops = 2.0 * static_cast<double>(shape.n1) *
+                       static_cast<double>(shape.n2) *
+                       static_cast<double>(shape.n3);
+  Grid3 best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (i64 p = 1; p <= max_procs; ++p) {
+    for (const FactorTriple& t : factor_triples(p)) {
+      const Grid3 grid{t.a, t.b, t.c};
+      const double cost =
+          alg1_cost_words(shape, grid) +
+          kPlanGammaOverBeta * flops / static_cast<double>(grid.total());
+      if (cost < best_cost ||
+          (cost == best_cost &&
+           (grid.total() > best.total() ||
+            (grid.total() == best.total() &&
+             std::tie(grid.p1, grid.p2, grid.p3) <
+                 std::tie(best.p1, best.p2, best.p3))))) {
+        best_cost = cost;
+        best = grid;
+      }
     }
   }
   return best;

@@ -51,6 +51,25 @@ Grid3 best_integer_grid(const Shape& shape, i64 P);
 /// All factor triples of P as grids (the ablation bench ranks them).
 std::vector<Grid3> all_grids(i64 P);
 
+/// Flops charged per word when a processor-count-constrained search weighs
+/// shedding ranks against shedding communication: the γ/β ratio of the
+/// default α-β-γ machine (1e-11 s/flop against 1e-9 s/word).  Eq. 3 alone
+/// cannot rank grids of DIFFERENT totals — one rank moves zero words — so
+/// the at-most search scores β·(eq. 3 words) + γ·(flops per rank) in units
+/// of words: words + kPlanGammaOverBeta · 2·n1·n2·n3 / total.
+inline constexpr double kPlanGammaOverBeta = 0.01;
+
+/// Elastic re-planning: the best integer grid using AT MOST `max_procs`
+/// ranks — the exhaustive eq. 3 search of best_integer_grid extended down
+/// the divisor lattice, for survivor counts P′ whose own factorizations are
+/// awkward (e.g. P′ prime after one failure).  Candidates are scored by
+/// eq. 3 words plus the kPlanGammaOverBeta compute share, so dropping to a
+/// sparser rank count must buy its communication savings against the serial
+/// work it concentrates.  Deterministic tie-breaks: lowest score, then the
+/// larger rank count (more parallelism at equal cost), then
+/// lexicographically smallest (p1, p2, p3).
+Grid3 best_integer_grid_at_most(const Shape& shape, i64 max_procs);
+
 /// True iff every grid dimension divides its matrix dimension.
 bool grid_divides(const Shape& shape, const Grid3& grid);
 

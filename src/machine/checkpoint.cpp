@@ -2,16 +2,34 @@
 
 namespace camb {
 
-std::vector<double> snapshot_to_wire(const Snapshot& snap) {
+namespace {
+
+/// Header values (epoch, counts, sizes) ride the wire as scalars of T; the
+/// round trip through T is exact for every supported scalar at simulated
+/// sizes (small non-negative integers).
+template <typename T>
+T encode_header(i64 value) {
+  return T(static_cast<double>(value));
+}
+
+template <typename T>
+i64 decode_header(const T& value) {
+  return static_cast<i64>(ScalarTraits<T>::to_double(value));
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<T> snapshot_to_wire(const SnapshotT<T>& snap) {
   CAMB_CHECK(snap.epoch >= 0);
-  std::vector<double> wire;
+  std::vector<T> wire;
   std::size_t total = 2 + snap.bufs.size();
   for (const auto& buf : snap.bufs) total += buf.size();
   wire.reserve(total);
-  wire.push_back(static_cast<double>(snap.epoch));
-  wire.push_back(static_cast<double>(snap.bufs.size()));
+  wire.push_back(encode_header<T>(snap.epoch));
+  wire.push_back(encode_header<T>(static_cast<i64>(snap.bufs.size())));
   for (const auto& buf : snap.bufs) {
-    wire.push_back(static_cast<double>(buf.size()));
+    wire.push_back(encode_header<T>(static_cast<i64>(buf.size())));
   }
   for (const auto& buf : snap.bufs) {
     wire.insert(wire.end(), buf.begin(), buf.end());
@@ -19,16 +37,17 @@ std::vector<double> snapshot_to_wire(const Snapshot& snap) {
   return wire;
 }
 
-Snapshot snapshot_from_wire(const std::vector<double>& wire) {
+template <typename T>
+SnapshotT<T> snapshot_from_wire(const std::vector<T>& wire) {
   CAMB_CHECK_MSG(wire.size() >= 2, "snapshot wire truncated");
-  Snapshot snap;
-  snap.epoch = static_cast<i64>(wire[0]);
-  const auto nbufs = static_cast<std::size_t>(wire[1]);
+  SnapshotT<T> snap;
+  snap.epoch = decode_header(wire[0]);
+  const auto nbufs = static_cast<std::size_t>(decode_header(wire[1]));
   CAMB_CHECK_MSG(wire.size() >= 2 + nbufs, "snapshot wire truncated");
   std::size_t off = 2 + nbufs;
   snap.bufs.reserve(nbufs);
   for (std::size_t b = 0; b < nbufs; ++b) {
-    const auto size = static_cast<std::size_t>(wire[2 + b]);
+    const auto size = static_cast<std::size_t>(decode_header(wire[2 + b]));
     CAMB_CHECK_MSG(off + size <= wire.size(), "snapshot wire truncated");
     snap.bufs.emplace_back(wire.begin() + static_cast<std::ptrdiff_t>(off),
                            wire.begin() + static_cast<std::ptrdiff_t>(off + size));
@@ -37,5 +56,11 @@ Snapshot snapshot_from_wire(const std::vector<double>& wire) {
   CAMB_CHECK_MSG(off == wire.size(), "snapshot wire has trailing words");
   return snap;
 }
+
+#define CAMB_INSTANTIATE(T)                                          \
+  template std::vector<T> snapshot_to_wire<T>(const SnapshotT<T>&);  \
+  template SnapshotT<T> snapshot_from_wire<T>(const std::vector<T>&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 }  // namespace camb

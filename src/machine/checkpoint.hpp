@@ -21,21 +21,30 @@
 
 #include "util/error.hpp"
 #include "util/math.hpp"
+#include "util/scalar.hpp"
 
 namespace camb {
 
-/// One epoch-stamped capture of a rank's live buffers.
-struct Snapshot {
+/// One epoch-stamped capture of a rank's live buffers, in the run's scalar.
+template <typename T>
+struct SnapshotT {
   i64 epoch = 0;
-  std::vector<std::vector<double>> bufs;
+  std::vector<std::vector<T>> bufs;
 };
+using Snapshot = SnapshotT<double>;
 
 /// Wire format: [epoch, nbufs, size_0 .. size_{n-1}, buf_0 .. buf_{n-1}].
-/// Exact word count: 2 + nbufs + sum of sizes.
-std::vector<double> snapshot_to_wire(const Snapshot& snap);
-Snapshot snapshot_from_wire(const std::vector<double>& wire);
+/// Exact element count: 2 + nbufs + sum of sizes.  The header values travel
+/// as scalars of T so the whole wire is one homogeneous payload; epochs and
+/// buffer sizes at simulated scales are small integers, exact in every
+/// supported scalar (f32 holds integers exactly up to 2^24).
+template <typename T>
+std::vector<T> snapshot_to_wire(const SnapshotT<T>& snap);
+template <typename T>
+SnapshotT<T> snapshot_from_wire(const std::vector<T>& wire);
 
-/// Words snapshot_to_wire would produce for buffer sizes `sizes`.
+/// Elements snapshot_to_wire would produce for buffer sizes `sizes` (scale
+/// by the dtype width to land in 8-byte words).
 inline i64 snapshot_wire_words(const std::vector<i64>& sizes) {
   i64 total = 2 + static_cast<i64>(sizes.size());
   for (i64 s : sizes) total += s;
@@ -59,9 +68,10 @@ inline int ckpt_ward(int logical, int nprocs, int stride) {
 /// ward.  reset() clears everything — called when spare substitution
 /// changes which logical rank this physical rank hosts, because the stored
 /// epochs describe a different identity's state.
-class CheckpointStore {
+template <typename T>
+class CheckpointStoreT {
  public:
-  void put_own(Snapshot snap) {
+  void put_own(SnapshotT<T> snap) {
     CAMB_CHECK(snap.epoch >= 1);
     const i64 e = snap.epoch;
     own_[e] = std::move(snap);
@@ -69,7 +79,7 @@ class CheckpointStore {
     own_committed_ = std::max(own_committed_, e);
   }
 
-  void put_ward(Snapshot snap) {
+  void put_ward(SnapshotT<T> snap) {
     CAMB_CHECK(snap.epoch >= 1);
     const i64 e = snap.epoch;
     ward_[e] = std::move(snap);
@@ -78,11 +88,11 @@ class CheckpointStore {
   }
 
   /// nullptr when the epoch is absent.
-  const Snapshot* own(i64 epoch) const {
+  const SnapshotT<T>* own(i64 epoch) const {
     auto it = own_.find(epoch);
     return it == own_.end() ? nullptr : &it->second;
   }
-  const Snapshot* ward(i64 epoch) const {
+  const SnapshotT<T>* ward(i64 epoch) const {
     auto it = ward_.find(epoch);
     return it == ward_.end() ? nullptr : &it->second;
   }
@@ -102,12 +112,13 @@ class CheckpointStore {
   }
 
  private:
-  std::map<i64, Snapshot> own_;
-  std::map<i64, Snapshot> ward_;
+  std::map<i64, SnapshotT<T>> own_;
+  std::map<i64, SnapshotT<T>> ward_;
   i64 own_committed_ = 0;
   i64 own_lo_ = 0;
   i64 ward_lo_ = 0;
   i64 ward_hi_ = 0;
 };
+using CheckpointStore = CheckpointStoreT<double>;
 
 }  // namespace camb

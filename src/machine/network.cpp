@@ -97,7 +97,8 @@ double Network::send_timed(int src, int dst, int tag, Buffer payload,
       trace_->record_transport(src, dst, tag, bytes, faults.dropped_copies,
                                faults.corrupt_copies, false);
     }
-    throw TransportError(src, dst, tag, failed_copies);
+    throw TransportError(src, dst, tag, failed_copies,
+                         fault_plan_->profile().max_transport_retries);
   }
 
   // Latency charged per attempt (with backoff), payload words exactly once

@@ -45,25 +45,52 @@ inline constexpr const char* kPhaseTransport = "transport";
 
 /// Thrown by the transport when a send exhausts its retransmit budget
 /// (faults.hpp max_transport_retries): the named, structured give-up path.
+/// The message reports the configured budget and the exponential-backoff
+/// schedule the copies actually waited through, so an exhaustion report is
+/// actionable (raise max_transport_retries, or fix the loss rate).
 class TransportError : public Error {
  public:
-  TransportError(int src, int dst, int tag, int failed_copies)
+  TransportError(int src, int dst, int tag, int failed_copies,
+                 int max_transport_retries)
       : Error("reliable transport gave up on send " + std::to_string(src) +
               " -> " + std::to_string(dst) + " tag " + std::to_string(tag) +
               " after " + std::to_string(failed_copies) +
-              " dropped/corrupted copies (retransmit budget exhausted)"),
-        src_(src), dst_(dst), tag_(tag), failed_copies_(failed_copies) {}
+              " dropped/corrupted copies (retransmit budget "
+              "max_transport_retries=" +
+              std::to_string(max_transport_retries) +
+              " exhausted; backoff schedule waited " +
+              backoff_schedule(failed_copies) + " alpha units)"),
+        src_(src), dst_(dst), tag_(tag), failed_copies_(failed_copies),
+        max_transport_retries_(max_transport_retries) {}
 
   int src() const { return src_; }
   int dst() const { return dst_; }
   int tag() const { return tag_; }
   int failed_copies() const { return failed_copies_; }
+  int max_transport_retries() const { return max_transport_retries_; }
+
+  /// The per-copy backoff waits actually paid: copy k waits 2^(k-1) alpha
+  /// units (faults.hpp FaultPlan::retry_alpha_units), so `copies` failed
+  /// copies cost "1+2+4+..." = 2^copies - 1 units in total.
+  static std::string backoff_schedule(int copies) {
+    std::string schedule;
+    long long total = 0;
+    for (int k = 0; k < copies; ++k) {
+      const long long wait = 1ll << k;
+      total += wait;
+      if (!schedule.empty()) schedule += "+";
+      schedule += std::to_string(wait);
+    }
+    if (schedule.empty()) schedule = "0";
+    return schedule + " = " + std::to_string(total);
+  }
 
  private:
   int src_;
   int dst_;
   int tag_;
   int failed_copies_;
+  int max_transport_retries_;
 };
 
 /// Seeded 64-bit payload checksum (splitmix64-mixed over the words' bit

@@ -508,8 +508,9 @@ i64 summa_abft_predicted_recv_words(const SummaAbftConfig& cfg, int rank) {
   return words;
 }
 
-SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
-                                     const SummaAbftConfig& cfg) {
+template <typename T>
+SummaAbftOutputT<T> summa_abft_ckpt_rank(ckpt::SessionT<T>& session,
+                                         const SummaAbftConfig& cfg) {
   RankCtx& ctx = session.ctx();
   const i64 g = cfg.base.g;
   CAMB_CHECK_MSG(g * g == session.nprocs(), "SUMMA machine size must be g*g");
@@ -522,21 +523,21 @@ SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
   const i64 d1max = d1.size(0);
   const i64 d3max = d3.size(0);
 
-  std::vector<double> a_own = fill_chunk_indexed_int(full_block(d1, i, d2, j));
-  std::vector<double> b_own = fill_chunk_indexed_int(full_block(d2, i, d3, j));
+  std::vector<T> a_own = abft_fill<T>(full_block(d1, i, d2, j));
+  std::vector<T> b_own = abft_fill<T>(full_block(d2, i, d3, j));
 
-  SummaAbftOutput out;
+  SummaAbftOutputT<T> out;
   out.own.row0 = d1.start(i);
   out.own.col0 = d3.start(j);
-  out.own.block = MatrixD(d1.size(i), d3.size(j));
+  out.own.block = Matrix<T>(d1.size(i), d3.size(j));
 
   const bool hold_s = (i == 0);
   const bool hold_r = (j == 0);
   const bool is_corner = (i == g - 1 && j == g - 1);
-  MatrixD s_sum, r_sum, t_sum;
-  if (hold_s) s_sum = MatrixD(d1max, d3.size(j));
-  if (hold_r) r_sum = MatrixD(d1.size(i), d3max);
-  if (is_corner) t_sum = MatrixD(d1max, d3max);
+  Matrix<T> s_sum, r_sum, t_sum;
+  if (hold_s) s_sum = Matrix<T>(d1max, d3.size(j));
+  if (hold_r) r_sum = Matrix<T>(d1.size(i), d3max);
+  if (is_corner) t_sum = Matrix<T>(d1max, d3max);
 
   // Same fiber lease budget as summa_abft_rank; the twin builds its own two
   // fibers on the session (every rank leases in the same row-then-column
@@ -556,7 +557,7 @@ SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
 
   const i64 t0 = session.resume_step();
   if (session.restored()) {
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     std::size_t b = 0;
     std::copy(snap.bufs.at(b).begin(), snap.bufs.at(b).end(),
               out.own.block.data());
@@ -579,34 +580,34 @@ SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
   for (i64 t = t0; t < g; ++t) {
     // Base SUMMA stage (identical to summa_abft_rank's main loop).
     ctx.set_phase(kPhaseSummaBcastA);
-    std::vector<double> a_panel = (t == j) ? a_own : std::vector<double>{};
+    std::vector<T> a_panel = (t == j) ? a_own : std::vector<T>{};
     const i64 a_rows = d1.size(i), a_cols = d2.size(t);
     coll::bcast(my_row, static_cast<int>(t), a_panel, a_rows * a_cols,
                 cfg.base.bcast, cfg.base.bcast_segments);
 
     ctx.set_phase(kPhaseSummaBcastB);
-    std::vector<double> b_panel = (t == i) ? b_own : std::vector<double>{};
+    std::vector<T> b_panel = (t == i) ? b_own : std::vector<T>{};
     const i64 b_rows = d2.size(t), b_cols = d3.size(j);
     coll::bcast(my_col, static_cast<int>(t), b_panel, b_rows * b_cols,
                 cfg.base.bcast, cfg.base.bcast_segments);
 
     ctx.set_phase(kPhaseSummaGemm);
-    const MatrixD a_mat = to_matrix(a_panel, a_rows, a_cols);
-    const MatrixD b_mat = to_matrix(b_panel, b_rows, b_cols);
+    const Matrix<T> a_mat = to_matrix(a_panel, a_rows, a_cols);
+    const Matrix<T> b_mat = to_matrix(b_panel, b_rows, b_cols);
     gemm_accumulate(a_mat, b_mat, out.own.block);
 
     ctx.set_phase(kPhaseAbftEncode);
-    std::vector<double> asum =
+    std::vector<T> asum =
         coll::reduce(my_col, 0, pad_rows(a_panel, a_rows, a_cols, d1max));
-    std::vector<double> bsum =
+    std::vector<T> bsum =
         coll::reduce(my_row, 0, pad_cols(b_panel, b_rows, b_cols, d3max));
     if (i == 0 && j == g - 1) {
       my_col.send(static_cast<int>(g - 1), fwd_a_tags + static_cast<int>(t),
-                  Buffer::copy_of(asum));
+                  Buffer::pack<T>(asum));
     }
     if (i == g - 1 && j == 0) {
       my_row.send(static_cast<int>(g - 1), fwd_b_tags + static_cast<int>(t),
-                  Buffer::copy_of(bsum));
+                  Buffer::pack<T>(bsum));
     }
     if (hold_s) {
       gemm_accumulate(to_matrix(asum, d1max, a_cols), b_mat, s_sum);
@@ -615,16 +616,18 @@ SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
       gemm_accumulate(a_mat, to_matrix(bsum, b_rows, d3max), r_sum);
     }
     if (is_corner) {
-      const std::vector<double> asum_c =
-          my_col.recv(0, fwd_a_tags + static_cast<int>(t));
-      const std::vector<double> bsum_c =
-          my_row.recv(0, fwd_b_tags + static_cast<int>(t));
+      const std::vector<T> asum_c =
+          std::move(my_col.recv(0, fwd_a_tags + static_cast<int>(t)))
+              .template take_as<T>();
+      const std::vector<T> bsum_c =
+          std::move(my_row.recv(0, fwd_b_tags + static_cast<int>(t)))
+              .template take_as<T>();
       gemm_accumulate(to_matrix(asum_c, d1max, d2.size(t)),
                       to_matrix(bsum_c, d2.size(t), d3max), t_sum);
     }
 
     session.boundary(t + 1, [&] {
-      Snapshot snap;
+      SnapshotT<T> snap;
       snap.bufs.emplace_back(out.own.block.data(),
                              out.own.block.data() + out.own.block.size());
       if (hold_s) {
@@ -646,6 +649,12 @@ SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
   if (is_corner) out.t_sum = t_sum;
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                                \
+  template SummaAbftOutputT<T> summa_abft_ckpt_rank<T>(    \
+      ckpt::SessionT<T>&, const SummaAbftConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 summa_abft_ckpt_steps(const SummaAbftConfig& cfg) { return cfg.base.g; }
 
@@ -669,11 +678,12 @@ i64 summa_abft_ckpt_base_recv_words(const SummaAbftConfig& cfg, int rank) {
              static_cast<int>(cfg.base.g * cfg.base.g), cfg.max_failures);
 }
 
-Grid3dAbftOutput grid3d_abft_ckpt_rank(ckpt::Session& session,
-                                       const Grid3dAbftConfig& cfg) {
+template <typename T>
+Grid3dAbftOutputT<T> grid3d_abft_ckpt_rank(ckpt::SessionT<T>& session,
+                                           const Grid3dAbftConfig& cfg) {
   RankCtx& ctx = session.ctx();
   Grid3dConfig base = cfg.base;
-  base.integer_inputs = true;
+  base.integer_inputs = !ScalarTraits<T>::exact;
   CAMB_CHECK_MSG(base.grid.total() == session.nprocs(),
                  "grid size must equal the logical machine size");
   const int me = session.rank();
@@ -692,12 +702,12 @@ Grid3dAbftOutput grid3d_abft_ckpt_rank(ckpt::Session& session,
   const coll::Comm fiber_a = session.comm(map.fiber(2, q1, q2, q3));
 
   const i64 t0 = session.resume_step();
-  std::vector<double> a_flat, b_flat;
-  Grid3dAbftOutput out;
+  std::vector<T> a_flat, b_flat;
+  Grid3dAbftOutputT<T> out;
   out.own.c_chunk = layout.c;
-  std::vector<double> parity;
+  std::vector<T> parity;
   if (session.restored()) {
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     if (t0 == 1) {
       a_flat = snap.bufs.at(0);
     } else if (t0 == 2) {
@@ -717,37 +727,34 @@ Grid3dAbftOutput grid3d_abft_ckpt_rank(ckpt::Session& session,
       ctx.set_phase(kPhaseAllgatherA);
       const camb::WorkingSet a_ws(ctx, layout.a.block_size());
       a_flat = coll::allgather(fiber_a, layout.a_counts,
-                               fill_chunk_indexed_int(layout.a),
-                               base.allgather);
+                               abft_fill<T>(layout.a), base.allgather);
     } else if (step == 1) {
       ctx.set_phase(kPhaseAllgatherB);
       const camb::WorkingSet b_ws(ctx, layout.b.block_size());
       b_flat = coll::allgather(fiber_b, layout.b_counts,
-                               fill_chunk_indexed_int(layout.b),
-                               base.allgather);
+                               abft_fill<T>(layout.b), base.allgather);
     } else if (step == 2) {
       ctx.set_phase(kPhaseLocalGemm);
       const camb::WorkingSet d_ws(ctx, layout.c.block_size());
-      MatrixD a_block(layout.a.rows, layout.a.cols);
+      Matrix<T> a_block(layout.a.rows, layout.a.cols);
       std::copy(a_flat.begin(), a_flat.end(), a_block.data());
-      MatrixD b_block(layout.b.rows, layout.b.cols);
+      Matrix<T> b_block(layout.b.rows, layout.b.cols);
       std::copy(b_flat.begin(), b_flat.end(), b_block.data());
-      const MatrixD d_block = gemm(a_block, b_block);
+      const Matrix<T> d_block = gemm(a_block, b_block);
       ctx.set_phase(kPhaseReduceScatterC);
-      std::vector<double> d_flat(d_block.data(),
-                                 d_block.data() + d_block.size());
+      std::vector<T> d_flat(d_block.data(), d_block.data() + d_block.size());
       out.own.c_data = coll::reduce_scatter(fiber_c, layout.c_counts, d_flat,
                                             base.reduce_scatter);
       CAMB_CHECK(static_cast<i64>(out.own.c_data.size()) ==
                  layout.c.flat_size);
     } else {
       ctx.set_phase(kPhaseAbftEncode);
-      std::vector<double> padded = out.own.c_data;
-      padded.resize(static_cast<std::size_t>(lmax), 0.0);
+      std::vector<T> padded = out.own.c_data;
+      padded.resize(static_cast<std::size_t>(lmax), ScalarTraits<T>::zero());
       parity = coll::allreduce(parity_fiber, std::move(padded));
     }
     session.boundary(step + 1, [&] {
-      Snapshot snap;
+      SnapshotT<T> snap;
       if (step == 0) {
         snap.bufs = {a_flat};
       } else if (step == 1) {
@@ -763,6 +770,12 @@ Grid3dAbftOutput grid3d_abft_ckpt_rank(ckpt::Session& session,
   out.parity = parity;
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                                \
+  template Grid3dAbftOutputT<T> grid3d_abft_ckpt_rank<T>(  \
+      ckpt::SessionT<T>&, const Grid3dAbftConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 grid3d_abft_ckpt_steps(const Grid3dAbftConfig& cfg) {
   (void)cfg;

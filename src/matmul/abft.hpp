@@ -132,9 +132,11 @@ i64 grid3d_abft_predicted_recv_words(const Grid3dAbftConfig& cfg, int rank);
 /// boundaries — but no shrink/degraded path.  Under rollback recovery a
 /// failure aborts the round and the harness re-executes, so the ABFT
 /// reconstruction machinery is never entered (recovered stays empty).
-SummaAbftOutput summa_abft_ckpt_rank(ckpt::Session& session,
-                                     const SummaAbftConfig& cfg);
-Grid3dAbftOutput grid3d_abft_ckpt_rank(ckpt::Session& session,
+template <typename T>
+SummaAbftOutputT<T> summa_abft_ckpt_rank(ckpt::SessionT<T>& session,
+                                         const SummaAbftConfig& cfg);
+template <typename T>
+Grid3dAbftOutputT<T> grid3d_abft_ckpt_rank(ckpt::SessionT<T>& session,
                                        const Grid3dAbftConfig& cfg);
 
 i64 summa_abft_ckpt_steps(const SummaAbftConfig& cfg);

@@ -44,28 +44,14 @@ void validate(const Alg25dConfig& cfg, int nprocs) {
 }  // namespace
 
 template <typename T>
-Block2DOutputT<T> alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
-  validate(cfg, ctx.nprocs());
+std::vector<T> alg25d_core(RankCtx& ctx, const Alg25dConfig& cfg, i64 i, i64 j,
+                           i64 l, const coll::Comm& depth,
+                           const coll::Comm& my_row, const coll::Comm& my_col,
+                           std::vector<T> a_held, std::vector<T> b_held) {
   const i64 g = cfg.g, c = cfg.c;
   const i64 w = g / c;  // Cannon steps per layer
-  const auto [i, j, l] = coords_of(ctx.rank(), g);
   const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
       d3(cfg.shape.n3, g);
-
-  // Layer 0 materializes the single input copy.
-  std::vector<T> a_held, b_held;
-  if (l == 0) {
-    a_held = fill_chunk_indexed<T>(full_block(d1, i, d2, j));
-    b_held = fill_chunk_indexed<T>(full_block(d2, i, d3, j));
-  }
-
-  // Layer-major layout (l * g + i) * g + j is Grid3{c, g, g} with coords
-  // (l, i, j): fiber(0) is the depth fiber (index l), fiber(2) the in-layer
-  // row comm A shifts along (index j), fiber(1) the column comm for B.
-  const coll::GridComm grid25(ctx, Grid3{c, g, g});
-  const coll::Comm& depth = grid25.fiber(0);
-  const coll::Comm& my_row = grid25.fiber(2);
-  const coll::Comm& my_col = grid25.fiber(1);
 
   // 1. Replicate both inputs along the depth fiber.
   ctx.set_phase(kPhase25dReplicate);
@@ -127,6 +113,36 @@ Block2DOutputT<T> alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
   std::vector<T> c_flat(c_partial.data(),
                         c_partial.data() + c_partial.size());
   std::vector<T> c_sum = coll::reduce(depth, 0, std::move(c_flat));
+  if (l != 0) c_sum.clear();
+  return c_sum;
+}
+
+template <typename T>
+Block2DOutputT<T> alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
+  validate(cfg, ctx.nprocs());
+  const i64 g = cfg.g, c = cfg.c;
+  const auto [i, j, l] = coords_of(ctx.rank(), g);
+  const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
+      d3(cfg.shape.n3, g);
+
+  // Layer 0 materializes the single input copy.
+  std::vector<T> a_held, b_held;
+  if (l == 0) {
+    const auto fill = [&](const BlockChunk& chunk) {
+      return cfg.integer_inputs ? fill_chunk_indexed_int<T>(chunk)
+                                : fill_chunk_indexed<T>(chunk);
+    };
+    a_held = fill(full_block(d1, i, d2, j));
+    b_held = fill(full_block(d2, i, d3, j));
+  }
+
+  // Layer-major layout (l * g + i) * g + j is Grid3{c, g, g} with coords
+  // (l, i, j): fiber(0) is the depth fiber (index l), fiber(2) the in-layer
+  // row comm A shifts along (index j), fiber(1) the column comm for B.
+  const coll::GridComm grid25(ctx, Grid3{c, g, g});
+  std::vector<T> c_sum =
+      alg25d_core<T>(ctx, cfg, i, j, l, grid25.fiber(0), grid25.fiber(2),
+                     grid25.fiber(1), std::move(a_held), std::move(b_held));
 
   Block2DOutputT<T> out;
   out.row0 = d1.start(i);
@@ -139,13 +155,17 @@ Block2DOutputT<T> alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg) {
   return out;
 }
 
-#define CAMB_INSTANTIATE(T) \
+#define CAMB_INSTANTIATE(T)                                                  \
+  template std::vector<T> alg25d_core<T>(                                    \
+      RankCtx&, const Alg25dConfig&, i64, i64, i64, const coll::Comm&,       \
+      const coll::Comm&, const coll::Comm&, std::vector<T>, std::vector<T>); \
   template Block2DOutputT<T> alg25d_rank<T>(RankCtx&, const Alg25dConfig&);
 CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
 #undef CAMB_INSTANTIATE
 
-Block2DOutput alg25d_ckpt_rank(ckpt::Session& session,
-                               const Alg25dConfig& cfg) {
+template <typename T>
+Block2DOutputT<T> alg25d_ckpt_rank(ckpt::SessionT<T>& session,
+                                   const Alg25dConfig& cfg) {
   RankCtx& ctx = session.ctx();
   validate(cfg, session.nprocs());
   const i64 g = cfg.g, c = cfg.c;
@@ -163,11 +183,11 @@ Block2DOutput alg25d_ckpt_rank(ckpt::Session& session,
   CAMB_CHECK_MSG(w < kTagBlockWidth, "grid too large for one tag block");
 
   const i64 s0 = (i + j + l * w) % g;
-  std::vector<double> a_held, b_held;
-  MatrixD c_partial(d1.size(i), d3.size(j));
+  std::vector<T> a_held, b_held;
+  Matrix<T> c_partial(d1.size(i), d3.size(j));
   const i64 t0 = session.resume_step();
   if (session.restored()) {
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     CAMB_CHECK(snap.bufs.size() == 3);
     a_held = snap.bufs[0];
     b_held = snap.bufs[1];
@@ -175,8 +195,8 @@ Block2DOutput alg25d_ckpt_rank(ckpt::Session& session,
     std::copy(snap.bufs[2].begin(), snap.bufs[2].end(), c_partial.data());
   } else {
     if (l == 0) {
-      a_held = fill_chunk_indexed<double>(full_block(d1, i, d2, j));
-      b_held = fill_chunk_indexed<double>(full_block(d2, i, d3, j));
+      a_held = fill_chunk_indexed<T>(full_block(d1, i, d2, j));
+      b_held = fill_chunk_indexed<T>(full_block(d2, i, d3, j));
     }
     ctx.set_phase(kPhase25dReplicate);
     coll::bcast(depth, 0, a_held, d1.size(i) * d2.size(j));
@@ -185,21 +205,25 @@ Block2DOutput alg25d_ckpt_rank(ckpt::Session& session,
     ctx.set_phase(kPhase25dSkew);
     if (g > 1) {
       const i64 a_dst_col = (j - i - l * w % g + 2 * g) % g;
-      my_row.send(static_cast<int>(a_dst_col), row_tags, std::move(a_held));
-      a_held = my_row.recv(static_cast<int>(s0), row_tags);
+      my_row.send(static_cast<int>(a_dst_col), row_tags,
+                  Buffer::adopt(std::move(a_held)));
+      a_held = std::move(my_row.recv(static_cast<int>(s0), row_tags))
+                   .template take_as<T>();
       const i64 b_dst_row = (i - j - l * w % g + 2 * g) % g;
-      my_col.send(static_cast<int>(b_dst_row), col_tags, std::move(b_held));
-      b_held = my_col.recv(static_cast<int>(s0), col_tags);
+      my_col.send(static_cast<int>(b_dst_row), col_tags,
+                  Buffer::adopt(std::move(b_held)));
+      b_held = std::move(my_col.recv(static_cast<int>(s0), col_tags))
+                   .template take_as<T>();
     }
   }
 
   for (i64 t = t0; t < w; ++t) {
     const i64 s = (s0 + t) % g;
     ctx.set_phase(kPhase25dGemm);
-    MatrixD a_mat(d1.size(i), d2.size(s));
+    Matrix<T> a_mat(d1.size(i), d2.size(s));
     CAMB_CHECK(static_cast<i64>(a_held.size()) == a_mat.size());
     std::copy(a_held.begin(), a_held.end(), a_mat.data());
-    MatrixD b_mat(d2.size(s), d3.size(j));
+    Matrix<T> b_mat(d2.size(s), d3.size(j));
     CAMB_CHECK(static_cast<i64>(b_held.size()) == b_mat.size());
     std::copy(b_held.begin(), b_held.end(), b_mat.data());
     gemm_accumulate(a_mat, b_mat, c_partial);
@@ -208,37 +232,46 @@ Block2DOutput alg25d_ckpt_rank(ckpt::Session& session,
       ctx.set_phase(kPhase25dShift);
       const int off = static_cast<int>(t + 1);
       my_row.send(static_cast<int>((j - 1 + g) % g), row_tags + off,
-                  std::move(a_held));
-      a_held = my_row.recv(static_cast<int>((j + 1) % g), row_tags + off);
+                  Buffer::adopt(std::move(a_held)));
+      a_held = std::move(
+                   my_row.recv(static_cast<int>((j + 1) % g), row_tags + off))
+                   .template take_as<T>();
       my_col.send(static_cast<int>((i - 1 + g) % g), col_tags + off,
-                  std::move(b_held));
-      b_held = my_col.recv(static_cast<int>((i + 1) % g), col_tags + off);
+                  Buffer::adopt(std::move(b_held)));
+      b_held = std::move(
+                   my_col.recv(static_cast<int>((i + 1) % g), col_tags + off))
+                   .template take_as<T>();
     }
 
     session.boundary(t + 1, [&] {
-      Snapshot snap;
+      SnapshotT<T> snap;
       snap.bufs = {a_held, b_held,
-                   std::vector<double>(c_partial.data(),
-                                       c_partial.data() + c_partial.size())};
+                   std::vector<T>(c_partial.data(),
+                                  c_partial.data() + c_partial.size())};
       return snap;
     });
   }
 
   ctx.set_phase(kPhase25dReduce);
-  std::vector<double> c_flat(c_partial.data(),
-                             c_partial.data() + c_partial.size());
-  std::vector<double> c_sum = coll::reduce(depth, 0, std::move(c_flat));
+  std::vector<T> c_flat(c_partial.data(), c_partial.data() + c_partial.size());
+  std::vector<T> c_sum = coll::reduce(depth, 0, std::move(c_flat));
 
-  Block2DOutput out;
+  Block2DOutputT<T> out;
   out.row0 = d1.start(i);
   out.col0 = d3.start(j);
   if (l == 0) {
-    out.block = MatrixD(d1.size(i), d3.size(j));
+    out.block = Matrix<T>(d1.size(i), d3.size(j));
     CAMB_CHECK(static_cast<i64>(c_sum.size()) == out.block.size());
     std::copy(c_sum.begin(), c_sum.end(), out.block.data());
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                       \
+  template Block2DOutputT<T> alg25d_ckpt_rank<T>( \
+      ckpt::SessionT<T>&, const Alg25dConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 alg25d_ckpt_steps(const Alg25dConfig& cfg) { return cfg.g / cfg.c; }
 

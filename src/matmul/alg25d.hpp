@@ -26,6 +26,10 @@ struct Alg25dConfig {
   Shape shape;
   i64 g = 1;  ///< layer grid edge
   i64 c = 1;  ///< replication depth; requires c | g, machine size g*g*c
+  /// Generate inputs with the integer-valued indexed pattern (exact,
+  /// order-independent sums).  The elastic wrapper forces this on so C is
+  /// bit-identical across grids.
+  bool integer_inputs = false;
 };
 
 /// A rank's output: layer-0 ranks return their full C block; other layers
@@ -33,12 +37,25 @@ struct Alg25dConfig {
 template <typename T = double>
 Block2DOutputT<T> alg25d_rank(RankCtx& ctx, const Alg25dConfig& cfg);
 
+/// Steps 1–4 for logical position (i, j, l), parameterized by the three
+/// fiber comms and the layer-0 holdings (empty off layer 0), so the same
+/// code runs on the world grid (alg25d_rank) and on a survivors' recovery
+/// grid (the elastic twin).  Returns the reduced C block values (layer 0)
+/// or an empty vector (other layers).
+template <typename T>
+std::vector<T> alg25d_core(RankCtx& ctx, const Alg25dConfig& cfg, i64 i, i64 j,
+                           i64 l, const coll::Comm& depth,
+                           const coll::Comm& my_row, const coll::Comm& my_col,
+                           std::vector<T> a_held, std::vector<T> b_held);
+
 /// Exact predicted received words for `rank`.
 i64 alg25d_predicted_recv_words(const Alg25dConfig& cfg, int rank);
 
 /// Checkpointable twin: replicate + skew prologue at epoch 0 only, one
 /// boundary per in-layer Cannon step, depth-reduce epilogue.
-Block2DOutput alg25d_ckpt_rank(ckpt::Session& session, const Alg25dConfig& cfg);
+template <typename T>
+Block2DOutputT<T> alg25d_ckpt_rank(ckpt::SessionT<T>& session,
+                                   const Alg25dConfig& cfg);
 
 i64 alg25d_ckpt_steps(const Alg25dConfig& cfg);
 i64 alg25d_ckpt_snapshot_words(const Alg25dConfig& cfg, int logical, i64 step);

@@ -139,6 +139,45 @@ std::vector<AlgorithmInfo> build_registry() {
       },
       /*bandwidth_optimal=*/false));
 
+  // The elastic twins run the base algorithm through the shrink-and-regrid
+  // envelope (matmul/elastic.hpp).  Registered so the golden equivalence
+  // sweep and the chaos matrix pick them up: a clean elastic run is
+  // word-identical to the base entry (the enlist/confirm probes are
+  // zero-word), though its output hash pins the integer-valued input
+  // pattern that keeps C bit-stable across regrids.
+  algorithms.push_back(make_algorithm(
+      "summa_elastic",
+      [](const Shape&, i64 nprocs) { return is_square_p(nprocs); },
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
+        RunOptions eopts = opts;
+        eopts.elastic.enabled = true;
+        return run_summa_elastic(SummaConfig{shape, isqrt(nprocs)}, eopts);
+      },
+      /*bandwidth_optimal=*/false));
+
+  algorithms.push_back(make_algorithm(
+      "grid3d_elastic",
+      [](const Shape&, i64) { return true; },
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
+        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        RunOptions eopts = opts;
+        eopts.elastic.enabled = true;
+        return run_grid3d_elastic(Grid3dConfig{shape, grid}, eopts);
+      },
+      /*bandwidth_optimal=*/true));
+
+  algorithms.push_back(make_algorithm(
+      "alg25d_elastic",
+      [](const Shape&, i64 nprocs) { return best_25d_depth(nprocs) > 0; },
+      [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
+        const i64 c = best_25d_depth(nprocs);
+        RunOptions eopts = opts;
+        eopts.elastic.enabled = true;
+        return run_alg25d_elastic(Alg25dConfig{shape, isqrt(nprocs / c), c},
+                                  eopts);
+      },
+      /*bandwidth_optimal=*/false));
+
   algorithms.push_back(make_algorithm(
       "naive_bcast",
       [](const Shape&, i64) { return true; },

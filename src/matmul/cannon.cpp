@@ -101,8 +101,9 @@ Block2DOutputT<T> cannon_rank(RankCtx& ctx, const CannonConfig& cfg) {
 CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
 #undef CAMB_INSTANTIATE
 
-Block2DOutput cannon_ckpt_rank(ckpt::Session& session,
-                               const CannonConfig& cfg) {
+template <typename T>
+Block2DOutputT<T> cannon_ckpt_rank(ckpt::SessionT<T>& session,
+                                   const CannonConfig& cfg) {
   RankCtx& ctx = session.ctx();
   const i64 g = cfg.g;
   CAMB_CHECK_MSG(g * g == session.nprocs(), "Cannon machine size must be g*g");
@@ -111,10 +112,8 @@ Block2DOutput cannon_ckpt_rank(ckpt::Session& session,
   const BlockDist1D d1(cfg.shape.n1, g), d2(cfg.shape.n2, g),
       d3(cfg.shape.n3, g);
 
-  std::vector<double> a_held =
-      fill_chunk_indexed<double>(full_block(d1, i, d2, j));
-  std::vector<double> b_held =
-      fill_chunk_indexed<double>(full_block(d2, i, d3, j));
+  std::vector<T> a_held = fill_chunk_indexed<T>(full_block(d1, i, d2, j));
+  std::vector<T> b_held = fill_chunk_indexed<T>(full_block(d2, i, d3, j));
 
   // Fiber comms by logical rank, one tag block each for skew + shifts.
   std::vector<int> row_members, col_members;
@@ -128,16 +127,16 @@ Block2DOutput cannon_ckpt_rank(ckpt::Session& session,
   const int col_tags = g > 1 ? my_col.take_tag_block() : 0;
   CAMB_CHECK_MSG(2 * g < kTagBlockWidth, "grid too large for one tag block");
 
-  Block2DOutput out;
+  Block2DOutputT<T> out;
   out.row0 = d1.start(i);
   out.col0 = d3.start(j);
-  out.block = MatrixD(d1.size(i), d3.size(j));
+  out.block = Matrix<T>(d1.size(i), d3.size(j));
 
   const i64 t0 = session.resume_step();
   if (session.restored()) {
     // The snapshot at boundary t0 was taken after shift t0, so the held
     // blocks are exactly the operands of step t0.
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     CAMB_CHECK(snap.bufs.size() == 3);
     a_held = snap.bufs[0];
     b_held = snap.bufs[1];
@@ -147,21 +146,23 @@ Block2DOutput cannon_ckpt_rank(ckpt::Session& session,
     ctx.set_phase(kPhaseCannonSkew);
     if (g > 1) {
       my_row.send(static_cast<int>((j - i % g + g) % g), row_tags,
-                  std::move(a_held));
-      a_held = my_row.recv(static_cast<int>((j + i) % g), row_tags);
+                  Buffer::adopt(std::move(a_held)));
+      a_held = std::move(my_row.recv(static_cast<int>((j + i) % g), row_tags))
+                   .template take_as<T>();
       my_col.send(static_cast<int>((i - j % g + g) % g), col_tags,
-                  std::move(b_held));
-      b_held = my_col.recv(static_cast<int>((i + j) % g), col_tags);
+                  Buffer::adopt(std::move(b_held)));
+      b_held = std::move(my_col.recv(static_cast<int>((i + j) % g), col_tags))
+                   .template take_as<T>();
     }
   }
 
   for (i64 t = t0; t < g; ++t) {
     const i64 s = (i + j + t) % g;
     ctx.set_phase(kPhaseCannonGemm);
-    MatrixD a_mat(d1.size(i), d2.size(s));
+    Matrix<T> a_mat(d1.size(i), d2.size(s));
     CAMB_CHECK(static_cast<i64>(a_held.size()) == a_mat.size());
     std::copy(a_held.begin(), a_held.end(), a_mat.data());
-    MatrixD b_mat(d2.size(s), d3.size(j));
+    Matrix<T> b_mat(d2.size(s), d3.size(j));
     CAMB_CHECK(static_cast<i64>(b_held.size()) == b_mat.size());
     std::copy(b_held.begin(), b_held.end(), b_mat.data());
     gemm_accumulate(a_mat, b_mat, out.block);
@@ -170,23 +171,33 @@ Block2DOutput cannon_ckpt_rank(ckpt::Session& session,
       ctx.set_phase(kPhaseCannonShift);
       const int off = static_cast<int>(t + 1);
       my_row.send(static_cast<int>((j - 1 + g) % g), row_tags + off,
-                  std::move(a_held));
-      a_held = my_row.recv(static_cast<int>((j + 1) % g), row_tags + off);
+                  Buffer::adopt(std::move(a_held)));
+      a_held = std::move(
+                   my_row.recv(static_cast<int>((j + 1) % g), row_tags + off))
+                   .template take_as<T>();
       my_col.send(static_cast<int>((i - 1 + g) % g), col_tags + off,
-                  std::move(b_held));
-      b_held = my_col.recv(static_cast<int>((i + 1) % g), col_tags + off);
+                  Buffer::adopt(std::move(b_held)));
+      b_held = std::move(
+                   my_col.recv(static_cast<int>((i + 1) % g), col_tags + off))
+                   .template take_as<T>();
     }
 
     session.boundary(t + 1, [&] {
-      Snapshot snap;
+      SnapshotT<T> snap;
       snap.bufs = {a_held, b_held,
-                   std::vector<double>(out.block.data(),
-                                       out.block.data() + out.block.size())};
+                   std::vector<T>(out.block.data(),
+                                  out.block.data() + out.block.size())};
       return snap;
     });
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                       \
+  template Block2DOutputT<T> cannon_ckpt_rank<T>( \
+      ckpt::SessionT<T>&, const CannonConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 cannon_ckpt_steps(const CannonConfig& cfg) { return cfg.g; }
 

@@ -32,7 +32,9 @@ i64 cannon_predicted_recv_words(const CannonConfig& cfg, int rank);
 /// Checkpointable twin of cannon_rank: epoch boundaries after every shift
 /// step; snapshots carry the held A/B blocks plus the C accumulator so a
 /// restored rank rejoins the torus mid-rotation.
-Block2DOutput cannon_ckpt_rank(ckpt::Session& session, const CannonConfig& cfg);
+template <typename T>
+Block2DOutputT<T> cannon_ckpt_rank(ckpt::SessionT<T>& session,
+                                   const CannonConfig& cfg);
 
 /// Boundary steps the twin announces (one per torus step).
 i64 cannon_ckpt_steps(const CannonConfig& cfg);

@@ -224,8 +224,9 @@ CarmaRankOutputT<T> carma_rank(RankCtx& ctx, const CarmaConfig& cfg) {
 CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
 #undef CAMB_INSTANTIATE
 
-CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
-                                const CarmaConfig& cfg) {
+template <typename T>
+CarmaRankOutputT<T> carma_ckpt_rank(ckpt::SessionT<T>& session,
+                                    const CarmaConfig& cfg) {
   RankCtx& ctx = session.ctx();
   const i64 P = i64{1} << cfg.levels;
   CAMB_CHECK_MSG(P == session.nprocs(), "machine size must be 2^levels");
@@ -238,17 +239,17 @@ CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
   const int me = session.rank();
   const i64 t0 = session.resume_step();
 
-  std::vector<double> a, b;
+  std::vector<T> a, b;
   if (session.restored()) {
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     CAMB_CHECK(snap.bufs.size() == 2);
     a = snap.bufs[0];
     b = snap.bufs[1];
   } else {
-    a = fill_chunk_indexed<double>(BlockChunk{0, 0, r, k, me * (r / P) * k,
-                                              (r / P) * k});
-    b = fill_chunk_indexed<double>(BlockChunk{0, 0, k, c, me * (k / P) * c,
-                                              (k / P) * c});
+    a = fill_chunk_indexed<T>(BlockChunk{0, 0, r, k, me * (r / P) * k,
+                                         (r / P) * k});
+    b = fill_chunk_indexed<T>(BlockChunk{0, 0, k, c, me * (k / P) * c,
+                                         (k / P) * c});
   }
 
   std::vector<CombineFrame> combines;
@@ -290,7 +291,7 @@ CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
     g_size = s;
     if (live) {
       session.boundary(level + 1, [&] {
-        Snapshot snap;
+        SnapshotT<T> snap;
         snap.bufs = {a, b};
         return snap;
       });
@@ -298,14 +299,14 @@ CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
   }
 
   ctx.set_phase(kPhaseCarmaGemm);
-  MatrixD a_leaf(r, k), b_leaf(k, c);
+  Matrix<T> a_leaf(r, k), b_leaf(k, c);
   CAMB_CHECK(static_cast<i64>(a.size()) == r * k);
   CAMB_CHECK(static_cast<i64>(b.size()) == k * c);
   std::copy(a.begin(), a.end(), a_leaf.data());
   std::copy(b.begin(), b.end(), b_leaf.data());
-  const MatrixD c_leaf = gemm(a_leaf, b_leaf);
+  const Matrix<T> c_leaf = gemm(a_leaf, b_leaf);
 
-  CarmaRankOutput out;
+  CarmaRankOutputT<T> out;
   out.holding = BlockChunk{c_row0, c_col0, r, c, 0, r * c};
   out.data.assign(c_leaf.data(), c_leaf.data() + c_leaf.size());
 
@@ -313,12 +314,14 @@ CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
   for (auto frame = combines.rbegin(); frame != combines.rend(); ++frame) {
     const i64 half = static_cast<i64>(out.data.size()) / 2;
     CAMB_CHECK(2 * half == static_cast<i64>(out.data.size()));
-    std::vector<double> outgoing(
+    std::vector<T> outgoing(
         out.data.begin() + (frame->lower ? half : 0),
         out.data.begin() + (frame->lower ? 2 * half : half));
-    frame->comm.send(frame->partner_idx, frame->tag, std::move(outgoing));
-    const std::vector<double> incoming =
-        frame->comm.recv(frame->partner_idx, frame->tag);
+    frame->comm.send(frame->partner_idx, frame->tag,
+                     Buffer::adopt(std::move(outgoing)));
+    const std::vector<T> incoming =
+        std::move(frame->comm.recv(frame->partner_idx, frame->tag))
+            .template take_as<T>();
     CAMB_CHECK(static_cast<i64>(incoming.size()) == half);
     const i64 keep_off = frame->lower ? 0 : half;
     for (i64 j = 0; j < half; ++j) {
@@ -335,6 +338,12 @@ CarmaRankOutput carma_ckpt_rank(ckpt::Session& session,
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                        \
+  template CarmaRankOutputT<T> carma_ckpt_rank<T>( \
+      ckpt::SessionT<T>&, const CarmaConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 carma_ckpt_steps(const CarmaConfig& cfg) { return cfg.levels; }
 

@@ -66,7 +66,9 @@ bool carma_supported(const Shape& shape, int levels);
 /// the current A and B holdings).  A resumed rank replays the skipped
 /// levels' split geometry and comm leases locally — no communication — so
 /// the unwind's combine frames are rebuilt exactly.
-CarmaRankOutput carma_ckpt_rank(ckpt::Session& session, const CarmaConfig& cfg);
+template <typename T>
+CarmaRankOutputT<T> carma_ckpt_rank(ckpt::SessionT<T>& session,
+                                    const CarmaConfig& cfg);
 
 i64 carma_ckpt_steps(const CarmaConfig& cfg);
 i64 carma_ckpt_snapshot_words(const CarmaConfig& cfg, int logical, i64 step);

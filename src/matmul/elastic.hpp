@@ -1,0 +1,163 @@
+// elastic.hpp — elastic shrink-and-regrid: graceful degradation onto the
+// optimal grid for the surviving P′.
+//
+// When crashes strike mid-multiplication, the survivors agree on who is gone
+// (collectives/shrink.hpp), re-plan the processor grid for P′ with the cost
+// engine (core/grid.hpp best_integer_grid_at_most and the per-algorithm
+// searches below), redistribute every live A/B panel old → new distribution
+// (collectives/regrid.hpp), and complete the multiplication on the new grid
+// — never hanging, never answering wrong, never silently over-communicating.
+//
+// The protocol, per rank:
+//
+//   enlistment   two zero-word probe rounds over the whole machine.  A rank
+//                that dies during round A sends no round-B OK, so every
+//                survivor reads at least one nullopt in round B and entry
+//                into recovery is unanimous with ZERO data words moved —
+//                the scenario the word-exact acceptance sweep pins.
+//   attempt 0    the unmodified base algorithm on the world grid (the comm-
+//                parameterized cores of summa/grid3d/alg25d, so a clean
+//                elastic run is word-identical to the base run), followed by
+//                a zero-word completion-confirm round.  All delivered →
+//                retire (abandon every tag; finished tiles stand).  Any
+//                failure → abandon() and enter recovery.
+//   round r ≥ 1  realign the recovery tag cursor to band r; shrink over the
+//                original membership (retired and crashed ranks both read
+//                as gone); re-plan the grid for the survivor count; regrid
+//                the ORIGINAL panels (survivors keep their attempt-0 fills
+//                across rounds, so the migration bill is a closed form of
+//                the failed set alone); the first active_ranks survivors
+//                rerun the core on recovery comms; zero-word confirm round
+//                among all survivors.  Failure → abandon below band r+1 and
+//                repeat; rounds are bounded by max_failures + 1 because
+//                every extra round is rooted in a new death.
+//
+// Elastic inputs are always integer-valued for rounded scalars (exact,
+// order-independent sums), so C is bit-identical whichever grid — or mix of
+// attempt-0 retiree tiles and recovery-round tiles — produced it.
+#pragma once
+
+#include "collectives/regrid.hpp"
+#include "collectives/shrink.hpp"
+#include "matmul/alg25d.hpp"
+#include "matmul/grid3d.hpp"
+#include "matmul/summa.hpp"
+
+namespace camb::mm {
+
+/// Elastic-mode switches (carried inside RunOptions).
+struct ElasticConfig {
+  bool enabled = false;  ///< runner switch: run the elastic twin
+  /// Crash budget the shrink agreement is provisioned for; also bounds the
+  /// recovery rounds (each extra round needs a fresh death).
+  int max_failures = 1;
+};
+
+inline constexpr const char* kPhaseElasticEnlist = "elastic_enlist";
+inline constexpr const char* kPhaseElasticShrink = "elastic_shrink";
+inline constexpr const char* kPhaseElasticConfirm = "elastic_confirm";
+
+/// Recovery-region tag bands, one per recovery round (the rollback protocol
+/// uses the same banding discipline): round r's leases start at
+/// elastic_band_base(r), and a failed round abandons below band r+1.
+inline constexpr int kElasticBandBlocks = 1 << 13;
+inline constexpr int elastic_band_base(int round) {
+  return kRecoveryTagBase + (round - 1) * kElasticBandBlocks * kTagBlockWidth;
+}
+
+/// Exact per-survivor received control words of the round-1 shrink agreement
+/// when `pre_failures` members were already gone before the flood started:
+/// (max_failures + 1) rounds × (alive − 1) delivering peers × 2⌈P/32⌉ mask
+/// words.  These are f64 control words — never scaled by the data dtype.
+i64 elastic_shrink_recv_words_exact(int nprocs, int max_failures,
+                                    int pre_failures);
+
+/// Deterministic re-plan at survivor count `max_procs` (every survivor
+/// computes the same plan from the agreed failed set):
+///   summa   g′ = ⌊√P′⌋ (largest square at most P′);
+///   grid3d  core::best_integer_grid_at_most(shape, P′) — the eq. 3 search
+///           down the divisor lattice;
+///   alg25d  exhaustive (g′, c′) with c′ | g′, g′²c′ ≤ P′ minimizing the
+///           2.5D cost, ties to more ranks then smaller (g′, c′).
+SummaConfig summa_plan_at(const SummaConfig& base, i64 max_procs);
+Grid3dConfig grid3d_plan_at(const Grid3dConfig& base, i64 max_procs);
+Alg25dConfig alg25d_plan_at(const Alg25dConfig& base, i64 max_procs);
+
+/// The input panels (global row-major spans of A and B — regrid.hpp's
+/// canonical form) that logical rank `logical` owns under each algorithm's
+/// initial distribution.  Off-grid ranks (logical >= active count) and
+/// non-layer-0 2.5D ranks own nothing.
+coll::PanelSet summa_panels(const SummaConfig& cfg, int logical);
+coll::PanelSet grid3d_panels(const Grid3dConfig& cfg, int logical);
+coll::PanelSet alg25d_panels(const Alg25dConfig& cfg, int logical);
+
+/// What one rank hands back from an elastic run: the C tiles it is
+/// responsible for (attempt-0 tiles for retirees, new-grid tiles for
+/// recovery actives, none for idle survivors), plus the agreed outcome.
+template <typename T>
+struct ElasticRankOutputT {
+  std::vector<BlockChunk> c_chunks;
+  std::vector<std::vector<T>> c_data;
+  int rounds = 0;            ///< recovery rounds taken (0 = clean attempt 0)
+  bool idle = false;         ///< survived but not active on the final grid
+  std::vector<int> failed;   ///< agreed failed machine ranks (final round)
+  i64 survivors = 0;         ///< P′ of the final round (P when clean)
+  i64 active_ranks = 0;      ///< ranks used by the final grid
+  core::Grid3 final_grid;    ///< summa {g,g,1}; grid3d grid; alg25d {c,g,g}
+  i64 migrated_elems = 0;    ///< regrid cells received over the wire
+  i64 regenerated_elems = 0; ///< regrid cells refilled locally (dead owners)
+  i64 local_elems = 0;       ///< regrid cells kept in place (self-overlap)
+};
+
+/// SPMD bodies of the elastic twins.  Attempt 0 must cover the machine
+/// (active_ranks(cfg) == nprocs).  For rounded scalars the integer-valued
+/// input pattern is forced on, whatever cfg says.  Templated over the
+/// CAMB_FOR_EACH_SCALAR set via explicit instantiation.
+template <typename T = double>
+ElasticRankOutputT<T> summa_elastic_rank(RankCtx& ctx, const SummaConfig& cfg,
+                                         const ElasticConfig& ecfg);
+template <typename T = double>
+ElasticRankOutputT<T> grid3d_elastic_rank(RankCtx& ctx,
+                                          const Grid3dConfig& cfg,
+                                          const ElasticConfig& ecfg);
+template <typename T = double>
+ElasticRankOutputT<T> alg25d_elastic_rank(RankCtx& ctx,
+                                          const Alg25dConfig& cfg,
+                                          const ElasticConfig& ecfg);
+
+/// The offline mirror of what the survivors agree on when exactly `failed`
+/// are gone — everything the runner report, the acceptance sweep, and the
+/// bench pin measured words against, with zero tolerance.
+struct ElasticPrediction {
+  i64 survivors = 0;                   ///< P′
+  i64 active_ranks = 0;                ///< ranks the new grid uses
+  core::Grid3 grid;                    ///< the re-planned grid
+  /// Exact per-machine-rank received words: 0 for the failed; shrink
+  /// control + width × (regrid + new-grid exec elements) for survivors.
+  std::vector<double> rank_recv_words;
+  /// The regrid component alone (the migration tax), per machine rank.
+  std::vector<double> rank_migration_words;
+  /// The new-grid execution component alone, per machine rank.
+  std::vector<double> rank_exec_words;
+  /// Per-survivor shrink agreement control words (uniform over survivors).
+  double shrink_words = 0;
+};
+
+/// Predictions for the enlistment-crash scenario: every rank in `failed`
+/// dies before any attempt-0 data moved, and recovery completes in one
+/// round.  With `failed` empty this degenerates to the clean elastic run —
+/// base-algorithm words exactly, no shrink, no migration.
+ElasticPrediction summa_elastic_prediction(const SummaConfig& base,
+                                           const ElasticConfig& ecfg,
+                                           const std::vector<int>& failed,
+                                           int nprocs, double width_words);
+ElasticPrediction grid3d_elastic_prediction(const Grid3dConfig& base,
+                                            const ElasticConfig& ecfg,
+                                            const std::vector<int>& failed,
+                                            int nprocs, double width_words);
+ElasticPrediction alg25d_elastic_prediction(const Alg25dConfig& base,
+                                            const ElasticConfig& ecfg,
+                                            const std::vector<int>& failed,
+                                            int nprocs, double width_words);
+
+}  // namespace camb::mm

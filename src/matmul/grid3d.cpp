@@ -51,30 +51,26 @@ Grid3dLayout grid3d_layout(const Grid3dConfig& cfg, int rank) {
 }
 
 template <typename T>
-Grid3dRankOutputT<T> grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
-  CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
-                 "grid size must equal the machine size");
-  const Grid3dLayout layout = grid3d_layout(cfg, ctx.rank());
-  const coll::GridComm grid(ctx, cfg.grid);
-
-  const auto fill = [&](const BlockChunk& chunk) {
-    return cfg.integer_inputs ? fill_chunk_indexed_int<T>(chunk)
-                              : fill_chunk_indexed<T>(chunk);
-  };
-
+Grid3dRankOutputT<T> grid3d_core(RankCtx& ctx, const Grid3dConfig& cfg,
+                                 const Grid3dLayout& layout,
+                                 const coll::Comm& fiber_a,
+                                 const coll::Comm& fiber_b,
+                                 const coll::Comm& fiber_c,
+                                 std::vector<T> a_local,
+                                 std::vector<T> b_local) {
   // Line 3: All-Gather A across the fiber (q1, q2, :).
   ctx.set_phase(kPhaseAllgatherA);
   const camb::WorkingSet a_ws(ctx, layout.a.block_size(),
                               ScalarTraits<T>::elem_bytes);
-  std::vector<T> a_flat = coll::allgather(
-      grid.fiber(2), layout.a_counts, fill(layout.a), cfg.allgather);
+  std::vector<T> a_flat =
+      coll::allgather(fiber_a, layout.a_counts, a_local, cfg.allgather);
 
   // Line 4: All-Gather B across the fiber (:, q2, q3).
   ctx.set_phase(kPhaseAllgatherB);
   const camb::WorkingSet b_ws(ctx, layout.b.block_size(),
                               ScalarTraits<T>::elem_bytes);
-  std::vector<T> b_flat = coll::allgather(
-      grid.fiber(0), layout.b_counts, fill(layout.b), cfg.allgather);
+  std::vector<T> b_flat =
+      coll::allgather(fiber_b, layout.b_counts, b_local, cfg.allgather);
 
   // Line 6: local multiply D = A_{q1 q2} * B_{q2 q3}.
   ctx.set_phase(kPhaseLocalGemm);
@@ -91,19 +87,38 @@ Grid3dRankOutputT<T> grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
   std::vector<T> d_flat(d_block.data(), d_block.data() + d_block.size());
   Grid3dRankOutputT<T> out;
   out.c_chunk = layout.c;
-  out.c_data = coll::reduce_scatter(grid.fiber(1), layout.c_counts, d_flat,
+  out.c_data = coll::reduce_scatter(fiber_c, layout.c_counts, d_flat,
                                     cfg.reduce_scatter);
   CAMB_CHECK(static_cast<i64>(out.c_data.size()) == layout.c.flat_size);
   return out;
 }
 
-#define CAMB_INSTANTIATE(T) \
+template <typename T>
+Grid3dRankOutputT<T> grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg) {
+  CAMB_CHECK_MSG(cfg.grid.total() == ctx.nprocs(),
+                 "grid size must equal the machine size");
+  const Grid3dLayout layout = grid3d_layout(cfg, ctx.rank());
+  const coll::GridComm grid(ctx, cfg.grid);
+
+  const auto fill = [&](const BlockChunk& chunk) {
+    return cfg.integer_inputs ? fill_chunk_indexed_int<T>(chunk)
+                              : fill_chunk_indexed<T>(chunk);
+  };
+  return grid3d_core<T>(ctx, cfg, layout, grid.fiber(2), grid.fiber(0),
+                        grid.fiber(1), fill(layout.a), fill(layout.b));
+}
+
+#define CAMB_INSTANTIATE(T)                                                  \
+  template Grid3dRankOutputT<T> grid3d_core<T>(                              \
+      RankCtx&, const Grid3dConfig&, const Grid3dLayout&, const coll::Comm&, \
+      const coll::Comm&, const coll::Comm&, std::vector<T>, std::vector<T>); \
   template Grid3dRankOutputT<T> grid3d_rank<T>(RankCtx&, const Grid3dConfig&);
 CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
 #undef CAMB_INSTANTIATE
 
-Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
-                                  const Grid3dConfig& cfg) {
+template <typename T>
+Grid3dRankOutputT<T> grid3d_ckpt_rank(ckpt::SessionT<T>& session,
+                                      const Grid3dConfig& cfg) {
   RankCtx& ctx = session.ctx();
   CAMB_CHECK_MSG(cfg.grid.total() == session.nprocs(),
                  "grid size must equal the logical machine size");
@@ -116,16 +131,16 @@ Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
   const coll::Comm fiber_a = session.comm(map.fiber(2, q1, q2, q3));
 
   const auto fill = [&](const BlockChunk& chunk) {
-    return cfg.integer_inputs ? fill_chunk_indexed_int<double>(chunk)
-                              : fill_chunk_indexed<double>(chunk);
+    return cfg.integer_inputs ? fill_chunk_indexed_int<T>(chunk)
+                              : fill_chunk_indexed<T>(chunk);
   };
 
   const i64 t0 = session.resume_step();
-  std::vector<double> a_flat, b_flat;
-  Grid3dRankOutput out;
+  std::vector<T> a_flat, b_flat;
+  Grid3dRankOutputT<T> out;
   out.c_chunk = layout.c;
   if (session.restored()) {
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     if (t0 == 1) {
       a_flat = snap.bufs.at(0);
     } else if (t0 == 2) {
@@ -151,20 +166,20 @@ Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
     } else {
       ctx.set_phase(kPhaseLocalGemm);
       const camb::WorkingSet d_ws(ctx, layout.c.block_size());
-      MatrixD a_block(layout.a.rows, layout.a.cols);
+      Matrix<T> a_block(layout.a.rows, layout.a.cols);
       std::copy(a_flat.begin(), a_flat.end(), a_block.data());
-      MatrixD b_block(layout.b.rows, layout.b.cols);
+      Matrix<T> b_block(layout.b.rows, layout.b.cols);
       std::copy(b_flat.begin(), b_flat.end(), b_block.data());
-      const MatrixD d_block = gemm(a_block, b_block);
+      const Matrix<T> d_block = gemm(a_block, b_block);
       ctx.set_phase(kPhaseReduceScatterC);
-      std::vector<double> d_flat(d_block.data(),
-                                 d_block.data() + d_block.size());
+      std::vector<T> d_flat(d_block.data(),
+                            d_block.data() + d_block.size());
       out.c_data = coll::reduce_scatter(fiber_c, layout.c_counts, d_flat,
                                         cfg.reduce_scatter);
       CAMB_CHECK(static_cast<i64>(out.c_data.size()) == layout.c.flat_size);
     }
     session.boundary(step + 1, [&] {
-      Snapshot snap;
+      SnapshotT<T> snap;
       if (step == 0) {
         snap.bufs = {a_flat};
       } else if (step == 1) {
@@ -177,6 +192,12 @@ Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                          \
+  template Grid3dRankOutputT<T> grid3d_ckpt_rank<T>( \
+      ckpt::SessionT<T>&, const Grid3dConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 grid3d_ckpt_steps(const Grid3dConfig& cfg) {
   (void)cfg;

@@ -56,6 +56,20 @@ Grid3dLayout grid3d_layout(const Grid3dConfig& cfg, int rank);
 template <typename T = double>
 Grid3dRankOutputT<T> grid3d_rank(RankCtx& ctx, const Grid3dConfig& cfg);
 
+/// The four-step body of Algorithm 1 parameterized by its three fiber comms
+/// and pre-filled local chunks, so the same code runs on the world grid
+/// (grid3d_rank) and on a survivors' recovery grid (the elastic twin).
+/// `layout` must be this rank's logical layout; `fiber_a` is the comm of
+/// the (q1, q2, :) fiber, `fiber_b` of (:, q2, q3), `fiber_c` of (q1, :, q3).
+template <typename T>
+Grid3dRankOutputT<T> grid3d_core(RankCtx& ctx, const Grid3dConfig& cfg,
+                                 const Grid3dLayout& layout,
+                                 const coll::Comm& fiber_a,
+                                 const coll::Comm& fiber_b,
+                                 const coll::Comm& fiber_c,
+                                 std::vector<T> a_local,
+                                 std::vector<T> b_local);
+
 /// Exact predicted words received by `rank`, replicating the collective
 /// round structure (matches the executed machine word-for-word).
 i64 grid3d_predicted_recv_words(const Grid3dConfig& cfg, int rank);
@@ -65,8 +79,9 @@ i64 grid3d_predicted_critical_recv_words(const Grid3dConfig& cfg);
 
 /// Checkpointable twin: boundaries after the A all-gather, the B all-gather,
 /// and the gemm + reduce-scatter.
-Grid3dRankOutput grid3d_ckpt_rank(ckpt::Session& session,
-                                  const Grid3dConfig& cfg);
+template <typename T>
+Grid3dRankOutputT<T> grid3d_ckpt_rank(ckpt::SessionT<T>& session,
+                                      const Grid3dConfig& cfg);
 
 i64 grid3d_ckpt_steps(const Grid3dConfig& cfg);
 i64 grid3d_ckpt_snapshot_words(const Grid3dConfig& cfg, int logical, i64 step);

@@ -69,8 +69,9 @@ Grid3dRankOutputT<T> grid3d_agarwal_rank(RankCtx& ctx,
 CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
 #undef CAMB_INSTANTIATE
 
-Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
-                                          const Grid3dAgarwalConfig& cfg) {
+template <typename T>
+Grid3dRankOutputT<T> grid3d_agarwal_ckpt_rank(ckpt::SessionT<T>& session,
+                                              const Grid3dAgarwalConfig& cfg) {
   RankCtx& ctx = session.ctx();
   CAMB_CHECK_MSG(cfg.grid.total() == session.nprocs(),
                  "grid size must equal the logical machine size");
@@ -85,11 +86,11 @@ Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
   const coll::Comm fiber_a = session.comm(map.fiber(2, q1, q2, q3));
 
   const i64 t0 = session.resume_step();
-  std::vector<double> a_flat, b_flat;
-  Grid3dRankOutput out;
+  std::vector<T> a_flat, b_flat;
+  Grid3dRankOutputT<T> out;
   out.c_chunk = layout.c;
   if (session.restored()) {
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     if (t0 == 1) {
       a_flat = snap.bufs.at(0);
     } else if (t0 == 2) {
@@ -105,33 +106,34 @@ Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
     if (step == 0) {
       ctx.set_phase(kPhaseAllgatherA);
       a_flat = coll::allgather(fiber_a, layout.a_counts,
-                               fill_chunk_indexed<double>(layout.a),
+                               fill_chunk_indexed<T>(layout.a),
                                cfg.allgather);
     } else if (step == 1) {
       ctx.set_phase(kPhaseAllgatherB);
       b_flat = coll::allgather(fiber_b, layout.b_counts,
-                               fill_chunk_indexed<double>(layout.b),
+                               fill_chunk_indexed<T>(layout.b),
                                cfg.allgather);
     } else {
       ctx.set_phase(kPhaseLocalGemm);
-      MatrixD a_block(layout.a.rows, layout.a.cols);
+      Matrix<T> a_block(layout.a.rows, layout.a.cols);
       std::copy(a_flat.begin(), a_flat.end(), a_block.data());
-      MatrixD b_block(layout.b.rows, layout.b.cols);
+      Matrix<T> b_block(layout.b.rows, layout.b.cols);
       std::copy(b_flat.begin(), b_flat.end(), b_block.data());
-      const MatrixD d_block = gemm(a_block, b_block);
+      const Matrix<T> d_block = gemm(a_block, b_block);
 
       ctx.set_phase(kPhaseAlltoallC);
       const int p2 = static_cast<int>(cfg.grid.p2);
-      std::vector<std::vector<double>> pieces(static_cast<std::size_t>(p2));
+      std::vector<std::vector<T>> pieces(static_cast<std::size_t>(p2));
       for (int t = 0; t < p2; ++t) {
         const i64 off = coll::counts_offset(layout.c_counts, t);
         const i64 len = layout.c_counts[static_cast<std::size_t>(t)];
         pieces[static_cast<std::size_t>(t)].assign(
             d_block.data() + off, d_block.data() + off + len);
       }
-      const std::vector<std::vector<double>> received =
+      const std::vector<std::vector<T>> received =
           coll::alltoall(fiber_c, pieces, cfg.alltoall);
-      out.c_data.assign(static_cast<std::size_t>(layout.c.flat_size), 0.0);
+      out.c_data.assign(static_cast<std::size_t>(layout.c.flat_size),
+                        ScalarTraits<T>::zero());
       for (const auto& piece : received) {
         CAMB_CHECK(static_cast<i64>(piece.size()) == layout.c.flat_size);
         for (std::size_t j = 0; j < piece.size(); ++j) {
@@ -140,7 +142,7 @@ Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
       }
     }
     session.boundary(step + 1, [&] {
-      Snapshot snap;
+      SnapshotT<T> snap;
       if (step == 0) {
         snap.bufs = {a_flat};
       } else if (step == 1) {
@@ -153,6 +155,12 @@ Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                                  \
+  template Grid3dRankOutputT<T> grid3d_agarwal_ckpt_rank<T>( \
+      ckpt::SessionT<T>&, const Grid3dAgarwalConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 grid3d_agarwal_ckpt_steps(const Grid3dAgarwalConfig& cfg) {
   (void)cfg;

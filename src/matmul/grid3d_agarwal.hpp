@@ -39,7 +39,8 @@ i64 grid3d_agarwal_predicted_recv_words(const Grid3dAgarwalConfig& cfg,
 
 /// Checkpointable twin: boundaries after the A all-gather, the B all-gather,
 /// and the gemm + all-to-all + local sum.
-Grid3dRankOutput grid3d_agarwal_ckpt_rank(ckpt::Session& session,
+template <typename T>
+Grid3dRankOutputT<T> grid3d_agarwal_ckpt_rank(ckpt::SessionT<T>& session,
                                           const Grid3dAgarwalConfig& cfg);
 
 i64 grid3d_agarwal_ckpt_steps(const Grid3dAgarwalConfig& cfg);

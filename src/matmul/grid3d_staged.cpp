@@ -114,8 +114,9 @@ Grid3dStagedRankOutputT<T> grid3d_staged_rank(RankCtx& ctx,
 CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
 #undef CAMB_INSTANTIATE
 
-Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
-    ckpt::Session& session, const Grid3dStagedConfig& cfg) {
+template <typename T>
+Grid3dStagedRankOutputT<T> grid3d_staged_ckpt_rank(
+    ckpt::SessionT<T>& session, const Grid3dStagedConfig& cfg) {
   RankCtx& ctx = session.ctx();
   CAMB_CHECK_MSG(cfg.stages >= 1, "stages must be >= 1");
   CAMB_CHECK_MSG(cfg.grid.total() == session.nprocs(),
@@ -138,9 +139,9 @@ Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
   const BlockDist1D a_fiber_split(layout.a.block_size(), cfg.grid.p3);
   const BlockDist1D strips(layout.a.rows, cfg.stages);
 
-  std::vector<double> b_flat;
-  MatrixD b_block(layout.b.rows, layout.b.cols);
-  Grid3dStagedRankOutput out;
+  std::vector<T> b_flat;
+  Matrix<T> b_block(layout.b.rows, layout.b.cols);
+  Grid3dStagedRankOutputT<T> out;
 
   auto chunk_of_stage = [&](i64 stage) {
     const i64 r0 = strips.start(stage);
@@ -158,7 +159,7 @@ Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
 
   const i64 t0 = session.resume_step();
   if (session.restored()) {
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     CAMB_CHECK(static_cast<i64>(snap.bufs.size()) == t0);
     b_flat = snap.bufs.at(0);
     std::copy(b_flat.begin(), b_flat.end(), b_block.data());
@@ -173,7 +174,7 @@ Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
       ctx.set_phase(kPhaseAllgatherB);
       const camb::WorkingSet b_ws(ctx, layout.b.block_size());
       b_flat = coll::allgather(fiber_b, layout.b_counts,
-                               fill_chunk_indexed<double>(layout.b),
+                               fill_chunk_indexed<T>(layout.b),
                                cfg.allgather);
       std::copy(b_flat.begin(), b_flat.end(), b_block.data());
     } else {
@@ -190,27 +191,25 @@ Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
       BlockChunk my_piece = layout.a;
       my_piece.flat_start = std::max(lo, a_fiber_split.start(q3));
       my_piece.flat_size = counts[static_cast<std::size_t>(q3)];
-      std::vector<double> strip_flat = coll::allgather(
-          fiber_a, counts, fill_chunk_indexed<double>(my_piece),
-          cfg.allgather);
+      std::vector<T> strip_flat = coll::allgather(
+          fiber_a, counts, fill_chunk_indexed<T>(my_piece), cfg.allgather);
       CAMB_CHECK(static_cast<i64>(strip_flat.size()) == hi - lo);
 
       ctx.set_phase(kPhaseLocalGemm);
-      MatrixD a_strip(r1 - r0, layout.a.cols);
+      Matrix<T> a_strip(r1 - r0, layout.a.cols);
       std::copy(strip_flat.begin(), strip_flat.end(), a_strip.data());
-      const MatrixD d_strip = gemm(a_strip, b_block);
+      const Matrix<T> d_strip = gemm(a_strip, b_block);
 
       ctx.set_phase(kPhaseReduceScatterC);
       const BlockDist1D seg(d_strip.size(), cfg.grid.p2);
-      std::vector<double> d_flat(d_strip.data(),
-                                 d_strip.data() + d_strip.size());
-      std::vector<double> owned = coll::reduce_scatter(
+      std::vector<T> d_flat(d_strip.data(), d_strip.data() + d_strip.size());
+      std::vector<T> owned = coll::reduce_scatter(
           fiber_c, seg.counts(), d_flat, cfg.reduce_scatter);
       out.c_chunks.push_back(chunk_of_stage(stage));
       out.c_data.push_back(std::move(owned));
     }
     session.boundary(step + 1, [&] {
-      Snapshot snap;
+      SnapshotT<T> snap;
       snap.bufs.push_back(b_flat);
       for (const auto& owned : out.c_data) snap.bufs.push_back(owned);
       return snap;
@@ -218,6 +217,12 @@ Grid3dStagedRankOutput grid3d_staged_ckpt_rank(
   }
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                                      \
+  template Grid3dStagedRankOutputT<T> grid3d_staged_ckpt_rank<T>( \
+      ckpt::SessionT<T>&, const Grid3dStagedConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 grid3d_staged_ckpt_steps(const Grid3dStagedConfig& cfg) {
   return cfg.stages + 1;

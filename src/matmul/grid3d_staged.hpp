@@ -60,7 +60,8 @@ i64 grid3d_staged_messages(const Grid3dStagedConfig& cfg, int rank);
 
 /// Checkpointable twin: one boundary after the up-front B all-gather, then
 /// one per stage (snapshots carry B plus every completed stage's C piece).
-Grid3dStagedRankOutput grid3d_staged_ckpt_rank(ckpt::Session& session,
+template <typename T>
+Grid3dStagedRankOutputT<T> grid3d_staged_ckpt_rank(ckpt::SessionT<T>& session,
                                                const Grid3dStagedConfig& cfg);
 
 i64 grid3d_staged_ckpt_steps(const Grid3dStagedConfig& cfg);

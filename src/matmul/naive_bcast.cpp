@@ -61,8 +61,9 @@ Block2DOutputT<T> naive_bcast_rank(RankCtx& ctx, const NaiveBcastConfig& cfg) {
 CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
 #undef CAMB_INSTANTIATE
 
-Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
-                                    const NaiveBcastConfig& cfg) {
+template <typename T>
+Block2DOutputT<T> naive_bcast_ckpt_rank(ckpt::SessionT<T>& session,
+                                        const NaiveBcastConfig& cfg) {
   RankCtx& ctx = session.ctx();
   const int p = session.nprocs();
   const int me = session.rank();
@@ -72,10 +73,10 @@ Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
   const Shape& s = cfg.shape;
   const BlockDist1D rows(s.n1, p);
 
-  std::vector<double> a_flat, b_flat, c_flat;
+  std::vector<T> a_flat, b_flat, c_flat;
   const i64 t0 = session.resume_step();
   if (session.restored()) {
-    const Snapshot& snap = session.snapshot();
+    const SnapshotT<T>& snap = session.snapshot();
     if (t0 == 1) {
       a_flat = snap.bufs.at(0);
     } else if (t0 == 2) {
@@ -92,28 +93,28 @@ Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
       ctx.set_phase(kPhaseNaiveBcast);
       if (me == 0) {
         BlockChunk a_all{0, 0, s.n1, s.n2, 0, s.size_a()};
-        a_flat = fill_chunk_indexed<double>(a_all);
+        a_flat = fill_chunk_indexed<T>(a_all);
       }
       coll::bcast(world, 0, a_flat, s.size_a());
     } else if (step == 1) {
       ctx.set_phase(kPhaseNaiveBcast);
       if (me == 0) {
         BlockChunk b_all{0, 0, s.n2, s.n3, 0, s.size_b()};
-        b_flat = fill_chunk_indexed<double>(b_all);
+        b_flat = fill_chunk_indexed<T>(b_all);
       }
       coll::bcast(world, 0, b_flat, s.size_b());
     } else {
       ctx.set_phase(kPhaseNaiveGemm);
-      MatrixD a_mine(rows.size(me), s.n2);
+      Matrix<T> a_mine(rows.size(me), s.n2);
       std::copy(a_flat.begin() + rows.start(me) * s.n2,
                 a_flat.begin() + rows.end(me) * s.n2, a_mine.data());
-      MatrixD b_full(s.n2, s.n3);
+      Matrix<T> b_full(s.n2, s.n3);
       std::copy(b_flat.begin(), b_flat.end(), b_full.data());
-      MatrixD c_slice = gemm(a_mine, b_full);
+      Matrix<T> c_slice = gemm(a_mine, b_full);
       c_flat.assign(c_slice.data(), c_slice.data() + c_slice.size());
     }
     session.boundary(step + 1, [&] {
-      Snapshot snap;
+      SnapshotT<T> snap;
       if (step == 0) {
         snap.bufs = {a_flat};
       } else if (step == 1) {
@@ -125,10 +126,10 @@ Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
     });
   }
 
-  Block2DOutput out;
+  Block2DOutputT<T> out;
   out.row0 = rows.start(me);
   out.col0 = 0;
-  out.block = MatrixD(rows.size(me), s.n3);
+  out.block = Matrix<T>(rows.size(me), s.n3);
   CAMB_CHECK(static_cast<i64>(c_flat.size()) == out.block.size());
   std::copy(c_flat.begin(), c_flat.end(), out.block.data());
 
@@ -140,6 +141,12 @@ Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
   coll::gather(world, 0, counts, c_flat);
   return out;
 }
+
+#define CAMB_INSTANTIATE(T)                            \
+  template Block2DOutputT<T> naive_bcast_ckpt_rank<T>( \
+      ckpt::SessionT<T>&, const NaiveBcastConfig&);
+CAMB_FOR_EACH_SCALAR(CAMB_INSTANTIATE)
+#undef CAMB_INSTANTIATE
 
 i64 naive_bcast_ckpt_steps(const NaiveBcastConfig& cfg) {
   (void)cfg;

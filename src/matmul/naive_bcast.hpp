@@ -29,7 +29,8 @@ i64 naive_bcast_predicted_recv_words(const NaiveBcastConfig& cfg, int rank,
 
 /// Checkpointable twin: three boundary steps (A broadcast, B broadcast,
 /// local gemm) followed by the un-checkpointed gather epilogue.
-Block2DOutput naive_bcast_ckpt_rank(ckpt::Session& session,
+template <typename T>
+Block2DOutputT<T> naive_bcast_ckpt_rank(ckpt::SessionT<T>& session,
                                     const NaiveBcastConfig& cfg);
 
 i64 naive_bcast_ckpt_steps(const NaiveBcastConfig& cfg);

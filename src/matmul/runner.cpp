@@ -35,18 +35,6 @@ RunReport dispatch_dtype(DType d, F&& f) {
   throw Error("unreachable dtype");
 }
 
-/// Checkpoint/rollback snapshots travel through the f64 wire codec and the
-/// rollback twins execute in double; other dtypes are rejected by name
-/// instead of silently running the f64 twin.
-void require_f64_for_checkpoint(const RunOptions& opts) {
-  if (opts.checkpoint.enabled() && opts.dtype != DType::kF64) {
-    throw Error(std::string("checkpoint/rollback requires --dtype f64 (the "
-                            "snapshot wire codec and rollback twins are "
-                            "f64-only); got --dtype ") +
-                dtype_name(opts.dtype));
-  }
-}
-
 /// Machine construction + fault wiring for one run: the rank RNG seed, the
 /// fault seed, and the crash seed all derive from the options' master seed
 /// (independent domains), so a run is replayable from that one logged value.
@@ -286,6 +274,20 @@ std::string CorruptionReport::summary() const {
   return out.str();
 }
 
+std::string ElasticReport::summary() const {
+  std::ostringstream out;
+  out << "elastic{rounds=" << rounds << " failed=";
+  list_ranks(out, failed);
+  out << " survivors=" << survivors << " active=" << active_ranks << " grid="
+      << grid.p1 << "x" << grid.p2 << "x" << grid.p3
+      << " migration_recv=" << migration_recv_words
+      << " shrink_recv=" << shrink_recv_words
+      << " exec_recv=" << exec_recv_words
+      << " bound_at_pprime=" << bound_words_at_pprime
+      << " overhead_vs_bound=" << overhead_vs_bound << "}";
+  return out.str();
+}
+
 namespace {
 
 template <typename T>
@@ -441,26 +443,29 @@ void fill_resilience_report(RunReport& report, camb::Machine& machine,
   if (machine.crash_outcome().any_crashed()) {
     report.predicted_critical_recv = -1;
   } else {
-    const i64 flood = ckpt::ckpt_flood_recv_words_exact(T, ck.spares);
-    i64 worst = flood;  // idle spares pay only the agreement flood
+    // Split prediction: the algorithm + commit-tax words are dtype-scaled
+    // data (elements), while the agreement flood is fixed 8-byte control
+    // traffic.  The flood is uniform across every physical rank (idle
+    // spares included), so the split commutes with the max.
+    i64 worst = 0;
     for (int L = 0; L < P; ++L) {
-      worst = std::max(worst,
-                       base_pred(L) +
-                           ckpt_commit_tax(P, ck, steps, L, snapshot_words) +
-                           flood);
+      worst = std::max(
+          worst, base_pred(L) + ckpt_commit_tax(P, ck, steps, L, snapshot_words));
     }
     report.predicted_critical_recv = worst;
+    report.predicted_control_words +=
+        ckpt::ckpt_flood_recv_words_exact(T, ck.spares);
   }
 }
 
 /// Execute a checkpointed run: P + spares physical ranks each drive the
 /// rollback round loop around `body`; the per-logical outputs are collected
 /// under a mutex (re-executions overwrite bit-identical values).
-template <typename Output>
-std::vector<Output> run_checkpointed(camb::Machine& machine, int P,
-                                     const RunOptions& opts,
-                                     std::vector<ckpt::RunLog>& logs,
-                                     const std::function<Output(ckpt::Session&)>& body) {
+template <typename T, typename Output>
+std::vector<Output> run_checkpointed(
+    camb::Machine& machine, int P, const RunOptions& opts,
+    std::vector<ckpt::RunLog>& logs,
+    const std::function<Output(ckpt::SessionT<T>&)>& body) {
   const CheckpointConfig& ck = opts.checkpoint;
   ckpt::ResilientConfig rcfg;
   rcfg.nprocs = P;
@@ -471,8 +476,8 @@ std::vector<Output> run_checkpointed(camb::Machine& machine, int P,
   std::mutex results_mu;
   logs.assign(static_cast<std::size_t>(P + ck.spares), {});
   machine.run([&](camb::RankCtx& ctx) {
-    ckpt::run_resilient<Output>(ctx, rcfg, body, &results, &results_mu,
-                                &logs[static_cast<std::size_t>(ctx.rank())]);
+    ckpt::run_resilient<T, Output>(ctx, rcfg, body, &results, &results_mu,
+                                   &logs[static_cast<std::size_t>(ctx.rank())]);
   });
   std::vector<Output> outputs;
   outputs.reserve(static_cast<std::size_t>(P));
@@ -487,18 +492,18 @@ std::vector<Output> run_checkpointed(camb::Machine& machine, int P,
 
 /// The whole checkpointed-run recipe minus output assembly: machine with
 /// spares, rollback loop, measurement, resilience record, prediction.
-template <typename Output>
+template <typename T, typename Output>
 RunReport run_ckpt_common(int P, const RunOptions& opts, double bound,
                           i64 steps,
                           const std::function<i64(int)>& base_pred,
                           const std::function<i64(int, i64)>& snap_words,
-                          const std::function<Output(ckpt::Session&)>& body,
+                          const std::function<Output(ckpt::SessionT<T>&)>& body,
                           std::vector<Output>& outputs) {
   camb::Machine machine(P + opts.checkpoint.spares,
                         opts.perturb.machine_seed());
   configure_machine(machine, opts);
   std::vector<ckpt::RunLog> logs;
-  outputs = run_checkpointed<Output>(machine, P, opts, logs, body);
+  outputs = run_checkpointed<T, Output>(machine, P, opts, logs, body);
   RunReport report = report_from_machine(machine, opts);
   fill_resilience_report(report, machine, opts, logs, P, steps, base_pred,
                          snap_words);
@@ -585,24 +590,22 @@ RunReport run_grid3d_t(const Grid3dConfig& cfg, const RunOptions& opts) {
   const i64 P = cfg.grid.total();
   const double bound = lower_bound_for(cfg.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<Grid3dRankOutput> outputs;
-      RunReport report = run_ckpt_common<Grid3dRankOutput>(
-          static_cast<int>(P), opts, bound, grid3d_ckpt_steps(cfg),
-          [&](int L) { return grid3d_predicted_recv_words(cfg, L); },
-          [&](int L, i64 s) { return grid3d_ckpt_snapshot_words(cfg, L, s); },
-          [&](ckpt::Session& s) { return grid3d_ckpt_rank(s, cfg); }, outputs);
-      if (opts.verify != VerifyMode::kNone) {
-        MatrixD c(cfg.shape.n1, cfg.shape.n3);
-        for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
-        report.output_hash = hash_matrix(c);
-        report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-        report.verified = true;
-      }
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
+    std::vector<Grid3dRankOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, Grid3dRankOutputT<T>>(
+        static_cast<int>(P), opts, bound, grid3d_ckpt_steps(cfg),
+        [&](int L) { return grid3d_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) { return grid3d_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::SessionT<T>& s) { return grid3d_ckpt_rank<T>(s, cfg); },
+        outputs);
+    if (opts.verify != VerifyMode::kNone) {
+      Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
+      for (const auto& out : outputs) place_chunk<T>(c, out.c_chunk, out.c_data);
+      report.output_hash = hash_matrix<T>(c);
+      report.max_abs_error = check_result_pattern<T>(cfg.shape, c, opts.verify,
+                                                     cfg.integer_inputs);
+      report.verified = true;
     }
+    return report;
   }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
@@ -617,8 +620,8 @@ RunReport run_grid3d_t(const Grid3dConfig& cfg, const RunOptions& opts) {
     Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
     for (const auto& out : outputs) place_chunk<T>(c, out.c_chunk, out.c_data);
     report.output_hash = hash_matrix<T>(c);
-    report.max_abs_error =
-        check_result_pattern<T>(cfg.shape, c, opts.verify, false);
+    report.max_abs_error = check_result_pattern<T>(cfg.shape, c, opts.verify,
+                                                   cfg.integer_inputs);
     report.verified = true;
   }
   return report;
@@ -631,31 +634,30 @@ RunReport run_grid3d_staged_t(const Grid3dStagedConfig& cfg,
   const i64 P = cfg.grid.total();
   const double bound = lower_bound_for(cfg.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<Grid3dStagedRankOutput> outputs;
-      RunReport report = run_ckpt_common<Grid3dStagedRankOutput>(
-          static_cast<int>(P), opts, bound, grid3d_staged_ckpt_steps(cfg),
-          [&](int L) { return grid3d_staged_predicted_recv_words(cfg, L); },
-          [&](int L, i64 s) {
-            return grid3d_staged_ckpt_snapshot_words(cfg, L, s);
-          },
-          [&](ckpt::Session& s) { return grid3d_staged_ckpt_rank(s, cfg); },
-          outputs);
-      if (opts.verify != VerifyMode::kNone) {
-        MatrixD c(cfg.shape.n1, cfg.shape.n3);
-        for (const auto& out : outputs) {
-          for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
-            place_chunk(c, out.c_chunks[s], out.c_data[s]);
-          }
+    std::vector<Grid3dStagedRankOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, Grid3dStagedRankOutputT<T>>(
+        static_cast<int>(P), opts, bound, grid3d_staged_ckpt_steps(cfg),
+        [&](int L) { return grid3d_staged_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) {
+          return grid3d_staged_ckpt_snapshot_words(cfg, L, s);
+        },
+        [&](ckpt::SessionT<T>& s) {
+          return grid3d_staged_ckpt_rank<T>(s, cfg);
+        },
+        outputs);
+    if (opts.verify != VerifyMode::kNone) {
+      Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
+      for (const auto& out : outputs) {
+        for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
+          place_chunk<T>(c, out.c_chunks[s], out.c_data[s]);
         }
-        report.output_hash = hash_matrix(c);
-        report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-        report.verified = true;
       }
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
+      report.output_hash = hash_matrix<T>(c);
+      report.max_abs_error =
+          check_result_pattern<T>(cfg.shape, c, opts.verify, false);
+      report.verified = true;
     }
+    return report;
   }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
@@ -695,27 +697,26 @@ RunReport run_grid3d_agarwal_t(const Grid3dAgarwalConfig& cfg,
   const i64 P = cfg.grid.total();
   const double bound = lower_bound_for(cfg.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<Grid3dRankOutput> outputs;
-      RunReport report = run_ckpt_common<Grid3dRankOutput>(
-          static_cast<int>(P), opts, bound, grid3d_agarwal_ckpt_steps(cfg),
-          [&](int L) { return grid3d_agarwal_predicted_recv_words(cfg, L); },
-          [&](int L, i64 s) {
-            return grid3d_agarwal_ckpt_snapshot_words(cfg, L, s);
-          },
-          [&](ckpt::Session& s) { return grid3d_agarwal_ckpt_rank(s, cfg); },
-          outputs);
-      if (opts.verify != VerifyMode::kNone) {
-        MatrixD c(cfg.shape.n1, cfg.shape.n3);
-        for (const auto& out : outputs) place_chunk(c, out.c_chunk, out.c_data);
-        report.output_hash = hash_matrix(c);
-        report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-        report.verified = true;
-      }
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
+    std::vector<Grid3dRankOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, Grid3dRankOutputT<T>>(
+        static_cast<int>(P), opts, bound, grid3d_agarwal_ckpt_steps(cfg),
+        [&](int L) { return grid3d_agarwal_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) {
+          return grid3d_agarwal_ckpt_snapshot_words(cfg, L, s);
+        },
+        [&](ckpt::SessionT<T>& s) {
+          return grid3d_agarwal_ckpt_rank<T>(s, cfg);
+        },
+        outputs);
+    if (opts.verify != VerifyMode::kNone) {
+      Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
+      for (const auto& out : outputs) place_chunk<T>(c, out.c_chunk, out.c_data);
+      report.output_hash = hash_matrix<T>(c);
+      report.max_abs_error =
+          check_result_pattern<T>(cfg.shape, c, opts.verify, false);
+      report.verified = true;
     }
+    return report;
   }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
@@ -749,25 +750,23 @@ RunReport run_carma_t(const CarmaConfig& cfg, const RunOptions& opts) {
   const i64 P = i64{1} << cfg.levels;
   const double bound = lower_bound_for(cfg.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      const std::vector<i64> base = carma_predicted_recv_words(cfg);
-      std::vector<CarmaRankOutput> outputs;
-      RunReport report = run_ckpt_common<CarmaRankOutput>(
-          static_cast<int>(P), opts, bound, carma_ckpt_steps(cfg),
-          [&](int L) { return base[static_cast<std::size_t>(L)]; },
-          [&](int L, i64 s) { return carma_ckpt_snapshot_words(cfg, L, s); },
-          [&](ckpt::Session& s) { return carma_ckpt_rank(s, cfg); }, outputs);
-      if (opts.verify != VerifyMode::kNone) {
-        MatrixD c(cfg.shape.n1, cfg.shape.n3);
-        for (const auto& out : outputs) place_chunk(c, out.holding, out.data);
-        report.output_hash = hash_matrix(c);
-        report.max_abs_error = check_result(cfg.shape, c, opts.verify);
-        report.verified = true;
-      }
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
+    const std::vector<i64> base = carma_predicted_recv_words(cfg);
+    std::vector<CarmaRankOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, CarmaRankOutputT<T>>(
+        static_cast<int>(P), opts, bound, carma_ckpt_steps(cfg),
+        [&](int L) { return base[static_cast<std::size_t>(L)]; },
+        [&](int L, i64 s) { return carma_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::SessionT<T>& s) { return carma_ckpt_rank<T>(s, cfg); },
+        outputs);
+    if (opts.verify != VerifyMode::kNone) {
+      Matrix<T> c(cfg.shape.n1, cfg.shape.n3);
+      for (const auto& out : outputs) place_chunk<T>(c, out.holding, out.data);
+      report.output_hash = hash_matrix<T>(c);
+      report.max_abs_error =
+          check_result_pattern<T>(cfg.shape, c, opts.verify, false);
+      report.verified = true;
     }
+    return report;
   }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
@@ -797,7 +796,8 @@ template <typename T>
 RunReport run_block2d(
     const Shape& shape, i64 nprocs, const RunOptions& opts, double lower_bound,
     i64 predicted,
-    const std::function<Block2DOutputT<T>(camb::RankCtx&)>& body) {
+    const std::function<Block2DOutputT<T>(camb::RankCtx&)>& body,
+    bool integer_inputs = false) {
   camb::Machine machine(static_cast<int>(nprocs), opts.perturb.machine_seed());
   configure_machine(machine, opts);
   std::vector<Block2DOutputT<T>> outputs(static_cast<std::size_t>(nprocs));
@@ -807,7 +807,7 @@ RunReport run_block2d(
   RunReport report = report_from_machine(machine, opts);
   report.predicted_critical_recv = predicted;
   report.lower_bound_words = lower_bound;
-  verify_block2d<T>(shape, outputs, opts, report);
+  verify_block2d<T>(shape, outputs, opts, report, integer_inputs);
   return report;
 }
 
@@ -822,23 +822,22 @@ RunReport run_alg25d_t(const Alg25dConfig& cfg, const RunOptions& opts) {
   }
   const double bound = lower_bound_for(cfg.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<Block2DOutput> outputs;
-      RunReport report = run_ckpt_common<Block2DOutput>(
-          static_cast<int>(P), opts, bound, alg25d_ckpt_steps(cfg),
-          [&](int L) { return alg25d_predicted_recv_words(cfg, L); },
-          [&](int L, i64 s) { return alg25d_ckpt_snapshot_words(cfg, L, s); },
-          [&](ckpt::Session& s) { return alg25d_ckpt_rank(s, cfg); }, outputs);
-      verify_block2d<double>(cfg.shape, outputs, opts, report);
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
-    }
+    std::vector<Block2DOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, Block2DOutputT<T>>(
+        static_cast<int>(P), opts, bound, alg25d_ckpt_steps(cfg),
+        [&](int L) { return alg25d_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) { return alg25d_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::SessionT<T>& s) { return alg25d_ckpt_rank<T>(s, cfg); },
+        outputs);
+    verify_block2d<T>(cfg.shape, outputs, opts, report,
+                      /*integer_inputs=*/cfg.integer_inputs);
+    return report;
   }
   return run_block2d<T>(cfg.shape, P, opts, bound, predicted,
                         [&](camb::RankCtx& ctx) {
                           return alg25d_rank<T>(ctx, cfg);
-                        });
+                        },
+                        cfg.integer_inputs);
 }
 
 template <typename T>
@@ -852,23 +851,22 @@ RunReport run_summa_t(const SummaConfig& cfg, const RunOptions& opts) {
   }
   const double bound = lower_bound_for(cfg.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<Block2DOutput> outputs;
-      RunReport report = run_ckpt_common<Block2DOutput>(
-          static_cast<int>(P), opts, bound, summa_ckpt_steps(cfg),
-          [&](int L) { return summa_predicted_recv_words(cfg, L); },
-          [&](int L, i64 s) { return summa_ckpt_snapshot_words(cfg, L, s); },
-          [&](ckpt::Session& s) { return summa_ckpt_rank(s, cfg); }, outputs);
-      verify_block2d<double>(cfg.shape, outputs, opts, report);
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
-    }
+    std::vector<Block2DOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, Block2DOutputT<T>>(
+        static_cast<int>(P), opts, bound, summa_ckpt_steps(cfg),
+        [&](int L) { return summa_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) { return summa_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::SessionT<T>& s) { return summa_ckpt_rank<T>(s, cfg); },
+        outputs);
+    verify_block2d<T>(cfg.shape, outputs, opts, report,
+                      /*integer_inputs=*/cfg.integer_inputs);
+    return report;
   }
   return run_block2d<T>(cfg.shape, P, opts, bound, predicted,
                         [&](camb::RankCtx& ctx) {
                           return summa_rank<T>(ctx, cfg);
-                        });
+                        },
+                        cfg.integer_inputs);
 }
 
 template <typename T>
@@ -883,29 +881,25 @@ RunReport run_summa_abft_t(const SummaAbftConfig& cfg,
   }
   const double bound = lower_bound_for(cfg.base.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<SummaAbftOutput> outputs;
-      RunReport report = run_ckpt_common<SummaAbftOutput>(
-          static_cast<int>(P), opts, bound, summa_abft_ckpt_steps(cfg),
-          [&](int L) { return summa_abft_ckpt_base_recv_words(cfg, L); },
-          [&](int L, i64 s) {
-            return summa_abft_ckpt_snapshot_words(cfg, L, s);
-          },
-          [&](ckpt::Session& s) { return summa_abft_ckpt_rank(s, cfg); },
-          outputs);
-      report.recovery.abft = true;
-      if (report.lower_bound_words > 0) {
-        report.recovery.overhead_ratio =
-            report.measured_critical_recv / report.lower_bound_words;
-      }
-      std::vector<Block2DOutput> blocks;
-      for (const auto& out : outputs) blocks.push_back(out.own);
-      verify_block2d<double>(cfg.base.shape, blocks, opts, report,
-                             /*integer_inputs=*/true);
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
+    std::vector<SummaAbftOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, SummaAbftOutputT<T>>(
+        static_cast<int>(P), opts, bound, summa_abft_ckpt_steps(cfg),
+        [&](int L) { return summa_abft_ckpt_base_recv_words(cfg, L); },
+        [&](int L, i64 s) {
+          return summa_abft_ckpt_snapshot_words(cfg, L, s);
+        },
+        [&](ckpt::SessionT<T>& s) { return summa_abft_ckpt_rank<T>(s, cfg); },
+        outputs);
+    report.recovery.abft = true;
+    if (report.lower_bound_words > 0) {
+      report.recovery.overhead_ratio =
+          report.measured_critical_recv / report.lower_bound_words;
     }
+    std::vector<Block2DOutputT<T>> blocks;
+    for (const auto& out : outputs) blocks.push_back(out.own);
+    verify_block2d<T>(cfg.base.shape, blocks, opts, report,
+                      /*integer_inputs=*/int_inputs);
+    return report;
   }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
@@ -979,35 +973,31 @@ RunReport run_grid3d_abft_t(const Grid3dAbftConfig& cfg,
   }
   const double bound = lower_bound_for(cfg.base.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<Grid3dAbftOutput> outputs;
-      RunReport report = run_ckpt_common<Grid3dAbftOutput>(
-          static_cast<int>(P), opts, bound, grid3d_abft_ckpt_steps(cfg),
-          [&](int L) { return grid3d_abft_ckpt_base_recv_words(cfg, L); },
-          [&](int L, i64 s) {
-            return grid3d_abft_ckpt_snapshot_words(cfg, L, s);
-          },
-          [&](ckpt::Session& s) { return grid3d_abft_ckpt_rank(s, cfg); },
-          outputs);
-      report.recovery.abft = true;
-      if (report.lower_bound_words > 0) {
-        report.recovery.overhead_ratio =
-            report.measured_critical_recv / report.lower_bound_words;
-      }
-      if (opts.verify != VerifyMode::kNone) {
-        MatrixD c(cfg.base.shape.n1, cfg.base.shape.n3);
-        for (const auto& out : outputs) {
-          place_chunk(c, out.own.c_chunk, out.own.c_data);
-        }
-        report.output_hash = hash_matrix(c);
-        report.max_abs_error = check_result_pattern<double>(
-            cfg.base.shape, c, opts.verify, /*integer_inputs=*/true);
-        report.verified = true;
-      }
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
+    std::vector<Grid3dAbftOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, Grid3dAbftOutputT<T>>(
+        static_cast<int>(P), opts, bound, grid3d_abft_ckpt_steps(cfg),
+        [&](int L) { return grid3d_abft_ckpt_base_recv_words(cfg, L); },
+        [&](int L, i64 s) {
+          return grid3d_abft_ckpt_snapshot_words(cfg, L, s);
+        },
+        [&](ckpt::SessionT<T>& s) { return grid3d_abft_ckpt_rank<T>(s, cfg); },
+        outputs);
+    report.recovery.abft = true;
+    if (report.lower_bound_words > 0) {
+      report.recovery.overhead_ratio =
+          report.measured_critical_recv / report.lower_bound_words;
     }
+    if (opts.verify != VerifyMode::kNone) {
+      Matrix<T> c(cfg.base.shape.n1, cfg.base.shape.n3);
+      for (const auto& out : outputs) {
+        place_chunk<T>(c, out.own.c_chunk, out.own.c_data);
+      }
+      report.output_hash = hash_matrix<T>(c);
+      report.max_abs_error =
+          check_result_pattern<T>(cfg.base.shape, c, opts.verify, int_inputs);
+      report.verified = true;
+    }
+    return report;
   }
   camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
   configure_machine(machine, opts);
@@ -1080,6 +1070,182 @@ RunReport run_grid3d_abft_t(const Grid3dAbftConfig& cfg,
   return report;
 }
 
+/// Elastic mode is a recovery discipline of its own: it cannot stack with
+/// checkpoint/rollback (which re-executes on the OLD grid — the opposite
+/// answer to the same failure) or with memory-SDC injection (which needs a
+/// checksum-augmented algorithm to exercise the correction path).
+void reject_elastic_conflicts(const RunOptions& opts, const char* algo) {
+  if (opts.checkpoint.enabled()) {
+    throw Error(std::string(algo) +
+                ": elastic shrink-and-regrid does not compose with "
+                "checkpoint/rollback — rollback re-executes on the old grid, "
+                "elastic re-plans it; pick one recovery discipline");
+  }
+  if (opts.sdc.mem_rate > 0) {
+    throw Error(std::string(algo) +
+                ": memory-SDC injection (--sdc-mem-rate) requires a "
+                "checksum-augmented algorithm; the elastic twins recover by "
+                "re-execution, not correction");
+  }
+}
+
+/// Shared elastic driver: run the per-rank elastic twin on a counted
+/// machine, pin the report to the closed-form prediction for the agreed
+/// failed set, and assemble C from every non-crashed rank's tiles (retiree
+/// attempt-0 tiles and recovery-round tiles overlap bit-identically, so
+/// placement order does not matter).
+template <typename T, typename RankFn, typename PredictFn>
+RunReport run_elastic_common(const Shape& shape, i64 P, bool int_inputs,
+                             const RunOptions& opts, RankFn&& rank_fn,
+                             PredictFn&& predict) {
+  camb::Machine machine(static_cast<int>(P), opts.perturb.machine_seed());
+  configure_machine(machine, opts);
+  std::vector<ElasticRankOutputT<T>> outputs(static_cast<std::size_t>(P));
+  machine.run([&](camb::RankCtx& ctx) {
+    outputs[static_cast<std::size_t>(ctx.rank())] = rank_fn(ctx);
+  });
+  RunReport report = report_from_machine(machine, opts);
+  const std::vector<int>& crashed = machine.crash_outcome().crashed;
+
+  // The agreed outcome lives in the deepest-recovering survivor: a rank
+  // that retired after a clean attempt 0 reports rounds = 0 even when its
+  // peers went on to shrink without it.
+  const ElasticRankOutputT<T>* view = nullptr;
+  for (i64 r = 0; r < P; ++r) {
+    if (contains(crashed, static_cast<int>(r))) continue;
+    const ElasticRankOutputT<T>& out = outputs[static_cast<std::size_t>(r)];
+    if (view == nullptr || out.rounds > view->rounds) view = &out;
+  }
+  if (view == nullptr) {
+    throw Error("elastic: every rank crashed; nothing to report");
+  }
+
+  report.elastic.enabled = true;
+  report.elastic.rounds = view->rounds;
+  report.elastic.failed = view->failed;
+  report.elastic.survivors = view->survivors;
+  report.elastic.active_ranks = view->active_ranks;
+  report.elastic.grid = view->final_grid;
+
+  const camb::CommStats& stats = machine.stats();
+  for (i64 r = 0; r < P; ++r) {
+    const int rr = static_cast<int>(r);
+    const double regrid_w =
+        stats.rank_phase(rr, coll::kPhaseElasticRegrid).words_received();
+    const double shrink_w =
+        stats.rank_phase(rr, kPhaseElasticShrink).words_received();
+    report.elastic.migration_recv_words =
+        std::max(report.elastic.migration_recv_words, regrid_w);
+    report.elastic.shrink_recv_words =
+        std::max(report.elastic.shrink_recv_words, shrink_w);
+    report.elastic.exec_recv_words =
+        std::max(report.elastic.exec_recv_words,
+                 stats.rank_total(rr).words_received() - regrid_w - shrink_w);
+  }
+  report.elastic.bound_words_at_pprime =
+      lower_bound_for(shape, report.elastic.active_ranks, opts);
+  if (report.elastic.bound_words_at_pprime > 0) {
+    report.elastic.overhead_vs_bound =
+        report.elastic.exec_recv_words / report.elastic.bound_words_at_pprime;
+  }
+
+  // The zero-tolerance prediction for the agreed failed set: base words
+  // when clean, base-at-P′ + shrink flood + migration tax when crashed.
+  // Split data elements (dtype-scaled) from the shrink control words (fixed
+  // f64 mask payloads) the way predicted_words() recombines them; the split
+  // commutes with the max because the control words are uniform over
+  // survivors and the failed receive nothing.
+  const ElasticPrediction pred = predict(view->failed);
+  const double width = dtype_width_words(opts.dtype);
+  i64 max_elems = 0;
+  for (i64 r = 0; r < P; ++r) {
+    const std::size_t s = static_cast<std::size_t>(r);
+    const double data_words =
+        pred.rank_migration_words[s] + pred.rank_exec_words[s];
+    max_elems = std::max(
+        max_elems, static_cast<i64>(std::llround(data_words / width)));
+  }
+  report.predicted_critical_recv = max_elems;
+  report.predicted_control_words =
+      static_cast<i64>(std::llround(pred.shrink_words));
+  report.lower_bound_words = lower_bound_for(shape, P, opts);
+
+  if (opts.verify != VerifyMode::kNone) {
+    Matrix<T> c(shape.n1, shape.n3);
+    for (i64 r = 0; r < P; ++r) {
+      if (contains(crashed, static_cast<int>(r))) continue;
+      const ElasticRankOutputT<T>& out = outputs[static_cast<std::size_t>(r)];
+      for (std::size_t s = 0; s < out.c_chunks.size(); ++s) {
+        place_chunk<T>(c, out.c_chunks[s], out.c_data[s]);
+      }
+    }
+    report.output_hash = hash_matrix<T>(c);
+    report.max_abs_error =
+        check_result_pattern<T>(shape, c, opts.verify, int_inputs);
+    report.verified = true;
+  }
+  return report;
+}
+
+template <typename T>
+RunReport run_summa_elastic_t(const SummaConfig& cfg, const RunOptions& opts) {
+  reject_elastic_conflicts(opts, "summa_elastic");
+  const i64 P = cfg.g * cfg.g;
+  ElasticConfig ecfg = opts.elastic;
+  ecfg.enabled = true;
+  const bool int_inputs = cfg.integer_inputs || abft_integer_inputs<T>();
+  return run_elastic_common<T>(
+      cfg.shape, P, int_inputs, opts,
+      [&](camb::RankCtx& ctx) {
+        return summa_elastic_rank<T>(ctx, cfg, ecfg);
+      },
+      [&](const std::vector<int>& failed) {
+        return summa_elastic_prediction(cfg, ecfg, failed,
+                                        static_cast<int>(P),
+                                        dtype_width_words(opts.dtype));
+      });
+}
+
+template <typename T>
+RunReport run_grid3d_elastic_t(const Grid3dConfig& cfg,
+                               const RunOptions& opts) {
+  reject_elastic_conflicts(opts, "grid3d_elastic");
+  const i64 P = cfg.grid.total();
+  ElasticConfig ecfg = opts.elastic;
+  ecfg.enabled = true;
+  const bool int_inputs = cfg.integer_inputs || abft_integer_inputs<T>();
+  return run_elastic_common<T>(
+      cfg.shape, P, int_inputs, opts,
+      [&](camb::RankCtx& ctx) {
+        return grid3d_elastic_rank<T>(ctx, cfg, ecfg);
+      },
+      [&](const std::vector<int>& failed) {
+        return grid3d_elastic_prediction(cfg, ecfg, failed,
+                                         static_cast<int>(P),
+                                         dtype_width_words(opts.dtype));
+      });
+}
+
+template <typename T>
+RunReport run_alg25d_elastic_t(const Alg25dConfig& cfg,
+                               const RunOptions& opts) {
+  reject_elastic_conflicts(opts, "alg25d_elastic");
+  const i64 P = cfg.g * cfg.g * cfg.c;
+  ElasticConfig ecfg = opts.elastic;
+  ecfg.enabled = true;
+  const bool int_inputs = cfg.integer_inputs || abft_integer_inputs<T>();
+  return run_elastic_common<T>(
+      cfg.shape, P, int_inputs, opts,
+      [&](camb::RankCtx& ctx) {
+        return alg25d_elastic_rank<T>(ctx, cfg, ecfg);
+      },
+      [&](const std::vector<int>& failed) {
+        return alg25d_elastic_prediction(cfg, ecfg, failed,
+                                         static_cast<int>(P),
+                                         dtype_width_words(opts.dtype));
+      });
+}
+
 template <typename T>
 RunReport run_cannon_t(const CannonConfig& cfg, const RunOptions& opts) {
   reject_mem_sdc(opts, "cannon");
@@ -1091,18 +1257,15 @@ RunReport run_cannon_t(const CannonConfig& cfg, const RunOptions& opts) {
   }
   const double bound = lower_bound_for(cfg.shape, P, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<Block2DOutput> outputs;
-      RunReport report = run_ckpt_common<Block2DOutput>(
-          static_cast<int>(P), opts, bound, cannon_ckpt_steps(cfg),
-          [&](int L) { return cannon_predicted_recv_words(cfg, L); },
-          [&](int L, i64 s) { return cannon_ckpt_snapshot_words(cfg, L, s); },
-          [&](ckpt::Session& s) { return cannon_ckpt_rank(s, cfg); }, outputs);
-      verify_block2d<double>(cfg.shape, outputs, opts, report);
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
-    }
+    std::vector<Block2DOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, Block2DOutputT<T>>(
+        static_cast<int>(P), opts, bound, cannon_ckpt_steps(cfg),
+        [&](int L) { return cannon_predicted_recv_words(cfg, L); },
+        [&](int L, i64 s) { return cannon_ckpt_snapshot_words(cfg, L, s); },
+        [&](ckpt::SessionT<T>& s) { return cannon_ckpt_rank<T>(s, cfg); },
+        outputs);
+    verify_block2d<T>(cfg.shape, outputs, opts, report);
+    return report;
   }
   return run_block2d<T>(cfg.shape, P, opts, bound, predicted,
                         [&](camb::RankCtx& ctx) {
@@ -1122,25 +1285,21 @@ RunReport run_naive_bcast_t(const NaiveBcastConfig& cfg, i64 nprocs,
   }
   const double bound = lower_bound_for(cfg.shape, nprocs, opts);
   if (opts.checkpoint.enabled()) {
-    if constexpr (std::is_same_v<T, double>) {
-      std::vector<Block2DOutput> outputs;
-      RunReport report = run_ckpt_common<Block2DOutput>(
-          static_cast<int>(nprocs), opts, bound, naive_bcast_ckpt_steps(cfg),
-          [&](int L) {
-            return naive_bcast_predicted_recv_words(cfg, L,
-                                                    static_cast<int>(nprocs));
-          },
-          [&](int L, i64 s) {
-            return naive_bcast_ckpt_snapshot_words(cfg, L,
-                                                   static_cast<int>(nprocs), s);
-          },
-          [&](ckpt::Session& s) { return naive_bcast_ckpt_rank(s, cfg); },
-          outputs);
-      verify_block2d<double>(cfg.shape, outputs, opts, report);
-      return report;
-    } else {
-      throw Error("unreachable: checkpointing is f64-only");
-    }
+    std::vector<Block2DOutputT<T>> outputs;
+    RunReport report = run_ckpt_common<T, Block2DOutputT<T>>(
+        static_cast<int>(nprocs), opts, bound, naive_bcast_ckpt_steps(cfg),
+        [&](int L) {
+          return naive_bcast_predicted_recv_words(cfg, L,
+                                                  static_cast<int>(nprocs));
+        },
+        [&](int L, i64 s) {
+          return naive_bcast_ckpt_snapshot_words(cfg, L,
+                                                 static_cast<int>(nprocs), s);
+        },
+        [&](ckpt::SessionT<T>& s) { return naive_bcast_ckpt_rank<T>(s, cfg); },
+        outputs);
+    verify_block2d<T>(cfg.shape, outputs, opts, report);
+    return report;
   }
   return run_block2d<T>(cfg.shape, nprocs, opts, bound, predicted,
                         [&](camb::RankCtx& ctx) {
@@ -1151,7 +1310,6 @@ RunReport run_naive_bcast_t(const NaiveBcastConfig& cfg, i64 nprocs,
 }  // namespace
 
 RunReport run_grid3d(const Grid3dConfig& cfg, const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_grid3d_t<T>(cfg, opts);
@@ -1168,7 +1326,6 @@ RunReport run_grid3d(const Grid3dConfig& cfg, bool verify) {
 
 RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg,
                             const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_grid3d_staged_t<T>(cfg, opts);
@@ -1181,7 +1338,6 @@ RunReport run_grid3d_staged(const Grid3dStagedConfig& cfg, bool verify) {
 
 RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg,
                              const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_grid3d_agarwal_t<T>(cfg, opts);
@@ -1193,7 +1349,6 @@ RunReport run_grid3d_agarwal(const Grid3dAgarwalConfig& cfg, bool verify) {
 }
 
 RunReport run_carma(const CarmaConfig& cfg, const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_carma_t<T>(cfg, opts);
@@ -1205,7 +1360,6 @@ RunReport run_carma(const CarmaConfig& cfg, bool verify) {
 }
 
 RunReport run_alg25d(const Alg25dConfig& cfg, const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_alg25d_t<T>(cfg, opts);
@@ -1216,8 +1370,40 @@ RunReport run_alg25d(const Alg25dConfig& cfg, bool verify) {
   return run_alg25d(cfg, options_from(verify));
 }
 
+RunReport run_summa_elastic(const SummaConfig& cfg, const RunOptions& opts) {
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_summa_elastic_t<T>(cfg, opts);
+  });
+}
+
+RunReport run_summa_elastic(const SummaConfig& cfg, bool verify) {
+  return run_summa_elastic(cfg, options_from(verify));
+}
+
+RunReport run_grid3d_elastic(const Grid3dConfig& cfg, const RunOptions& opts) {
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_grid3d_elastic_t<T>(cfg, opts);
+  });
+}
+
+RunReport run_grid3d_elastic(const Grid3dConfig& cfg, bool verify) {
+  return run_grid3d_elastic(cfg, options_from(verify));
+}
+
+RunReport run_alg25d_elastic(const Alg25dConfig& cfg, const RunOptions& opts) {
+  return dispatch_dtype(opts.dtype, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    return run_alg25d_elastic_t<T>(cfg, opts);
+  });
+}
+
+RunReport run_alg25d_elastic(const Alg25dConfig& cfg, bool verify) {
+  return run_alg25d_elastic(cfg, options_from(verify));
+}
+
 RunReport run_summa(const SummaConfig& cfg, const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_summa_t<T>(cfg, opts);
@@ -1229,7 +1415,6 @@ RunReport run_summa(const SummaConfig& cfg, bool verify) {
 }
 
 RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_summa_abft_t<T>(cfg, opts);
@@ -1242,7 +1427,6 @@ RunReport run_summa_abft(const SummaAbftConfig& cfg, bool verify) {
 
 RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg,
                           const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_grid3d_abft_t<T>(cfg, opts);
@@ -1254,7 +1438,6 @@ RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, bool verify) {
 }
 
 RunReport run_cannon(const CannonConfig& cfg, const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_cannon_t<T>(cfg, opts);
@@ -1267,7 +1450,6 @@ RunReport run_cannon(const CannonConfig& cfg, bool verify) {
 
 RunReport run_naive_bcast(const NaiveBcastConfig& cfg, i64 nprocs,
                           const RunOptions& opts) {
-  require_f64_for_checkpoint(opts);
   return dispatch_dtype(opts.dtype, [&](auto tag) {
     using T = typename decltype(tag)::type;
     return run_naive_bcast_t<T>(cfg, nprocs, opts);

@@ -24,6 +24,7 @@
 #include "matmul/carma.hpp"
 #include "matmul/grid3d.hpp"
 #include "matmul/grid3d_agarwal.hpp"
+#include "matmul/elastic.hpp"
 #include "matmul/grid3d_staged.hpp"
 #include "matmul/naive_bcast.hpp"
 #include "matmul/summa.hpp"
@@ -232,19 +233,54 @@ struct ResilienceReport {
   std::string summary() const;
 };
 
+/// What the elastic shrink-and-regrid layer did in one run (enabled=false
+/// when the run was not elastic).  The word fields mirror the closed-form
+/// migration-tax accounting: on a crashed run, every survivor's received
+/// words equal base-at-P′ + shrink flood + regrid_recv_words_exact, with
+/// zero tolerance — the elastic sweep pins exactly that.
+struct ElasticReport {
+  bool enabled = false;
+  int rounds = 0;             ///< recovery rounds taken (0 = clean run)
+  std::vector<int> failed;    ///< agreed failed machine ranks
+  i64 survivors = 0;          ///< P′ of the final agreement (P when clean)
+  i64 active_ranks = 0;       ///< ranks the final grid uses
+  core::Grid3 grid;           ///< the grid the run finished on
+  /// Max over ranks of words received in the elastic_regrid phase — the
+  /// measured migration tax (0 when clean).
+  double migration_recv_words = 0;
+  /// Max over ranks of shrink-agreement flood words (0 when clean).
+  double shrink_recv_words = 0;
+  /// Max over ranks of words received in the algorithm phases — the
+  /// execution words on whichever grid the run finished on.
+  double exec_recv_words = 0;
+  /// Theorem 3 bound for (shape, active_ranks), in this run's words: what
+  /// the post-shrink execution communication is compared against.
+  double bound_words_at_pprime = 0;
+  /// exec_recv_words ÷ bound_words_at_pprime (0 when the bound is 0).
+  double overhead_vs_bound = 0;
+  /// One-line record (rounds, failed set, new grid, tax) for logs.
+  std::string summary() const;
+};
+
 /// Everything configurable about how the harness executes an algorithm.
 struct RunOptions {
   VerifyMode verify = VerifyMode::kNone;
   /// Scalar type the whole data path runs in (Buffer payloads, collectives,
-  /// GEMM, ABFT checksums).  Word accounting stays exact per dtype: an
-  /// element of width w bytes costs w/8 words on the wire.  Checkpoint/
-  /// rollback requires kF64 (the snapshot wire codec is f64-only) and the
-  /// runner rejects other dtypes with a named error.
+  /// GEMM, ABFT checksums, checkpoint snapshots).  Word accounting stays
+  /// exact per dtype: an element of width w bytes costs w/8 words on the
+  /// wire.  Checkpoint/rollback runs in every dtype — snapshots travel as
+  /// homogeneous payloads of the run scalar; only the agreement flood stays
+  /// fixed 8-byte control traffic.
   DType dtype = DType::kF64;
   PerturbConfig perturb;
   CrashConfig crash;
   SdcConfig sdc;
   CheckpointConfig checkpoint;
+  /// Elastic shrink-and-regrid (matmul/elastic.hpp): on crash detection the
+  /// survivors agree, re-plan the optimal grid for P′, migrate the live
+  /// panels, and finish there.  Mutually exclusive with checkpointing and
+  /// with memory-SDC injection (both are rival recovery disciplines).
+  ElasticConfig elastic;
   /// Record every counted send (machine/trace.hpp) and return the log in
   /// RunReport::trace_events — what the closed-form transport-tax predictor
   /// (collectives/coll_cost.hpp) replays.  Off by default: tracing allocates
@@ -301,7 +337,8 @@ struct RunReport {
   /// Control-plane words on the predicted critical path: protocol traffic
   /// (shrink agreement bitmask floods) whose payloads are fixed 8-byte
   /// words regardless of the data scalar, so it never scales with dtype.
-  /// 0 for every plain algorithm; nonzero only for the ABFT variants.
+  /// 0 for a plain fault-free run; nonzero for the ABFT variants (shrink
+  /// agreement) and for checkpointed runs (the rollback agreement flood).
   i64 predicted_control_words = 0;
   /// Critical-path received words per named phase.
   std::map<std::string, double> phase_recv;
@@ -323,6 +360,8 @@ struct RunReport {
   /// Corruption record: what SDC injection did and which layer healed it
   /// (enabled=false when no SDC was requested).
   CorruptionReport corruption;
+  /// Elastic shrink-and-regrid record (enabled=false for non-elastic runs).
+  ElasticReport elastic;
   /// The counted-send log when RunOptions::collect_trace was set (empty
   /// otherwise); feed to coll::predicted_transport_phase.
   std::vector<camb::MessageEvent> trace_events;
@@ -375,6 +414,17 @@ RunReport run_summa_abft(const SummaAbftConfig& cfg, const RunOptions& opts);
 /// Checksum-augmented Algorithm 1 (one crash per C fiber tolerated).
 RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, bool verify);
 RunReport run_grid3d_abft(const Grid3dAbftConfig& cfg, const RunOptions& opts);
+
+/// Elastic twins (matmul/elastic.hpp): the base algorithm wrapped in the
+/// shrink-and-regrid protocol.  Crash-free runs are word-identical to the
+/// base; crashed runs shrink to the survivors' optimal grid and finish
+/// there, with the migration tax reported and pinned to its closed form.
+RunReport run_summa_elastic(const SummaConfig& cfg, bool verify);
+RunReport run_summa_elastic(const SummaConfig& cfg, const RunOptions& opts);
+RunReport run_grid3d_elastic(const Grid3dConfig& cfg, bool verify);
+RunReport run_grid3d_elastic(const Grid3dConfig& cfg, const RunOptions& opts);
+RunReport run_alg25d_elastic(const Alg25dConfig& cfg, bool verify);
+RunReport run_alg25d_elastic(const Alg25dConfig& cfg, const RunOptions& opts);
 
 /// Cannon on a g×g grid.
 RunReport run_cannon(const CannonConfig& cfg, bool verify);

@@ -43,6 +43,16 @@ using Block2DOutput = Block2DOutputT<double>;
 template <typename T = double>
 Block2DOutputT<T> summa_rank(RankCtx& ctx, const SummaConfig& cfg);
 
+/// The g-stage broadcast loop, parameterized by the fiber comms so the same
+/// code runs on the world grid (summa_rank) and on a survivors' recovery
+/// grid (the elastic twin).  (i, j) is this rank's logical grid position,
+/// a_own / b_own its owned blocks; C accumulates into `c_block`.
+template <typename T>
+void summa_stage_loop(RankCtx& ctx, const SummaConfig& cfg,
+                      const coll::Comm& my_row, const coll::Comm& my_col,
+                      i64 i, i64 j, const std::vector<T>& a_own,
+                      const std::vector<T>& b_own, Matrix<T>& c_block);
+
 /// Exact predicted received words for `rank` (binomial broadcasts: every
 /// non-root of a stage receives the panel once).
 i64 summa_predicted_recv_words(const SummaConfig& cfg, int rank);
@@ -50,7 +60,9 @@ i64 summa_predicted_recv_words(const SummaConfig& cfg, int rank);
 /// Checkpointable twin of summa_rank: same math and word counts, but runs
 /// under a rollback session — recovery-region comms, epoch boundaries after
 /// every stage, and restore-from-snapshot on re-execution.
-Block2DOutput summa_ckpt_rank(ckpt::Session& session, const SummaConfig& cfg);
+template <typename T>
+Block2DOutputT<T> summa_ckpt_rank(ckpt::SessionT<T>& session,
+                                  const SummaConfig& cfg);
 
 /// Boundary steps the twin announces (one per SUMMA stage).
 i64 summa_ckpt_steps(const SummaConfig& cfg);

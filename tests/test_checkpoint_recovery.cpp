@@ -232,6 +232,92 @@ TEST(CheckpointRecovery, CannonSurvivesSecondCrashDuringRollback) {
 }
 
 // ---------------------------------------------------------------------------
+// Non-f64 dtype legs: checkpoint snapshots travel as homogeneous payloads of
+// the run scalar, so recovery must be bit-identical to the same-dtype
+// fault-free twin — and the dtype-scaled word accounting must survive the
+// rollback protocol (the agreement flood stays fixed 8-byte control words).
+
+mm::RunOptions with_dtype(mm::RunOptions opts, DType dtype) {
+  opts.dtype = dtype;
+  return opts;
+}
+
+TEST(CheckpointRecoveryDtypes, SummaSingleCrashF32) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  const mm::RunReport plain =
+      mm::run_summa(cfg, with_dtype(kPlain, DType::kF32));
+  expect_recovered(
+      plain, mm::run_summa(cfg, with_dtype(crash_opts({4}, 8, 11), DType::kF32)),
+      "summa-f32");
+}
+
+TEST(CheckpointRecoveryDtypes, SummaSingleCrashI64) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  const mm::RunReport plain =
+      mm::run_summa(cfg, with_dtype(kPlain, DType::kI64));
+  expect_recovered(
+      plain, mm::run_summa(cfg, with_dtype(crash_opts({4}, 8, 11), DType::kI64)),
+      "summa-i64");
+}
+
+TEST(CheckpointRecoveryDtypes, Grid3dSingleCrashF32) {
+  const mm::Grid3dConfig cfg{{12, 10, 8}, core::Grid3{2, 2, 2}};
+  const mm::RunReport plain =
+      mm::run_grid3d(cfg, with_dtype(kPlain, DType::kF32));
+  expect_recovered(
+      plain,
+      mm::run_grid3d(cfg, with_dtype(crash_opts({3}, 6, 14), DType::kF32)),
+      "grid3d-f32");
+}
+
+TEST(CheckpointRecoveryDtypes, CannonSingleCrashKahan) {
+  const mm::CannonConfig cfg{{12, 9, 6}, 3};
+  const mm::RunReport plain =
+      mm::run_cannon(cfg, with_dtype(kPlain, DType::kKahan));
+  expect_recovered(
+      plain,
+      mm::run_cannon(cfg, with_dtype(crash_opts({2}, 8, 12), DType::kKahan)),
+      "cannon-kahan");
+}
+
+TEST(CheckpointRecoveryDtypes, CarmaSingleCrashI64) {
+  const mm::CarmaConfig cfg{{16, 16, 16}, 3};
+  const mm::RunReport plain =
+      mm::run_carma(cfg, with_dtype(kPlain, DType::kI64));
+  expect_recovered(
+      plain,
+      mm::run_carma(cfg, with_dtype(crash_opts({2}, 6, 17), DType::kI64)),
+      "carma-i64");
+}
+
+TEST(CheckpointRecoveryDtypes, SummaAbftSingleCrashI64) {
+  const mm::SummaAbftConfig cfg{mm::SummaConfig{{27, 15, 12}, 3}};
+  const mm::RunReport plain =
+      mm::run_summa_abft(cfg, with_dtype(kPlain, DType::kI64));
+  expect_recovered(
+      plain,
+      mm::run_summa_abft(cfg, with_dtype(crash_opts({4}, 8, 19), DType::kI64)),
+      "summa_abft-i64");
+}
+
+/// Clean checkpointed runs stay word-exact against the split prediction in
+/// every dtype: data words scale with the element width while the agreement
+/// flood stays fixed — measured must equal predicted_words() exactly.
+TEST(CheckpointRecoveryDtypes, CleanCkptPredictionExactAcrossDtypes) {
+  const mm::SummaConfig cfg{{27, 15, 12}, 3};
+  for (DType dt : {DType::kF64, DType::kF32, DType::kI64, DType::kKahan}) {
+    mm::RunOptions opts = with_dtype(kPlain, dt);
+    opts.checkpoint.interval = 1;
+    opts.checkpoint.spares = 1;
+    const mm::RunReport report = mm::run_summa(cfg, opts);
+    ASSERT_TRUE(report.verified) << dtype_name(dt);
+    EXPECT_GT(report.predicted_control_words, 0) << dtype_name(dt);
+    EXPECT_EQ(report.measured_critical_recv, report.predicted_words())
+        << dtype_name(dt);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Fiber-scheduler legs.
 
 /// Every-rank-crash sweep under fibers: for each rank of a P = 9 SUMMA

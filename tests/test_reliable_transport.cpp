@@ -288,6 +288,16 @@ TEST(ReliableTransportMachine, ExhaustionSurfacesNamedTransportError) {
     EXPECT_EQ(err.dst(), 1);
     EXPECT_EQ(err.tag(), 3);
     EXPECT_EQ(err.failed_copies(), 4);
+    EXPECT_EQ(err.max_transport_retries(), 4);
+    // The message must be actionable: it names the configured budget and
+    // the exponential-backoff schedule the failed copies waited through
+    // (copy k waits 2^(k-1) alpha units: 1+2+4+8 = 15 for four copies).
+    const std::string message = err.what();
+    EXPECT_NE(message.find("max_transport_retries=4"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("backoff schedule waited 1+2+4+8 = 15"),
+              std::string::npos)
+        << message;
   }
 }
 

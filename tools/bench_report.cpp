@@ -1,7 +1,9 @@
 // bench_report — render a benchmark JSON report as a table.  Understands
 // the BENCH_PR5.json hot-path report (bench_hotpath), the BENCH_PR7.json
-// SDC retransmit-tax report (bench_sdc_overhead), and the BENCH_PR8.json
-// scalar-substrate report (bench_dtype), dispatching on the "bench" key.
+// SDC retransmit-tax report (bench_sdc_overhead), the BENCH_PR8.json
+// scalar-substrate report (bench_dtype), and the BENCH_PR9.json elastic
+// transition-bill report (bench_elastic_overhead), dispatching on the
+// "bench" key.
 //
 // The repo carries no JSON library, and the report formats are fixed, so
 // this uses a small key-scanning extractor rather than a general parser.
@@ -173,6 +175,64 @@ int render_dtype(const std::string& text, const std::string& path,
   return all_exact ? 0 : 1;
 }
 
+// Renders a bench_elastic_overhead report: one row per (algorithm, f)
+// case, with the shrink / migration / exec transition bill and the
+// exactness verdict against the closed-form predictor.
+int render_elastic_overhead(const std::string& text, const std::string& path,
+                            const std::string& mode) {
+  std::printf("elastic transition-bill report (%s)%s\n", path.c_str(),
+              mode.empty() ? "" : ("  [" + mode + " mode]").c_str());
+  std::printf("  %-16s %4s %3s %4s %8s %9s %8s %8s %10s  %s\n", "algorithm",
+              "P", "f", "P'", "grid", "shrink w", "migr w", "exec w",
+              "vs Thm3@P'", "exact");
+  std::size_t cursor = text.find("\"cases\":");
+  if (cursor == std::string::npos) {
+    std::fprintf(stderr, "bench_report: no cases array in %s\n", path.c_str());
+    return 1;
+  }
+  bool all_exact = true;
+  for (;;) {
+    const std::size_t entry = text.find("{\"algorithm\":", cursor);
+    if (entry == std::string::npos) break;
+    std::string algorithm, grid;
+    {
+      std::string needle = "\"algorithm\": \"";
+      std::size_t at = text.find(needle, entry);
+      if (at == std::string::npos) break;
+      std::size_t begin = at + needle.size();
+      algorithm = text.substr(begin, text.find('"', begin) - begin);
+      needle = "\"grid\": \"";
+      at = text.find(needle, entry);
+      if (at == std::string::npos) break;
+      begin = at + needle.size();
+      grid = text.substr(begin, text.find('"', begin) - begin);
+    }
+    double procs = 0, failures = 0, survivors = 0, shrink = 0, migr = 0,
+           exec = 0, bound = 0;
+    if (!find_number(text, "procs", &procs, entry) ||
+        !find_number(text, "failures", &failures, entry) ||
+        !find_number(text, "survivors", &survivors, entry) ||
+        !find_number(text, "shrink_words", &shrink, entry) ||
+        !find_number(text, "migration_words", &migr, entry) ||
+        !find_number(text, "exec_words", &exec, entry) ||
+        !find_number(text, "overhead_vs_bound", &bound, entry)) {
+      break;
+    }
+    const bool exact =
+        text.compare(text.find("\"exact\":", entry) + 9, 4, "true") == 0;
+    all_exact &= exact;
+    std::printf("  %-16s %4.0f %3.0f %4.0f %8s %9.0f %8.1f %8.1f %9.4fx  %s\n",
+                algorithm.c_str(), procs, failures, survivors, grid.c_str(),
+                shrink, migr, exec, bound, exact ? "bit-exact" : "NO");
+    cursor = entry + 1;
+  }
+  std::printf("%s\n",
+              all_exact
+                  ? "every shrunken run matched the closed-form transition bill"
+                  : "SOME RUN MISSED ITS PREDICTION — investigate!");
+  return all_exact ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +255,9 @@ int main(int argc, char** argv) {
   }
   if (bench == "dtype") {
     return render_dtype(text, path, mode);
+  }
+  if (bench == "elastic_overhead") {
+    return render_elastic_overhead(text, path, mode);
   }
   std::printf("hot-path benchmark report (%s)%s\n", path.c_str(),
               mode.empty() ? "" : ("  [" + mode + " mode]").c_str());

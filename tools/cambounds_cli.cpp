@@ -81,6 +81,15 @@ std::string abft_variant(const std::string& name) {
               "' (use summa or grid3d_optimal)");
 }
 
+std::string elastic_variant(const std::string& name) {
+  if (name == "summa" || name == "summa_elastic") return "summa_elastic";
+  if (name == "grid3d_optimal" || name == "grid3d_elastic")
+    return "grid3d_elastic";
+  if (name == "alg25d" || name == "alg25d_elastic") return "alg25d_elastic";
+  throw Error("--elastic: no shrink-and-regrid variant of algorithm '" + name +
+              "' (use summa, grid3d_optimal, or alg25d)");
+}
+
 int cmd_bound(int argc, char** argv) {
   Cli cli;
   add_shape_flags(cli);
@@ -188,6 +197,14 @@ int cmd_run(int argc, char** argv) {
                "run the checksum-augmented variant of the algorithm, which "
                "survives crashed ranks",
                "false");
+  cli.add_flag("elastic",
+               "run the elastic shrink-and-regrid variant: on crashes the "
+               "survivors re-plan the optimal grid for P', migrate the live "
+               "panels, and finish there",
+               "false");
+  cli.add_flag("elastic-max-failures",
+               "crash budget the elastic shrink agreement is provisioned for",
+               "1");
   cli.add_flag("checkpoint-interval",
                "commit a buddy checkpoint every this many algorithm steps "
                "(0 = checkpointing off)",
@@ -231,6 +248,12 @@ int cmd_run(int argc, char** argv) {
   const i64 P = cli.get_int("p");
   std::string algorithm_name = cli.get("algorithm");
   if (cli.get_bool("abft")) algorithm_name = abft_variant(algorithm_name);
+  if (cli.get_bool("elastic")) {
+    if (cli.get_bool("abft"))
+      throw Error("--elastic and --abft are rival recovery disciplines; "
+                  "pick one");
+    algorithm_name = elastic_variant(algorithm_name);
+  }
   const auto& algorithm = mm::algorithm_by_name(algorithm_name);
   if (!algorithm.supports(shape, P)) {
     std::cerr << "algorithm '" << algorithm.name
@@ -275,6 +298,11 @@ int cmd_run(int argc, char** argv) {
   if (opts.sdc.mem_rate > 0 && !cli.get_bool("abft"))
     throw Error("--sdc-mem-rate corrupts output tiles, which only the "
                 "checksum-augmented algorithms can repair; add --abft true");
+  opts.elastic.enabled = cli.get_bool("elastic");
+  opts.elastic.max_failures =
+      static_cast<int>(cli.get_int("elastic-max-failures"));
+  if (opts.elastic.max_failures < 0 || opts.elastic.max_failures > 30)
+    throw Error("--elastic-max-failures must be in [0, 30]");
   opts.scheduler.kind = scheduler_kind_from_name(cli.get("scheduler"));
   opts.dtype = parse_dtype(cli.get("dtype"));  // unknown names fail fast here
   const mm::RunReport report = algorithm.run_opts(shape, P, opts);
@@ -311,6 +339,10 @@ int cmd_run(int argc, char** argv) {
   }
   if (report.corruption.enabled) {
     std::cout << "corruption:             " << report.corruption.summary()
+              << "\n";
+  }
+  if (report.elastic.enabled) {
+    std::cout << "elastic:                " << report.elastic.summary()
               << "\n";
   }
   return 0;
