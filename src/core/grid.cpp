@@ -61,7 +61,7 @@ i64 as_integer(double value) {
 
 }  // namespace
 
-Grid3 exact_optimal_grid(const Shape& shape, i64 P) {
+bool try_exact_optimal_grid(const Shape& shape, i64 P, Grid3* out) {
   CAMB_CHECK_MSG(P >= 1, "P must be >= 1");
   const SortedDims sorted = sort_dims(shape);
   const RealGrid real = optimal_grid_real(static_cast<double>(sorted.m),
@@ -71,16 +71,24 @@ Grid3 exact_optimal_grid(const Shape& shape, i64 P) {
   const i64 p = as_integer(real.p);
   const i64 q = as_integer(real.q);
   const i64 r = as_integer(real.r);
-  CAMB_CHECK_MSG(p > 0 && q > 0 && r > 0 && p * q * r == P,
-                 "the section 5.2 optimal grid is not integral for this (shape, P)");
-  return to_raw_grid(shape, p, q, r);
+  if (p <= 0 || q <= 0 || r <= 0 || p * q * r != P) return false;
+  if (out != nullptr) *out = to_raw_grid(shape, p, q, r);
+  return true;
 }
 
-Grid3 best_integer_grid(const Shape& shape, i64 P) {
-  CAMB_CHECK_MSG(P >= 1, "P must be >= 1");
+Grid3 exact_optimal_grid(const Shape& shape, i64 P) {
+  Grid3 grid;
+  CAMB_CHECK_MSG(try_exact_optimal_grid(shape, P, &grid),
+                 "the section 5.2 optimal grid is not integral for this (shape, P)");
+  return grid;
+}
+
+Grid3 best_integer_grid_over(const Shape& shape,
+                             const std::vector<FactorTriple>& triples) {
+  CAMB_CHECK_MSG(!triples.empty(), "best_integer_grid_over needs candidates");
   Grid3 best;
   double best_cost = std::numeric_limits<double>::infinity();
-  for (const FactorTriple& t : factor_triples(P)) {
+  for (const FactorTriple& t : triples) {
     const Grid3 grid{t.a, t.b, t.c};
     const double cost = alg1_cost_words(shape, grid);
     if (cost < best_cost) {
@@ -91,7 +99,13 @@ Grid3 best_integer_grid(const Shape& shape, i64 P) {
   return best;
 }
 
-Grid3 best_integer_grid_at_most(const Shape& shape, i64 max_procs) {
+Grid3 best_integer_grid(const Shape& shape, i64 P) {
+  CAMB_CHECK_MSG(P >= 1, "P must be >= 1");
+  return best_integer_grid_over(shape, factor_triples(P));
+}
+
+Grid3 best_integer_grid_at_most_over(const Shape& shape, i64 max_procs,
+                                     const TripleSource& triples_of) {
   CAMB_CHECK_MSG(max_procs >= 1, "max_procs must be >= 1");
   const double flops = 2.0 * static_cast<double>(shape.n1) *
                        static_cast<double>(shape.n2) *
@@ -99,7 +113,7 @@ Grid3 best_integer_grid_at_most(const Shape& shape, i64 max_procs) {
   Grid3 best;
   double best_cost = std::numeric_limits<double>::infinity();
   for (i64 p = 1; p <= max_procs; ++p) {
-    for (const FactorTriple& t : factor_triples(p)) {
+    for (const FactorTriple& t : triples_of(p)) {
       const Grid3 grid{t.a, t.b, t.c};
       const double cost =
           alg1_cost_words(shape, grid) +
@@ -118,9 +132,21 @@ Grid3 best_integer_grid_at_most(const Shape& shape, i64 max_procs) {
   return best;
 }
 
+Grid3 best_integer_grid_at_most(const Shape& shape, i64 max_procs) {
+  std::vector<FactorTriple> triples;
+  FactorScratch scratch;
+  return best_integer_grid_at_most_over(
+      shape, max_procs, [&](i64 p) -> const std::vector<FactorTriple>& {
+        factor_triples_into(p, triples, scratch);
+        return triples;
+      });
+}
+
 std::vector<Grid3> all_grids(i64 P) {
+  const std::vector<FactorTriple> triples = factor_triples(P);
   std::vector<Grid3> out;
-  for (const FactorTriple& t : factor_triples(P)) out.push_back({t.a, t.b, t.c});
+  out.reserve(triples.size());
+  for (const FactorTriple& t : triples) out.push_back({t.a, t.b, t.c});
   return out;
 }
 

@@ -9,6 +9,7 @@
 // eq. 3), and the axis mapping between sorted (p, q, r) and raw (p1, p2, p3).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/dims.hpp"
@@ -30,6 +31,8 @@ struct Grid3 {
 struct RealGrid {
   double p = 1, q = 1, r = 1;
   RegimeCase regime = RegimeCase::kThreeD;
+
+  bool operator==(const RealGrid&) const = default;
 };
 
 /// Case 1 (P <= m/n): (P, 1, 1); Case 2: ((Pm/n)^{1/2}, (Pn/m)^{1/2}, 1);
@@ -44,9 +47,30 @@ Grid3 to_raw_grid(const Shape& shape, i64 p, i64 q, i64 r);
 /// dimensions, Algorithm 1 attains Theorem 3 exactly.
 Grid3 exact_optimal_grid(const Shape& shape, i64 P);
 
+/// Non-throwing probe form of exact_optimal_grid: true iff the §5.2
+/// real-valued grid is integral, writing it to `out`.  The planner's hot
+/// path uses this flag without paying for a try/catch.
+bool try_exact_optimal_grid(const Shape& shape, i64 P, Grid3* out);
+
 /// Exhaustive search: the factor triple of P minimizing eq. 3 for `shape`.
 /// Always succeeds (P = anything), even when the exact grid is fractional.
+/// Returns the first minimizer in enumeration order, i.e. the
+/// lexicographically smallest cost-minimizing triple.
 Grid3 best_integer_grid(const Shape& shape, i64 P);
+
+/// The same search over a caller-supplied candidate list (factor_triples(P)
+/// order).  This is the hoisted, allocation-free core of best_integer_grid:
+/// the planner feeds it memoized enumerations and gets bit-identical
+/// answers because the loop, order, and comparisons are shared.
+Grid3 best_integer_grid_over(const Shape& shape,
+                             const std::vector<FactorTriple>& triples);
+
+/// Source of factor-triple lists consulted by the at-most search: given p,
+/// yield factor_triples(p) (same contents, same lexicographic order).  The
+/// reference returned must stay valid until the next call.  Callers supply
+/// either a fresh enumerator (the default overloads) or a memo cache
+/// (src/planner's FactorCache).
+using TripleSource = std::function<const std::vector<FactorTriple>&(i64)>;
 
 /// All factor triples of P as grids (the ablation bench ranks them).
 std::vector<Grid3> all_grids(i64 P);
@@ -69,6 +93,11 @@ inline constexpr double kPlanGammaOverBeta = 0.01;
 /// larger rank count (more parallelism at equal cost), then
 /// lexicographically smallest (p1, p2, p3).
 Grid3 best_integer_grid_at_most(const Shape& shape, i64 max_procs);
+
+/// The hoisted core of best_integer_grid_at_most: identical search, but the
+/// per-p candidate lists come from `triples_of` so a memo cache can feed it.
+Grid3 best_integer_grid_at_most_over(const Shape& shape, i64 max_procs,
+                                     const TripleSource& triples_of);
 
 /// True iff every grid dimension divides its matrix dimension.
 bool grid_divides(const Shape& shape, const Grid3& grid);

@@ -1,12 +1,20 @@
 #include "matmul/algorithm_registry.hpp"
 
 #include "core/grid.hpp"
+#include "planner/planner.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
 namespace camb::mm {
 
 namespace {
+
+/// The eq. 3 optimal grid via the planner service (bit-identical to
+/// core::best_integer_grid; sweeps re-planning the same (shape, P) hit the
+/// process-wide memo instead of re-enumerating factor triples).
+core::Grid3 planned_grid(const Shape& shape, i64 nprocs) {
+  return planner::GridPlanner::instance().plan({shape, nprocs}).grid;
+}
 
 bool is_square_p(i64 nprocs) {
   const i64 g = isqrt(nprocs);
@@ -52,7 +60,7 @@ std::vector<AlgorithmInfo> build_registry() {
       "grid3d_optimal",
       [](const Shape&, i64) { return true; },
       [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
-        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        const core::Grid3 grid = planned_grid(shape, nprocs);
         return run_grid3d(Grid3dConfig{shape, grid}, opts);
       },
       /*bandwidth_optimal=*/true));
@@ -61,7 +69,7 @@ std::vector<AlgorithmInfo> build_registry() {
       "grid3d_agarwal95",
       [](const Shape&, i64) { return true; },
       [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
-        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        const core::Grid3 grid = planned_grid(shape, nprocs);
         return run_grid3d_agarwal(Grid3dAgarwalConfig{shape, grid}, opts);
       },
       /*bandwidth_optimal=*/true));
@@ -70,7 +78,7 @@ std::vector<AlgorithmInfo> build_registry() {
       "grid3d_staged4",
       [](const Shape&, i64) { return true; },
       [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
-        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        const core::Grid3 grid = planned_grid(shape, nprocs);
         return run_grid3d_staged(Grid3dStagedConfig{shape, grid, 4}, opts);
       },
       /*bandwidth_optimal=*/true));
@@ -113,10 +121,10 @@ std::vector<AlgorithmInfo> build_registry() {
       "grid3d_abft",
       [](const Shape& shape, i64 nprocs) {
         // The parity fiber needs at least two members to tolerate a loss.
-        return core::best_integer_grid(shape, nprocs).p2 >= 2;
+        return planned_grid(shape, nprocs).p2 >= 2;
       },
       [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
-        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        const core::Grid3 grid = planned_grid(shape, nprocs);
         return run_grid3d_abft(Grid3dAbftConfig{Grid3dConfig{shape, grid}},
                                opts);
       },
@@ -159,7 +167,7 @@ std::vector<AlgorithmInfo> build_registry() {
       "grid3d_elastic",
       [](const Shape&, i64) { return true; },
       [](const Shape& shape, i64 nprocs, const RunOptions& opts) {
-        const core::Grid3 grid = core::best_integer_grid(shape, nprocs);
+        const core::Grid3 grid = planned_grid(shape, nprocs);
         RunOptions eopts = opts;
         eopts.elastic.enabled = true;
         return run_grid3d_elastic(Grid3dConfig{shape, grid}, eopts);

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "machine/faults.hpp"
+#include "planner/planner.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/scalar.hpp"
@@ -508,7 +509,11 @@ SummaConfig summa_plan_at(const SummaConfig& base, i64 max_procs) {
 Grid3dConfig grid3d_plan_at(const Grid3dConfig& base, i64 max_procs) {
   CAMB_CHECK_MSG(max_procs >= 1, "elastic re-plan needs at least one rank");
   Grid3dConfig ncfg = base;
-  ncfg.grid = core::best_integer_grid_at_most(base.shape, max_procs);
+  // Through the planner service: every survivor of the same failure re-plans
+  // the same (shape, P′), so the memoized search answers all but the first.
+  ncfg.grid =
+      planner::GridPlanner::instance().best_integer_grid_at_most(base.shape,
+                                                                 max_procs);
   return ncfg;
 }
 

@@ -1,0 +1,23 @@
+#include "planner/factor_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace camb::planner {
+
+FactorCache& FactorCache::instance() {
+  static FactorCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FactorTable> FactorCache::get(i64 p) {
+  CAMB_CHECK_MSG(p >= 1, "FactorCache requires p >= 1");
+  return cache_.get_or_fill(p, [p] {
+    auto table = std::make_shared<FactorTable>();
+    table->p = p;
+    divisors_into(p, table->divisors);
+    factor_triples_into(p, table->triples);
+    return std::shared_ptr<const FactorTable>(std::move(table));
+  });
+}
+
+}  // namespace camb::planner

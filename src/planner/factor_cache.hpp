@@ -1,0 +1,56 @@
+// factor_cache.hpp — the sharded divisor / factor-triple memo.
+//
+// Every grid query starts from the same combinatorial object: the ordered
+// factor triples of P, in the lexicographic order util/math's
+// factor_triples produces.  Enumerating them costs O(sum over a|P of
+// sqrt(P/a)) trial divisions — the dominant repeated work of the uncached
+// best_integer_grid loop — yet the result depends on P alone.  This cache
+// shares one immutable enumeration per P across all threads; the grid
+// searches then run over the memoized list and stay bit-identical because
+// the contents and order are exactly factor_triples(P).
+#pragma once
+
+#include <memory>
+
+#include "planner/sharded_cache.hpp"
+#include "util/math.hpp"
+
+namespace camb::planner {
+
+/// One immutable enumeration for a processor count: divisors ascending and
+/// factor triples lexicographic — exactly divisors(p) / factor_triples(p).
+struct FactorTable {
+  i64 p = 1;
+  std::vector<i64> divisors;
+  std::vector<FactorTriple> triples;
+};
+
+class FactorCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit FactorCache(std::size_t capacity = kDefaultCapacity)
+      : cache_(capacity) {}
+
+  /// The process-wide cache (shared by the planner and elastic re-planning).
+  static FactorCache& instance();
+
+  /// The memoized enumeration for p (filled on first use).  shared_ptr so a
+  /// table stays alive for its users even if evicted concurrently.
+  std::shared_ptr<const FactorTable> get(i64 p);
+
+  CacheCounters counters() const { return cache_.counters(); }
+  std::size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  struct Hash {
+    std::size_t operator()(i64 p) const {
+      return static_cast<std::size_t>(p);
+    }
+  };
+
+  ShardedCache<i64, std::shared_ptr<const FactorTable>, Hash> cache_;
+};
+
+}  // namespace camb::planner

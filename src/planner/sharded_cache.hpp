@@ -1,0 +1,112 @@
+// sharded_cache.hpp — the lock-striped memo map under every planner cache.
+//
+// The planner answers point queries from many threads at once (batch
+// workers, elastic survivors re-planning inside rank bodies), so one global
+// mutex would serialize the hot path.  Keys are hashed onto 64 shards, each
+// its own mutex + unordered_map; a hit takes one short critical section.
+// Fills run OUTSIDE the shard lock — two threads racing on the same cold
+// key may both compute, but the computation is deterministic, so whichever
+// insert lands second is discarded and both callers return identical bits.
+//
+// Capacity is a soft per-shard cap with oldest-bucket eviction: the maps
+// never grow unboundedly under adversarial traffic, and eviction can only
+// cost a recompute, never change an answer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace camb::planner {
+
+/// splitmix64 finalizer: the shard/key mixer (also used by machine seeds).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hit/miss counters of one cache (miss = the caller ran the fill).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+template <class Key, class Value, class KeyHash>
+class ShardedCache {
+ public:
+  /// `capacity` is the total entry budget across all shards (>= kShards).
+  explicit ShardedCache(std::size_t capacity)
+      : per_shard_cap_(std::max<std::size_t>(1, capacity / kShards)) {}
+
+  /// The cached value for `key`, or fill() stored under it.  fill must be a
+  /// pure function of the key (the deterministic-race contract above).
+  template <class Fill>
+  Value get_or_fill(const Key& key, Fill&& fill) {
+    Shard& shard = shard_of(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Value value = fill();
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.map.size() >= per_shard_cap_) {
+        shard.map.erase(shard.map.begin());
+      }
+      // Keep the incumbent on a racing double-fill (values are identical).
+      shard.map.emplace(key, value);
+    }
+    return value;
+  }
+
+  CacheCounters counters() const {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.clear();
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Value, KeyHash> map;
+  };
+
+  Shard& shard_of(const Key& key) {
+    return shards_[mix64(KeyHash{}(key)) % kShards];
+  }
+
+  std::size_t per_shard_cap_;
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace camb::planner

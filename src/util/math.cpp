@@ -28,28 +28,88 @@ bool divides(i64 d, i64 n) {
   return n % d == 0;
 }
 
-std::vector<i64> divisors(i64 n) {
+void divisors_into(i64 n, std::vector<i64>& out) {
   CAMB_CHECK_MSG(n >= 1, "divisors requires n >= 1");
-  std::vector<i64> small, large;
+  out.clear();
+  // Small divisors ascending, then their cofactors walked backwards: one
+  // buffer, same ascending order the two-vector form produced.
   for (i64 d = 1; d * d <= n; ++d) {
-    if (n % d == 0) {
-      small.push_back(d);
-      if (d != n / d) large.push_back(n / d);
-    }
+    if (n % d == 0) out.push_back(d);
   }
-  small.insert(small.end(), large.rbegin(), large.rend());
-  return small;
+  for (auto i = static_cast<i64>(out.size()) - 1; i >= 0; --i) {
+    const i64 d = out[static_cast<std::size_t>(i)];
+    if (d != n / d) out.push_back(n / d);
+  }
 }
 
-std::vector<FactorTriple> factor_triples(i64 p) {
+std::vector<i64> divisors(i64 n) {
+  std::vector<i64> out;
+  divisors_into(n, out);
+  return out;
+}
+
+i64 divisor_count(i64 n) {
+  CAMB_CHECK_MSG(n >= 1, "divisor_count requires n >= 1");
+  i64 count = 1;
+  i64 rest = n;
+  for (i64 q = 2; q * q <= rest; ++q) {
+    if (rest % q != 0) continue;
+    i64 e = 0;
+    while (rest % q == 0) {
+      rest /= q;
+      ++e;
+    }
+    count *= e + 1;
+  }
+  if (rest > 1) count *= 2;
+  return count;
+}
+
+i64 factor_triple_count(i64 p) {
+  CAMB_CHECK_MSG(p >= 1, "factor_triple_count requires p >= 1");
+  i64 count = 1;
+  i64 rest = p;
+  for (i64 q = 2; q * q <= rest; ++q) {
+    if (rest % q != 0) continue;
+    i64 e = 0;
+    while (rest % q == 0) {
+      rest /= q;
+      ++e;
+    }
+    count *= (e + 1) * (e + 2) / 2;
+  }
+  if (rest > 1) count *= 3;  // one leftover prime: e = 1, (e+1)(e+2)/2 = 3
+  return count;
+}
+
+void factor_triples_into(i64 p, std::vector<FactorTriple>& out,
+                         FactorScratch& scratch) {
   CAMB_CHECK_MSG(p >= 1, "factor_triples requires p >= 1");
-  std::vector<FactorTriple> out;
-  for (i64 a : divisors(p)) {
+  out.clear();
+  const i64 expected = factor_triple_count(p);
+  out.reserve(static_cast<std::size_t>(expected));
+  divisors_into(p, scratch.outer);
+  for (i64 a : scratch.outer) {
     const i64 rest = p / a;
-    for (i64 b : divisors(rest)) {
+    divisors_into(rest, scratch.inner);
+    for (i64 b : scratch.inner) {
       out.push_back({a, b, rest / b});
     }
   }
+  // Micro-assert: the enumeration must match the d_3 divisor-function
+  // closed form exactly (and the reserve above must have been exact).
+  CAMB_CHECK_MSG(static_cast<i64>(out.size()) == expected,
+                 "factor-triple enumeration diverged from the d_3 closed form");
+}
+
+void factor_triples_into(i64 p, std::vector<FactorTriple>& out) {
+  FactorScratch scratch;
+  factor_triples_into(p, out, scratch);
+}
+
+std::vector<FactorTriple> factor_triples(i64 p) {
+  std::vector<FactorTriple> out;
+  factor_triples_into(p, out);
   return out;
 }
 

@@ -30,12 +30,41 @@ bool divides(i64 d, i64 n);
 /// All positive divisors of n (n >= 1), ascending.
 std::vector<i64> divisors(i64 n);
 
-/// All ordered factor triples (a, b, c) with a*b*c == p (p >= 1).
-/// Size grows as d(p)^2-ish; fine for p up to millions.
+/// divisors() into a caller-owned vector (cleared first): the allocation-free
+/// form for hot loops that enumerate many n with one scratch buffer.
+void divisors_into(i64 n, std::vector<i64>& out);
+
+/// Number of positive divisors of n (the divisor function d(n)).
+i64 divisor_count(i64 n);
+
+/// All ordered factor triples (a, b, c) with a*b*c == p (p >= 1), in
+/// lexicographic order.  Size grows as d(p)^2-ish; fine for p up to millions.
 struct FactorTriple {
   i64 a, b, c;
+
+  bool operator==(const FactorTriple&) const = default;
 };
 std::vector<FactorTriple> factor_triples(i64 p);
+
+/// Exact count of ordered factor triples of p without materializing them:
+/// the 3-dimensional divisor function d_3(p) = prod (e_i+1)(e_i+2)/2 over
+/// the prime factorization p = prod q_i^{e_i}.  factor_triples_into reserves
+/// from (and asserts against) this closed form.
+i64 factor_triple_count(i64 p);
+
+/// Reusable divisor scratch for factor_triples_into, so repeated enumeration
+/// (e.g. the at-most grid search walking every p <= P) allocates nothing
+/// after warm-up.
+struct FactorScratch {
+  std::vector<i64> outer, inner;
+};
+
+/// factor_triples() into a caller-owned vector (cleared first), reserved
+/// exactly from the d_3 closed form.  The overload without scratch owns a
+/// temporary one.
+void factor_triples_into(i64 p, std::vector<FactorTriple>& out,
+                         FactorScratch& scratch);
+void factor_triples_into(i64 p, std::vector<FactorTriple>& out);
 
 /// Largest integer r with r*r <= n.
 i64 isqrt(i64 n);

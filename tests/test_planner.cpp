@@ -1,0 +1,336 @@
+// Unit tests for src/planner: the grid-planner query engine.
+//
+// The bar the planner must clear (ISSUE: "every cached/batched answer
+// bit-identical to the uncached path") is asserted here field-for-field
+// with exact comparisons — no tolerances anywhere in this file.
+#include "planner/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/cost_eq3.hpp"
+#include "core/grid.hpp"
+#include "util/error.hpp"
+
+namespace camb::planner {
+namespace {
+
+const core::Shape kPaperShape{9600, 2400, 600};  // Figure 2's running example
+
+/// Deterministic splitmix64 stream for the randomized sweeps.
+struct Rng {
+  std::uint64_t state;
+
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t x = state;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  i64 range(i64 lo, i64 hi) {  // inclusive
+    return lo + static_cast<i64>(next() %
+                                 static_cast<std::uint64_t>(hi - lo + 1));
+  }
+};
+
+/// Exact (bitwise) equality between a planner answer and the raw core calls
+/// it memoizes.  EXPECT_* (not tolerances) so a single flipped bit fails.
+void expect_matches_core(const PlanRequest& req, const PlanResult& got) {
+  SCOPED_TRACE("shape " + std::to_string(req.shape.n1) + "x" +
+               std::to_string(req.shape.n2) + "x" +
+               std::to_string(req.shape.n3) + " P=" + std::to_string(req.P));
+  const PlanResult oracle = plan_uncached(req);
+  EXPECT_EQ(got.grid, oracle.grid);
+  EXPECT_EQ(got.cost_words, oracle.cost_words);
+  EXPECT_EQ(got.regime, oracle.regime);
+  EXPECT_EQ(got.bound_words, oracle.bound_words);
+  EXPECT_EQ(got.ratio, oracle.ratio);
+  EXPECT_EQ(got.real.p, oracle.real.p);
+  EXPECT_EQ(got.real.q, oracle.real.q);
+  EXPECT_EQ(got.real.r, oracle.real.r);
+  EXPECT_EQ(got.exact_grid, oracle.exact_grid);
+
+  // And the oracle itself against the raw core entry points.
+  EXPECT_EQ(got.grid, core::best_integer_grid(req.shape, req.P));
+  EXPECT_EQ(got.cost_words, core::alg1_cost_words(req.shape, got.grid));
+  const core::BoundResult bound =
+      core::memory_independent_bound(req.shape, static_cast<double>(req.P));
+  EXPECT_EQ(got.regime, bound.regime);
+  EXPECT_EQ(got.bound_words, bound.words);
+  const core::SortedDims d = core::sort_dims(req.shape);
+  const core::RealGrid real = core::optimal_grid_real(
+      static_cast<double>(d.m), static_cast<double>(d.n),
+      static_cast<double>(d.k), static_cast<double>(req.P));
+  EXPECT_EQ(got.real, real);
+  core::Grid3 exact;
+  EXPECT_EQ(got.exact_grid,
+            core::try_exact_optimal_grid(req.shape, req.P, &exact) &&
+                exact == got.grid);
+}
+
+TEST(FactorCache, TablesMatchFreshEnumeration) {
+  FactorCache cache;
+  for (const i64 p : {1, 2, 7, 12, 60, 101, 1024, 720720}) {
+    const auto table = cache.get(p);
+    EXPECT_EQ(table->p, p);
+    EXPECT_EQ(table->triples, factor_triples(p));
+    std::vector<i64> divisors;
+    divisors_into(p, divisors);
+    EXPECT_EQ(table->divisors, divisors);
+    // Second get is a hit and returns the same immutable table.
+    EXPECT_EQ(cache.get(p).get(), table.get());
+  }
+  const CacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 8u);
+  EXPECT_EQ(counters.hits, 8u);
+  EXPECT_THROW(cache.get(0), Error);
+}
+
+TEST(FactorCache, TripleCountMatchesClosedForm) {
+  // d_3(p) = prod (e_i + 1)(e_i + 2) / 2 over the prime factorization.
+  EXPECT_EQ(factor_triple_count(1), 1);
+  EXPECT_EQ(factor_triple_count(101), 3);       // prime
+  EXPECT_EQ(factor_triple_count(8), 10);        // 2^3 -> 4*5/2
+  EXPECT_EQ(factor_triple_count(12), 18);       // 2^2*3 -> 6*3
+  EXPECT_EQ(factor_triple_count(60), 54);       // 2^2*3*5
+  EXPECT_EQ(factor_triple_count(720720), 7290);
+  for (i64 p = 1; p <= 300; ++p) {
+    EXPECT_EQ(static_cast<i64>(factor_triples(p).size()),
+              factor_triple_count(p))
+        << "p = " << p;
+  }
+}
+
+TEST(Planner, SingleProcessor) {
+  GridPlanner planner;
+  const PlanResult result = planner.plan({kPaperShape, 1});
+  EXPECT_EQ(result.grid, (core::Grid3{1, 1, 1}));
+  EXPECT_EQ(result.bound_words, 0.0);  // one rank communicates nothing
+  EXPECT_EQ(result.ratio, 1.0);
+  EXPECT_TRUE(result.exact_grid);
+  expect_matches_core({kPaperShape, 1}, result);
+}
+
+TEST(Planner, PrimeProcessorCounts) {
+  GridPlanner planner;
+  for (const i64 P : {2, 101, 104729}) {  // 104729 = the 10000th prime
+    const PlanRequest req{kPaperShape, P};
+    expect_matches_core(req, planner.plan(req));
+  }
+}
+
+TEST(Planner, HugePrimeFactors) {
+  // P with a huge prime factor exercises the sqrt-bounded enumeration:
+  // 2 * 499979 and the prime 999983 itself.
+  GridPlanner planner;
+  for (const i64 P : {999958, 999983}) {
+    const PlanRequest req{kPaperShape, P};
+    expect_matches_core(req, planner.plan(req));
+  }
+}
+
+TEST(Planner, ExtremeAspectRatios) {
+  GridPlanner planner;
+  // n1 >> n2*n3 pushes deep into the 1D regime; the transpose orientation
+  // checks the axis mapping; the thin-k shape sits on the 2D/3D boundary.
+  const core::Shape shapes[] = {{i64{1} << 20, 2, 2},
+                                {2, 2, i64{1} << 20},
+                                {1, 1, 1},
+                                {65536, 256, 1}};
+  for (const core::Shape& shape : shapes) {
+    for (const i64 P : {1, 3, 64, 1000}) {
+      const PlanRequest req{shape, P};
+      expect_matches_core(req, planner.plan(req));
+    }
+  }
+  // Deep 1D: the regime really is 1D and the grid splits the long axis.
+  const PlanResult deep = planner.plan({{i64{1} << 20, 2, 2}, 64});
+  EXPECT_EQ(deep.regime, core::RegimeCase::kOneD);
+  EXPECT_EQ(deep.grid, (core::Grid3{64, 1, 1}));
+}
+
+TEST(Planner, RandomizedCachedVsColdIdentity) {
+  // The headline acceptance sweep: 10k random queries, each answered by a
+  // cold planner and re-answered from cache, both pinned to the uncached
+  // oracle.  Duplicate probability is high by construction (small P range)
+  // so the cache path is genuinely exercised.
+  GridPlanner planner;
+  Rng rng{0xD1CE2026ULL};
+  for (int i = 0; i < 10000; ++i) {
+    const core::Shape shape{rng.range(1, 2048), rng.range(1, 2048),
+                            rng.range(1, 2048)};
+    const PlanRequest req{shape, rng.range(1, 512)};
+    const PlanResult first = planner.plan(req);
+    const PlanResult oracle = plan_uncached(req);
+    ASSERT_TRUE(first == oracle)
+        << "divergence at query " << i << ": shape " << shape.n1 << "x"
+        << shape.n2 << "x" << shape.n3 << " P=" << req.P;
+    ASSERT_TRUE(planner.plan(req) == first) << "cached replay diverged";
+  }
+  const PlannerStats stats = planner.stats();
+  EXPECT_EQ(stats.point.hits + stats.point.misses, 20000u);
+  EXPECT_GE(stats.point.hits, 10000u);  // every replay at minimum
+}
+
+TEST(Planner, BatchMatchesPointQueries) {
+  GridPlanner planner;
+  Rng rng{0xBA7C42ULL};
+  std::vector<PlanRequest> reqs;
+  for (int i = 0; i < 500; ++i) {
+    reqs.push_back({{rng.range(1, 512), rng.range(1, 512), rng.range(1, 512)},
+                    rng.range(1, 256)});
+  }
+  // Duplicates on purpose: the dedup path must scatter one solve to all.
+  for (int i = 0; i < 100; ++i) {
+    reqs.push_back(reqs[static_cast<std::size_t>(rng.next() % 500)]);
+  }
+  const std::vector<PlanResult> batched = planner.plan_batch(reqs, 4);
+  ASSERT_EQ(batched.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(batched[i] == plan_uncached(reqs[i])) << "index " << i;
+  }
+  const PlannerStats stats = planner.stats();
+  EXPECT_EQ(stats.batch_queries, 600u);
+  EXPECT_GE(stats.batch_deduped, 100u);
+  // Single-threaded batch answers identically.
+  EXPECT_TRUE(planner.plan_batch(reqs, 1) == batched);
+  EXPECT_THROW(planner.plan_batch({{kPaperShape, 0}}), Error);
+}
+
+TEST(Planner, SweepMatchesCorePerPoint) {
+  GridPlanner planner;
+  std::vector<i64> counts;
+  for (i64 P = 1; P <= 8192; P *= 2) counts.push_back(P);
+  const SweepResult sweep = planner.plan_sweep(kPaperShape, counts);
+  ASSERT_EQ(sweep.points.size(), counts.size());
+  EXPECT_EQ(sweep.boundary_1d, 4.0);    // m/n = 9600/2400
+  EXPECT_EQ(sweep.boundary_2d, 64.0);   // mn/k^2 = 9600*2400/600^2
+  for (const SweepPoint& pt : sweep.points) {
+    const core::BoundResult bound = core::memory_independent_bound(
+        kPaperShape, static_cast<double>(pt.P));
+    EXPECT_EQ(pt.regime, bound.regime) << "P = " << pt.P;
+    EXPECT_EQ(pt.bound_words, bound.words) << "P = " << pt.P;
+    EXPECT_EQ(pt.grid, core::best_integer_grid(kPaperShape, pt.P));
+    EXPECT_EQ(pt.cost_words, core::alg1_cost_words(kPaperShape, pt.grid));
+  }
+  // Segments partition the sweep at the regime boundaries: P <= 4 is 1D,
+  // 8..64 is 2D, 128+ is 3D (Figure 2's regimes).
+  ASSERT_EQ(sweep.segments.size(), 3u);
+  EXPECT_EQ(sweep.segments[0].regime, core::RegimeCase::kOneD);
+  EXPECT_EQ(sweep.segments[0].p_lo, 1);
+  EXPECT_EQ(sweep.segments[0].p_hi, 4);
+  EXPECT_EQ(sweep.segments[1].regime, core::RegimeCase::kTwoD);
+  EXPECT_EQ(sweep.segments[1].p_lo, 8);
+  EXPECT_EQ(sweep.segments[1].p_hi, 64);
+  EXPECT_EQ(sweep.segments[2].regime, core::RegimeCase::kThreeD);
+  EXPECT_EQ(sweep.segments[2].p_lo, 128);
+  EXPECT_EQ(sweep.segments[2].p_hi, 8192);
+
+  // Bound-only sweeps skip the integer-grid channel but agree on bounds.
+  const SweepResult fast =
+      planner.plan_sweep(kPaperShape, counts, {.with_integer_grids = false});
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(fast.points[i].bound_words, sweep.points[i].bound_words);
+    EXPECT_EQ(fast.points[i].grid, core::Grid3{});  // untouched default
+  }
+}
+
+TEST(Planner, AtMostMatchesCoreSearch) {
+  GridPlanner planner;
+  const core::Shape shapes[] = {kPaperShape, {384, 96, 24}, {64, 64, 64},
+                                {1, 1, 1}};
+  for (const core::Shape& shape : shapes) {
+    for (const i64 max_procs : {1, 2, 17, 96, 255, 600}) {
+      EXPECT_EQ(planner.best_integer_grid_at_most(shape, max_procs),
+                core::best_integer_grid_at_most(shape, max_procs))
+          << "maxP = " << max_procs;
+    }
+  }
+  // Cached replay (the elastic survivors' path) hits.
+  const PlannerStats before = planner.stats();
+  (void)planner.best_integer_grid_at_most(kPaperShape, 600);
+  const PlannerStats after = planner.stats();
+  EXPECT_EQ(after.atmost.hits, before.atmost.hits + 1);
+  EXPECT_THROW(planner.best_integer_grid_at_most(kPaperShape, 0), Error);
+}
+
+TEST(Planner, ConcurrentMixedTrafficStaysDeterministic) {
+  // 8 threads hammer one planner with overlapping point, batch, at-most,
+  // and sweep traffic; every answer must equal the uncached oracle
+  // regardless of interleaving (the double-fill race resolves to identical
+  // bits).  Run under the tsan label, this is also the data-race probe.
+  GridPlanner planner;
+  std::vector<std::thread> team;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    team.emplace_back([&planner, &failures, t] {
+      Rng rng{0xC0FFEE00ULL + static_cast<std::uint64_t>(t)};
+      for (int i = 0; i < 200; ++i) {
+        const core::Shape shape{rng.range(1, 64), rng.range(1, 64),
+                                rng.range(1, 64)};
+        const i64 P = rng.range(1, 64);
+        if (!(planner.plan({shape, P}) == plan_uncached({shape, P}))) {
+          failures.fetch_add(1);
+        }
+        if (i % 50 == 0 &&
+            planner.best_integer_grid_at_most(shape, P) !=
+                core::best_integer_grid_at_most(shape, P)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : team) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Planner, EvictionOnlyCostsARecompute) {
+  // A planner with a tiny point budget: far more distinct queries than
+  // capacity forces evictions; answers must stay identical anyway.
+  GridPlanner::Config config;
+  config.point_capacity = 64;  // 1 entry per shard
+  config.shape_capacity = 64;
+  GridPlanner planner(config);
+  Rng rng{0xE71C7ULL};
+  for (int i = 0; i < 2000; ++i) {
+    const PlanRequest req{{rng.range(1, 256), rng.range(1, 256),
+                           rng.range(1, 256)},
+                          rng.range(1, 128)};
+    ASSERT_TRUE(planner.plan(req) == plan_uncached(req)) << "query " << i;
+  }
+}
+
+TEST(Planner, ClearResetsStatsAndKeepsAnswers) {
+  GridPlanner planner;
+  const PlanRequest req{kPaperShape, 512};
+  const PlanResult before = planner.plan(req);
+  planner.clear();
+  const PlannerStats stats = planner.stats();
+  EXPECT_EQ(stats.point.hits, 0u);
+  EXPECT_EQ(stats.point.misses, 0u);
+  EXPECT_TRUE(planner.plan(req) == before);
+}
+
+TEST(Planner, SharedInstanceServesRegistryTraffic) {
+  // The process-wide planner is what algorithm_registry and elastic
+  // re-planning route through; its answers match the core calls too.
+  const PlanRequest req{{384, 96, 24}, 16};
+  expect_matches_core(req, GridPlanner::instance().plan(req));
+}
+
+TEST(Planner, RejectsInvalidQueries) {
+  GridPlanner planner;
+  EXPECT_THROW(planner.plan({kPaperShape, 0}), Error);
+  EXPECT_THROW(planner.plan({kPaperShape, -4}), Error);
+  EXPECT_THROW(planner.plan({{0, 1, 1}, 4}), Error);
+  EXPECT_THROW(plan_uncached({kPaperShape, 0}), Error);
+  EXPECT_THROW(planner.plan_sweep(kPaperShape, {4, 0}), Error);
+}
+
+}  // namespace
+}  // namespace camb::planner

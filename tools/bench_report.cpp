@@ -1,8 +1,9 @@
 // bench_report — render a benchmark JSON report as a table.  Understands
 // the BENCH_PR5.json hot-path report (bench_hotpath), the BENCH_PR7.json
 // SDC retransmit-tax report (bench_sdc_overhead), the BENCH_PR8.json
-// scalar-substrate report (bench_dtype), and the BENCH_PR9.json elastic
-// transition-bill report (bench_elastic_overhead), dispatching on the
+// scalar-substrate report (bench_dtype), the BENCH_PR9.json elastic
+// transition-bill report (bench_elastic_overhead), and the BENCH_PR10.json
+// grid-planner query-engine report (bench_planner_qps), dispatching on the
 // "bench" key.
 //
 // The repo carries no JSON library, and the report formats are fixed, so
@@ -233,6 +234,83 @@ int render_elastic_overhead(const std::string& text, const std::string& path,
   return all_exact ? 0 : 1;
 }
 
+// Renders a bench_planner_qps report: throughput + tail latency per query
+// mix, the batch/scaling figures, and the bitwise-exactness verdict (the
+// render exits nonzero when any cached answer diverged).
+int render_planner_qps(const std::string& text, const std::string& path,
+                       const std::string& mode) {
+  std::printf("grid-planner query-engine report (%s)%s\n", path.c_str(),
+              mode.empty() ? "" : ("  [" + mode + " mode]").c_str());
+  double pool = 0;
+  if (find_number(text, "pool", &pool)) {
+    std::printf("  pool of %.0f (shape, P) combinations\n", pool);
+  }
+  std::printf("\n  %-9s %12s %9s %9s %10s %13s %9s\n", "mix", "qps",
+              "p50 ns", "p99 ns", "p999 ns", "uncached ns", "speedup");
+  std::size_t cursor = text.find("\"mixes\":");
+  while (cursor != std::string::npos) {
+    const std::size_t entry = text.find("{\"mix\":", cursor);
+    if (entry == std::string::npos) break;
+    std::string mix;
+    {
+      const std::string needle = "\"mix\": \"";
+      const std::size_t at = text.find(needle, entry);
+      if (at == std::string::npos) break;
+      const std::size_t begin = at + needle.size();
+      mix = text.substr(begin, text.find('"', begin) - begin);
+    }
+    double qps = 0, p50 = 0, p99 = 0, p999 = 0, uncached = 0, speedup = 0;
+    if (!find_number(text, "qps", &qps, entry) ||
+        !find_number(text, "ns_p50", &p50, entry) ||
+        !find_number(text, "ns_p99", &p99, entry) ||
+        !find_number(text, "ns_p999", &p999, entry) ||
+        !find_number(text, "uncached_ns", &uncached, entry) ||
+        !find_number(text, "speedup", &speedup, entry)) {
+      break;
+    }
+    std::printf("  %-9s %12.0f %9.0f %9.0f %10.0f %13.0f %8.1fx\n",
+                mix.c_str(), qps, p50, p99, p999, uncached, speedup);
+    cursor = entry + 1;
+    if (text.find("{\"mix\":", cursor) > text.find("\"batch\"", cursor)) break;
+  }
+  double batch_qps = 0, dedup = 0;
+  const std::size_t batch_at = text.find("\"batch\":");
+  if (batch_at != std::string::npos &&
+      find_number(text, "qps", &batch_qps, batch_at) &&
+      find_number(text, "dedup_fraction", &dedup, batch_at)) {
+    std::printf("\n  plan_batch %12.0f qps  (%.1f%% answered by dedup)\n",
+                batch_qps, 100.0 * dedup);
+  }
+  std::size_t scale_at = text.find("\"scaling\":");
+  const std::size_t cache_at = text.find("\"cache\":");
+  while (scale_at != std::string::npos) {
+    const std::size_t entry = text.find("{\"threads\":", scale_at);
+    if (entry == std::string::npos || entry > cache_at) break;
+    double threads = 0, qps = 0;
+    if (!find_number(text, "threads", &threads, entry) ||
+        !find_number(text, "qps", &qps, entry)) {
+      break;
+    }
+    std::printf("  threads %.0f %12.0f qps\n", threads, qps);
+    scale_at = entry + 1;
+  }
+  double checked = 0, mismatches = -1;
+  const std::size_t exact_at = text.find("\"exactness\":");
+  if (exact_at == std::string::npos ||
+      !find_number(text, "checked", &checked, exact_at) ||
+      !find_number(text, "mismatches", &mismatches, exact_at)) {
+    std::fprintf(stderr, "bench_report: no exactness record in %s\n",
+                 path.c_str());
+    return 1;
+  }
+  const bool exact = mismatches == 0;
+  std::printf("\n  exactness: %.0f checks, %.0f mismatches — %s\n", checked,
+              mismatches,
+              exact ? "every cached answer bit-identical to the uncached path"
+                    : "CACHE DIVERGED FROM THE ANALYTIC PATH — investigate!");
+  return exact ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +336,9 @@ int main(int argc, char** argv) {
   }
   if (bench == "elastic_overhead") {
     return render_elastic_overhead(text, path, mode);
+  }
+  if (bench == "planner_qps") {
+    return render_planner_qps(text, path, mode);
   }
   std::printf("hot-path benchmark report (%s)%s\n", path.c_str(),
               mode.empty() ? "" : ("  [" + mode + " mode]").c_str());

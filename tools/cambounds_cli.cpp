@@ -2,6 +2,8 @@
 //
 //   cambounds bound    --n1 .. --n2 .. --n3 .. --p ..  [--mem ..]
 //   cambounds grid     --n1 .. --n2 .. --n3 .. --p ..  [--top ..]
+//   cambounds plan     --n1 .. --n2 .. --n3 .. --p ..  [--batch-file ..]
+//                      [--serve] [--sweep-pmax ..] [--threads ..] [--stats]
 //   cambounds run      --algorithm .. --n1 .. --n2 .. --n3 .. --p ..
 //   cambounds sweep    --n1 .. --n2 .. --n3 .. --pmax .. [--csv path]
 //   cambounds audit    --n1 .. --n2 .. --n3 .. --p ..
@@ -11,8 +13,10 @@
 // Every subcommand is a thin veneer over the public API; this file is also a
 // worked example of composing it.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "core/bounds.hpp"
 #include "core/cost_eq3.hpp"
@@ -21,6 +25,7 @@
 #include "machine/faults.hpp"
 #include "machine/topology.hpp"
 #include "matmul/algorithm_registry.hpp"
+#include "planner/planner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -383,6 +388,163 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
+/// One line of the plan protocol: `n1 n2 n3 P` (whitespace-separated).
+/// Blank lines and `#` comments are skipped (returns false).  Malformed
+/// lines throw camb::Error naming the offending text.
+bool parse_plan_line(const std::string& line, planner::PlanRequest* req) {
+  std::istringstream in(line);
+  i64 n1 = 0, n2 = 0, n3 = 0, p = 0;
+  std::string first;
+  if (!(in >> first)) return false;  // blank
+  if (first[0] == '#') return false;
+  std::istringstream head(first);
+  if (!(head >> n1) || !head.eof() || !(in >> n2 >> n3 >> p)) {
+    throw Error("plan: expected 'n1 n2 n3 P', got '" + line + "'");
+  }
+  std::string extra;
+  if (in >> extra) {
+    throw Error("plan: trailing junk '" + extra + "' in '" + line + "'");
+  }
+  *req = planner::PlanRequest{core::Shape{n1, n2, n3}, p};
+  return true;
+}
+
+/// One response line of the plan protocol (machine-parseable key=value).
+std::string format_plan(const planner::PlanRequest& req,
+                        const planner::PlanResult& result) {
+  std::ostringstream out;
+  out << req.shape.n1 << " " << req.shape.n2 << " " << req.shape.n3 << " "
+      << req.P << " grid=" << result.grid.p1 << "x" << result.grid.p2 << "x"
+      << result.grid.p3 << " cost=" << result.cost_words
+      << " regime=" << static_cast<int>(result.regime)
+      << "D bound=" << result.bound_words << " ratio=" << result.ratio
+      << " exact=" << (result.exact_grid ? 1 : 0);
+  return out.str();
+}
+
+void print_planner_stats(std::ostream& out) {
+  const planner::PlannerStats stats =
+      planner::GridPlanner::instance().stats();
+  out << "planner stats: point " << stats.point.hits << "/"
+      << stats.point.hits + stats.point.misses << " hits, atmost "
+      << stats.atmost.hits << "/" << stats.atmost.hits + stats.atmost.misses
+      << ", shape " << stats.shape.hits << "/"
+      << stats.shape.hits + stats.shape.misses << ", factor "
+      << stats.factor.hits << "/" << stats.factor.hits + stats.factor.misses
+      << ", batch " << stats.batch_queries << " queries ("
+      << stats.batch_deduped << " deduped), sweep " << stats.sweep_points
+      << " points\n";
+}
+
+int cmd_plan(int argc, char** argv) {
+  Cli cli;
+  add_shape_flags(cli);
+  cli.add_flag("p", "number of processors", "16");
+  cli.add_flag("batch-file", "file of 'n1 n2 n3 P' queries (- = stdin)", "");
+  cli.add_flag("serve", "line-protocol service on stdin/stdout", "false");
+  cli.add_flag("sweep-pmax", "strong-scaling sweep up to this P (0 = off)",
+               "0");
+  cli.add_flag("threads", "batch worker threads (0 = hardware)", "0");
+  cli.add_flag("stats", "print planner cache statistics at exit", "false");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.usage("cambounds plan");
+    return 0;
+  }
+  planner::GridPlanner& service = planner::GridPlanner::instance();
+  const int threads = static_cast<int>(cli.get_int("threads"));
+  const std::string batch_file = cli.get("batch-file");
+  const i64 sweep_pmax = cli.get_int("sweep-pmax");
+
+  if (cli.get_bool("serve")) {
+    // One query per line, one answer per line, flushed per query so a pipe
+    // driver can interleave.  `stats` reports, `quit` (or EOF) exits.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line == "quit") break;
+      if (line == "stats") {
+        print_planner_stats(std::cout);
+        std::cout.flush();
+        continue;
+      }
+      try {
+        planner::PlanRequest req;
+        if (!parse_plan_line(line, &req)) continue;
+        std::cout << format_plan(req, service.plan(req)) << "\n";
+      } catch (const std::exception& err) {
+        std::cout << "error: " << err.what() << "\n";
+      }
+      std::cout.flush();
+    }
+    if (cli.get_bool("stats")) print_planner_stats(std::cerr);
+    return 0;
+  }
+
+  if (!batch_file.empty()) {
+    std::ifstream file;
+    const bool from_stdin = batch_file == "-";
+    if (!from_stdin) {
+      file.open(batch_file);
+      if (!file) throw Error("plan: cannot open --batch-file " + batch_file);
+    }
+    std::istream& in = from_stdin ? std::cin : file;
+    std::vector<planner::PlanRequest> reqs;
+    std::string line;
+    while (std::getline(in, line)) {
+      planner::PlanRequest req;
+      if (parse_plan_line(line, &req)) reqs.push_back(req);
+    }
+    const std::vector<planner::PlanResult> results =
+        service.plan_batch(reqs, threads);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      std::cout << format_plan(reqs[i], results[i]) << "\n";
+    }
+    if (cli.get_bool("stats")) print_planner_stats(std::cerr);
+    return 0;
+  }
+
+  const core::Shape shape = shape_from(cli);
+  if (sweep_pmax > 0) {
+    std::vector<i64> counts;
+    for (i64 P = 1; P <= sweep_pmax; P *= 2) counts.push_back(P);
+    const planner::SweepResult sweep = service.plan_sweep(shape, counts);
+    std::cout << "regime boundaries: P1 = " << sweep.boundary_1d
+              << " (1D->2D), P2 = " << sweep.boundary_2d << " (2D->3D)\n";
+    for (const planner::RegimeSegment& seg : sweep.segments) {
+      std::cout << "  " << static_cast<int>(seg.regime) << "D for P in ["
+                << seg.p_lo << ", " << seg.p_hi << "]\n";
+    }
+    Table table({"P", "regime", "bound words", "best grid", "eq.3 words",
+                 "ratio"});
+    for (const planner::SweepPoint& pt : sweep.points) {
+      table.add_row({Table::fmt_int(pt.P),
+                     std::to_string(static_cast<int>(pt.regime)) + "D",
+                     Table::fmt(pt.bound_words, 1),
+                     std::to_string(pt.grid.p1) + "x" +
+                         std::to_string(pt.grid.p2) + "x" +
+                         std::to_string(pt.grid.p3),
+                     Table::fmt(pt.cost_words, 1), Table::fmt(pt.ratio, 4)});
+    }
+    table.print(std::cout);
+    if (cli.get_bool("stats")) print_planner_stats(std::cerr);
+    return 0;
+  }
+
+  const planner::PlanRequest req{shape, cli.get_int("p")};
+  const planner::PlanResult result = service.plan(req);
+  std::cout << "plan for " << shape.n1 << "x" << shape.n2 << "x" << shape.n3
+            << " on P = " << req.P << ":\n"
+            << "  best grid:  " << result.grid.p1 << "x" << result.grid.p2
+            << "x" << result.grid.p3 << (result.exact_grid ? " (exact)" : "")
+            << "\n  eq.3 words: " << result.cost_words << "\n  regime:     "
+            << static_cast<int>(result.regime) << "D\n  bound:      "
+            << result.bound_words << " words\n  ratio:      " << result.ratio
+            << "\n  real grid:  " << result.real.p << " x " << result.real.q
+            << " x " << result.real.r << " (sorted axes)\n";
+  if (cli.get_bool("stats")) print_planner_stats(std::cerr);
+  return 0;
+}
+
 int cmd_audit(int argc, char** argv) {
   Cli cli;
   cli.add_flag("n1", "rows of A and C", "2");
@@ -477,8 +639,9 @@ int cmd_list() {
 }
 
 void usage() {
-  std::cout << "usage: cambounds <bound|grid|run|sweep|audit|topology|list> "
-               "[flags]\n  (run `cambounds <subcommand> --help` for flags)\n";
+  std::cout << "usage: cambounds <bound|grid|plan|run|sweep|audit|topology|"
+               "list> [flags]\n"
+               "  (run `cambounds <subcommand> --help` for flags)\n";
 }
 
 }  // namespace
@@ -495,6 +658,7 @@ int main(int argc, char** argv) {
   try {
     if (sub == "bound") return cmd_bound(sub_argc, sub_argv);
     if (sub == "grid") return cmd_grid(sub_argc, sub_argv);
+    if (sub == "plan") return cmd_plan(sub_argc, sub_argv);
     if (sub == "run") return cmd_run(sub_argc, sub_argv);
     if (sub == "sweep") return cmd_sweep(sub_argc, sub_argv);
     if (sub == "audit") return cmd_audit(sub_argc, sub_argv);
